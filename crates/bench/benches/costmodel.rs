@@ -1,0 +1,36 @@
+//! Criterion: cost-model evaluation throughput — Eqs. 3/4/7/8/9 over
+//! AlexNet. These are the functions the figure binaries call thousands
+//! of times; sub-microsecond evaluation is what makes exhaustive
+//! strategy search free.
+
+use bench::Setup;
+use criterion::{criterion_group, criterion_main, Criterion};
+use integrated::cost::{integrated_model_batch, pure_batch, pure_domain, pure_model};
+use integrated::Strategy;
+use std::hint::black_box;
+
+fn bench_equations(c: &mut Criterion) {
+    let setup = Setup::table1();
+    let layers = setup.net.weighted_layers();
+    let mut g = c.benchmark_group("cost_eval_alexnet");
+    g.bench_function("eq3_pure_model", |b| {
+        b.iter(|| black_box(pure_model(black_box(&layers), 2048.0, 512)))
+    });
+    g.bench_function("eq4_pure_batch", |b| {
+        b.iter(|| black_box(pure_batch(black_box(&layers), 512)))
+    });
+    g.bench_function("eq7_pure_domain", |b| {
+        b.iter(|| black_box(pure_domain(black_box(&layers), 2048.0, 512)))
+    });
+    g.bench_function("eq8_integrated", |b| {
+        b.iter(|| black_box(integrated_model_batch(black_box(&layers), 2048.0, 16, 32)))
+    });
+    g.bench_function("eq9_mixed_strategy", |b| {
+        let s = Strategy::conv_batch_fc_grid(&layers, 16, 32);
+        b.iter(|| black_box(s.comm_cost(black_box(&layers), 2048.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_equations);
+criterion_main!(benches);

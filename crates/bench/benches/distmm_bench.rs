@@ -1,0 +1,73 @@
+//! Criterion: the distributed layer algebras — pure batch (Fig. 2),
+//! pure model (Fig. 1), the 1.5D grid (Fig. 5), and 2D SUMMA — on the
+//! simulated cluster, same total problem per variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distmm::dist::{col_shard, part_range, row_shard};
+use distmm::onep5d::{backward, forward, Grid};
+use distmm::summa::summa_stationary_c;
+use mpsim::{NetModel, World};
+use std::hint::black_box;
+use tensor::init;
+
+const D_OUT: usize = 128;
+const D_IN: usize = 96;
+const B: usize = 64;
+
+fn layer_roundtrip(pr: usize, pc: usize) -> f64 {
+    let w = init::xavier(D_OUT, D_IN, 1);
+    let x = init::uniform(D_IN, B, -1.0, 1.0, 2);
+    let dy = init::uniform(D_OUT, B, -1.0, 1.0, 3);
+    let out = World::run(pr * pc, NetModel::cori_knl(), |comm| {
+        let grid = Grid::new(comm, pr, pc).unwrap();
+        let wl = row_shard(&w, pr, grid.i);
+        let xl = col_shard(&x, pc, grid.j);
+        let dyl = col_shard(&dy, pc, grid.j);
+        let y = forward(&grid, &wl, &xl).unwrap();
+        let (dw, dx) = backward(&grid, &wl, &xl, &dyl).unwrap();
+        y.get(0, 0) + dw.get(0, 0) + dx.get(0, 0)
+    });
+    out[0]
+}
+
+fn bench_grids(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layer_fwd_bwd_128x96xB64");
+    g.sample_size(20);
+    for (name, pr, pc) in [
+        ("pure_batch_1x4", 1usize, 4usize),
+        ("pure_model_4x1", 4, 1),
+        ("grid_2x2", 2, 2),
+        ("grid_4x2", 4, 2),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(layer_roundtrip(pr, pc))));
+    }
+    g.finish();
+}
+
+fn bench_summa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("summa_vs_local_128");
+    g.sample_size(20);
+    let m = 128usize;
+    let a = init::uniform(m, m, -1.0, 1.0, 4);
+    let b2 = init::uniform(m, m, -1.0, 1.0, 5);
+    g.bench_function("summa_2x2", |bch| {
+        bch.iter(|| {
+            World::run(4, NetModel::cori_knl(), |comm| {
+                let grid = Grid::new(comm, 2, 2).unwrap();
+                let ar = part_range(m, 2, grid.i);
+                let ac = part_range(m, 2, grid.j);
+                let al = a.row_block(ar.start, ar.end).col_block(ac.start, ac.end);
+                let bl = b2.row_block(ar.start, ar.end).col_block(ac.start, ac.end);
+                let c_local = summa_stationary_c(&grid, &al, &bl, m).unwrap();
+                black_box(c_local.get(0, 0))
+            })
+        })
+    });
+    g.bench_function("serial", |bch| {
+        bch.iter(|| black_box(tensor::matmul::matmul(black_box(&a), black_box(&b2))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_grids, bench_summa);
+criterion_main!(benches);

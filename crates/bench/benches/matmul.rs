@@ -1,0 +1,44 @@
+//! Criterion: local dense kernels — the three per-layer products of
+//! the paper's §1 (`Y = W·X`, `∆W = ∆Y·Xᵀ`, `∆X = Wᵀ·∆Y`) and the
+//! im2col-vs-direct convolution lowering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tensor::conv::{conv2d_direct, conv2d_im2col, Conv2dParams};
+use tensor::init;
+use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256] {
+        let a = init::uniform(n, n, -1.0, 1.0, 1);
+        let b = init::uniform(n, n, -1.0, 1.0, 2);
+        g.bench_function(format!("ab_{n}"), |bch| {
+            bch.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+        });
+        g.bench_function(format!("at_b_{n}"), |bch| {
+            bch.iter(|| black_box(matmul_at_b(black_box(&a), black_box(&b))))
+        });
+        g.bench_function(format!("a_bt_{n}"), |bch| {
+            bch.iter(|| black_box(matmul_a_bt(black_box(&a), black_box(&b))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv3x3_16c_32x32");
+    let p = Conv2dParams { in_c: 16, out_c: 16, kh: 3, kw: 3, stride: 1, pad: 1 };
+    let x = init::uniform_tensor(4, 16, 32, 32, -1.0, 1.0, 3);
+    let w = init::uniform(16, p.patch_len(), -0.3, 0.3, 4);
+    g.bench_function("direct", |bch| {
+        bch.iter(|| black_box(conv2d_direct(black_box(&x), black_box(&w), &p)))
+    });
+    g.bench_function("im2col", |bch| {
+        bch.iter(|| black_box(conv2d_im2col(black_box(&x), black_box(&w), &p)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv);
+criterion_main!(benches);

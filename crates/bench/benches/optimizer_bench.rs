@@ -1,0 +1,52 @@
+//! Criterion: the full automatic strategy search ("automatically
+//! selects the best configuration") at the paper's headline sizes, and
+//! the per-sweep building blocks.
+
+use bench::Setup;
+use criterion::{criterion_group, criterion_main, Criterion};
+use integrated::optimizer::{optimize, sweep_conv_batch_fc_grids, sweep_uniform_grids};
+use std::hint::black_box;
+
+fn bench_optimize(c: &mut Criterion) {
+    let setup = Setup::table1();
+    let layers = setup.net.weighted_layers();
+    let mut g = c.benchmark_group("strategy_search_alexnet");
+    g.bench_function("optimize_B2048_P512", |b| {
+        b.iter(|| {
+            black_box(optimize(&setup.net, 2048.0, 512, &setup.machine, &setup.compute))
+        })
+    });
+    g.bench_function("optimize_B512_P4096_domain", |b| {
+        b.iter(|| {
+            black_box(optimize(&setup.net, 512.0, 4096, &setup.machine, &setup.compute))
+        })
+    });
+    g.bench_function("sweep_uniform_P512", |b| {
+        b.iter(|| {
+            black_box(sweep_uniform_grids(
+                &setup.net,
+                &layers,
+                2048.0,
+                512,
+                &setup.machine,
+                &setup.compute,
+            ))
+        })
+    });
+    g.bench_function("sweep_conv_batch_P512", |b| {
+        b.iter(|| {
+            black_box(sweep_conv_batch_fc_grids(
+                &setup.net,
+                &layers,
+                2048.0,
+                512,
+                &setup.machine,
+                &setup.compute,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

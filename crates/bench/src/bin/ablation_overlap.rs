@@ -1,0 +1,53 @@
+//! Ablation: the overlap fraction. The paper's Fig. 8 fixes the
+//! overlappable share at 2/3 (the backprop all-reduces); this sweeps
+//! it from 0 (Fig. 7, no overlap) to 1 (fully hidden communication),
+//! showing how the integrated approach's advantage decays as overlap
+//! machinery improves — the paper's own caveat that better domain-
+//! specific hardware will make the *compute* portion shrink and bring
+//! communication (and hence their method) back to the fore.
+//!
+//! ```text
+//! cargo run -p bench --bin ablation_overlap
+//! ```
+
+use bench::figures::pure_batch_baseline;
+use bench::{parse_args, Setup};
+use integrated::optimizer::sweep_conv_batch_fc_grids;
+use integrated::overlap::overlapped_total;
+use integrated::report::{fmt_seconds, fmt_speedup, Table};
+
+fn main() {
+    let args = parse_args();
+    let setup = Setup::table1();
+    let layers = setup.net.weighted_layers();
+    let (b, p) = (2048.0, 512usize);
+    let evals =
+        sweep_conv_batch_fc_grids(&setup.net, &layers, b, p, &setup.machine, &setup.compute);
+    let base = pure_batch_baseline(&evals).expect("pure batch present");
+
+    let mut t = Table::new(
+        format!("overlap-fraction sweep, AlexNet, B = {b}, P = {p} (Fig. 7 family)"),
+        &["fraction", "pure-batch total", "best config", "best total", "speedup"],
+    );
+    for frac in [0.0, 1.0 / 3.0, 0.5, 2.0 / 3.0, 0.9, 1.0] {
+        let base_t = overlapped_total(base.comm_seconds, base.compute_seconds, frac);
+        let (name, best_t) = evals
+            .iter()
+            .map(|e| {
+                (
+                    e.strategy.name.clone(),
+                    overlapped_total(e.comm_seconds, e.compute_seconds, frac),
+                )
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty");
+        t.row(vec![
+            format!("{frac:.2}"),
+            fmt_seconds(base_t),
+            name,
+            fmt_seconds(best_t),
+            fmt_speedup(base_t / best_t),
+        ]);
+    }
+    print!("{}", if args.csv { t.to_csv() } else { t.render() });
+}

@@ -1,0 +1,42 @@
+//! Regenerates the paper's **Eq. 5** analysis: the model-vs-batch
+//! communication-volume crossover per convolutional layer. The paper's
+//! worked example — AlexNet 3×3 filters on 13×13×384 activations —
+//! gives model parallelism the lower volume "for B ≤ 12". This binary
+//! prints the crossover batch for every weighted layer of AlexNet,
+//! VGG-16 and the ResNet-18-style stack.
+//!
+//! ```text
+//! cargo run -p bench --bin eq5_crossover
+//! ```
+
+use bench::parse_args;
+use dnn::zoo::{alexnet, resnet18ish, vgg16};
+use integrated::cost::{batch_over_model_volume_ratio, crossover_batch};
+use integrated::report::Table;
+
+fn main() {
+    let args = parse_args();
+    for net in [alexnet(), vgg16(), resnet18ish()] {
+        let mut t = Table::new(
+            format!("Eq. 5 crossover — {}", net.name),
+            &["layer", "kind", "input", "output", "B* = 2|W|/(3d)", "ratio@B=32", "model wins for"],
+        );
+        for l in net.weighted_layers() {
+            let b_star = crossover_batch(&l);
+            t.row(vec![
+                l.name.clone(),
+                if l.is_conv() { "conv".into() } else { "fc".into() },
+                l.in_shape.to_string(),
+                l.out_shape.to_string(),
+                format!("{b_star:.1}"),
+                format!("{:.3}", batch_over_model_volume_ratio(&l, 32.0)),
+                format!("B < {:.0}", b_star.floor()),
+            ]);
+        }
+        print!("{}", if args.csv { t.to_csv() } else { t.render() });
+        println!();
+    }
+    println!(
+        "paper check: AlexNet conv4 (3x3 on 13x13x384) crossover should land near B = 12-14."
+    );
+}

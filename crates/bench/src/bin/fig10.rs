@@ -1,0 +1,49 @@
+//! Regenerates the paper's **Fig. 10**: extending the strong-scaling
+//! limit of pure batch parallelism with domain parallelism. Fixed
+//! B = 512; P grows to 4096. At P = 512 each process already holds a
+//! single sample (the batch-parallel limit); beyond that, each image
+//! is split into P/512 = 2, 4, 8 horizontal parts (domain parallelism
+//! in the conv layers), with `Pr × Pc` grids in the FC layers.
+//!
+//! ```text
+//! cargo run -p bench --bin fig10
+//! ```
+
+use bench::figures::subfigure_table;
+use bench::{parse_args, Setup};
+use integrated::optimizer::{best, sweep_domain_strategies};
+use integrated::report::fmt_seconds;
+
+fn main() {
+    let args = parse_args();
+    let setup = Setup::table1();
+    let layers = setup.net.weighted_layers();
+    let b = 512.0;
+    let mut best_totals: Vec<(usize, f64)> = Vec::new();
+    for (tag, p) in [("a", 512usize), ("b", 1024), ("c", 2048), ("d", 4096)] {
+        let evals = sweep_domain_strategies(
+            &setup.net,
+            &layers,
+            b,
+            p,
+            &setup.machine,
+            &setup.compute,
+        );
+        let parts = p / 512;
+        let title = format!(
+            "Fig. 10({tag}): B = {b}, P = {p} (each image in {parts} part{})",
+            if parts == 1 { "" } else { "s" }
+        );
+        println!("{}", subfigure_table(&title, &setup, b, &evals, &args));
+        best_totals.push((p, best(&evals).total_seconds));
+    }
+    println!("strong scaling beyond the batch limit (best per P):");
+    let t512 = best_totals[0].1;
+    for (p, t) in &best_totals {
+        println!(
+            "  P = {p:>5}: {}  (speedup vs P=512: {:.2}x)",
+            fmt_seconds(*t),
+            t512 / t
+        );
+    }
+}

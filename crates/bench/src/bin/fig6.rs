@@ -1,0 +1,28 @@
+//! Regenerates the paper's **Fig. 6**: strong scaling of the
+//! integrated model+batch approach with the *same grid in every layer*
+//! ("some amount of model parallelism is used for both convolutional
+//! and FC layers when Pr > 1"). Fixed mini-batch B = 2048; one
+//! subfigure per process count; one row per `Pr × Pc` configuration;
+//! speedup of the best configuration over pure batch printed under
+//! each subfigure, as the paper does in bold.
+//!
+//! ```text
+//! cargo run -p bench --bin fig6
+//! ```
+
+use bench::figures::subfigure_table;
+use bench::{parse_args, Setup};
+use integrated::optimizer::sweep_uniform_grids;
+
+fn main() {
+    let args = parse_args();
+    let setup = Setup::table1();
+    let layers = setup.net.weighted_layers();
+    let b = 2048.0;
+    for (tag, p) in [("a", 8usize), ("b", 32), ("c", 128), ("d", 512)] {
+        let evals =
+            sweep_uniform_grids(&setup.net, &layers, b, p, &setup.machine, &setup.compute);
+        let title = format!("Fig. 6({tag}): B = {b}, P = {p}, same grid in all layers");
+        println!("{}", subfigure_table(&title, &setup, b, &evals, &args));
+    }
+}

@@ -1,0 +1,78 @@
+//! An *executed* strong-scaling experiment — the Fig. 6/7 methodology
+//! run for real instead of from closed forms: full SGD iterations of an
+//! MLP on the simulated cluster across every grid of each P, reporting
+//! the virtual makespan, its compute/communication split, and the
+//! traffic moved, next to the Eq. 8 analytic prediction of the
+//! communication words.
+//!
+//! Differences from the analytic figures are expected and instructive:
+//! the executed ring collectives pay `(P−1)·α` latency (the paper
+//! substitutes `⌈log P⌉`), per-rank matmul FLOPs replace the KNL curve,
+//! and uneven shards round volumes slightly.
+//!
+//! ```text
+//! cargo run -p bench --bin fig6_exec
+//! ```
+
+use bench::parse_args;
+use dnn::zoo::mlp;
+use integrated::cost::integrated_model_batch;
+use integrated::report::{fmt_seconds, Table};
+use integrated::trainer::{synthetic_data, train_1p5d, TrainConfig};
+use mpsim::NetModel;
+
+fn main() {
+    let args = parse_args();
+    // A weight-heavy MLP (the regime where the 1.5D scheme pays off).
+    let net = mlp("mlp-exec", &[256, 512, 512, 128, 10]);
+    let layers = net.weighted_layers();
+    let b = 32usize;
+    let iters = 4usize;
+    let cfg = TrainConfig { lr: 0.1, iters, seed: 11 };
+    let (x, labels) = synthetic_data(&net, b, 42);
+    let model = NetModel::cori_knl();
+
+    for p in [4usize, 8, 16] {
+        let mut t = Table::new(
+            format!("executed strong scaling: {} B={b}, P={p}, {iters} iterations", net.name),
+            &["grid", "makespan", "comm", "compute", "words moved", "Eq.8 words (pred)"],
+        );
+        let mut best: Option<(String, f64)> = None;
+        let mut pure_batch_time = 0.0;
+        for k in 0.. {
+            let pr = 1usize << k;
+            if pr > p {
+                break;
+            }
+            let pc = p / pr;
+            let dist = train_1p5d(&net, &x, &labels, &cfg, pr, pc, model);
+            let makespan = dist.stats.makespan();
+            // Eq. 8 predicted words per process per iteration; the
+            // executed counter is total words over all ranks and
+            // iterations.
+            let pred =
+                integrated_model_batch(&layers, b as f64, pr, pc).total.total().words
+                    * (p * iters) as f64;
+            t.row(vec![
+                format!("{pr}x{pc}"),
+                fmt_seconds(makespan),
+                fmt_seconds(dist.stats.max_comm()),
+                fmt_seconds(dist.stats.max_compute()),
+                dist.stats.total_words().to_string(),
+                format!("{pred:.0}"),
+            ]);
+            if pr == 1 {
+                pure_batch_time = makespan;
+            }
+            if best.as_ref().map(|(_, t0)| makespan < *t0).unwrap_or(true) {
+                best = Some((format!("{pr}x{pc}"), makespan));
+            }
+        }
+        print!("{}", if args.csv { t.to_csv() } else { t.render() });
+        let (name, time) = best.expect("at least one grid");
+        println!(
+            "best: {name}  speedup vs pure batch: {:.2}x\n",
+            pure_batch_time / time
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates the paper's **Fig. 7**: the improved strong-scaling
+//! configuration — pure batch parallelism in convolutional layers
+//! (`Pr = 1, Pc = P`) with the `Pr × Pc` grid only in the fully
+//! connected layers. Compare the best rows against Fig. 6's: the paper
+//! highlights the "significant improvement" (2.5× total, 9.7× comm at
+//! B = 2048, P = 512 in its run).
+//!
+//! ```text
+//! cargo run -p bench --bin fig7
+//! ```
+
+use bench::figures::subfigure_table;
+use bench::{parse_args, Setup};
+use integrated::optimizer::sweep_conv_batch_fc_grids;
+
+fn main() {
+    let args = parse_args();
+    let setup = Setup::table1();
+    let layers = setup.net.weighted_layers();
+    let b = 2048.0;
+    for (tag, p) in [("a", 8usize), ("b", 32), ("c", 128), ("d", 512)] {
+        let evals = sweep_conv_batch_fc_grids(
+            &setup.net,
+            &layers,
+            b,
+            p,
+            &setup.machine,
+            &setup.compute,
+        );
+        let title =
+            format!("Fig. 7({tag}): B = {b}, P = {p}, conv pure-batch + FC grid");
+        println!("{}", subfigure_table(&title, &setup, b, &evals, &args));
+    }
+}

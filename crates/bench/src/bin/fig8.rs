@@ -1,0 +1,64 @@
+//! Regenerates the paper's **Fig. 8**: Fig. 7 with *perfect overlap*
+//! of communication and backpropagation compute. The paper: the
+//! all-reduce can run while the transpose convolutions of the next
+//! layers execute, hiding the two-thirds of communication that happens
+//! during backprop; "even in this setting there is 2.0× speedup".
+//!
+//! ```text
+//! cargo run -p bench --bin fig8
+//! ```
+
+use bench::figures::pure_batch_baseline;
+use bench::{parse_args, Setup};
+use integrated::optimizer::sweep_conv_batch_fc_grids;
+use integrated::overlap::{fig8_total, PAPER_BACKPROP_FRACTION};
+use integrated::report::{fmt_seconds, fmt_speedup, Table};
+
+fn main() {
+    let args = parse_args();
+    let setup = Setup::table1();
+    let layers = setup.net.weighted_layers();
+    let b = 2048.0;
+    println!(
+        "overlappable fraction: {PAPER_BACKPROP_FRACTION:.3} (backprop all-reduces, per the paper)\n"
+    );
+    for (tag, p) in [("a", 8usize), ("b", 32), ("c", 128), ("d", 512)] {
+        let evals = sweep_conv_batch_fc_grids(
+            &setup.net,
+            &layers,
+            b,
+            p,
+            &setup.machine,
+            &setup.compute,
+        );
+        let mut t = Table::new(
+            format!("Fig. 8({tag}): B = {b}, P = {p}, perfect comm/backprop overlap"),
+            &["config", "compute", "comm", "total (no overlap)", "total (overlap)"],
+        );
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        for e in &evals {
+            let overlapped = fig8_total(e.comm_seconds, e.compute_seconds);
+            rows.push((e.strategy.name.clone(), overlapped));
+            t.row(vec![
+                e.strategy.name.clone(),
+                fmt_seconds(e.compute_seconds),
+                fmt_seconds(e.comm_seconds),
+                fmt_seconds(e.total_seconds),
+                fmt_seconds(overlapped),
+            ]);
+        }
+        print!("{}", if args.csv { t.to_csv() } else { t.render() });
+        if let Some(baseline) = pure_batch_baseline(&evals) {
+            let base_overlapped = fig8_total(baseline.comm_seconds, baseline.compute_seconds);
+            let best = rows
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("non-empty");
+            println!(
+                "best: {}  speedup vs pure batch (both overlapped): {}\n",
+                best.0,
+                fmt_speedup(base_overlapped / best.1)
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates the paper's **Fig. 9**: weak scaling — the mini-batch
+//! size and the process count grow together, sweeping the grid
+//! configurations for each `(B, P)` pair (grids chosen per the Eq. 8
+//! complexity, as in Fig. 7's conv-batch + FC-grid layout).
+//!
+//! ```text
+//! cargo run -p bench --bin fig9
+//! ```
+
+use bench::figures::subfigure_table;
+use bench::{parse_args, Setup};
+use integrated::optimizer::sweep_conv_batch_fc_grids;
+
+fn main() {
+    let args = parse_args();
+    let setup = Setup::table1();
+    let layers = setup.net.weighted_layers();
+    for (tag, b, p) in [
+        ("a", 256.0, 16usize),
+        ("b", 512.0, 32),
+        ("c", 1024.0, 64),
+        ("d", 2048.0, 128),
+        ("e", 4096.0, 256),
+    ] {
+        let evals = sweep_conv_batch_fc_grids(
+            &setup.net,
+            &layers,
+            b,
+            p,
+            &setup.machine,
+            &setup.compute,
+        );
+        let title = format!("Fig. 9({tag}): weak scaling, B = {b}, P = {p}");
+        println!("{}", subfigure_table(&title, &setup, b, &evals, &args));
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates the paper's **§4 Discussion** memory analysis: the 1.5D
+//! approach "cuts down the model replication cost by a factor of Pr,
+//! at the cost of an increase in data replication by a factor of Pc" —
+//! per-process memory across grid configurations for AlexNet at
+//! B = 2048, P = 512.
+//!
+//! ```text
+//! cargo run -p bench --bin memory_table
+//! ```
+
+use bench::{parse_args, Setup};
+use integrated::memory::footprint;
+use integrated::report::Table;
+use integrated::Strategy;
+
+fn main() {
+    let args = parse_args();
+    let setup = Setup::table1();
+    let layers = setup.net.weighted_layers();
+    let b = 2048.0;
+    let p = 512usize;
+
+    let mut t = Table::new(
+        format!("Per-process memory, AlexNet, B = {b}, P = {p} (GB at fp32)"),
+        &["config", "weights", "weight grads", "activations", "total GB"],
+    );
+    let gb = |words: f64| words * setup.machine.word_bytes as f64 / 1e9;
+    for k in 0..=9 {
+        let pr = 1usize << k;
+        let pc = p / pr;
+        let s = Strategy::uniform_grid(pr, pc, layers.len());
+        let f = footprint(&s, &layers, b);
+        t.row(vec![
+            s.name,
+            format!("{:.3}", gb(f.weights)),
+            format!("{:.3}", gb(f.weight_grads)),
+            format!("{:.3}", gb(f.activations)),
+            format!("{:.3}", gb(f.total())),
+        ]);
+    }
+    // Domain-parallel row for contrast (weights fully replicated, but
+    // activations split across all P).
+    let s = Strategy::pure_domain(p, layers.len());
+    let f = footprint(&s, &layers, b);
+    t.row(vec![
+        s.name,
+        format!("{:.3}", gb(f.weights)),
+        format!("{:.3}", gb(f.weight_grads)),
+        format!("{:.3}", gb(f.activations)),
+        format!("{:.3}", gb(f.total())),
+    ]);
+    print!("{}", if args.csv { t.to_csv() } else { t.render() });
+}

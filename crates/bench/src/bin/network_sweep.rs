@@ -1,0 +1,59 @@
+//! Architecture dependence of the integrated approach: the paper's
+//! analysis "is generally applicable to any neural network" — this
+//! sweep runs the full strategy search for every zoo architecture at
+//! the same `(B, P)` and reports each network's best strategy, its
+//! speedup over pure batch, and the continuous optimum `Pr*`.
+//! FC-heavy networks (AlexNet, VGG, RNN, MLP) gain a lot; the
+//! conv-dominated ResNet-style stack gains little — matching the
+//! paper's observation that the savings come from the `|W|/Pr`
+//! reduction of the ∆W all-reduce.
+//!
+//! ```text
+//! cargo run -p bench --bin network_sweep
+//! ```
+
+use bench::figures::pure_batch_baseline;
+use bench::parse_args;
+use dnn::stats::NetworkStats;
+use dnn::zoo::{alexnet, mlp, resnet18ish, rnn_unrolled, vgg16};
+use integrated::bounds::optimal_pr_continuous;
+use integrated::compute::RooflineComputeModel;
+use integrated::optimizer::{best, sweep_conv_batch_fc_grids, sweep_uniform_grids};
+use integrated::report::{fmt_speedup, Table};
+use integrated::MachineModel;
+
+fn main() {
+    let args = parse_args();
+    let machine = MachineModel::cori_knl();
+    let compute = RooflineComputeModel::knl();
+    let (b, p) = (2048.0, 512usize);
+
+    let mut t = Table::new(
+        format!("architecture sweep, B = {b}, P = {p}"),
+        &["network", "params", "FC share", "Pr*", "best strategy", "total speedup", "comm speedup"],
+    );
+    for net in [
+        alexnet(),
+        vgg16(),
+        resnet18ish(),
+        mlp("mlp-4x4096", &[4096, 4096, 4096, 4096, 1000]),
+        rnn_unrolled(1024, 2048, 8, 100),
+    ] {
+        let layers = net.weighted_layers();
+        let stats = NetworkStats::of(&net);
+        let mut evals = sweep_uniform_grids(&net, &layers, b, p, &machine, &compute);
+        evals.extend(sweep_conv_batch_fc_grids(&net, &layers, b, p, &machine, &compute));
+        let base = pure_batch_baseline(&evals).expect("pure batch present");
+        let bst = best(&evals);
+        t.row(vec![
+            net.name.clone(),
+            format!("{:.1}M", stats.total_weights as f64 / 1e6),
+            format!("{:.0}%", stats.fc_weights as f64 / stats.total_weights as f64 * 100.0),
+            format!("{:.0}", optimal_pr_continuous(&layers, b, p)),
+            bst.strategy.name.clone(),
+            fmt_speedup(base.total_seconds / bst.total_seconds),
+            fmt_speedup(base.comm_seconds / bst.comm_seconds),
+        ]);
+    }
+    print!("{}", if args.csv { t.to_csv() } else { t.render() });
+}

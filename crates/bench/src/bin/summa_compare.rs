@@ -1,0 +1,62 @@
+//! Regenerates the paper's **§4 Discussion** comparison: 1.5D vs 2-D
+//! SUMMA (stationary-A and stationary-C) forward-communication volumes
+//! and per-process memory, across grids, in both regimes
+//! (`|W| > B·d`: FC layers; `|W| < B·d`: conv layers). The claims
+//! checked: stationary-A approaches but never beats 1.5D; when the
+//! weights are the smaller matrix every 2D variant is asymptotically
+//! slower; 2D memory is optimal while 1.5D replicates.
+//!
+//! ```text
+//! cargo run -p bench --bin summa_compare
+//! ```
+
+use bench::{parse_args, Setup};
+use integrated::report::Table;
+use integrated::summa_analysis::{
+    memory_1p5d, memory_2d, volume_1p5d, volume_summa_stationary_a,
+    volume_summa_stationary_c,
+};
+
+fn main() {
+    let args = parse_args();
+    let setup = Setup::table1();
+    let layers = setup.net.weighted_layers();
+    let b = 2048.0;
+    let p = 512usize;
+
+    // fc2 (the paper's fc7: 4096x4096 weights, d = 4096) is the
+    // |W| > B·d regime; conv2 is the |W| < B·d regime.
+    for name in ["fc2", "conv2"] {
+        let l = layers.iter().find(|l| l.name == name).expect("layer exists");
+        let w = l.weights as f64;
+        let bd = b * l.d_out() as f64;
+        let regime = if w > bd { "|W| > B*d" } else { "|W| < B*d" };
+        let mut t = Table::new(
+            format!(
+                "1.5D vs SUMMA — {} ({regime}): |W| = {:.2e}, B*d = {:.2e}, P = {p}",
+                l.name, w, bd
+            ),
+            &["grid", "vol 1.5D", "vol 2D stat-A", "vol 2D stat-C", "mem 1.5D", "mem 2D"],
+        );
+        for k in 0..=9 {
+            let pr = 1usize << k;
+            let pc = p / pr;
+            t.row(vec![
+                format!("{pr}x{pc}"),
+                format!("{:.3e}", volume_1p5d(bd, pr, pc)),
+                format!("{:.3e}", volume_summa_stationary_a(bd, pr, pc)),
+                format!("{:.3e}", volume_summa_stationary_c(w, bd, pr, pc)),
+                format!("{:.3e}", memory_1p5d(w, bd, pr, pc)),
+                format!("{:.3e}", memory_2d(w, bd, p)),
+            ]);
+        }
+        print!("{}", if args.csv { t.to_csv() } else { t.render() });
+        // The Discussion's claim, checked numerically over this sweep.
+        let never_beaten = (0..=9).all(|k| {
+            let pr = 1usize << k;
+            let pc = p / pr;
+            volume_summa_stationary_a(bd, pr, pc) >= volume_1p5d(bd, pr, pc)
+        });
+        println!("stationary-A never beats 1.5D over this sweep: {never_beaten}\n");
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates the paper's **Table 1**: the fixed options of the
+//! simulation study (network architecture, training set, computing
+//! platform).
+//!
+//! ```text
+//! cargo run -p bench --bin table1
+//! ```
+
+use bench::{parse_args, Setup};
+use dnn::stats::NetworkStats;
+use integrated::report::Table;
+
+fn main() {
+    let args = parse_args();
+    let setup = Setup::table1();
+    let stats = NetworkStats::of(&setup.net);
+
+    let mut t = Table::new("Table 1: fixed simulation parameters", &["fixed option", "relevant parameters"]);
+    t.row(vec![
+        "Network architecture: AlexNet".into(),
+        format!(
+            "{} conv and {} fully connected layers; parameters: {:.1}M",
+            stats.conv_layers,
+            stats.fc_layers,
+            stats.total_weights as f64 / 1e6
+        ),
+    ]);
+    t.row(vec![
+        "Training images: ImageNet LSVRC-2012".into(),
+        format!(
+            "training images: {:.1}M; number of categories: {}",
+            setup.n_samples / 1e6,
+            dnn::zoo::IMAGENET_CLASSES
+        ),
+    ]);
+    t.row(vec![
+        "Computing platform: NERSC Cori (Intel KNL)".into(),
+        format!(
+            "latency: alpha = {:.0}us; inverse bw: 1/beta = {:.0}GB/s; word = {}B",
+            setup.machine.alpha * 1e6,
+            setup.machine.bandwidth / 1e9,
+            setup.machine.word_bytes
+        ),
+    ]);
+    print!("{}", if args.csv { t.to_csv() } else { t.render() });
+
+    // Supplementary: the per-layer Eq. 2 quantities the cost model
+    // consumes, for cross-checking against the architecture.
+    let mut d = Table::new(
+        "AlexNet weighted layers (Eq. 2 quantities)",
+        &["layer", "input", "output", "d_in", "d_out", "|W|"],
+    );
+    for l in setup.net.weighted_layers() {
+        d.row(vec![
+            l.name.clone(),
+            l.in_shape.to_string(),
+            l.out_shape.to_string(),
+            l.d_in().to_string(),
+            l.d_out().to_string(),
+            l.weights.to_string(),
+        ]);
+    }
+    print!("{}", if args.csv { d.to_csv() } else { d.render() });
+}

@@ -1,0 +1,149 @@
+//! Binomial-tree broadcast and rooted reduce.
+//!
+//! Used by the parameter-server-free initialization of the trainer
+//! (every rank must start from identical weights, which MPI programs
+//! typically establish with a broadcast from rank 0) and as an ablation
+//! point for the cost models. Cost: `⌈log₂ P⌉·(α + n·β)`.
+
+use mpsim::{Communicator, Result, Tag};
+
+use crate::op::ReduceOp;
+
+const BCAST_TAG: Tag = (1 << 48) + 64;
+const REDUCE_TAG: Tag = (1 << 48) + 65;
+
+/// Binomial broadcast from `root`. Non-root ranks may pass an empty
+/// vector; on return every rank holds the root's data.
+pub fn bcast_binomial(comm: &Communicator, data: &mut Vec<f64>, root: usize) -> Result<()> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let vrank = (comm.rank() + p - root) % p;
+    // Find the highest power of two <= p.
+    let mut mask = 1usize;
+    while mask < p {
+        mask <<= 1;
+    }
+    mask >>= 1;
+    // Receive phase: the lowest set bit of vrank determines the parent.
+    if vrank != 0 {
+        let lsb = vrank & vrank.wrapping_neg();
+        let parent_v = vrank - lsb;
+        let parent = (parent_v + root) % p;
+        *data = comm.recv(parent, BCAST_TAG)?;
+    }
+    // Send phase: forward to children vrank + m for each m below our lsb
+    // (or below p for the root), from high to low.
+    let limit = if vrank == 0 { mask << 1 } else { vrank & vrank.wrapping_neg() };
+    let mut m = mask;
+    while m >= 1 {
+        if m < limit && vrank + m < p {
+            let child = (vrank + m + root) % p;
+            comm.send(child, BCAST_TAG, data)?;
+        }
+        if m == 1 {
+            break;
+        }
+        m >>= 1;
+    }
+    Ok(())
+}
+
+/// Binomial-tree reduce to `root`: after the call, `root` holds the
+/// element-wise reduction of all ranks' `data`; other ranks' buffers are
+/// partially reduced garbage.
+pub fn reduce_binomial(
+    comm: &Communicator,
+    data: &mut [f64],
+    op: ReduceOp,
+    root: usize,
+) -> Result<()> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let vrank = (comm.rank() + p - root) % p;
+    let mut m = 1usize;
+    while m < p {
+        if vrank & m != 0 {
+            // Send to parent and exit.
+            let parent = ((vrank - m) + root) % p;
+            comm.send(parent, REDUCE_TAG + m as u64, data)?;
+            return Ok(());
+        }
+        if vrank + m < p {
+            let child = (vrank + m + root) % p;
+            let incoming = comm.recv(child, REDUCE_TAG + m as u64)?;
+            op.apply(data, &incoming);
+        }
+        m <<= 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::{NetModel, World};
+
+    #[test]
+    fn bcast_delivers_root_data_all_roots() {
+        for p in [1, 2, 3, 4, 5, 8, 9] {
+            for root in [0, p - 1, p / 2] {
+                let out = World::run(p, NetModel::free(), move |comm| {
+                    let mut data = if comm.rank() == root {
+                        vec![1.0, 2.0, 3.0]
+                    } else {
+                        Vec::new()
+                    };
+                    bcast_binomial(comm, &mut data, root).unwrap();
+                    data
+                });
+                for r in 0..p {
+                    assert_eq!(out[r], vec![1.0, 2.0, 3.0], "p={p} root={root} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_time_is_logarithmic() {
+        let model = NetModel { alpha: 1.0, beta: 0.0, flops: f64::INFINITY };
+        let p = 16;
+        let out = World::run(p, model, |comm| {
+            let mut data = if comm.rank() == 0 { vec![7.0] } else { Vec::new() };
+            bcast_binomial(comm, &mut data, 0).unwrap();
+            comm.now()
+        });
+        let max = out.iter().cloned().fold(0.0, f64::max);
+        assert!((max - 4.0).abs() < 1e-12, "binomial depth log2(16)=4, got {max}");
+    }
+
+    #[test]
+    fn reduce_accumulates_at_root() {
+        for p in [1, 2, 3, 4, 7, 8] {
+            for root in [0, p - 1] {
+                let out = World::run(p, NetModel::free(), move |comm| {
+                    let mut data = vec![(comm.rank() + 1) as f64; 4];
+                    reduce_binomial(comm, &mut data, ReduceOp::Sum, root).unwrap();
+                    data
+                });
+                let total: f64 = (1..=p).map(|r| r as f64).sum();
+                assert_eq!(out[root], vec![total; 4], "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_then_reduce_roundtrip() {
+        let p = 6;
+        let out = World::run(p, NetModel::free(), |comm| {
+            let mut data = if comm.rank() == 2 { vec![5.0; 8] } else { Vec::new() };
+            bcast_binomial(comm, &mut data, 2).unwrap();
+            reduce_binomial(comm, &mut data, ReduceOp::Sum, 2).unwrap();
+            data
+        });
+        assert_eq!(out[2], vec![5.0 * p as f64; 8]);
+    }
+}

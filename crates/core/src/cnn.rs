@@ -1,0 +1,629 @@
+//! Executable **integrated batch + domain parallel** CNN training —
+//! the end-to-end analog of the paper's Fig. 10 regime, where the
+//! batch-parallel limit `P = B` is passed by also splitting every
+//! image into horizontal strips.
+//!
+//! Processes form a `Pd × Pc` grid: rank `(i, j)` holds strip `i` of
+//! every image in batch shard `j`. Per training step:
+//!
+//! * **conv and pooling layers** run domain-parallel within the
+//!   `Pd`-sized column groups. Stride-1 same-padded convolutions use
+//!   fixed halos; strided convolutions (AlexNet's conv1) and
+//!   overlapping pooling (AlexNet's 3×3/2) use the general
+//!   window-redistribution path (`distmm::domain_general`), whose
+//!   traffic stays boundary-proportional. Conv `∆W` is all-reduced
+//!   over the full grid — exactly Eq. 9's `LD` terms;
+//! * the **FC head** gathers the final strips within each column group
+//!   and is evaluated with replicated weights, its `∆W` all-reduced
+//!   across batch shards. (Sharding the FC head over a `Pr × Pc` grid
+//!   instead is the 1.5D path already exercised end-to-end by
+//!   [`crate::trainer`]; here the FC head is kept replicated so the
+//!   *domain* communication structure is the one under test.)
+//!
+//! The serial reference and every grid shape produce identical weight
+//! trajectories — the synchronous-SGD consistency the paper's
+//! framework guarantees, now including halo exchanges, window
+//! redistributions, argmax gradient routing across strip boundaries,
+//! and the cross-boundary gradient flows of the backward pass. The
+//! `mini_alexnet` test below trains a scaled AlexNet (strided conv1,
+//! overlapping pools, 5 convs + 2 FC) this way.
+
+use dnn::{LayerSpec, Network};
+use mpsim::{NetModel, World, WorldStats};
+use tensor::activation::{
+    relu, relu_backward, relu_backward_tensor, relu_tensor, softmax_xent,
+};
+use tensor::conv::{conv2d_backward, conv2d_direct, Conv2dParams, Tensor4};
+use tensor::init;
+use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use tensor::ops::axpy;
+use tensor::lrn::{lrn_backward, lrn_forward, LrnParams};
+use tensor::pool::{maxpool2d, maxpool2d_backward, Pool2dParams};
+use tensor::Matrix;
+
+use collectives::ring::allgatherv_ring;
+use collectives::{allreduce, ReduceOp};
+use distmm::dist::part_range;
+use distmm::domain_general::{
+    conv_backward as dg_conv_backward, conv_forward as dg_conv_forward,
+    pool_backward as dg_pool_backward, pool_forward as dg_pool_forward,
+};
+
+/// One trunk stage.
+#[derive(Debug, Clone)]
+enum Stage {
+    Conv { params: Conv2dParams, relu: bool, in_h: usize },
+    Pool { params: Pool2dParams, in_h: usize, in_w: usize },
+    /// Local response normalization: per-pixel across channels, so it
+    /// runs locally on strips with zero communication.
+    Lrn { params: LrnParams },
+}
+
+/// One FC stage: `d_in → d_out` plus whether a ReLU follows.
+#[derive(Debug, Clone)]
+struct FcStage {
+    d_in: usize,
+    d_out: usize,
+    relu: bool,
+}
+
+/// The CNN decomposition of a [`Network`]: a conv/pool trunk followed
+/// by an FC head.
+#[derive(Debug, Clone)]
+pub struct CnnSpec {
+    stages: Vec<Stage>,
+    fcs: Vec<FcStage>,
+    /// Input (C, H, W).
+    input: (usize, usize, usize),
+    /// Shape entering the FC head.
+    trunk_out: (usize, usize, usize),
+}
+
+impl CnnSpec {
+    /// Extracts the trunk + FC-head structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unsupported layers (conv after FC, LRN, tanh trunks).
+    pub fn of(net: &Network) -> CnnSpec {
+        let mut stages: Vec<Stage> = Vec::new();
+        let mut fcs: Vec<FcStage> = Vec::new();
+        let mut trunk_out = (net.input.c, net.input.h, net.input.w);
+        for (spec, in_shape, out_shape) in net.layers() {
+            match *spec {
+                LayerSpec::Conv { out_c, kh, kw, stride, pad } => {
+                    assert!(fcs.is_empty(), "conv after FC is unsupported");
+                    stages.push(Stage::Conv {
+                        params: Conv2dParams { in_c: in_shape.c, out_c, kh, kw, stride, pad },
+                        relu: false,
+                        in_h: in_shape.h,
+                    });
+                    trunk_out = (out_shape.c, out_shape.h, out_shape.w);
+                }
+                LayerSpec::MaxPool { k, stride } => {
+                    assert!(fcs.is_empty(), "pooling after FC is unsupported");
+                    stages.push(Stage::Pool {
+                        params: Pool2dParams { k, stride },
+                        in_h: in_shape.h,
+                        in_w: in_shape.w,
+                    });
+                    trunk_out = (out_shape.c, out_shape.h, out_shape.w);
+                }
+                LayerSpec::FullyConnected { .. } => {
+                    fcs.push(FcStage {
+                        d_in: in_shape.dim(),
+                        d_out: out_shape.dim(),
+                        relu: false,
+                    });
+                }
+                LayerSpec::ReLU => {
+                    if let Some(f) = fcs.last_mut() {
+                        f.relu = true;
+                    } else {
+                        match stages.last_mut().expect("ReLU follows a layer") {
+                            Stage::Conv { relu, .. } => *relu = true,
+                            Stage::Pool { .. } | Stage::Lrn { .. } => {
+                                panic!("ReLU directly after pooling/LRN is unsupported")
+                            }
+                        }
+                    }
+                }
+                LayerSpec::LocalResponseNorm => {
+                    assert!(fcs.is_empty(), "LRN after FC is unsupported");
+                    stages.push(Stage::Lrn { params: LrnParams::alexnet() });
+                }
+                LayerSpec::Dropout { .. } => {} // identity here, as in trainer.rs
+                ref other => panic!("cnn trainer does not support {other:?}"),
+            }
+        }
+        assert!(!stages.is_empty(), "cnn trainer expects at least one trunk stage");
+        assert!(!fcs.is_empty(), "cnn trainer expects an FC head");
+        CnnSpec { stages, fcs, input: (net.input.c, net.input.h, net.input.w), trunk_out }
+    }
+
+    fn init_weights(&self, seed: u64) -> (Vec<Matrix>, Vec<Matrix>) {
+        let conv_w: Vec<Matrix> = self
+            .stages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Stage::Conv { params, .. } => {
+                    Some(init::xavier(params.out_c, params.patch_len(), seed + i as u64))
+                }
+                Stage::Pool { .. } | Stage::Lrn { .. } => None,
+            })
+            .collect();
+        let fc_w: Vec<Matrix> = self
+            .fcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| init::xavier(f.d_out, f.d_in, seed + 100 + i as u64))
+            .collect();
+        (conv_w, fc_w)
+    }
+}
+
+/// Training hyper-parameters (shared with the FC trainer).
+pub use crate::trainer::TrainConfig;
+
+/// Serial reference CNN training (full-batch SGD).
+pub struct CnnSerialResult {
+    /// Loss before each update.
+    pub losses: Vec<f64>,
+    /// Final conv weights (in conv-stage order).
+    pub conv_weights: Vec<Matrix>,
+    /// Final FC weights.
+    pub fc_weights: Vec<Matrix>,
+}
+
+enum SerialSaved {
+    Conv { pre: Tensor4 },
+    Pool { argmax: Vec<usize>, in_h: usize, in_w: usize },
+    Lrn,
+}
+
+/// Serial full-batch SGD for the CNN.
+pub fn train_cnn_serial(
+    net: &Network,
+    x: &Tensor4,
+    labels: &[usize],
+    cfg: &TrainConfig,
+) -> CnnSerialResult {
+    let spec = CnnSpec::of(net);
+    assert_eq!((x.c, x.h, x.w), spec.input, "input tensor shape mismatch");
+    let (mut conv_w, mut fc_w) = spec.init_weights(cfg.seed);
+    let mut losses = Vec::with_capacity(cfg.iters);
+    for _ in 0..cfg.iters {
+        // Trunk forward.
+        let mut acts: Vec<Tensor4> = vec![x.clone()];
+        let mut saved: Vec<SerialSaved> = Vec::new();
+        let mut wi = 0usize;
+        for s in &spec.stages {
+            let input = acts.last().expect("act");
+            match s {
+                Stage::Conv { params, relu: has_relu, .. } => {
+                    let pre = conv2d_direct(input, &conv_w[wi], params);
+                    wi += 1;
+                    let post = if *has_relu { relu_tensor(&pre) } else { pre.clone() };
+                    saved.push(SerialSaved::Conv { pre });
+                    acts.push(post);
+                }
+                Stage::Pool { params, in_h, in_w } => {
+                    let (y, argmax) = maxpool2d(input, params);
+                    saved.push(SerialSaved::Pool { argmax, in_h: *in_h, in_w: *in_w });
+                    acts.push(y);
+                }
+                Stage::Lrn { params } => {
+                    let y = lrn_forward(input, params);
+                    saved.push(SerialSaved::Lrn);
+                    acts.push(y);
+                }
+            }
+        }
+        // FC head forward.
+        let mut fc_inputs: Vec<Matrix> = vec![acts.last().expect("trunk out").to_columns()];
+        let mut fc_pres: Vec<Matrix> = Vec::new();
+        for (f, w) in spec.fcs.iter().zip(&fc_w) {
+            let pre = matmul(w, fc_inputs.last().expect("fc in"));
+            let post = if f.relu { relu(&pre) } else { pre.clone() };
+            fc_pres.push(pre);
+            fc_inputs.push(post);
+        }
+        let (loss, grad) = softmax_xent(fc_inputs.last().expect("logits"), labels);
+        losses.push(loss);
+        // FC backward.
+        let mut dy = grad;
+        for (idx, f) in spec.fcs.iter().enumerate().rev() {
+            if f.relu {
+                dy = relu_backward(&fc_pres[idx], &dy);
+            }
+            let dw = matmul_a_bt(&dy, &fc_inputs[idx]);
+            let dx = matmul_at_b(&fc_w[idx], &dy);
+            axpy(-cfg.lr, dw.as_slice(), fc_w[idx].as_mut_slice());
+            dy = dx;
+        }
+        // Trunk backward.
+        let (c0, h0, w0) = spec.trunk_out;
+        let mut dt = Tensor4::from_columns(&dy, c0, h0, w0);
+        let mut wi = conv_w.len();
+        for (idx, s) in spec.stages.iter().enumerate().rev() {
+            match (s, &saved[idx]) {
+                (Stage::Conv { params, relu: has_relu, .. }, SerialSaved::Conv { pre }) => {
+                    wi -= 1;
+                    if *has_relu {
+                        dt = relu_backward_tensor(pre, &dt);
+                    }
+                    let (dw, dx) = conv2d_backward(&acts[idx], &conv_w[wi], &dt, params);
+                    axpy(-cfg.lr, dw.as_slice(), conv_w[wi].as_mut_slice());
+                    dt = dx;
+                }
+                (Stage::Pool { .. }, SerialSaved::Pool { argmax, in_h, in_w }) => {
+                    dt = maxpool2d_backward(&dt, argmax, *in_h, *in_w);
+                }
+                (Stage::Lrn { params }, SerialSaved::Lrn) => {
+                    dt = lrn_backward(&acts[idx], &dt, params);
+                }
+                _ => unreachable!("saved state matches stage kind"),
+            }
+        }
+    }
+    CnnSerialResult { losses, conv_weights: conv_w, fc_weights: fc_w }
+}
+
+/// Per-rank outcome of the distributed CNN run.
+pub struct CnnRankOutcome {
+    /// Strip index `i` (domain dimension).
+    pub i: usize,
+    /// Batch shard index `j`.
+    pub j: usize,
+    /// Scaled per-iteration loss share (sums to the global loss over
+    /// one domain row, i.e. over `j` at fixed `i`).
+    pub partial_losses: Vec<f64>,
+    /// Final conv weights (replicated — identical on every rank).
+    pub conv_weights: Vec<Matrix>,
+    /// Final FC weights (replicated).
+    pub fc_weights: Vec<Matrix>,
+}
+
+/// Outcome of the distributed CNN run.
+pub struct CnnDistResult {
+    /// Domain extent.
+    pub pd: usize,
+    /// Batch extent.
+    pub pc: usize,
+    /// Per-rank outcomes in row-major grid order.
+    pub per_rank: Vec<CnnRankOutcome>,
+    /// Virtual time and traffic.
+    pub stats: WorldStats,
+}
+
+impl CnnDistResult {
+    /// Global loss per iteration (summed over batch shards of strip 0).
+    pub fn losses(&self) -> Vec<f64> {
+        let iters = self.per_rank[0].partial_losses.len();
+        (0..iters)
+            .map(|t| {
+                self.per_rank
+                    .iter()
+                    .filter(|r| r.i == 0)
+                    .map(|r| r.partial_losses[t])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Maximum weight divergence between any two ranks (should be ~0:
+    /// all weights are replicated).
+    pub fn replica_divergence(&self) -> f64 {
+        let a = &self.per_rank[0];
+        let mut worst: f64 = 0.0;
+        for r in &self.per_rank[1..] {
+            for (x, y) in r.conv_weights.iter().zip(&a.conv_weights) {
+                worst = worst.max(x.max_abs_diff(y));
+            }
+            for (x, y) in r.fc_weights.iter().zip(&a.fc_weights) {
+                worst = worst.max(x.max_abs_diff(y));
+            }
+        }
+        worst
+    }
+}
+
+enum DistSaved {
+    Conv { pre_strip: Tensor4 },
+    Pool { argmax: Vec<usize> },
+    Lrn,
+}
+
+/// Distributed integrated batch+domain CNN training on a `pd × pc`
+/// grid over the simulated cluster.
+pub fn train_cnn_domain(
+    net: &Network,
+    x: &Tensor4,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    pd: usize,
+    pc: usize,
+    model: NetModel,
+) -> CnnDistResult {
+    let spec = CnnSpec::of(net);
+    let b_global = x.n;
+    let (per_rank, stats) = World::run_with_stats(pd * pc, model, |comm| {
+        // Row-major grid: i = strip index (domain), j = batch shard.
+        let i = comm.rank() / pc;
+        let j = comm.rank() % pc;
+        let (row_comm, col_comm) = comm.grid(pd, pc).expect("grid tiles the world");
+
+        let (mut conv_w, mut fc_w) = spec.init_weights(cfg.seed);
+        let batch_range = part_range(b_global, pc, j);
+        let in_strip = part_range(x.h, pd, i);
+        let x_shard = Tensor4::from_fn(
+            batch_range.len(),
+            x.c,
+            in_strip.len(),
+            x.w,
+            |n, c, hh, ww| x.get(batch_range.start + n, c, in_strip.start + hh, ww),
+        );
+        let labels_local = &labels[batch_range.clone()];
+        let b_local = batch_range.len();
+
+        let mut partial_losses = Vec::with_capacity(cfg.iters);
+        for _ in 0..cfg.iters {
+            // Trunk forward on strips.
+            let mut acts: Vec<Tensor4> = vec![x_shard.clone()];
+            let mut saved: Vec<DistSaved> = Vec::new();
+            let mut wi = 0usize;
+            for s in &spec.stages {
+                let input = acts.last().expect("act");
+                match s {
+                    Stage::Conv { params, relu: has_relu, in_h, .. } => {
+                        let pre = dg_conv_forward(&col_comm, input, &conv_w[wi], params, *in_h)
+                            .expect("domain conv forward");
+                        wi += 1;
+                        let post = if *has_relu { relu_tensor(&pre) } else { pre.clone() };
+                        saved.push(DistSaved::Conv { pre_strip: pre });
+                        acts.push(post);
+                    }
+                    Stage::Pool { params, in_h, in_w: _ } => {
+                        let (y, argmax) = dg_pool_forward(&col_comm, input, params, *in_h)
+                            .expect("domain pool forward");
+                        saved.push(DistSaved::Pool { argmax });
+                        acts.push(y);
+                    }
+                    Stage::Lrn { params } => {
+                        // Per-pixel across channels: strictly local on
+                        // strips — zero communication, as the cost
+                        // model assumes for normalization layers.
+                        let y = lrn_forward(input, params);
+                        saved.push(DistSaved::Lrn);
+                        acts.push(y);
+                    }
+                }
+            }
+            // Gather strips within the column group to assemble the
+            // full trunk output for this batch shard.
+            let (c0, h0, w0) = spec.trunk_out;
+            let trunk = acts.last().expect("trunk out");
+            let full_trunk = if pd == 1 {
+                trunk.clone()
+            } else {
+                let blocks =
+                    allgatherv_ring(&col_comm, trunk.as_slice()).expect("strip gather");
+                let mut full = Tensor4::zeros(b_local, c0, h0, w0);
+                for (src, block) in blocks.iter().enumerate() {
+                    let sr = part_range(h0, pd, src);
+                    if sr.is_empty() {
+                        continue;
+                    }
+                    let t = Tensor4::from_fn(b_local, c0, sr.len(), w0, |n, c, hh, ww| {
+                        block[((n * c0 + c) * sr.len() + hh) * w0 + ww]
+                    });
+                    full.set_row_strip(sr.start, &t);
+                }
+                full
+            };
+            // FC head forward (replicated weights, full shard batch).
+            let mut fc_inputs: Vec<Matrix> = vec![full_trunk.to_columns()];
+            let mut fc_pres: Vec<Matrix> = Vec::new();
+            for (f, w) in spec.fcs.iter().zip(&fc_w) {
+                let pre = matmul(w, fc_inputs.last().expect("fc in"));
+                let post = if f.relu { relu(&pre) } else { pre.clone() };
+                fc_pres.push(pre);
+                fc_inputs.push(post);
+            }
+            let (loss_local, mut grad) =
+                softmax_xent(fc_inputs.last().expect("logits"), labels_local);
+            let scale = b_local as f64 / b_global as f64;
+            for g in grad.as_mut_slice() {
+                *g *= scale;
+            }
+            partial_losses.push(loss_local * scale);
+            // FC backward with ∆W summed across batch shards.
+            let mut dy = grad;
+            for (idx, f) in spec.fcs.iter().enumerate().rev() {
+                if f.relu {
+                    dy = relu_backward(&fc_pres[idx], &dy);
+                }
+                let mut dw = matmul_a_bt(&dy, &fc_inputs[idx]);
+                allreduce(&row_comm, dw.as_mut_slice(), ReduceOp::Sum)
+                    .expect("fc dW allreduce");
+                let dx = matmul_at_b(&fc_w[idx], &dy);
+                axpy(-cfg.lr, dw.as_slice(), fc_w[idx].as_mut_slice());
+                dy = dx;
+            }
+            // Back to strips: every rank keeps its strip of the trunk
+            // gradient (free slice).
+            let dt_full = Tensor4::from_columns(&dy, c0, h0, w0);
+            let out_strip = part_range(h0, pd, i);
+            let mut dt = dt_full.row_strip(out_strip.start, out_strip.end);
+            // Trunk backward on strips.
+            let mut wi = conv_w.len();
+            for (idx, s) in spec.stages.iter().enumerate().rev() {
+                match (s, &saved[idx]) {
+                    (
+                        Stage::Conv { params, relu: has_relu, in_h, .. },
+                        DistSaved::Conv { pre_strip },
+                    ) => {
+                        wi -= 1;
+                        if *has_relu {
+                            dt = relu_backward_tensor(pre_strip, &dt);
+                        }
+                        let (mut dw, dx) = dg_conv_backward(
+                            &col_comm,
+                            &acts[idx],
+                            &conv_w[wi],
+                            &dt,
+                            params,
+                            *in_h,
+                        )
+                        .expect("domain conv backward");
+                        allreduce(&row_comm, dw.as_mut_slice(), ReduceOp::Sum)
+                            .expect("conv dW allreduce");
+                        axpy(-cfg.lr, dw.as_slice(), conv_w[wi].as_mut_slice());
+                        dt = dx;
+                    }
+                    (Stage::Pool { params, in_h, in_w }, DistSaved::Pool { argmax, .. }) => {
+                        dt = dg_pool_backward(&col_comm, &dt, argmax, params, *in_h, *in_w)
+                            .expect("domain pool backward");
+                    }
+                    (Stage::Lrn { params }, DistSaved::Lrn) => {
+                        dt = lrn_backward(&acts[idx], &dt, params);
+                    }
+                    _ => unreachable!("saved state matches stage kind"),
+                }
+            }
+        }
+        CnnRankOutcome { i, j, partial_losses, conv_weights: conv_w, fc_weights: fc_w }
+    });
+    CnnDistResult { pd, pc, per_rank, stats }
+}
+
+/// Synthetic NCHW classification data for a CNN.
+pub fn synthetic_images(net: &Network, b: usize, seed: u64) -> (Tensor4, Vec<usize>) {
+    let classes = net.output().dim();
+    (
+        init::uniform_tensor(b, net.input.c, net.input.h, net.input.w, -1.0, 1.0, seed),
+        init::labels(b, classes, seed.wrapping_add(1)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::zoo::mini_alexnet;
+    use dnn::{NetworkBuilder, Shape};
+
+    fn tiny_cnn() -> Network {
+        NetworkBuilder::new("tiny-cnn", Shape::new(2, 12, 6))
+            .conv_relu(4, 3, 1, 1)
+            .conv_relu(4, 1, 1, 0) // a 1x1 stage: zero-halo path
+            .conv_relu(3, 3, 1, 1)
+            .layer(LayerSpec::FullyConnected { out: 16 })
+            .layer(LayerSpec::ReLU)
+            .layer(LayerSpec::FullyConnected { out: 5 })
+            .build()
+            .unwrap()
+    }
+
+    fn max_diff(a: &[Matrix], b: &[Matrix]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x.max_abs_diff(y)).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn serial_cnn_loss_decreases() {
+        let net = tiny_cnn();
+        let (x, labels) = synthetic_images(&net, 10, 3);
+        let r = train_cnn_serial(&net, &x, &labels, &TrainConfig { lr: 0.05, iters: 15, seed: 5 });
+        assert!(
+            r.losses.last().unwrap() < &(r.losses[0] * 0.95),
+            "{:?}",
+            r.losses
+        );
+    }
+
+    #[test]
+    fn domain_grids_match_serial() {
+        let net = tiny_cnn();
+        let (x, labels) = synthetic_images(&net, 8, 3);
+        let cfg = TrainConfig { lr: 0.05, iters: 4, seed: 5 };
+        let serial = train_cnn_serial(&net, &x, &labels, &cfg);
+        for (pd, pc) in [(1, 1), (2, 1), (1, 2), (2, 2), (3, 2), (4, 2)] {
+            let dist = train_cnn_domain(&net, &x, &labels, &cfg, pd, pc, NetModel::free());
+            let dc = max_diff(&serial.conv_weights, &dist.per_rank[0].conv_weights);
+            let df = max_diff(&serial.fc_weights, &dist.per_rank[0].fc_weights);
+            assert!(dc < 1e-9 && df < 1e-9, "grid {pd}x{pc}: conv {dc} fc {df}");
+            for (s, g) in serial.losses.iter().zip(dist.losses()) {
+                assert!((s - g).abs() < 1e-9, "grid {pd}x{pc}: loss {s} vs {g}");
+            }
+            assert!(dist.replica_divergence() < 1e-12, "grid {pd}x{pc}");
+        }
+    }
+
+    #[test]
+    fn beyond_batch_limit_grid_works() {
+        // The Fig. 10 situation: more processes than samples. B = 2,
+        // P = 8 = 4 strips x 2 batch shards.
+        let net = tiny_cnn();
+        let (x, labels) = synthetic_images(&net, 2, 7);
+        let cfg = TrainConfig { lr: 0.05, iters: 3, seed: 5 };
+        let serial = train_cnn_serial(&net, &x, &labels, &cfg);
+        let dist = train_cnn_domain(&net, &x, &labels, &cfg, 4, 2, NetModel::free());
+        assert!(max_diff(&serial.conv_weights, &dist.per_rank[0].conv_weights) < 1e-9);
+        assert!(max_diff(&serial.fc_weights, &dist.per_rank[0].fc_weights) < 1e-9);
+    }
+
+    #[test]
+    fn domain_split_charges_halo_traffic() {
+        let net = tiny_cnn();
+        let (x, labels) = synthetic_images(&net, 4, 9);
+        let cfg = TrainConfig { lr: 0.05, iters: 1, seed: 5 };
+        let d1 = train_cnn_domain(&net, &x, &labels, &cfg, 1, 2, NetModel::cori_knl());
+        let d4 = train_cnn_domain(&net, &x, &labels, &cfg, 4, 2, NetModel::cori_knl());
+        // Domain split introduces halo + strip-gather traffic on top of
+        // the weight all-reduces.
+        assert!(d4.stats.total_words() > d1.stats.total_words());
+        assert!(d4.stats.makespan() > 0.0);
+    }
+
+    #[test]
+    fn mini_alexnet_trains_with_domain_parallelism() {
+        // The flagship: a scaled AlexNet — strided conv1, overlapping
+        // 3x3/2 pools, five convs, two FC layers — trained end-to-end
+        // with integrated batch+domain parallelism, matching serial.
+        let net = mini_alexnet();
+        let (x, labels) = synthetic_images(&net, 4, 17);
+        let cfg = TrainConfig { lr: 0.02, iters: 2, seed: 23 };
+        let serial = train_cnn_serial(&net, &x, &labels, &cfg);
+        for (pd, pc) in [(2, 1), (2, 2), (3, 1)] {
+            let dist = train_cnn_domain(&net, &x, &labels, &cfg, pd, pc, NetModel::free());
+            let dc = max_diff(&serial.conv_weights, &dist.per_rank[0].conv_weights);
+            let df = max_diff(&serial.fc_weights, &dist.per_rank[0].fc_weights);
+            assert!(dc < 1e-8 && df < 1e-8, "grid {pd}x{pc}: conv {dc} fc {df}");
+        }
+    }
+
+    #[test]
+    fn pooling_only_trunk_is_supported() {
+        let net = NetworkBuilder::new("convpool", Shape::new(1, 8, 4))
+            .conv_relu(2, 3, 1, 1)
+            .layer(LayerSpec::MaxPool { k: 2, stride: 2 })
+            .layer(LayerSpec::FullyConnected { out: 3 })
+            .build()
+            .unwrap();
+        let (x, labels) = synthetic_images(&net, 4, 2);
+        let cfg = TrainConfig { lr: 0.05, iters: 3, seed: 3 };
+        let serial = train_cnn_serial(&net, &x, &labels, &cfg);
+        let dist = train_cnn_domain(&net, &x, &labels, &cfg, 2, 2, NetModel::free());
+        assert!(max_diff(&serial.conv_weights, &dist.per_rank[0].conv_weights) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an FC head")]
+    fn headless_cnn_is_rejected() {
+        let net = NetworkBuilder::new("headless", Shape::new(1, 4, 4))
+            .conv_relu(2, 3, 1, 1)
+            .build()
+            .unwrap();
+        let _ = CnnSpec::of(&net);
+    }
+}

@@ -1,0 +1,80 @@
+//! Eq. 5 — the model-vs-batch communication-volume crossover for a
+//! convolutional layer.
+//!
+//! ```text
+//! volume(batch) / volume(model) = 2·|W_i| / (3·B·d_i)
+//!                               = 2·kh·kw·X_C / (3·B·Y_H·Y_W)
+//! ```
+//!
+//! Batch parallelism wins when the ratio is below one, i.e. when
+//! `B > 2·kh·kw·X_C / (3·Y_H·Y_W)`. The paper's worked example: AlexNet
+//! 3×3 filters on 13×13×384 input activations give a crossover near
+//! `B = 12` — "it is not a foregone conclusion that batch parallelism
+//! is always favorable".
+
+use dnn::WeightedLayer;
+
+/// The Eq. 5 ratio `Tcomm-volume(batch) / Tcomm-volume(model)` at batch
+/// size `b`: `2|W_i| / (3·B·d_i)`. Values below 1 mean batch
+/// parallelism moves less data. Defined for FC layers too (the same
+/// `2|W|/3Bd` volume argument applies).
+pub fn batch_over_model_volume_ratio(l: &WeightedLayer, b: f64) -> f64 {
+    2.0 * l.weights as f64 / (3.0 * b * l.d_out() as f64)
+}
+
+/// The crossover batch size `B* = 2|W_i| / (3·d_i)`: model parallelism
+/// moves less data for `B < B*`, batch parallelism for `B > B*`.
+pub fn crossover_batch(l: &WeightedLayer) -> f64 {
+    2.0 * l.weights as f64 / (3.0 * l.d_out() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::zoo::alexnet;
+
+    #[test]
+    fn alexnet_3x3_on_13x13x384_crosses_near_12() {
+        // The paper: "model parallelism has lower communication volume
+        // than batch parallelism for B ≤ 12" for this layer (conv4:
+        // 3x3x384 filters on 13x13x384).
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let conv4 = &layers[3];
+        assert_eq!(conv4.in_shape.c, 384);
+        let b_star = crossover_batch(conv4);
+        // 2*3*3*384 / (3*13*13) = 6912/507 ≈ 13.6 — the paper rounds to
+        // "B ≤ 12"; check the stated inequality holds at 12 and fails
+        // at 14.
+        assert!((13.0..15.0).contains(&b_star), "B* = {b_star}");
+        assert!(batch_over_model_volume_ratio(conv4, 12.0) > 1.0);
+        assert!(batch_over_model_volume_ratio(conv4, 14.0) < 1.0);
+    }
+
+    #[test]
+    fn fc_layers_favor_model_parallelism_much_longer() {
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let fc6 = &layers[5];
+        // |W| = 9216*4096, d = 4096: B* = 2*9216/3 = 6144.
+        assert!((crossover_batch(fc6) - 6144.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_decreases_with_batch() {
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let l = &layers[1];
+        assert!(batch_over_model_volume_ratio(l, 8.0) > batch_over_model_volume_ratio(l, 64.0));
+    }
+
+    #[test]
+    fn ratio_is_one_at_crossover() {
+        let net = alexnet();
+        for l in net.weighted_layers() {
+            let b_star = crossover_batch(&l);
+            let r = batch_over_model_volume_ratio(&l, b_star);
+            assert!((r - 1.0).abs() < 1e-12, "{}: {r}", l.name);
+        }
+    }
+}

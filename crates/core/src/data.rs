@@ -1,0 +1,186 @@
+//! Synthetic datasets.
+//!
+//! The paper's analysis touches data only through the sample count `N`
+//! and shapes (DESIGN.md: ImageNet enters as `N = 1,281,167`), but the
+//! executable trainer deserves a dataset it can actually *learn*, so
+//! convergence is demonstrable and serial-vs-distributed comparisons
+//! run over multiple epochs of real mini-batches. Gaussian blobs — one
+//! cluster per class — are the standard choice: linearly separable for
+//! well-separated centers, so a small MLP should reach high accuracy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Matrix;
+
+/// A labelled dataset in the paper's column-per-sample layout.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `d × N` inputs, one column per sample.
+    pub x: Matrix,
+    /// `N` class labels.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The columns (and labels) at the given indices, as a new batch.
+    pub fn batch(&self, idx: &[usize]) -> (Matrix, Vec<usize>) {
+        let d = self.x.rows();
+        let m = Matrix::from_fn(d, idx.len(), |r, c| self.x.get(r, idx[c]));
+        let labels = idx.iter().map(|&i| self.labels[i]).collect();
+        (m, labels)
+    }
+}
+
+/// Draws a Gaussian-blob classification problem: `classes` cluster
+/// centers on a scaled hypercube-corner pattern, `n` samples assigned
+/// round-robin to classes with isotropic noise `spread`. Deterministic
+/// in `seed`.
+pub fn gaussian_blobs(d: usize, classes: usize, n: usize, spread: f64, seed: u64) -> Dataset {
+    assert!(classes >= 2, "need at least two classes");
+    assert!(d >= 1, "need at least one feature");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Centers: deterministic ±2 corner patterns per class.
+    let centers: Vec<Vec<f64>> = (0..classes)
+        .map(|c| {
+            (0..d)
+                .map(|j| {
+                    let sign = if (c >> (j % 60)) & 1 == 1 { 1.0 } else { -1.0 };
+                    sign * (j % 3 + 1) as f64
+                })
+                .collect()
+        })
+        .collect();
+    let mut x = Matrix::zeros(d, n);
+    let mut labels = Vec::with_capacity(n);
+    for s in 0..n {
+        let c = s % classes;
+        labels.push(c);
+        for j in 0..d {
+            // Box-Muller-free noise: sum of uniforms is near-Gaussian
+            // and keeps us off rand's normal-distribution features.
+            let noise: f64 =
+                (0..4).map(|_| rng.random_range(-0.5..0.5)).sum::<f64>() * spread;
+            x.set(j, s, centers[c][j] + noise);
+        }
+    }
+    Dataset { x, labels, classes }
+}
+
+/// A deterministic epoch order: a permutation of `0..n` drawn from
+/// `seed` (different per epoch if the caller mixes the epoch index into
+/// the seed).
+pub fn epoch_order(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Classification accuracy of predictions against labels.
+pub fn accuracy(preds: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "prediction/label count mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let hits = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    hits as f64 / preds.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_are_deterministic_and_shaped() {
+        let a = gaussian_blobs(8, 3, 30, 0.3, 1);
+        let b = gaussian_blobs(8, 3, 30, 0.3, 1);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.x.shape(), (8, 30));
+        assert!(a.labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn classes_are_balanced_round_robin() {
+        let d = gaussian_blobs(4, 3, 30, 0.1, 2);
+        for c in 0..3 {
+            assert_eq!(d.labels.iter().filter(|&&l| l == c).count(), 10);
+        }
+    }
+
+    #[test]
+    fn batch_extracts_columns() {
+        let d = gaussian_blobs(3, 2, 10, 0.1, 3);
+        let (x, labels) = d.batch(&[7, 0, 3]);
+        assert_eq!(x.shape(), (3, 3));
+        assert_eq!(x.get(1, 0), d.x.get(1, 7));
+        assert_eq!(labels, vec![d.labels[7], d.labels[0], d.labels[3]]);
+    }
+
+    #[test]
+    fn epoch_order_is_a_permutation() {
+        let idx = epoch_order(50, 9);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(idx, (0..50).collect::<Vec<_>>(), "shuffled");
+        assert_eq!(idx, epoch_order(50, 9), "deterministic");
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn well_separated_blobs_are_nearly_linearly_labelable() {
+        // A nearest-centroid rule should get almost everything right at
+        // low spread — the sanity floor for trainer convergence tests.
+        let d = gaussian_blobs(6, 4, 200, 0.2, 11);
+        let mut centers = vec![vec![0.0; 6]; 4];
+        let mut counts = [0usize; 4];
+        for s in 0..d.len() {
+            let c = d.labels[s];
+            counts[c] += 1;
+            for j in 0..6 {
+                centers[c][j] += d.x.get(j, s);
+            }
+        }
+        for (c, center) in centers.iter_mut().enumerate() {
+            for v in center.iter_mut() {
+                *v /= counts[c] as f64;
+            }
+        }
+        let preds: Vec<usize> = (0..d.len())
+            .map(|s| {
+                (0..4)
+                    .min_by(|&a, &b| {
+                        let da: f64 =
+                            (0..6).map(|j| (d.x.get(j, s) - centers[a][j]).powi(2)).sum();
+                        let db: f64 =
+                            (0..6).map(|j| (d.x.get(j, s) - centers[b][j]).powi(2)).sum();
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap()
+            })
+            .collect();
+        assert!(accuracy(&preds, &d.labels) > 0.95);
+    }
+}

@@ -1,0 +1,90 @@
+//! The machine model — the paper's Table 1 fixed parameters.
+
+use collectives::cost::CostTerms;
+use mpsim::NetModel;
+
+/// Hardware parameters for the cost model: interconnect latency and
+/// bandwidth, word size, and the per-process sustained FLOP rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineModel {
+    /// Per-message latency α in seconds.
+    pub alpha: f64,
+    /// Link bandwidth in bytes per second (the paper quotes `1/β`).
+    pub bandwidth: f64,
+    /// Bytes per word (4 for the fp32 activations/weights the paper's
+    /// setup implies).
+    pub word_bytes: usize,
+    /// Sustained per-process FLOP rate, used when compute time is
+    /// charged from raw FLOPs rather than the empirical curve.
+    pub flops: f64,
+}
+
+impl MachineModel {
+    /// The paper's Table 1 platform: NERSC Cori, Intel KNL nodes,
+    /// α = 2 µs, 1/β = 6 GB/s. The 3 TFLOP/s sustained rate is a
+    /// nominal KNL figure (the paper reads compute off an empirical
+    /// curve instead; see `compute::KnlComputeModel`).
+    pub fn cori_knl() -> Self {
+        MachineModel { alpha: 2e-6, bandwidth: 6e9, word_bytes: 4, flops: 3e12 }
+    }
+
+    /// Inverse bandwidth in seconds per word.
+    pub fn beta(&self) -> f64 {
+        self.word_bytes as f64 / self.bandwidth
+    }
+
+    /// Converts a symbolic α–β cost to seconds on this machine.
+    pub fn seconds(&self, c: CostTerms) -> f64 {
+        c.alpha * self.alpha + c.words * self.beta()
+    }
+
+    /// The equivalent `mpsim` network model (for executable runs).
+    pub fn net_model(&self) -> NetModel {
+        NetModel { alpha: self.alpha, beta: self.beta(), flops: self.flops }
+    }
+
+    /// A copy with a different word size (fp16/fp64 gradient ablation).
+    pub fn with_word_bytes(self, word_bytes: usize) -> Self {
+        MachineModel { word_bytes, ..self }
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        MachineModel::cori_knl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cori_beta_is_table1() {
+        let m = MachineModel::cori_knl();
+        assert_eq!(m.alpha, 2e-6);
+        assert!((m.beta() - 4.0 / 6e9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn seconds_combines_terms() {
+        let m = MachineModel { alpha: 1.0, bandwidth: 2.0, word_bytes: 2, flops: 1.0 };
+        // beta = 1 s/word.
+        let c = CostTerms::new(3.0, 4.0);
+        assert!((m.seconds(c) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_size_scales_beta() {
+        let m = MachineModel::cori_knl();
+        assert!((m.with_word_bytes(8).beta() - 2.0 * m.beta()).abs() < 1e-20);
+    }
+
+    #[test]
+    fn net_model_roundtrip() {
+        let m = MachineModel::cori_knl();
+        let n = m.net_model();
+        assert_eq!(n.alpha, m.alpha);
+        assert_eq!(n.beta, m.beta());
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-process memory model — the paper's §4 Discussion.
+//!
+//! "The 1.5D matrix-multiplication algorithms used by our integrated
+//! parallel approach cut down the model replication cost by a factor of
+//! `Pr`, at the cost of an increase in data replication by a factor of
+//! `Pc`. … our memory costs are simply a linear combination of the
+//! memory costs of these two extremes."
+//!
+//! Counted per process, in words: weights `Σ|W_i|/pr_l` (plus the same
+//! again for the gradient buffer) and activations `Σ(d_{i−1}+d_i)·B/p̂`
+//! where `p̂` is `pc` for model/batch layers and the full `pd·pc` for
+//! domain layers (the domain split divides the activations too).
+
+use dnn::WeightedLayer;
+
+use crate::strategy::{LayerParallelism, Strategy};
+
+/// Per-process memory footprint, in words.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryFootprint {
+    /// Weight storage (model shard).
+    pub weights: f64,
+    /// Weight-gradient storage (same shape as weights).
+    pub weight_grads: f64,
+    /// Activation + activation-gradient storage.
+    pub activations: f64,
+}
+
+impl MemoryFootprint {
+    /// Total words per process.
+    pub fn total(&self) -> f64 {
+        self.weights + self.weight_grads + self.activations
+    }
+
+    /// Total bytes per process for a given word size.
+    pub fn bytes(&self, word_bytes: usize) -> f64 {
+        self.total() * word_bytes as f64
+    }
+}
+
+/// Memory footprint of one process under a strategy with global batch
+/// `b`.
+pub fn footprint(strategy: &Strategy, layers: &[WeightedLayer], b: f64) -> MemoryFootprint {
+    assert_eq!(layers.len(), strategy.layers.len(), "assignment/layer count mismatch");
+    let mut f = MemoryFootprint::default();
+    for (l, a) in layers.iter().zip(&strategy.layers) {
+        match *a {
+            LayerParallelism::ModelBatch { pr, pc } => {
+                let w = l.weights as f64 / pr as f64;
+                f.weights += w;
+                f.weight_grads += w;
+                // Input and output activations (and their gradients,
+                // same size again) at B/pc columns. The forward
+                // all-gather materializes the full-depth output, so the
+                // d_i term is NOT divided by pr — the data-replication
+                // cost the Discussion mentions.
+                f.activations += 2.0 * (l.d_in() + l.d_out()) as f64 * b / pc as f64;
+            }
+            LayerParallelism::Domain { pd, pc } => {
+                // Weights fully replicated (as in pure batch).
+                f.weights += l.weights as f64;
+                f.weight_grads += l.weights as f64;
+                // Activations split across both domain and batch.
+                f.activations +=
+                    2.0 * (l.d_in() + l.d_out()) as f64 * b / (pd * pc) as f64;
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::zoo::alexnet;
+
+    #[test]
+    fn pure_batch_replicates_whole_model() {
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let s = Strategy::pure_batch(64, layers.len());
+        let f = footprint(&s, &layers, 2048.0);
+        assert!((f.weights - net.total_weights() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pr_divides_weight_memory() {
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let batch = footprint(&Strategy::uniform_grid(1, 64, layers.len()), &layers, 2048.0);
+        let grid = footprint(&Strategy::uniform_grid(16, 4, layers.len()), &layers, 2048.0);
+        assert!((batch.weights / grid.weights - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pc_divides_activation_memory() {
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let a = footprint(&Strategy::uniform_grid(8, 8, layers.len()), &layers, 2048.0);
+        let b = footprint(&Strategy::uniform_grid(8, 2, layers.len()), &layers, 2048.0);
+        assert!((b.activations / a.activations - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn domain_splits_activations_but_not_weights() {
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let s = Strategy::pure_domain(8, layers.len());
+        let f = footprint(&s, &layers, 64.0);
+        assert!((f.weights - net.total_weights() as f64).abs() < 1e-6);
+        let serial = footprint(&Strategy::pure_domain(1, layers.len()), &layers, 64.0);
+        assert!((serial.activations / f.activations - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_scale_with_word_size() {
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let f = footprint(&Strategy::pure_batch(4, layers.len()), &layers, 64.0);
+        assert!((f.bytes(8) / f.bytes(4) - 2.0).abs() < 1e-12);
+    }
+}

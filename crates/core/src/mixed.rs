@@ -1,0 +1,289 @@
+//! Executable training with **per-layer process grids** — the paper's
+//! Fig. 7 / Fig. 10 structure where different layers use different
+//! `Pr × Pc` factorizations of the same `P`, glued together by the
+//! Eq. 6 redistribution (which the paper shows is asymptotically free).
+//!
+//! Every weighted layer `l` gets its own `(Pr_l, Pc_l)`; between
+//! layers, activations (forward) and activation gradients (backward)
+//! are re-laid-out with `distmm::cols::redistribute_cols` — pair-wise
+//! sends of exactly the overlap volumes, with one designated sender
+//! per source replica group. The result is still synchronous SGD: all
+//! grid sequences reproduce the serial trajectory exactly, which the
+//! tests pin down (including the Fig. 7 pattern of `1 × P` early
+//! layers feeding grid-parallel late layers).
+
+use dnn::Network;
+use mpsim::{NetModel, World, WorldStats};
+use tensor::activation::softmax_xent;
+use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use tensor::ops::axpy;
+use tensor::Matrix;
+
+use collectives::ring::allgatherv_ring;
+use collectives::{allreduce, ReduceOp};
+use distmm::cols::redistribute_cols;
+use distmm::dist::{part_range, row_shard};
+
+use crate::trainer::{act_backward, apply_act, extract_fc_layers, init_weights, TrainConfig};
+
+/// A per-layer grid assignment for an FC network: `grids[l] = (pr, pc)`
+/// with `pr·pc = P` for every layer.
+#[derive(Debug, Clone)]
+pub struct MixedGrids {
+    /// Total process count.
+    pub p: usize,
+    /// One `(pr, pc)` per weighted layer.
+    pub grids: Vec<(usize, usize)>,
+}
+
+impl MixedGrids {
+    /// Validates that every layer's grid tiles `p`.
+    pub fn new(p: usize, grids: Vec<(usize, usize)>) -> Result<MixedGrids, String> {
+        for (l, &(pr, pc)) in grids.iter().enumerate() {
+            if pr * pc != p {
+                return Err(format!("layer {l}: {pr}x{pc} does not tile P = {p}"));
+            }
+        }
+        Ok(MixedGrids { p, grids })
+    }
+
+    /// The Fig. 7 pattern for an `n_layers` FC stack: the first
+    /// `batch_layers` layers pure batch (`1 × P`), the rest on
+    /// `pr × pc`.
+    pub fn head_batch_tail_grid(
+        p: usize,
+        n_layers: usize,
+        batch_layers: usize,
+        pr: usize,
+        pc: usize,
+    ) -> Result<MixedGrids, String> {
+        let mut grids = vec![(1, p); batch_layers.min(n_layers)];
+        grids.resize(n_layers, (pr, pc));
+        MixedGrids::new(p, grids)
+    }
+}
+
+/// Outcome of a mixed-grid run.
+pub struct MixedResult {
+    /// Assembled final weights.
+    pub weights: Vec<Matrix>,
+    /// Virtual-time and traffic statistics.
+    pub stats: WorldStats,
+}
+
+/// Distributed full-batch SGD with per-layer grids.
+pub fn train_mixed(
+    net: &Network,
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    mixed: &MixedGrids,
+    model: NetModel,
+) -> MixedResult {
+    let layers = extract_fc_layers(net);
+    assert_eq!(layers.len(), mixed.grids.len(), "one grid per weighted layer");
+    let b_global = x.cols();
+    let p = mixed.p;
+    let n_layers = layers.len();
+
+    // Per-rank column range under a layer's batch split.
+    let col_range = |pc: usize, rank: usize| part_range(b_global, pc, rank % pc);
+    let owned_table = |pc: usize| -> Vec<std::ops::Range<usize>> {
+        (0..p).map(|r| col_range(pc, r)).collect()
+    };
+    let sender_table = |pc: usize| -> Vec<bool> { (0..p).map(|r| r / pc == 0).collect() };
+
+    let (shards, stats) = World::run_with_stats(p, model, |comm| {
+        // Build each layer's row/col communicators once.
+        let mut grids = Vec::with_capacity(n_layers);
+        for &(pr, pc) in &mixed.grids {
+            let (row_comm, col_comm) = comm.grid(pr, pc).expect("grid tiles the world");
+            grids.push((pr, pc, row_comm, col_comm));
+        }
+        let me = comm.rank();
+        let full = init_weights(&layers, cfg.seed);
+        let mut w_local: Vec<Matrix> = layers
+            .iter()
+            .enumerate()
+            .map(|(l, _)| {
+                let (pr, pc, _, _) = &grids[l];
+                let i = me / pc;
+                row_shard(&full[l], *pr, i)
+            })
+            .collect();
+
+        for _ in 0..cfg.iters {
+            // Forward with relayouts between layers.
+            let (_, pc0, _, _) = &grids[0];
+            let r0 = col_range(*pc0, me);
+            let mut act = x.col_block(r0.start, r0.end);
+            let mut inputs: Vec<Matrix> = Vec::with_capacity(n_layers);
+            let mut pres: Vec<Matrix> = Vec::with_capacity(n_layers);
+            for l in 0..n_layers {
+                let (pr, pc, _, col_comm) = &grids[l];
+                inputs.push(act.clone());
+                // Local multiply on this layer's weight shard, then
+                // all-gather rows within the Pr group.
+                let y_partial = matmul(&w_local[l], &act);
+                let pre = if *pr == 1 {
+                    y_partial
+                } else {
+                    let blocks = allgatherv_ring(col_comm, y_partial.as_slice())
+                        .expect("row gather");
+                    let bloc = act.cols();
+                    let mats: Vec<Matrix> = blocks
+                        .into_iter()
+                        .map(|v| Matrix::from_vec(v.len() / bloc, bloc, v))
+                        .collect();
+                    Matrix::vcat(&mats)
+                };
+                let post = apply_act(layers[l].act, &pre);
+                pres.push(pre);
+                // Relayout for the next layer if the batch split
+                // changes (Eq. 6 executable).
+                act = if l + 1 < n_layers && grids[l + 1].1 != *pc {
+                    let next_pc = grids[l + 1].1;
+                    redistribute_cols(
+                        comm,
+                        &post,
+                        &owned_table(*pc),
+                        &owned_table(next_pc),
+                        &sender_table(*pc),
+                    )
+                    .expect("forward relayout")
+                } else {
+                    post
+                };
+            }
+            // Loss on the final layer's layout.
+            let (_, pc_last, _, _) = &grids[n_layers - 1];
+            let lrange = col_range(*pc_last, me);
+            let labels_local = &labels[lrange.clone()];
+            let (_loss, mut grad) = softmax_xent(&act, labels_local);
+            let scale = lrange.len() as f64 / b_global as f64;
+            for g in grad.as_mut_slice() {
+                *g *= scale;
+            }
+            // Backward with reverse relayouts.
+            let mut dy = grad;
+            for l in (0..n_layers).rev() {
+                let (pr, pc, row_comm, col_comm) = &grids[l];
+                dy = act_backward(layers[l].act, &pres[l], &apply_act(layers[l].act, &pres[l]), &dy);
+                let i = me / pc;
+                let rows = part_range(pres[l].rows(), *pr, i);
+                let dy_i = dy.row_block(rows.start, rows.end);
+                let mut dw = matmul_a_bt(&dy_i, &inputs[l]);
+                allreduce(row_comm, dw.as_mut_slice(), ReduceOp::Sum).expect("dW allreduce");
+                let mut dx = matmul_at_b(&w_local[l], &dy_i);
+                allreduce(col_comm, dx.as_mut_slice(), ReduceOp::Sum).expect("dX allreduce");
+                axpy(-cfg.lr, dw.as_slice(), w_local[l].as_mut_slice());
+                // Relayout the gradient into the previous layer's
+                // batch split.
+                dy = if l > 0 && grids[l - 1].1 != *pc {
+                    let prev_pc = grids[l - 1].1;
+                    redistribute_cols(
+                        comm,
+                        &dx,
+                        &owned_table(*pc),
+                        &owned_table(prev_pc),
+                        &sender_table(*pc),
+                    )
+                    .expect("backward relayout")
+                } else {
+                    dx
+                };
+            }
+        }
+        (me, w_local)
+    });
+
+    // Assemble weights: for each layer, take shards from the ranks in
+    // batch group j = 0 of that layer's grid.
+    let mut weights = Vec::with_capacity(n_layers);
+    for (l, layer) in layers.iter().enumerate() {
+        let (pr, pc) = mixed.grids[l];
+        let mut rows_acc: Vec<(usize, Matrix)> = shards
+            .iter()
+            .filter(|(r, _)| r % pc == 0)
+            .map(|(r, w)| (r / pc, w[l].clone()))
+            .collect();
+        rows_acc.sort_by_key(|&(i, _)| i);
+        rows_acc.dedup_by_key(|(i, _)| *i);
+        debug_assert_eq!(rows_acc.len(), pr);
+        let m = Matrix::vcat(&rows_acc.into_iter().map(|(_, m)| m).collect::<Vec<_>>());
+        debug_assert_eq!(m.rows(), layer.d_out);
+        weights.push(m);
+    }
+    MixedResult { weights, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{synthetic_data, train_serial};
+    use dnn::zoo::mlp;
+
+    fn max_diff(a: &[Matrix], b: &[Matrix]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x.max_abs_diff(y)).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn uniform_mixed_grids_match_serial() {
+        // Sanity: when every layer uses the same grid, mixed == plain.
+        let net = mlp("m", &[16, 24, 12, 6]);
+        let (x, labels) = synthetic_data(&net, 24, 3);
+        let cfg = TrainConfig { lr: 0.2, iters: 5, seed: 8 };
+        let serial = train_serial(&net, &x, &labels, &cfg);
+        let mixed = MixedGrids::new(4, vec![(2, 2); 3]).unwrap();
+        let r = train_mixed(&net, &x, &labels, &cfg, &mixed, NetModel::free());
+        assert!(max_diff(&serial.weights, &r.weights) < 1e-9);
+    }
+
+    #[test]
+    fn fig7_pattern_matches_serial() {
+        // First layer pure batch (1xP), later layers on a grid — the
+        // paper's Fig. 7 structure, executable.
+        let net = mlp("m", &[16, 24, 12, 6]);
+        let (x, labels) = synthetic_data(&net, 24, 3);
+        let cfg = TrainConfig { lr: 0.2, iters: 5, seed: 8 };
+        let serial = train_serial(&net, &x, &labels, &cfg);
+        let mixed = MixedGrids::head_batch_tail_grid(4, 3, 1, 2, 2).unwrap();
+        let r = train_mixed(&net, &x, &labels, &cfg, &mixed, NetModel::free());
+        assert!(max_diff(&serial.weights, &r.weights) < 1e-9);
+    }
+
+    #[test]
+    fn every_layer_different_grid_matches_serial() {
+        let net = mlp("m", &[16, 24, 12, 6]);
+        let (x, labels) = synthetic_data(&net, 24, 3);
+        let cfg = TrainConfig { lr: 0.15, iters: 4, seed: 6 };
+        let serial = train_serial(&net, &x, &labels, &cfg);
+        let mixed = MixedGrids::new(8, vec![(1, 8), (4, 2), (8, 1)]).unwrap();
+        let r = train_mixed(&net, &x, &labels, &cfg, &mixed, NetModel::free());
+        assert!(max_diff(&serial.weights, &r.weights) < 1e-9);
+    }
+
+    #[test]
+    fn relayout_traffic_is_charged() {
+        let net = mlp("m", &[16, 24, 6]);
+        let (x, labels) = synthetic_data(&net, 16, 3);
+        let cfg = TrainConfig { lr: 0.1, iters: 1, seed: 2 };
+        let same = MixedGrids::new(4, vec![(2, 2); 2]).unwrap();
+        let switching = MixedGrids::new(4, vec![(1, 4), (4, 1)]).unwrap();
+        let a = train_mixed(&net, &x, &labels, &cfg, &same, NetModel::cori_knl());
+        let b = train_mixed(&net, &x, &labels, &cfg, &switching, NetModel::cori_knl());
+        // The switching schedule must pay redistribution words the
+        // uniform one doesn't (its ∆W/∆X collectives differ too, so
+        // only assert presence of the relayout: distinct totals and
+        // nonzero traffic).
+        assert!(a.stats.total_words() > 0);
+        assert!(b.stats.total_words() > 0);
+        assert_ne!(a.stats.total_words(), b.stats.total_words());
+    }
+
+    #[test]
+    fn invalid_grid_is_rejected() {
+        assert!(MixedGrids::new(4, vec![(2, 3)]).is_err());
+        assert!(MixedGrids::head_batch_tail_grid(4, 3, 1, 2, 2).is_ok());
+    }
+}

@@ -1,0 +1,388 @@
+//! Strategy search — "this algorithm automatically selects the best
+//! configuration to distribute the model and batch parallel work given
+//! a fixed batch size on P processes" (paper §2.3).
+//!
+//! The search space is small (divisor pairs of `P`, times a few
+//! strategy families), so exhaustive evaluation against the Eq. 9 cost
+//! plus the compute model is exact and instant.
+
+use dnn::{Network, WeightedLayer};
+
+use crate::compute::ComputeModel;
+use crate::cost::CostBreakdown;
+use crate::machine::MachineModel;
+use crate::strategy::Strategy;
+
+/// A strategy together with its evaluated per-iteration costs.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The strategy evaluated.
+    pub strategy: Strategy,
+    /// Per-layer communication breakdown.
+    pub comm: CostBreakdown,
+    /// Communication seconds per iteration.
+    pub comm_seconds: f64,
+    /// The batch-dimension (∆W all-reduce) share of `comm_seconds` —
+    /// the cross-hatched portion of the paper's bars.
+    pub batch_comm_seconds: f64,
+    /// Compute seconds per iteration per process.
+    pub compute_seconds: f64,
+    /// `comm_seconds + compute_seconds`.
+    pub total_seconds: f64,
+}
+
+impl Evaluation {
+    /// Epoch time: iteration time × `N/B`.
+    pub fn epoch_seconds(&self, n_samples: f64, b: f64) -> f64 {
+        self.total_seconds * n_samples / b
+    }
+}
+
+/// Evaluates one strategy under a machine and compute model.
+pub fn evaluate(
+    strategy: Strategy,
+    net: &Network,
+    layers: &[WeightedLayer],
+    b: f64,
+    machine: &MachineModel,
+    compute: &dyn ComputeModel,
+) -> Evaluation {
+    let comm = strategy.comm_cost(layers, b);
+    let comm_seconds = comm.seconds(machine);
+    let batch_comm_seconds = comm.total.batch_seconds(machine);
+    let compute_seconds = strategy.compute_time(net, layers, b, compute);
+    Evaluation {
+        strategy,
+        comm,
+        comm_seconds,
+        batch_comm_seconds,
+        compute_seconds,
+        total_seconds: comm_seconds + compute_seconds,
+    }
+}
+
+/// All factorizations `P = pr · pc` in ascending `pr`.
+pub fn factor_pairs(p: usize) -> Vec<(usize, usize)> {
+    (1..=p).filter(|pr| p % pr == 0).map(|pr| (pr, p / pr)).collect()
+}
+
+/// Power-of-two factorizations only (the configurations the paper's
+/// bar charts enumerate).
+pub fn pow2_pairs(p: usize) -> Vec<(usize, usize)> {
+    factor_pairs(p)
+        .into_iter()
+        .filter(|&(pr, _)| pr.is_power_of_two())
+        .collect()
+}
+
+/// Evaluates the same `Pr × Pc` grid in every layer for every
+/// factorization of `p` — the paper's Fig. 6 sweep.
+pub fn sweep_uniform_grids(
+    net: &Network,
+    layers: &[WeightedLayer],
+    b: f64,
+    p: usize,
+    machine: &MachineModel,
+    compute: &dyn ComputeModel,
+) -> Vec<Evaluation> {
+    pow2_pairs(p)
+        .into_iter()
+        .map(|(pr, pc)| {
+            evaluate(
+                Strategy::uniform_grid(pr, pc, layers.len()),
+                net,
+                layers,
+                b,
+                machine,
+                compute,
+            )
+        })
+        .collect()
+}
+
+/// Evaluates pure-batch conv layers with `Pr × Pc` FC layers for every
+/// factorization — the paper's Fig. 7 sweep.
+pub fn sweep_conv_batch_fc_grids(
+    net: &Network,
+    layers: &[WeightedLayer],
+    b: f64,
+    p: usize,
+    machine: &MachineModel,
+    compute: &dyn ComputeModel,
+) -> Vec<Evaluation> {
+    pow2_pairs(p)
+        .into_iter()
+        .map(|(pr, pc)| {
+            evaluate(
+                Strategy::conv_batch_fc_grid(layers, pr, pc),
+                net,
+                layers,
+                b,
+                machine,
+                compute,
+            )
+        })
+        .collect()
+}
+
+/// Evaluates domain-parallel conv layers (batch extent capped at `B`,
+/// remainder in the domain dimension) combined with every FC grid —
+/// the paper's Fig. 10 family for scaling beyond `P = B`.
+pub fn sweep_domain_strategies(
+    net: &Network,
+    layers: &[WeightedLayer],
+    b: f64,
+    p: usize,
+    machine: &MachineModel,
+    compute: &dyn ComputeModel,
+) -> Vec<Evaluation> {
+    let pc_conv = (b as usize).min(p);
+    if p % pc_conv != 0 {
+        return Vec::new();
+    }
+    let pd = p / pc_conv;
+    pow2_pairs(p)
+        .into_iter()
+        .filter(|&(_, fc_pc)| fc_pc as f64 <= b)
+        .filter_map(|(fc_pr, fc_pc)| {
+            Strategy::domain_conv_fc_grid(layers, pd, pc_conv, fc_pr, fc_pc).ok()
+        })
+        .map(|s| evaluate(s, net, layers, b, machine, compute))
+        .collect()
+}
+
+/// The evaluation with minimum total time.
+pub fn best(evals: &[Evaluation]) -> &Evaluation {
+    evals
+        .iter()
+        .min_by(|a, b| a.total_seconds.partial_cmp(&b.total_seconds).expect("finite"))
+        .expect("non-empty evaluation list")
+}
+
+/// Full automatic search: uniform grids, conv-batch+FC grids, and (when
+/// `P > B`, where pure batch parallelism cannot even run) the
+/// domain-parallel family. Returns all evaluations sorted by total
+/// time, best first.
+///
+/// # Examples
+///
+/// ```
+/// use integrated::compute::KnlComputeModel;
+/// use integrated::optimizer::optimize;
+/// use integrated::MachineModel;
+///
+/// let evals = optimize(
+///     &dnn::zoo::alexnet(),
+///     2048.0,
+///     512,
+///     &MachineModel::cori_knl(),
+///     &KnlComputeModel::fig4(),
+/// );
+/// // The winner restricts model parallelism to the FC layers — the
+/// // paper's Fig. 7 configuration.
+/// assert!(evals[0].strategy.name.starts_with("conv-batch+fc"));
+/// ```
+pub fn optimize(
+    net: &Network,
+    b: f64,
+    p: usize,
+    machine: &MachineModel,
+    compute: &dyn ComputeModel,
+) -> Vec<Evaluation> {
+    let layers = net.weighted_layers();
+    let mut evals = Vec::new();
+    if p as f64 <= b {
+        // Scenario (a) of the paper's §3: B ≥ P — model+batch
+        // integration; "domain parallelism is not used as its
+        // communication overhead is higher than batch parallel".
+        evals.extend(sweep_uniform_grids(net, &layers, b, p, machine, compute));
+        evals.extend(sweep_conv_batch_fc_grids(net, &layers, b, p, machine, compute));
+    } else {
+        // Scenario (b): B < P — past the batch-parallel scaling limit;
+        // domain parallelism takes the conv layers (Fig. 10).
+        evals.extend(sweep_domain_strategies(net, &layers, b, p, machine, compute));
+    }
+    evals.sort_by(|a, b| a.total_seconds.partial_cmp(&b.total_seconds).expect("finite"));
+    // Dedup identical strategies picked up by overlapping sweeps
+    // (pr = 1 appears in both grid families).
+    evals.dedup_by(|a, b| a.strategy.layers == b.strategy.layers);
+    evals
+}
+
+/// A strategy evaluation annotated with its per-process memory (the §4
+/// Discussion's second axis).
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// The evaluation.
+    pub eval: Evaluation,
+    /// Per-process memory in words.
+    pub memory_words: f64,
+}
+
+/// The time/memory Pareto frontier over a set of evaluations: the
+/// strategies not dominated in both per-iteration time and per-process
+/// memory. The §4 Discussion frames 1.5D-vs-2D exactly as this
+/// trade-off ("memory consumption optimality might be a legitimate
+/// concern depending on the platform"); within the 1.5D family the
+/// same tension appears across grids, and this is the set a user
+/// should pick from.
+pub fn pareto_frontier(
+    evals: &[Evaluation],
+    layers: &[WeightedLayer],
+    b: f64,
+) -> Vec<ParetoPoint> {
+    let pts: Vec<ParetoPoint> = evals
+        .iter()
+        .map(|e| ParetoPoint {
+            eval: e.clone(),
+            memory_words: crate::memory::footprint(&e.strategy, layers, b).total(),
+        })
+        .collect();
+    let mut frontier: Vec<ParetoPoint> = pts
+        .iter()
+        .filter(|p| {
+            !pts.iter().any(|q| {
+                (q.eval.total_seconds < p.eval.total_seconds
+                    && q.memory_words <= p.memory_words)
+                    || (q.eval.total_seconds <= p.eval.total_seconds
+                        && q.memory_words < p.memory_words)
+            })
+        })
+        .cloned()
+        .collect();
+    frontier.sort_by(|a, b| {
+        a.eval.total_seconds.partial_cmp(&b.eval.total_seconds).expect("finite")
+    });
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::KnlComputeModel;
+    use dnn::zoo::alexnet;
+
+    #[test]
+    fn factor_pairs_multiply_to_p() {
+        for p in [1, 12, 64, 512] {
+            for (pr, pc) in factor_pairs(p) {
+                assert_eq!(pr * pc, p);
+            }
+        }
+        assert_eq!(factor_pairs(12).len(), 6);
+        assert_eq!(pow2_pairs(512).len(), 10);
+    }
+
+    #[test]
+    fn best_grid_at_scale_is_interior() {
+        // Fig. 6(d) regime: B=2048, P=512 — the winning grid has
+        // 1 < Pr < P.
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let m = MachineModel::cori_knl();
+        let cm = KnlComputeModel::fig4();
+        let evals = sweep_uniform_grids(&net, &layers, 2048.0, 512, &m, &cm);
+        let b = best(&evals);
+        let (pr, _) = match b.strategy.layers[0] {
+            crate::strategy::LayerParallelism::ModelBatch { pr, pc } => (pr, pc),
+            _ => unreachable!(),
+        };
+        assert!(pr > 1 && pr < 512, "best pr = {pr}");
+    }
+
+    #[test]
+    fn conv_batch_beats_uniform_at_scale() {
+        // Fig. 7 vs Fig. 6: restricting model parallelism to FC layers
+        // improves the best total time.
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let m = MachineModel::cori_knl();
+        let cm = KnlComputeModel::fig4();
+        let uniform = sweep_uniform_grids(&net, &layers, 2048.0, 512, &m, &cm);
+        let split = sweep_conv_batch_fc_grids(&net, &layers, 2048.0, 512, &m, &cm);
+        assert!(best(&split).total_seconds <= best(&uniform).total_seconds);
+    }
+
+    #[test]
+    fn small_p_prefers_pure_batch() {
+        // Fig. 6(a): at P=8 the integrated benefit is not realized;
+        // pure batch (pr=1) should be at or near the best.
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let m = MachineModel::cori_knl();
+        let cm = KnlComputeModel::fig4();
+        let evals = sweep_uniform_grids(&net, &layers, 2048.0, 8, &m, &cm);
+        let b = best(&evals);
+        let pure = &evals[0]; // pr = 1 comes first in pow2_pairs order
+        assert!(pure.total_seconds <= b.total_seconds * 1.05);
+    }
+
+    #[test]
+    fn optimize_uses_domain_beyond_batch_limit() {
+        // Fig. 10 regime: P=2048 > B=512 — only domain strategies can
+        // run, and optimize returns some.
+        let net = alexnet();
+        let m = MachineModel::cori_knl();
+        let cm = KnlComputeModel::fig4();
+        let evals = optimize(&net, 512.0, 2048, &m, &cm);
+        assert!(!evals.is_empty());
+        for e in &evals {
+            assert!(matches!(
+                e.strategy.layers[0],
+                crate::strategy::LayerParallelism::Domain { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn optimize_sorts_best_first() {
+        let net = alexnet();
+        let m = MachineModel::cori_knl();
+        let cm = KnlComputeModel::fig4();
+        let evals = optimize(&net, 2048.0, 64, &m, &cm);
+        for w in evals.windows(2) {
+            assert!(w[0].total_seconds <= w[1].total_seconds);
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_is_nondominated_and_sorted() {
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let m = MachineModel::cori_knl();
+        let cm = KnlComputeModel::fig4();
+        let evals = sweep_uniform_grids(&net, &layers, 2048.0, 512, &m, &cm);
+        let frontier = pareto_frontier(&evals, &layers, 2048.0);
+        assert!(!frontier.is_empty());
+        assert!(frontier.len() <= evals.len());
+        // Sorted by time, hence memory must be non-increasing along it.
+        for w in frontier.windows(2) {
+            assert!(w[0].eval.total_seconds <= w[1].eval.total_seconds);
+            assert!(
+                w[0].memory_words >= w[1].memory_words,
+                "later points must compensate worse time with less memory"
+            );
+        }
+        // The global best time is always on the frontier.
+        let best_t = best(&evals).total_seconds;
+        assert!(frontier.iter().any(|p| (p.eval.total_seconds - best_t).abs() < 1e-15));
+    }
+
+    #[test]
+    fn epoch_seconds_scales_iterations() {
+        let net = alexnet();
+        let layers = net.weighted_layers();
+        let m = MachineModel::cori_knl();
+        let cm = KnlComputeModel::fig4();
+        let e = evaluate(
+            Strategy::pure_batch(8, layers.len()),
+            &net,
+            &layers,
+            256.0,
+            &m,
+            &cm,
+        );
+        let n = 1_281_167.0;
+        assert!((e.epoch_seconds(n, 256.0) - e.total_seconds * n / 256.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,69 @@
+//! The communication/computation overlap model of the paper's Fig. 8.
+//!
+//! The paper: "This overlapping can only be performed with the
+//! backpropagation phase, where the all-reduce communication can happen
+//! while the transpose convolution of next layers are being performed
+//! (which accounts for two-thirds of the communication)." The
+//! overlappable fraction is a parameter here so the ablation bench can
+//! sweep it from 0 (Fig. 7) through 2/3 (Fig. 8) to 1.
+
+/// The fraction of communication the paper treats as overlappable
+/// (backprop all-reduces; two of the three per-layer products).
+pub const PAPER_BACKPROP_FRACTION: f64 = 2.0 / 3.0;
+
+/// Total iteration time when a `fraction` of `comm` can hide behind
+/// `compute`: the hidden portion is capped by the compute available to
+/// hide it behind — "perfect overlap" never makes communication
+/// negative.
+pub fn overlapped_total(comm: f64, compute: f64, fraction: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    assert!(comm >= 0.0 && compute >= 0.0, "times must be non-negative");
+    let hidden = (comm * fraction).min(compute);
+    compute + comm - hidden
+}
+
+/// Convenience: the Fig. 8 total (2/3 of comm hidden).
+pub fn fig8_total(comm: f64, compute: f64) -> f64 {
+    overlapped_total(comm, compute, PAPER_BACKPROP_FRACTION)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_overlap_is_plain_sum() {
+        assert_eq!(overlapped_total(3.0, 5.0, 0.0), 8.0);
+    }
+
+    #[test]
+    fn full_overlap_hides_all_comm_when_compute_suffices() {
+        assert_eq!(overlapped_total(3.0, 5.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn hidden_portion_capped_by_compute() {
+        // comm=10, fraction=1, compute=2: only 2s can hide.
+        assert_eq!(overlapped_total(10.0, 2.0, 1.0), 10.0);
+    }
+
+    #[test]
+    fn fig8_hides_two_thirds() {
+        let total = fig8_total(3.0, 100.0);
+        assert!((total - 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_never_increases_time() {
+        for &(c, k) in &[(1.0, 1.0), (5.0, 0.5), (0.0, 3.0)] {
+            assert!(fig8_total(c, k) <= c + k);
+            assert!(fig8_total(c, k) >= k.max(c * (1.0 - PAPER_BACKPROP_FRACTION)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_fraction_panics() {
+        let _ = overlapped_total(1.0, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal aligned-text tables and CSV emission for the experiment
+//! binaries, so every figure/table of the paper can be regenerated as
+//! the same rows the paper prints.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row should match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (quoting cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats seconds with an adaptive unit (µs/ms/s).
+pub fn fmt_seconds(s: f64) -> String {
+    if s == 0.0 {
+        "0".into()
+    } else if s < 1e-3 {
+        format!("{:.2}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s < 3600.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.2}h", s / 3600.0)
+    }
+}
+
+/// Formats a speedup factor like the paper's bold annotations ("2.5x").
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["grid", "time"]);
+        t.row(vec!["1x512".into(), "81ms".into()]);
+        t.row(vec!["16x32".into(), "9ms".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5, "title + header + rule + 2 rows");
+        // Both rows align to the same width.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(vec!["x,y".into(), "z".into()]);
+        assert_eq!(t.to_csv(), "a,b\n\"x,y\",z\n");
+    }
+
+    #[test]
+    fn second_formatting_units() {
+        assert_eq!(fmt_seconds(0.0), "0");
+        assert_eq!(fmt_seconds(2e-6), "2.00us");
+        assert_eq!(fmt_seconds(0.0815), "81.50ms");
+        assert_eq!(fmt_seconds(3.5), "3.50s");
+        assert_eq!(fmt_seconds(7200.0), "2.00h");
+    }
+
+    #[test]
+    fn speedup_format() {
+        assert_eq!(fmt_speedup(2.53), "2.5x");
+    }
+}

@@ -1,0 +1,408 @@
+//! Executable distributed SGD — the end-to-end validation that the
+//! paper's 1.5D scheme computes *exactly* the same training trajectory
+//! as serial mini-batch SGD (the paper's framework is synchronous and
+//! "obeys the sequential consistency of the original algorithm").
+//!
+//! Supports FC networks (MLPs / unrolled RNNs) — the pure chain of
+//! `Y = W·X` products the paper's algebra describes. Convolutional
+//! layers are validated separately in `distmm::domain` (domain
+//! parallelism) and costed analytically; wiring them through the full
+//! trainer would exercise no communication pattern the FC path and the
+//! domain kernels don't already cover.
+//!
+//! Dropout layers are treated as identity (inference-mode): randomized
+//! masks would make the serial-vs-distributed comparison seed-order
+//! dependent without touching communication at all.
+
+use dnn::{LayerSpec, Network};
+use mpsim::{NetModel, World, WorldStats};
+use tensor::activation::{relu, relu_backward, softmax_xent, tanh, tanh_backward};
+use tensor::init;
+use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use tensor::ops::axpy;
+use tensor::Matrix;
+
+use distmm::dist::{col_shard, part_range, row_shard};
+use distmm::onep5d::{backward as grid_backward, forward as grid_forward, Grid};
+
+/// Activation following an FC layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Act {
+    None,
+    Relu,
+    Tanh,
+}
+
+/// One trainable FC layer extracted from a [`Network`].
+#[derive(Debug, Clone)]
+pub(crate) struct FcLayer {
+    pub(crate) d_in: usize,
+    pub(crate) d_out: usize,
+    pub(crate) act: Act,
+}
+
+/// Extracts the FC-layer chain from a network.
+///
+/// # Panics
+///
+/// Panics if the network contains conv/pool layers (see module docs).
+pub(crate) fn extract_fc_layers(net: &Network) -> Vec<FcLayer> {
+    let mut out: Vec<FcLayer> = Vec::new();
+    for (spec, in_shape, out_shape) in net.layers() {
+        match spec {
+            LayerSpec::FullyConnected { .. } => {
+                out.push(FcLayer { d_in: in_shape.dim(), d_out: out_shape.dim(), act: Act::None });
+            }
+            LayerSpec::ReLU => {
+                let l = out.last_mut().expect("activation must follow an FC layer");
+                l.act = Act::Relu;
+            }
+            LayerSpec::Tanh => {
+                let l = out.last_mut().expect("activation must follow an FC layer");
+                l.act = Act::Tanh;
+            }
+            LayerSpec::Dropout { .. } => {} // identity in this trainer
+            other => panic!("trainer supports FC networks only, found {other:?}"),
+        }
+    }
+    assert!(!out.is_empty(), "network has no FC layers");
+    out
+}
+
+/// Deterministic initial weights for every layer (identical on every
+/// rank / in serial).
+pub(crate) fn init_weights(layers: &[FcLayer], seed: u64) -> Vec<Matrix> {
+    layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| init::xavier(l.d_out, l.d_in, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+pub(crate) fn apply_act(act: Act, pre: &Matrix) -> Matrix {
+    match act {
+        Act::None => pre.clone(),
+        Act::Relu => relu(pre),
+        Act::Tanh => tanh(pre),
+    }
+}
+
+pub(crate) fn act_backward(act: Act, pre: &Matrix, post: &Matrix, dy: &Matrix) -> Matrix {
+    match act {
+        Act::None => dy.clone(),
+        Act::Relu => relu_backward(pre, dy),
+        Act::Tanh => tanh_backward(post, dy),
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// SGD learning rate η.
+    pub lr: f64,
+    /// Number of iterations (each over the full provided batch —
+    /// full-batch gradient descent keeps the serial/distributed
+    /// comparison exact without a data loader).
+    pub iters: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { lr: 0.1, iters: 10, seed: 7 }
+    }
+}
+
+/// Outcome of a serial training run.
+#[derive(Debug, Clone)]
+pub struct SerialResult {
+    /// Loss before each update.
+    pub losses: Vec<f64>,
+    /// Final weights per layer.
+    pub weights: Vec<Matrix>,
+}
+
+/// Serial reference: full-batch SGD on one process.
+pub fn train_serial(net: &Network, x: &Matrix, labels: &[usize], cfg: &TrainConfig) -> SerialResult {
+    let layers = extract_fc_layers(net);
+    let mut weights = init_weights(&layers, cfg.seed);
+    let mut losses = Vec::with_capacity(cfg.iters);
+    for _ in 0..cfg.iters {
+        // Forward, keeping pre/post activations.
+        let mut inputs = vec![x.clone()];
+        let mut pres = Vec::with_capacity(layers.len());
+        for (l, w) in layers.iter().zip(&weights) {
+            let pre = matmul(w, inputs.last().expect("input"));
+            let post = apply_act(l.act, &pre);
+            pres.push(pre);
+            inputs.push(post);
+        }
+        let logits = inputs.last().expect("logits");
+        let (loss, grad) = softmax_xent(logits, labels);
+        losses.push(loss);
+        // Backward.
+        let mut dy = grad;
+        for (idx, l) in layers.iter().enumerate().rev() {
+            dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
+            let dw = matmul_a_bt(&dy, &inputs[idx]);
+            let dx = matmul_at_b(&weights[idx], &dy);
+            axpy(-cfg.lr, dw.as_slice(), weights[idx].as_mut_slice());
+            dy = dx;
+        }
+    }
+    SerialResult { losses, weights }
+}
+
+/// Per-rank outcome of a distributed run.
+#[derive(Debug, Clone)]
+pub struct RankOutcome {
+    /// Grid row (model-shard index).
+    pub i: usize,
+    /// Grid column (batch-shard index).
+    pub j: usize,
+    /// This rank's share of the loss per iteration
+    /// (`local_loss · b_local / B`; sums to the global loss over one
+    /// grid row).
+    pub partial_losses: Vec<f64>,
+    /// Final local weight shards (rows `part_range(d_out, pr, i)` of
+    /// each layer).
+    pub weight_shards: Vec<Matrix>,
+}
+
+/// Outcome of a distributed run: every rank's result plus world stats.
+#[derive(Debug, Clone)]
+pub struct DistResult {
+    /// Grid extent `Pr`.
+    pub pr: usize,
+    /// Grid extent `Pc`.
+    pub pc: usize,
+    /// Per-rank outcomes (row-major rank order).
+    pub per_rank: Vec<RankOutcome>,
+    /// Virtual-time and traffic statistics.
+    pub stats: WorldStats,
+}
+
+impl DistResult {
+    /// Global loss history (summed over the batch shards of grid row
+    /// 0).
+    pub fn losses(&self) -> Vec<f64> {
+        let iters = self.per_rank[0].partial_losses.len();
+        (0..iters)
+            .map(|t| {
+                self.per_rank
+                    .iter()
+                    .filter(|r| r.i == 0)
+                    .map(|r| r.partial_losses[t])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Assembles the full weight matrices from the shards held by grid
+    /// column 0.
+    pub fn weights(&self) -> Vec<Matrix> {
+        let n_layers = self.per_rank[0].weight_shards.len();
+        (0..n_layers)
+            .map(|l| {
+                let mut shards: Vec<(usize, Matrix)> = self
+                    .per_rank
+                    .iter()
+                    .filter(|r| r.j == 0)
+                    .map(|r| (r.i, r.weight_shards[l].clone()))
+                    .collect();
+                shards.sort_by_key(|&(i, _)| i);
+                Matrix::vcat(&shards.into_iter().map(|(_, m)| m).collect::<Vec<_>>())
+            })
+            .collect()
+    }
+
+    /// Every grid column must hold identical replicas of its row's
+    /// weight shard; returns the maximum discrepancy (should be ~0).
+    pub fn replica_divergence(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for r in &self.per_rank {
+            let reference = self
+                .per_rank
+                .iter()
+                .find(|q| q.i == r.i && q.j == 0)
+                .expect("column 0 exists");
+            for (a, b) in r.weight_shards.iter().zip(&reference.weight_shards) {
+                worst = worst.max(a.max_abs_diff(b));
+            }
+        }
+        worst
+    }
+}
+
+/// Distributed full-batch SGD on a `pr × pc` grid over the `mpsim`
+/// virtual cluster. Data and initial weights are derived from the same
+/// seeds as [`train_serial`], so the trajectories are comparable
+/// element-wise.
+pub fn train_1p5d(
+    net: &Network,
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    pr: usize,
+    pc: usize,
+    model: NetModel,
+) -> DistResult {
+    let layers = extract_fc_layers(net);
+    let b_global = x.cols();
+    let (per_rank, stats) = World::run_with_stats(pr * pc, model, |comm| {
+        let grid = Grid::new(comm, pr, pc).expect("grid tiles the world");
+        let full_weights = init_weights(&layers, cfg.seed);
+        let mut w_local: Vec<Matrix> =
+            full_weights.iter().map(|w| row_shard(w, pr, grid.i)).collect();
+        let x_local = col_shard(x, pc, grid.j);
+        let label_range = part_range(b_global, pc, grid.j);
+        let labels_local = &labels[label_range.clone()];
+        let b_local = x_local.cols();
+
+        let mut partial_losses = Vec::with_capacity(cfg.iters);
+        for _ in 0..cfg.iters {
+            // Forward.
+            let mut inputs = vec![x_local.clone()];
+            let mut pres = Vec::with_capacity(layers.len());
+            for (l, w) in layers.iter().zip(&w_local) {
+                let pre =
+                    grid_forward(&grid, w, inputs.last().expect("input")).expect("forward");
+                let post = apply_act(l.act, &pre);
+                pres.push(pre);
+                inputs.push(post);
+            }
+            let logits = inputs.last().expect("logits");
+            let (loss_local, mut grad) = softmax_xent(logits, labels_local);
+            // softmax_xent normalizes by the *local* batch; rescale to
+            // the global 1/B of the paper's Eq. 1 so the ∆W all-reduce
+            // sums to the global mean gradient.
+            let scale = b_local as f64 / b_global as f64;
+            for g in grad.as_mut_slice() {
+                *g *= scale;
+            }
+            partial_losses.push(loss_local * scale);
+            // Backward.
+            let mut dy = grad;
+            for (idx, l) in layers.iter().enumerate().rev() {
+                dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
+                let (dw, dx) =
+                    grid_backward(&grid, &w_local[idx], &inputs[idx], &dy).expect("backward");
+                axpy(-cfg.lr, dw.as_slice(), w_local[idx].as_mut_slice());
+                dy = dx;
+            }
+        }
+        RankOutcome { i: grid.i, j: grid.j, partial_losses, weight_shards: w_local }
+    });
+    DistResult { pr, pc, per_rank, stats }
+}
+
+/// Synthetic classification data shaped for a network: inputs in
+/// `[-1, 1)` and uniform labels over the output classes, both
+/// seed-deterministic.
+pub fn synthetic_data(net: &Network, b: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let d0 = net.input.dim();
+    let classes = net.output().dim();
+    (
+        init::uniform(d0, b, -1.0, 1.0, seed),
+        init::labels(b, classes, seed.wrapping_add(1)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::zoo::{mlp, mlp_tiny, rnn_unrolled};
+
+    fn max_weight_diff(a: &[Matrix], b: &[Matrix]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x.max_abs_diff(y)).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn serial_training_decreases_loss() {
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 32, 5);
+        let r = train_serial(&net, &x, &labels, &TrainConfig { lr: 0.5, iters: 30, seed: 7 });
+        assert!(
+            r.losses.last().unwrap() < &(r.losses[0] * 0.9),
+            "loss {} -> {}",
+            r.losses[0],
+            r.losses.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn grid_training_matches_serial_exactly() {
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let cfg = TrainConfig { lr: 0.3, iters: 8, seed: 7 };
+        let serial = train_serial(&net, &x, &labels, &cfg);
+        for (pr, pc) in [(1, 1), (1, 4), (4, 1), (2, 3), (4, 2)] {
+            let dist = train_1p5d(&net, &x, &labels, &cfg, pr, pc, NetModel::free());
+            let diff = max_weight_diff(&serial.weights, &dist.weights());
+            assert!(diff < 1e-9, "grid {pr}x{pc}: weight diff {diff}");
+            for (a, b) in serial.losses.iter().zip(dist.losses()) {
+                assert!((a - b).abs() < 1e-9, "grid {pr}x{pc}: loss {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_stay_in_sync() {
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 16, 9);
+        let cfg = TrainConfig { lr: 0.2, iters: 5, seed: 3 };
+        let dist = train_1p5d(&net, &x, &labels, &cfg, 2, 2, NetModel::free());
+        assert!(dist.replica_divergence() < 1e-12);
+    }
+
+    #[test]
+    fn rnn_style_network_trains_distributed() {
+        let net = rnn_unrolled(20, 16, 3, 4);
+        let (x, labels) = synthetic_data(&net, 12, 11);
+        let cfg = TrainConfig { lr: 0.2, iters: 6, seed: 13 };
+        let serial = train_serial(&net, &x, &labels, &cfg);
+        let dist = train_1p5d(&net, &x, &labels, &cfg, 2, 2, NetModel::free());
+        assert!(max_weight_diff(&serial.weights, &dist.weights()) < 1e-9);
+    }
+
+    #[test]
+    fn dropout_is_identity_here() {
+        let net = dnn::NetworkBuilder::new("d", dnn::Shape::flat(8))
+            .layer(LayerSpec::FullyConnected { out: 8 })
+            .layer(LayerSpec::ReLU)
+            .layer(LayerSpec::Dropout { rate: 0.5 })
+            .layer(LayerSpec::FullyConnected { out: 4 })
+            .build()
+            .unwrap();
+        let (x, labels) = synthetic_data(&net, 8, 2);
+        let r = train_serial(&net, &x, &labels, &TrainConfig::default());
+        assert_eq!(r.weights.len(), 2);
+    }
+
+    #[test]
+    fn pure_batch_comm_is_weight_allreduce_only() {
+        // With pr = 1 the executed traffic per iteration is exactly the
+        // ring all-reduce of each layer's ∆W.
+        let net = mlp("m", &[16, 12, 8]);
+        let (x, labels) = synthetic_data(&net, 8, 3);
+        let cfg = TrainConfig { lr: 0.1, iters: 1, seed: 1 };
+        let pc = 4;
+        let dist = train_1p5d(&net, &x, &labels, &cfg, 1, pc, NetModel::free());
+        let total_w = 16 * 12 + 12 * 8;
+        // Ring all-reduce sends 2·n·(p−1)/p words per rank; pc ranks.
+        let expect = pc as f64 * 2.0 * total_w as f64 * (pc as f64 - 1.0) / pc as f64;
+        assert_eq!(dist.stats.total_words(), expect as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "FC networks only")]
+    fn conv_network_is_rejected() {
+        let net = dnn::NetworkBuilder::new("c", dnn::Shape::new(1, 4, 4))
+            .layer(LayerSpec::Conv { out_c: 2, kh: 3, kw: 3, stride: 1, pad: 1 })
+            .build()
+            .unwrap();
+        let (x, labels) = synthetic_data(&net, 4, 2);
+        let _ = train_serial(&net, &x, &labels, &TrainConfig::default());
+    }
+}

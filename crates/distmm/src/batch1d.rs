@@ -1,0 +1,109 @@
+//! Pure batch parallelism (the paper's Fig. 2).
+//!
+//! Every rank replicates `W` and owns a column shard of `X` (a slice of
+//! the mini-batch). Forward and `∆X` need **no communication**; the
+//! one collective is the ring all-reduce that sums the per-shard weight
+//! gradients `∆W = Σ_p ∆Y_p·X_pᵀ` (paper §7.2 and Eq. 4).
+
+use collectives::{allreduce, ReduceOp};
+use mpsim::{Communicator, Result};
+use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b, matmul_flops};
+use tensor::Matrix;
+
+/// Forward pass: `Y_p = W·X_p`, entirely local. Charges matmul FLOPs to
+/// the virtual clock.
+pub fn forward(comm: &Communicator, w: &Matrix, x_local: &Matrix) -> Matrix {
+    comm.advance_flops(matmul_flops(w.rows(), w.cols(), x_local.cols()));
+    matmul(w, x_local)
+}
+
+/// Backward pass: returns `(∆W, ∆X_p)` where `∆W` has been all-reduced
+/// across the communicator (the sum over batch shards) and `∆X_p` is
+/// local.
+pub fn backward(
+    comm: &Communicator,
+    w: &Matrix,
+    x_local: &Matrix,
+    dy_local: &Matrix,
+) -> Result<(Matrix, Matrix)> {
+    comm.advance_flops(matmul_flops(dy_local.rows(), dy_local.cols(), x_local.rows()));
+    let mut dw = matmul_a_bt(dy_local, x_local);
+    comm.advance_flops(matmul_flops(w.cols(), w.rows(), dy_local.cols()));
+    let dx = matmul_at_b(w, dy_local);
+    allreduce(comm, dw.as_mut_slice(), ReduceOp::Sum)?;
+    Ok((dw, dx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{assemble_cols, col_shard};
+    use mpsim::{NetModel, World};
+    use tensor::init;
+
+    #[test]
+    fn matches_serial_reference() {
+        let p = 4;
+        let (d_out, d_in, b) = (6, 5, 8);
+        let w = init::xavier(d_out, d_in, 1);
+        let x = init::uniform(d_in, b, -1.0, 1.0, 2);
+        let dy = init::uniform(d_out, b, -1.0, 1.0, 3);
+
+        // Serial reference.
+        let y_ref = matmul(&w, &x);
+        let dw_ref = matmul_a_bt(&dy, &x);
+        let dx_ref = matmul_at_b(&w, &dy);
+
+        let out = World::run(p, NetModel::free(), |comm| {
+            let xl = col_shard(&x, p, comm.rank());
+            let dyl = col_shard(&dy, p, comm.rank());
+            let y = forward(comm, &w, &xl);
+            let (dw, dx) = backward(comm, &w, &xl, &dyl).unwrap();
+            (y, dw, dx)
+        });
+
+        let y = assemble_cols(&out.iter().map(|(y, _, _)| y.clone()).collect::<Vec<_>>());
+        assert!(y.approx_eq(&y_ref, 1e-12));
+        let dx = assemble_cols(&out.iter().map(|(_, _, dx)| dx.clone()).collect::<Vec<_>>());
+        assert!(dx.approx_eq(&dx_ref, 1e-12));
+        for (r, (_, dw, _)) in out.iter().enumerate() {
+            assert!(dw.approx_eq(&dw_ref, 1e-10), "rank {r} dW mismatch");
+        }
+    }
+
+    #[test]
+    fn forward_needs_no_communication() {
+        let model = NetModel { alpha: 1.0, beta: 1.0, flops: f64::INFINITY };
+        let w = init::xavier(4, 4, 1);
+        let x = init::uniform(4, 8, -1.0, 1.0, 2);
+        let out = World::run(4, model, |comm| {
+            let xl = col_shard(&x, 4, comm.rank());
+            let _ = forward(comm, &w, &xl);
+            comm.clock().comm
+        });
+        for &t in &out {
+            assert_eq!(t, 0.0, "the paper: batch-parallel forward is comm-free");
+        }
+    }
+
+    #[test]
+    fn backward_comm_matches_ring_allreduce_of_weights() {
+        let model = NetModel { alpha: 1e-3, beta: 1e-6, flops: f64::INFINITY };
+        let p = 4;
+        let (d_out, d_in, b) = (8, 16, 8); // |W| = 128, divisible by 4
+        let w = init::xavier(d_out, d_in, 1);
+        let x = init::uniform(d_in, b, -1.0, 1.0, 2);
+        let dy = init::uniform(d_out, b, -1.0, 1.0, 3);
+        let out = World::run(p, model, |comm| {
+            let xl = col_shard(&x, p, comm.rank());
+            let dyl = col_shard(&dy, p, comm.rank());
+            let _ = backward(comm, &w, &xl, &dyl).unwrap();
+            comm.clock().comm
+        });
+        let expect = collectives::cost::ring_allreduce_exact(p, (d_out * d_in) as f64)
+            .seconds(&model);
+        for &t in &out {
+            assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
+        }
+    }
+}

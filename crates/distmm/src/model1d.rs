@@ -1,0 +1,139 @@
+//! Pure model parallelism (the paper's Fig. 1).
+//!
+//! Every rank owns a row shard of `W` (a subset of the filters /
+//! output neurons) and replicates the activations. The forward pass
+//! computes a row block of `Y` locally and assembles the full `Y` with
+//! an all-gather; `∆W` is local (each rank owns exactly the rows of `W`
+//! whose gradients it can compute); `∆X = Σ_p W_pᵀ·∆Y_p` needs an
+//! all-reduce (paper §7.2 and Eq. 3).
+
+use collectives::ring::allgatherv_ring;
+use collectives::{allreduce, ReduceOp};
+use mpsim::{Communicator, Result};
+use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b, matmul_flops};
+use tensor::Matrix;
+
+use crate::dist::part_range;
+
+/// Forward pass: local `Y_p = W_p·X`, then all-gather the row blocks
+/// into the full `Y` (shape `d_out × B` where
+/// `d_out = Σ_p rows(W_p)`).
+pub fn forward(comm: &Communicator, w_local: &Matrix, x: &Matrix) -> Result<Matrix> {
+    let b = x.cols();
+    comm.advance_flops(matmul_flops(w_local.rows(), w_local.cols(), b));
+    let y_local = matmul(w_local, x);
+    if comm.size() == 1 {
+        return Ok(y_local);
+    }
+    let blocks = allgatherv_ring(comm, y_local.as_slice())?;
+    let mats: Vec<Matrix> = blocks
+        .into_iter()
+        .map(|v| {
+            let rows = v.len() / b;
+            Matrix::from_vec(rows, b, v)
+        })
+        .collect();
+    Ok(Matrix::vcat(&mats))
+}
+
+/// Backward pass given the full `∆Y` (replicated, as produced by the
+/// next layer's ∆X all-reduce): returns `(∆W_p, ∆X)` where `∆W_p` is
+/// this rank's row shard (no communication) and `∆X` is the full,
+/// all-reduced input gradient.
+pub fn backward(
+    comm: &Communicator,
+    w_local: &Matrix,
+    x: &Matrix,
+    dy_full: &Matrix,
+) -> Result<(Matrix, Matrix)> {
+    let p = comm.size();
+    let r = comm.rank();
+    let range = part_range(dy_full.rows(), p, r);
+    let dy_local = dy_full.row_block(range.start, range.end);
+    comm.advance_flops(matmul_flops(dy_local.rows(), dy_local.cols(), x.rows()));
+    let dw_local = matmul_a_bt(&dy_local, x);
+    comm.advance_flops(matmul_flops(w_local.cols(), w_local.rows(), dy_local.cols()));
+    let mut dx = matmul_at_b(w_local, &dy_local);
+    allreduce(comm, dx.as_mut_slice(), ReduceOp::Sum)?;
+    Ok((dw_local, dx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{assemble_rows, row_shard};
+    use mpsim::{NetModel, World};
+    use tensor::init;
+
+    #[test]
+    fn matches_serial_reference() {
+        for p in [1, 2, 3, 4] {
+            let (d_out, d_in, b) = (9, 5, 6); // d_out not divisible by all p on purpose
+            let w = init::xavier(d_out, d_in, 1);
+            let x = init::uniform(d_in, b, -1.0, 1.0, 2);
+            let dy = init::uniform(d_out, b, -1.0, 1.0, 3);
+
+            let y_ref = matmul(&w, &x);
+            let dw_ref = matmul_a_bt(&dy, &x);
+            let dx_ref = matmul_at_b(&w, &dy);
+
+            let out = World::run(p, NetModel::free(), |comm| {
+                let wl = row_shard(&w, p, comm.rank());
+                let y = forward(comm, &wl, &x).unwrap();
+                let (dw, dx) = backward(comm, &wl, &x, &dy).unwrap();
+                (y, dw, dx)
+            });
+
+            for (r, (y, _, dx)) in out.iter().enumerate() {
+                assert!(y.approx_eq(&y_ref, 1e-12), "p={p} rank {r} Y");
+                assert!(dx.approx_eq(&dx_ref, 1e-10), "p={p} rank {r} dX");
+            }
+            let dw = assemble_rows(&out.iter().map(|(_, dw, _)| dw.clone()).collect::<Vec<_>>());
+            assert!(dw.approx_eq(&dw_ref, 1e-12), "p={p} dW");
+        }
+    }
+
+    #[test]
+    fn dw_needs_no_communication() {
+        // The paper: "no communication is needed for the model parallel
+        // part as the input activation is already communicated via the
+        // all-gather collective of forward pass".
+        let model = NetModel { alpha: 1.0, beta: 1.0, flops: f64::INFINITY };
+        let p = 4;
+        let (d_out, d_in, b) = (8, 4, 4);
+        let w = init::xavier(d_out, d_in, 1);
+        let x = init::uniform(d_in, b, -1.0, 1.0, 2);
+        let dy = init::uniform(d_out, b, -1.0, 1.0, 3);
+        let out = World::run(p, model, |comm| {
+            let _wl = row_shard(&w, p, comm.rank());
+            let before = comm.clock().comm;
+            let range = part_range(dy.rows(), p, comm.rank());
+            let dy_local = dy.row_block(range.start, range.end);
+            let _dw = matmul_a_bt(&dy_local, &x); // the ∆W computation alone
+            comm.clock().comm - before
+        });
+        for &t in &out {
+            assert_eq!(t, 0.0);
+        }
+    }
+
+    #[test]
+    fn forward_comm_time_is_allgather_of_y() {
+        let model = NetModel { alpha: 1e-3, beta: 1e-6, flops: f64::INFINITY };
+        let p = 4;
+        let (d_out, d_in, b) = (16, 4, 8);
+        let w = init::xavier(d_out, d_in, 1);
+        let x = init::uniform(d_in, b, -1.0, 1.0, 2);
+        let out = World::run(p, model, |comm| {
+            let wl = row_shard(&w, p, comm.rank());
+            let _ = forward(comm, &wl, &x).unwrap();
+            comm.clock().comm
+        });
+        // Ring allgatherv of the full Y (d_out*b words total).
+        let expect = collectives::cost::ring_allgather_exact(p, (d_out * b) as f64)
+            .seconds(&model);
+        for &t in &out {
+            assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
+        }
+    }
+}

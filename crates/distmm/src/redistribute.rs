@@ -1,0 +1,130 @@
+//! Activation redistribution between layer distributions — the
+//! executable form of the paper's Eq. 6.
+//!
+//! When consecutive layers use different grids (pure batch conv layers
+//! feeding a `Pr × Pc` FC stack, as in the paper's Fig. 7), the
+//! activations must move from a *column-shard* (batch) layout to the
+//! layout the next layer expects. The paper prices this at
+//! `α⌈log P⌉ + β·B·(P−1)/P·d_i` — one all-gather — and notes it is
+//! asymptotically free because the following model-parallel step costs
+//! three times as much.
+//!
+//! `batch_to_replicated` performs exactly that all-gather; the inverse
+//! direction (`replicated_to_batch`) is free — every rank just keeps
+//! its columns.
+
+use collectives::ring::allgatherv_ring;
+use mpsim::{Communicator, Result};
+use tensor::Matrix;
+
+use crate::dist::part_range;
+
+/// Gathers column shards (one per rank, possibly uneven) into the full
+/// replicated matrix on every rank. This is the Eq. 6 redistribution
+/// from a batch distribution to (the input side of) a model
+/// distribution.
+pub fn batch_to_replicated(comm: &Communicator, x_local: &Matrix) -> Result<Matrix> {
+    if comm.size() == 1 {
+        return Ok(x_local.clone());
+    }
+    let d = x_local.rows();
+    // Ship column-major blocks so each rank's shard stays contiguous.
+    let mine = x_local.transpose();
+    let blocks = allgatherv_ring(comm, mine.as_slice())?;
+    let mats: Vec<Matrix> = blocks
+        .into_iter()
+        .map(|v| {
+            let cols_t = v.len() / d;
+            Matrix::from_vec(cols_t, d, v).transpose()
+        })
+        .collect();
+    Ok(Matrix::hcat(&mats))
+}
+
+/// The inverse redistribution: from a replicated matrix back to this
+/// rank's column shard. Requires no communication (the paper counts it
+/// as free), so this is just a local slice.
+pub fn replicated_to_batch(comm: &Communicator, x_full: &Matrix) -> Matrix {
+    let r = part_range(x_full.cols(), comm.size(), comm.rank());
+    x_full.col_block(r.start, r.end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::col_shard;
+    use mpsim::{NetModel, World};
+    use tensor::init;
+
+    #[test]
+    fn roundtrip_restores_shards() {
+        let p = 4;
+        let x = init::uniform(6, 10, -1.0, 1.0, 3);
+        let out = World::run(p, NetModel::free(), |comm| {
+            let shard = col_shard(&x, p, comm.rank());
+            let full = batch_to_replicated(comm, &shard).unwrap();
+            assert!(full.approx_eq(&x, 0.0), "gather reproduces the full matrix");
+            replicated_to_batch(comm, &full)
+        });
+        for (r, shard) in out.iter().enumerate() {
+            assert!(shard.approx_eq(&col_shard(&x, p, r), 0.0), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn uneven_columns_are_supported() {
+        let p = 3;
+        let x = init::uniform(4, 7, -1.0, 1.0, 5);
+        let out = World::run(p, NetModel::free(), |comm| {
+            let shard = col_shard(&x, p, comm.rank());
+            batch_to_replicated(comm, &shard).unwrap()
+        });
+        for full in &out {
+            assert!(full.approx_eq(&x, 0.0));
+        }
+    }
+
+    #[test]
+    fn cost_matches_eq6_bandwidth() {
+        // α = 0 so the executed ring latency matches the paper's
+        // ⌈log P⌉ form trivially; the bandwidth term must be
+        // β·B·(P−1)/P·d exactly.
+        let p = 4;
+        let (d, b) = (8usize, 16usize);
+        let model = NetModel { alpha: 0.0, beta: 1e-6, flops: f64::INFINITY };
+        let x = init::uniform(d, b, -1.0, 1.0, 7);
+        let times = World::run(p, model, |comm| {
+            let shard = col_shard(&x, p, comm.rank());
+            let _ = batch_to_replicated(comm, &shard).unwrap();
+            comm.clock().comm
+        });
+        let expect = model.beta * (b * d) as f64 * (p as f64 - 1.0) / p as f64;
+        for &t in &times {
+            assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn redistribution_is_a_third_of_the_following_model_step() {
+        // The paper's amortization claim, on executed traffic: the
+        // gather moves B·d·(P−1)/P words; a model-parallel layer then
+        // moves 3× that (forward all-gather of Y plus the double-volume
+        // ∆X all-reduce), for d_out = d_in.
+        let p = 4;
+        let (d, b) = (8usize, 12usize);
+        let x = init::uniform(d, b, -1.0, 1.0, 9);
+        let w = init::xavier(d, d, 10);
+        let dy = init::uniform(d, b, -1.0, 1.0, 11);
+        let (_, redist_stats) = World::run_with_stats(p, NetModel::free(), |comm| {
+            let shard = col_shard(&x, p, comm.rank());
+            let _ = batch_to_replicated(comm, &shard).unwrap();
+        });
+        let (_, model_stats) = World::run_with_stats(p, NetModel::free(), |comm| {
+            let wl = crate::dist::row_shard(&w, p, comm.rank());
+            let _y = crate::model1d::forward(comm, &wl, &x).unwrap();
+            let _ = crate::model1d::backward(comm, &wl, &x, &dy).unwrap();
+        });
+        let ratio = model_stats.total_words() as f64 / redist_stats.total_words() as f64;
+        assert!((ratio - 3.0).abs() < 1e-9, "ratio {ratio}");
+    }
+}

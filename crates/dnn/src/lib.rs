@@ -1,0 +1,30 @@
+//! # dnn — network descriptions and shape algebra
+//!
+//! The paper's cost model consumes a network as a list of *weighted*
+//! layers, each characterized by (its Eq. 2):
+//!
+//! * `d_{i−1} = X_H·X_W·X_C` — input activation length per sample,
+//! * `d_i = Y_H·Y_W·Y_C` — output activation length per sample,
+//! * `|W_i|` — weight count (`kh·kw·X_C·Y_C` for conv, `d_i·d_{i−1}`
+//!   for fully connected), and
+//! * the kernel extent `(kh, kw)` — which determines the halo volume
+//!   for domain parallelism (with `kh = X_H`, `kw = X_W` for FC layers,
+//!   making their halo the entire input, as the paper notes).
+//!
+//! This crate provides layer specs, forward shape inference, the
+//! [`network::Network`] container with its derived
+//! [`network::WeightedLayer`] view, and a model zoo: AlexNet (the
+//! paper's fixed evaluation network, Table 1), VGG-16, a ResNet-18
+//! style stack (whose 1×1 convolutions exercise the "no halo needed"
+//! special case), MLPs, and an unrolled RNN (the paper observes its
+//! analysis "naturally extends" to RNNs because they are FC-dominated).
+
+pub mod layer;
+pub mod network;
+pub mod shape;
+pub mod stats;
+pub mod zoo;
+
+pub use layer::{LayerKind, LayerSpec};
+pub use network::{Network, NetworkBuilder, WeightedLayer};
+pub use shape::Shape;

@@ -1,0 +1,72 @@
+//! Aggregate network statistics used by reports and cost models.
+
+use crate::network::Network;
+
+/// Summary of the per-layer quantities the paper's sums range over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// `L` — number of weighted layers.
+    pub weighted_layers: usize,
+    /// Convolutional layer count.
+    pub conv_layers: usize,
+    /// Fully-connected layer count.
+    pub fc_layers: usize,
+    /// `Σ|W_i|` — total parameters.
+    pub total_weights: usize,
+    /// Parameters held in conv layers.
+    pub conv_weights: usize,
+    /// Parameters held in FC layers.
+    pub fc_weights: usize,
+    /// `Σ d_i` — total output-activation length per sample.
+    pub sum_d_out: usize,
+    /// `Σ_{i≥2} d_{i−1}` — total input-activation length over layers
+    /// 2..L (the term backpropagation all-reduces range over).
+    pub sum_d_in_tail: usize,
+    /// Training FLOPs per sample (3 matmuls per layer).
+    pub train_flops_per_sample: f64,
+}
+
+impl NetworkStats {
+    /// Computes the summary for a network.
+    pub fn of(net: &Network) -> Self {
+        let wl = net.weighted_layers();
+        let conv_weights: usize = wl.iter().filter(|l| l.is_conv()).map(|l| l.weights).sum();
+        let fc_weights: usize = wl.iter().filter(|l| !l.is_conv()).map(|l| l.weights).sum();
+        NetworkStats {
+            weighted_layers: wl.len(),
+            conv_layers: wl.iter().filter(|l| l.is_conv()).count(),
+            fc_layers: wl.iter().filter(|l| !l.is_conv()).count(),
+            total_weights: conv_weights + fc_weights,
+            conv_weights,
+            fc_weights,
+            sum_d_out: wl.iter().map(|l| l.d_out()).sum(),
+            sum_d_in_tail: wl.iter().skip(1).map(|l| l.d_in()).sum(),
+            train_flops_per_sample: net.train_flops_per_sample(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{alexnet, mlp};
+
+    #[test]
+    fn alexnet_summary() {
+        let s = NetworkStats::of(&alexnet());
+        assert_eq!(s.weighted_layers, 8);
+        assert_eq!(s.conv_layers, 5);
+        assert_eq!(s.fc_layers, 3);
+        assert_eq!(s.total_weights, s.conv_weights + s.fc_weights);
+        // Per-sample training flops for AlexNet are a few GFLOP.
+        assert!(s.train_flops_per_sample > 1e9 && s.train_flops_per_sample < 1e10);
+    }
+
+    #[test]
+    fn tail_sum_skips_first_layer() {
+        let net = mlp("m", &[8, 16, 4]);
+        let s = NetworkStats::of(&net);
+        assert_eq!(s.sum_d_out, 16 + 4);
+        assert_eq!(s.sum_d_in_tail, 16, "only layer 2's input counts");
+    }
+}

@@ -1,0 +1,121 @@
+//! AlexNet (Krizhevsky et al., 2012), single-tower variant — the
+//! network fixed by the paper's Table 1: "5 convolutional and 3 fully
+//! connected layers, parameters: 61M".
+//!
+//! Our layer-by-layer weight count is 62.37 M (the commonly quoted
+//! "61M" rounds the same architecture; bias terms and the two-tower
+//! grouping of the original paper account for small differences).
+
+use crate::layer::LayerSpec;
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::Shape;
+
+/// ImageNet LSVRC-2012 training-set size used by the paper's Table 1.
+pub const IMAGENET_TRAIN_IMAGES: usize = 1_281_167;
+
+/// ImageNet class count.
+pub const IMAGENET_CLASSES: usize = 1000;
+
+/// Builds AlexNet with 227×227 RGB inputs.
+pub fn alexnet() -> Network {
+    NetworkBuilder::new("alexnet", Shape::new(3, 227, 227))
+        // Stage 1: conv1 11x11/4, LRN, pool /2.
+        .layer(LayerSpec::Conv { out_c: 96, kh: 11, kw: 11, stride: 4, pad: 0 })
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::LocalResponseNorm)
+        .layer(LayerSpec::MaxPool { k: 3, stride: 2 })
+        // Stage 2: conv2 5x5 same-pad, LRN, pool /2.
+        .layer(LayerSpec::Conv { out_c: 256, kh: 5, kw: 5, stride: 1, pad: 2 })
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::LocalResponseNorm)
+        .layer(LayerSpec::MaxPool { k: 3, stride: 2 })
+        // Stage 3-5: three 3x3 same-pad convs, then pool /2.
+        .layer(LayerSpec::Conv { out_c: 384, kh: 3, kw: 3, stride: 1, pad: 1 })
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::Conv { out_c: 384, kh: 3, kw: 3, stride: 1, pad: 1 })
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::Conv { out_c: 256, kh: 3, kw: 3, stride: 1, pad: 1 })
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::MaxPool { k: 3, stride: 2 })
+        // Classifier: fc6, fc7, fc8.
+        .layer(LayerSpec::FullyConnected { out: 4096 })
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::Dropout { rate: 0.5 })
+        .layer(LayerSpec::FullyConnected { out: 4096 })
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::Dropout { rate: 0.5 })
+        .layer(LayerSpec::FullyConnected { out: IMAGENET_CLASSES })
+        .build()
+        .expect("AlexNet shapes are consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn has_5_conv_and_3_fc_layers() {
+        let wl = alexnet().weighted_layers();
+        assert_eq!(wl.len(), 8);
+        let convs = wl.iter().filter(|l| l.is_conv()).count();
+        assert_eq!(convs, 5);
+    }
+
+    #[test]
+    fn activation_shapes_match_literature() {
+        let wl = alexnet().weighted_layers();
+        assert_eq!(wl[0].out_shape, Shape::new(96, 55, 55));
+        assert_eq!(wl[1].out_shape, Shape::new(256, 27, 27));
+        assert_eq!(wl[2].out_shape, Shape::new(384, 13, 13));
+        assert_eq!(wl[3].out_shape, Shape::new(384, 13, 13));
+        assert_eq!(wl[4].out_shape, Shape::new(256, 13, 13));
+        assert_eq!(wl[5].in_shape.dim(), 9216, "fc6 input = 256*6*6");
+        assert_eq!(wl[7].out_shape, Shape::flat(1000));
+    }
+
+    #[test]
+    fn weight_counts_per_layer() {
+        let wl = alexnet().weighted_layers();
+        let counts: Vec<usize> = wl.iter().map(|l| l.weights).collect();
+        assert_eq!(
+            counts,
+            vec![
+                11 * 11 * 3 * 96,
+                5 * 5 * 96 * 256,
+                3 * 3 * 256 * 384,
+                3 * 3 * 384 * 384,
+                3 * 3 * 384 * 256,
+                9216 * 4096,
+                4096 * 4096,
+                4096 * 1000,
+            ]
+        );
+    }
+
+    #[test]
+    fn total_weights_approx_61m() {
+        let total = alexnet().total_weights();
+        assert!(
+            (60_000_000..64_000_000).contains(&total),
+            "Table 1 says ~61M; got {total}"
+        );
+    }
+
+    #[test]
+    fn conv3_is_the_eq5_example_layer() {
+        // The paper's Eq. 5 example: "3x3 filters on 13x13x384
+        // activations" — that is conv4/conv5's input; check conv4.
+        let wl = alexnet().weighted_layers();
+        assert_eq!(wl[3].in_shape, Shape::new(384, 13, 13));
+        assert_eq!(wl[3].kind, LayerKind::Conv { kh: 3, kw: 3 });
+    }
+
+    #[test]
+    fn fc_layers_dominate_weights() {
+        let wl = alexnet().weighted_layers();
+        let conv: usize = wl.iter().filter(|l| l.is_conv()).map(|l| l.weights).sum();
+        let fc: usize = wl.iter().filter(|l| !l.is_conv()).map(|l| l.weights).sum();
+        assert!(fc > 10 * conv, "conv={conv} fc={fc}");
+    }
+}

@@ -1,0 +1,72 @@
+//! A faithfully-scaled miniature AlexNet.
+//!
+//! Same stage structure as the paper's fixed network — a strided
+//! large-kernel conv1, two overlapping 3×3/2 max-pools, a 5×5
+//! same-padded conv2, three 3×3 same-padded convs, and an FC head —
+//! shrunk to 35×35 inputs so the *executable* trainers can run it
+//! end-to-end in milliseconds. `integrated::cnn` trains this network
+//! with integrated batch+domain parallelism and verifies the weights
+//! against serial SGD.
+
+use crate::layer::LayerSpec;
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::Shape;
+
+/// Builds the miniature AlexNet (3×35×35 inputs, 10 classes).
+pub fn mini_alexnet() -> Network {
+    NetworkBuilder::new("mini_alexnet", Shape::new(3, 35, 35))
+        // Stage 1: strided large-kernel conv + LRN + overlapping pool.
+        .layer(LayerSpec::Conv { out_c: 8, kh: 7, kw: 7, stride: 2, pad: 0 })
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::LocalResponseNorm)
+        .layer(LayerSpec::MaxPool { k: 3, stride: 2 })
+        // Stage 2: 5x5 same-pad conv + LRN + overlapping pool.
+        .layer(LayerSpec::Conv { out_c: 12, kh: 5, kw: 5, stride: 1, pad: 2 })
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::LocalResponseNorm)
+        .layer(LayerSpec::MaxPool { k: 3, stride: 2 })
+        // Stages 3-5: 3x3 same-pad convs.
+        .layer(LayerSpec::Conv { out_c: 16, kh: 3, kw: 3, stride: 1, pad: 1 })
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::Conv { out_c: 16, kh: 3, kw: 3, stride: 1, pad: 1 })
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::Conv { out_c: 12, kh: 3, kw: 3, stride: 1, pad: 1 })
+        .layer(LayerSpec::ReLU)
+        // Classifier.
+        .layer(LayerSpec::FullyConnected { out: 32 })
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::FullyConnected { out: 10 })
+        .build()
+        .expect("mini AlexNet shapes are consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_alexnet_stage_structure() {
+        let wl = mini_alexnet().weighted_layers();
+        assert_eq!(wl.len(), 7, "5 convs + 2 FC");
+        assert_eq!(wl.iter().filter(|l| l.is_conv()).count(), 5);
+    }
+
+    #[test]
+    fn shapes_chain_through_strided_stages() {
+        let wl = mini_alexnet().weighted_layers();
+        // conv1: (35-7)/2+1 = 15.
+        assert_eq!(wl[0].out_shape, Shape::new(8, 15, 15));
+        // conv2 input: overlapping pool (15-3)/2+1 = 7.
+        assert_eq!(wl[1].in_shape, Shape::new(8, 7, 7));
+        // conv3 input: pool (7-3)/2+1 = 3.
+        assert_eq!(wl[2].in_shape, Shape::new(12, 3, 3));
+        // FC head input: 12*3*3.
+        assert_eq!(wl[5].d_in(), 108);
+    }
+
+    #[test]
+    fn small_enough_to_train_in_tests() {
+        let net = mini_alexnet();
+        assert!(net.total_weights() < 50_000, "got {}", net.total_weights());
+    }
+}

@@ -1,0 +1,73 @@
+//! Multi-layer perceptrons.
+//!
+//! MLPs are pure stacks of the `Y = W·X` products the paper analyzes,
+//! which makes them the network family the executable distributed
+//! trainer (`integrated::trainer`) runs end-to-end on the simulated
+//! cluster.
+
+use crate::layer::LayerSpec;
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::Shape;
+
+/// Builds an MLP through the given layer widths: `dims[0]` is the input
+/// width, each subsequent width adds an FC layer, with ReLU between
+/// hidden layers (none after the final logits layer).
+///
+/// # Panics
+///
+/// Panics if fewer than two widths are given.
+pub fn mlp(name: impl Into<String>, dims: &[usize]) -> Network {
+    assert!(dims.len() >= 2, "an MLP needs an input and at least one layer");
+    let mut b = NetworkBuilder::new(name, Shape::flat(dims[0]));
+    for (i, &out) in dims[1..].iter().enumerate() {
+        b = b.layer(LayerSpec::FullyConnected { out });
+        let is_last = i + 2 == dims.len();
+        if !is_last {
+            b = b.layer(LayerSpec::ReLU);
+        }
+    }
+    b.build().expect("MLP shapes are consistent")
+}
+
+/// A small MLP (64→48→32→10) used by distributed-training tests:
+/// big enough for interesting shard shapes, small enough to train in
+/// milliseconds.
+pub fn mlp_tiny() -> Network {
+    mlp("mlp_tiny", &[64, 48, 32, 10])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_chain() {
+        let net = mlp("m", &[8, 16, 4]);
+        let wl = net.weighted_layers();
+        assert_eq!(wl.len(), 2);
+        assert_eq!(wl[0].d_in(), 8);
+        assert_eq!(wl[0].d_out(), 16);
+        assert_eq!(wl[1].d_out(), 4);
+        assert_eq!(net.total_weights(), 8 * 16 + 16 * 4);
+    }
+
+    #[test]
+    fn no_relu_after_logits() {
+        let net = mlp("m", &[8, 16, 4]);
+        let last = net.layers().last().unwrap();
+        assert!(matches!(last.0, LayerSpec::FullyConnected { out: 4 }));
+    }
+
+    #[test]
+    fn tiny_preset_shape() {
+        let net = mlp_tiny();
+        assert_eq!(net.input, Shape::flat(64));
+        assert_eq!(net.output(), Shape::flat(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn rejects_single_width() {
+        let _ = mlp("bad", &[8]);
+    }
+}

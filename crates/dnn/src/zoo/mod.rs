@@ -1,0 +1,23 @@
+//! Model zoo.
+//!
+//! [`alexnet`] is the paper's fixed evaluation network (Table 1). The
+//! others exist to show the cost framework is architecture-generic, as
+//! the paper's Limitations section claims: VGG-16 (heavier FC tail),
+//! a ResNet-18-style stack (1×1 convolutions — the "no halo" case the
+//! paper highlights), MLPs (for the executable distributed trainer),
+//! and an unrolled RNN (FC-dominated, the paper's explicitly-mentioned
+//! extension).
+
+mod alexnet;
+mod mini_alexnet;
+mod mlp;
+mod resnet;
+mod rnn;
+mod vgg;
+
+pub use alexnet::{alexnet, IMAGENET_CLASSES, IMAGENET_TRAIN_IMAGES};
+pub use mini_alexnet::mini_alexnet;
+pub use mlp::{mlp, mlp_tiny};
+pub use resnet::resnet18ish;
+pub use rnn::rnn_unrolled;
+pub use vgg::vgg16;

@@ -1,0 +1,85 @@
+//! A ResNet-18-style plain convolutional stack.
+//!
+//! The paper points at He et al.'s residual networks when noting that
+//! 1×1 convolutions "are actually becoming a dominant portion of the
+//! network in recent architectures" and that domain parallelism needs
+//! **no communication at all** for them (Eq. 7 with `⌊1/2⌋ = 0`). This
+//! model reproduces the ResNet-18 shape progression including the 1×1
+//! downsample projections; the residual element-wise adds are omitted
+//! because they carry no weights and no communication in any of the
+//! paper's schemes.
+
+use crate::layer::LayerSpec;
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::Shape;
+
+fn conv(out_c: usize, k: usize, stride: usize, pad: usize) -> LayerSpec {
+    LayerSpec::Conv { out_c, kh: k, kw: k, stride, pad }
+}
+
+/// Builds the ResNet-18-style stack with 224×224 RGB inputs.
+pub fn resnet18ish() -> Network {
+    let mut b = NetworkBuilder::new("resnet18ish", Shape::new(3, 224, 224))
+        .layer(conv(64, 7, 2, 3))
+        .layer(LayerSpec::ReLU)
+        .layer(LayerSpec::MaxPool { k: 3, stride: 2 }); // 64 x 55 -> 27? see test
+    // Stage template: (channels, first-stride). Each stage is two basic
+    // blocks of two 3x3 convs; stages after the first open with a
+    // stride-2 3x3 conv plus a 1x1 projection.
+    for (ch, first_stride) in [(64usize, 1usize), (128, 2), (256, 2), (512, 2)] {
+        if first_stride != 1 {
+            // 1x1 projection (the residual downsample path, kept as a
+            // real layer because its cost is what we study).
+            b = b.layer(conv(ch, 1, 2, 0)).layer(LayerSpec::ReLU);
+        }
+        for _ in 0..4 {
+            b = b.layer(conv(ch, 3, 1, 1)).layer(LayerSpec::ReLU);
+        }
+    }
+    // Global pooling to 1x1, then the classifier.
+    b.layer(LayerSpec::MaxPool { k: 6, stride: 6 })
+        .layer(LayerSpec::FullyConnected { out: 1000 })
+        .build()
+        .expect("resnet18ish shapes are consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn contains_1x1_convolutions() {
+        let wl = resnet18ish().weighted_layers();
+        let ones = wl
+            .iter()
+            .filter(|l| l.kind == LayerKind::Conv { kh: 1, kw: 1 })
+            .count();
+        assert_eq!(ones, 3, "one 1x1 projection per downsampling stage");
+    }
+
+    #[test]
+    fn one_by_one_convs_have_zero_halo() {
+        let wl = resnet18ish().weighted_layers();
+        for l in wl.iter().filter(|l| l.kind == LayerKind::Conv { kh: 1, kw: 1 }) {
+            let (kh, kw) = l.halo_kernel();
+            assert_eq!(kh / 2, 0);
+            assert_eq!(kw / 2, 0);
+        }
+    }
+
+    #[test]
+    fn parameter_count_in_resnet18_ballpark() {
+        let total = resnet18ish().total_weights();
+        // ResNet-18 has ~11.7M parameters; the plain stack lands nearby.
+        assert!((8_000_000..16_000_000).contains(&total), "got {total}");
+    }
+
+    #[test]
+    fn single_fc_classifier() {
+        let wl = resnet18ish().weighted_layers();
+        let fcs = wl.iter().filter(|l| !l.is_conv()).count();
+        assert_eq!(fcs, 1);
+        assert_eq!(wl.last().unwrap().out_shape, Shape::flat(1000));
+    }
+}

@@ -1,0 +1,62 @@
+//! An unrolled recurrent network.
+//!
+//! The paper's Limitations section: "cases with Recurrent Neural
+//! Networks mainly consist of fully connected layers and our analysis
+//! naturally extends to those cases." We model a vanilla RNN unrolled
+//! over `steps` timesteps as the corresponding chain of FC layers: an
+//! input projection, `steps` hidden-to-hidden transitions (with tanh),
+//! and an output head. Weight *sharing* across timesteps affects only
+//! the ∆W all-reduce volume — which the cost model reads from
+//! `total_weights`, so callers comparing against a weight-shared
+//! implementation should divide that term by `steps`; every activation
+//! (all-gather) term is per-timestep regardless of sharing.
+
+use crate::layer::LayerSpec;
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::Shape;
+
+/// Builds an unrolled vanilla RNN: `input_dim → hidden` then
+/// `steps − 1` further `hidden → hidden` transitions, then
+/// `hidden → classes`.
+///
+/// # Panics
+///
+/// Panics if `steps == 0`.
+pub fn rnn_unrolled(input_dim: usize, hidden: usize, steps: usize, classes: usize) -> Network {
+    assert!(steps > 0, "an RNN needs at least one timestep");
+    let mut b = NetworkBuilder::new(
+        format!("rnn_h{hidden}_t{steps}"),
+        Shape::flat(input_dim),
+    );
+    b = b.layer(LayerSpec::FullyConnected { out: hidden }).layer(LayerSpec::Tanh);
+    for _ in 1..steps {
+        b = b.layer(LayerSpec::FullyConnected { out: hidden }).layer(LayerSpec::Tanh);
+    }
+    b.layer(LayerSpec::FullyConnected { out: classes })
+        .build()
+        .expect("RNN shapes are consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count_scales_with_steps() {
+        let net = rnn_unrolled(128, 256, 4, 10);
+        // 1 input proj + 3 transitions + 1 head = 5 weighted layers.
+        assert_eq!(net.weighted_layers().len(), 5);
+    }
+
+    #[test]
+    fn all_layers_are_fully_connected() {
+        let net = rnn_unrolled(64, 32, 3, 5);
+        assert!(net.weighted_layers().iter().all(|l| !l.is_conv()));
+    }
+
+    #[test]
+    fn weights_count() {
+        let net = rnn_unrolled(64, 32, 3, 5);
+        assert_eq!(net.total_weights(), 64 * 32 + 2 * 32 * 32 + 32 * 5);
+    }
+}

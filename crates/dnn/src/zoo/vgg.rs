@@ -1,0 +1,62 @@
+//! VGG-16 (Simonyan & Zisserman): all-3×3 convolutions with an even
+//! heavier fully-connected tail than AlexNet — the regime where the
+//! paper's integrated model+batch parallelism pays off most.
+
+use crate::layer::LayerSpec;
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::Shape;
+
+/// Builds VGG-16 with 224×224 RGB inputs (configuration D).
+pub fn vgg16() -> Network {
+    let mut b = NetworkBuilder::new("vgg16", Shape::new(3, 224, 224));
+    let stages: &[&[usize]] = &[&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+    for stage in stages {
+        for &out_c in *stage {
+            b = b
+                .layer(LayerSpec::Conv { out_c, kh: 3, kw: 3, stride: 1, pad: 1 })
+                .layer(LayerSpec::ReLU);
+        }
+        b = b.layer(LayerSpec::MaxPool { k: 2, stride: 2 });
+    }
+    b.fc_relu(4096)
+        .layer(LayerSpec::Dropout { rate: 0.5 })
+        .fc_relu(4096)
+        .layer(LayerSpec::Dropout { rate: 0.5 })
+        .layer(LayerSpec::FullyConnected { out: 1000 })
+        .build()
+        .expect("VGG-16 shapes are consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_13_conv_and_3_fc() {
+        let wl = vgg16().weighted_layers();
+        assert_eq!(wl.len(), 16);
+        assert_eq!(wl.iter().filter(|l| l.is_conv()).count(), 13);
+    }
+
+    #[test]
+    fn total_weights_about_138m() {
+        let total = vgg16().total_weights();
+        // VGG-16 has ~138M parameters (weights only, no biases: 137.7M).
+        assert!((130_000_000..140_000_000).contains(&total), "got {total}");
+    }
+
+    #[test]
+    fn fc6_input_is_25088() {
+        let wl = vgg16().weighted_layers();
+        let fc6 = wl.iter().find(|l| !l.is_conv()).unwrap();
+        assert_eq!(fc6.d_in(), 512 * 7 * 7);
+    }
+
+    #[test]
+    fn spatial_halves_each_stage() {
+        let wl = vgg16().weighted_layers();
+        assert_eq!(wl[0].out_shape, Shape::new(64, 224, 224));
+        assert_eq!(wl[2].in_shape, Shape::new(64, 112, 112));
+        assert_eq!(wl[12].out_shape, Shape::new(512, 14, 14));
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-rank virtual clocks.
+//!
+//! Each simulated rank owns one [`Clock`]. The clock is a plain `f64`
+//! number of seconds plus an attribution of elapsed time to
+//! communication vs. compute, which is what the paper's stacked bar
+//! charts (Figs. 6–10) report.
+
+use crate::netmodel::NetModel;
+
+/// Virtual time of one rank, split by cause.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Clock {
+    /// Current virtual time in seconds.
+    pub now: f64,
+    /// Portion of `now` attributed to communication (time spent blocked
+    /// in `recv`/`wait`, including α–β transfer charges).
+    pub comm: f64,
+    /// Portion of `now` attributed to local compute.
+    pub compute: f64,
+}
+
+impl Clock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Advances by an explicit amount of compute time.
+    #[inline]
+    pub fn advance_compute(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative compute time");
+        self.now += seconds;
+        self.compute += seconds;
+    }
+
+    /// Charges `flops` floating-point operations at the machine rate.
+    #[inline]
+    pub fn advance_flops(&mut self, flops: f64, model: &NetModel) {
+        self.advance_compute(model.compute(flops));
+    }
+
+    /// Advances by an explicit amount of communication time.
+    #[inline]
+    pub fn advance_comm(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative comm time");
+        self.now += seconds;
+        self.comm += seconds;
+    }
+
+    /// Completes a blocking receive whose message departed the sender at
+    /// `depart` and needs `transfer` seconds on the wire. The receiver
+    /// first waits (idle counts as communication time) until the message
+    /// departs, then pays the transfer.
+    #[inline]
+    pub fn complete_recv(&mut self, depart: f64, transfer: f64) {
+        let start = self.now.max(depart);
+        let finish = start + transfer;
+        self.comm += finish - self.now;
+        self.now = finish;
+    }
+
+    /// Completes a `wait` on an overlapped receive that arrived at
+    /// `arrival` (absolute virtual time). Only clamps the clock forward;
+    /// if the data already arrived this is free.
+    #[inline]
+    pub fn complete_wait(&mut self, arrival: f64) {
+        if arrival > self.now {
+            self.comm += arrival - self.now;
+            self.now = arrival;
+        }
+    }
+
+    /// Jumps the clock to `t` if `t` is later, attributing the idle gap
+    /// to communication (used by barriers and clock-synchronizing
+    /// collectives).
+    #[inline]
+    pub fn sync_to(&mut self, t: f64) {
+        if t > self.now {
+            self.comm += t - self.now;
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_sums_to_now() {
+        let mut c = Clock::new();
+        c.advance_compute(1.5);
+        c.advance_comm(0.5);
+        c.complete_recv(3.0, 0.25);
+        assert!((c.now - (c.comm + c.compute)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recv_waits_for_departure() {
+        let mut c = Clock::new();
+        c.advance_compute(1.0);
+        // Message departed at t=5, transfer 2s: finish at 7.
+        c.complete_recv(5.0, 2.0);
+        assert!((c.now - 7.0).abs() < 1e-12);
+        assert!((c.comm - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recv_of_already_departed_message_only_pays_transfer() {
+        let mut c = Clock::new();
+        c.advance_compute(10.0);
+        c.complete_recv(5.0, 2.0);
+        assert!((c.now - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_is_free_when_data_arrived() {
+        let mut c = Clock::new();
+        c.advance_compute(10.0);
+        c.complete_wait(7.0);
+        assert!((c.now - 10.0).abs() < 1e-12);
+        assert_eq!(c.comm, 0.0);
+    }
+
+    #[test]
+    fn wait_clamps_forward_otherwise() {
+        let mut c = Clock::new();
+        c.advance_compute(1.0);
+        c.complete_wait(4.0);
+        assert!((c.now - 4.0).abs() < 1e-12);
+        assert!((c.comm - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flops_use_model_rate() {
+        let mut c = Clock::new();
+        let m = NetModel { alpha: 0.0, beta: 0.0, flops: 1e9 };
+        c.advance_flops(2e9, &m);
+        assert!((c.now - 2.0).abs() < 1e-12);
+    }
+}

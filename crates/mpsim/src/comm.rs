@@ -1,0 +1,591 @@
+//! Communicators: the MPI-like handle each rank program uses.
+//!
+//! A [`Communicator`] names a group of global ranks and gives the local
+//! rank send/recv/collective-building primitives within that group.
+//! Sub-communicators created with [`Communicator::split`] or
+//! [`Communicator::grid`] share the owning thread's virtual clock,
+//! mailbox, and traffic counters, exactly like MPI communicators share a
+//! process.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::clock::Clock;
+use crate::error::{Error, Result};
+use crate::netmodel::NetModel;
+use crate::router::{Endpoint, Envelope, Payload};
+use crate::stats::RankStats;
+use crate::topology::Topology;
+use crate::{Rank, Tag};
+
+/// Tags at or above this value are reserved for internal use (control
+/// plane and library collectives). Application code should stay below.
+pub const RESERVED_TAG_BASE: Tag = 1 << 48;
+
+const SPLIT_TAG: Tag = RESERVED_TAG_BASE + 1;
+const SYNC_TAG: Tag = RESERVED_TAG_BASE + 2;
+const BARRIER_TAG: Tag = RESERVED_TAG_BASE + 3;
+
+/// Per-thread shared state: transport endpoint, pending-message buffer,
+/// virtual clock, and counters. One `Inner` exists per OS thread (global
+/// rank); all communicators on that thread share it.
+pub(crate) struct Inner {
+    pub global_rank: usize,
+    pub world_size: usize,
+    pub endpoint: Endpoint,
+    /// Messages received from the channel but not yet matched, keyed by
+    /// `(ctx, src_global, tag)`, FIFO per key.
+    pub pending: HashMap<(u64, usize, Tag), VecDeque<Envelope>>,
+    pub clock: Clock,
+    pub model: NetModel,
+    pub topo: Topology,
+    pub stats: RankStats,
+    /// Monotonic counter so repeated `split` calls derive distinct
+    /// deterministic context ids (requires SPMD call order, like MPI).
+    pub split_seq: u64,
+}
+
+impl Inner {
+    /// Blocks until a message matching `(ctx, src, tag)` is available
+    /// and returns it, buffering any other messages that arrive first.
+    fn match_recv(&mut self, ctx: u64, src_global: usize, tag: Tag) -> Result<Envelope> {
+        let key = (ctx, src_global, tag);
+        if let Some(queue) = self.pending.get_mut(&key) {
+            if let Some(env) = queue.pop_front() {
+                return Ok(env);
+            }
+        }
+        loop {
+            let env = self
+                .endpoint
+                .rx
+                .recv()
+                .map_err(|_| Error::Disconnected { peer: src_global })?;
+            if env.ctx == ctx && env.src == src_global && env.tag == tag {
+                return Ok(env);
+            }
+            self.pending.entry((env.ctx, env.src, env.tag)).or_default().push_back(env);
+        }
+    }
+
+    fn post(&mut self, dst_global: usize, env: Envelope) -> Result<()> {
+        match &env.data {
+            Payload::Words(v) => {
+                self.stats.msgs_sent += 1;
+                self.stats.words_sent += v.len() as u64;
+            }
+            Payload::Control(_) => self.stats.ctrl_msgs_sent += 1,
+        }
+        self.endpoint.txs[dst_global]
+            .send(env)
+            .map_err(|_| Error::Disconnected { peer: dst_global })
+    }
+}
+
+/// A handle to a posted non-blocking receive. Obtain the data with
+/// [`Communicator::wait`].
+#[derive(Debug)]
+#[must_use = "a RecvHandle does nothing until waited on"]
+pub struct RecvHandle {
+    ctx: u64,
+    src_global: usize,
+    tag: Tag,
+}
+
+/// An MPI-like communicator over a group of simulated ranks.
+///
+/// Cloning is cheap (the member table is shared); clones alias the same
+/// thread-local clock and mailbox.
+#[derive(Clone)]
+pub struct Communicator {
+    pub(crate) inner: Rc<RefCell<Inner>>,
+    /// Context id separating this communicator's traffic.
+    ctx: u64,
+    /// Global ranks of the members, in rank order.
+    members: Arc<Vec<usize>>,
+    /// This thread's rank within `members`.
+    rank: Rank,
+}
+
+impl Communicator {
+    pub(crate) fn world(inner: Rc<RefCell<Inner>>) -> Self {
+        let (rank, size) = {
+            let i = inner.borrow();
+            (i.global_rank, i.world_size)
+        };
+        Communicator { inner, ctx: 0, members: Arc::new((0..size).collect()), rank }
+    }
+
+    /// This rank's index within the communicator.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The global (world) rank backing a communicator-local rank.
+    pub fn global_rank_of(&self, rank: Rank) -> Result<usize> {
+        self.members
+            .get(rank)
+            .copied()
+            .ok_or(Error::RankOutOfRange { rank, size: self.members.len() })
+    }
+
+    /// The network model shared by all ranks.
+    pub fn model(&self) -> NetModel {
+        self.inner.borrow().model
+    }
+
+    /// Current virtual time of this rank.
+    pub fn now(&self) -> f64 {
+        self.inner.borrow().clock.now
+    }
+
+    /// Snapshot of this rank's virtual clock.
+    pub fn clock(&self) -> Clock {
+        self.inner.borrow().clock
+    }
+
+    /// Charges local compute time for `flops` floating-point operations.
+    pub fn advance_flops(&self, flops: f64) {
+        let mut i = self.inner.borrow_mut();
+        let m = i.model;
+        i.clock.advance_flops(flops, &m);
+    }
+
+    /// Charges an explicit amount of local compute time.
+    pub fn advance_compute(&self, seconds: f64) {
+        self.inner.borrow_mut().clock.advance_compute(seconds);
+    }
+
+    /// Sends `data` to `dst` with `tag`. Eager: never blocks, charges no
+    /// local virtual time (cost is paid by the receiver).
+    pub fn send(&self, dst: Rank, tag: Tag, data: &[f64]) -> Result<()> {
+        self.send_vec(dst, tag, data.to_vec())
+    }
+
+    /// Like [`Communicator::send`] but takes ownership, avoiding a copy.
+    pub fn send_vec(&self, dst: Rank, tag: Tag, data: Vec<f64>) -> Result<()> {
+        let dst_global = self.global_rank_of(dst)?;
+        let mut i = self.inner.borrow_mut();
+        let env = Envelope {
+            ctx: self.ctx,
+            src: i.global_rank,
+            tag,
+            depart: i.clock.now,
+            data: Payload::Words(data),
+        };
+        i.post(dst_global, env)
+    }
+
+    /// Blocking receive of a message from `src` with `tag`. Advances the
+    /// virtual clock to `max(now, depart) + α + β·words`.
+    pub fn recv(&self, src: Rank, tag: Tag) -> Result<Vec<f64>> {
+        let src_global = self.global_rank_of(src)?;
+        let mut i = self.inner.borrow_mut();
+        let env = i.match_recv(self.ctx, src_global, tag)?;
+        let words = env.data.words();
+        let me = i.global_rank;
+        let (fa, fb) = i.topo.factors(env.src, me);
+        let transfer = fa * i.model.alpha + fb * i.model.beta * words as f64;
+        i.clock.complete_recv(env.depart, transfer);
+        match env.data {
+            Payload::Words(v) => Ok(v),
+            Payload::Control(_) => unreachable!("control payload on data tag"),
+        }
+    }
+
+    /// Blocking receive into a caller-provided buffer; errors if the
+    /// payload length differs from `buf.len()`.
+    pub fn recv_into(&self, src: Rank, tag: Tag, buf: &mut [f64]) -> Result<()> {
+        let v = self.recv(src, tag)?;
+        if v.len() != buf.len() {
+            return Err(Error::LengthMismatch { expected: buf.len(), got: v.len() });
+        }
+        buf.copy_from_slice(&v);
+        Ok(())
+    }
+
+    /// Posts a non-blocking receive. The matching message is considered
+    /// to arrive at `depart + α + β·words` *independently of what this
+    /// rank does meanwhile* — i.e. a perfectly overlapped transfer, the
+    /// assumption the paper makes for halo exchanges (Fig. 3) and for
+    /// Fig. 8's overlap study. Complete with [`Communicator::wait`].
+    pub fn irecv(&self, src: Rank, tag: Tag) -> Result<RecvHandle> {
+        let src_global = self.global_rank_of(src)?;
+        Ok(RecvHandle { ctx: self.ctx, src_global, tag })
+    }
+
+    /// Completes a non-blocking receive, clamping the clock forward to
+    /// the arrival time if the data is not yet there.
+    pub fn wait(&self, handle: RecvHandle) -> Result<Vec<f64>> {
+        let mut i = self.inner.borrow_mut();
+        let env = i.match_recv(handle.ctx, handle.src_global, handle.tag)?;
+        let words = env.data.words();
+        let me = i.global_rank;
+        let (fa, fb) = i.topo.factors(env.src, me);
+        let arrival = env.depart + fa * i.model.alpha + fb * i.model.beta * words as f64;
+        i.clock.complete_wait(arrival);
+        match env.data {
+            Payload::Words(v) => Ok(v),
+            Payload::Control(_) => unreachable!("control payload on data tag"),
+        }
+    }
+
+    /// Simultaneous exchange with two (possibly equal) partners: sends
+    /// to `dst`, then receives from `src`. The eager-send model makes
+    /// this deadlock-free.
+    pub fn sendrecv(&self, dst: Rank, send: &[f64], src: Rank, tag: Tag) -> Result<Vec<f64>> {
+        self.send(dst, tag, send)?;
+        self.recv(src, tag)
+    }
+
+    /// Zero-virtual-time control-plane send (communicator management).
+    pub fn send_control(&self, dst: Rank, tag: Tag, data: Vec<u8>) -> Result<()> {
+        let dst_global = self.global_rank_of(dst)?;
+        let mut i = self.inner.borrow_mut();
+        let env = Envelope {
+            ctx: self.ctx,
+            src: i.global_rank,
+            tag,
+            depart: 0.0,
+            data: Payload::Control(data),
+        };
+        i.post(dst_global, env)
+    }
+
+    /// Zero-virtual-time control-plane receive.
+    pub fn recv_control(&self, src: Rank, tag: Tag) -> Result<Vec<u8>> {
+        let src_global = self.global_rank_of(src)?;
+        let mut i = self.inner.borrow_mut();
+        let env = i.match_recv(self.ctx, src_global, tag)?;
+        match env.data {
+            Payload::Control(v) => Ok(v),
+            Payload::Words(_) => unreachable!("data payload on control tag"),
+        }
+    }
+
+    /// Dissemination barrier. Charges virtual time (⌈log₂ P⌉ rounds of
+    /// empty messages, α each) and leaves every member's clock at the
+    /// same value.
+    pub fn barrier(&self) -> Result<()> {
+        let p = self.size();
+        if p <= 1 {
+            return Ok(());
+        }
+        let r = self.rank;
+        let mut k = 1usize;
+        while k < p {
+            let dst = (r + k) % p;
+            let src = (r + p - k) % p;
+            self.send(dst, BARRIER_TAG, &[])?;
+            let _ = self.recv(src, BARRIER_TAG)?;
+            k <<= 1;
+        }
+        // Dissemination leaves clocks equal when they started equal; to
+        // make the invariant unconditional, synchronize explicitly
+        // (free: clocks only move forward to the max).
+        self.sync_clocks()
+    }
+
+    /// Synchronizes virtual clocks across the communicator to their
+    /// maximum without charging any message cost. Control-plane helper
+    /// for delimiting timed experiment phases.
+    pub fn sync_clocks(&self) -> Result<()> {
+        let p = self.size();
+        if p <= 1 {
+            return Ok(());
+        }
+        let mine = self.now();
+        // Everyone sends its clock to everyone else (control traffic).
+        for dst in 0..p {
+            if dst != self.rank {
+                self.send_control(dst, SYNC_TAG, mine.to_le_bytes().to_vec())?;
+            }
+        }
+        let mut max = mine;
+        for src in 0..p {
+            if src != self.rank {
+                let bytes = self.recv_control(src, SYNC_TAG)?;
+                let t = f64::from_le_bytes(bytes[..8].try_into().expect("8-byte clock"));
+                max = max.max(t);
+            }
+        }
+        self.inner.borrow_mut().clock.sync_to(max);
+        Ok(())
+    }
+
+    /// Resets this rank's virtual clock to zero (e.g. after a warm-up
+    /// phase). Call under a [`Communicator::barrier`] or
+    /// [`Communicator::sync_clocks`] to keep ranks consistent.
+    pub fn reset_clock(&self) {
+        self.inner.borrow_mut().clock = Clock::new();
+    }
+
+    /// Splits the communicator into disjoint sub-communicators by
+    /// `color`; members of each new communicator are ordered by
+    /// `(key, old rank)`. All members must call `split` in the same
+    /// order (SPMD), like `MPI_Comm_split`. Control-plane: free in
+    /// virtual time.
+    pub fn split(&self, color: u64, key: u64) -> Result<Communicator> {
+        let p = self.size();
+        let seq = {
+            let mut i = self.inner.borrow_mut();
+            i.split_seq += 1;
+            i.split_seq
+        };
+        // Exchange (color, key) with every member.
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&color.to_le_bytes());
+        payload.extend_from_slice(&key.to_le_bytes());
+        for dst in 0..p {
+            if dst != self.rank {
+                self.send_control(dst, SPLIT_TAG + seq, payload.clone())?;
+            }
+        }
+        let mut triples: Vec<(u64, u64, usize)> = vec![(color, key, self.rank)];
+        for src in 0..p {
+            if src != self.rank {
+                let bytes = self.recv_control(src, SPLIT_TAG + seq)?;
+                let c = u64::from_le_bytes(bytes[0..8].try_into().expect("color"));
+                let k = u64::from_le_bytes(bytes[8..16].try_into().expect("key"));
+                triples.push((c, k, src));
+            }
+        }
+        let mut same: Vec<(u64, usize)> = triples
+            .into_iter()
+            .filter(|&(c, _, _)| c == color)
+            .map(|(_, k, r)| (k, r))
+            .collect();
+        same.sort_unstable();
+        let members: Vec<usize> =
+            same.iter().map(|&(_, r)| self.members[r]).collect();
+        let my_global = self.members[self.rank];
+        let rank = members
+            .iter()
+            .position(|&g| g == my_global)
+            .expect("splitting rank must belong to its own color group");
+        // Derive a deterministic child context id (FNV-1a over parent
+        // ctx, sequence number, and color).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in [self.ctx, seq, color] {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        Ok(Communicator {
+            inner: Rc::clone(&self.inner),
+            ctx: h,
+            members: Arc::new(members),
+            rank,
+        })
+    }
+
+    /// Views the communicator as a row-major `pr × pc` grid and returns
+    /// `(row_comm, col_comm)` for this rank:
+    ///
+    /// * `row_comm` has size `pc` — in the paper's layout these are the
+    ///   ranks holding the *same model shard* across batch shards, i.e.
+    ///   the "Pc-sized groups" used for the ∆W all-reduce.
+    /// * `col_comm` has size `pr` — the ranks holding the *same batch
+    ///   shard* across model shards, i.e. the "Pr-sized groups" used for
+    ///   the forward all-gather and the ∆X all-reduce.
+    ///
+    /// Requires `pr * pc == self.size()`.
+    pub fn grid(&self, pr: usize, pc: usize) -> Result<(Communicator, Communicator)> {
+        if pr * pc != self.size() {
+            return Err(Error::CollectiveMismatch(format!(
+                "grid {pr}x{pc} does not tile a communicator of size {}",
+                self.size()
+            )));
+        }
+        let i = self.rank / pc; // row index (model shard)
+        let j = self.rank % pc; // column index (batch shard)
+        let row = self.split(i as u64, j as u64)?;
+        let col = self.split(j as u64, i as u64)?;
+        Ok((row, col))
+    }
+
+    /// This rank's traffic counters so far.
+    pub fn stats(&self) -> RankStats {
+        self.inner.borrow().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn send_recv_roundtrip_and_timing() {
+        let model = NetModel { alpha: 1.0, beta: 0.5, flops: f64::INFINITY };
+        let out = World::run(2, model, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+                0.0
+            } else {
+                let v = comm.recv(0, 0).unwrap();
+                assert_eq!(v, vec![1.0, 2.0, 3.0, 4.0]);
+                comm.now()
+            }
+        });
+        // recv cost: alpha + 4*beta = 1 + 2 = 3.
+        assert!((out[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recv_waits_for_late_sender() {
+        let model = NetModel { alpha: 1.0, beta: 0.0, flops: 1.0 };
+        let out = World::run(2, model, |comm| {
+            if comm.rank() == 0 {
+                comm.advance_compute(10.0);
+                comm.send(1, 0, &[42.0]).unwrap();
+                comm.now()
+            } else {
+                let _ = comm.recv(0, 0).unwrap();
+                comm.now()
+            }
+        });
+        assert!((out[0] - 10.0).abs() < 1e-12);
+        // Receiver: waits to t=10, then alpha=1.
+        assert!((out[1] - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let model = NetModel::free();
+        let out = World::run(2, model, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, &[5.0]).unwrap();
+                comm.send(1, 6, &[6.0]).unwrap();
+                vec![]
+            } else {
+                // Receive in the opposite order.
+                let six = comm.recv(0, 6).unwrap();
+                let five = comm.recv(0, 5).unwrap();
+                vec![six[0], five[0]]
+            }
+        });
+        assert_eq!(out[1], vec![6.0, 5.0]);
+    }
+
+    #[test]
+    fn overlapped_recv_is_free_when_compute_covers_it() {
+        let model = NetModel { alpha: 1.0, beta: 1.0, flops: f64::INFINITY };
+        let out = World::run(2, model, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[1.0, 1.0]).unwrap(); // departs at t=0, arrives t=3
+                0.0
+            } else {
+                let h = comm.irecv(0, 0).unwrap();
+                comm.advance_compute(10.0); // covers the transfer
+                let _ = comm.wait(h).unwrap();
+                comm.now()
+            }
+        });
+        assert!((out[1] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapped_recv_clamps_when_compute_is_short() {
+        let model = NetModel { alpha: 1.0, beta: 1.0, flops: f64::INFINITY };
+        let out = World::run(2, model, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[1.0, 1.0]).unwrap(); // arrives t=3
+                0.0
+            } else {
+                let h = comm.irecv(0, 0).unwrap();
+                comm.advance_compute(1.0);
+                let _ = comm.wait(h).unwrap();
+                comm.now()
+            }
+        });
+        assert!((out[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_forms_expected_groups() {
+        let model = NetModel::free();
+        let out = World::run(6, model, |comm| {
+            // Rows of a 2x3 grid: color = rank / 3.
+            let sub = comm.split((comm.rank() / 3) as u64, comm.rank() as u64).unwrap();
+            (sub.rank(), sub.size())
+        });
+        assert_eq!(out, vec![(0, 3), (1, 3), (2, 3), (0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn grid_row_and_col_sizes() {
+        let model = NetModel::free();
+        let out = World::run(6, model, |comm| {
+            let (row, col) = comm.grid(2, 3).unwrap();
+            (row.size(), col.size(), row.rank(), col.rank())
+        });
+        for (g, &(rs, cs, rr, cr)) in out.iter().enumerate() {
+            assert_eq!(rs, 3, "row comm size");
+            assert_eq!(cs, 2, "col comm size");
+            assert_eq!(rr, g % 3, "row rank = column index");
+            assert_eq!(cr, g / 3, "col rank = row index");
+        }
+    }
+
+    #[test]
+    fn sub_communicators_do_not_cross_talk() {
+        let model = NetModel::free();
+        let out = World::run(4, model, |comm| {
+            let (row, _col) = comm.grid(2, 2).unwrap();
+            // Both rows exchange with the same (sub-rank, tag) pair; the
+            // context id keeps traffic separate.
+            let me = comm.rank() as f64;
+            let peer = 1 - row.rank();
+            let got = row.sendrecv(peer, &[me], peer, 9).unwrap();
+            got[0]
+        });
+        assert_eq!(out, vec![1.0, 0.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn barrier_equalizes_clocks() {
+        let model = NetModel { alpha: 1.0, beta: 0.0, flops: f64::INFINITY };
+        let out = World::run(4, model, |comm| {
+            comm.advance_compute(comm.rank() as f64);
+            comm.barrier().unwrap();
+            comm.now()
+        });
+        for &t in &out {
+            assert!((t - out[0]).abs() < 1e-12, "clocks equal after barrier: {out:?}");
+        }
+        // At least the straggler's compute (3.0) plus 2 rounds of alpha.
+        assert!(out[0] >= 3.0);
+    }
+
+    #[test]
+    fn rank_out_of_range_is_reported() {
+        let model = NetModel::free();
+        let out = World::run(2, model, |comm| comm.send(5, 0, &[1.0]).unwrap_err());
+        assert_eq!(out[0], Error::RankOutOfRange { rank: 5, size: 2 });
+    }
+
+    #[test]
+    fn stats_count_words() {
+        let model = NetModel::free();
+        let (_, stats) = World::run_with_stats(2, model, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[0.0; 17]).unwrap();
+            } else {
+                let _ = comm.recv(0, 0).unwrap();
+            }
+        });
+        assert_eq!(stats.total_words(), 17);
+        assert_eq!(stats.total_msgs(), 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for simulator operations.
+
+use std::fmt;
+
+/// Errors surfaced by `mpsim` operations.
+///
+/// The simulator is intended for in-process experiments, so most misuse
+/// (e.g. deadlock from mismatched send/recv) manifests as a hang rather
+/// than an error; `Error` covers the conditions we can detect cheaply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A rank index was outside `0..size` for the communicator.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// The communicator size.
+        size: usize,
+    },
+    /// The peer's channel was disconnected (its thread panicked or
+    /// returned early).
+    Disconnected {
+        /// Global rank of the unreachable peer.
+        peer: usize,
+    },
+    /// A received payload had a different length than the caller
+    /// required (`recv_into` with a fixed-size buffer).
+    LengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Received element count.
+        got: usize,
+    },
+    /// A collective was invoked with inconsistent arguments across
+    /// ranks (detected opportunistically).
+    CollectiveMismatch(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            Error::Disconnected { peer } => {
+                write!(f, "peer rank {peer} disconnected (thread panicked or exited early)")
+            }
+            Error::LengthMismatch { expected, got } => {
+                write!(f, "payload length mismatch: expected {expected} elements, got {got}")
+            }
+            Error::CollectiveMismatch(msg) => write!(f, "collective argument mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

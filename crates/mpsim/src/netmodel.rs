@@ -1,0 +1,107 @@
+//! The α–β–γ machine model that drives the virtual clocks.
+//!
+//! The paper's Table 1 fixes the interconnect of NERSC Cori at
+//! `α = 2 µs` latency and `1/β = 6 GB/s` per-link bandwidth, and reads
+//! compute time off an empirical KNL curve. `NetModel` carries the same
+//! three knobs: per-message latency, per-*word* inverse bandwidth, and a
+//! sustained FLOP rate for local compute. All costs in this repository
+//! are expressed in **words** (one word = one model/activation scalar),
+//! matching the unit the paper's Eqs. 3–9 count; the conversion from
+//! bytes/s to seconds/word happens here, parameterized by the word size.
+
+/// Network + compute cost parameters for one simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    /// Per-message latency α in seconds.
+    pub alpha: f64,
+    /// Inverse bandwidth β in seconds per *word*.
+    pub beta: f64,
+    /// Sustained local compute rate in FLOP/s, used by
+    /// [`crate::Clock::advance_flops`].
+    pub flops: f64,
+}
+
+impl NetModel {
+    /// Builds a model from latency (seconds), link bandwidth
+    /// (bytes/second) and the word size in bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let m = mpsim::NetModel::from_bandwidth(2e-6, 6e9, 4, 1e12);
+    /// assert!((m.beta - 4.0 / 6e9).abs() < 1e-18);
+    /// ```
+    pub fn from_bandwidth(alpha: f64, bytes_per_sec: f64, word_bytes: usize, flops: f64) -> Self {
+        NetModel { alpha, beta: word_bytes as f64 / bytes_per_sec, flops }
+    }
+
+    /// The paper's Table 1 interconnect: α = 2 µs, 1/β = 6 GB/s, fp32
+    /// words, and a nominal 3 TFLOP/s sustained KNL rate (the paper
+    /// takes compute from an empirical curve instead; this rate only
+    /// matters for executable-simulation experiments that charge raw
+    /// FLOPs).
+    pub fn cori_knl() -> Self {
+        NetModel::from_bandwidth(2e-6, 6e9, 4, 3e12)
+    }
+
+    /// A zero-latency, infinite-bandwidth model: collectives cost no
+    /// virtual time. Useful for numerics-only tests.
+    pub fn free() -> Self {
+        NetModel { alpha: 0.0, beta: 0.0, flops: f64::INFINITY }
+    }
+
+    /// Time to move `words` words point-to-point: `α + β·words`.
+    #[inline]
+    pub fn ptp(&self, words: usize) -> f64 {
+        self.alpha + self.beta * words as f64
+    }
+
+    /// Time to execute `flops` floating-point operations locally.
+    #[inline]
+    pub fn compute(&self, flops: f64) -> f64 {
+        if self.flops.is_infinite() {
+            0.0
+        } else {
+            flops / self.flops
+        }
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::cori_knl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cori_matches_table1() {
+        let m = NetModel::cori_knl();
+        assert_eq!(m.alpha, 2e-6);
+        // 4-byte words at 6 GB/s.
+        assert!((m.beta - 4.0 / 6e9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn ptp_is_affine() {
+        let m = NetModel { alpha: 1.0, beta: 0.5, flops: 1.0 };
+        assert_eq!(m.ptp(0), 1.0);
+        assert_eq!(m.ptp(4), 3.0);
+    }
+
+    #[test]
+    fn free_model_costs_nothing() {
+        let m = NetModel::free();
+        assert_eq!(m.ptp(1_000_000), 0.0);
+        assert_eq!(m.compute(1e18), 0.0);
+    }
+
+    #[test]
+    fn compute_scales_with_rate() {
+        let m = NetModel { alpha: 0.0, beta: 0.0, flops: 2e9 };
+        assert!((m.compute(4e9) - 2.0).abs() < 1e-12);
+    }
+}

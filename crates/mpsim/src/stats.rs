@@ -1,0 +1,88 @@
+//! Traffic and timing statistics.
+
+use crate::clock::Clock;
+
+/// Per-rank traffic counters (data-plane only; control traffic is
+/// counted separately because it is free in virtual time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankStats {
+    /// Number of data messages sent.
+    pub msgs_sent: u64,
+    /// Total words sent across all data messages.
+    pub words_sent: u64,
+    /// Number of control messages sent.
+    pub ctrl_msgs_sent: u64,
+}
+
+impl RankStats {
+    /// Accumulates another rank's counters into `self`.
+    pub fn merge(&mut self, other: &RankStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.words_sent += other.words_sent;
+        self.ctrl_msgs_sent += other.ctrl_msgs_sent;
+    }
+}
+
+/// World-level summary returned by [`crate::World::run_with_stats`].
+#[derive(Debug, Clone, Default)]
+pub struct WorldStats {
+    /// Per-rank traffic counters, indexed by global rank.
+    pub ranks: Vec<RankStats>,
+    /// Final virtual clock of each rank.
+    pub clocks: Vec<Clock>,
+}
+
+impl WorldStats {
+    /// The makespan: the latest final virtual time across ranks. This is
+    /// the quantity the paper's bar charts plot per iteration/epoch.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().map(|c| c.now).fold(0.0, f64::max)
+    }
+
+    /// Maximum per-rank communication time.
+    pub fn max_comm(&self) -> f64 {
+        self.clocks.iter().map(|c| c.comm).fold(0.0, f64::max)
+    }
+
+    /// Maximum per-rank compute time.
+    pub fn max_compute(&self) -> f64 {
+        self.clocks.iter().map(|c| c.compute).fold(0.0, f64::max)
+    }
+
+    /// Total words moved across the whole world (sum over ranks).
+    pub fn total_words(&self) -> u64 {
+        self.ranks.iter().map(|r| r.words_sent).sum()
+    }
+
+    /// Total data messages across the whole world.
+    pub fn total_msgs(&self) -> u64 {
+        self.ranks.iter().map(|r| r.msgs_sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = RankStats { msgs_sent: 1, words_sent: 10, ctrl_msgs_sent: 2 };
+        let b = RankStats { msgs_sent: 3, words_sent: 5, ctrl_msgs_sent: 0 };
+        a.merge(&b);
+        assert_eq!(a, RankStats { msgs_sent: 4, words_sent: 15, ctrl_msgs_sent: 2 });
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let stats = WorldStats {
+            ranks: vec![RankStats::default(); 2],
+            clocks: vec![
+                Clock { now: 1.0, comm: 0.5, compute: 0.5 },
+                Clock { now: 3.0, comm: 1.0, compute: 2.0 },
+            ],
+        };
+        assert_eq!(stats.makespan(), 3.0);
+        assert_eq!(stats.max_comm(), 1.0);
+        assert_eq!(stats.max_compute(), 2.0);
+    }
+}

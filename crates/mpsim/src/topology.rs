@@ -1,0 +1,86 @@
+//! Hierarchical network topology.
+//!
+//! The paper's Limitations section assumes a flat network but notes
+//! that topology "can be approximated by adjusting the latency and
+//! bandwidth terms accordingly". [`Topology`] does exactly that at the
+//! message level: ranks are packed into nodes of `node_size`
+//! consecutive global ranks, and intra-node messages get their α and β
+//! scaled by configurable factors (< 1 = faster, e.g. shared-memory
+//! transport). The flat default reproduces the paper's model
+//! unchanged.
+//!
+//! This makes *rank placement* observable: mapping the `Pr × Pc` grid
+//! so that the heavy all-gather groups land inside nodes measurably
+//! beats the opposite placement — see the `ablation_topology` bench
+//! binary.
+
+/// Node-aware scaling of per-message costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Topology {
+    /// Ranks per node (consecutive global ranks share a node).
+    pub node_size: usize,
+    /// Multiplier on α for intra-node messages.
+    pub intra_alpha_factor: f64,
+    /// Multiplier on β for intra-node messages.
+    pub intra_beta_factor: f64,
+}
+
+impl Topology {
+    /// The flat network of the paper: every message pays full α/β.
+    pub fn flat() -> Self {
+        Topology { node_size: 1, intra_alpha_factor: 1.0, intra_beta_factor: 1.0 }
+    }
+
+    /// A typical fat-node cluster: `node_size` ranks per node,
+    /// intra-node messages 10× cheaper in latency and 4× in bandwidth
+    /// (shared-memory transport vs NIC).
+    pub fn fat_nodes(node_size: usize) -> Self {
+        Topology { node_size, intra_alpha_factor: 0.1, intra_beta_factor: 0.25 }
+    }
+
+    /// Whether two global ranks share a node.
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_size > 1 && a / self.node_size == b / self.node_size
+    }
+
+    /// The `(alpha_factor, beta_factor)` for a message from `src` to
+    /// `dst`.
+    #[inline]
+    pub fn factors(&self, src: usize, dst: usize) -> (f64, f64) {
+        if self.same_node(src, dst) {
+            (self.intra_alpha_factor, self.intra_beta_factor)
+        } else {
+            (1.0, 1.0)
+        }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::flat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_topology_never_groups() {
+        let t = Topology::flat();
+        assert!(!t.same_node(0, 0));
+        assert!(!t.same_node(0, 1));
+        assert_eq!(t.factors(3, 7), (1.0, 1.0));
+    }
+
+    #[test]
+    fn fat_nodes_group_consecutive_ranks() {
+        let t = Topology::fat_nodes(4);
+        assert!(t.same_node(0, 3));
+        assert!(!t.same_node(3, 4));
+        assert!(t.same_node(5, 6));
+        assert_eq!(t.factors(0, 3), (0.1, 0.25));
+        assert_eq!(t.factors(3, 4), (1.0, 1.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Spawning a simulated world of ranks.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::clock::Clock;
+use crate::comm::{Communicator, Inner};
+use crate::netmodel::NetModel;
+use crate::router;
+use crate::stats::{RankStats, WorldStats};
+use crate::topology::Topology;
+
+/// Entry point: spawns `size` ranks as scoped OS threads, hands each a
+/// world [`Communicator`], and collects their return values in rank
+/// order.
+pub struct World;
+
+impl World {
+    /// Runs `f` on every rank of a `size`-rank world under `model`.
+    ///
+    /// # Examples
+    ///
+    /// A two-rank ping: the receiver's virtual clock advances by
+    /// `α + β·words`.
+    ///
+    /// ```
+    /// use mpsim::{NetModel, World};
+    ///
+    /// let model = NetModel { alpha: 1e-6, beta: 1e-9, flops: f64::INFINITY };
+    /// let out = World::run(2, model, |comm| {
+    ///     if comm.rank() == 0 {
+    ///         comm.send(1, 0, &[1.0, 2.0]).unwrap();
+    ///         0.0
+    ///     } else {
+    ///         let data = comm.recv(0, 0).unwrap();
+    ///         assert_eq!(data, vec![1.0, 2.0]);
+    ///         comm.now()
+    ///     }
+    /// });
+    /// assert!((out[1] - (1e-6 + 2.0 * 1e-9)).abs() < 1e-18);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any rank (after all threads are joined by
+    /// the scope). A rank returning early while peers still expect its
+    /// messages surfaces as [`crate::Error::Disconnected`] on the peers.
+    pub fn run<T, F>(size: usize, model: NetModel, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
+        Self::run_with_stats(size, model, f).0
+    }
+
+    /// Like [`World::run`] but also returns traffic counters and final
+    /// virtual clocks for every rank.
+    pub fn run_with_stats<T, F>(size: usize, model: NetModel, f: F) -> (Vec<T>, WorldStats)
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
+        Self::run_topo_with_stats(size, model, Topology::flat(), f)
+    }
+
+    /// Runs under a hierarchical [`Topology`]: intra-node messages get
+    /// their α/β scaled per the topology, modelling fat nodes.
+    pub fn run_topo<T, F>(size: usize, model: NetModel, topo: Topology, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
+        Self::run_topo_with_stats(size, model, topo, f).0
+    }
+
+    /// [`World::run_topo`] with statistics.
+    pub fn run_topo_with_stats<T, F>(
+        size: usize,
+        model: NetModel,
+        topo: Topology,
+        f: F,
+    ) -> (Vec<T>, WorldStats)
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
+        assert!(size > 0, "world size must be positive");
+        let endpoints = router::build(size);
+        let f = &f;
+        let mut joined: Vec<(T, RankStats, Clock)> = Vec::with_capacity(size);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, endpoint) in endpoints.into_iter().enumerate() {
+                handles.push(scope.spawn(move || {
+                    let inner = Rc::new(RefCell::new(Inner {
+                        global_rank: rank,
+                        world_size: size,
+                        endpoint,
+                        pending: HashMap::new(),
+                        clock: Clock::new(),
+                        model,
+                        topo,
+                        stats: RankStats::default(),
+                        split_seq: 0,
+                    }));
+                    let comm = Communicator::world(Rc::clone(&inner));
+                    let out = f(&comm);
+                    let i = inner.borrow();
+                    (out, i.stats, i.clock)
+                }));
+            }
+            for h in handles {
+                joined.push(h.join().expect("rank thread panicked"));
+            }
+        });
+        let mut results = Vec::with_capacity(size);
+        let mut stats = WorldStats::default();
+        for (out, rank_stats, clock) in joined {
+            results.push(out);
+            stats.ranks.push(rank_stats);
+            stats.clocks.push(clock);
+        }
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_rank_order() {
+        let out = World::run(8, NetModel::free(), |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = World::run(1, NetModel::free(), |comm| {
+            assert_eq!(comm.size(), 1);
+            comm.barrier().unwrap();
+            1
+        });
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn stats_collects_clock_per_rank() {
+        let model = NetModel { alpha: 0.0, beta: 0.0, flops: 1e9 };
+        let (_, stats) = World::run_with_stats(3, model, |comm| {
+            comm.advance_flops((comm.rank() as f64 + 1.0) * 1e9);
+        });
+        assert!((stats.makespan() - 3.0).abs() < 1e-12);
+        assert!((stats.max_compute() - 3.0).abs() < 1e-12);
+        assert_eq!(stats.max_comm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must be positive")]
+    fn zero_size_world_panics() {
+        let _ = World::run(0, NetModel::free(), |_| ());
+    }
+
+    #[test]
+    fn topology_scales_intra_node_messages() {
+        use crate::topology::Topology;
+        let model = NetModel { alpha: 1.0, beta: 1.0, flops: f64::INFINITY };
+        let topo = Topology { node_size: 2, intra_alpha_factor: 0.5, intra_beta_factor: 0.25 };
+        // Ranks 0 and 1 share a node; ranks 0 and 2 do not.
+        let out = World::run_topo(4, model, topo, |comm| {
+            match comm.rank() {
+                0 => {
+                    comm.send(1, 0, &[0.0; 4]).unwrap();
+                    comm.send(2, 0, &[0.0; 4]).unwrap();
+                    0.0
+                }
+                1 => {
+                    comm.recv(0, 0).unwrap();
+                    comm.now()
+                }
+                2 => {
+                    comm.recv(0, 0).unwrap();
+                    comm.now()
+                }
+                _ => 0.0,
+            }
+        });
+        // Intra-node: 0.5*alpha + 0.25*4*beta = 1.5; inter: 1 + 4 = 5.
+        assert!((out[1] - 1.5).abs() < 1e-12, "intra-node: {}", out[1]);
+        assert!((out[2] - 5.0).abs() < 1e-12, "inter-node: {}", out[2]);
+    }
+
+    #[test]
+    fn deterministic_replay_produces_identical_stats() {
+        let run = || {
+            World::run_with_stats(6, NetModel::cori_knl(), |comm| {
+                // A little traffic with data-dependent sizes.
+                let peer = (comm.rank() + 1) % comm.size();
+                let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                let data = vec![comm.rank() as f64; comm.rank() + 1];
+                comm.send(peer, 1, &data).unwrap();
+                let got = comm.recv(prev, 1).unwrap();
+                comm.advance_flops(got.len() as f64 * 1e6);
+                comm.now()
+            })
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b, "virtual times are bit-identical across runs");
+        assert_eq!(sa.ranks, sb.ranks);
+    }
+}

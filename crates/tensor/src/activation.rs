@@ -1,0 +1,205 @@
+//! Non-linearities and the softmax cross-entropy head.
+//!
+//! The forward phase of the paper is "affine transform `Y_i = W_i·X_i`
+//! followed by nonlinear transform `X_{i+1} = f(Y_i)`"; these are the
+//! `f`s. All operate on the `d × B` column-per-sample layout.
+
+use crate::matrix::Matrix;
+
+/// Element-wise ReLU.
+pub fn relu(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for v in out.as_mut_slice() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    out
+}
+
+/// Backward ReLU: `dx = dy ⊙ [x > 0]` where `x` is the pre-activation.
+pub fn relu_backward(pre: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(pre.shape(), dy.shape(), "relu backward shape mismatch");
+    let mut dx = dy.clone();
+    for (g, &x) in dx.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+        if x <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    dx
+}
+
+/// Element-wise ReLU on an NCHW tensor.
+pub fn relu_tensor(x: &crate::conv::Tensor4) -> crate::conv::Tensor4 {
+    let mut out = x.clone();
+    for v in out.as_mut_slice() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    out
+}
+
+/// Backward ReLU on an NCHW tensor: `dx = dy ⊙ [pre > 0]`.
+pub fn relu_backward_tensor(
+    pre: &crate::conv::Tensor4,
+    dy: &crate::conv::Tensor4,
+) -> crate::conv::Tensor4 {
+    assert_eq!(pre.len(), dy.len(), "relu tensor backward shape mismatch");
+    let mut dx = dy.clone();
+    for (g, &x) in dx.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+        if x <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    dx
+}
+
+/// Element-wise tanh.
+pub fn tanh(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for v in out.as_mut_slice() {
+        *v = v.tanh();
+    }
+    out
+}
+
+/// Backward tanh given the *activated* output `y = tanh(pre)`:
+/// `dx = dy ⊙ (1 − y²)`.
+pub fn tanh_backward(y: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(y.shape(), dy.shape(), "tanh backward shape mismatch");
+    let mut dx = dy.clone();
+    for (g, &yv) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
+        *g *= 1.0 - yv * yv;
+    }
+    dx
+}
+
+/// Softmax cross-entropy over columns (one sample per column).
+/// `labels[b]` is the true class of sample `b`. Returns
+/// `(mean loss, gradient w.r.t. logits)` where the gradient is
+/// `(softmax − onehot)/B` — the `1/B` matching the paper's Eq. 1
+/// mini-batch averaging.
+pub fn softmax_xent(logits: &Matrix, labels: &[usize]) -> (f64, Matrix) {
+    let (classes, b) = logits.shape();
+    assert_eq!(labels.len(), b, "one label per column");
+    let mut grad = Matrix::zeros(classes, b);
+    let mut loss = 0.0;
+    for col in 0..b {
+        let mut maxv = f64::NEG_INFINITY;
+        for row in 0..classes {
+            maxv = maxv.max(logits.get(row, col));
+        }
+        let mut denom = 0.0;
+        for row in 0..classes {
+            denom += (logits.get(row, col) - maxv).exp();
+        }
+        let label = labels[col];
+        assert!(label < classes, "label {label} out of {classes} classes");
+        let logp = logits.get(label, col) - maxv - denom.ln();
+        loss -= logp;
+        for row in 0..classes {
+            let p = (logits.get(row, col) - maxv).exp() / denom;
+            let onehot = if row == label { 1.0 } else { 0.0 };
+            grad.set(row, col, (p - onehot) / b as f64);
+        }
+    }
+    (loss / b as f64, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let pre = Matrix::from_vec(1, 3, vec![-1.0, 1.0, 0.0]);
+        let dy = Matrix::from_vec(1, 3, vec![5.0, 5.0, 5.0]);
+        assert_eq!(relu_backward(&pre, &dy).as_slice(), &[0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_tensor_matches_matrix_semantics() {
+        use crate::conv::Tensor4;
+        let x = Tensor4::from_fn(1, 2, 2, 2, |_, c, h, w| {
+            (c as f64 - 0.5) * (h as f64 + w as f64 - 1.0)
+        });
+        let y = relu_tensor(&x);
+        for (a, &b) in y.as_slice().iter().zip(x.as_slice()) {
+            assert_eq!(*a, b.max(0.0));
+        }
+        let dy = Tensor4::from_fn(1, 2, 2, 2, |_, _, _, _| 1.0);
+        let dx = relu_backward_tensor(&x, &dy);
+        for (g, &b) in dx.as_slice().iter().zip(x.as_slice()) {
+            assert_eq!(*g, if b > 0.0 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn softmax_uniform_logits_give_log_classes() {
+        let logits = Matrix::zeros(4, 2);
+        let (loss, grad) = softmax_xent(&logits, &[0, 3]);
+        assert!((loss - (4.0f64).ln()).abs() < 1e-12);
+        // Gradient sums to zero per column.
+        for col in 0..2 {
+            let s: f64 = (0..4).map(|r| grad.get(r, col)).sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_gradient_matches_finite_difference() {
+        let logits = Matrix::from_fn(3, 2, |i, j| ((i * 2 + j) as f64 * 0.9).sin());
+        let labels = [2, 0];
+        let (base, grad) = softmax_xent(&logits, &labels);
+        let eps = 1e-7;
+        for i in 0..3 {
+            for j in 0..2 {
+                let mut lp = logits.clone();
+                lp.set(i, j, logits.get(i, j) + eps);
+                let (lplus, _) = softmax_xent(&lp, &labels);
+                let num = (lplus - base) / eps;
+                assert!(
+                    (num - grad.get(i, j)).abs() < 1e-5,
+                    "({i},{j}) fd={num} g={}",
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tanh_backward_matches_finite_difference() {
+        let pre = Matrix::from_fn(2, 2, |i, j| (i as f64 - j as f64) * 0.7);
+        let y = tanh(&pre);
+        let dy = Matrix::from_fn(2, 2, |_, _| 1.0);
+        let dx = tanh_backward(&y, &dy);
+        let eps = 1e-7;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut pp = pre.clone();
+                pp.set(i, j, pre.get(i, j) + eps);
+                let num =
+                    (tanh(&pp).as_slice().iter().sum::<f64>() - y.as_slice().iter().sum::<f64>())
+                        / eps;
+                assert!((num - dx.get(i, j)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_fn(3, 1, |i, _| i as f64);
+        let b = Matrix::from_fn(3, 1, |i, _| i as f64 + 1000.0);
+        let (la, ga) = softmax_xent(&a, &[1]);
+        let (lb, gb) = softmax_xent(&b, &[1]);
+        assert!((la - lb).abs() < 1e-9);
+        assert!(ga.approx_eq(&gb, 1e-9));
+    }
+}

@@ -1,0 +1,491 @@
+//! NCHW tensors and 2-D convolution (direct and im2col-lowered).
+//!
+//! The paper treats convolutions as matrix multiplications "for
+//! simplicity and connection to high performance computing literature"
+//! (its footnote 1); im2col is the lowering that makes this literal.
+//! The direct implementation exists as an independent reference so the
+//! two can cross-check each other, and is also the kernel the
+//! domain-parallel algorithm (`distmm::domain`) runs on sub-strips.
+
+use crate::matmul::{matmul, matmul_at_b};
+use crate::matrix::Matrix;
+
+/// A dense NCHW tensor: `n` samples × `c` channels × `h` × `w`, with
+/// width running fastest in memory — the layout the paper's Fig. 3
+/// discusses (and why domain decomposition slices along height).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Tensor4 {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor4 {
+    /// An all-zeros tensor.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Tensor4 { n, c, h, w, data: vec![0.0; n * c * h * w] }
+    }
+
+    /// Builds a tensor element-wise.
+    pub fn from_fn(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(n * c * h * w);
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        data.push(f(ni, ci, hi, wi));
+                    }
+                }
+            }
+        }
+        Tensor4 { n, c, h, w, data }
+    }
+
+    #[inline]
+    fn idx(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> f64 {
+        self.data[self.idx(n, c, h, w)]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: f64) {
+        let i = self.idx(n, c, h, w);
+        self.data[i] = v;
+    }
+
+    /// Adds `v` at an element.
+    #[inline]
+    pub fn add_at(&mut self, n: usize, c: usize, h: usize, w: usize, v: f64) {
+        let i = self.idx(n, c, h, w);
+        self.data[i] += v;
+    }
+
+    /// Raw buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies rows `h0..h1` (all samples, channels, widths) into a new
+    /// tensor — the strip a domain-parallel rank owns.
+    pub fn row_strip(&self, h0: usize, h1: usize) -> Tensor4 {
+        assert!(h0 <= h1 && h1 <= self.h, "row strip {h0}..{h1} out of {}", self.h);
+        Tensor4::from_fn(self.n, self.c, h1 - h0, self.w, |n, c, h, w| {
+            self.get(n, c, h0 + h, w)
+        })
+    }
+
+    /// Writes `strip` back into rows `h0..`.
+    pub fn set_row_strip(&mut self, h0: usize, strip: &Tensor4) {
+        assert_eq!((strip.n, strip.c, strip.w), (self.n, self.c, self.w));
+        assert!(h0 + strip.h <= self.h, "strip overflows tensor height");
+        for n in 0..strip.n {
+            for c in 0..strip.c {
+                for h in 0..strip.h {
+                    for w in 0..strip.w {
+                        self.set(n, c, h0 + h, w, strip.get(n, c, h, w));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flattens into a matrix with one *column* per sample (the `d × B`
+    /// layout of the paper's activation matrices `X_i`).
+    pub fn to_columns(&self) -> Matrix {
+        let d = self.c * self.h * self.w;
+        Matrix::from_fn(d, self.n, |row, col| self.data[col * d + row])
+    }
+
+    /// Inverse of [`Tensor4::to_columns`].
+    pub fn from_columns(m: &Matrix, c: usize, h: usize, w: usize) -> Tensor4 {
+        assert_eq!(m.rows(), c * h * w, "column layout mismatch");
+        let n = m.cols();
+        let d = c * h * w;
+        let mut t = Tensor4::zeros(n, c, h, w);
+        for col in 0..n {
+            for row in 0..d {
+                t.data[col * d + row] = m.get(row, col);
+            }
+        }
+        t
+    }
+
+    /// Largest absolute element-wise difference.
+    pub fn max_abs_diff(&self, other: &Tensor4) -> f64 {
+        assert_eq!(
+            (self.n, self.c, self.h, self.w),
+            (other.n, other.c, other.h, other.w),
+            "tensor shape mismatch"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether all elements are within `tol`.
+    pub fn approx_eq(&self, other: &Tensor4, tol: f64) -> bool {
+        self.max_abs_diff(other) <= tol
+    }
+}
+
+/// Convolution hyper-parameters. Weights are stored as a
+/// `out_c × (in_c·kh·kw)` [`Matrix`], which is exactly the `W_i` of the
+/// paper's Eq. 2: `|W_i| = (kh·kw·X_C)·Y_C`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Input channels `X_C`.
+    pub in_c: usize,
+    /// Output channels `Y_C` (number of filters).
+    pub out_c: usize,
+    /// Kernel height `k_h`.
+    pub kh: usize,
+    /// Kernel width `k_w`.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl Conv2dParams {
+    /// Output spatial size for an `h × w` input:
+    /// `⌊(x + 2·pad − k)/stride⌋ + 1`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.kh) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.kw) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Number of weights, `(kh·kw·in_c)·out_c` (Eq. 2).
+    pub fn weight_count(&self) -> usize {
+        self.kh * self.kw * self.in_c * self.out_c
+    }
+
+    /// The im2col patch length `in_c·kh·kw`.
+    pub fn patch_len(&self) -> usize {
+        self.in_c * self.kh * self.kw
+    }
+}
+
+/// Direct convolution: `out[n][oc][oh][ow] = Σ w[oc][ic,kh,kw] · in[…]`.
+pub fn conv2d_direct(input: &Tensor4, weights: &Matrix, p: &Conv2dParams) -> Tensor4 {
+    assert_eq!(input.c, p.in_c, "input channel mismatch");
+    assert_eq!(weights.rows(), p.out_c, "weight rows must be out_c");
+    assert_eq!(weights.cols(), p.patch_len(), "weight cols must be in_c*kh*kw");
+    let (oh, ow) = p.out_hw(input.h, input.w);
+    let mut out = Tensor4::zeros(input.n, p.out_c, oh, ow);
+    for n in 0..input.n {
+        for oc in 0..p.out_c {
+            let wrow = weights.row(oc);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ic in 0..p.in_c {
+                        for ky in 0..p.kh {
+                            let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                            if iy < 0 || iy >= input.h as isize {
+                                continue;
+                            }
+                            for kx in 0..p.kw {
+                                let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                                if ix < 0 || ix >= input.w as isize {
+                                    continue;
+                                }
+                                let widx = (ic * p.kh + ky) * p.kw + kx;
+                                acc += wrow[widx]
+                                    * input.get(n, ic, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    out.set(n, oc, oy, ox, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// im2col: unrolls all receptive fields into a
+/// `(in_c·kh·kw) × (n·oh·ow)` matrix so convolution becomes `W · cols`.
+pub fn im2col(input: &Tensor4, p: &Conv2dParams) -> Matrix {
+    let (oh, ow) = p.out_hw(input.h, input.w);
+    let cols = input.n * oh * ow;
+    let mut m = Matrix::zeros(p.patch_len(), cols);
+    for n in 0..input.n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let col = (n * oh + oy) * ow + ox;
+                for ic in 0..p.in_c {
+                    for ky in 0..p.kh {
+                        let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                        if iy < 0 || iy >= input.h as isize {
+                            continue;
+                        }
+                        for kx in 0..p.kw {
+                            let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                            if ix < 0 || ix >= input.w as isize {
+                                continue;
+                            }
+                            let row = (ic * p.kh + ky) * p.kw + kx;
+                            m.set(row, col, input.get(n, ic, iy as usize, ix as usize));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// col2im: scatter-adds a `(in_c·kh·kw) × (n·oh·ow)` gradient matrix
+/// back onto input coordinates (the adjoint of [`im2col`]).
+pub fn col2im(
+    cols: &Matrix,
+    n: usize,
+    h: usize,
+    w: usize,
+    p: &Conv2dParams,
+) -> Tensor4 {
+    let (oh, ow) = p.out_hw(h, w);
+    assert_eq!(cols.rows(), p.patch_len(), "col2im row mismatch");
+    assert_eq!(cols.cols(), n * oh * ow, "col2im col mismatch");
+    let mut out = Tensor4::zeros(n, p.in_c, h, w);
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let col = (ni * oh + oy) * ow + ox;
+                for ic in 0..p.in_c {
+                    for ky in 0..p.kh {
+                        let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..p.kw {
+                            let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let row = (ic * p.kh + ky) * p.kw + kx;
+                            out.add_at(
+                                ni,
+                                ic,
+                                iy as usize,
+                                ix as usize,
+                                cols.get(row, col),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convolution via im2col + matmul. Must agree with
+/// [`conv2d_direct`] to rounding error.
+pub fn conv2d_im2col(input: &Tensor4, weights: &Matrix, p: &Conv2dParams) -> Tensor4 {
+    let (oh, ow) = p.out_hw(input.h, input.w);
+    let cols = im2col(input, p);
+    let y = matmul(weights, &cols); // out_c × (n·oh·ow)
+    let mut out = Tensor4::zeros(input.n, p.out_c, oh, ow);
+    for oc in 0..p.out_c {
+        let yrow = y.row(oc);
+        for n in 0..input.n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    out.set(n, oc, oy, ox, yrow[(n * oh + oy) * ow + ox]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of a convolution given the output gradient `dy`
+/// (shaped like the forward output). Returns `(dW, dX)`:
+/// `dW = ∆Y · im2col(X)ᵀ` and `dX = col2im(Wᵀ · ∆Y)` — the conv
+/// instantiation of the paper's §7.2 derivation.
+pub fn conv2d_backward(
+    input: &Tensor4,
+    weights: &Matrix,
+    dy: &Tensor4,
+    p: &Conv2dParams,
+) -> (Matrix, Tensor4) {
+    let (oh, ow) = p.out_hw(input.h, input.w);
+    assert_eq!((dy.c, dy.h, dy.w), (p.out_c, oh, ow), "dy shape mismatch");
+    let cols = im2col(input, p);
+    // Reshape dy into out_c × (n·oh·ow).
+    let dy_m = Matrix::from_fn(p.out_c, input.n * oh * ow, |oc, col| {
+        let n = col / (oh * ow);
+        let rem = col % (oh * ow);
+        dy.get(n, oc, rem / ow, rem % ow)
+    });
+    let dw = crate::matmul::matmul_a_bt(&dy_m, &cols);
+    let dcols = matmul_at_b(weights, &dy_m);
+    let dx = col2im(&dcols, input.n, input.h, input.w, p);
+    (dw, dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_input(n: usize, c: usize, h: usize, w: usize) -> Tensor4 {
+        Tensor4::from_fn(n, c, h, w, |a, b, y, x| {
+            ((a * 7 + b * 5 + y * 3 + x) as f64 * 0.1).sin()
+        })
+    }
+
+    fn test_weights(p: &Conv2dParams) -> Matrix {
+        Matrix::from_fn(p.out_c, p.patch_len(), |i, j| ((i * 13 + j) as f64 * 0.07).cos())
+    }
+
+    #[test]
+    fn out_shape_formula() {
+        let p = Conv2dParams { in_c: 3, out_c: 96, kh: 11, kw: 11, stride: 4, pad: 0 };
+        assert_eq!(p.out_hw(227, 227), (55, 55)); // AlexNet conv1
+        let p2 = Conv2dParams { in_c: 96, out_c: 256, kh: 5, kw: 5, stride: 1, pad: 2 };
+        assert_eq!(p2.out_hw(27, 27), (27, 27)); // AlexNet conv2 (same-pad)
+    }
+
+    #[test]
+    fn weight_count_matches_eq2() {
+        let p = Conv2dParams { in_c: 3, out_c: 96, kh: 11, kw: 11, stride: 4, pad: 0 };
+        assert_eq!(p.weight_count(), 11 * 11 * 3 * 96);
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 conv with identity channel mixing.
+        let p = Conv2dParams { in_c: 2, out_c: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let w = Matrix::eye(2);
+        let x = test_input(1, 2, 4, 4);
+        let y = conv2d_direct(&x, &w, &p);
+        assert!(y.approx_eq(&x, 1e-15));
+    }
+
+    #[test]
+    fn im2col_path_matches_direct() {
+        for (stride, pad) in [(1, 0), (1, 1), (2, 0), (2, 1)] {
+            let p = Conv2dParams { in_c: 3, out_c: 4, kh: 3, kw: 3, stride, pad };
+            let x = test_input(2, 3, 7, 6);
+            let w = test_weights(&p);
+            let direct = conv2d_direct(&x, &w, &p);
+            let lowered = conv2d_im2col(&x, &w, &p);
+            assert!(
+                direct.approx_eq(&lowered, 1e-12),
+                "stride={stride} pad={pad}: {}",
+                direct.max_abs_diff(&lowered)
+            );
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let p = Conv2dParams { in_c: 2, out_c: 3, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let x = test_input(1, 2, 5, 5);
+        let w = test_weights(&p);
+        // Loss = sum(conv(x, w)); dy = ones.
+        let (oh, ow) = p.out_hw(x.h, x.w);
+        let dy = Tensor4::from_fn(1, 3, oh, ow, |_, _, _, _| 1.0);
+        let (dw, dx) = conv2d_backward(&x, &w, &dy, &p);
+        let loss = |w: &Matrix, x: &Tensor4| -> f64 {
+            conv2d_direct(x, w, &p).as_slice().iter().sum()
+        };
+        let eps = 1e-6;
+        // Check a few weight gradients.
+        for &(i, j) in &[(0, 0), (1, 5), (2, 17)] {
+            let mut wp = w.clone();
+            wp.set(i, j, w.get(i, j) + eps);
+            let num = (loss(&wp, &x) - loss(&w, &x)) / eps;
+            assert!(
+                (num - dw.get(i, j)).abs() < 1e-4,
+                "dW[{i}][{j}]: fd={num} analytic={}",
+                dw.get(i, j)
+            );
+        }
+        // Check a few input gradients.
+        for &(c, h, ww) in &[(0, 0, 0), (1, 2, 3), (0, 4, 4)] {
+            let mut xp = x.clone();
+            xp.set(0, c, h, ww, x.get(0, c, h, ww) + eps);
+            let num = (loss(&w, &xp) - loss(&w, &x)) / eps;
+            assert!(
+                (num - dx.get(0, c, h, ww)).abs() < 1e-4,
+                "dX[{c}][{h}][{ww}]: fd={num} analytic={}",
+                dx.get(0, c, h, ww)
+            );
+        }
+    }
+
+    #[test]
+    fn row_strip_roundtrip() {
+        let x = test_input(2, 3, 8, 5);
+        let strip = x.row_strip(2, 6);
+        assert_eq!((strip.n, strip.c, strip.h, strip.w), (2, 3, 4, 5));
+        let mut y = Tensor4::zeros(2, 3, 8, 5);
+        y.set_row_strip(2, &strip);
+        assert_eq!(y.get(0, 1, 3, 2), x.get(0, 1, 3, 2));
+        assert_eq!(y.get(0, 1, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn to_columns_roundtrip() {
+        let x = test_input(3, 2, 4, 5);
+        let m = x.to_columns();
+        assert_eq!(m.shape(), (2 * 4 * 5, 3));
+        let back = Tensor4::from_columns(&m, 2, 4, 5);
+        assert!(back.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn one_by_one_conv_needs_no_padding_rows() {
+        // The paper notes 1x1 convolutions need no halo; sanity-check
+        // that their receptive field is a single pixel.
+        let p = Conv2dParams { in_c: 4, out_c: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let x = test_input(1, 4, 6, 6);
+        let w = test_weights(&p);
+        let full = conv2d_direct(&x, &w, &p);
+        let top = conv2d_direct(&x.row_strip(0, 3), &w, &p);
+        let bottom = conv2d_direct(&x.row_strip(3, 6), &w, &p);
+        let mut stitched = Tensor4::zeros(1, 2, 6, 6);
+        stitched.set_row_strip(0, &top);
+        stitched.set_row_strip(3, &bottom);
+        assert!(stitched.approx_eq(&full, 1e-14));
+    }
+}

@@ -1,0 +1,79 @@
+//! Deterministic random initialization.
+//!
+//! Distributed-vs-serial verification needs every rank to start from
+//! *identical* weights, so all initializers take explicit seeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::conv::Tensor4;
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot-uniform matrix: entries in `±sqrt(6/(fan_in+fan_out))`
+/// where `fan_in = cols`, `fan_out = rows`.
+pub fn xavier(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bound = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-bound..bound))
+}
+
+/// Uniform matrix in `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(lo..hi))
+}
+
+/// Uniform NCHW tensor in `[lo, hi)`.
+pub fn uniform_tensor(
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+) -> Tensor4 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor4::from_fn(n, c, h, w, |_, _, _, _| rng.random_range(lo..hi))
+}
+
+/// Random class labels in `0..classes`.
+pub fn labels(count: usize, classes: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.random_range(0..classes)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_matrix() {
+        assert_eq!(xavier(4, 5, 42), xavier(4, 5, 42));
+        assert_ne!(xavier(4, 5, 42), xavier(4, 5, 43));
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let m = xavier(10, 20, 7);
+        let bound = (6.0 / 30.0f64).sqrt();
+        for &v in m.as_slice() {
+            assert!(v.abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let m = uniform(5, 5, -2.0, 3.0, 1);
+        for &v in m.as_slice() {
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn labels_in_range_and_deterministic() {
+        let l = labels(100, 10, 3);
+        assert_eq!(l, labels(100, 10, 3));
+        assert!(l.iter().all(|&x| x < 10));
+    }
+}

@@ -1,0 +1,180 @@
+//! Local response normalization (Krizhevsky et al.) — the
+//! cross-channel normalization AlexNet interleaves with its first two
+//! conv stages:
+//!
+//! ```text
+//! y[c] = x[c] / (k + (a/n)·Σ_{c' ∈ window(c)} x[c']²)^β
+//! ```
+//!
+//! LRN is per-pixel across channels, so under the paper's domain
+//! decomposition (strips of *rows*) it needs **no communication at
+//! all** — every output element depends only on co-located inputs.
+//! That is why the cost model ignores it (like ReLU/dropout) and why
+//! the executable domain trainer can apply it locally on strips.
+
+use crate::conv::Tensor4;
+
+/// LRN hyper-parameters. AlexNet's published values are `n = 5`,
+/// `k = 2`, `alpha = 1e-4`, `beta = 0.75`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrnParams {
+    /// Window size `n` (channels, centered).
+    pub n: usize,
+    /// Additive constant `k`.
+    pub k: f64,
+    /// Scale `alpha`.
+    pub alpha: f64,
+    /// Exponent `beta`.
+    pub beta: f64,
+}
+
+impl LrnParams {
+    /// AlexNet's published constants.
+    pub fn alexnet() -> Self {
+        LrnParams { n: 5, k: 2.0, alpha: 1e-4, beta: 0.75 }
+    }
+}
+
+fn window(c: usize, channels: usize, n: usize) -> (usize, usize) {
+    let half = n / 2;
+    (c.saturating_sub(half), (c + half + 1).min(channels))
+}
+
+/// The per-element scale `s[c] = k + (a/n)·Σ x[c']²`.
+fn scales(x: &Tensor4, p: &LrnParams) -> Tensor4 {
+    let mut s = Tensor4::zeros(x.n, x.c, x.h, x.w);
+    for ni in 0..x.n {
+        for ci in 0..x.c {
+            let (lo, hi) = window(ci, x.c, p.n);
+            for hi_ in 0..x.h {
+                for wi in 0..x.w {
+                    let mut acc = 0.0;
+                    for cj in lo..hi {
+                        let v = x.get(ni, cj, hi_, wi);
+                        acc += v * v;
+                    }
+                    s.set(ni, ci, hi_, wi, p.k + p.alpha / p.n as f64 * acc);
+                }
+            }
+        }
+    }
+    s
+}
+
+/// LRN forward: `y = x · s^{−β}`.
+pub fn lrn_forward(x: &Tensor4, p: &LrnParams) -> Tensor4 {
+    let s = scales(x, p);
+    let mut y = x.clone();
+    for (yv, &sv) in y.as_mut_slice().iter_mut().zip(s.as_slice()) {
+        *yv *= sv.powf(-p.beta);
+    }
+    y
+}
+
+/// LRN backward: given `x` and the output gradient `dy`,
+///
+/// ```text
+/// dx[c] = dy[c]·s[c]^{−β}
+///       − (2αβ/n)·x[c]·Σ_{c': c ∈ window(c')} dy[c']·x[c']·s[c']^{−β−1}
+/// ```
+pub fn lrn_backward(x: &Tensor4, dy: &Tensor4, p: &LrnParams) -> Tensor4 {
+    let s = scales(x, p);
+    let mut dx = Tensor4::zeros(x.n, x.c, x.h, x.w);
+    let coeff = 2.0 * p.alpha * p.beta / p.n as f64;
+    for ni in 0..x.n {
+        for hi_ in 0..x.h {
+            for wi in 0..x.w {
+                // Direct term.
+                for ci in 0..x.c {
+                    let sv = s.get(ni, ci, hi_, wi);
+                    dx.add_at(ni, ci, hi_, wi, dy.get(ni, ci, hi_, wi) * sv.powf(-p.beta));
+                }
+                // Cross terms: each source channel cj contributes to all
+                // channels in its window.
+                for cj in 0..x.c {
+                    let sv = s.get(ni, cj, hi_, wi);
+                    let g = dy.get(ni, cj, hi_, wi)
+                        * x.get(ni, cj, hi_, wi)
+                        * sv.powf(-p.beta - 1.0);
+                    let (lo, hi) = window(cj, x.c, p.n);
+                    for ci in lo..hi {
+                        dx.add_at(ni, ci, hi_, wi, -coeff * x.get(ni, ci, hi_, wi) * g);
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn identity_when_alpha_is_zero_and_k_one() {
+        let p = LrnParams { n: 5, k: 1.0, alpha: 0.0, beta: 0.75 };
+        let x = init::uniform_tensor(2, 6, 3, 3, -1.0, 1.0, 1);
+        assert!(lrn_forward(&x, &p).approx_eq(&x, 1e-15));
+    }
+
+    #[test]
+    fn suppresses_large_activations() {
+        let p = LrnParams { n: 3, k: 1.0, alpha: 1.0, beta: 1.0 };
+        let x = Tensor4::from_fn(1, 3, 1, 1, |_, c, _, _| if c == 1 { 10.0 } else { 0.1 });
+        let y = lrn_forward(&x, &p);
+        // The large channel is divided by ~(1 + 100/3) ≈ 34.
+        assert!(y.get(0, 1, 0, 0) < 0.5, "{}", y.get(0, 1, 0, 0));
+    }
+
+    #[test]
+    fn window_clamps_at_channel_edges() {
+        assert_eq!(window(0, 8, 5), (0, 3));
+        assert_eq!(window(4, 8, 5), (2, 7));
+        assert_eq!(window(7, 8, 5), (5, 8));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let p = LrnParams::alexnet();
+        let x = init::uniform_tensor(1, 6, 2, 2, 0.1, 1.0, 7);
+        let dy = init::uniform_tensor(1, 6, 2, 2, -1.0, 1.0, 8);
+        let dx = lrn_backward(&x, &dy, &p);
+        let loss = |x: &Tensor4| -> f64 {
+            lrn_forward(x, &p)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(y, g)| y * g)
+                .sum()
+        };
+        let base = loss(&x);
+        let eps = 1e-6;
+        for &(c, h, w) in &[(0usize, 0usize, 0usize), (3, 1, 1), (5, 0, 1)] {
+            let mut xp = x.clone();
+            xp.set(0, c, h, w, x.get(0, c, h, w) + eps);
+            let num = (loss(&xp) - base) / eps;
+            assert!(
+                (num - dx.get(0, c, h, w)).abs() < 1e-5,
+                "({c},{h},{w}): fd {num} vs {}",
+                dx.get(0, c, h, w)
+            );
+        }
+    }
+
+    #[test]
+    fn lrn_is_rowwise_local() {
+        // The domain-parallel claim: applying LRN to strips and
+        // stitching equals applying it to the whole tensor.
+        let p = LrnParams::alexnet();
+        let x = init::uniform_tensor(2, 8, 6, 4, -1.0, 1.0, 9);
+        let full = lrn_forward(&x, &p);
+        let top = lrn_forward(&x.row_strip(0, 3), &p);
+        let bottom = lrn_forward(&x.row_strip(3, 6), &p);
+        let mut stitched = Tensor4::zeros(2, 8, 6, 4);
+        stitched.set_row_strip(0, &top);
+        stitched.set_row_strip(3, &bottom);
+        assert!(stitched.approx_eq(&full, 1e-14));
+    }
+}

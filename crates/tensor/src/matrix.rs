@@ -1,0 +1,319 @@
+//! Row-major dense matrix.
+
+use std::fmt;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix element-wise from `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn eye(n: usize) -> Self {
+        Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Adds `v` to element `(i, j)`.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Borrow of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// The transpose (materialized copy).
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Copies rows `r0..r1` into a new `(r1-r0) × cols` matrix.
+    pub fn row_block(&self, r0: usize, r1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "row block {r0}..{r1} out of {}", self.rows);
+        Matrix {
+            rows: r1 - r0,
+            cols: self.cols,
+            data: self.data[r0 * self.cols..r1 * self.cols].to_vec(),
+        }
+    }
+
+    /// Copies columns `c0..c1` into a new `rows × (c1-c0)` matrix.
+    pub fn col_block(&self, c0: usize, c1: usize) -> Matrix {
+        assert!(c0 <= c1 && c1 <= self.cols, "col block {c0}..{c1} out of {}", self.cols);
+        let w = c1 - c0;
+        let mut data = Vec::with_capacity(self.rows * w);
+        for i in 0..self.rows {
+            data.extend_from_slice(&self.row(i)[c0..c1]);
+        }
+        Matrix { rows: self.rows, cols: w, data }
+    }
+
+    /// Writes `block` into rows `r0..` of `self`.
+    pub fn set_row_block(&mut self, r0: usize, block: &Matrix) {
+        assert_eq!(block.cols, self.cols, "column count mismatch");
+        assert!(r0 + block.rows <= self.rows, "row block overflows target");
+        self.data[r0 * self.cols..(r0 + block.rows) * self.cols]
+            .copy_from_slice(&block.data);
+    }
+
+    /// Writes `block` into columns `c0..` of `self`.
+    pub fn set_col_block(&mut self, c0: usize, block: &Matrix) {
+        assert_eq!(block.rows, self.rows, "row count mismatch");
+        assert!(c0 + block.cols <= self.cols, "col block overflows target");
+        for i in 0..self.rows {
+            let dst = &mut self.data[i * self.cols + c0..i * self.cols + c0 + block.cols];
+            dst.copy_from_slice(block.row(i));
+        }
+    }
+
+    /// Concatenates matrices vertically (equal column counts).
+    pub fn vcat(blocks: &[Matrix]) -> Matrix {
+        assert!(!blocks.is_empty(), "vcat of zero blocks");
+        let cols = blocks[0].cols;
+        let rows = blocks.iter().map(|b| b.rows).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut r = 0;
+        for b in blocks {
+            out.set_row_block(r, b);
+            r += b.rows;
+        }
+        out
+    }
+
+    /// Concatenates matrices horizontally (equal row counts).
+    pub fn hcat(blocks: &[Matrix]) -> Matrix {
+        assert!(!blocks.is_empty(), "hcat of zero blocks");
+        let rows = blocks[0].rows;
+        let cols = blocks.iter().map(|b| b.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut c = 0;
+        for b in blocks {
+            out.set_col_block(c, b);
+            c += b.cols;
+        }
+        out
+    }
+
+    /// Largest absolute element-wise difference from `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in comparison");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether all elements are within `tol` of `other`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(6);
+        for i in 0..show_rows {
+            let row = self.row(i);
+            let shown: Vec<String> =
+                row.iter().take(8).map(|v| format!("{v:9.4}")).collect();
+            let ell = if self.cols > 8 { ", …" } else { "" };
+            writeln!(f, "  [{}{}]", shown.join(", "), ell)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        m.set(1, 2, 7.0);
+        assert_eq!(m.get(1, 2), 7.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t.get(4, 2), m.get(2, 4));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn row_and_col_blocks() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let rb = m.row_block(1, 3);
+        assert_eq!(rb.shape(), (2, 4));
+        assert_eq!(rb.get(0, 0), 4.0);
+        let cb = m.col_block(2, 4);
+        assert_eq!(cb.shape(), (4, 2));
+        assert_eq!(cb.get(0, 0), 2.0);
+        assert_eq!(cb.get(3, 1), 15.0);
+    }
+
+    #[test]
+    fn cat_inverts_blocking() {
+        let m = Matrix::from_fn(4, 6, |i, j| (i * 6 + j) as f64);
+        let v = Matrix::vcat(&[m.row_block(0, 2), m.row_block(2, 4)]);
+        assert_eq!(v, m);
+        let h = Matrix::hcat(&[m.col_block(0, 1), m.col_block(1, 4), m.col_block(4, 6)]);
+        assert_eq!(h, m);
+    }
+
+    #[test]
+    fn set_blocks_write_back() {
+        let mut m = Matrix::zeros(3, 3);
+        m.set_row_block(1, &Matrix::from_fn(1, 3, |_, j| j as f64 + 1.0));
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+        m.set_col_block(2, &Matrix::from_fn(3, 1, |i, _| i as f64));
+        assert_eq!(m.get(2, 2), 2.0);
+    }
+
+    #[test]
+    fn eye_is_identity_under_get() {
+        let m = Matrix::eye(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_differences() {
+        let a = Matrix::from_fn(2, 2, |_, _| 1.0);
+        let mut b = a.clone();
+        b.set(0, 0, 1.0 + 1e-12);
+        assert!(a.approx_eq(&b, 1e-10));
+        assert!(!a.approx_eq(&b, 1e-14));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_validates_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+}

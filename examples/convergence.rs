@@ -1,0 +1,58 @@
+//! Multi-epoch convergence: train an MLP on a learnable synthetic
+//! classification problem with momentum SGD, serially and on a `2 × 2`
+//! simulated grid, and show both reach the same high accuracy with
+//! identical weights — mini-batches, shuffling, momentum, and weight
+//! decay included.
+//!
+//! ```text
+//! cargo run --example convergence
+//! ```
+
+use integrated_parallelism::dnn::zoo::mlp;
+use integrated_parallelism::integrated::data::{accuracy, gaussian_blobs};
+use integrated_parallelism::integrated::epochs::{
+    predict, train_epochs_1p5d, train_epochs_serial, EpochConfig, SgdConfig,
+};
+use integrated_parallelism::integrated::report::fmt_seconds;
+use integrated_parallelism::mpsim::NetModel;
+
+fn main() {
+    let data = gaussian_blobs(12, 4, 160, 0.4, 77);
+    let net = mlp("blob-mlp", &[12, 24, 16, 4]);
+    let cfg = EpochConfig {
+        sgd: SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 1e-4 },
+        epochs: 20,
+        batch_size: 16,
+        seed: 9,
+    };
+
+    let serial = train_epochs_serial(&net, &data, &cfg);
+    println!("serial:      per-epoch loss (first -> last): {:.4} -> {:.4}",
+        serial.epoch_losses[0],
+        serial.epoch_losses.last().unwrap());
+    println!("serial:      train accuracy: {:.1}%", serial.train_accuracy * 100.0);
+
+    let dist = train_epochs_1p5d(&net, &data, &cfg, 2, 2, NetModel::cori_knl());
+    let preds = predict(&net, &dist.weights, &data.x);
+    let acc = accuracy(&preds, &data.labels);
+    println!("distributed: train accuracy: {:.1}% on a 2x2 grid", acc * 100.0);
+
+    let diff = serial
+        .weights
+        .iter()
+        .zip(&dist.weights)
+        .map(|(a, b)| a.max_abs_diff(b))
+        .fold(0.0, f64::max);
+    println!("max |serial − distributed| weight difference: {diff:.2e}");
+    assert!(diff < 1e-9, "distributed epochs must replay serial exactly");
+
+    println!(
+        "\nover {} mini-batch steps, the simulated cluster spent {} of virtual time\n\
+         ({} in communication) and moved {} words — every step a synchronous Eq. 1\n\
+         update, which is why the trajectories agree to round-off.",
+        dist.steps,
+        fmt_seconds(dist.stats.makespan()),
+        fmt_seconds(dist.stats.max_comm()),
+        dist.stats.total_words()
+    );
+}

@@ -1,0 +1,66 @@
+//! Distributed training end-to-end: run real SGD on the simulated
+//! cluster with the paper's 1.5D algorithm on several grids, verify
+//! every grid reproduces the serial trajectory bit-for-bit (to f64
+//! round-off), and show how the virtual communication time shifts
+//! between the batch and model dimensions.
+//!
+//! ```text
+//! cargo run --example distributed_training
+//! ```
+
+use integrated_parallelism::dnn::zoo::mlp;
+use integrated_parallelism::integrated::report::fmt_seconds;
+use integrated_parallelism::integrated::trainer::{
+    synthetic_data, train_1p5d, train_serial, TrainConfig,
+};
+use integrated_parallelism::mpsim::NetModel;
+
+fn main() {
+    // An FC network with a wide hidden stack — the regime where the
+    // paper's integrated approach matters (model weights dominate).
+    let net = mlp("mlp-256", &[128, 256, 256, 64, 10]);
+    let (x, labels) = synthetic_data(&net, 64, 42);
+    let cfg = TrainConfig { lr: 0.2, iters: 12, seed: 42 };
+
+    println!("serial reference:");
+    let serial = train_serial(&net, &x, &labels, &cfg);
+    println!(
+        "  loss {:.4} -> {:.4} over {} iterations\n",
+        serial.losses[0],
+        serial.losses.last().unwrap(),
+        cfg.iters
+    );
+
+    println!(
+        "{:<8} {:>14} {:>12} {:>12} {:>14} {:>12}",
+        "grid", "weight diff", "virt time", "comm time", "words moved", "msgs"
+    );
+    for (pr, pc) in [(1usize, 8usize), (2, 4), (4, 2), (8, 1)] {
+        let dist = train_1p5d(&net, &x, &labels, &cfg, pr, pc, NetModel::cori_knl());
+        let weights = dist.weights();
+        let diff = serial
+            .weights
+            .iter()
+            .zip(&weights)
+            .map(|(a, b)| a.max_abs_diff(b))
+            .fold(0.0, f64::max);
+        println!(
+            "{:<8} {:>14.2e} {:>12} {:>12} {:>14} {:>12}",
+            format!("{pr}x{pc}"),
+            diff,
+            fmt_seconds(dist.stats.makespan()),
+            fmt_seconds(dist.stats.max_comm()),
+            dist.stats.total_words(),
+            dist.stats.total_msgs()
+        );
+        assert!(diff < 1e-9, "distributed must reproduce serial training");
+        assert!(dist.replica_divergence() < 1e-12, "weight replicas must agree");
+    }
+    println!(
+        "\nevery grid reproduces the serial weights exactly — the paper's scheme is\n\
+         synchronous SGD, not an approximation. The weights dominate this MLP, so\n\
+         pure batch (1x8) moves the most words (full ∆W all-reduce), pure model (8x1)\n\
+         trades that for activation all-gathers, and an interior grid wins — the\n\
+         paper's core observation, reproduced by executed traffic counts."
+    );
+}

@@ -1,0 +1,69 @@
+//! Domain-parallel convolution (the paper's Fig. 3): split every image
+//! of the batch into horizontal strips across ranks, exchange only the
+//! `⌊k/2⌋`-row halos, and verify the stitched result matches the
+//! serial convolution — including the backward pass with its
+//! cross-boundary gradient contributions. Also demonstrates the
+//! paper's 1×1 special case (zero communication).
+//!
+//! ```text
+//! cargo run --example domain_conv
+//! ```
+
+use integrated_parallelism::distmm::domain::{backward, forward, strip_range};
+use integrated_parallelism::mpsim::{NetModel, World};
+use integrated_parallelism::tensor::conv::{conv2d_backward, conv2d_direct, Conv2dParams};
+use integrated_parallelism::tensor::init;
+
+fn main() {
+    let p_ranks = 4;
+    let (batch, h, w) = (8usize, 32usize, 24usize);
+
+    for (label, k) in [("3x3", 3usize), ("5x5", 5), ("1x1", 1)] {
+        let params = Conv2dParams {
+            in_c: 16,
+            out_c: 32,
+            kh: k,
+            kw: k,
+            stride: 1,
+            pad: k / 2,
+        };
+        let x = init::uniform_tensor(batch, params.in_c, h, w, -1.0, 1.0, 7);
+        let weights = init::uniform(params.out_c, params.patch_len(), -0.2, 0.2, 8);
+        let dy = init::uniform_tensor(batch, params.out_c, h, w, -1.0, 1.0, 9);
+
+        // Serial reference.
+        let y_ref = conv2d_direct(&x, &weights, &params);
+        let (dw_ref, dx_ref) = conv2d_backward(&x, &weights, &dy, &params);
+
+        // Domain-parallel run: each rank owns a strip of rows.
+        let (results, stats) = World::run_with_stats(p_ranks, NetModel::cori_knl(), |comm| {
+            let rng = strip_range(h, p_ranks, comm.rank());
+            let x_strip = x.row_strip(rng.start, rng.end);
+            let dy_strip = dy.row_strip(rng.start, rng.end);
+            let y_strip = forward(comm, &x_strip, &weights, &params).unwrap();
+            let (dw, dx_strip) =
+                backward(comm, &x_strip, &weights, &dy_strip, &params).unwrap();
+            (y_strip, dw, dx_strip)
+        });
+
+        // Verify strip by strip.
+        let mut worst: f64 = 0.0;
+        for (r, (y_strip, dw, dx_strip)) in results.iter().enumerate() {
+            let rng = strip_range(h, p_ranks, r);
+            worst = worst.max(y_strip.max_abs_diff(&y_ref.row_strip(rng.start, rng.end)));
+            worst = worst.max(dw.max_abs_diff(&dw_ref));
+            worst = worst.max(dx_strip.max_abs_diff(&dx_ref.row_strip(rng.start, rng.end)));
+        }
+        assert!(worst < 1e-8, "{label}: mismatch {worst}");
+        println!(
+            "{label} conv over {p_ranks} ranks: max |err| = {worst:.2e}, words moved = {}, \
+             messages = {}",
+            stats.total_words(),
+            stats.total_msgs()
+        );
+    }
+    println!(
+        "\nnote the 1x1 convolution's halo traffic: the forward pass moves zero words,\n\
+         exactly as the paper's Eq. 7 predicts (only the ∆W all-reduce remains)."
+    );
+}

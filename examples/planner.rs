@@ -1,0 +1,85 @@
+//! Parallelism planner: sweep strategies for any zoo network, batch
+//! size, and process count, and print the cost/memory trade-off.
+//!
+//! ```text
+//! cargo run --example planner -- [alexnet|vgg16|resnet18|mlp|rnn] [B] [P]
+//! cargo run --example planner -- vgg16 1024 256
+//! ```
+
+use integrated_parallelism::dnn::zoo::{alexnet, mlp, resnet18ish, rnn_unrolled, vgg16};
+use integrated_parallelism::dnn::Network;
+use integrated_parallelism::integrated::compute::RooflineComputeModel;
+use integrated_parallelism::integrated::memory::footprint;
+use integrated_parallelism::integrated::optimizer::{optimize, pareto_frontier};
+use integrated_parallelism::integrated::report::{fmt_seconds, Table};
+use integrated_parallelism::integrated::MachineModel;
+
+fn pick_net(name: &str) -> Network {
+    match name {
+        "alexnet" => alexnet(),
+        "vgg16" => vgg16(),
+        "resnet18" => resnet18ish(),
+        "mlp" => mlp("mlp", &[4096, 4096, 4096, 1000]),
+        "rnn" => rnn_unrolled(1024, 2048, 8, 100),
+        other => {
+            eprintln!("unknown network {other:?}; using alexnet");
+            alexnet()
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let net = pick_net(argv.get(1).map(String::as_str).unwrap_or("alexnet"));
+    let b: f64 = argv.get(2).and_then(|s| s.parse().ok()).unwrap_or(2048.0);
+    let p: usize = argv.get(3).and_then(|s| s.parse().ok()).unwrap_or(512);
+
+    let machine = MachineModel::cori_knl();
+    // The roofline model works for any architecture (the Fig. 4 curve
+    // is AlexNet-specific).
+    let compute = RooflineComputeModel::knl();
+    let layers = net.weighted_layers();
+
+    println!(
+        "{}: {} weighted layers, {:.1}M parameters, B = {b}, P = {p}\n",
+        net.name,
+        layers.len(),
+        net.total_weights() as f64 / 1e6
+    );
+
+    let evals = optimize(&net, b, p, &machine, &compute);
+    let mut t = Table::new(
+        "strategies ranked by per-iteration time",
+        &["strategy", "compute", "comm", "total", "mem/proc GB"],
+    );
+    for e in evals.iter().take(12) {
+        let mem = footprint(&e.strategy, &layers, b);
+        t.row(vec![
+            e.strategy.name.clone(),
+            fmt_seconds(e.compute_seconds),
+            fmt_seconds(e.comm_seconds),
+            fmt_seconds(e.total_seconds),
+            format!("{:.3}", mem.bytes(machine.word_bytes) / 1e9),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // The time/memory Pareto frontier (§4 Discussion's trade-off).
+    let frontier = pareto_frontier(&evals, &layers, b);
+    println!("\ntime/memory Pareto frontier:");
+    for pt in &frontier {
+        println!(
+            "  {:<24} {:>10}/iter  {:>8.3} GB/proc",
+            pt.eval.strategy.name,
+            fmt_seconds(pt.eval.total_seconds),
+            pt.memory_words * machine.word_bytes as f64 / 1e9
+        );
+    }
+
+    if (p as f64) > b {
+        println!(
+            "\nnote: P > B — pure batch parallelism cannot run; every listed strategy uses\n\
+             domain parallelism in the conv layers (the paper's Fig. 10 regime)."
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: find the best way to parallelize AlexNet training on
+//! 512 processes with a mini-batch of 2048 — the paper's headline
+//! configuration.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use integrated_parallelism::dnn::zoo::alexnet;
+use integrated_parallelism::integrated::compute::KnlComputeModel;
+use integrated_parallelism::integrated::optimizer::optimize;
+use integrated_parallelism::integrated::report::{fmt_seconds, fmt_speedup};
+use integrated_parallelism::integrated::MachineModel;
+
+fn main() {
+    // 1. Describe the network (layer shapes, Eq. 2 quantities come
+    //    free) and the machine (the paper's Table 1 Cori/KNL numbers).
+    let net = alexnet();
+    let machine = MachineModel::cori_knl();
+    let compute = KnlComputeModel::fig4();
+
+    // 2. Ask the optimizer for every admissible strategy at B = 2048
+    //    on P = 512 processes, ranked by per-iteration time.
+    let (b, p) = (2048.0, 512);
+    let evals = optimize(&net, b, p, &machine, &compute);
+
+    println!("top strategies for {} at B = {b}, P = {p}:\n", net.name);
+    println!(
+        "{:<24} {:>12} {:>12} {:>12}",
+        "strategy", "compute", "comm", "total/iter"
+    );
+    for e in evals.iter().take(6) {
+        println!(
+            "{:<24} {:>12} {:>12} {:>12}",
+            e.strategy.name,
+            fmt_seconds(e.compute_seconds),
+            fmt_seconds(e.comm_seconds),
+            fmt_seconds(e.total_seconds)
+        );
+    }
+
+    // 3. Compare the winner against plain data parallelism — the
+    //    paper's headline claim.
+    let best = &evals[0];
+    let pure_batch = evals
+        .iter()
+        .find(|e| {
+            use integrated_parallelism::integrated::LayerParallelism;
+            e.strategy
+                .layers
+                .iter()
+                .all(|l| matches!(l, LayerParallelism::ModelBatch { pr: 1, .. }))
+        })
+        .expect("pure batch is in the sweep");
+    println!(
+        "\nbest strategy: {} — {} over pure batch ({} in communication alone)",
+        best.strategy.name,
+        fmt_speedup(pure_batch.total_seconds / best.total_seconds),
+        fmt_speedup(pure_batch.comm_seconds / best.comm_seconds),
+    );
+
+    // 4. Per-layer view of where the winner spends its communication.
+    println!("\nper-layer communication of the best strategy (words on the critical path):");
+    for lc in &best.comm.layers {
+        println!(
+            "  {:<6} allgather {:>12.0}  dX-allreduce {:>12.0}  dW-allreduce {:>12.0}",
+            lc.name, lc.cost.allgather.words, lc.cost.dx_allreduce.words, lc.cost.dw_allreduce.words
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-crate validation: the *executed* distributed algorithms on
+//! the `mpsim` virtual cluster incur exactly the communication the
+//! paper's closed forms charge (bandwidth terms; the paper substitutes
+//! `⌈log P⌉` for ring latency, so latency is zeroed here and checked
+//! separately against the Thakur-exact forms in `collectives`).
+
+use integrated_parallelism::distmm::dist::{col_shard, row_shard};
+use integrated_parallelism::distmm::domain;
+use integrated_parallelism::distmm::onep5d::{backward, forward, Grid};
+use integrated_parallelism::dnn::{LayerSpec, NetworkBuilder, Shape};
+use integrated_parallelism::integrated::cost::integrated::layer_cost;
+use integrated_parallelism::integrated::cost::pure_domain;
+use integrated_parallelism::integrated::{LayerParallelism, MachineModel};
+use integrated_parallelism::mpsim::{NetModel, World};
+use integrated_parallelism::tensor::conv::Conv2dParams;
+use integrated_parallelism::tensor::init;
+
+/// A bandwidth-only machine: α = 0 so the executed ring latency and
+/// the paper's `⌈log P⌉` latency both vanish.
+fn bandwidth_only() -> (NetModel, MachineModel) {
+    let machine = MachineModel { alpha: 0.0, bandwidth: 1e6, word_bytes: 1, flops: 1.0 };
+    let mut net = machine.net_model();
+    net.flops = f64::INFINITY; // isolate communication
+    (net, machine)
+}
+
+#[test]
+fn executed_1p5d_layer_matches_eq8_bandwidth() {
+    // Dimensions chosen so every collective splits evenly (ring
+    // all-reduce chunks, all-gather blocks) and the executed volume is
+    // exactly the closed form.
+    let (d_out, d_in, b) = (16usize, 12usize, 24usize);
+    let (pr, pc) = (4usize, 6usize);
+    let (sim, machine) = bandwidth_only();
+
+    let w = init::xavier(d_out, d_in, 1);
+    let x = init::uniform(d_in, b, -1.0, 1.0, 2);
+    let dy = init::uniform(d_out, b, -1.0, 1.0, 3);
+
+    let times = World::run(pr * pc, sim, |comm| {
+        let grid = Grid::new(comm, pr, pc).unwrap();
+        let wl = row_shard(&w, pr, grid.i);
+        let xl = col_shard(&x, pc, grid.j);
+        let dyl = col_shard(&dy, pc, grid.j);
+        let _y = forward(&grid, &wl, &xl).unwrap();
+        let (_dw, _dx) = backward(&grid, &wl, &xl, &dyl).unwrap();
+        comm.clock().comm
+    });
+
+    // The matching Eq. 8 per-layer cost (not the first layer, so the
+    // ∆X all-reduce is included).
+    let net = NetworkBuilder::new("one-layer", Shape::flat(d_in))
+        .layer(LayerSpec::FullyConnected { out: d_out })
+        .build()
+        .unwrap();
+    let layer = &net.weighted_layers()[0];
+    let expect = layer_cost(
+        layer,
+        LayerParallelism::ModelBatch { pr, pc },
+        b as f64,
+        false,
+    );
+    let expect_secs = expect.total().words * machine.beta();
+    for (r, &t) in times.iter().enumerate() {
+        assert!(
+            (t - expect_secs).abs() < 1e-12,
+            "rank {r}: executed {t} vs Eq. 8 {expect_secs}"
+        );
+    }
+}
+
+#[test]
+fn executed_pure_batch_and_model_match_eq8_degenerations() {
+    let (d_out, d_in, b) = (16usize, 8usize, 16usize);
+    let (sim, machine) = bandwidth_only();
+    let w = init::xavier(d_out, d_in, 1);
+    let x = init::uniform(d_in, b, -1.0, 1.0, 2);
+    let dy = init::uniform(d_out, b, -1.0, 1.0, 3);
+
+    let net = NetworkBuilder::new("one-layer", Shape::flat(d_in))
+        .layer(LayerSpec::FullyConnected { out: d_out })
+        .build()
+        .unwrap();
+    let layer = &net.weighted_layers()[0];
+
+    for (pr, pc) in [(1usize, 8usize), (8, 1)] {
+        let times = World::run(pr * pc, sim, |comm| {
+            let grid = Grid::new(comm, pr, pc).unwrap();
+            let wl = row_shard(&w, pr, grid.i);
+            let xl = col_shard(&x, pc, grid.j);
+            let dyl = col_shard(&dy, pc, grid.j);
+            let _y = forward(&grid, &wl, &xl).unwrap();
+            let (_dw, _dx) = backward(&grid, &wl, &xl, &dyl).unwrap();
+            comm.clock().comm
+        });
+        let expect = layer_cost(
+            layer,
+            LayerParallelism::ModelBatch { pr, pc },
+            b as f64,
+            false,
+        );
+        let expect_secs = expect.total().words * machine.beta();
+        for &t in &times {
+            assert!(
+                (t - expect_secs).abs() < 1e-12,
+                "grid {pr}x{pc}: executed {t} vs analytic {expect_secs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn executed_halo_forward_matches_eq7_term() {
+    // An interior rank's exposed forward-halo time equals Eq. 7's
+    // `α + β·B·X_W·X_C·⌊kh/2⌋` when nothing overlaps it.
+    let params = Conv2dParams { in_c: 3, out_c: 4, kh: 3, kw: 3, stride: 1, pad: 1 };
+    let (b, h, w) = (4usize, 16usize, 5usize);
+    let machine = MachineModel { alpha: 1e-3, bandwidth: 1e6, word_bytes: 1, flops: 1.0 };
+    let mut sim = machine.net_model();
+    sim.flops = f64::INFINITY; // no interior compute to hide the halo
+    let p_ranks = 4;
+
+    let x = init::uniform_tensor(b, 3, h, w, -1.0, 1.0, 5);
+    let wts = init::uniform(4, params.patch_len(), -0.5, 0.5, 6);
+    let times = World::run(p_ranks, sim, |comm| {
+        let rng = domain::strip_range(h, p_ranks, comm.rank());
+        let strip = x.row_strip(rng.start, rng.end);
+        let _ = domain::forward(comm, &strip, &wts, &params).unwrap();
+        comm.clock().comm
+    });
+
+    // Eq. 7 forward halo volume for this layer.
+    let volume = (b * w * 3) as f64 * (params.kh / 2) as f64;
+    let expect = machine.alpha + volume * machine.beta();
+    for (r, &t) in times.iter().enumerate() {
+        if r > 0 && r + 1 < p_ranks {
+            assert!(
+                (t - expect).abs() < 1e-12,
+                "interior rank {r}: {t} vs Eq. 7 term {expect}"
+            );
+        } else {
+            // Boundary ranks exchange with one neighbour only; the two
+            // directions overlap, so the time is still one transfer.
+            assert!(t <= expect + 1e-12, "boundary rank {r}: {t}");
+        }
+    }
+}
+
+#[test]
+fn executed_domain_backward_weight_allreduce_matches_eq7_batch_term() {
+    // With a 1x1 kernel the halo vanishes and domain backward's only
+    // collective is the ∆W ring all-reduce — Eq. 7's third sum.
+    let params = Conv2dParams { in_c: 4, out_c: 4, kh: 1, kw: 1, stride: 1, pad: 0 };
+    let (b, h, w) = (2usize, 8usize, 4usize);
+    let (sim, machine) = bandwidth_only();
+    let p_ranks = 4;
+
+    let x = init::uniform_tensor(b, 4, h, w, -1.0, 1.0, 7);
+    let wts = init::uniform(4, params.patch_len(), -0.5, 0.5, 8);
+    let dy = init::uniform_tensor(b, 4, h, w, -1.0, 1.0, 9);
+    let times = World::run(p_ranks, sim, |comm| {
+        let rng = domain::strip_range(h, p_ranks, comm.rank());
+        let _ = domain::backward(
+            comm,
+            &x.row_strip(rng.start, rng.end),
+            &wts,
+            &dy.row_strip(rng.start, rng.end),
+            &params,
+        )
+        .unwrap();
+        comm.clock().comm
+    });
+
+    let net = NetworkBuilder::new("one-conv", Shape::new(4, h, w))
+        .layer(LayerSpec::Conv { out_c: 4, kh: 1, kw: 1, stride: 1, pad: 0 })
+        .build()
+        .unwrap();
+    let layers = net.weighted_layers();
+    let analytic = pure_domain(&layers, b as f64, p_ranks);
+    let expect = analytic.total.dw_allreduce.words * machine.beta();
+    for &t in &times {
+        assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
+    }
+}

@@ -1,0 +1,139 @@
+//! The paper's headline quantitative claims, checked against this
+//! reproduction's models. Exact constants cannot match (our compute
+//! curve is calibrated, not measured on KNL — see DESIGN.md), so each
+//! claim is asserted as the paper states it *qualitatively*, with
+//! generous-but-meaningful bands recorded in EXPERIMENTS.md.
+
+use integrated_parallelism::dnn::zoo::alexnet;
+use integrated_parallelism::integrated::compute::KnlComputeModel;
+use integrated_parallelism::integrated::cost::{crossover_batch, pure_batch, pure_model};
+use integrated_parallelism::integrated::optimizer::{
+    best, sweep_conv_batch_fc_grids, sweep_domain_strategies, sweep_uniform_grids,
+};
+use integrated_parallelism::integrated::overlap::fig8_total;
+use integrated_parallelism::integrated::MachineModel;
+
+struct Ctx {
+    net: dnn::Network,
+    machine: MachineModel,
+    compute: KnlComputeModel,
+}
+
+fn ctx() -> Ctx {
+    Ctx {
+        net: alexnet(),
+        machine: MachineModel::cori_knl(),
+        compute: KnlComputeModel::fig4(),
+    }
+}
+
+#[test]
+fn claim_fig6d_integrated_beats_pure_batch_at_512() {
+    // Paper: 2.1x total / 5.0x comm at B=2048, P=512 with the best
+    // uniform grid (16x32). Band: total speedup in [1.3, 3.5], comm
+    // speedup in [1.5, 8], best grid interior.
+    let c = ctx();
+    let layers = c.net.weighted_layers();
+    let evals = sweep_uniform_grids(&c.net, &layers, 2048.0, 512, &c.machine, &c.compute);
+    let base = &evals[0]; // pr = 1
+    let b = best(&evals);
+    let total = base.total_seconds / b.total_seconds;
+    let comm = base.comm_seconds / b.comm_seconds;
+    assert!((1.3..3.5).contains(&total), "total speedup {total}");
+    assert!((1.5..8.0).contains(&comm), "comm speedup {comm}");
+    assert_ne!(b.strategy.name, base.strategy.name, "an interior grid wins");
+}
+
+#[test]
+fn claim_fig7d_conv_batch_fc_grid_improves_on_fig6() {
+    // Paper: 2.5x total / 9.7x comm — and strictly better than the
+    // Fig. 6 best.
+    let c = ctx();
+    let layers = c.net.weighted_layers();
+    let uniform = sweep_uniform_grids(&c.net, &layers, 2048.0, 512, &c.machine, &c.compute);
+    let split =
+        sweep_conv_batch_fc_grids(&c.net, &layers, 2048.0, 512, &c.machine, &c.compute);
+    let base = &split[0];
+    let b = best(&split);
+    let total = base.total_seconds / b.total_seconds;
+    let comm = base.comm_seconds / b.comm_seconds;
+    assert!((1.6..4.0).contains(&total), "total speedup {total}");
+    assert!((3.0..15.0).contains(&comm), "comm speedup {comm}");
+    assert!(best(&split).total_seconds < best(&uniform).total_seconds);
+}
+
+#[test]
+fn claim_fig8_overlap_retains_speedup() {
+    // Paper: "even in this setting there is 2.0x speedup". Band:
+    // [1.2, 3.0].
+    let c = ctx();
+    let layers = c.net.weighted_layers();
+    let split =
+        sweep_conv_batch_fc_grids(&c.net, &layers, 2048.0, 512, &c.machine, &c.compute);
+    let base = &split[0];
+    let base_t = fig8_total(base.comm_seconds, base.compute_seconds);
+    let best_t = split
+        .iter()
+        .map(|e| fig8_total(e.comm_seconds, e.compute_seconds))
+        .fold(f64::INFINITY, f64::min);
+    let speedup = base_t / best_t;
+    assert!((1.2..3.0).contains(&speedup), "overlapped speedup {speedup}");
+}
+
+#[test]
+fn claim_fig10_domain_extends_scaling_past_batch_limit() {
+    // Paper: with B=512, scaling continues beyond P=512 by splitting
+    // images 2/4/8 ways; each doubling of P keeps reducing time.
+    let c = ctx();
+    let layers = c.net.weighted_layers();
+    let mut prev = f64::INFINITY;
+    for p in [512usize, 1024, 2048, 4096] {
+        let evals =
+            sweep_domain_strategies(&c.net, &layers, 512.0, p, &c.machine, &c.compute);
+        let t = best(&evals).total_seconds;
+        assert!(t < prev, "P={p}: {t} not faster than {prev}");
+        prev = t;
+    }
+}
+
+#[test]
+fn claim_eq5_model_parallel_wins_small_batch_conv() {
+    // Paper: for AlexNet's 3x3-on-13x13x384 layer, model parallelism
+    // has lower communication volume for B ≤ 12 (our exact constant:
+    // 13.6).
+    let c = ctx();
+    let layers = c.net.weighted_layers();
+    let conv4 = &layers[3];
+    let b_star = crossover_batch(conv4);
+    assert!((12.0..16.0).contains(&b_star), "B* = {b_star}");
+}
+
+#[test]
+fn claim_batch_beats_model_at_large_batch_network_wide() {
+    // Eq. 3 vs Eq. 4 at B = 2048: pure batch communication is far below
+    // pure model for AlexNet (activations dominate at large B).
+    let c = ctx();
+    let layers = c.net.weighted_layers();
+    let model = pure_model(&layers, 2048.0, 64).seconds(&c.machine);
+    let batch = pure_batch(&layers, 64).seconds(&c.machine);
+    assert!(model > 5.0 * batch, "model {model} vs batch {batch}");
+}
+
+#[test]
+fn claim_fig4_best_workload_is_256() {
+    let c = ctx();
+    assert_eq!(c.compute.best_batch(), 256.0);
+}
+
+#[test]
+fn claim_small_p_gains_are_marginal() {
+    // Paper Fig. 6(a): "the benefit of the integrated approach is not
+    // realized on a relatively small number of processors".
+    let c = ctx();
+    let layers = c.net.weighted_layers();
+    let evals = sweep_uniform_grids(&c.net, &layers, 2048.0, 8, &c.machine, &c.compute);
+    let base = &evals[0];
+    let b = best(&evals);
+    let speedup = base.total_seconds / b.total_seconds;
+    assert!(speedup < 1.1, "P=8 speedup should be marginal, got {speedup}");
+}
