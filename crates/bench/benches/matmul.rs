@@ -28,7 +28,14 @@ fn bench_matmul(c: &mut Criterion) {
 
 fn bench_conv(c: &mut Criterion) {
     let mut g = c.benchmark_group("conv3x3_16c_32x32");
-    let p = Conv2dParams { in_c: 16, out_c: 16, kh: 3, kw: 3, stride: 1, pad: 1 };
+    let p = Conv2dParams {
+        in_c: 16,
+        out_c: 16,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
     let x = init::uniform_tensor(4, 16, 32, 32, -1.0, 1.0, 3);
     let w = init::uniform(16, p.patch_len(), -0.3, 0.3, 4);
     g.bench_function("direct", |bch| {

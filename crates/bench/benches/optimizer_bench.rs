@@ -13,12 +13,24 @@ fn bench_optimize(c: &mut Criterion) {
     let mut g = c.benchmark_group("strategy_search_alexnet");
     g.bench_function("optimize_B2048_P512", |b| {
         b.iter(|| {
-            black_box(optimize(&setup.net, 2048.0, 512, &setup.machine, &setup.compute))
+            black_box(optimize(
+                &setup.net,
+                2048.0,
+                512,
+                &setup.machine,
+                &setup.compute,
+            ))
         })
     });
     g.bench_function("optimize_B512_P4096_domain", |b| {
         b.iter(|| {
-            black_box(optimize(&setup.net, 512.0, 4096, &setup.machine, &setup.compute))
+            black_box(optimize(
+                &setup.net,
+                512.0,
+                4096,
+                &setup.machine,
+                &setup.compute,
+            ))
         })
     });
     g.bench_function("sweep_uniform_P512", |b| {

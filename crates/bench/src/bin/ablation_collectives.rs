@@ -31,7 +31,13 @@ fn main() {
     let p = 16usize;
     let mut t = Table::new(
         format!("all-reduce algorithms, executed virtual time, P = {p} (Cori alpha/beta)"),
-        &["words", "ring", "recursive-doubling", "rabenseifner", "winner"],
+        &[
+            "words",
+            "ring",
+            "recursive-doubling",
+            "rabenseifner",
+            "winner",
+        ],
     );
     // Sizes are multiples of P so Rabenseifner's recursive halving
     // splits evenly.
@@ -41,7 +47,9 @@ fn main() {
         let rd = timed(p, n, |c, d| {
             allreduce_recursive_doubling(c, d, ReduceOp::Sum).unwrap()
         });
-        let rab = timed(p, n, |c, d| allreduce_rabenseifner(c, d, ReduceOp::Sum).unwrap());
+        let rab = timed(p, n, |c, d| {
+            allreduce_rabenseifner(c, d, ReduceOp::Sum).unwrap()
+        });
         let winner = if ring <= rd && ring <= rab {
             "ring"
         } else if rab <= rd {

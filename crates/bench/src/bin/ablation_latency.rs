@@ -41,7 +41,10 @@ fn main() {
     }
     print!("{}", if args.csv { t.to_csv() } else { t.render() });
     let alpha_share = |p: usize| {
-        let bw: f64 = layers.iter().map(|l| 2.0 * frac(p) * l.weights as f64).sum::<f64>()
+        let bw: f64 = layers
+            .iter()
+            .map(|l| 2.0 * frac(p) * l.weights as f64)
+            .sum::<f64>()
             * m.beta();
         let lat = layers.len() as f64 * 2.0 * ceil_log2(p) * m.alpha;
         lat / (lat + bw) * 100.0

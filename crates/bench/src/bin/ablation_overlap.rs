@@ -27,7 +27,13 @@ fn main() {
 
     let mut t = Table::new(
         format!("overlap-fraction sweep, AlexNet, B = {b}, P = {p} (Fig. 7 family)"),
-        &["fraction", "pure-batch total", "best config", "best total", "speedup"],
+        &[
+            "fraction",
+            "pure-batch total",
+            "best config",
+            "best total",
+            "speedup",
+        ],
     );
     for frac in [0.0, 1.0 / 3.0, 0.5, 2.0 / 3.0, 0.9, 1.0] {
         let base_t = overlapped_total(base.comm_seconds, base.compute_seconds, frac);

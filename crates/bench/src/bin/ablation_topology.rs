@@ -57,7 +57,13 @@ fn main() {
             "1.5D layer (64x48, B=32) on fat nodes of {node} ranks \
              (intra: 0.1x alpha, 0.25x beta)"
         ),
-        &["grid", "flat network", "row-major placement", "col-major placement", "better"],
+        &[
+            "grid",
+            "flat network",
+            "row-major placement",
+            "col-major placement",
+            "better",
+        ],
     );
     for (pr, pc) in [(4usize, 4usize), (8, 2), (2, 8), (4, 2), (2, 4)] {
         let flat = run(pr, pc, false, Topology::flat());
@@ -68,7 +74,11 @@ fn main() {
             fmt_seconds(flat),
             fmt_seconds(rowm),
             fmt_seconds(colm),
-            if colm < rowm { "col-major".into() } else { "row-major".into() },
+            if colm < rowm {
+                "col-major".into()
+            } else {
+                "row-major".into()
+            },
         ]);
     }
     print!("{}", if args.csv { t.to_csv() } else { t.render() });

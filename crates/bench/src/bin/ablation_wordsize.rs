@@ -21,12 +21,18 @@ fn main() {
 
     let mut t = Table::new(
         format!("gradient word size ablation, AlexNet, B = {b}, P = {p} (Fig. 7 family)"),
-        &["word", "pure-batch comm", "best config", "best comm", "total speedup", "comm speedup"],
+        &[
+            "word",
+            "pure-batch comm",
+            "best config",
+            "best comm",
+            "total speedup",
+            "comm speedup",
+        ],
     );
     for (label, bytes) in [("fp16", 2usize), ("fp32", 4), ("fp64", 8)] {
         let machine = setup.machine.with_word_bytes(bytes);
-        let evals =
-            sweep_conv_batch_fc_grids(&setup.net, &layers, b, p, &machine, &setup.compute);
+        let evals = sweep_conv_batch_fc_grids(&setup.net, &layers, b, p, &machine, &setup.compute);
         let base = pure_batch_baseline(&evals).expect("pure batch present");
         let bst = best(&evals);
         t.row(vec![

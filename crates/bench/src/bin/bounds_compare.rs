@@ -41,12 +41,22 @@ fn main() {
         l.weights as f64 / pr as f64 + 2.0 * (l.d_in() + l.d_out()) as f64 * b / pc as f64
     };
     let words_for = |pr: usize, pc: usize, idx: usize| -> f64 {
-        integrated_model_batch(&layers, b, pr, pc).layers[idx].cost.total().words
+        integrated_model_batch(&layers, b, pr, pc).layers[idx]
+            .cost
+            .total()
+            .words
     };
 
     let mut t = Table::new(
         format!("per-layer words/iteration, B = {b}, P = {p} (bound at each schedule's memory)"),
-        &["layer", "bound@batch", "achieved 1x512", "bound@best", "achieved best", "achieved 512x1"],
+        &[
+            "layer",
+            "bound@batch",
+            "achieved 1x512",
+            "bound@best",
+            "achieved best",
+            "achieved 512x1",
+        ],
     );
     for (idx, l) in layers.iter().enumerate() {
         let bound_batch = layer_lower_bound(l, b, p as f64, mem_for(l, 1, 512));

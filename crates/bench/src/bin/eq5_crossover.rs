@@ -19,13 +19,25 @@ fn main() {
     for net in [alexnet(), vgg16(), resnet18ish()] {
         let mut t = Table::new(
             format!("Eq. 5 crossover — {}", net.name),
-            &["layer", "kind", "input", "output", "B* = 2|W|/(3d)", "ratio@B=32", "model wins for"],
+            &[
+                "layer",
+                "kind",
+                "input",
+                "output",
+                "B* = 2|W|/(3d)",
+                "ratio@B=32",
+                "model wins for",
+            ],
         );
         for l in net.weighted_layers() {
             let b_star = crossover_batch(&l);
             t.row(vec![
                 l.name.clone(),
-                if l.is_conv() { "conv".into() } else { "fc".into() },
+                if l.is_conv() {
+                    "conv".into()
+                } else {
+                    "fc".into()
+                },
                 l.in_shape.to_string(),
                 l.out_shape.to_string(),
                 format!("{b_star:.1}"),
@@ -36,7 +48,5 @@ fn main() {
         print!("{}", if args.csv { t.to_csv() } else { t.render() });
         println!();
     }
-    println!(
-        "paper check: AlexNet conv4 (3x3 on 13x13x384) crossover should land near B = 12-14."
-    );
+    println!("paper check: AlexNet conv4 (3x3 on 13x13x384) crossover should land near B = 12-14.");
 }

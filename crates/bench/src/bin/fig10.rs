@@ -21,14 +21,8 @@ fn main() {
     let b = 512.0;
     let mut best_totals: Vec<(usize, f64)> = Vec::new();
     for (tag, p) in [("a", 512usize), ("b", 1024), ("c", 2048), ("d", 4096)] {
-        let evals = sweep_domain_strategies(
-            &setup.net,
-            &layers,
-            b,
-            p,
-            &setup.machine,
-            &setup.compute,
-        );
+        let evals =
+            sweep_domain_strategies(&setup.net, &layers, b, p, &setup.machine, &setup.compute);
         let parts = p / 512;
         let title = format!(
             "Fig. 10({tag}): B = {b}, P = {p} (each image in {parts} part{})",

@@ -23,12 +23,27 @@ fn main() {
     let net = mini_alexnet();
     let b = 4usize;
     let (x, labels) = synthetic_images(&net, b, 21);
-    let cfg = TrainConfig { lr: 0.05, iters: 3, seed: 13 };
+    let cfg = TrainConfig {
+        lr: 0.05,
+        iters: 3,
+        seed: 13,
+    };
     let serial = train_cnn_serial(&net, &x, &labels, &cfg);
 
     let mut t = Table::new(
-        format!("executed beyond-batch-limit scaling: {} with B = {b} images", net.name),
-        &["grid (pd x pc)", "P", "makespan", "comm", "compute", "words", "max |w - serial|"],
+        format!(
+            "executed beyond-batch-limit scaling: {} with B = {b} images",
+            net.name
+        ),
+        &[
+            "grid (pd x pc)",
+            "P",
+            "makespan",
+            "comm",
+            "compute",
+            "words",
+            "max |w - serial|",
+        ],
     );
     for (pd, pc) in [(1usize, 2usize), (1, 4), (2, 4), (4, 4)] {
         let dist = train_cnn_domain(&net, &x, &labels, &cfg, pd, pc, NetModel::cori_knl());
@@ -36,7 +51,12 @@ fn main() {
             .conv_weights
             .iter()
             .chain(&serial.fc_weights)
-            .zip(dist.per_rank[0].conv_weights.iter().chain(&dist.per_rank[0].fc_weights))
+            .zip(
+                dist.per_rank[0]
+                    .conv_weights
+                    .iter()
+                    .chain(&dist.per_rank[0].fc_weights),
+            )
             .map(|(a, b)| a.max_abs_diff(b))
             .fold(0.0, f64::max);
         t.row(vec![

@@ -19,7 +19,12 @@ fn main() {
 
     let mut t = Table::new(
         "Fig. 4: one-epoch AlexNet time on a single KNL vs batch size",
-        &["batch", "epoch (calibrated)", "epoch (roofline)", "iter (calibrated)"],
+        &[
+            "batch",
+            "epoch (calibrated)",
+            "epoch (roofline)",
+            "iter (calibrated)",
+        ],
     );
     let mut best = (0usize, f64::INFINITY);
     for k in 0..=11 {

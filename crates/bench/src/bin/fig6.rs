@@ -20,8 +20,7 @@ fn main() {
     let layers = setup.net.weighted_layers();
     let b = 2048.0;
     for (tag, p) in [("a", 8usize), ("b", 32), ("c", 128), ("d", 512)] {
-        let evals =
-            sweep_uniform_grids(&setup.net, &layers, b, p, &setup.machine, &setup.compute);
+        let evals = sweep_uniform_grids(&setup.net, &layers, b, p, &setup.machine, &setup.compute);
         let title = format!("Fig. 6({tag}): B = {b}, P = {p}, same grid in all layers");
         println!("{}", subfigure_table(&title, &setup, b, &evals, &args));
     }

@@ -28,14 +28,28 @@ fn main() {
     let layers = net.weighted_layers();
     let b = 32usize;
     let iters = 4usize;
-    let cfg = TrainConfig { lr: 0.1, iters, seed: 11 };
+    let cfg = TrainConfig {
+        lr: 0.1,
+        iters,
+        seed: 11,
+    };
     let (x, labels) = synthetic_data(&net, b, 42);
     let model = NetModel::cori_knl();
 
     for p in [4usize, 8, 16] {
         let mut t = Table::new(
-            format!("executed strong scaling: {} B={b}, P={p}, {iters} iterations", net.name),
-            &["grid", "makespan", "comm", "compute", "words moved", "Eq.8 words (pred)"],
+            format!(
+                "executed strong scaling: {} B={b}, P={p}, {iters} iterations",
+                net.name
+            ),
+            &[
+                "grid",
+                "makespan",
+                "comm",
+                "compute",
+                "words moved",
+                "Eq.8 words (pred)",
+            ],
         );
         let mut best: Option<(String, f64)> = None;
         let mut pure_batch_time = 0.0;
@@ -50,9 +64,11 @@ fn main() {
             // Eq. 8 predicted words per process per iteration; the
             // executed counter is total words over all ranks and
             // iterations.
-            let pred =
-                integrated_model_batch(&layers, b as f64, pr, pc).total.total().words
-                    * (p * iters) as f64;
+            let pred = integrated_model_batch(&layers, b as f64, pr, pc)
+                .total
+                .total()
+                .words
+                * (p * iters) as f64;
             t.row(vec![
                 format!("{pr}x{pc}"),
                 fmt_seconds(makespan),

@@ -19,16 +19,9 @@ fn main() {
     let layers = setup.net.weighted_layers();
     let b = 2048.0;
     for (tag, p) in [("a", 8usize), ("b", 32), ("c", 128), ("d", 512)] {
-        let evals = sweep_conv_batch_fc_grids(
-            &setup.net,
-            &layers,
-            b,
-            p,
-            &setup.machine,
-            &setup.compute,
-        );
-        let title =
-            format!("Fig. 7({tag}): B = {b}, P = {p}, conv pure-batch + FC grid");
+        let evals =
+            sweep_conv_batch_fc_grids(&setup.net, &layers, b, p, &setup.machine, &setup.compute);
+        let title = format!("Fig. 7({tag}): B = {b}, P = {p}, conv pure-batch + FC grid");
         println!("{}", subfigure_table(&title, &setup, b, &evals, &args));
     }
 }

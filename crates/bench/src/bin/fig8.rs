@@ -23,17 +23,17 @@ fn main() {
         "overlappable fraction: {PAPER_BACKPROP_FRACTION:.3} (backprop all-reduces, per the paper)\n"
     );
     for (tag, p) in [("a", 8usize), ("b", 32), ("c", 128), ("d", 512)] {
-        let evals = sweep_conv_batch_fc_grids(
-            &setup.net,
-            &layers,
-            b,
-            p,
-            &setup.machine,
-            &setup.compute,
-        );
+        let evals =
+            sweep_conv_batch_fc_grids(&setup.net, &layers, b, p, &setup.machine, &setup.compute);
         let mut t = Table::new(
             format!("Fig. 8({tag}): B = {b}, P = {p}, perfect comm/backprop overlap"),
-            &["config", "compute", "comm", "total (no overlap)", "total (overlap)"],
+            &[
+                "config",
+                "compute",
+                "comm",
+                "total (no overlap)",
+                "total (overlap)",
+            ],
         );
         let mut rows: Vec<(String, f64)> = Vec::new();
         for e in &evals {

@@ -22,14 +22,8 @@ fn main() {
         ("d", 2048.0, 128),
         ("e", 4096.0, 256),
     ] {
-        let evals = sweep_conv_batch_fc_grids(
-            &setup.net,
-            &layers,
-            b,
-            p,
-            &setup.machine,
-            &setup.compute,
-        );
+        let evals =
+            sweep_conv_batch_fc_grids(&setup.net, &layers, b, p, &setup.machine, &setup.compute);
         let title = format!("Fig. 9({tag}): weak scaling, B = {b}, P = {p}");
         println!("{}", subfigure_table(&title, &setup, b, &evals, &args));
     }

@@ -22,7 +22,13 @@ fn main() {
 
     let mut t = Table::new(
         format!("Per-process memory, AlexNet, B = {b}, P = {p} (GB at fp32)"),
-        &["config", "weights", "weight grads", "activations", "total GB"],
+        &[
+            "config",
+            "weights",
+            "weight grads",
+            "activations",
+            "total GB",
+        ],
     );
     let gb = |words: f64| words * setup.machine.word_bytes as f64 / 1e9;
     for k in 0..=9 {

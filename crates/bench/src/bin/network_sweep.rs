@@ -30,7 +30,15 @@ fn main() {
 
     let mut t = Table::new(
         format!("architecture sweep, B = {b}, P = {p}"),
-        &["network", "params", "FC share", "Pr*", "best strategy", "total speedup", "comm speedup"],
+        &[
+            "network",
+            "params",
+            "FC share",
+            "Pr*",
+            "best strategy",
+            "total speedup",
+            "comm speedup",
+        ],
     );
     for net in [
         alexnet(),
@@ -42,13 +50,18 @@ fn main() {
         let layers = net.weighted_layers();
         let stats = NetworkStats::of(&net);
         let mut evals = sweep_uniform_grids(&net, &layers, b, p, &machine, &compute);
-        evals.extend(sweep_conv_batch_fc_grids(&net, &layers, b, p, &machine, &compute));
+        evals.extend(sweep_conv_batch_fc_grids(
+            &net, &layers, b, p, &machine, &compute,
+        ));
         let base = pure_batch_baseline(&evals).expect("pure batch present");
         let bst = best(&evals);
         t.row(vec![
             net.name.clone(),
             format!("{:.1}M", stats.total_weights as f64 / 1e6),
-            format!("{:.0}%", stats.fc_weights as f64 / stats.total_weights as f64 * 100.0),
+            format!(
+                "{:.0}%",
+                stats.fc_weights as f64 / stats.total_weights as f64 * 100.0
+            ),
             format!("{:.0}", optimal_pr_continuous(&layers, b, p)),
             bst.strategy.name.clone(),
             fmt_speedup(base.total_seconds / bst.total_seconds),

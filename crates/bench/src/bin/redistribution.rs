@@ -34,7 +34,11 @@ fn main() {
             l.name.clone(),
             fmt_seconds(redist),
             fmt_seconds(step),
-            if redist > 0.0 { format!("{:.2}x", step / redist) } else { "-".into() },
+            if redist > 0.0 {
+                format!("{:.2}x", step / redist)
+            } else {
+                "-".into()
+            },
         ]);
     }
     print!("{}", if args.csv { t.to_csv() } else { t.render() });

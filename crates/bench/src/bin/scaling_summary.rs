@@ -10,8 +10,7 @@
 
 use bench::{parse_args, Setup};
 use integrated::optimizer::{
-    best, sweep_conv_batch_fc_grids, sweep_domain_strategies, sweep_uniform_grids,
-    Evaluation,
+    best, sweep_conv_batch_fc_grids, sweep_domain_strategies, sweep_uniform_grids, Evaluation,
 };
 use integrated::report::{fmt_seconds, Table};
 use integrated::Strategy;
@@ -24,7 +23,14 @@ fn main() {
 
     let mut t = Table::new(
         format!("AlexNet end-to-end: best of each family, B = {b} (epoch seconds)"),
-        &["P", "pure batch", "uniform grid (Fig6)", "conv-batch+FC (Fig7)", "domain (Fig10)", "winner"],
+        &[
+            "P",
+            "pure batch",
+            "uniform grid (Fig6)",
+            "conv-batch+FC (Fig7)",
+            "domain (Fig10)",
+            "winner",
+        ],
     );
     for k in 3..=12 {
         let p = 1usize << k;

@@ -13,8 +13,7 @@
 use bench::{parse_args, Setup};
 use integrated::report::Table;
 use integrated::summa_analysis::{
-    memory_1p5d, memory_2d, volume_1p5d, volume_summa_stationary_a,
-    volume_summa_stationary_c,
+    memory_1p5d, memory_2d, volume_1p5d, volume_summa_stationary_a, volume_summa_stationary_c,
 };
 
 fn main() {
@@ -27,7 +26,10 @@ fn main() {
     // fc2 (the paper's fc7: 4096x4096 weights, d = 4096) is the
     // |W| > B·d regime; conv2 is the |W| < B·d regime.
     for name in ["fc2", "conv2"] {
-        let l = layers.iter().find(|l| l.name == name).expect("layer exists");
+        let l = layers
+            .iter()
+            .find(|l| l.name == name)
+            .expect("layer exists");
         let w = l.weights as f64;
         let bd = b * l.d_out() as f64;
         let regime = if w > bd { "|W| > B*d" } else { "|W| < B*d" };
@@ -36,7 +38,14 @@ fn main() {
                 "1.5D vs SUMMA — {} ({regime}): |W| = {:.2e}, B*d = {:.2e}, P = {p}",
                 l.name, w, bd
             ),
-            &["grid", "vol 1.5D", "vol 2D stat-A", "vol 2D stat-C", "mem 1.5D", "mem 2D"],
+            &[
+                "grid",
+                "vol 1.5D",
+                "vol 2D stat-A",
+                "vol 2D stat-C",
+                "mem 1.5D",
+                "mem 2D",
+            ],
         );
         for k in 0..=9 {
             let pr = 1usize << k;

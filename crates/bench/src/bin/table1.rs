@@ -15,7 +15,10 @@ fn main() {
     let setup = Setup::table1();
     let stats = NetworkStats::of(&setup.net);
 
-    let mut t = Table::new("Table 1: fixed simulation parameters", &["fixed option", "relevant parameters"]);
+    let mut t = Table::new(
+        "Table 1: fixed simulation parameters",
+        &["fixed option", "relevant parameters"],
+    );
     t.row(vec![
         "Network architecture: AlexNet".into(),
         format!(

@@ -13,9 +13,10 @@ use crate::setup::{Args, Setup};
 /// the baseline for the paper's speedup annotations.
 pub fn pure_batch_baseline(evals: &[Evaluation]) -> Option<&Evaluation> {
     evals.iter().find(|e| {
-        e.strategy.layers.iter().all(|l| {
-            matches!(l, integrated::LayerParallelism::ModelBatch { pr: 1, .. })
-        })
+        e.strategy
+            .layers
+            .iter()
+            .all(|l| matches!(l, integrated::LayerParallelism::ModelBatch { pr: 1, .. }))
     })
 }
 
@@ -32,12 +33,20 @@ pub fn subfigure_table(
 ) -> String {
     let mut t = Table::new(
         title,
-        &["config", "compute", "model-comm", "batch-comm", "halo", "comm-total", "total", "epoch"],
+        &[
+            "config",
+            "compute",
+            "model-comm",
+            "batch-comm",
+            "halo",
+            "comm-total",
+            "total",
+            "epoch",
+        ],
     );
     for e in evals {
         let m = &setup.machine;
-        let model_comm =
-            m.seconds(e.comm.total.allgather) + m.seconds(e.comm.total.dx_allreduce);
+        let model_comm = m.seconds(e.comm.total.allgather) + m.seconds(e.comm.total.dx_allreduce);
         let halo = m.seconds(e.comm.total.halo);
         t.row(vec![
             e.strategy.name.clone(),

@@ -40,7 +40,9 @@ pub struct Args {
 /// Parses `--csv` from argv (ignoring anything else so binaries can add
 /// their own flags).
 pub fn parse_args() -> Args {
-    Args { csv: std::env::args().any(|a| a == "--csv") }
+    Args {
+        csv: std::env::args().any(|a| a == "--csv"),
+    }
 }
 
 #[cfg(test)]

@@ -45,8 +45,7 @@ mod tests {
             let out = World::run(p, NetModel::free(), |comm| {
                 let r = comm.rank();
                 // Block for q encodes (from, to).
-                let send: Vec<Vec<f64>> =
-                    (0..p).map(|q| vec![(r * 100 + q) as f64; 3]).collect();
+                let send: Vec<Vec<f64>> = (0..p).map(|q| vec![(r * 100 + q) as f64; 3]).collect();
                 alltoall(comm, send).unwrap()
             });
             for r in 0..p {
@@ -78,7 +77,11 @@ mod tests {
 
     #[test]
     fn time_matches_pairwise_formula() {
-        let model = NetModel { alpha: 1e-3, beta: 1e-6, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
         let p = 8;
         let m = 100;
         let out = World::run(p, model, |comm| {

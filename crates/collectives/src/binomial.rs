@@ -35,7 +35,11 @@ pub fn bcast_binomial(comm: &Communicator, data: &mut Vec<f64>, root: usize) -> 
     }
     // Send phase: forward to children vrank + m for each m below our lsb
     // (or below p for the root), from high to low.
-    let limit = if vrank == 0 { mask << 1 } else { vrank & vrank.wrapping_neg() };
+    let limit = if vrank == 0 {
+        mask << 1
+    } else {
+        vrank & vrank.wrapping_neg()
+    };
     let mut m = mask;
     while m >= 1 {
         if m < limit && vrank + m < p {
@@ -109,15 +113,26 @@ mod tests {
 
     #[test]
     fn bcast_time_is_logarithmic() {
-        let model = NetModel { alpha: 1.0, beta: 0.0, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
         let p = 16;
         let out = World::run(p, model, |comm| {
-            let mut data = if comm.rank() == 0 { vec![7.0] } else { Vec::new() };
+            let mut data = if comm.rank() == 0 {
+                vec![7.0]
+            } else {
+                Vec::new()
+            };
             bcast_binomial(comm, &mut data, 0).unwrap();
             comm.now()
         });
         let max = out.iter().cloned().fold(0.0, f64::max);
-        assert!((max - 4.0).abs() < 1e-12, "binomial depth log2(16)=4, got {max}");
+        assert!(
+            (max - 4.0).abs() < 1e-12,
+            "binomial depth log2(16)=4, got {max}"
+        );
     }
 
     #[test]
@@ -139,7 +154,11 @@ mod tests {
     fn bcast_then_reduce_roundtrip() {
         let p = 6;
         let out = World::run(p, NetModel::free(), |comm| {
-            let mut data = if comm.rank() == 2 { vec![5.0; 8] } else { Vec::new() };
+            let mut data = if comm.rank() == 2 {
+                vec![5.0; 8]
+            } else {
+                Vec::new()
+            };
             bcast_binomial(comm, &mut data, 2).unwrap();
             reduce_binomial(comm, &mut data, ReduceOp::Sum, 2).unwrap();
             data

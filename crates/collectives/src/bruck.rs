@@ -70,7 +70,11 @@ mod tests {
 
     #[test]
     fn time_matches_bruck_formula_power_of_two() {
-        let model = NetModel { alpha: 1e-3, beta: 1e-6, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
         let p = 8;
         let m = 50;
         let out = World::run(p, model, |comm| {
@@ -87,7 +91,11 @@ mod tests {
 
     #[test]
     fn time_matches_bruck_formula_non_power_of_two() {
-        let model = NetModel { alpha: 1e-3, beta: 1e-6, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
         let p = 6; // rounds: have = 1,2,4 -> counts 1,2,2 => 3 = ceil(log2 6)
         let m = 60;
         let out = World::run(p, model, |comm| {
@@ -104,7 +112,11 @@ mod tests {
 
     #[test]
     fn bruck_has_lower_latency_than_ring() {
-        let model = NetModel { alpha: 1.0, beta: 0.0, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
         let p = 16;
         let bruck = World::run(p, model, |comm| {
             allgather_bruck(comm, &[1.0]).unwrap();

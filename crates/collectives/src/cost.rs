@@ -35,7 +35,10 @@ pub struct CostTerms {
 
 impl CostTerms {
     /// The zero cost.
-    pub const ZERO: CostTerms = CostTerms { alpha: 0.0, words: 0.0 };
+    pub const ZERO: CostTerms = CostTerms {
+        alpha: 0.0,
+        words: 0.0,
+    };
 
     /// Constructs a cost from explicit counts.
     pub fn new(alpha: f64, words: f64) -> Self {
@@ -51,7 +54,10 @@ impl CostTerms {
 impl Add for CostTerms {
     type Output = CostTerms;
     fn add(self, rhs: CostTerms) -> CostTerms {
-        CostTerms { alpha: self.alpha + rhs.alpha, words: self.words + rhs.words }
+        CostTerms {
+            alpha: self.alpha + rhs.alpha,
+            words: self.words + rhs.words,
+        }
     }
 }
 
@@ -65,7 +71,10 @@ impl AddAssign for CostTerms {
 impl Mul<f64> for CostTerms {
     type Output = CostTerms;
     fn mul(self, k: f64) -> CostTerms {
-        CostTerms { alpha: self.alpha * k, words: self.words * k }
+        CostTerms {
+            alpha: self.alpha * k,
+            words: self.words * k,
+        }
     }
 }
 
@@ -220,7 +229,11 @@ mod tests {
 
     #[test]
     fn seconds_applies_model() {
-        let model = NetModel { alpha: 2.0, beta: 0.5, flops: 1.0 };
+        let model = NetModel {
+            alpha: 2.0,
+            beta: 0.5,
+            flops: 1.0,
+        };
         let c = CostTerms::new(3.0, 4.0);
         assert!((c.seconds(&model) - 8.0).abs() < 1e-12);
     }
@@ -238,7 +251,11 @@ mod tests {
 
     #[test]
     fn rabenseifner_dominates_recursive_doubling_for_large_n() {
-        let model = NetModel { alpha: 1e-6, beta: 1e-9, flops: 1.0 };
+        let model = NetModel {
+            alpha: 1e-6,
+            beta: 1e-9,
+            flops: 1.0,
+        };
         let p = 64;
         let big = 1e7;
         assert!(

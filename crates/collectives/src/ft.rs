@@ -1,0 +1,489 @@
+//! Fault-tolerant collective variants.
+//!
+//! The plain collectives in this crate assume a reliable network and
+//! live peers: a dropped message would block a ring step forever, and a
+//! mid-collective rank death would leave every other member stuck. The
+//! `_ft` variants here wrap the same algorithms (identical data
+//! movement and α–β cost in the fault-free case) in three defenses:
+//!
+//! 1. **Timeout-aware receives** — every blocking receive uses
+//!    [`mpsim::Communicator::recv_retry`] with the [`FtConfig`]
+//!    deadline, so a dropped or straggling message surfaces as
+//!    [`mpsim::Error::Timeout`] after a bounded, virtual-clock-charged
+//!    wait instead of hanging.
+//! 2. **Checksum verification** — `mpsim` stamps an FNV checksum on
+//!    every data envelope while a fault plan is active and re-verifies
+//!    it at the receiver, so corrupted payloads surface as
+//!    [`mpsim::Error::Corrupted`] rather than silently folding a
+//!    flipped bit into a reduction.
+//! 3. **Group-wide abort** — a member that observes any fault
+//!    (timeout, corruption, peer death) broadcasts an abort notice
+//!    blaming a culprit rank before propagating the error. A member
+//!    blocked on a receive from an aborting peer unblocks with
+//!    [`mpsim::Error::Aborted`] and *cascades* the abort in turn, so
+//!    the whole group converges on a consistent "this collective
+//!    failed, rank k is to blame" outcome. (Cascading is what makes
+//!    the protocol live: each blocked rank waits on exactly one peer,
+//!    and that peer either sends the data, dies — death notices are
+//!    broadcast — or aborts and cascades.)
+//!
+//! After an abort, ranks are expected to run a failure-agreement round
+//! ([`mpsim::Communicator::fault_sync`]), shrink the communicator
+//! ([`mpsim::Communicator::shrink_exclude`]), bump the recovery epoch
+//! (staling any in-flight aborts), and retry on the survivor grid —
+//! the protocol the `integrated` crate's fault-tolerant trainer
+//! implements.
+
+use mpsim::{Communicator, Error, Result, Tag};
+
+use crate::chunks::block_range;
+use crate::op::ReduceOp;
+use crate::recursive::is_pow2;
+
+const FT_RS_TAG: Tag = (1 << 48) + 96;
+const FT_AG_TAG: Tag = (1 << 48) + 97;
+const FT_RD_TAG: Tag = (1 << 48) + 98;
+const FT_HALO_UP_TAG: Tag = (1 << 48) + 99;
+const FT_HALO_DOWN_TAG: Tag = (1 << 48) + 100;
+
+/// Receive policy for fault-tolerant collectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtConfig {
+    /// Deadline (virtual seconds) for each receive attempt.
+    pub timeout: f64,
+    /// Total receive attempts per message (≥ 1).
+    pub attempts: usize,
+    /// Virtual seconds of backoff between attempts.
+    pub backoff: f64,
+}
+
+impl FtConfig {
+    /// A single-attempt policy with the given per-receive deadline.
+    pub fn new(timeout: f64) -> Self {
+        assert!(timeout > 0.0, "timeout must be positive");
+        FtConfig {
+            timeout,
+            attempts: 1,
+            backoff: 0.0,
+        }
+    }
+
+    /// Sets the number of attempts per receive.
+    pub fn with_attempts(mut self, attempts: usize) -> Self {
+        assert!(attempts >= 1, "need at least one attempt");
+        self.attempts = attempts;
+        self
+    }
+
+    /// Sets the backoff between attempts.
+    pub fn with_backoff(mut self, backoff: f64) -> Self {
+        assert!(backoff >= 0.0, "backoff must be non-negative");
+        self.backoff = backoff;
+        self
+    }
+}
+
+/// The global rank to blame for a fault error observed on `comm`, or
+/// `None` when the error is not a fault (or is this rank's own death,
+/// which is already announced by a death notice).
+fn blame(comm: &Communicator, e: &Error) -> Option<usize> {
+    match e {
+        Error::Timeout { rank, .. } | Error::Corrupted { rank, .. } => {
+            comm.global_rank_of(*rank).ok()
+        }
+        Error::RankFailed { rank } => {
+            let me = comm
+                .global_rank_of(comm.rank())
+                .expect("own rank is in range");
+            (*rank != me).then_some(*rank)
+        }
+        Error::Aborted { culprit } => Some(*culprit),
+        _ => None,
+    }
+}
+
+/// Runs a collective body; on a fault error, broadcasts (or cascades)
+/// an abort blaming the culprit before propagating the error.
+fn guarded<T>(comm: &Communicator, body: impl FnOnce() -> Result<T>) -> Result<T> {
+    body().inspect_err(|e| {
+        if let Some(culprit) = blame(comm, e) {
+            // Best effort: if this rank dies while aborting, its death
+            // notice keeps the group live anyway.
+            let _ = comm.send_abort(culprit);
+        }
+    })
+}
+
+fn recv_ft(comm: &Communicator, src: usize, tag: Tag, cfg: &FtConfig) -> Result<Vec<f64>> {
+    comm.recv_retry(src, tag, cfg.timeout, cfg.attempts, cfg.backoff)
+}
+
+/// Fault-tolerant ring all-reduce. Fault-free behavior (values, traffic,
+/// virtual time) is identical to [`crate::ring::allreduce_ring`]; under
+/// faults it returns an error on every member (directly or via the
+/// abort cascade) instead of hanging.
+pub fn allreduce_ring_ft(
+    comm: &Communicator,
+    data: &mut [f64],
+    op: ReduceOp,
+    cfg: &FtConfig,
+) -> Result<()> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    guarded(comm, || {
+        let r = comm.rank();
+        let n = data.len();
+        let next = (r + 1) % p;
+        let prev = (r + p - 1) % p;
+        // Reduce-scatter phase.
+        for step in 0..p - 1 {
+            let send_idx = (r + p - step) % p;
+            let recv_idx = (r + p - step - 1) % p;
+            let send_block = data[block_range(n, p, send_idx)].to_vec();
+            comm.send_vec(next, FT_RS_TAG, send_block)?;
+            let incoming = recv_ft(comm, prev, FT_RS_TAG, cfg)?;
+            op.apply(&mut data[block_range(n, p, recv_idx)], &incoming);
+        }
+        // All-gather phase.
+        for step in 0..p - 1 {
+            let send_idx = (r + 1 + p - step) % p;
+            let recv_idx = (r + p - step) % p;
+            let send_block = data[block_range(n, p, send_idx)].to_vec();
+            comm.send_vec(next, FT_AG_TAG, send_block)?;
+            let incoming = recv_ft(comm, prev, FT_AG_TAG, cfg)?;
+            data[block_range(n, p, recv_idx)].copy_from_slice(&incoming);
+        }
+        Ok(())
+    })
+}
+
+/// Fault-tolerant recursive-doubling all-reduce (power-of-two ranks).
+/// Fault-free cost matches
+/// [`crate::recursive::allreduce_recursive_doubling`].
+pub fn allreduce_recursive_doubling_ft(
+    comm: &Communicator,
+    data: &mut [f64],
+    op: ReduceOp,
+    cfg: &FtConfig,
+) -> Result<()> {
+    let p = comm.size();
+    assert!(
+        is_pow2(p),
+        "recursive doubling requires power-of-two ranks, got {p}"
+    );
+    guarded(comm, || {
+        let r = comm.rank();
+        let mut d = 1usize;
+        while d < p {
+            let partner = r ^ d;
+            let tag = FT_RD_TAG + (d as u64) * 8;
+            comm.send(partner, tag, data)?;
+            let incoming = recv_ft(comm, partner, tag, cfg)?;
+            op.apply(data, &incoming);
+            d <<= 1;
+        }
+        Ok(())
+    })
+}
+
+/// Fault-tolerant ring all-gather of equal-size blocks; fault-free
+/// behavior matches [`crate::ring::allgather_ring`].
+pub fn allgather_ring_ft(comm: &Communicator, mine: &[f64], cfg: &FtConfig) -> Result<Vec<f64>> {
+    let p = comm.size();
+    let r = comm.rank();
+    let m = mine.len();
+    let mut out = vec![0.0; m * p];
+    out[r * m..(r + 1) * m].copy_from_slice(mine);
+    if p == 1 {
+        return Ok(out);
+    }
+    guarded(comm, || {
+        let next = (r + 1) % p;
+        let prev = (r + p - 1) % p;
+        for step in 0..p - 1 {
+            let send_idx = (r + p - step) % p;
+            let recv_idx = (r + p - step - 1) % p;
+            let block = out[send_idx * m..(send_idx + 1) * m].to_vec();
+            comm.send_vec(next, FT_AG_TAG, block)?;
+            let incoming = recv_ft(comm, prev, FT_AG_TAG, cfg)?;
+            out[recv_idx * m..(recv_idx + 1) * m].copy_from_slice(&incoming);
+        }
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Fault-tolerant ring all-gather of variable-length blocks; fault-free
+/// behavior matches [`crate::ring::allgatherv_ring`].
+pub fn allgatherv_ring_ft(
+    comm: &Communicator,
+    mine: &[f64],
+    cfg: &FtConfig,
+) -> Result<Vec<Vec<f64>>> {
+    let p = comm.size();
+    let r = comm.rank();
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+    out[r] = mine.to_vec();
+    if p == 1 {
+        return Ok(out);
+    }
+    guarded(comm, || {
+        let next = (r + 1) % p;
+        let prev = (r + p - 1) % p;
+        for step in 0..p - 1 {
+            let send_idx = (r + p - step) % p;
+            let recv_idx = (r + p - step - 1) % p;
+            comm.send(next, FT_AG_TAG, &out[send_idx])?;
+            out[recv_idx] = recv_ft(comm, prev, FT_AG_TAG, cfg)?;
+        }
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Fault-tolerant 1-D halo exchange: like [`crate::halo::exchange_1d`]
+/// but each neighbour's arrival must beat a deadline of `cfg.timeout`
+/// virtual seconds from posting (measured like
+/// [`mpsim::Communicator::irecv_timeout`]); overlap with
+/// `interior_compute` is preserved. A missing/late halo surfaces as
+/// [`mpsim::Error::Timeout`] and triggers the group abort.
+pub fn exchange_1d_ft<T>(
+    comm: &Communicator,
+    to_prev: &[f64],
+    to_next: &[f64],
+    cfg: &FtConfig,
+    interior_compute: impl FnOnce() -> T,
+) -> Result<(crate::halo::Halo, T)> {
+    let p = comm.size();
+    let r = comm.rank();
+    guarded(comm, || {
+        let up = if r + 1 < p {
+            Some(comm.irecv_timeout(r + 1, FT_HALO_UP_TAG, cfg.timeout)?)
+        } else {
+            None
+        };
+        let down = if r > 0 {
+            Some(comm.irecv_timeout(r - 1, FT_HALO_DOWN_TAG, cfg.timeout)?)
+        } else {
+            None
+        };
+        if r > 0 {
+            comm.send(r - 1, FT_HALO_UP_TAG, to_prev)?;
+        }
+        if r + 1 < p {
+            comm.send(r + 1, FT_HALO_DOWN_TAG, to_next)?;
+        }
+        let out = interior_compute();
+        let from_next = up.map(|h| comm.wait(h)).transpose()?;
+        let from_prev = down.map(|h| comm.wait(h)).transpose()?;
+        Ok((
+            crate::halo::Halo {
+                from_prev,
+                from_next,
+            },
+            out,
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::{FaultPlan, NetModel, World};
+
+    fn cfg() -> FtConfig {
+        FtConfig::new(1e6)
+    }
+
+    #[test]
+    fn fault_free_allreduce_matches_plain_ring_in_values_and_time() {
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
+        let p = 6;
+        let n = 30;
+        let plain = World::run(p, model, |comm| {
+            let mut data = vec![(comm.rank() + 1) as f64; n];
+            crate::ring::allreduce_ring(comm, &mut data, ReduceOp::Sum).unwrap();
+            (data, comm.now())
+        });
+        let ft = World::run(p, model, |comm| {
+            let mut data = vec![(comm.rank() + 1) as f64; n];
+            allreduce_ring_ft(comm, &mut data, ReduceOp::Sum, &cfg()).unwrap();
+            (data, comm.now())
+        });
+        for r in 0..p {
+            assert_eq!(plain[r].0, ft[r].0, "rank {r} values");
+            assert!((plain[r].1 - ft[r].1).abs() < 1e-15, "rank {r} time");
+        }
+    }
+
+    #[test]
+    fn fault_free_recursive_doubling_ft_matches_plain() {
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
+        let p = 8;
+        let plain = World::run(p, model, |comm| {
+            let mut data = vec![comm.rank() as f64; 16];
+            crate::recursive::allreduce_recursive_doubling(comm, &mut data, ReduceOp::Sum).unwrap();
+            (data, comm.now())
+        });
+        let ft = World::run(p, model, |comm| {
+            let mut data = vec![comm.rank() as f64; 16];
+            allreduce_recursive_doubling_ft(comm, &mut data, ReduceOp::Sum, &cfg()).unwrap();
+            (data, comm.now())
+        });
+        for r in 0..p {
+            assert_eq!(plain[r].0, ft[r].0);
+            assert!((plain[r].1 - ft[r].1).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn dead_rank_fails_the_whole_group_consistently() {
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.001,
+            flops: f64::INFINITY,
+        };
+        // Rank 2 dies just before the collective starts.
+        let plan = FaultPlan::new(3).kill(2, 0.5);
+        let (out, _) = World::run_with_faults(5, model, plan, |comm| {
+            comm.advance_compute(1.0);
+            let mut data = vec![1.0; 20];
+            allreduce_ring_ft(comm, &mut data, ReduceOp::Sum, &FtConfig::new(10.0))
+        });
+        for (r, res) in out.iter().enumerate() {
+            let e = res.as_ref().expect_err("every rank observes the failure");
+            match e {
+                Error::RankFailed { rank: 2 } => {}
+                Error::Aborted { culprit: 2 } => assert_ne!(r, 2),
+                // A rank may see the loss as a timeout first (its ring
+                // neighbour died before forwarding); it then blames and
+                // aborts, so the group still converges.
+                Error::Timeout { .. } => assert_ne!(r, 2),
+                other => panic!("rank {r}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_and_aborts_the_group() {
+        let model = NetModel::free();
+        // Corrupt the first ring message from rank 0 to rank 1.
+        let plan = FaultPlan::new(11).corrupt_nth(0, 1, 0);
+        let (out, stats) = World::run_with_faults(4, model, plan, |comm| {
+            let mut data = vec![(comm.rank() + 1) as f64; 8];
+            allreduce_ring_ft(comm, &mut data, ReduceOp::Sum, &FtConfig::new(100.0))
+        });
+        // Rank 1 detects the corruption directly; everyone fails.
+        assert_eq!(
+            out[1],
+            Err(Error::Corrupted {
+                rank: 0,
+                tag: FT_RS_TAG
+            })
+        );
+        for (r, res) in out.iter().enumerate() {
+            assert!(res.is_err(), "rank {r} must not complete: {res:?}");
+        }
+        assert_eq!(stats.total_corrupt_detected(), 1);
+        assert!(stats.total_aborts() >= 1, "abort was broadcast");
+    }
+
+    #[test]
+    fn dropped_message_times_out_and_retry_is_counted() {
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
+        let plan = FaultPlan::new(2).drop_nth(1, 2, 0);
+        let (out, stats) = World::run_with_faults(3, model, plan, |comm| {
+            let mut data = vec![1.0; 6];
+            allreduce_ring_ft(
+                comm,
+                &mut data,
+                ReduceOp::Sum,
+                &FtConfig::new(5.0).with_attempts(2).with_backoff(1.0),
+            )
+        });
+        assert!(
+            out.iter().all(|r| r.is_err()),
+            "drop fails the group: {out:?}"
+        );
+        assert!(
+            matches!(out[2], Err(Error::Timeout { rank: 1, .. })),
+            "{:?}",
+            out[2]
+        );
+        assert_eq!(stats.total_dropped(), 1);
+        assert_eq!(stats.ranks[2].retries, 1, "the configured retry ran");
+    }
+
+    #[test]
+    fn ft_halo_exchange_matches_plain_when_fault_free() {
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.5,
+            flops: f64::INFINITY,
+        };
+        let out = World::run(3, model, |comm| {
+            let r = comm.rank() as f64;
+            let (halo, ()) = exchange_1d_ft(
+                comm,
+                &[r * 10.0],
+                &[r * 10.0 + 1.0],
+                &FtConfig::new(100.0),
+                || (),
+            )
+            .unwrap();
+            (halo, comm.now())
+        });
+        assert_eq!(out[1].0.from_prev, Some(vec![1.0]));
+        assert_eq!(out[1].0.from_next, Some(vec![20.0]));
+        // Same exposed cost as the plain exchange: alpha + 1*beta = 1.5.
+        for &(_, t) in out.iter().map(|(h, t)| (h, t)).collect::<Vec<_>>().iter() {
+            assert!((t - 1.5).abs() < 1e-12, "{t}");
+        }
+    }
+
+    #[test]
+    fn ft_halo_times_out_on_dropped_boundary() {
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
+        let plan = FaultPlan::new(4).drop_nth(1, 0, 0);
+        let (out, _) = World::run_with_faults(2, model, plan, |comm| {
+            exchange_1d_ft(comm, &[5.0], &[6.0], &FtConfig::new(3.0), || ()).map(|(h, ())| h)
+        });
+        assert!(
+            matches!(out[0], Err(Error::Timeout { .. })),
+            "rank 0's halo from rank 1 was dropped: {:?}",
+            out[0]
+        );
+        assert!(out[1].is_ok(), "rank 1's own halo arrived: {:?}", out[1]);
+    }
+
+    #[test]
+    fn fault_free_allgatherv_ft_matches_plain() {
+        let out = World::run(4, NetModel::free(), |comm| {
+            let mine = vec![comm.rank() as f64; comm.rank() + 1];
+            let a = crate::ring::allgatherv_ring(comm, &mine).unwrap();
+            let b = allgatherv_ring_ft(comm, &mine, &cfg()).unwrap();
+            (a, b)
+        });
+        for (a, b) in &out {
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -44,8 +44,16 @@ pub fn exchange_1d<T>(
 ) -> Result<(Halo, T)> {
     let p = comm.size();
     let r = comm.rank();
-    let up: Option<RecvHandle> = if r + 1 < p { Some(comm.irecv(r + 1, HALO_UP_TAG)?) } else { None };
-    let down: Option<RecvHandle> = if r > 0 { Some(comm.irecv(r - 1, HALO_DOWN_TAG)?) } else { None };
+    let up: Option<RecvHandle> = if r + 1 < p {
+        Some(comm.irecv(r + 1, HALO_UP_TAG)?)
+    } else {
+        None
+    };
+    let down: Option<RecvHandle> = if r > 0 {
+        Some(comm.irecv(r - 1, HALO_DOWN_TAG)?)
+    } else {
+        None
+    };
     if r > 0 {
         comm.send(r - 1, HALO_UP_TAG, to_prev)?;
     }
@@ -55,7 +63,13 @@ pub fn exchange_1d<T>(
     let out = interior_compute();
     let from_next = up.map(|h| comm.wait(h)).transpose()?;
     let from_prev = down.map(|h| comm.wait(h)).transpose()?;
-    Ok((Halo { from_prev, from_next }, out))
+    Ok((
+        Halo {
+            from_prev,
+            from_next,
+        },
+        out,
+    ))
 }
 
 #[cfg(test)]
@@ -68,8 +82,7 @@ mod tests {
         let p = 4;
         let out = World::run(p, NetModel::free(), |comm| {
             let r = comm.rank() as f64;
-            let (halo, ()) =
-                exchange_1d(comm, &[r * 10.0], &[r * 10.0 + 1.0], || ()).unwrap();
+            let (halo, ()) = exchange_1d(comm, &[r * 10.0], &[r * 10.0 + 1.0], || ()).unwrap();
             halo
         });
         // Rank 0: no prev, next sends its "up" boundary 10.0.
@@ -85,7 +98,11 @@ mod tests {
 
     #[test]
     fn exchange_is_free_when_compute_covers_it() {
-        let model = NetModel { alpha: 1.0, beta: 0.01, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.01,
+            flops: f64::INFINITY,
+        };
         let out = World::run(3, model, |comm| {
             let (_halo, ()) = exchange_1d(comm, &[0.0; 10], &[0.0; 10], || {
                 comm.advance_compute(100.0);
@@ -100,7 +117,11 @@ mod tests {
 
     #[test]
     fn exchange_cost_is_exposed_without_compute() {
-        let model = NetModel { alpha: 1.0, beta: 0.5, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.5,
+            flops: f64::INFINITY,
+        };
         let out = World::run(3, model, |comm| {
             let (_halo, ()) = exchange_1d(comm, &[0.0; 4], &[0.0; 4], || ()).unwrap();
             comm.now()
@@ -118,7 +139,13 @@ mod tests {
             let (halo, v) = exchange_1d(comm, &[1.0], &[2.0], || 42).unwrap();
             (halo, v, comm.now())
         });
-        assert_eq!(out[0].0, Halo { from_prev: None, from_next: None });
+        assert_eq!(
+            out[0].0,
+            Halo {
+                from_prev: None,
+                from_next: None
+            }
+        );
         assert_eq!(out[0].1, 42);
         assert_eq!(out[0].2, 0.0);
     }

@@ -27,11 +27,13 @@ pub mod binomial;
 pub mod bruck;
 pub mod chunks;
 pub mod cost;
+pub mod ft;
 pub mod halo;
 pub mod op;
 pub mod recursive;
 pub mod ring;
 
+pub use ft::FtConfig;
 pub use op::ReduceOp;
 
 use mpsim::{Communicator, Result};

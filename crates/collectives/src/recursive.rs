@@ -30,7 +30,10 @@ pub fn allreduce_recursive_doubling(
     op: ReduceOp,
 ) -> Result<()> {
     let p = comm.size();
-    assert!(is_pow2(p), "recursive doubling requires power-of-two ranks, got {p}");
+    assert!(
+        is_pow2(p),
+        "recursive doubling requires power-of-two ranks, got {p}"
+    );
     let r = comm.rank();
     let mut d = 1usize;
     while d < p {
@@ -47,15 +50,17 @@ pub fn allreduce_recursive_doubling(
 /// `2·log₂(P)·α + 2·((P−1)/P)·n·β` — same bandwidth as the ring with
 /// logarithmic latency. Requires power-of-two `P` and `n` divisible by
 /// `P`.
-pub fn allreduce_rabenseifner(
-    comm: &Communicator,
-    data: &mut [f64],
-    op: ReduceOp,
-) -> Result<()> {
+pub fn allreduce_rabenseifner(comm: &Communicator, data: &mut [f64], op: ReduceOp) -> Result<()> {
     let p = comm.size();
-    assert!(is_pow2(p), "Rabenseifner requires power-of-two ranks, got {p}");
+    assert!(
+        is_pow2(p),
+        "Rabenseifner requires power-of-two ranks, got {p}"
+    );
     let n = data.len();
-    assert!(n % p == 0, "Rabenseifner requires n divisible by P ({n} % {p})");
+    assert!(
+        n % p == 0,
+        "Rabenseifner requires n divisible by P ({n} % {p})"
+    );
     if p == 1 {
         return Ok(());
     }
@@ -73,8 +78,11 @@ pub fn allreduce_rabenseifner(
         let half = len / 2;
         // Ranks whose bit is 0 keep the low half, send the high half.
         let keep_low = r & d == 0;
-        let (send_lo, keep_lo) =
-            if keep_low { (lo + half, lo) } else { (lo, lo + half) };
+        let (send_lo, keep_lo) = if keep_low {
+            (lo + half, lo)
+        } else {
+            (lo, lo + half)
+        };
         let outgoing = data[send_lo..send_lo + half].to_vec();
         comm.send_vec(partner, RH_TAG + step, outgoing)?;
         let incoming = comm.recv(partner, RH_TAG + step)?;
@@ -135,7 +143,11 @@ mod tests {
 
     #[test]
     fn recursive_doubling_time_matches_formula() {
-        let model = NetModel { alpha: 1e-3, beta: 1e-6, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
         let p = 8;
         let n = 1000;
         let out = World::run(p, model, |comm| {
@@ -167,7 +179,11 @@ mod tests {
 
     #[test]
     fn rabenseifner_time_matches_formula() {
-        let model = NetModel { alpha: 1e-3, beta: 1e-6, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
         let p = 8;
         let n = 800;
         let out = World::run(p, model, |comm| {
@@ -176,8 +192,8 @@ mod tests {
             comm.now()
         });
         let log = (p as f64).log2();
-        let expect = 2.0 * log * model.alpha
-            + 2.0 * ((p as f64 - 1.0) / p as f64) * n as f64 * model.beta;
+        let expect =
+            2.0 * log * model.alpha + 2.0 * ((p as f64 - 1.0) / p as f64) * n as f64 * model.beta;
         for &t in &out {
             assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
         }

@@ -19,11 +19,7 @@ const AG_TAG: Tag = (1 << 48) + 17;
 /// `block_range(n, P, (rank+1) % P)` holds the fully reduced values;
 /// other positions of `data` are garbage (partially reduced).
 /// Returns the index of the block this rank owns.
-pub fn reduce_scatter_ring(
-    comm: &Communicator,
-    data: &mut [f64],
-    op: ReduceOp,
-) -> Result<usize> {
+pub fn reduce_scatter_ring(comm: &Communicator, data: &mut [f64], op: ReduceOp) -> Result<usize> {
     let p = comm.size();
     let r = comm.rank();
     if p == 1 {
@@ -184,7 +180,11 @@ mod tests {
 
     #[test]
     fn allreduce_time_matches_thakur_ring_formula() {
-        let model = NetModel { alpha: 1e-3, beta: 1e-6, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
         let p = 8;
         let n = 8 * 125; // divisible by p
         let out = World::run(p, model, |comm| {
@@ -207,8 +207,9 @@ mod tests {
             let mine: Vec<f64> = (0..m).map(|i| (comm.rank() * 10 + i) as f64).collect();
             allgather_ring(comm, &mine).unwrap()
         });
-        let expected: Vec<f64> =
-            (0..p).flat_map(|r| (0..m).map(move |i| (r * 10 + i) as f64)).collect();
+        let expected: Vec<f64> = (0..p)
+            .flat_map(|r| (0..m).map(move |i| (r * 10 + i) as f64))
+            .collect();
         for r in 0..p {
             assert_eq!(out[r], expected);
         }
@@ -216,7 +217,11 @@ mod tests {
 
     #[test]
     fn allgather_ring_time_matches_formula() {
-        let model = NetModel { alpha: 1e-3, beta: 1e-6, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
         let p = 6;
         let m = 100;
         let out = World::run(p, model, |comm| {
@@ -225,8 +230,8 @@ mod tests {
             comm.now()
         });
         let n_total = (p * m) as f64;
-        let expect = (p as f64 - 1.0) * model.alpha
-            + ((p as f64 - 1.0) / p as f64) * n_total * model.beta;
+        let expect =
+            (p as f64 - 1.0) * model.alpha + ((p as f64 - 1.0) / p as f64) * n_total * model.beta;
         for &t in &out {
             assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
         }

@@ -55,14 +55,14 @@ pub fn optimal_pr_continuous(layers: &[WeightedLayer], b: f64, p: usize) -> f64 
     let sum_act: f64 = layers
         .iter()
         .enumerate()
-        .map(|(idx, l)| {
-            l.d_out() as f64 + if idx > 0 { 2.0 * l.d_in() as f64 } else { 0.0 }
-        })
+        .map(|(idx, l)| l.d_out() as f64 + if idx > 0 { 2.0 * l.d_in() as f64 } else { 0.0 })
         .sum();
     if sum_act == 0.0 || b == 0.0 {
         return p as f64;
     }
-    (2.0 * sum_w * p as f64 / (b * sum_act)).sqrt().clamp(1.0, p as f64)
+    (2.0 * sum_w * p as f64 / (b * sum_act))
+        .sqrt()
+        .clamp(1.0, p as f64)
 }
 
 #[cfg(test)]

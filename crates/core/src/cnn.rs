@@ -30,14 +30,12 @@
 
 use dnn::{LayerSpec, Network};
 use mpsim::{NetModel, World, WorldStats};
-use tensor::activation::{
-    relu, relu_backward, relu_backward_tensor, relu_tensor, softmax_xent,
-};
+use tensor::activation::{relu, relu_backward, relu_backward_tensor, relu_tensor, softmax_xent};
 use tensor::conv::{conv2d_backward, conv2d_direct, Conv2dParams, Tensor4};
 use tensor::init;
+use tensor::lrn::{lrn_backward, lrn_forward, LrnParams};
 use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
 use tensor::ops::axpy;
-use tensor::lrn::{lrn_backward, lrn_forward, LrnParams};
 use tensor::pool::{maxpool2d, maxpool2d_backward, Pool2dParams};
 use tensor::Matrix;
 
@@ -52,8 +50,16 @@ use distmm::domain_general::{
 /// One trunk stage.
 #[derive(Debug, Clone)]
 enum Stage {
-    Conv { params: Conv2dParams, relu: bool, in_h: usize },
-    Pool { params: Pool2dParams, in_h: usize, in_w: usize },
+    Conv {
+        params: Conv2dParams,
+        relu: bool,
+        in_h: usize,
+    },
+    Pool {
+        params: Pool2dParams,
+        in_h: usize,
+        in_w: usize,
+    },
     /// Local response normalization: per-pixel across channels, so it
     /// runs locally on strips with zero communication.
     Lrn { params: LrnParams },
@@ -91,10 +97,23 @@ impl CnnSpec {
         let mut trunk_out = (net.input.c, net.input.h, net.input.w);
         for (spec, in_shape, out_shape) in net.layers() {
             match *spec {
-                LayerSpec::Conv { out_c, kh, kw, stride, pad } => {
+                LayerSpec::Conv {
+                    out_c,
+                    kh,
+                    kw,
+                    stride,
+                    pad,
+                } => {
                     assert!(fcs.is_empty(), "conv after FC is unsupported");
                     stages.push(Stage::Conv {
-                        params: Conv2dParams { in_c: in_shape.c, out_c, kh, kw, stride, pad },
+                        params: Conv2dParams {
+                            in_c: in_shape.c,
+                            out_c,
+                            kh,
+                            kw,
+                            stride,
+                            pad,
+                        },
                         relu: false,
                         in_h: in_shape.h,
                     });
@@ -130,15 +149,25 @@ impl CnnSpec {
                 }
                 LayerSpec::LocalResponseNorm => {
                     assert!(fcs.is_empty(), "LRN after FC is unsupported");
-                    stages.push(Stage::Lrn { params: LrnParams::alexnet() });
+                    stages.push(Stage::Lrn {
+                        params: LrnParams::alexnet(),
+                    });
                 }
                 LayerSpec::Dropout { .. } => {} // identity here, as in trainer.rs
                 ref other => panic!("cnn trainer does not support {other:?}"),
             }
         }
-        assert!(!stages.is_empty(), "cnn trainer expects at least one trunk stage");
+        assert!(
+            !stages.is_empty(),
+            "cnn trainer expects at least one trunk stage"
+        );
         assert!(!fcs.is_empty(), "cnn trainer expects an FC head");
-        CnnSpec { stages, fcs, input: (net.input.c, net.input.h, net.input.w), trunk_out }
+        CnnSpec {
+            stages,
+            fcs,
+            input: (net.input.c, net.input.h, net.input.w),
+            trunk_out,
+        }
     }
 
     fn init_weights(&self, seed: u64) -> (Vec<Matrix>, Vec<Matrix>) {
@@ -147,9 +176,11 @@ impl CnnSpec {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| match s {
-                Stage::Conv { params, .. } => {
-                    Some(init::xavier(params.out_c, params.patch_len(), seed + i as u64))
-                }
+                Stage::Conv { params, .. } => Some(init::xavier(
+                    params.out_c,
+                    params.patch_len(),
+                    seed + i as u64,
+                )),
                 Stage::Pool { .. } | Stage::Lrn { .. } => None,
             })
             .collect();
@@ -177,8 +208,14 @@ pub struct CnnSerialResult {
 }
 
 enum SerialSaved {
-    Conv { pre: Tensor4 },
-    Pool { argmax: Vec<usize>, in_h: usize, in_w: usize },
+    Conv {
+        pre: Tensor4,
+    },
+    Pool {
+        argmax: Vec<usize>,
+        in_h: usize,
+        in_w: usize,
+    },
     Lrn,
 }
 
@@ -201,16 +238,28 @@ pub fn train_cnn_serial(
         for s in &spec.stages {
             let input = acts.last().expect("act");
             match s {
-                Stage::Conv { params, relu: has_relu, .. } => {
+                Stage::Conv {
+                    params,
+                    relu: has_relu,
+                    ..
+                } => {
                     let pre = conv2d_direct(input, &conv_w[wi], params);
                     wi += 1;
-                    let post = if *has_relu { relu_tensor(&pre) } else { pre.clone() };
+                    let post = if *has_relu {
+                        relu_tensor(&pre)
+                    } else {
+                        pre.clone()
+                    };
                     saved.push(SerialSaved::Conv { pre });
                     acts.push(post);
                 }
                 Stage::Pool { params, in_h, in_w } => {
                     let (y, argmax) = maxpool2d(input, params);
-                    saved.push(SerialSaved::Pool { argmax, in_h: *in_h, in_w: *in_w });
+                    saved.push(SerialSaved::Pool {
+                        argmax,
+                        in_h: *in_h,
+                        in_w: *in_w,
+                    });
                     acts.push(y);
                 }
                 Stage::Lrn { params } => {
@@ -248,7 +297,14 @@ pub fn train_cnn_serial(
         let mut wi = conv_w.len();
         for (idx, s) in spec.stages.iter().enumerate().rev() {
             match (s, &saved[idx]) {
-                (Stage::Conv { params, relu: has_relu, .. }, SerialSaved::Conv { pre }) => {
+                (
+                    Stage::Conv {
+                        params,
+                        relu: has_relu,
+                        ..
+                    },
+                    SerialSaved::Conv { pre },
+                ) => {
                     wi -= 1;
                     if *has_relu {
                         dt = relu_backward_tensor(pre, &dt);
@@ -267,7 +323,11 @@ pub fn train_cnn_serial(
             }
         }
     }
-    CnnSerialResult { losses, conv_weights: conv_w, fc_weights: fc_w }
+    CnnSerialResult {
+        losses,
+        conv_weights: conv_w,
+        fc_weights: fc_w,
+    }
 }
 
 /// Per-rank outcome of the distributed CNN run.
@@ -376,15 +436,28 @@ pub fn train_cnn_domain(
             for s in &spec.stages {
                 let input = acts.last().expect("act");
                 match s {
-                    Stage::Conv { params, relu: has_relu, in_h, .. } => {
+                    Stage::Conv {
+                        params,
+                        relu: has_relu,
+                        in_h,
+                        ..
+                    } => {
                         let pre = dg_conv_forward(&col_comm, input, &conv_w[wi], params, *in_h)
                             .expect("domain conv forward");
                         wi += 1;
-                        let post = if *has_relu { relu_tensor(&pre) } else { pre.clone() };
+                        let post = if *has_relu {
+                            relu_tensor(&pre)
+                        } else {
+                            pre.clone()
+                        };
                         saved.push(DistSaved::Conv { pre_strip: pre });
                         acts.push(post);
                     }
-                    Stage::Pool { params, in_h, in_w: _ } => {
+                    Stage::Pool {
+                        params,
+                        in_h,
+                        in_w: _,
+                    } => {
                         let (y, argmax) = dg_pool_forward(&col_comm, input, params, *in_h)
                             .expect("domain pool forward");
                         saved.push(DistSaved::Pool { argmax });
@@ -407,8 +480,7 @@ pub fn train_cnn_domain(
             let full_trunk = if pd == 1 {
                 trunk.clone()
             } else {
-                let blocks =
-                    allgatherv_ring(&col_comm, trunk.as_slice()).expect("strip gather");
+                let blocks = allgatherv_ring(&col_comm, trunk.as_slice()).expect("strip gather");
                 let mut full = Tensor4::zeros(b_local, c0, h0, w0);
                 for (src, block) in blocks.iter().enumerate() {
                     let sr = part_range(h0, pd, src);
@@ -445,8 +517,7 @@ pub fn train_cnn_domain(
                     dy = relu_backward(&fc_pres[idx], &dy);
                 }
                 let mut dw = matmul_a_bt(&dy, &fc_inputs[idx]);
-                allreduce(&row_comm, dw.as_mut_slice(), ReduceOp::Sum)
-                    .expect("fc dW allreduce");
+                allreduce(&row_comm, dw.as_mut_slice(), ReduceOp::Sum).expect("fc dW allreduce");
                 let dx = matmul_at_b(&fc_w[idx], &dy);
                 axpy(-cfg.lr, dw.as_slice(), fc_w[idx].as_mut_slice());
                 dy = dx;
@@ -461,7 +532,12 @@ pub fn train_cnn_domain(
             for (idx, s) in spec.stages.iter().enumerate().rev() {
                 match (s, &saved[idx]) {
                     (
-                        Stage::Conv { params, relu: has_relu, in_h, .. },
+                        Stage::Conv {
+                            params,
+                            relu: has_relu,
+                            in_h,
+                            ..
+                        },
                         DistSaved::Conv { pre_strip },
                     ) => {
                         wi -= 1;
@@ -493,9 +569,20 @@ pub fn train_cnn_domain(
                 }
             }
         }
-        CnnRankOutcome { i, j, partial_losses, conv_weights: conv_w, fc_weights: fc_w }
+        CnnRankOutcome {
+            i,
+            j,
+            partial_losses,
+            conv_weights: conv_w,
+            fc_weights: fc_w,
+        }
     });
-    CnnDistResult { pd, pc, per_rank, stats }
+    CnnDistResult {
+        pd,
+        pc,
+        per_rank,
+        stats,
+    }
 }
 
 /// Synthetic NCHW classification data for a CNN.
@@ -526,14 +613,26 @@ mod tests {
     }
 
     fn max_diff(a: &[Matrix], b: &[Matrix]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| x.max_abs_diff(y)).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.max_abs_diff(y))
+            .fold(0.0, f64::max)
     }
 
     #[test]
     fn serial_cnn_loss_decreases() {
         let net = tiny_cnn();
         let (x, labels) = synthetic_images(&net, 10, 3);
-        let r = train_cnn_serial(&net, &x, &labels, &TrainConfig { lr: 0.05, iters: 15, seed: 5 });
+        let r = train_cnn_serial(
+            &net,
+            &x,
+            &labels,
+            &TrainConfig {
+                lr: 0.05,
+                iters: 15,
+                seed: 5,
+            },
+        );
         assert!(
             r.losses.last().unwrap() < &(r.losses[0] * 0.95),
             "{:?}",
@@ -545,7 +644,11 @@ mod tests {
     fn domain_grids_match_serial() {
         let net = tiny_cnn();
         let (x, labels) = synthetic_images(&net, 8, 3);
-        let cfg = TrainConfig { lr: 0.05, iters: 4, seed: 5 };
+        let cfg = TrainConfig {
+            lr: 0.05,
+            iters: 4,
+            seed: 5,
+        };
         let serial = train_cnn_serial(&net, &x, &labels, &cfg);
         for (pd, pc) in [(1, 1), (2, 1), (1, 2), (2, 2), (3, 2), (4, 2)] {
             let dist = train_cnn_domain(&net, &x, &labels, &cfg, pd, pc, NetModel::free());
@@ -565,7 +668,11 @@ mod tests {
         // P = 8 = 4 strips x 2 batch shards.
         let net = tiny_cnn();
         let (x, labels) = synthetic_images(&net, 2, 7);
-        let cfg = TrainConfig { lr: 0.05, iters: 3, seed: 5 };
+        let cfg = TrainConfig {
+            lr: 0.05,
+            iters: 3,
+            seed: 5,
+        };
         let serial = train_cnn_serial(&net, &x, &labels, &cfg);
         let dist = train_cnn_domain(&net, &x, &labels, &cfg, 4, 2, NetModel::free());
         assert!(max_diff(&serial.conv_weights, &dist.per_rank[0].conv_weights) < 1e-9);
@@ -576,7 +683,11 @@ mod tests {
     fn domain_split_charges_halo_traffic() {
         let net = tiny_cnn();
         let (x, labels) = synthetic_images(&net, 4, 9);
-        let cfg = TrainConfig { lr: 0.05, iters: 1, seed: 5 };
+        let cfg = TrainConfig {
+            lr: 0.05,
+            iters: 1,
+            seed: 5,
+        };
         let d1 = train_cnn_domain(&net, &x, &labels, &cfg, 1, 2, NetModel::cori_knl());
         let d4 = train_cnn_domain(&net, &x, &labels, &cfg, 4, 2, NetModel::cori_knl());
         // Domain split introduces halo + strip-gather traffic on top of
@@ -592,7 +703,11 @@ mod tests {
         // with integrated batch+domain parallelism, matching serial.
         let net = mini_alexnet();
         let (x, labels) = synthetic_images(&net, 4, 17);
-        let cfg = TrainConfig { lr: 0.02, iters: 2, seed: 23 };
+        let cfg = TrainConfig {
+            lr: 0.02,
+            iters: 2,
+            seed: 23,
+        };
         let serial = train_cnn_serial(&net, &x, &labels, &cfg);
         for (pd, pc) in [(2, 1), (2, 2), (3, 1)] {
             let dist = train_cnn_domain(&net, &x, &labels, &cfg, pd, pc, NetModel::free());
@@ -611,7 +726,11 @@ mod tests {
             .build()
             .unwrap();
         let (x, labels) = synthetic_images(&net, 4, 2);
-        let cfg = TrainConfig { lr: 0.05, iters: 3, seed: 3 };
+        let cfg = TrainConfig {
+            lr: 0.05,
+            iters: 3,
+            seed: 3,
+        };
         let serial = train_cnn_serial(&net, &x, &labels, &cfg);
         let dist = train_cnn_domain(&net, &x, &labels, &cfg, 2, 2, NetModel::free());
         assert!(max_diff(&serial.conv_weights, &dist.per_rank[0].conv_weights) < 1e-9);

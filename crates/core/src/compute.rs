@@ -76,7 +76,10 @@ impl KnlComputeModel {
             points.windows(2).all(|w| w[0].0 < w[1].0) && points[0].0 > 0.0,
             "batches must be positive and strictly ascending"
         );
-        KnlComputeModel { points, n: n_samples }
+        KnlComputeModel {
+            points,
+            n: n_samples,
+        }
     }
 
     /// Epoch time at batch size `b` (log-log interpolation, clamped at
@@ -89,7 +92,10 @@ impl KnlComputeModel {
         if b >= pts[pts.len() - 1].0 {
             return pts[pts.len() - 1].1;
         }
-        let hi = pts.iter().position(|&(x, _)| x >= b).expect("b within range");
+        let hi = pts
+            .iter()
+            .position(|&(x, _)| x >= b)
+            .expect("b within range");
         let (x0, y0) = pts[hi - 1];
         let (x1, y1) = pts[hi];
         let t = (b.ln() - x0.ln()) / (x1.ln() - x0.ln());
@@ -164,8 +170,7 @@ impl RooflineComputeModel {
 impl ComputeModel for RooflineComputeModel {
     fn iteration_time(&self, net: &Network, local_batch: f64) -> f64 {
         let eff_b = local_batch.max(1.0);
-        net.train_flops_per_sample() * local_batch
-            / (self.peak_flops * self.efficiency(eff_b))
+        net.train_flops_per_sample() * local_batch / (self.peak_flops * self.efficiency(eff_b))
     }
 }
 

@@ -30,8 +30,10 @@ pub fn integrated_model_batch(
         let mut c = CommCost::ZERO;
         c.allgather = CostTerms::new(ceil_log2(pr), b_loc * frac(pr) * l.d_out() as f64);
         if idx > 0 {
-            c.dx_allreduce =
-                CostTerms::new(2.0 * ceil_log2(pr), 2.0 * b_loc * frac(pr) * l.d_in() as f64);
+            c.dx_allreduce = CostTerms::new(
+                2.0 * ceil_log2(pr),
+                2.0 * b_loc * frac(pr) * l.d_in() as f64,
+            );
         }
         c.dw_allreduce = CostTerms::new(
             2.0 * ceil_log2(pc),
@@ -90,8 +92,7 @@ pub fn layer_cost(
             }
             // Weights are fully replicated: the ∆W all-reduce spans all
             // P processes at full |W| volume (Eq. 9's last sum).
-            c.dw_allreduce =
-                CostTerms::new(2.0 * ceil_log2(p), 2.0 * frac(p) * l.weights as f64);
+            c.dw_allreduce = CostTerms::new(2.0 * ceil_log2(p), 2.0 * frac(p) * l.weights as f64);
         }
     }
     c
@@ -110,7 +111,11 @@ pub fn integrated_full(
     assignments: &[LayerParallelism],
     b: f64,
 ) -> CostBreakdown {
-    assert_eq!(layers.len(), assignments.len(), "one assignment per weighted layer");
+    assert_eq!(
+        layers.len(),
+        assignments.len(),
+        "one assignment per weighted layer"
+    );
     let mut out = CostBreakdown::default();
     for (idx, (l, &a)) in layers.iter().zip(assignments).enumerate() {
         out.push(&l.name, layer_cost(l, a, b, idx == 0));

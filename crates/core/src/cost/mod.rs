@@ -119,7 +119,10 @@ pub struct CostBreakdown {
 impl CostBreakdown {
     pub(crate) fn push(&mut self, name: &str, cost: CommCost) {
         self.total += cost;
-        self.layers.push(LayerComm { name: name.to_string(), cost });
+        self.layers.push(LayerComm {
+            name: name.to_string(),
+            cost,
+        });
     }
 
     /// Total seconds on a machine.
@@ -146,7 +149,10 @@ mod tests {
     #[test]
     fn breakdown_accumulates() {
         let mut b = CostBreakdown::default();
-        let c = CommCost { allgather: CostTerms::new(1.0, 5.0), ..CommCost::ZERO };
+        let c = CommCost {
+            allgather: CostTerms::new(1.0, 5.0),
+            ..CommCost::ZERO
+        };
         b.push("conv1", c);
         b.push("conv2", c);
         assert_eq!(b.layers.len(), 2);

@@ -35,10 +35,7 @@ pub fn pure_batch(layers: &[WeightedLayer], p: usize) -> CostBreakdown {
     let mut out = CostBreakdown::default();
     for l in layers {
         let c = CommCost {
-            dw_allreduce: CostTerms::new(
-                2.0 * ceil_log2(p),
-                2.0 * frac(p) * l.weights as f64,
-            ),
+            dw_allreduce: CostTerms::new(2.0 * ceil_log2(p), 2.0 * frac(p) * l.weights as f64),
             ..CommCost::ZERO
         };
         out.push(&l.name, c);
@@ -65,11 +62,9 @@ pub fn pure_domain(layers: &[WeightedLayer], b: f64, p: usize) -> CostBreakdown 
             c.halo += CostTerms::new(1.0, b * (l.in_shape.w * l.in_shape.c) as f64 * fwd_rows);
         }
         if bwd_rows > 0.0 {
-            c.halo +=
-                CostTerms::new(1.0, b * (l.out_shape.w * l.out_shape.c) as f64 * bwd_rows);
+            c.halo += CostTerms::new(1.0, b * (l.out_shape.w * l.out_shape.c) as f64 * bwd_rows);
         }
-        c.dw_allreduce =
-            CostTerms::new(2.0 * ceil_log2(p), 2.0 * frac(p) * l.weights as f64);
+        c.dw_allreduce = CostTerms::new(2.0 * ceil_log2(p), 2.0 * frac(p) * l.weights as f64);
         out.push(&l.name, c);
     }
     out
@@ -142,7 +137,10 @@ mod tests {
         let m = MachineModel::cori_knl();
         assert_eq!(pure_model(&layers, 256.0, 1).seconds(&m), 0.0);
         assert_eq!(pure_batch(&layers, 1).seconds(&m), 0.0);
-        assert_eq!(pure_domain(&layers, 256.0, 1).total.dw_allreduce, CostTerms::ZERO);
+        assert_eq!(
+            pure_domain(&layers, 256.0, 1).total.dw_allreduce,
+            CostTerms::ZERO
+        );
     }
 
     #[test]

@@ -70,8 +70,7 @@ pub fn gaussian_blobs(d: usize, classes: usize, n: usize, spread: f64, seed: u64
         for j in 0..d {
             // Box-Muller-free noise: sum of uniforms is near-Gaussian
             // and keeps us off rand's normal-distribution features.
-            let noise: f64 =
-                (0..4).map(|_| rng.random_range(-0.5..0.5)).sum::<f64>() * spread;
+            let noise: f64 = (0..4).map(|_| rng.random_range(-0.5..0.5)).sum::<f64>() * spread;
             x.set(j, s, centers[c][j] + noise);
         }
     }
@@ -172,10 +171,12 @@ mod tests {
             .map(|s| {
                 (0..4)
                     .min_by(|&a, &b| {
-                        let da: f64 =
-                            (0..6).map(|j| (d.x.get(j, s) - centers[a][j]).powi(2)).sum();
-                        let db: f64 =
-                            (0..6).map(|j| (d.x.get(j, s) - centers[b][j]).powi(2)).sum();
+                        let da: f64 = (0..6)
+                            .map(|j| (d.x.get(j, s) - centers[a][j]).powi(2))
+                            .sum();
+                        let db: f64 = (0..6)
+                            .map(|j| (d.x.get(j, s) - centers[b][j]).powi(2))
+                            .sum();
                         da.partial_cmp(&db).unwrap()
                     })
                     .unwrap()

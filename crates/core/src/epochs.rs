@@ -37,7 +37,11 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.0 }
+        SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -56,7 +60,12 @@ pub struct EpochConfig {
 
 impl Default for EpochConfig {
     fn default() -> Self {
-        EpochConfig { sgd: SgdConfig::default(), epochs: 3, batch_size: 16, seed: 7 }
+        EpochConfig {
+            sgd: SgdConfig::default(),
+            epochs: 3,
+            batch_size: 16,
+            seed: 7,
+        }
     }
 }
 
@@ -112,7 +121,10 @@ pub fn predict(net: &Network, weights: &[Matrix], x: &Matrix) -> Vec<usize> {
         .map(|c| {
             (0..logits.rows())
                 .max_by(|&a, &b| {
-                    logits.get(a, c).partial_cmp(&logits.get(b, c)).expect("finite logits")
+                    logits
+                        .get(a, c)
+                        .partial_cmp(&logits.get(b, c))
+                        .expect("finite logits")
                 })
                 .expect("non-empty logits")
         })
@@ -123,8 +135,10 @@ pub fn predict(net: &Network, weights: &[Matrix], x: &Matrix) -> Vec<usize> {
 pub fn train_epochs_serial(net: &Network, data: &Dataset, cfg: &EpochConfig) -> EpochSerialResult {
     let layers = extract_fc_layers(net);
     let mut weights = init_weights(&layers, cfg.seed);
-    let mut velocity: Vec<Matrix> =
-        weights.iter().map(|w| Matrix::zeros(w.rows(), w.cols())).collect();
+    let mut velocity: Vec<Matrix> = weights
+        .iter()
+        .map(|w| Matrix::zeros(w.rows(), w.cols()))
+        .collect();
     let batches = batch_schedule(data.len(), cfg);
     let per_epoch = batches.len() / cfg.epochs;
     let mut epoch_losses = vec![0.0; cfg.epochs];
@@ -153,7 +167,11 @@ pub fn train_epochs_serial(net: &Network, data: &Dataset, cfg: &EpochConfig) -> 
     }
     let preds = predict(net, &weights, &data.x);
     let train_accuracy = accuracy(&preds, &data.labels);
-    EpochSerialResult { epoch_losses, weights, train_accuracy }
+    EpochSerialResult {
+        epoch_losses,
+        weights,
+        train_accuracy,
+    }
 }
 
 /// Distributed epoch-training outcome.
@@ -184,10 +202,11 @@ pub fn train_epochs_1p5d(
     let (shards, stats) = World::run_with_stats(pr * pc, model, |comm| {
         let grid = Grid::new(comm, pr, pc).expect("grid tiles the world");
         let full = init_weights(&layers, cfg.seed);
-        let mut w_local: Vec<Matrix> =
-            full.iter().map(|w| row_shard(w, pr, grid.i)).collect();
-        let mut v_local: Vec<Matrix> =
-            w_local.iter().map(|w| Matrix::zeros(w.rows(), w.cols())).collect();
+        let mut w_local: Vec<Matrix> = full.iter().map(|w| row_shard(w, pr, grid.i)).collect();
+        let mut v_local: Vec<Matrix> = w_local
+            .iter()
+            .map(|w| Matrix::zeros(w.rows(), w.cols()))
+            .collect();
         for idx in &batches {
             let (x, labels) = data.batch(idx);
             let b_global = x.cols();
@@ -199,14 +218,12 @@ pub fn train_epochs_1p5d(
             let mut inputs = vec![x_local];
             let mut pres = Vec::with_capacity(layers.len());
             for (l, w) in layers.iter().zip(&w_local) {
-                let pre =
-                    grid_forward(&grid, w, inputs.last().expect("input")).expect("forward");
+                let pre = grid_forward(&grid, w, inputs.last().expect("input")).expect("forward");
                 let post = apply_act(l.act, &pre);
                 pres.push(pre);
                 inputs.push(post);
             }
-            let (_loss, mut grad) =
-                softmax_xent(inputs.last().expect("logits"), labels_local);
+            let (_loss, mut grad) = softmax_xent(inputs.last().expect("logits"), labels_local);
             let scale = b_local as f64 / b_global as f64;
             for g in grad.as_mut_slice() {
                 *g *= scale;
@@ -233,23 +250,25 @@ pub fn train_epochs_1p5d(
             .map(|(i, _, w)| (*i, w[l].clone()))
             .collect();
         rows.sort_by_key(|&(i, _)| i);
-        weights.push(Matrix::vcat(&rows.into_iter().map(|(_, m)| m).collect::<Vec<_>>()));
+        weights.push(Matrix::vcat(
+            &rows.into_iter().map(|(_, m)| m).collect::<Vec<_>>(),
+        ));
     }
-    EpochDistResult { weights, stats, steps }
+    EpochDistResult {
+        weights,
+        stats,
+        steps,
+    }
 }
 
 /// Analytic per-epoch communication for an FC network under Eq. 8 — a
 /// helper the scaling reports use to convert per-iteration costs to
 /// the paper's per-epoch numbers (`× N/B`).
-pub fn epoch_comm_terms(
-    net: &Network,
-    b: f64,
-    n_samples: f64,
-    pr: usize,
-    pc: usize,
-) -> CostTerms {
+pub fn epoch_comm_terms(net: &Network, b: f64, n_samples: f64, pr: usize, pc: usize) -> CostTerms {
     let layers = net.weighted_layers();
-    let per_iter = crate::cost::integrated_model_batch(&layers, b, pr, pc).total.total();
+    let per_iter = crate::cost::integrated_model_batch(&layers, b, pr, pc)
+        .total
+        .total();
     per_iter * (n_samples / b)
 }
 
@@ -260,7 +279,10 @@ mod tests {
     use dnn::zoo::mlp;
 
     fn max_diff(a: &[Matrix], b: &[Matrix]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| x.max_abs_diff(y)).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.max_abs_diff(y))
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -268,7 +290,11 @@ mod tests {
         let data = gaussian_blobs(8, 3, 90, 0.4, 5);
         let net = mlp("m", &[8, 16, 3]);
         let cfg = EpochConfig {
-            sgd: SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 1e-4 },
+            sgd: SgdConfig {
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+            },
             epochs: 25,
             batch_size: 15,
             seed: 2,
@@ -287,13 +313,20 @@ mod tests {
         let data = gaussian_blobs(8, 3, 90, 0.4, 5);
         let net = mlp("m", &[8, 16, 3]);
         let base = EpochConfig {
-            sgd: SgdConfig { lr: 0.05, momentum: 0.0, weight_decay: 0.0 },
+            sgd: SgdConfig {
+                lr: 0.05,
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
             epochs: 6,
             batch_size: 15,
             seed: 2,
         };
         let with_m = EpochConfig {
-            sgd: SgdConfig { momentum: 0.9, ..base.sgd },
+            sgd: SgdConfig {
+                momentum: 0.9,
+                ..base.sgd
+            },
             ..base
         };
         let plain = train_epochs_serial(&net, &data, &base);
@@ -311,7 +344,11 @@ mod tests {
         let data = gaussian_blobs(8, 3, 36, 0.4, 9);
         let net = mlp("m", &[8, 12, 3]);
         let cfg = EpochConfig {
-            sgd: SgdConfig { lr: 0.2, momentum: 0.9, weight_decay: 1e-3 },
+            sgd: SgdConfig {
+                lr: 0.2,
+                momentum: 0.9,
+                weight_decay: 1e-3,
+            },
             epochs: 3,
             batch_size: 12,
             seed: 4,
@@ -326,11 +363,14 @@ mod tests {
 
     #[test]
     fn schedule_covers_every_sample_each_epoch() {
-        let cfg = EpochConfig { epochs: 2, batch_size: 7, ..Default::default() };
+        let cfg = EpochConfig {
+            epochs: 2,
+            batch_size: 7,
+            ..Default::default()
+        };
         let batches = batch_schedule(20, &cfg);
         assert_eq!(batches.len(), 2 * 3); // ceil(20/7) = 3 per epoch
-        let first_epoch: Vec<usize> =
-            batches[..3].iter().flatten().cloned().collect();
+        let first_epoch: Vec<usize> = batches[..3].iter().flatten().cloned().collect();
         let mut sorted = first_epoch.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..20).collect::<Vec<_>>());

@@ -1,0 +1,765 @@
+//! Fault-tolerant 1.5D training: checkpoint / detect / shrink / replay.
+//!
+//! [`crate::trainer::train_1p5d`] assumes a reliable machine; this
+//! module wraps the same synchronous SGD in a recovery protocol so a
+//! [`FaultPlan`] — dropped messages, stragglers, flipped bits, rank
+//! deaths — degrades the run instead of hanging or corrupting it:
+//!
+//! 1. **Checkpointing.** Every `ckpt_every` iterations each rank
+//!    snapshots its weight (and momentum) shards; the last *two*
+//!    checkpoints are retained because a fault can catch ranks one
+//!    iteration apart across a checkpoint boundary. Checkpoint volume
+//!    is charged to [`mpsim::RankStats::ckpt_words`].
+//! 2. **Detection.** Before every iteration all world ranks run a
+//!    control-plane [`Communicator::fault_sync`] round carrying
+//!    `(iter, last_ckpt, aborted)`. Death notices make dead members
+//!    observable by every survivor in the *same* round (the broadcast
+//!    is all-or-nothing), so the survivor set is common knowledge
+//!    without extra agreement machinery. During an iteration itself,
+//!    faults surface through the fault-tolerant collectives
+//!    (`collectives::ft`): deadline-bound receives, checksummed
+//!    payloads, and a cascading group-wide abort.
+//! 3. **Shrink + re-plan.** Survivors advance the recovery epoch
+//!    (staling in-flight aborts), derive the survivor communicator
+//!    with the communication-free [`Communicator::shrink_exclude`],
+//!    and re-plan the grid: the new `Pr' × Pc'` is the factorization of
+//!    the survivor count minimizing the paper's Eq. 8 communication
+//!    cost on the configured [`MachineModel`].
+//! 4. **Redistribute + replay.** Each old grid row's checkpoint shard
+//!    is served by its lowest-ranked survivor and all-gathered over
+//!    the data plane (so redistribution is charged on the virtual
+//!    clock, recorded in [`mpsim::RankStats::recovery_secs`]); every
+//!    survivor re-shards for its new grid position and training
+//!    replays from the checkpoint iteration. A weight-shard row with
+//!    no surviving replica makes the run unrecoverable.
+//!
+//! A recovery attempt is *transactional*: survivors build the new
+//! grid/weights in temporaries and commit only after a confirmation
+//! `fault_sync` round shows every survivor succeeded — a fault during
+//! recovery just triggers another attempt with the updated survivor
+//! set.
+
+use collectives::ft::{allgatherv_ring_ft, allreduce_ring_ft};
+use collectives::{FtConfig, ReduceOp};
+use dnn::{Network, WeightedLayer};
+use mpsim::{Communicator, Error, FaultPlan, World, WorldStats};
+use tensor::activation::softmax_xent;
+use tensor::ops::axpy;
+use tensor::Matrix;
+
+use distmm::dist::{col_shard, part_range, row_shard};
+use distmm::onep5d::{backward_ft, forward_ft, Grid};
+
+use crate::cost::integrated_model_batch;
+use crate::machine::MachineModel;
+use crate::trainer::{act_backward, apply_act, extract_fc_layers, init_weights, FcLayer};
+
+/// Configuration for a fault-tolerant training run.
+#[derive(Debug, Clone, Copy)]
+pub struct FtTrainConfig {
+    /// SGD learning rate η.
+    pub lr: f64,
+    /// Momentum μ (0 reproduces [`crate::trainer::train_1p5d`]'s plain
+    /// SGD; μ > 0 adds a velocity buffer that is checkpointed and
+    /// redistributed alongside the weights).
+    pub momentum: f64,
+    /// Number of iterations over the full batch.
+    pub iters: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+    /// Checkpoint period in iterations (≥ 1). A checkpoint is also
+    /// taken at iteration 0, so rollback is always possible.
+    pub ckpt_every: usize,
+    /// Receive policy for the fault-tolerant collectives.
+    pub ft: FtConfig,
+    /// Machine used both to drive the simulation (`net_model()`) and to
+    /// re-plan the grid with Eq. 8 after a shrink.
+    pub machine: MachineModel,
+}
+
+impl Default for FtTrainConfig {
+    fn default() -> Self {
+        FtTrainConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            iters: 10,
+            seed: 7,
+            ckpt_every: 2,
+            ft: FtConfig::new(1.0).with_attempts(2).with_backoff(0.125),
+            machine: MachineModel::cori_knl(),
+        }
+    }
+}
+
+/// One committed recovery, as observed by a surviving rank (identical
+/// on every survivor).
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Recovery epoch entered by this recovery.
+    pub epoch: u64,
+    /// Iteration training rolled back to (the agreed checkpoint).
+    pub rollback_iter: usize,
+    /// Cumulative dead global ranks at this recovery.
+    pub dead: Vec<usize>,
+    /// New grid extents after the shrink.
+    pub pr: usize,
+    /// New grid extents after the shrink.
+    pub pc: usize,
+    /// Virtual seconds this rank spent in the committed attempt
+    /// (epoch bump through commit: re-plan, redistribution, re-shard).
+    pub measured_secs: f64,
+    /// Eq. 8 per-iteration communication seconds on the shrunk grid —
+    /// the analytic degraded-mode cost to compare with
+    /// [`FtRankOutcome::comm_secs_per_iter`].
+    pub analytic_comm_per_iter: f64,
+}
+
+/// Per-surviving-rank outcome of a fault-tolerant run.
+#[derive(Debug, Clone)]
+pub struct FtRankOutcome {
+    /// Final grid row (model-shard index).
+    pub i: usize,
+    /// Final grid column (batch-shard index).
+    pub j: usize,
+    /// Final grid extents (post-shrink if any recovery happened).
+    pub pr: usize,
+    /// Final grid extents (post-shrink if any recovery happened).
+    pub pc: usize,
+    /// *Global* loss before each committed iteration (identical on
+    /// every survivor — each iteration ends with a one-word all-reduce
+    /// of the loss partials).
+    pub losses: Vec<f64>,
+    /// Final local weight shards for the final grid.
+    pub weight_shards: Vec<Matrix>,
+    /// Committed recoveries, in order.
+    pub recoveries: Vec<RecoveryReport>,
+    /// Measured mean communication seconds per iteration on the final
+    /// grid (iterations since the last recovery) — the executed
+    /// degraded-mode cost.
+    pub comm_secs_per_iter: f64,
+}
+
+/// Outcome of a fault-tolerant distributed run.
+#[derive(Debug)]
+pub struct FtDistResult {
+    /// Initial grid extents.
+    pub pr0: usize,
+    /// Initial grid extents.
+    pub pc0: usize,
+    /// Per-rank outcome; `Err` for ranks that died (or were
+    /// unrecoverable), indexed by global rank.
+    pub per_rank: Vec<Result<FtRankOutcome, Error>>,
+    /// Virtual-time, traffic, and fault statistics.
+    pub stats: WorldStats,
+}
+
+impl FtDistResult {
+    /// Surviving ranks' outcomes.
+    pub fn survivors(&self) -> Vec<&FtRankOutcome> {
+        self.per_rank
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .collect()
+    }
+
+    /// Global loss history (identical on every survivor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rank survived.
+    pub fn losses(&self) -> Vec<f64> {
+        self.survivors()
+            .first()
+            .expect("at least one survivor")
+            .losses
+            .clone()
+    }
+
+    /// Assembles the full weight matrices from the final grid's
+    /// column-0 shards.
+    pub fn weights(&self) -> Vec<Matrix> {
+        let survivors = self.survivors();
+        let first = survivors.first().expect("at least one survivor");
+        let n_layers = first.weight_shards.len();
+        (0..n_layers)
+            .map(|l| {
+                let mut shards: Vec<(usize, Matrix)> = survivors
+                    .iter()
+                    .filter(|r| r.j == 0)
+                    .map(|r| (r.i, r.weight_shards[l].clone()))
+                    .collect();
+                shards.sort_by_key(|&(i, _)| i);
+                Matrix::vcat(&shards.into_iter().map(|(_, m)| m).collect::<Vec<_>>())
+            })
+            .collect()
+    }
+}
+
+/// Eq. 8 grid choice for `p` survivors: the divisor pair `(pr, pc)`
+/// minimizing the analytic communication time, subject to every rank
+/// keeping a non-empty weight and batch shard.
+pub fn plan_grid(
+    layers: &[WeightedLayer],
+    b: f64,
+    p: usize,
+    machine: &MachineModel,
+) -> (usize, usize) {
+    let max_pr = layers.iter().map(|l| l.d_out()).min().unwrap_or(1);
+    let mut best = (1, p);
+    let mut best_t = f64::INFINITY;
+    for pr in 1..=p.min(max_pr) {
+        if p % pr != 0 {
+            continue;
+        }
+        let pc = p / pr;
+        if pc as f64 > b {
+            continue;
+        }
+        let t = integrated_model_batch(layers, b, pr, pc).seconds(machine);
+        if t < best_t {
+            best_t = t;
+            best = (pr, pc);
+        }
+    }
+    best
+}
+
+/// Faults are handled by abort-and-recover; anything else — including
+/// this rank's own scripted death — is fatal for the rank.
+fn recoverable(e: &Error, my_global: usize) -> bool {
+    match e {
+        Error::Timeout { .. } | Error::Corrupted { .. } | Error::Aborted { .. } => true,
+        Error::RankFailed { rank } => *rank != my_global,
+        _ => false,
+    }
+}
+
+fn encode_round(iter: usize, last_ckpt: usize, aborted: bool) -> Vec<u8> {
+    let mut v = Vec::with_capacity(17);
+    v.extend_from_slice(&(iter as u64).to_le_bytes());
+    v.extend_from_slice(&(last_ckpt as u64).to_le_bytes());
+    v.push(aborted as u8);
+    v
+}
+
+fn decode_round(b: &[u8]) -> (usize, usize, bool) {
+    let iter = u64::from_le_bytes(b[0..8].try_into().expect("iter"));
+    let ckpt = u64::from_le_bytes(b[8..16].try_into().expect("ckpt"));
+    (iter as usize, ckpt as usize, b[16] != 0)
+}
+
+/// A consistent snapshot a rank can roll back to: shards are laid out
+/// for the grid that was current when the checkpoint was taken.
+#[derive(Clone)]
+struct Checkpoint {
+    iter: usize,
+    w: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Checkpoint {
+    fn words(&self) -> u64 {
+        self.w.iter().chain(&self.v).map(|m| m.len() as u64).sum()
+    }
+}
+
+/// One synchronous training iteration on the current grid with
+/// fault-tolerant collectives. Returns the *global* loss (identical on
+/// every rank of the grid).
+#[allow(clippy::too_many_arguments)]
+fn run_iteration(
+    grid: &Grid,
+    layers: &[FcLayer],
+    w: &mut [Matrix],
+    v: &mut [Matrix],
+    x_local: &Matrix,
+    labels_local: &[usize],
+    b_global: usize,
+    cfg: &FtTrainConfig,
+) -> Result<f64, Error> {
+    let b_local = x_local.cols();
+    // Forward.
+    let mut inputs = vec![x_local.clone()];
+    let mut pres = Vec::with_capacity(layers.len());
+    for (l, wl) in layers.iter().zip(w.iter()) {
+        let pre = forward_ft(grid, wl, inputs.last().expect("input"), &cfg.ft)?;
+        let post = apply_act(l.act, &pre);
+        pres.push(pre);
+        inputs.push(post);
+    }
+    let logits = inputs.last().expect("logits");
+    let (loss_local, mut grad) = softmax_xent(logits, labels_local);
+    let scale = b_local as f64 / b_global as f64;
+    for g in grad.as_mut_slice() {
+        *g *= scale;
+    }
+    // Global loss: the partials of one grid row sum to the global loss
+    // (rows hold replicas), so a one-word all-reduce over the row group
+    // gives every rank the same number — and doubles as a per-iteration
+    // liveness probe of the row group.
+    let mut lbuf = [loss_local * scale];
+    allreduce_ring_ft(&grid.row_comm, &mut lbuf, ReduceOp::Sum, &cfg.ft)?;
+    // Backward.
+    let mut dy = grad;
+    for (idx, l) in layers.iter().enumerate().rev() {
+        dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
+        let (dw, dx) = backward_ft(grid, &w[idx], &inputs[idx], &dy, &cfg.ft)?;
+        if cfg.momentum != 0.0 {
+            for (vi, di) in v[idx].as_mut_slice().iter_mut().zip(dw.as_slice()) {
+                *vi = cfg.momentum * *vi + di;
+            }
+            axpy(-cfg.lr, v[idx].as_slice(), w[idx].as_mut_slice());
+        } else {
+            axpy(-cfg.lr, dw.as_slice(), w[idx].as_mut_slice());
+        }
+        dy = dx;
+    }
+    Ok(lbuf[0])
+}
+
+/// The state a committed recovery replaces atomically.
+struct GridState {
+    grid: Grid,
+    members: Vec<usize>,
+    w: Vec<Matrix>,
+    v: Vec<Matrix>,
+    x_local: Matrix,
+    labels_local: Vec<usize>,
+    iter: usize,
+}
+
+/// One recovery attempt (fallible part): shrink, re-plan, redistribute
+/// the agreed checkpoint, re-shard. Committed by the caller only after
+/// a confirmation round.
+#[allow(clippy::too_many_arguments)]
+fn attempt_recovery(
+    comm: &Communicator,
+    epoch: u64,
+    dead: &[usize],
+    old: &GridState,
+    ck: &Checkpoint,
+    layers: &[FcLayer],
+    wlayers: &[WeightedLayer],
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &FtTrainConfig,
+) -> Result<(GridState, usize, usize), Error> {
+    let my_global = comm.global_rank_of(comm.rank())?;
+    let alive = comm.shrink_exclude(dead, epoch)?;
+    let b_global = x.cols();
+
+    // Representative survivor for each old grid row (rows are
+    // contiguous in the old member list: Grid::new is row-major).
+    let old_pr = old.grid.pr;
+    let old_pc = old.grid.pc;
+    let mut reps = Vec::with_capacity(old_pr);
+    for (i, row) in old.members.chunks(old_pc).enumerate() {
+        match row.iter().copied().find(|g| !dead.contains(g)) {
+            Some(g) => reps.push(g),
+            None => {
+                return Err(Error::CollectiveMismatch(format!(
+                    "unrecoverable: no surviving replica of weight-shard row {i}"
+                )))
+            }
+        }
+    }
+    let my_old_i = old
+        .members
+        .iter()
+        .position(|&g| g == my_global)
+        .expect("survivor")
+        / old_pc;
+
+    // Redistribute: each row's representative serves its checkpoint
+    // shard; everyone assembles the full matrices (data plane, so the
+    // cost lands on the virtual clock).
+    let gather_full = |shards: &[Matrix], d_out: usize, d_in: usize, l: usize| {
+        let mine: &[f64] = if reps[my_old_i] == my_global {
+            shards[l].as_slice()
+        } else {
+            &[]
+        };
+        let blocks = allgatherv_ring_ft(&alive, mine, &cfg.ft)?;
+        let mats: Vec<Matrix> = (0..old_pr)
+            .map(|i| {
+                let idx = alive
+                    .members()
+                    .iter()
+                    .position(|&g| g == reps[i])
+                    .expect("representative survives");
+                let rows = part_range(d_out, old_pr, i).len();
+                Matrix::from_vec(rows, d_in, blocks[idx].clone())
+            })
+            .collect();
+        Ok::<Matrix, Error>(Matrix::vcat(&mats))
+    };
+    let mut full_w = Vec::with_capacity(layers.len());
+    let mut full_v = Vec::with_capacity(layers.len());
+    for (l, spec) in layers.iter().enumerate() {
+        full_w.push(gather_full(&ck.w, spec.d_out, spec.d_in, l)?);
+        if cfg.momentum != 0.0 {
+            full_v.push(gather_full(&ck.v, spec.d_out, spec.d_in, l)?);
+        }
+    }
+
+    // Re-plan with Eq. 8 and rebuild the grid over the survivors.
+    let (npr, npc) = plan_grid(wlayers, b_global as f64, alive.size(), &cfg.machine);
+    let grid = Grid::new(&alive, npr, npc)?;
+    let w: Vec<Matrix> = full_w.iter().map(|m| row_shard(m, npr, grid.i)).collect();
+    let v: Vec<Matrix> = if cfg.momentum != 0.0 {
+        full_v.iter().map(|m| row_shard(m, npr, grid.i)).collect()
+    } else {
+        w.iter()
+            .map(|m| Matrix::zeros(m.rows(), m.cols()))
+            .collect()
+    };
+    let x_local = col_shard(x, npc, grid.j);
+    let labels_local = labels[part_range(b_global, npc, grid.j)].to_vec();
+    let members = alive.members().to_vec();
+    Ok((
+        GridState {
+            grid,
+            members,
+            w,
+            v,
+            x_local,
+            labels_local,
+            iter: ck.iter,
+        },
+        npr,
+        npc,
+    ))
+}
+
+/// Fault-tolerant distributed SGD on an initial `pr × pc` grid under a
+/// [`FaultPlan`]. With an inactive plan this computes exactly the same
+/// trajectory as [`crate::trainer::train_1p5d`] (for `momentum = 0`).
+pub fn train_1p5d_ft(
+    net: &Network,
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &FtTrainConfig,
+    pr: usize,
+    pc: usize,
+    plan: FaultPlan,
+) -> FtDistResult {
+    assert!(cfg.ckpt_every >= 1, "checkpoint period must be >= 1");
+    let layers = extract_fc_layers(net);
+    let wlayers = net.weighted_layers();
+    let b_global = x.cols();
+    let model = cfg.machine.net_model();
+    let (per_rank, stats) = World::run_with_faults(pr * pc, model, plan, |comm| {
+        let my_global = comm.global_rank_of(comm.rank())?;
+        // Epoch-0 "shrink" of nothing: gives the training phase its own
+        // context namespace, uniform with post-recovery grids.
+        let alive0 = comm.shrink_exclude(&[], 0)?;
+        let grid = Grid::new(&alive0, pr, pc)?;
+        let full_weights = init_weights(&layers, cfg.seed);
+        let w: Vec<Matrix> = full_weights
+            .iter()
+            .map(|m| row_shard(m, pr, grid.i))
+            .collect();
+        let v: Vec<Matrix> = w
+            .iter()
+            .map(|m| Matrix::zeros(m.rows(), m.cols()))
+            .collect();
+        let x_local = col_shard(x, pc, grid.j);
+        let labels_local = labels[part_range(b_global, pc, grid.j)].to_vec();
+        let mut st = GridState {
+            grid,
+            members: alive0.members().to_vec(),
+            w,
+            v,
+            x_local,
+            labels_local,
+            iter: 0,
+        };
+        let mut ckpt_cur = Checkpoint {
+            iter: 0,
+            w: st.w.clone(),
+            v: st.v.clone(),
+        };
+        let mut ckpt_prev = ckpt_cur.clone();
+        comm.record_checkpoint_words(ckpt_cur.words());
+
+        let mut aborted = false;
+        let mut excluded: Vec<usize> = Vec::new();
+        let mut losses: Vec<f64> = Vec::new();
+        let mut recoveries: Vec<RecoveryReport> = Vec::new();
+        let mut iter_comm: Vec<f64> = Vec::new();
+
+        loop {
+            // --- agreement round (control plane, free in virtual time) ---
+            let round = comm.fault_sync(encode_round(st.iter, ckpt_cur.iter, aborted))?;
+            let mut dead: Vec<usize> = Vec::new();
+            let mut any_abort = false;
+            let mut min_ckpt = usize::MAX;
+            for (member, slot) in round.iter().enumerate() {
+                match slot {
+                    None => dead.push(comm.members()[member]),
+                    Some(bytes) => {
+                        let (_, ck, ab) = decode_round(bytes);
+                        any_abort |= ab;
+                        min_ckpt = min_ckpt.min(ck);
+                    }
+                }
+            }
+            let newly_dead = dead.iter().any(|g| !excluded.contains(g));
+
+            if newly_dead || any_abort {
+                // --- recovery attempt (transactional) ---
+                let t0 = comm.now();
+                excluded = dead.clone();
+                comm.advance_fault_epoch();
+                let epoch = comm.fault_epoch();
+                comm.align_split_seq(epoch * 1000);
+                let target = min_ckpt;
+                let ck = if ckpt_cur.iter == target {
+                    ckpt_cur.clone()
+                } else {
+                    assert_eq!(
+                        ckpt_prev.iter, target,
+                        "rollback target must be one of the two retained checkpoints"
+                    );
+                    ckpt_prev.clone()
+                };
+                let attempt = attempt_recovery(
+                    comm, epoch, &excluded, &st, &ck, &layers, &wlayers, x, labels, cfg,
+                );
+                let ok = match &attempt {
+                    Ok(_) => true,
+                    Err(e) if recoverable(e, my_global) => false,
+                    // An unrecoverable verdict is derived from common
+                    // knowledge, so every survivor returns it together.
+                    Err(e) => return Err(e.clone()),
+                };
+                // --- confirmation round: commit only if every survivor
+                // succeeded and nobody died meanwhile ---
+                let confirm = comm.fault_sync(vec![ok as u8])?;
+                let all_ok = confirm.iter().enumerate().all(|(member, slot)| {
+                    let g = comm.members()[member];
+                    match slot {
+                        Some(b) => b == &[1],
+                        None => excluded.contains(&g),
+                    }
+                });
+                comm.record_recovery_secs(comm.now() - t0);
+                if all_ok {
+                    let (new_state, npr, npc) = attempt.expect("ok implies state");
+                    st = new_state;
+                    ckpt_cur = Checkpoint {
+                        iter: st.iter,
+                        w: st.w.clone(),
+                        v: st.v.clone(),
+                    };
+                    ckpt_prev = ckpt_cur.clone();
+                    losses.truncate(st.iter);
+                    iter_comm.clear();
+                    aborted = false;
+                    recoveries.push(RecoveryReport {
+                        epoch,
+                        rollback_iter: st.iter,
+                        dead: excluded.clone(),
+                        pr: npr,
+                        pc: npc,
+                        measured_secs: comm.now() - t0,
+                        analytic_comm_per_iter: integrated_model_batch(
+                            &wlayers,
+                            b_global as f64,
+                            npr,
+                            npc,
+                        )
+                        .seconds(&cfg.machine),
+                    });
+                } else {
+                    aborted = true;
+                }
+                continue;
+            }
+
+            if st.iter >= cfg.iters {
+                break;
+            }
+
+            // --- one training iteration ---
+            let comm_before = comm.clock().comm;
+            match run_iteration(
+                &st.grid,
+                &layers,
+                &mut st.w,
+                &mut st.v,
+                &st.x_local,
+                &st.labels_local,
+                b_global,
+                cfg,
+            ) {
+                Ok(global_loss) => {
+                    losses.push(global_loss);
+                    st.iter += 1;
+                    iter_comm.push(comm.clock().comm - comm_before);
+                    if st.iter % cfg.ckpt_every == 0 && st.iter < cfg.iters {
+                        ckpt_prev = ckpt_cur;
+                        ckpt_cur = Checkpoint {
+                            iter: st.iter,
+                            w: st.w.clone(),
+                            v: st.v.clone(),
+                        };
+                        comm.record_checkpoint_words(ckpt_cur.words());
+                    }
+                }
+                Err(e) if recoverable(&e, my_global) => aborted = true,
+                Err(e) => return Err(e),
+            }
+        }
+
+        let comm_secs_per_iter = if iter_comm.is_empty() {
+            0.0
+        } else {
+            iter_comm.iter().sum::<f64>() / iter_comm.len() as f64
+        };
+        Ok(FtRankOutcome {
+            i: st.grid.i,
+            j: st.grid.j,
+            pr: st.grid.pr,
+            pc: st.grid.pc,
+            losses,
+            weight_shards: st.w,
+            recoveries,
+            comm_secs_per_iter,
+        })
+    });
+    FtDistResult {
+        pr0: pr,
+        pc0: pc,
+        per_rank,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{synthetic_data, train_1p5d, TrainConfig};
+    use dnn::zoo::mlp_tiny;
+
+    fn cfg(iters: usize) -> FtTrainConfig {
+        FtTrainConfig {
+            lr: 0.3,
+            iters,
+            seed: 7,
+            ckpt_every: 2,
+            ft: FtConfig::new(10.0).with_attempts(2).with_backoff(0.5),
+            machine: MachineModel::cori_knl(),
+            ..FtTrainConfig::default()
+        }
+    }
+
+    fn max_weight_diff(a: &[Matrix], b: &[Matrix]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.max_abs_diff(y))
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn fault_free_run_matches_plain_trainer_exactly() {
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let c = cfg(6);
+        let plain = train_1p5d(
+            &net,
+            &x,
+            &labels,
+            &TrainConfig {
+                lr: c.lr,
+                iters: c.iters,
+                seed: c.seed,
+            },
+            2,
+            3,
+            c.machine.net_model(),
+        );
+        let ft = train_1p5d_ft(&net, &x, &labels, &c, 2, 3, FaultPlan::default());
+        assert_eq!(ft.survivors().len(), 6);
+        assert!(max_weight_diff(&plain.weights(), &ft.weights()) < 1e-12);
+        for (a, b) in plain.losses().iter().zip(ft.losses()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        assert!(ft.stats.total_ckpt_words() > 0, "checkpoints were recorded");
+        assert_eq!(ft.stats.max_recovery_secs(), 0.0, "no recovery happened");
+    }
+
+    #[test]
+    fn corruption_rolls_back_and_replays_to_the_same_result() {
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let c = cfg(6);
+        let clean = train_1p5d_ft(&net, &x, &labels, &c, 2, 3, FaultPlan::default());
+        // Flip a bit in a data message between two grid neighbours a
+        // few iterations in.
+        let plan = FaultPlan::new(9).corrupt_nth(1, 2, 40);
+        let faulty = train_1p5d_ft(&net, &x, &labels, &c, 2, 3, plan);
+        assert_eq!(faulty.survivors().len(), 6, "nobody died");
+        assert_eq!(faulty.stats.total_corrupt_detected(), 1);
+        assert!(faulty.stats.total_aborts() >= 1);
+        assert!(
+            faulty.stats.max_recovery_secs() > 0.0,
+            "rollback was charged"
+        );
+        // The corrupt payload was discarded, training replayed, and the
+        // trajectory is unchanged.
+        assert!(max_weight_diff(&clean.weights(), &faulty.weights()) < 1e-12);
+        assert_eq!(clean.losses(), faulty.losses());
+        let r = &faulty.survivors()[0].recoveries;
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            (r[0].pr, r[0].pc),
+            (2, 3),
+            "no shrink for a transient fault"
+        );
+    }
+
+    #[test]
+    fn killed_rank_triggers_shrink_and_training_finishes() {
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let c = cfg(6);
+        let clean = train_1p5d_ft(&net, &x, &labels, &c, 2, 3, FaultPlan::default());
+        // Rank 4 dies mid-run (virtual time chosen inside training).
+        let t_mid = clean.stats.makespan() * 0.5;
+        let plan = FaultPlan::new(3).kill(4, t_mid);
+        let faulty = train_1p5d_ft(&net, &x, &labels, &c, 2, 3, plan);
+        assert!(
+            faulty.per_rank[4].is_err(),
+            "the killed rank reports failure"
+        );
+        let survivors = faulty.survivors();
+        assert_eq!(survivors.len(), 5);
+        let s = survivors[0];
+        assert_eq!(s.recoveries.len(), 1);
+        assert_eq!(s.recoveries[0].dead, vec![4]);
+        assert_eq!(s.pr * s.pc, 5, "all five survivors form the new grid");
+        assert_eq!(s.losses.len(), c.iters, "training completed after recovery");
+        // Synchronous SGD replayed from a checkpoint: same trajectory
+        // up to reduction-order noise on the reshaped grid.
+        for (a, b) in clean.losses().iter().zip(s.losses.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert!(faulty.stats.total_failures_detected() > 0);
+        assert!(faulty.stats.max_recovery_secs() > 0.0);
+    }
+
+    #[test]
+    fn plan_grid_prefers_integrated_over_pure_batch_for_big_weights() {
+        // A weight-heavy stack: Eq. 8 favours pr > 1 (the ∆W all-reduce
+        // shrinks by pr).
+        let net = dnn::zoo::mlp("m", &[64, 256, 256, 10]);
+        let wl = net.weighted_layers();
+        let (pr, pc) = plan_grid(&wl, 16.0, 8, &MachineModel::cori_knl());
+        assert_eq!(pr * pc, 8);
+        assert!(
+            pr > 1,
+            "weight-heavy nets want model parallelism, got {pr}x{pc}"
+        );
+    }
+}

@@ -16,6 +16,7 @@ pub mod compute;
 pub mod cost;
 pub mod data;
 pub mod epochs;
+pub mod ft_trainer;
 pub mod machine;
 pub mod memory;
 pub mod mixed;

@@ -25,7 +25,12 @@ impl MachineModel {
     /// nominal KNL figure (the paper reads compute off an empirical
     /// curve instead; see `compute::KnlComputeModel`).
     pub fn cori_knl() -> Self {
-        MachineModel { alpha: 2e-6, bandwidth: 6e9, word_bytes: 4, flops: 3e12 }
+        MachineModel {
+            alpha: 2e-6,
+            bandwidth: 6e9,
+            word_bytes: 4,
+            flops: 3e12,
+        }
     }
 
     /// Inverse bandwidth in seconds per word.
@@ -40,7 +45,11 @@ impl MachineModel {
 
     /// The equivalent `mpsim` network model (for executable runs).
     pub fn net_model(&self) -> NetModel {
-        NetModel { alpha: self.alpha, beta: self.beta(), flops: self.flops }
+        NetModel {
+            alpha: self.alpha,
+            beta: self.beta(),
+            flops: self.flops,
+        }
     }
 
     /// A copy with a different word size (fp16/fp64 gradient ablation).
@@ -68,7 +77,12 @@ mod tests {
 
     #[test]
     fn seconds_combines_terms() {
-        let m = MachineModel { alpha: 1.0, bandwidth: 2.0, word_bytes: 2, flops: 1.0 };
+        let m = MachineModel {
+            alpha: 1.0,
+            bandwidth: 2.0,
+            word_bytes: 2,
+            flops: 1.0,
+        };
         // beta = 1 s/word.
         let c = CostTerms::new(3.0, 4.0);
         assert!((m.seconds(c) - 7.0).abs() < 1e-12);

@@ -41,7 +41,11 @@ impl MemoryFootprint {
 /// Memory footprint of one process under a strategy with global batch
 /// `b`.
 pub fn footprint(strategy: &Strategy, layers: &[WeightedLayer], b: f64) -> MemoryFootprint {
-    assert_eq!(layers.len(), strategy.layers.len(), "assignment/layer count mismatch");
+    assert_eq!(
+        layers.len(),
+        strategy.layers.len(),
+        "assignment/layer count mismatch"
+    );
     let mut f = MemoryFootprint::default();
     for (l, a) in layers.iter().zip(&strategy.layers) {
         match *a {
@@ -61,8 +65,7 @@ pub fn footprint(strategy: &Strategy, layers: &[WeightedLayer], b: f64) -> Memor
                 f.weights += l.weights as f64;
                 f.weight_grads += l.weights as f64;
                 // Activations split across both domain and batch.
-                f.activations +=
-                    2.0 * (l.d_in() + l.d_out()) as f64 * b / (pd * pc) as f64;
+                f.activations += 2.0 * (l.d_in() + l.d_out()) as f64 * b / (pd * pc) as f64;
             }
         }
     }
@@ -87,8 +90,16 @@ mod tests {
     fn pr_divides_weight_memory() {
         let net = alexnet();
         let layers = net.weighted_layers();
-        let batch = footprint(&Strategy::uniform_grid(1, 64, layers.len()), &layers, 2048.0);
-        let grid = footprint(&Strategy::uniform_grid(16, 4, layers.len()), &layers, 2048.0);
+        let batch = footprint(
+            &Strategy::uniform_grid(1, 64, layers.len()),
+            &layers,
+            2048.0,
+        );
+        let grid = footprint(
+            &Strategy::uniform_grid(16, 4, layers.len()),
+            &layers,
+            2048.0,
+        );
         assert!((batch.weights / grid.weights - 16.0).abs() < 1e-9);
     }
 

@@ -81,16 +81,19 @@ pub fn train_mixed(
     model: NetModel,
 ) -> MixedResult {
     let layers = extract_fc_layers(net);
-    assert_eq!(layers.len(), mixed.grids.len(), "one grid per weighted layer");
+    assert_eq!(
+        layers.len(),
+        mixed.grids.len(),
+        "one grid per weighted layer"
+    );
     let b_global = x.cols();
     let p = mixed.p;
     let n_layers = layers.len();
 
     // Per-rank column range under a layer's batch split.
     let col_range = |pc: usize, rank: usize| part_range(b_global, pc, rank % pc);
-    let owned_table = |pc: usize| -> Vec<std::ops::Range<usize>> {
-        (0..p).map(|r| col_range(pc, r)).collect()
-    };
+    let owned_table =
+        |pc: usize| -> Vec<std::ops::Range<usize>> { (0..p).map(|r| col_range(pc, r)).collect() };
     let sender_table = |pc: usize| -> Vec<bool> { (0..p).map(|r| r / pc == 0).collect() };
 
     let (shards, stats) = World::run_with_stats(p, model, |comm| {
@@ -128,8 +131,8 @@ pub fn train_mixed(
                 let pre = if *pr == 1 {
                     y_partial
                 } else {
-                    let blocks = allgatherv_ring(col_comm, y_partial.as_slice())
-                        .expect("row gather");
+                    let blocks =
+                        allgatherv_ring(col_comm, y_partial.as_slice()).expect("row gather");
                     let bloc = act.cols();
                     let mats: Vec<Matrix> = blocks
                         .into_iter()
@@ -168,7 +171,12 @@ pub fn train_mixed(
             let mut dy = grad;
             for l in (0..n_layers).rev() {
                 let (pr, pc, row_comm, col_comm) = &grids[l];
-                dy = act_backward(layers[l].act, &pres[l], &apply_act(layers[l].act, &pres[l]), &dy);
+                dy = act_backward(
+                    layers[l].act,
+                    &pres[l],
+                    &apply_act(layers[l].act, &pres[l]),
+                    &dy,
+                );
                 let i = me / pc;
                 let rows = part_range(pres[l].rows(), *pr, i);
                 let dy_i = dy.row_block(rows.start, rows.end);
@@ -224,7 +232,10 @@ mod tests {
     use dnn::zoo::mlp;
 
     fn max_diff(a: &[Matrix], b: &[Matrix]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| x.max_abs_diff(y)).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.max_abs_diff(y))
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -232,7 +243,11 @@ mod tests {
         // Sanity: when every layer uses the same grid, mixed == plain.
         let net = mlp("m", &[16, 24, 12, 6]);
         let (x, labels) = synthetic_data(&net, 24, 3);
-        let cfg = TrainConfig { lr: 0.2, iters: 5, seed: 8 };
+        let cfg = TrainConfig {
+            lr: 0.2,
+            iters: 5,
+            seed: 8,
+        };
         let serial = train_serial(&net, &x, &labels, &cfg);
         let mixed = MixedGrids::new(4, vec![(2, 2); 3]).unwrap();
         let r = train_mixed(&net, &x, &labels, &cfg, &mixed, NetModel::free());
@@ -245,7 +260,11 @@ mod tests {
         // paper's Fig. 7 structure, executable.
         let net = mlp("m", &[16, 24, 12, 6]);
         let (x, labels) = synthetic_data(&net, 24, 3);
-        let cfg = TrainConfig { lr: 0.2, iters: 5, seed: 8 };
+        let cfg = TrainConfig {
+            lr: 0.2,
+            iters: 5,
+            seed: 8,
+        };
         let serial = train_serial(&net, &x, &labels, &cfg);
         let mixed = MixedGrids::head_batch_tail_grid(4, 3, 1, 2, 2).unwrap();
         let r = train_mixed(&net, &x, &labels, &cfg, &mixed, NetModel::free());
@@ -256,7 +275,11 @@ mod tests {
     fn every_layer_different_grid_matches_serial() {
         let net = mlp("m", &[16, 24, 12, 6]);
         let (x, labels) = synthetic_data(&net, 24, 3);
-        let cfg = TrainConfig { lr: 0.15, iters: 4, seed: 6 };
+        let cfg = TrainConfig {
+            lr: 0.15,
+            iters: 4,
+            seed: 6,
+        };
         let serial = train_serial(&net, &x, &labels, &cfg);
         let mixed = MixedGrids::new(8, vec![(1, 8), (4, 2), (8, 1)]).unwrap();
         let r = train_mixed(&net, &x, &labels, &cfg, &mixed, NetModel::free());
@@ -267,7 +290,11 @@ mod tests {
     fn relayout_traffic_is_charged() {
         let net = mlp("m", &[16, 24, 6]);
         let (x, labels) = synthetic_data(&net, 16, 3);
-        let cfg = TrainConfig { lr: 0.1, iters: 1, seed: 2 };
+        let cfg = TrainConfig {
+            lr: 0.1,
+            iters: 1,
+            seed: 2,
+        };
         let same = MixedGrids::new(4, vec![(2, 2); 2]).unwrap();
         let switching = MixedGrids::new(4, vec![(1, 4), (4, 1)]).unwrap();
         let a = train_mixed(&net, &x, &labels, &cfg, &same, NetModel::cori_knl());

@@ -63,7 +63,10 @@ pub fn evaluate(
 
 /// All factorizations `P = pr · pc` in ascending `pr`.
 pub fn factor_pairs(p: usize) -> Vec<(usize, usize)> {
-    (1..=p).filter(|pr| p % pr == 0).map(|pr| (pr, p / pr)).collect()
+    (1..=p)
+        .filter(|pr| p % pr == 0)
+        .map(|pr| (pr, p / pr))
+        .collect()
 }
 
 /// Power-of-two factorizations only (the configurations the paper's
@@ -155,7 +158,11 @@ pub fn sweep_domain_strategies(
 pub fn best(evals: &[Evaluation]) -> &Evaluation {
     evals
         .iter()
-        .min_by(|a, b| a.total_seconds.partial_cmp(&b.total_seconds).expect("finite"))
+        .min_by(|a, b| {
+            a.total_seconds
+                .partial_cmp(&b.total_seconds)
+                .expect("finite")
+        })
         .expect("non-empty evaluation list")
 }
 
@@ -196,13 +203,21 @@ pub fn optimize(
         // integration; "domain parallelism is not used as its
         // communication overhead is higher than batch parallel".
         evals.extend(sweep_uniform_grids(net, &layers, b, p, machine, compute));
-        evals.extend(sweep_conv_batch_fc_grids(net, &layers, b, p, machine, compute));
+        evals.extend(sweep_conv_batch_fc_grids(
+            net, &layers, b, p, machine, compute,
+        ));
     } else {
         // Scenario (b): B < P — past the batch-parallel scaling limit;
         // domain parallelism takes the conv layers (Fig. 10).
-        evals.extend(sweep_domain_strategies(net, &layers, b, p, machine, compute));
+        evals.extend(sweep_domain_strategies(
+            net, &layers, b, p, machine, compute,
+        ));
     }
-    evals.sort_by(|a, b| a.total_seconds.partial_cmp(&b.total_seconds).expect("finite"));
+    evals.sort_by(|a, b| {
+        a.total_seconds
+            .partial_cmp(&b.total_seconds)
+            .expect("finite")
+    });
     // Dedup identical strategies picked up by overlapping sweeps
     // (pr = 1 appears in both grid families).
     evals.dedup_by(|a, b| a.strategy.layers == b.strategy.layers);
@@ -226,11 +241,7 @@ pub struct ParetoPoint {
 /// concern depending on the platform"); within the 1.5D family the
 /// same tension appears across grids, and this is the set a user
 /// should pick from.
-pub fn pareto_frontier(
-    evals: &[Evaluation],
-    layers: &[WeightedLayer],
-    b: f64,
-) -> Vec<ParetoPoint> {
+pub fn pareto_frontier(evals: &[Evaluation], layers: &[WeightedLayer], b: f64) -> Vec<ParetoPoint> {
     let pts: Vec<ParetoPoint> = evals
         .iter()
         .map(|e| ParetoPoint {
@@ -242,8 +253,7 @@ pub fn pareto_frontier(
         .iter()
         .filter(|p| {
             !pts.iter().any(|q| {
-                (q.eval.total_seconds < p.eval.total_seconds
-                    && q.memory_words <= p.memory_words)
+                (q.eval.total_seconds < p.eval.total_seconds && q.memory_words <= p.memory_words)
                     || (q.eval.total_seconds <= p.eval.total_seconds
                         && q.memory_words < p.memory_words)
             })
@@ -251,7 +261,10 @@ pub fn pareto_frontier(
         .cloned()
         .collect();
     frontier.sort_by(|a, b| {
-        a.eval.total_seconds.partial_cmp(&b.eval.total_seconds).expect("finite")
+        a.eval
+            .total_seconds
+            .partial_cmp(&b.eval.total_seconds)
+            .expect("finite")
     });
     frontier
 }
@@ -365,7 +378,9 @@ mod tests {
         }
         // The global best time is always on the frontier.
         let best_t = best(&evals).total_seconds;
-        assert!(frontier.iter().any(|p| (p.eval.total_seconds - best_t).abs() < 1e-15));
+        assert!(frontier
+            .iter()
+            .any(|p| (p.eval.total_seconds - best_t).abs() < 1e-15));
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl Strategy {
                 return Err(format!("layer {i} assignment {l:?} does not use P = {p}"));
             }
         }
-        Ok(Strategy { name: name.into(), p, layers })
+        Ok(Strategy {
+            name: name.into(),
+            p,
+            layers,
+        })
     }
 
     /// Pure batch parallelism: `1 × P` everywhere (Fig. 2 / Eq. 4).
@@ -179,7 +183,10 @@ impl Strategy {
                     if l.is_conv() {
                         LayerParallelism::Domain { pd, pc }
                     } else {
-                        LayerParallelism::ModelBatch { pr: fc_pr, pc: fc_pc }
+                        LayerParallelism::ModelBatch {
+                            pr: fc_pr,
+                            pc: fc_pc,
+                        }
                     }
                 })
                 .collect(),
@@ -211,7 +218,11 @@ impl Strategy {
         b: f64,
         model: &dyn ComputeModel,
     ) -> f64 {
-        assert_eq!(layers.len(), self.layers.len(), "assignment/layer count mismatch");
+        assert_eq!(
+            layers.len(),
+            self.layers.len(),
+            "assignment/layer count mismatch"
+        );
         let total_flops: f64 = layers.iter().map(|l| l.train_flops_per_sample()).sum();
         if total_flops == 0.0 {
             return 0.0;
@@ -289,7 +300,10 @@ mod tests {
         for (pr, pc) in [(1, 32), (4, 8), (32, 1)] {
             let s = Strategy::uniform_grid(pr, pc, layers.len());
             let t = s.compute_time(&net, &layers, 256.0, &cm);
-            assert!((t - expect).abs() < 1e-12 * expect, "{pr}x{pc}: {t} vs {expect}");
+            assert!(
+                (t - expect).abs() < 1e-12 * expect,
+                "{pr}x{pc}: {t} vs {expect}"
+            );
         }
         // The Fig. 7 mixed strategy charges the same, too.
         let s = Strategy::conv_batch_fc_grid(&layers, 4, 8);
@@ -316,10 +330,10 @@ mod tests {
         let net = alexnet();
         let layers = net.weighted_layers();
         let cm = KnlComputeModel::fig4();
-        let t64 = Strategy::uniform_grid(1, 64, layers.len())
-            .compute_time(&net, &layers, 2048.0, &cm);
-        let t512 = Strategy::uniform_grid(1, 512, layers.len())
-            .compute_time(&net, &layers, 2048.0, &cm);
+        let t64 =
+            Strategy::uniform_grid(1, 64, layers.len()).compute_time(&net, &layers, 2048.0, &cm);
+        let t512 =
+            Strategy::uniform_grid(1, 512, layers.len()).compute_time(&net, &layers, 2048.0, &cm);
         assert!(t512 < t64);
     }
 

@@ -51,7 +51,11 @@ pub(crate) fn extract_fc_layers(net: &Network) -> Vec<FcLayer> {
     for (spec, in_shape, out_shape) in net.layers() {
         match spec {
             LayerSpec::FullyConnected { .. } => {
-                out.push(FcLayer { d_in: in_shape.dim(), d_out: out_shape.dim(), act: Act::None });
+                out.push(FcLayer {
+                    d_in: in_shape.dim(),
+                    d_out: out_shape.dim(),
+                    act: Act::None,
+                });
             }
             LayerSpec::ReLU => {
                 let l = out.last_mut().expect("activation must follow an FC layer");
@@ -110,7 +114,11 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { lr: 0.1, iters: 10, seed: 7 }
+        TrainConfig {
+            lr: 0.1,
+            iters: 10,
+            seed: 7,
+        }
     }
 }
 
@@ -124,7 +132,12 @@ pub struct SerialResult {
 }
 
 /// Serial reference: full-batch SGD on one process.
-pub fn train_serial(net: &Network, x: &Matrix, labels: &[usize], cfg: &TrainConfig) -> SerialResult {
+pub fn train_serial(
+    net: &Network,
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &TrainConfig,
+) -> SerialResult {
     let layers = extract_fc_layers(net);
     let mut weights = init_weights(&layers, cfg.seed);
     let mut losses = Vec::with_capacity(cfg.iters);
@@ -253,8 +266,10 @@ pub fn train_1p5d(
     let (per_rank, stats) = World::run_with_stats(pr * pc, model, |comm| {
         let grid = Grid::new(comm, pr, pc).expect("grid tiles the world");
         let full_weights = init_weights(&layers, cfg.seed);
-        let mut w_local: Vec<Matrix> =
-            full_weights.iter().map(|w| row_shard(w, pr, grid.i)).collect();
+        let mut w_local: Vec<Matrix> = full_weights
+            .iter()
+            .map(|w| row_shard(w, pr, grid.i))
+            .collect();
         let x_local = col_shard(x, pc, grid.j);
         let label_range = part_range(b_global, pc, grid.j);
         let labels_local = &labels[label_range.clone()];
@@ -266,8 +281,7 @@ pub fn train_1p5d(
             let mut inputs = vec![x_local.clone()];
             let mut pres = Vec::with_capacity(layers.len());
             for (l, w) in layers.iter().zip(&w_local) {
-                let pre =
-                    grid_forward(&grid, w, inputs.last().expect("input")).expect("forward");
+                let pre = grid_forward(&grid, w, inputs.last().expect("input")).expect("forward");
                 let post = apply_act(l.act, &pre);
                 pres.push(pre);
                 inputs.push(post);
@@ -292,9 +306,19 @@ pub fn train_1p5d(
                 dy = dx;
             }
         }
-        RankOutcome { i: grid.i, j: grid.j, partial_losses, weight_shards: w_local }
+        RankOutcome {
+            i: grid.i,
+            j: grid.j,
+            partial_losses,
+            weight_shards: w_local,
+        }
     });
-    DistResult { pr, pc, per_rank, stats }
+    DistResult {
+        pr,
+        pc,
+        per_rank,
+        stats,
+    }
 }
 
 /// Synthetic classification data shaped for a network: inputs in
@@ -315,14 +339,26 @@ mod tests {
     use dnn::zoo::{mlp, mlp_tiny, rnn_unrolled};
 
     fn max_weight_diff(a: &[Matrix], b: &[Matrix]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| x.max_abs_diff(y)).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.max_abs_diff(y))
+            .fold(0.0, f64::max)
     }
 
     #[test]
     fn serial_training_decreases_loss() {
         let net = mlp_tiny();
         let (x, labels) = synthetic_data(&net, 32, 5);
-        let r = train_serial(&net, &x, &labels, &TrainConfig { lr: 0.5, iters: 30, seed: 7 });
+        let r = train_serial(
+            &net,
+            &x,
+            &labels,
+            &TrainConfig {
+                lr: 0.5,
+                iters: 30,
+                seed: 7,
+            },
+        );
         assert!(
             r.losses.last().unwrap() < &(r.losses[0] * 0.9),
             "loss {} -> {}",
@@ -335,7 +371,11 @@ mod tests {
     fn grid_training_matches_serial_exactly() {
         let net = mlp_tiny();
         let (x, labels) = synthetic_data(&net, 24, 5);
-        let cfg = TrainConfig { lr: 0.3, iters: 8, seed: 7 };
+        let cfg = TrainConfig {
+            lr: 0.3,
+            iters: 8,
+            seed: 7,
+        };
         let serial = train_serial(&net, &x, &labels, &cfg);
         for (pr, pc) in [(1, 1), (1, 4), (4, 1), (2, 3), (4, 2)] {
             let dist = train_1p5d(&net, &x, &labels, &cfg, pr, pc, NetModel::free());
@@ -351,7 +391,11 @@ mod tests {
     fn replicas_stay_in_sync() {
         let net = mlp_tiny();
         let (x, labels) = synthetic_data(&net, 16, 9);
-        let cfg = TrainConfig { lr: 0.2, iters: 5, seed: 3 };
+        let cfg = TrainConfig {
+            lr: 0.2,
+            iters: 5,
+            seed: 3,
+        };
         let dist = train_1p5d(&net, &x, &labels, &cfg, 2, 2, NetModel::free());
         assert!(dist.replica_divergence() < 1e-12);
     }
@@ -360,7 +404,11 @@ mod tests {
     fn rnn_style_network_trains_distributed() {
         let net = rnn_unrolled(20, 16, 3, 4);
         let (x, labels) = synthetic_data(&net, 12, 11);
-        let cfg = TrainConfig { lr: 0.2, iters: 6, seed: 13 };
+        let cfg = TrainConfig {
+            lr: 0.2,
+            iters: 6,
+            seed: 13,
+        };
         let serial = train_serial(&net, &x, &labels, &cfg);
         let dist = train_1p5d(&net, &x, &labels, &cfg, 2, 2, NetModel::free());
         assert!(max_weight_diff(&serial.weights, &dist.weights()) < 1e-9);
@@ -386,7 +434,11 @@ mod tests {
         // ring all-reduce of each layer's ∆W.
         let net = mlp("m", &[16, 12, 8]);
         let (x, labels) = synthetic_data(&net, 8, 3);
-        let cfg = TrainConfig { lr: 0.1, iters: 1, seed: 1 };
+        let cfg = TrainConfig {
+            lr: 0.1,
+            iters: 1,
+            seed: 1,
+        };
         let pc = 4;
         let dist = train_1p5d(&net, &x, &labels, &cfg, 1, pc, NetModel::free());
         let total_w = 16 * 12 + 12 * 8;
@@ -399,7 +451,13 @@ mod tests {
     #[should_panic(expected = "FC networks only")]
     fn conv_network_is_rejected() {
         let net = dnn::NetworkBuilder::new("c", dnn::Shape::new(1, 4, 4))
-            .layer(LayerSpec::Conv { out_c: 2, kh: 3, kw: 3, stride: 1, pad: 1 })
+            .layer(LayerSpec::Conv {
+                out_c: 2,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                pad: 1,
+            })
             .build()
             .unwrap();
         let (x, labels) = synthetic_data(&net, 4, 2);

@@ -26,7 +26,11 @@ pub fn backward(
     x_local: &Matrix,
     dy_local: &Matrix,
 ) -> Result<(Matrix, Matrix)> {
-    comm.advance_flops(matmul_flops(dy_local.rows(), dy_local.cols(), x_local.rows()));
+    comm.advance_flops(matmul_flops(
+        dy_local.rows(),
+        dy_local.cols(),
+        x_local.rows(),
+    ));
     let mut dw = matmul_a_bt(dy_local, x_local);
     comm.advance_flops(matmul_flops(w.cols(), w.rows(), dy_local.cols()));
     let dx = matmul_at_b(w, dy_local);
@@ -73,7 +77,11 @@ mod tests {
 
     #[test]
     fn forward_needs_no_communication() {
-        let model = NetModel { alpha: 1.0, beta: 1.0, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 1.0,
+            flops: f64::INFINITY,
+        };
         let w = init::xavier(4, 4, 1);
         let x = init::uniform(4, 8, -1.0, 1.0, 2);
         let out = World::run(4, model, |comm| {
@@ -88,7 +96,11 @@ mod tests {
 
     #[test]
     fn backward_comm_matches_ring_allreduce_of_weights() {
-        let model = NetModel { alpha: 1e-3, beta: 1e-6, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
         let p = 4;
         let (d_out, d_in, b) = (8, 16, 8); // |W| = 128, divisible by 4
         let w = init::xavier(d_out, d_in, 1);
@@ -100,8 +112,8 @@ mod tests {
             let _ = backward(comm, &w, &xl, &dyl).unwrap();
             comm.clock().comm
         });
-        let expect = collectives::cost::ring_allreduce_exact(p, (d_out * d_in) as f64)
-            .seconds(&model);
+        let expect =
+            collectives::cost::ring_allreduce_exact(p, (d_out * d_in) as f64).seconds(&model);
         for &t in &out {
             assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
         }

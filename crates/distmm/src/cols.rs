@@ -176,8 +176,7 @@ mod tests {
         let (_, stats) = World::run_with_stats(p, NetModel::free(), |comm| {
             let r = comm.rank();
             let xl = x.col_block(owned[r].start, owned[r].end);
-            let out =
-                redistribute_cols(comm, &xl, &owned, &owned, &vec![true; p]).unwrap();
+            let out = redistribute_cols(comm, &xl, &owned, &owned, &vec![true; p]).unwrap();
             assert!(out.approx_eq(&xl, 0.0));
         });
         assert_eq!(stats.total_words(), 0, "no cross-rank traffic for identity");

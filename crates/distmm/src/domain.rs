@@ -30,7 +30,11 @@ fn validate(p: &Conv2dParams) {
     assert_eq!(p.stride, 1, "domain-parallel conv supports stride 1");
     assert_eq!(p.kh, p.kw, "domain-parallel conv supports square kernels");
     assert_eq!(p.kh % 2, 1, "domain-parallel conv supports odd kernels");
-    assert_eq!(p.pad, p.kh / 2, "domain-parallel conv supports same-padding");
+    assert_eq!(
+        p.pad,
+        p.kh / 2,
+        "domain-parallel conv supports same-padding"
+    );
 }
 
 /// The strip of global image rows owned by `rank` of `p` for height `h`.
@@ -231,7 +235,14 @@ mod tests {
     use tensor::init;
 
     fn check_forward(p_ranks: usize, k: usize, h: usize) {
-        let params = Conv2dParams { in_c: 3, out_c: 4, kh: k, kw: k, stride: 1, pad: k / 2 };
+        let params = Conv2dParams {
+            in_c: 3,
+            out_c: 4,
+            kh: k,
+            kw: k,
+            stride: 1,
+            pad: k / 2,
+        };
         let x = init::uniform_tensor(2, 3, h, 6, -1.0, 1.0, 31);
         let w = init::uniform(4, params.patch_len(), -0.5, 0.5, 32);
         let y_ref = conv2d_direct(&x, &w, &params);
@@ -271,7 +282,14 @@ mod tests {
 
     #[test]
     fn one_by_one_conv_sends_nothing() {
-        let params = Conv2dParams { in_c: 2, out_c: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let params = Conv2dParams {
+            in_c: 2,
+            out_c: 2,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let x = init::uniform_tensor(1, 2, 8, 4, -1.0, 1.0, 33);
         let w = init::uniform(2, 2, -0.5, 0.5, 34);
         let (_, stats) = World::run_with_stats(4, NetModel::cori_knl(), |comm| {
@@ -279,14 +297,25 @@ mod tests {
             let strip = x.row_strip(rng.start, rng.end);
             forward(comm, &strip, &w, &params).unwrap();
         });
-        assert_eq!(stats.total_words(), 0, "Eq. 7: no halo for 1x1 convolutions");
+        assert_eq!(
+            stats.total_words(),
+            0,
+            "Eq. 7: no halo for 1x1 convolutions"
+        );
     }
 
     #[test]
     fn halo_volume_matches_eq7_term() {
         // Forward halo: each interior rank sends floor(k/2) rows of
         // B*W*C words in each direction.
-        let params = Conv2dParams { in_c: 3, out_c: 2, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let params = Conv2dParams {
+            in_c: 3,
+            out_c: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         let (b, h, w) = (2usize, 12usize, 5usize);
         let x = init::uniform_tensor(b, 3, h, w, -1.0, 1.0, 35);
         let wts = init::uniform(2, params.patch_len(), -0.5, 0.5, 36);
@@ -303,7 +332,14 @@ mod tests {
 
     #[test]
     fn backward_matches_serial() {
-        let params = Conv2dParams { in_c: 2, out_c: 3, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let params = Conv2dParams {
+            in_c: 2,
+            out_c: 3,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         let (b, h, w) = (2usize, 12usize, 5usize);
         let x = init::uniform_tensor(b, 2, h, w, -1.0, 1.0, 41);
         let wts = init::uniform(3, params.patch_len(), -0.5, 0.5, 42);
@@ -339,8 +375,19 @@ mod tests {
         // With a slow network but large interior, the forward halo is
         // fully hidden: comm time stays at zero... except the wait can
         // only be free if compute covers the transfer.
-        let model = NetModel { alpha: 1e-6, beta: 1e-9, flops: 1e6 }; // slow compute
-        let params = Conv2dParams { in_c: 2, out_c: 2, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let model = NetModel {
+            alpha: 1e-6,
+            beta: 1e-9,
+            flops: 1e6,
+        }; // slow compute
+        let params = Conv2dParams {
+            in_c: 2,
+            out_c: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         let x = init::uniform_tensor(1, 2, 16, 4, -1.0, 1.0, 44);
         let w = init::uniform(2, params.patch_len(), -0.5, 0.5, 45);
         let out = World::run(2, model, |comm| {

@@ -62,7 +62,13 @@ fn extend(window: &Tensor4, zeros_above: usize, zeros_below: usize, pad_w: usize
         for ci in 0..c {
             for hi in 0..h {
                 for wi in 0..w {
-                    ext.set(ni, ci, hi + zeros_above, wi + pad_w, window.get(ni, ci, hi, wi));
+                    ext.set(
+                        ni,
+                        ci,
+                        hi + zeros_above,
+                        wi + pad_w,
+                        window.get(ni, ci, hi, wi),
+                    );
                 }
             }
         }
@@ -102,7 +108,11 @@ pub fn conv_forward(
     comm.advance_flops(flops);
     let local = Conv2dParams { pad: 0, ..*p };
     let y = conv2d_direct(&ext, weights, &local);
-    debug_assert_eq!(y.h, my_out.len(), "local conv yields exactly my output rows");
+    debug_assert_eq!(
+        y.h,
+        my_out.len(),
+        "local conv yields exactly my output rows"
+    );
     debug_assert_eq!(y.w, out_w);
     Ok(y)
 }
@@ -130,12 +140,14 @@ pub fn conv_backward(
     let needed: Vec<Range<usize>> = windows.iter().map(|(r, _, _)| r.clone()).collect();
     let window = fetch_rows(comm, x_strip, &in_part, &needed)?;
 
-    let flops =
-        4.0 * weights.len() as f64 * (dy_strip.h * dy_strip.w * dy_strip.n) as f64;
+    let flops = 4.0 * weights.len() as f64 * (dy_strip.h * dy_strip.w * dy_strip.n) as f64;
     comm.advance_flops(flops);
 
     let (mut dw, dx_window) = if out_part[me].is_empty() {
-        (Matrix::zeros(weights.rows(), weights.cols()), Tensor4::zeros(x_strip.n, p.in_c, 0, x_strip.w))
+        (
+            Matrix::zeros(weights.rows(), weights.cols()),
+            Tensor4::zeros(x_strip.n, p.in_c, 0, x_strip.w),
+        )
     } else {
         let (_, za, zb) = windows[me];
         let ext = extend(&window, za, zb, p.pad);
@@ -229,8 +241,7 @@ mod tests {
             let x_strip = x.row_strip(ip.start, ip.end);
             let y = conv_forward(comm, &x_strip, &wt, &params, h).unwrap();
             let dy_strip = dy.row_strip(op.start, op.end);
-            let (dw, dx) =
-                conv_backward(comm, &x_strip, &wt, &dy_strip, &params, h).unwrap();
+            let (dw, dx) = conv_backward(comm, &x_strip, &wt, &dy_strip, &params, h).unwrap();
             (y, dw, dx)
         });
         for (r, (y, dw, dx)) in out.iter().enumerate() {
@@ -258,7 +269,14 @@ mod tests {
     #[test]
     fn strided_conv_matches_serial() {
         // AlexNet-conv1-style: big kernel, stride > 1, no padding.
-        let params = Conv2dParams { in_c: 3, out_c: 4, kh: 5, kw: 5, stride: 2, pad: 0 };
+        let params = Conv2dParams {
+            in_c: 3,
+            out_c: 4,
+            kh: 5,
+            kw: 5,
+            stride: 2,
+            pad: 0,
+        };
         for p in [1, 2, 3, 4] {
             check_conv(p, params, 17, 9);
         }
@@ -266,7 +284,14 @@ mod tests {
 
     #[test]
     fn strided_padded_conv_matches_serial() {
-        let params = Conv2dParams { in_c: 2, out_c: 3, kh: 3, kw: 3, stride: 2, pad: 1 };
+        let params = Conv2dParams {
+            in_c: 2,
+            out_c: 3,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            pad: 1,
+        };
         for p in [1, 2, 4] {
             check_conv(p, params, 12, 7);
         }
@@ -274,13 +299,27 @@ mod tests {
 
     #[test]
     fn same_pad_conv_agrees_with_optimized_path() {
-        let params = Conv2dParams { in_c: 3, out_c: 4, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let params = Conv2dParams {
+            in_c: 3,
+            out_c: 4,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         check_conv(3, params, 12, 6);
     }
 
     #[test]
     fn rect_kernel_conv_matches_serial() {
-        let params = Conv2dParams { in_c: 2, out_c: 2, kh: 5, kw: 3, stride: 1, pad: 0 };
+        let params = Conv2dParams {
+            in_c: 2,
+            out_c: 2,
+            kh: 5,
+            kw: 3,
+            stride: 1,
+            pad: 0,
+        };
         check_conv(2, params, 14, 8);
     }
 
@@ -339,8 +378,22 @@ mod tests {
         let h = 16;
         let p_ranks = 4;
         let x = init::uniform_tensor(1, 2, h, 4, -1.0, 1.0, 71);
-        let same = Conv2dParams { in_c: 2, out_c: 2, kh: 3, kw: 3, stride: 1, pad: 1 };
-        let strided = Conv2dParams { in_c: 2, out_c: 2, kh: 3, kw: 3, stride: 2, pad: 1 };
+        let same = Conv2dParams {
+            in_c: 2,
+            out_c: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let strided = Conv2dParams {
+            in_c: 2,
+            out_c: 2,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            pad: 1,
+        };
         let wt = init::uniform(2, same.patch_len(), -0.4, 0.4, 72);
         let words = |params: Conv2dParams| {
             let (_, stats) = World::run_with_stats(p_ranks, NetModel::free(), |comm| {

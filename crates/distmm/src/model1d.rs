@@ -52,7 +52,11 @@ pub fn backward(
     let dy_local = dy_full.row_block(range.start, range.end);
     comm.advance_flops(matmul_flops(dy_local.rows(), dy_local.cols(), x.rows()));
     let dw_local = matmul_a_bt(&dy_local, x);
-    comm.advance_flops(matmul_flops(w_local.cols(), w_local.rows(), dy_local.cols()));
+    comm.advance_flops(matmul_flops(
+        w_local.cols(),
+        w_local.rows(),
+        dy_local.cols(),
+    ));
     let mut dx = matmul_at_b(w_local, &dy_local);
     allreduce(comm, dx.as_mut_slice(), ReduceOp::Sum)?;
     Ok((dw_local, dx))
@@ -98,7 +102,11 @@ mod tests {
         // The paper: "no communication is needed for the model parallel
         // part as the input activation is already communicated via the
         // all-gather collective of forward pass".
-        let model = NetModel { alpha: 1.0, beta: 1.0, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 1.0,
+            flops: f64::INFINITY,
+        };
         let p = 4;
         let (d_out, d_in, b) = (8, 4, 4);
         let w = init::xavier(d_out, d_in, 1);
@@ -119,7 +127,11 @@ mod tests {
 
     #[test]
     fn forward_comm_time_is_allgather_of_y() {
-        let model = NetModel { alpha: 1e-3, beta: 1e-6, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
         let p = 4;
         let (d_out, d_in, b) = (16, 4, 8);
         let w = init::xavier(d_out, d_in, 1);
@@ -130,8 +142,7 @@ mod tests {
             comm.clock().comm
         });
         // Ring allgatherv of the full Y (d_out*b words total).
-        let expect = collectives::cost::ring_allgather_exact(p, (d_out * b) as f64)
-            .seconds(&model);
+        let expect = collectives::cost::ring_allgather_exact(p, (d_out * b) as f64).seconds(&model);
         for &t in &out {
             assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
         }

@@ -20,8 +20,9 @@
 //! `Pr = 1` degenerates to pure batch parallelism (Fig. 2) and
 //! `Pc = 1` to pure model parallelism (Fig. 1); tests pin both.
 
+use collectives::ft::{allgatherv_ring_ft, allreduce_ring_ft};
 use collectives::ring::allgatherv_ring;
-use collectives::{allreduce, ReduceOp};
+use collectives::{allreduce, FtConfig, ReduceOp};
 use mpsim::{Communicator, Result};
 use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b, matmul_flops};
 use tensor::Matrix;
@@ -53,7 +54,14 @@ impl Grid {
     /// `Pc`-sized ∆W all-reduce groups are contiguous in rank space).
     pub fn new(comm: &Communicator, pr: usize, pc: usize) -> Result<Grid> {
         let (row_comm, col_comm) = comm.grid(pr, pc)?;
-        Ok(Grid { pr, pc, i: comm.rank() / pc, j: comm.rank() % pc, row_comm, col_comm })
+        Ok(Grid {
+            pr,
+            pc,
+            i: comm.rank() / pc,
+            j: comm.rank() % pc,
+            row_comm,
+            col_comm,
+        })
     }
 
     /// Column-major layout: consecutive global ranks share a *batch*
@@ -73,7 +81,14 @@ impl Grid {
         let j = comm.rank() / pr; // batch shard
         let row_comm = comm.split(i as u64, j as u64)?; // fixed model shard, size pc
         let col_comm = comm.split(j as u64, i as u64)?; // fixed batch shard, size pr
-        Ok(Grid { pr, pc, i, j, row_comm, col_comm })
+        Ok(Grid {
+            pr,
+            pc,
+            i,
+            j,
+            row_comm,
+            col_comm,
+        })
     }
 
     /// The rows of a `d_out`-row weight matrix owned by this rank.
@@ -134,6 +149,57 @@ pub fn backward(
     Ok((dw, dx))
 }
 
+/// Fault-tolerant [`forward`]: same data movement and fault-free cost,
+/// but the all-gather is deadline-bound and aborts group-wide on a
+/// fault (see `collectives::ft`).
+pub fn forward_ft(
+    grid: &Grid,
+    w_local: &Matrix,
+    x_local: &Matrix,
+    cfg: &FtConfig,
+) -> Result<Matrix> {
+    let bloc = x_local.cols();
+    grid.col_comm
+        .advance_flops(matmul_flops(w_local.rows(), w_local.cols(), bloc));
+    let y_partial = matmul(w_local, x_local);
+    if grid.pr == 1 {
+        return Ok(y_partial);
+    }
+    let blocks = allgatherv_ring_ft(&grid.col_comm, y_partial.as_slice(), cfg)?;
+    let mats: Vec<Matrix> = blocks
+        .into_iter()
+        .map(|v| {
+            let rows = v.len() / bloc;
+            Matrix::from_vec(rows, bloc, v)
+        })
+        .collect();
+    Ok(Matrix::vcat(&mats))
+}
+
+/// Fault-tolerant [`backward`]: the ∆W and ∆X all-reduces are
+/// deadline-bound, checksum-verified, and abort group-wide on a fault —
+/// a flipped bit surfaces as [`mpsim::Error::Corrupted`] instead of
+/// silently entering the weight update.
+pub fn backward_ft(
+    grid: &Grid,
+    w_local: &Matrix,
+    x_local: &Matrix,
+    dy_local: &Matrix,
+    cfg: &FtConfig,
+) -> Result<(Matrix, Matrix)> {
+    let rows = grid.w_rows(dy_local.rows());
+    let dy_i = dy_local.row_block(rows.start, rows.end);
+    grid.row_comm
+        .advance_flops(matmul_flops(dy_i.rows(), dy_i.cols(), x_local.rows()));
+    let mut dw = matmul_a_bt(&dy_i, x_local);
+    allreduce_ring_ft(&grid.row_comm, dw.as_mut_slice(), ReduceOp::Sum, cfg)?;
+    grid.col_comm
+        .advance_flops(matmul_flops(w_local.cols(), w_local.rows(), dy_i.cols()));
+    let mut dx = matmul_at_b(w_local, &dy_i);
+    allreduce_ring_ft(&grid.col_comm, dx.as_mut_slice(), ReduceOp::Sum, cfg)?;
+    Ok((dw, dx))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,7 +223,14 @@ mod tests {
         let y = matmul(&w, &x);
         let dw = matmul_a_bt(&dy, &x);
         let dx = matmul_at_b(&w, &dy);
-        Reference { w, x, dy, y, dw, dx }
+        Reference {
+            w,
+            x,
+            dy,
+            y,
+            dw,
+            dx,
+        }
     }
 
     fn run_grid(pr: usize, pc: usize, r: &Reference) -> Vec<(Matrix, Matrix, Matrix)> {
@@ -180,12 +253,21 @@ mod tests {
             let j = g % pc;
             let cols = part_range(b, pc, j);
             let y_expect = r.y.col_block(cols.start, cols.end);
-            assert!(y.approx_eq(&y_expect, 1e-10), "grid {pr}x{pc} rank ({i},{j}) Y");
+            assert!(
+                y.approx_eq(&y_expect, 1e-10),
+                "grid {pr}x{pc} rank ({i},{j}) Y"
+            );
             let rows = part_range(d_out, pr, i);
             let dw_expect = r.dw.row_block(rows.start, rows.end);
-            assert!(dw.approx_eq(&dw_expect, 1e-10), "grid {pr}x{pc} rank ({i},{j}) dW");
+            assert!(
+                dw.approx_eq(&dw_expect, 1e-10),
+                "grid {pr}x{pc} rank ({i},{j}) dW"
+            );
             let dx_expect = r.dx.col_block(cols.start, cols.end);
-            assert!(dx.approx_eq(&dx_expect, 1e-10), "grid {pr}x{pc} rank ({i},{j}) dX");
+            assert!(
+                dx.approx_eq(&dx_expect, 1e-10),
+                "grid {pr}x{pc} rank ({i},{j}) dX"
+            );
         }
     }
 
@@ -224,7 +306,11 @@ mod tests {
     fn dw_allreduce_volume_is_reduced_by_pr() {
         // The paper's headline: the ∆W all-reduce moves |W|/Pr words per
         // process instead of |W|.
-        let model = NetModel { alpha: 0.0, beta: 1e-6, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 0.0,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
         let (d_out, d_in, b) = (16, 8, 16);
         let r = reference(d_out, d_in, b);
         let comm_time = |pr: usize, pc: usize| -> f64 {
@@ -252,6 +338,41 @@ mod tests {
         assert!((words_batch - 2.0 * w_total * 3.0 / 4.0).abs() < 1.0);
         assert!((words_1p5d - 2.0 * (w_total / 4.0) * 3.0 / 4.0).abs() < 1.0);
         assert!(words_1p5d < words_batch / 3.0);
+    }
+
+    #[test]
+    fn ft_forward_backward_match_plain_when_fault_free() {
+        let (pr, pc) = (2usize, 3usize);
+        let r = reference(8, 5, 9);
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
+        let cfg = FtConfig::new(1e6);
+        let plain = World::run(pr * pc, model, |comm| {
+            let grid = Grid::new(comm, pr, pc).unwrap();
+            let wl = row_shard(&r.w, pr, grid.i);
+            let xl = col_shard(&r.x, pc, grid.j);
+            let dyl = col_shard(&r.dy, pc, grid.j);
+            let y = forward(&grid, &wl, &xl).unwrap();
+            let (dw, dx) = backward(&grid, &wl, &xl, &dyl).unwrap();
+            (y, dw, dx, comm.now())
+        });
+        let ft = World::run(pr * pc, model, |comm| {
+            let grid = Grid::new(comm, pr, pc).unwrap();
+            let wl = row_shard(&r.w, pr, grid.i);
+            let xl = col_shard(&r.x, pc, grid.j);
+            let dyl = col_shard(&r.dy, pc, grid.j);
+            let y = forward_ft(&grid, &wl, &xl, &cfg).unwrap();
+            let (dw, dx) = backward_ft(&grid, &wl, &xl, &dyl, &cfg).unwrap();
+            (y, dw, dx, comm.now())
+        });
+        for ((y0, dw0, dx0, t0), (y1, dw1, dx1, t1)) in plain.iter().zip(&ft) {
+            assert!(y0 == y1 && dw0 == dw1 && dx0 == dx1, "identical numbers");
+            // Same α–β cost as the plain implementations.
+            assert!((t0 - t1).abs() < 1e-12, "{t0} vs {t1}");
+        }
     }
 
     #[test]

@@ -91,7 +91,11 @@ mod tests {
         // β·B·(P−1)/P·d exactly.
         let p = 4;
         let (d, b) = (8usize, 16usize);
-        let model = NetModel { alpha: 0.0, beta: 1e-6, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 0.0,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
         let x = init::uniform(d, b, -1.0, 1.0, 7);
         let times = World::run(p, model, |comm| {
             let shard = col_shard(&x, p, comm.rank());

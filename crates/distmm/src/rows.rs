@@ -117,7 +117,11 @@ pub fn scatter_add_rows(
         }
         let overlap = intersect(my_produced, &owned[q]);
         if !overlap.is_empty() {
-            comm.send_vec(q, SCATTER_TAG, rows_to_buf(produced_strip, my_produced, &overlap))?;
+            comm.send_vec(
+                q,
+                SCATTER_TAG,
+                rows_to_buf(produced_strip, my_produced, &overlap),
+            )?;
         }
     }
     let mut out = Tensor4::zeros(n, c, my_owned.len(), w);
@@ -168,8 +172,7 @@ mod tests {
         let x = init::uniform_tensor(2, 3, h, 5, -1.0, 1.0, 1);
         let owned = partitions(h, p);
         // Each rank wants a window straddling several owners.
-        let needed: Vec<Range<usize>> =
-            vec![0..7, 2..13, 9..16, 0..16];
+        let needed: Vec<Range<usize>> = vec![0..7, 2..13, 9..16, 0..16];
         let out = World::run(p, NetModel::free(), |comm| {
             let me = comm.rank();
             let strip = x.row_strip(owned[me].start, owned[me].end);

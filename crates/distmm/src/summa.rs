@@ -49,7 +49,10 @@ pub fn summa_stationary_c(
     k: usize,
 ) -> Result<Matrix> {
     let steps = lcm(grid.pr, grid.pc).max(1);
-    assert!(k % steps == 0, "k={k} must be divisible by lcm(Pr,Pc)={steps}");
+    assert!(
+        k % steps == 0,
+        "k={k} must be divisible by lcm(Pr,Pc)={steps}"
+    );
     let panel = k / steps;
     let m_local = a_local.rows();
     let n_local = b_local.cols();
@@ -71,7 +74,9 @@ pub fn summa_stationary_c(
             })
             .expect("panel contained in one A block");
         let mut a_panel = if a_owner == grid.j {
-            a_local.col_block(k0 - a_cols.start, k1 - a_cols.start).into_vec()
+            a_local
+                .col_block(k0 - a_cols.start, k1 - a_cols.start)
+                .into_vec()
         } else {
             Vec::new()
         };
@@ -86,14 +91,17 @@ pub fn summa_stationary_c(
             })
             .expect("panel contained in one B block");
         let mut b_panel = if b_owner == grid.i {
-            b_local.row_block(k0 - b_rows.start, k1 - b_rows.start).into_vec()
+            b_local
+                .row_block(k0 - b_rows.start, k1 - b_rows.start)
+                .into_vec()
         } else {
             Vec::new()
         };
         bcast(&grid.col_comm, &mut b_panel, b_owner)?;
         let b_panel = Matrix::from_vec(panel, n_local, b_panel);
 
-        grid.row_comm.advance_flops(matmul_flops(m_local, panel, n_local));
+        grid.row_comm
+            .advance_flops(matmul_flops(m_local, panel, n_local));
         let partial = matmul(&a_panel, &b_panel);
         for (ci, pi) in c.as_mut_slice().iter_mut().zip(partial.as_slice()) {
             *ci += pi;
@@ -168,7 +176,9 @@ mod tests {
             let j = g % pc;
             let rr = part_range(m, pr, i);
             let cc = part_range(n, pc, j);
-            let expect = c_ref.row_block(rr.start, rr.end).col_block(cc.start, cc.end);
+            let expect = c_ref
+                .row_block(rr.start, rr.end)
+                .col_block(cc.start, cc.end);
             assert!(
                 c_local.approx_eq(&expect, 1e-10),
                 "grid {pr}x{pc} rank ({i},{j}): {}",
@@ -219,7 +229,10 @@ mod tests {
             let br = part_range(k, pc, grid.j);
             let bc = part_range(n, pr, grid.i);
             let b_local = b.row_block(br.start, br.end).col_block(bc.start, bc.end);
-            (grid.i, summa_stationary_a(&grid, &a_local, &b_local, n).unwrap())
+            (
+                grid.i,
+                summa_stationary_a(&grid, &a_local, &b_local, n).unwrap(),
+            )
         });
         for (g, (i, c_i)) in out.iter().enumerate() {
             let rr = part_range(m, pr, *i);

@@ -68,14 +68,23 @@ impl LayerSpec {
     /// Whether this layer carries weights (enters the paper's sums over
     /// `i = 1..L`).
     pub fn is_weighted(&self) -> bool {
-        matches!(self, LayerSpec::Conv { .. } | LayerSpec::FullyConnected { .. })
+        matches!(
+            self,
+            LayerSpec::Conv { .. } | LayerSpec::FullyConnected { .. }
+        )
     }
 
     /// Output shape for a given input shape, or an error message if the
     /// layer cannot be applied.
     pub fn out_shape(&self, input: Shape) -> Result<Shape, String> {
         match *self {
-            LayerSpec::Conv { out_c, kh, kw, stride, pad } => {
+            LayerSpec::Conv {
+                out_c,
+                kh,
+                kw,
+                stride,
+                pad,
+            } => {
                 let h_eff = input.h + 2 * pad;
                 let w_eff = input.w + 2 * pad;
                 if kh > h_eff || kw > w_eff {
@@ -86,7 +95,11 @@ impl LayerSpec {
                 if stride == 0 {
                     return Err("conv stride must be positive".into());
                 }
-                Ok(Shape::new(out_c, (h_eff - kh) / stride + 1, (w_eff - kw) / stride + 1))
+                Ok(Shape::new(
+                    out_c,
+                    (h_eff - kh) / stride + 1,
+                    (w_eff - kw) / stride + 1,
+                ))
             }
             LayerSpec::FullyConnected { out } => Ok(Shape::flat(out)),
             LayerSpec::MaxPool { k, stride } => {
@@ -99,7 +112,11 @@ impl LayerSpec {
                 if stride == 0 {
                     return Err("pool stride must be positive".into());
                 }
-                Ok(Shape::new(input.c, (input.h - k) / stride + 1, (input.w - k) / stride + 1))
+                Ok(Shape::new(
+                    input.c,
+                    (input.h - k) / stride + 1,
+                    (input.w - k) / stride + 1,
+                ))
             }
             LayerSpec::ReLU
             | LayerSpec::Tanh
@@ -126,23 +143,50 @@ mod tests {
     #[test]
     fn conv_shape_matches_eq2_with_padding() {
         // AlexNet conv1: 227x227x3, 11x11, stride 4, no pad -> 55x55x96.
-        let conv1 = LayerSpec::Conv { out_c: 96, kh: 11, kw: 11, stride: 4, pad: 0 };
-        assert_eq!(conv1.out_shape(Shape::new(3, 227, 227)).unwrap(), Shape::new(96, 55, 55));
+        let conv1 = LayerSpec::Conv {
+            out_c: 96,
+            kh: 11,
+            kw: 11,
+            stride: 4,
+            pad: 0,
+        };
+        assert_eq!(
+            conv1.out_shape(Shape::new(3, 227, 227)).unwrap(),
+            Shape::new(96, 55, 55)
+        );
         // AlexNet conv2 (same-pad): 27x27x96 -> 27x27x256.
-        let conv2 = LayerSpec::Conv { out_c: 256, kh: 5, kw: 5, stride: 1, pad: 2 };
-        assert_eq!(conv2.out_shape(Shape::new(96, 27, 27)).unwrap(), Shape::new(256, 27, 27));
+        let conv2 = LayerSpec::Conv {
+            out_c: 256,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 2,
+        };
+        assert_eq!(
+            conv2.out_shape(Shape::new(96, 27, 27)).unwrap(),
+            Shape::new(256, 27, 27)
+        );
     }
 
     #[test]
     fn fc_flattens() {
         let fc = LayerSpec::FullyConnected { out: 4096 };
-        assert_eq!(fc.out_shape(Shape::new(256, 6, 6)).unwrap(), Shape::flat(4096));
+        assert_eq!(
+            fc.out_shape(Shape::new(256, 6, 6)).unwrap(),
+            Shape::flat(4096)
+        );
         assert_eq!(fc.weight_count(Shape::new(256, 6, 6)), 9216 * 4096);
     }
 
     #[test]
     fn weight_counts() {
-        let conv = LayerSpec::Conv { out_c: 96, kh: 11, kw: 11, stride: 4, pad: 0 };
+        let conv = LayerSpec::Conv {
+            out_c: 96,
+            kh: 11,
+            kw: 11,
+            stride: 4,
+            pad: 0,
+        };
         assert_eq!(conv.weight_count(Shape::new(3, 227, 227)), 11 * 11 * 3 * 96);
         assert_eq!(LayerSpec::ReLU.weight_count(Shape::flat(10)), 0);
     }
@@ -150,7 +194,12 @@ mod tests {
     #[test]
     fn shape_preserving_layers() {
         let s = Shape::new(64, 13, 13);
-        for l in [LayerSpec::ReLU, LayerSpec::Tanh, LayerSpec::Dropout { rate: 0.5 }, LayerSpec::LocalResponseNorm] {
+        for l in [
+            LayerSpec::ReLU,
+            LayerSpec::Tanh,
+            LayerSpec::Dropout { rate: 0.5 },
+            LayerSpec::LocalResponseNorm,
+        ] {
             assert_eq!(l.out_shape(s).unwrap(), s);
             assert!(!l.is_weighted());
         }
@@ -158,13 +207,25 @@ mod tests {
 
     #[test]
     fn oversized_kernel_is_rejected() {
-        let conv = LayerSpec::Conv { out_c: 8, kh: 9, kw: 9, stride: 1, pad: 0 };
+        let conv = LayerSpec::Conv {
+            out_c: 8,
+            kh: 9,
+            kw: 9,
+            stride: 1,
+            pad: 0,
+        };
         assert!(conv.out_shape(Shape::new(3, 5, 5)).is_err());
     }
 
     #[test]
     fn zero_stride_is_rejected() {
-        let conv = LayerSpec::Conv { out_c: 8, kh: 3, kw: 3, stride: 0, pad: 0 };
+        let conv = LayerSpec::Conv {
+            out_c: 8,
+            kh: 3,
+            kw: 3,
+            stride: 0,
+            pad: 0,
+        };
         assert!(conv.out_shape(Shape::new(3, 5, 5)).is_err());
         let pool = LayerSpec::MaxPool { k: 2, stride: 0 };
         assert!(pool.out_shape(Shape::new(3, 5, 5)).is_err());

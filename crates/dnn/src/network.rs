@@ -140,7 +140,10 @@ impl Network {
 
     /// Training FLOPs per sample across all weighted layers.
     pub fn train_flops_per_sample(&self) -> f64 {
-        self.weighted_layers().iter().map(|l| l.train_flops_per_sample()).sum()
+        self.weighted_layers()
+            .iter()
+            .map(|l| l.train_flops_per_sample())
+            .sum()
     }
 }
 
@@ -165,7 +168,11 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts a builder for a network with the given input shape.
     pub fn new(name: impl Into<String>, input: Shape) -> Self {
-        NetworkBuilder { name: name.into(), input, layers: Vec::new() }
+        NetworkBuilder {
+            name: name.into(),
+            input,
+            layers: Vec::new(),
+        }
     }
 
     /// Appends a layer.
@@ -178,14 +185,21 @@ impl NetworkBuilder {
     /// Convenience: conv + ReLU.
     #[must_use]
     pub fn conv_relu(self, out_c: usize, k: usize, stride: usize, pad: usize) -> Self {
-        self.layer(LayerSpec::Conv { out_c, kh: k, kw: k, stride, pad })
-            .layer(LayerSpec::ReLU)
+        self.layer(LayerSpec::Conv {
+            out_c,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        })
+        .layer(LayerSpec::ReLU)
     }
 
     /// Convenience: FC + ReLU.
     #[must_use]
     pub fn fc_relu(self, out: usize) -> Self {
-        self.layer(LayerSpec::FullyConnected { out }).layer(LayerSpec::ReLU)
+        self.layer(LayerSpec::FullyConnected { out })
+            .layer(LayerSpec::ReLU)
     }
 
     /// Runs shape inference and produces the network, or the first
@@ -200,7 +214,11 @@ impl NetworkBuilder {
             layers.push((spec, shape, out));
             shape = out;
         }
-        Ok(Network { name: self.name, input: self.input, layers })
+        Ok(Network {
+            name: self.name,
+            input: self.input,
+            layers,
+        })
     }
 }
 
@@ -263,13 +281,22 @@ mod tests {
         // conv: 2 * 108 weights * 64 positions.
         assert_eq!(wl[0].forward_flops_per_sample(), 2.0 * 108.0 * 64.0);
         assert_eq!(wl[1].forward_flops_per_sample(), 2.0 * 640.0);
-        assert_eq!(net.train_flops_per_sample(), 3.0 * (2.0 * 108.0 * 64.0 + 2.0 * 640.0));
+        assert_eq!(
+            net.train_flops_per_sample(),
+            3.0 * (2.0 * 108.0 * 64.0 + 2.0 * 640.0)
+        );
     }
 
     #[test]
     fn builder_reports_layer_errors() {
         let err = NetworkBuilder::new("bad", Shape::new(3, 4, 4))
-            .layer(LayerSpec::Conv { out_c: 1, kh: 9, kw: 9, stride: 1, pad: 0 })
+            .layer(LayerSpec::Conv {
+                out_c: 1,
+                kh: 9,
+                kw: 9,
+                stride: 1,
+                pad: 0,
+            })
             .build()
             .unwrap_err();
         assert!(err.contains("layer 0"), "{err}");

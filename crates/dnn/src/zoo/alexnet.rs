@@ -20,21 +20,51 @@ pub const IMAGENET_CLASSES: usize = 1000;
 pub fn alexnet() -> Network {
     NetworkBuilder::new("alexnet", Shape::new(3, 227, 227))
         // Stage 1: conv1 11x11/4, LRN, pool /2.
-        .layer(LayerSpec::Conv { out_c: 96, kh: 11, kw: 11, stride: 4, pad: 0 })
+        .layer(LayerSpec::Conv {
+            out_c: 96,
+            kh: 11,
+            kw: 11,
+            stride: 4,
+            pad: 0,
+        })
         .layer(LayerSpec::ReLU)
         .layer(LayerSpec::LocalResponseNorm)
         .layer(LayerSpec::MaxPool { k: 3, stride: 2 })
         // Stage 2: conv2 5x5 same-pad, LRN, pool /2.
-        .layer(LayerSpec::Conv { out_c: 256, kh: 5, kw: 5, stride: 1, pad: 2 })
+        .layer(LayerSpec::Conv {
+            out_c: 256,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 2,
+        })
         .layer(LayerSpec::ReLU)
         .layer(LayerSpec::LocalResponseNorm)
         .layer(LayerSpec::MaxPool { k: 3, stride: 2 })
         // Stage 3-5: three 3x3 same-pad convs, then pool /2.
-        .layer(LayerSpec::Conv { out_c: 384, kh: 3, kw: 3, stride: 1, pad: 1 })
+        .layer(LayerSpec::Conv {
+            out_c: 384,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        })
         .layer(LayerSpec::ReLU)
-        .layer(LayerSpec::Conv { out_c: 384, kh: 3, kw: 3, stride: 1, pad: 1 })
+        .layer(LayerSpec::Conv {
+            out_c: 384,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        })
         .layer(LayerSpec::ReLU)
-        .layer(LayerSpec::Conv { out_c: 256, kh: 3, kw: 3, stride: 1, pad: 1 })
+        .layer(LayerSpec::Conv {
+            out_c: 256,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        })
         .layer(LayerSpec::ReLU)
         .layer(LayerSpec::MaxPool { k: 3, stride: 2 })
         // Classifier: fc6, fc7, fc8.
@@ -44,7 +74,9 @@ pub fn alexnet() -> Network {
         .layer(LayerSpec::FullyConnected { out: 4096 })
         .layer(LayerSpec::ReLU)
         .layer(LayerSpec::Dropout { rate: 0.5 })
-        .layer(LayerSpec::FullyConnected { out: IMAGENET_CLASSES })
+        .layer(LayerSpec::FullyConnected {
+            out: IMAGENET_CLASSES,
+        })
         .build()
         .expect("AlexNet shapes are consistent")
 }

@@ -16,21 +16,51 @@ use crate::shape::Shape;
 pub fn mini_alexnet() -> Network {
     NetworkBuilder::new("mini_alexnet", Shape::new(3, 35, 35))
         // Stage 1: strided large-kernel conv + LRN + overlapping pool.
-        .layer(LayerSpec::Conv { out_c: 8, kh: 7, kw: 7, stride: 2, pad: 0 })
+        .layer(LayerSpec::Conv {
+            out_c: 8,
+            kh: 7,
+            kw: 7,
+            stride: 2,
+            pad: 0,
+        })
         .layer(LayerSpec::ReLU)
         .layer(LayerSpec::LocalResponseNorm)
         .layer(LayerSpec::MaxPool { k: 3, stride: 2 })
         // Stage 2: 5x5 same-pad conv + LRN + overlapping pool.
-        .layer(LayerSpec::Conv { out_c: 12, kh: 5, kw: 5, stride: 1, pad: 2 })
+        .layer(LayerSpec::Conv {
+            out_c: 12,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 2,
+        })
         .layer(LayerSpec::ReLU)
         .layer(LayerSpec::LocalResponseNorm)
         .layer(LayerSpec::MaxPool { k: 3, stride: 2 })
         // Stages 3-5: 3x3 same-pad convs.
-        .layer(LayerSpec::Conv { out_c: 16, kh: 3, kw: 3, stride: 1, pad: 1 })
+        .layer(LayerSpec::Conv {
+            out_c: 16,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        })
         .layer(LayerSpec::ReLU)
-        .layer(LayerSpec::Conv { out_c: 16, kh: 3, kw: 3, stride: 1, pad: 1 })
+        .layer(LayerSpec::Conv {
+            out_c: 16,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        })
         .layer(LayerSpec::ReLU)
-        .layer(LayerSpec::Conv { out_c: 12, kh: 3, kw: 3, stride: 1, pad: 1 })
+        .layer(LayerSpec::Conv {
+            out_c: 12,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        })
         .layer(LayerSpec::ReLU)
         // Classifier.
         .layer(LayerSpec::FullyConnected { out: 32 })

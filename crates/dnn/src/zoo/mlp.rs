@@ -17,7 +17,10 @@ use crate::shape::Shape;
 ///
 /// Panics if fewer than two widths are given.
 pub fn mlp(name: impl Into<String>, dims: &[usize]) -> Network {
-    assert!(dims.len() >= 2, "an MLP needs an input and at least one layer");
+    assert!(
+        dims.len() >= 2,
+        "an MLP needs an input and at least one layer"
+    );
     let mut b = NetworkBuilder::new(name, Shape::flat(dims[0]));
     for (i, &out) in dims[1..].iter().enumerate() {
         b = b.layer(LayerSpec::FullyConnected { out });

@@ -14,7 +14,13 @@ use crate::network::{Network, NetworkBuilder};
 use crate::shape::Shape;
 
 fn conv(out_c: usize, k: usize, stride: usize, pad: usize) -> LayerSpec {
-    LayerSpec::Conv { out_c, kh: k, kw: k, stride, pad }
+    LayerSpec::Conv {
+        out_c,
+        kh: k,
+        kw: k,
+        stride,
+        pad,
+    }
 }
 
 /// Builds the ResNet-18-style stack with 224×224 RGB inputs.
@@ -23,9 +29,9 @@ pub fn resnet18ish() -> Network {
         .layer(conv(64, 7, 2, 3))
         .layer(LayerSpec::ReLU)
         .layer(LayerSpec::MaxPool { k: 3, stride: 2 }); // 64 x 55 -> 27? see test
-    // Stage template: (channels, first-stride). Each stage is two basic
-    // blocks of two 3x3 convs; stages after the first open with a
-    // stride-2 3x3 conv plus a 1x1 projection.
+                                                        // Stage template: (channels, first-stride). Each stage is two basic
+                                                        // blocks of two 3x3 convs; stages after the first open with a
+                                                        // stride-2 3x3 conv plus a 1x1 projection.
     for (ch, first_stride) in [(64usize, 1usize), (128, 2), (256, 2), (512, 2)] {
         if first_stride != 1 {
             // 1x1 projection (the residual downsample path, kept as a
@@ -61,7 +67,10 @@ mod tests {
     #[test]
     fn one_by_one_convs_have_zero_halo() {
         let wl = resnet18ish().weighted_layers();
-        for l in wl.iter().filter(|l| l.kind == LayerKind::Conv { kh: 1, kw: 1 }) {
+        for l in wl
+            .iter()
+            .filter(|l| l.kind == LayerKind::Conv { kh: 1, kw: 1 })
+        {
             let (kh, kw) = l.halo_kernel();
             assert_eq!(kh / 2, 0);
             assert_eq!(kw / 2, 0);

@@ -24,13 +24,14 @@ use crate::shape::Shape;
 /// Panics if `steps == 0`.
 pub fn rnn_unrolled(input_dim: usize, hidden: usize, steps: usize, classes: usize) -> Network {
     assert!(steps > 0, "an RNN needs at least one timestep");
-    let mut b = NetworkBuilder::new(
-        format!("rnn_h{hidden}_t{steps}"),
-        Shape::flat(input_dim),
-    );
-    b = b.layer(LayerSpec::FullyConnected { out: hidden }).layer(LayerSpec::Tanh);
+    let mut b = NetworkBuilder::new(format!("rnn_h{hidden}_t{steps}"), Shape::flat(input_dim));
+    b = b
+        .layer(LayerSpec::FullyConnected { out: hidden })
+        .layer(LayerSpec::Tanh);
     for _ in 1..steps {
-        b = b.layer(LayerSpec::FullyConnected { out: hidden }).layer(LayerSpec::Tanh);
+        b = b
+            .layer(LayerSpec::FullyConnected { out: hidden })
+            .layer(LayerSpec::Tanh);
     }
     b.layer(LayerSpec::FullyConnected { out: classes })
         .build()

@@ -9,11 +9,23 @@ use crate::shape::Shape;
 /// Builds VGG-16 with 224×224 RGB inputs (configuration D).
 pub fn vgg16() -> Network {
     let mut b = NetworkBuilder::new("vgg16", Shape::new(3, 224, 224));
-    let stages: &[&[usize]] = &[&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+    let stages: &[&[usize]] = &[
+        &[64, 64],
+        &[128, 128],
+        &[256, 256, 256],
+        &[512, 512, 512],
+        &[512, 512, 512],
+    ];
     for stage in stages {
         for &out_c in *stage {
             b = b
-                .layer(LayerSpec::Conv { out_c, kh: 3, kw: 3, stride: 1, pad: 1 })
+                .layer(LayerSpec::Conv {
+                    out_c,
+                    kh: 3,
+                    kw: 3,
+                    stride: 1,
+                    pad: 1,
+                })
                 .layer(LayerSpec::ReLU);
         }
         b = b.layer(LayerSpec::MaxPool { k: 2, stride: 2 });

@@ -134,7 +134,11 @@ mod tests {
     #[test]
     fn flops_use_model_rate() {
         let mut c = Clock::new();
-        let m = NetModel { alpha: 0.0, beta: 0.0, flops: 1e9 };
+        let m = NetModel {
+            alpha: 0.0,
+            beta: 0.0,
+            flops: 1e9,
+        };
         c.advance_flops(2e9, &m);
         assert!((c.now - 2.0).abs() < 1e-12);
     }

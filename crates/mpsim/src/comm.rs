@@ -8,12 +8,13 @@
 //! process.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
 use crate::clock::Clock;
 use crate::error::{Error, Result};
+use crate::fault::{self, FaultPlan};
 use crate::netmodel::NetModel;
 use crate::router::{Endpoint, Envelope, Payload};
 use crate::stats::RankStats;
@@ -27,6 +28,9 @@ pub const RESERVED_TAG_BASE: Tag = 1 << 48;
 const SPLIT_TAG: Tag = RESERVED_TAG_BASE + 1;
 const SYNC_TAG: Tag = RESERVED_TAG_BASE + 2;
 const BARRIER_TAG: Tag = RESERVED_TAG_BASE + 3;
+/// Base tag for [`Communicator::fault_sync`] rounds (offset by a
+/// per-rank round counter, so successive rounds never cross-match).
+const FAULT_SYNC_TAG: Tag = RESERVED_TAG_BASE + 4096;
 
 /// Per-thread shared state: transport endpoint, pending-message buffer,
 /// virtual clock, and counters. One `Inner` exists per OS thread (global
@@ -45,16 +49,81 @@ pub(crate) struct Inner {
     /// Monotonic counter so repeated `split` calls derive distinct
     /// deterministic context ids (requires SPMD call order, like MPI).
     pub split_seq: u64,
+    /// Shared fault-injection script (empty/inactive by default).
+    pub plan: Arc<FaultPlan>,
+    /// Per-destination count of data messages sent (indexes the fault
+    /// plan's per-link events). Only maintained while the plan is active.
+    pub link_seq: Vec<u64>,
+    /// Peers whose death notice this rank has observed: global rank →
+    /// virtual time of death.
+    pub dead_peers: BTreeMap<usize, f64>,
+    /// Dead peers whose failure has been *surfaced* to the application
+    /// (counted once in [`RankStats::failures_detected`]).
+    pub dead_surfaced: BTreeMap<usize, ()>,
+    /// Peers that broadcast an abort notice: global rank →
+    /// (blamed culprit, sender's recovery epoch at the time).
+    pub aborted_peers: BTreeMap<usize, (usize, u64)>,
+    /// Current recovery epoch; abort notices are honored only when their
+    /// epoch matches (stale pre-recovery aborts are ignored).
+    pub fault_epoch: u64,
+    /// Round counter for [`Communicator::fault_sync`].
+    pub fault_sync_seq: u64,
+    /// Set once this rank's own kill has fired; every subsequent
+    /// operation returns [`Error::RankFailed`].
+    pub died: bool,
+}
+
+/// Outcome of a fault-aware message match.
+enum Matched {
+    /// A message is available (deadline not yet checked by the caller).
+    Data(Envelope),
+    /// The awaited message was dropped by the fault plan (a tombstone is
+    /// parked in the pending buffer; it will never become data).
+    Dropped,
+    /// The source rank is dead (died at the given virtual time).
+    PeerDead(f64),
+    /// The source rank aborted the current phase blaming `culprit`.
+    PeerAborted(usize),
 }
 
 impl Inner {
-    /// Blocks until a message matching `(ctx, src, tag)` is available
-    /// and returns it, buffering any other messages that arrive first.
-    fn match_recv(&mut self, ctx: u64, src_global: usize, tag: Tag) -> Result<Envelope> {
+    /// Fault-aware matching: blocks until a message, tombstone, death
+    /// notice, or (when `honor_aborts`) current-epoch abort notice from
+    /// `src_global` resolves the receive, buffering everything else.
+    ///
+    /// Determinism: messages from one source arrive in send order (the
+    /// per-pair FIFO), and a death/abort notice is broadcast *after*
+    /// everything its sender ever sent. So by the time a notice from
+    /// `src` is recorded, every earlier message from `src` is already in
+    /// `pending` — checking `pending` first, then the notice tables,
+    /// then blocking on the channel yields the same outcome regardless
+    /// of real-time interleaving.
+    fn match_recv(
+        &mut self,
+        ctx: u64,
+        src_global: usize,
+        tag: Tag,
+        honor_aborts: bool,
+    ) -> Result<Matched> {
         let key = (ctx, src_global, tag);
         if let Some(queue) = self.pending.get_mut(&key) {
-            if let Some(env) = queue.pop_front() {
-                return Ok(env);
+            if let Some(env) = queue.front() {
+                if matches!(env.data, Payload::Tombstone { .. }) {
+                    // Leave the tombstone parked: retries must keep
+                    // observing the loss instead of blocking forever.
+                    return Ok(Matched::Dropped);
+                }
+                return Ok(Matched::Data(queue.pop_front().expect("non-empty")));
+            }
+        }
+        if let Some(&at) = self.dead_peers.get(&src_global) {
+            return Ok(Matched::PeerDead(at));
+        }
+        if honor_aborts {
+            if let Some(&(culprit, epoch)) = self.aborted_peers.get(&src_global) {
+                if epoch == self.fault_epoch {
+                    return Ok(Matched::PeerAborted(culprit));
+                }
             }
         }
         loop {
@@ -63,24 +132,134 @@ impl Inner {
                 .rx
                 .recv()
                 .map_err(|_| Error::Disconnected { peer: src_global })?;
-            if env.ctx == ctx && env.src == src_global && env.tag == tag {
-                return Ok(env);
+            match env.data {
+                Payload::Death { at } => {
+                    self.dead_peers.entry(env.src).or_insert(at);
+                    if env.src == src_global {
+                        return Ok(Matched::PeerDead(at));
+                    }
+                }
+                Payload::Abort { culprit, epoch } => {
+                    let e = self
+                        .aborted_peers
+                        .entry(env.src)
+                        .or_insert((culprit, epoch));
+                    if epoch >= e.1 {
+                        *e = (culprit, epoch);
+                    }
+                    if honor_aborts && env.src == src_global && epoch == self.fault_epoch {
+                        return Ok(Matched::PeerAborted(culprit));
+                    }
+                }
+                Payload::Tombstone { .. }
+                    if env.ctx == ctx && env.src == src_global && env.tag == tag =>
+                {
+                    self.pending.entry(key).or_default().push_back(env);
+                    return Ok(Matched::Dropped);
+                }
+                _ if env.ctx == ctx && env.src == src_global && env.tag == tag => {
+                    return Ok(Matched::Data(env));
+                }
+                _ => {
+                    self.pending
+                        .entry((env.ctx, env.src, env.tag))
+                        .or_default()
+                        .push_back(env);
+                }
             }
-            self.pending.entry((env.ctx, env.src, env.tag)).or_default().push_back(env);
         }
     }
 
-    fn post(&mut self, dst_global: usize, env: Envelope) -> Result<()> {
+    /// Returns the un-consumed envelope to the head of its queue (used
+    /// when a matched message misses its receive deadline).
+    fn unmatch(&mut self, env: Envelope) {
+        self.pending
+            .entry((env.ctx, env.src, env.tag))
+            .or_default()
+            .push_front(env);
+    }
+
+    /// Charges a surfaced failure detection: the clock moves to the
+    /// death time (a failure cannot be observed before it happened) and
+    /// the first detection of each peer is counted.
+    fn surface_death(&mut self, peer: usize, at: f64) -> Error {
+        self.clock.sync_to(at);
+        self.dead_peers.entry(peer).or_insert(at);
+        if self.dead_surfaced.insert(peer, ()).is_none() {
+            self.stats.failures_detected += 1;
+        }
+        Error::RankFailed { rank: peer }
+    }
+
+    /// Checks this rank's own scripted death: at the first communication
+    /// operation at or after the kill time, broadcasts a death notice to
+    /// every other rank (all-or-nothing: no further death checks happen
+    /// mid-broadcast) and fails every operation from then on.
+    fn check_failed(&mut self) -> Result<()> {
+        if self.died {
+            return Err(Error::RankFailed {
+                rank: self.global_rank,
+            });
+        }
+        if let Some(at) = self.plan.kill_time(self.global_rank) {
+            if self.clock.now >= at {
+                self.died = true;
+                let me = self.global_rank;
+                for dst in 0..self.world_size {
+                    if dst != me {
+                        self.stats.ctrl_msgs_sent += 1;
+                        let _ = self.endpoint.txs[dst].send(Envelope {
+                            ctx: 0,
+                            src: me,
+                            tag: 0,
+                            depart: at,
+                            seq: 0,
+                            csum: None,
+                            data: Payload::Death { at },
+                        });
+                    }
+                }
+                return Err(Error::RankFailed { rank: me });
+            }
+        }
+        Ok(())
+    }
+
+    fn post(&mut self, dst_global: usize, mut env: Envelope) -> Result<()> {
+        if self.plan.active() {
+            if let Payload::Words(v) = &mut env.data {
+                let me = self.global_rank;
+                let seq = self.link_seq[dst_global];
+                self.link_seq[dst_global] += 1;
+                env.seq = seq;
+                env.csum = Some(fault::checksum(v));
+                if self.plan.dropped(me, dst_global, seq) {
+                    self.stats.msgs_dropped += 1;
+                    self.stats.words_dropped += v.len() as u64;
+                    env.data = Payload::Tombstone { words: v.len() };
+                    env.csum = None;
+                } else if self.plan.corrupted(me, dst_global, seq) {
+                    self.plan.corrupt_payload(v, me, dst_global, seq);
+                }
+            }
+        }
         match &env.data {
             Payload::Words(v) => {
                 self.stats.msgs_sent += 1;
                 self.stats.words_sent += v.len() as u64;
             }
             Payload::Control(_) => self.stats.ctrl_msgs_sent += 1,
+            // Counted at drop/abort decision sites.
+            Payload::Tombstone { .. } | Payload::Death { .. } | Payload::Abort { .. } => {}
         }
-        self.endpoint.txs[dst_global]
-            .send(env)
-            .map_err(|_| Error::Disconnected { peer: dst_global })
+        let sent = self.endpoint.txs[dst_global].send(env);
+        if sent.is_err() && !self.plan.active() {
+            // Without faults an unreachable peer is a program bug; with
+            // faults a peer may legitimately have exited (died or gone
+            // idle after recovery), and an eager send to it is a no-op.
+            return Err(Error::Disconnected { peer: dst_global });
+        }
+        Ok(())
     }
 }
 
@@ -91,7 +270,12 @@ impl Inner {
 pub struct RecvHandle {
     ctx: u64,
     src_global: usize,
+    /// Communicator-local source rank (for error reporting).
+    src: Rank,
     tag: Tag,
+    /// Absolute virtual-time deadline for the arrival, if the receive
+    /// was posted with [`Communicator::irecv_timeout`].
+    deadline: Option<f64>,
 }
 
 /// An MPI-like communicator over a group of simulated ranks.
@@ -115,7 +299,12 @@ impl Communicator {
             let i = inner.borrow();
             (i.global_rank, i.world_size)
         };
-        Communicator { inner, ctx: 0, members: Arc::new((0..size).collect()), rank }
+        Communicator {
+            inner,
+            ctx: 0,
+            members: Arc::new((0..size).collect()),
+            rank,
+        }
     }
 
     /// This rank's index within the communicator.
@@ -135,7 +324,10 @@ impl Communicator {
         self.members
             .get(rank)
             .copied()
-            .ok_or(Error::RankOutOfRange { rank, size: self.members.len() })
+            .ok_or(Error::RankOutOfRange {
+                rank,
+                size: self.members.len(),
+            })
     }
 
     /// The network model shared by all ranks.
@@ -175,30 +367,140 @@ impl Communicator {
     pub fn send_vec(&self, dst: Rank, tag: Tag, data: Vec<f64>) -> Result<()> {
         let dst_global = self.global_rank_of(dst)?;
         let mut i = self.inner.borrow_mut();
+        i.check_failed()?;
         let env = Envelope {
             ctx: self.ctx,
             src: i.global_rank,
             tag,
             depart: i.clock.now,
+            seq: 0,
+            csum: None,
             data: Payload::Words(data),
         };
         i.post(dst_global, env)
     }
 
     /// Blocking receive of a message from `src` with `tag`. Advances the
-    /// virtual clock to `max(now, depart) + α + β·words`.
+    /// virtual clock to `max(now, depart) + α + β·words` (plus any
+    /// injected straggler delay).
+    ///
+    /// When a fault plan with a default timeout is active, behaves like
+    /// [`Communicator::recv_timeout`] with that timeout; otherwise waits
+    /// indefinitely for late messages, but still returns
+    /// [`Error::Timeout`] (with `waited = ∞`) for a message the plan
+    /// provably dropped, and [`Error::RankFailed`] /
+    /// [`Error::Aborted`] when the peer died or abandoned the phase.
     pub fn recv(&self, src: Rank, tag: Tag) -> Result<Vec<f64>> {
+        let timeout = self.inner.borrow().plan.default_timeout();
+        self.recv_deadline(src, tag, timeout)
+    }
+
+    /// Blocking receive that gives up after `timeout` virtual seconds.
+    ///
+    /// If no matching message can complete by `now + timeout`, the clock
+    /// is charged the full wait (as communication time) and
+    /// [`Error::Timeout`] is returned. A late — not dropped — message
+    /// stays buffered, so a retry that waits long enough still gets it:
+    /// see [`Communicator::recv_retry`].
+    pub fn recv_timeout(&self, src: Rank, tag: Tag, timeout: f64) -> Result<Vec<f64>> {
+        assert!(timeout > 0.0, "timeout must be positive");
+        self.recv_deadline(src, tag, Some(timeout))
+    }
+
+    /// [`Communicator::recv_timeout`] with `attempts` tries, advancing
+    /// the virtual clock by `backoff` (communication time) between
+    /// consecutive tries. Retries only on [`Error::Timeout`]; any other
+    /// error propagates immediately.
+    pub fn recv_retry(
+        &self,
+        src: Rank,
+        tag: Tag,
+        timeout: f64,
+        attempts: usize,
+        backoff: f64,
+    ) -> Result<Vec<f64>> {
+        assert!(attempts > 0, "need at least one attempt");
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let mut i = self.inner.borrow_mut();
+                i.stats.retries += 1;
+                i.clock.advance_comm(backoff);
+            }
+            match self.recv_timeout(src, tag, timeout) {
+                Err(e @ Error::Timeout { .. }) => last = Some(e),
+                other => return other,
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    fn recv_deadline(&self, src: Rank, tag: Tag, timeout: Option<f64>) -> Result<Vec<f64>> {
         let src_global = self.global_rank_of(src)?;
         let mut i = self.inner.borrow_mut();
-        let env = i.match_recv(self.ctx, src_global, tag)?;
-        let words = env.data.words();
-        let me = i.global_rank;
-        let (fa, fb) = i.topo.factors(env.src, me);
-        let transfer = fa * i.model.alpha + fb * i.model.beta * words as f64;
-        i.clock.complete_recv(env.depart, transfer);
-        match env.data {
-            Payload::Words(v) => Ok(v),
-            Payload::Control(_) => unreachable!("control payload on data tag"),
+        i.check_failed()?;
+        let deadline = timeout.map(|t| i.clock.now + t);
+        match i.match_recv(self.ctx, src_global, tag, true)? {
+            Matched::Data(env) => {
+                let words = env.data.words();
+                let me = i.global_rank;
+                let (fa, fb) = i.topo.factors(env.src, me);
+                let extra = if i.plan.active() {
+                    i.plan.extra_delay(env.src, me, env.seq)
+                } else {
+                    0.0
+                };
+                let transfer = fa * i.model.alpha + fb * i.model.beta * words as f64;
+                // A straggler delay holds the message in flight: it
+                // postpones availability (like a later departure) rather
+                // than lengthening the receiver-side transfer, so a
+                // retry that waits long enough can still catch it.
+                let avail = env.depart + extra;
+                if let Some(d) = deadline {
+                    if i.clock.now.max(avail) + transfer > d {
+                        i.unmatch(env);
+                        i.stats.timeouts += 1;
+                        i.clock.sync_to(d);
+                        return Err(Error::Timeout {
+                            rank: src,
+                            tag,
+                            waited: timeout.expect("deadline implies timeout"),
+                        });
+                    }
+                }
+                i.clock.complete_recv(avail, transfer);
+                i.stats.straggler_wait += extra;
+                if let (Some(csum), Payload::Words(v)) = (env.csum, &env.data) {
+                    if fault::checksum(v) != csum {
+                        i.stats.corrupt_detected += 1;
+                        return Err(Error::Corrupted { rank: src, tag });
+                    }
+                }
+                match env.data {
+                    Payload::Words(v) => Ok(v),
+                    _ => unreachable!("non-data payload matched on data tag"),
+                }
+            }
+            Matched::Dropped => {
+                i.stats.timeouts += 1;
+                let waited = match deadline {
+                    Some(d) => {
+                        i.clock.sync_to(d);
+                        timeout.expect("deadline implies timeout")
+                    }
+                    // No deadline, but the simulator knows the message
+                    // is lost: report an unbounded wait instead of
+                    // hanging the thread forever.
+                    None => f64::INFINITY,
+                };
+                Err(Error::Timeout {
+                    rank: src,
+                    tag,
+                    waited,
+                })
+            }
+            Matched::PeerDead(at) => Err(i.surface_death(src_global, at)),
+            Matched::PeerAborted(culprit) => Err(Error::Aborted { culprit }),
         }
     }
 
@@ -207,7 +509,10 @@ impl Communicator {
     pub fn recv_into(&self, src: Rank, tag: Tag, buf: &mut [f64]) -> Result<()> {
         let v = self.recv(src, tag)?;
         if v.len() != buf.len() {
-            return Err(Error::LengthMismatch { expected: buf.len(), got: v.len() });
+            return Err(Error::LengthMismatch {
+                expected: buf.len(),
+                got: v.len(),
+            });
         }
         buf.copy_from_slice(&v);
         Ok(())
@@ -220,22 +525,98 @@ impl Communicator {
     /// Fig. 8's overlap study. Complete with [`Communicator::wait`].
     pub fn irecv(&self, src: Rank, tag: Tag) -> Result<RecvHandle> {
         let src_global = self.global_rank_of(src)?;
-        Ok(RecvHandle { ctx: self.ctx, src_global, tag })
+        Ok(RecvHandle {
+            ctx: self.ctx,
+            src_global,
+            src,
+            tag,
+            deadline: None,
+        })
+    }
+
+    /// Like [`Communicator::irecv`] but the arrival must happen within
+    /// `timeout` virtual seconds of posting; a later arrival makes
+    /// [`Communicator::wait`] return [`Error::Timeout`] at the deadline.
+    pub fn irecv_timeout(&self, src: Rank, tag: Tag, timeout: f64) -> Result<RecvHandle> {
+        assert!(timeout > 0.0, "timeout must be positive");
+        let src_global = self.global_rank_of(src)?;
+        let deadline = Some(self.inner.borrow().clock.now + timeout);
+        Ok(RecvHandle {
+            ctx: self.ctx,
+            src_global,
+            src,
+            tag,
+            deadline,
+        })
     }
 
     /// Completes a non-blocking receive, clamping the clock forward to
-    /// the arrival time if the data is not yet there.
+    /// the arrival time if the data is not yet there. Honors the
+    /// handle's deadline (see [`Communicator::irecv_timeout`]) and
+    /// surfaces drops, peer death, and aborts like
+    /// [`Communicator::recv`].
     pub fn wait(&self, handle: RecvHandle) -> Result<Vec<f64>> {
         let mut i = self.inner.borrow_mut();
-        let env = i.match_recv(handle.ctx, handle.src_global, handle.tag)?;
-        let words = env.data.words();
-        let me = i.global_rank;
-        let (fa, fb) = i.topo.factors(env.src, me);
-        let arrival = env.depart + fa * i.model.alpha + fb * i.model.beta * words as f64;
-        i.clock.complete_wait(arrival);
-        match env.data {
-            Payload::Words(v) => Ok(v),
-            Payload::Control(_) => unreachable!("control payload on data tag"),
+        i.check_failed()?;
+        match i.match_recv(handle.ctx, handle.src_global, handle.tag, true)? {
+            Matched::Data(env) => {
+                let words = env.data.words();
+                let me = i.global_rank;
+                let (fa, fb) = i.topo.factors(env.src, me);
+                let extra = if i.plan.active() {
+                    i.plan.extra_delay(env.src, me, env.seq)
+                } else {
+                    0.0
+                };
+                let arrival =
+                    env.depart + fa * i.model.alpha + fb * i.model.beta * words as f64 + extra;
+                if let Some(d) = handle.deadline {
+                    if arrival > d {
+                        i.unmatch(env);
+                        i.stats.timeouts += 1;
+                        let waited = (d - i.clock.now).max(0.0);
+                        i.clock.sync_to(d);
+                        return Err(Error::Timeout {
+                            rank: handle.src,
+                            tag: handle.tag,
+                            waited,
+                        });
+                    }
+                }
+                i.clock.complete_wait(arrival);
+                i.stats.straggler_wait += extra;
+                if let (Some(csum), Payload::Words(v)) = (env.csum, &env.data) {
+                    if fault::checksum(v) != csum {
+                        i.stats.corrupt_detected += 1;
+                        return Err(Error::Corrupted {
+                            rank: handle.src,
+                            tag: handle.tag,
+                        });
+                    }
+                }
+                match env.data {
+                    Payload::Words(v) => Ok(v),
+                    _ => unreachable!("non-data payload matched on data tag"),
+                }
+            }
+            Matched::Dropped => {
+                i.stats.timeouts += 1;
+                let waited = match handle.deadline {
+                    Some(d) => {
+                        let w = (d - i.clock.now).max(0.0);
+                        i.clock.sync_to(d);
+                        w
+                    }
+                    None => f64::INFINITY,
+                };
+                Err(Error::Timeout {
+                    rank: handle.src,
+                    tag: handle.tag,
+                    waited,
+                })
+            }
+            Matched::PeerDead(at) => Err(i.surface_death(handle.src_global, at)),
+            Matched::PeerAborted(culprit) => Err(Error::Aborted { culprit }),
         }
     }
 
@@ -251,24 +632,33 @@ impl Communicator {
     pub fn send_control(&self, dst: Rank, tag: Tag, data: Vec<u8>) -> Result<()> {
         let dst_global = self.global_rank_of(dst)?;
         let mut i = self.inner.borrow_mut();
+        i.check_failed()?;
         let env = Envelope {
             ctx: self.ctx,
             src: i.global_rank,
             tag,
             depart: 0.0,
+            seq: 0,
+            csum: None,
             data: Payload::Control(data),
         };
         i.post(dst_global, env)
     }
 
-    /// Zero-virtual-time control-plane receive.
+    /// Zero-virtual-time control-plane receive. The control plane is
+    /// reliable (no drops/corruption), but still observes peer death.
     pub fn recv_control(&self, src: Rank, tag: Tag) -> Result<Vec<u8>> {
         let src_global = self.global_rank_of(src)?;
         let mut i = self.inner.borrow_mut();
-        let env = i.match_recv(self.ctx, src_global, tag)?;
-        match env.data {
-            Payload::Control(v) => Ok(v),
-            Payload::Words(_) => unreachable!("data payload on control tag"),
+        i.check_failed()?;
+        match i.match_recv(self.ctx, src_global, tag, false)? {
+            Matched::Data(env) => match env.data {
+                Payload::Control(v) => Ok(v),
+                _ => unreachable!("non-control payload matched on control tag"),
+            },
+            Matched::Dropped => unreachable!("control messages are never dropped"),
+            Matched::PeerDead(at) => Err(i.surface_death(src_global, at)),
+            Matched::PeerAborted(_) => unreachable!("aborts not honored on control plane"),
         }
     }
 
@@ -365,8 +755,7 @@ impl Communicator {
             .map(|(_, k, r)| (k, r))
             .collect();
         same.sort_unstable();
-        let members: Vec<usize> =
-            same.iter().map(|&(_, r)| self.members[r]).collect();
+        let members: Vec<usize> = same.iter().map(|&(_, r)| self.members[r]).collect();
         let my_global = self.members[self.rank];
         let rank = members
             .iter()
@@ -418,6 +807,193 @@ impl Communicator {
     pub fn stats(&self) -> RankStats {
         self.inner.borrow().stats
     }
+
+    /// Global ranks of this communicator's members, in rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Broadcasts an abort notice for the current data-plane phase to
+    /// every rank in the *world*, blaming global rank `culprit`. Peers
+    /// blocked on a receive from this rank unblock with
+    /// [`Error::Aborted`]; the notice is honored only while the
+    /// receiver is in the same recovery epoch (stale aborts from before
+    /// a recovery are ignored).
+    pub fn send_abort(&self, culprit: usize) -> Result<()> {
+        let mut i = self.inner.borrow_mut();
+        i.check_failed()?;
+        i.stats.aborts_sent += 1;
+        let me = i.global_rank;
+        let epoch = i.fault_epoch;
+        for dst in 0..i.world_size {
+            if dst != me {
+                i.stats.ctrl_msgs_sent += 1;
+                let _ = i.endpoint.txs[dst].send(Envelope {
+                    ctx: 0,
+                    src: me,
+                    tag: 0,
+                    depart: i.clock.now,
+                    seq: 0,
+                    csum: None,
+                    data: Payload::Abort { culprit, epoch },
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// This rank's current recovery epoch (starts at 0; bumped by
+    /// [`Communicator::advance_fault_epoch`] after each recovery).
+    pub fn fault_epoch(&self) -> u64 {
+        self.inner.borrow().fault_epoch
+    }
+
+    /// Enters the next recovery epoch: abort notices from earlier
+    /// epochs become stale and are pruned. Call on every survivor at
+    /// the same point of the recovery protocol (SPMD).
+    pub fn advance_fault_epoch(&self) {
+        let mut i = self.inner.borrow_mut();
+        i.fault_epoch += 1;
+        let epoch = i.fault_epoch;
+        i.aborted_peers.retain(|_, &mut (_, e)| e >= epoch);
+    }
+
+    /// Failure-agreement exchange: every member broadcasts `payload`
+    /// (control plane, free in virtual time) and collects every other
+    /// member's, observing deaths instead of hanging. Returns one entry
+    /// per member rank: `Some(bytes)` for a live member (own slot
+    /// included), `None` for a dead one.
+    ///
+    /// The broadcast is atomic with respect to this rank's own scripted
+    /// death — the death check runs once, before any send — so every
+    /// peer observes the same thing: either the full round or a death
+    /// notice, never a partial round. All members must call
+    /// `fault_sync` the same number of times (SPMD), like `split`.
+    pub fn fault_sync(&self, payload: Vec<u8>) -> Result<Vec<Option<Vec<u8>>>> {
+        let p = self.size();
+        let (tag, me_global) = {
+            let mut i = self.inner.borrow_mut();
+            i.check_failed()?;
+            i.fault_sync_seq += 1;
+            let tag = FAULT_SYNC_TAG + i.fault_sync_seq;
+            let me = i.global_rank;
+            for &dst_global in self.members.iter() {
+                if dst_global != me {
+                    i.stats.ctrl_msgs_sent += 1;
+                    let _ = i.endpoint.txs[dst_global].send(Envelope {
+                        ctx: self.ctx,
+                        src: me,
+                        tag,
+                        depart: 0.0,
+                        seq: 0,
+                        csum: None,
+                        data: Payload::Control(payload.clone()),
+                    });
+                }
+            }
+            (tag, me)
+        };
+        let mut out = Vec::with_capacity(p);
+        for member in 0..p {
+            let src_global = self.members[member];
+            if src_global == me_global {
+                out.push(Some(payload.clone()));
+                continue;
+            }
+            let mut i = self.inner.borrow_mut();
+            match i.match_recv(self.ctx, src_global, tag, false)? {
+                Matched::Data(env) => match env.data {
+                    Payload::Control(v) => out.push(Some(v)),
+                    _ => unreachable!("non-control payload on fault_sync tag"),
+                },
+                Matched::PeerDead(at) => {
+                    // Record + count the detection, but keep collecting:
+                    // the round must produce a full survivor picture.
+                    let _ = i.surface_death(src_global, at);
+                    out.push(None);
+                }
+                Matched::Dropped => unreachable!("control messages are never dropped"),
+                Matched::PeerAborted(_) => unreachable!("aborts not honored on control plane"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deterministically builds the communicator of survivors after the
+    /// global ranks in `dead` failed, with **no communication**: every
+    /// survivor that calls this with the same `dead` set and `epoch`
+    /// derives the same context id and member table (members keep their
+    /// relative order). Returns [`Error::RankFailed`] for a caller that
+    /// is itself in `dead`.
+    pub fn shrink_exclude(&self, dead: &[usize], epoch: u64) -> Result<Communicator> {
+        let members: Vec<usize> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|g| !dead.contains(g))
+            .collect();
+        let my_global = self.members[self.rank];
+        let rank = members
+            .iter()
+            .position(|&g| g == my_global)
+            .ok_or(Error::RankFailed { rank: my_global })?;
+        // FNV-1a over parent ctx, a shrink domain separator, the epoch,
+        // and the surviving member list.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |word: u64| {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.ctx);
+        mix(0x5352_494e_4b21); // "SRINK!" domain separator
+        mix(epoch);
+        for &g in &members {
+            mix(g as u64);
+        }
+        Ok(Communicator {
+            inner: Rc::clone(&self.inner),
+            ctx: h,
+            members: Arc::new(members),
+            rank,
+        })
+    }
+
+    /// Fast-forwards this rank's split-sequence counter to at least
+    /// `seq`. Child communicator contexts are derived from `(parent
+    /// ctx, split counter, color)`; a fault can interrupt different
+    /// ranks at different points of a collective `split` sequence,
+    /// desynchronizing the counter. Recovery protocols call this on
+    /// every survivor with the same value (e.g. `epoch * 1000`) before
+    /// rebuilding sub-communicators, restoring the invariant that all
+    /// members derive identical child contexts.
+    pub fn align_split_seq(&self, seq: u64) {
+        let mut i = self.inner.borrow_mut();
+        i.split_seq = i.split_seq.max(seq);
+    }
+
+    /// Global ranks this rank has observed to be dead, with their death
+    /// times (populated as notices are drained; a peer may be dead and
+    /// not yet observed here).
+    pub fn known_dead(&self) -> Vec<(usize, f64)> {
+        self.inner
+            .borrow()
+            .dead_peers
+            .iter()
+            .map(|(&r, &t)| (r, t))
+            .collect()
+    }
+
+    /// Records checkpoint volume written by a fault-tolerant trainer.
+    pub fn record_checkpoint_words(&self, words: u64) {
+        self.inner.borrow_mut().stats.ckpt_words += words;
+    }
+
+    /// Records virtual time a fault-tolerant trainer spent in recovery.
+    pub fn record_recovery_secs(&self, secs: f64) {
+        self.inner.borrow_mut().stats.recovery_secs += secs;
+    }
 }
 
 #[cfg(test)]
@@ -427,7 +1003,11 @@ mod tests {
 
     #[test]
     fn send_recv_roundtrip_and_timing() {
-        let model = NetModel { alpha: 1.0, beta: 0.5, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.5,
+            flops: f64::INFINITY,
+        };
         let out = World::run(2, model, |comm| {
             if comm.rank() == 0 {
                 comm.send(1, 0, &[1.0, 2.0, 3.0, 4.0]).unwrap();
@@ -444,7 +1024,11 @@ mod tests {
 
     #[test]
     fn recv_waits_for_late_sender() {
-        let model = NetModel { alpha: 1.0, beta: 0.0, flops: 1.0 };
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: 1.0,
+        };
         let out = World::run(2, model, |comm| {
             if comm.rank() == 0 {
                 comm.advance_compute(10.0);
@@ -480,7 +1064,11 @@ mod tests {
 
     #[test]
     fn overlapped_recv_is_free_when_compute_covers_it() {
-        let model = NetModel { alpha: 1.0, beta: 1.0, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 1.0,
+            flops: f64::INFINITY,
+        };
         let out = World::run(2, model, |comm| {
             if comm.rank() == 0 {
                 comm.send(1, 0, &[1.0, 1.0]).unwrap(); // departs at t=0, arrives t=3
@@ -497,7 +1085,11 @@ mod tests {
 
     #[test]
     fn overlapped_recv_clamps_when_compute_is_short() {
-        let model = NetModel { alpha: 1.0, beta: 1.0, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 1.0,
+            flops: f64::INFINITY,
+        };
         let out = World::run(2, model, |comm| {
             if comm.rank() == 0 {
                 comm.send(1, 0, &[1.0, 1.0]).unwrap(); // arrives t=3
@@ -517,7 +1109,9 @@ mod tests {
         let model = NetModel::free();
         let out = World::run(6, model, |comm| {
             // Rows of a 2x3 grid: color = rank / 3.
-            let sub = comm.split((comm.rank() / 3) as u64, comm.rank() as u64).unwrap();
+            let sub = comm
+                .split((comm.rank() / 3) as u64, comm.rank() as u64)
+                .unwrap();
             (sub.rank(), sub.size())
         });
         assert_eq!(out, vec![(0, 3), (1, 3), (2, 3), (0, 3), (1, 3), (2, 3)]);
@@ -555,14 +1149,21 @@ mod tests {
 
     #[test]
     fn barrier_equalizes_clocks() {
-        let model = NetModel { alpha: 1.0, beta: 0.0, flops: f64::INFINITY };
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
         let out = World::run(4, model, |comm| {
             comm.advance_compute(comm.rank() as f64);
             comm.barrier().unwrap();
             comm.now()
         });
         for &t in &out {
-            assert!((t - out[0]).abs() < 1e-12, "clocks equal after barrier: {out:?}");
+            assert!(
+                (t - out[0]).abs() < 1e-12,
+                "clocks equal after barrier: {out:?}"
+            );
         }
         // At least the straggler's compute (3.0) plus 2 rounds of alpha.
         assert!(out[0] >= 3.0);
@@ -573,6 +1174,224 @@ mod tests {
         let model = NetModel::free();
         let out = World::run(2, model, |comm| comm.send(5, 0, &[1.0]).unwrap_err());
         assert_eq!(out[0], Error::RankOutOfRange { rank: 5, size: 2 });
+    }
+
+    #[test]
+    fn dropped_message_times_out_instead_of_hanging() {
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
+        let plan = crate::FaultPlan::new(1).drop_nth(0, 1, 0);
+        let (out, stats) = World::run_with_faults(2, model, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &[1.0, 2.0]).unwrap();
+                Ok(vec![])
+            } else {
+                comm.recv_timeout(0, 7, 5.0)
+            }
+        });
+        assert_eq!(
+            out[1],
+            Err(Error::Timeout {
+                rank: 0,
+                tag: 7,
+                waited: 5.0
+            }),
+            "drop surfaces as a timeout"
+        );
+        assert_eq!(stats.ranks[0].msgs_dropped, 1);
+        assert_eq!(stats.ranks[0].words_dropped, 2);
+        assert_eq!(stats.ranks[1].timeouts, 1);
+        // The full wait is charged to the virtual clock as comm time.
+        assert!((stats.clocks[1].now - 5.0).abs() < 1e-12);
+        assert!((stats.clocks[1].comm - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plain_recv_of_dropped_message_reports_unbounded_wait() {
+        let model = NetModel::free();
+        let plan = crate::FaultPlan::new(1).drop_nth(0, 1, 0);
+        let (out, _) = World::run_with_faults(2, model, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &[1.0]).unwrap();
+                Ok(vec![])
+            } else {
+                comm.recv(0, 7)
+            }
+        });
+        match &out[1] {
+            Err(Error::Timeout {
+                rank: 0,
+                tag: 7,
+                waited,
+            }) => {
+                assert!(waited.is_infinite())
+            }
+            other => panic!("expected unbounded timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn late_message_is_recovered_by_retry() {
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
+        // Straggle the first message by 10s: a 6s timeout misses it,
+        // the retry (another 6s window) picks it up.
+        let plan = crate::FaultPlan::new(1).straggle(0, 1, 10.0, 0.0, crate::Span::Once(0));
+        let (out, stats) = World::run_with_faults(2, model, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, &[9.0]).unwrap();
+                (vec![], 0.0)
+            } else {
+                // Window 1 ends at t=6 < availability (t=10): timeout.
+                // Backoff to 6.5, window 2 ends at 12.5: the message
+                // (available at 10, transfer 1) completes at t=11.
+                let v = comm.recv_retry(0, 3, 6.0, 3, 0.5).unwrap();
+                (v, comm.now())
+            }
+        });
+        assert_eq!(out[1].0, vec![9.0]);
+        assert!((out[1].1 - 11.0).abs() < 1e-12, "clock: {}", out[1].1);
+        assert_eq!(stats.ranks[1].timeouts, 1, "first window expired");
+        assert_eq!(stats.ranks[1].retries, 1, "second window succeeded");
+        assert!((stats.ranks[1].straggler_wait - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupted_payload_is_detected_not_delivered() {
+        let model = NetModel::free();
+        let plan = crate::FaultPlan::new(5).corrupt_nth(0, 1, 0);
+        let (out, stats) = World::run_with_faults(2, model, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 2, &[1.0, 2.0, 3.0]).unwrap();
+                comm.send(1, 2, &[4.0, 5.0]).unwrap();
+                None
+            } else {
+                let first = comm.recv(0, 2);
+                assert_eq!(first, Err(Error::Corrupted { rank: 0, tag: 2 }));
+                Some(comm.recv(0, 2).unwrap())
+            }
+        });
+        assert_eq!(
+            out[1],
+            Some(vec![4.0, 5.0]),
+            "later clean message still delivered"
+        );
+        assert_eq!(stats.ranks[1].corrupt_detected, 1);
+    }
+
+    #[test]
+    fn killed_rank_fails_and_peers_detect_it() {
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
+        let plan = crate::FaultPlan::new(0).kill(0, 5.0);
+        let (out, stats) = World::run_with_faults(2, model, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.advance_compute(6.0); // sail past the kill time
+                let e = comm.send(1, 1, &[1.0]).unwrap_err();
+                assert_eq!(e, Error::RankFailed { rank: 0 });
+                // Every subsequent operation keeps failing.
+                assert_eq!(comm.recv(1, 1).unwrap_err(), Error::RankFailed { rank: 0 });
+                "dead"
+            } else {
+                let e = comm.recv(0, 1).unwrap_err();
+                assert_eq!(e, Error::RankFailed { rank: 0 });
+                // Detection cannot precede the death: clock >= 5.
+                assert!(comm.now() >= 5.0);
+                "survivor"
+            }
+        });
+        assert_eq!(out, vec!["dead", "survivor"]);
+        assert_eq!(stats.ranks[1].failures_detected, 1);
+        assert_eq!(stats.ranks[0].failures_detected, 0);
+    }
+
+    #[test]
+    fn fault_sync_agrees_on_survivors() {
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
+        let plan = crate::FaultPlan::new(0).kill(2, 1.0);
+        let (out, _) = World::run_with_faults(4, model, plan, |comm| {
+            comm.advance_compute(2.0);
+            if comm.rank() == 2 {
+                // Dies at its first comm op (the fault_sync broadcast).
+                assert!(comm.fault_sync(vec![2]).is_err());
+                return vec![];
+            }
+            let round = comm.fault_sync(vec![comm.rank() as u8]).unwrap();
+            round
+                .iter()
+                .map(|s| s.as_ref().map_or(255, |v| v[0]))
+                .collect::<Vec<u8>>()
+        });
+        for r in [0usize, 1, 3] {
+            assert_eq!(
+                out[r],
+                vec![0, 1, 255, 3],
+                "rank {r} sees the same survivor picture"
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_exclude_is_communication_free_and_consistent() {
+        let model = NetModel::free();
+        let plan = crate::FaultPlan::new(0); // inactive, just exercising the API
+        let (out, stats) = World::run_with_faults(4, model, plan, |comm| {
+            if comm.rank() == 2 {
+                return (0, 0, 0.0);
+            }
+            let sub = comm.shrink_exclude(&[2], 1).unwrap();
+            // The shrunken communicator is fully usable: ring exchange.
+            let peer_up = (sub.rank() + 1) % sub.size();
+            let peer_dn = (sub.rank() + sub.size() - 1) % sub.size();
+            let got = sub
+                .sendrecv(peer_up, &[sub.rank() as f64], peer_dn, 4)
+                .unwrap();
+            (sub.rank(), sub.size(), got[0])
+        });
+        assert_eq!(out[0], (0, 3, 2.0));
+        assert_eq!(out[1], (1, 3, 0.0));
+        assert_eq!(out[3], (2, 3, 1.0));
+        assert_eq!(
+            stats.ranks[0].ctrl_msgs_sent, 0,
+            "no control traffic for shrink"
+        );
+    }
+
+    #[test]
+    fn abort_unblocks_peer_and_stale_aborts_are_ignored() {
+        let model = NetModel::free();
+        let plan = crate::FaultPlan::new(0).with_default_timeout(1e6);
+        let (out, stats) = World::run_with_faults(2, model, plan, |comm| {
+            if comm.rank() == 0 {
+                // Abort the current phase instead of sending data.
+                comm.send_abort(0).unwrap();
+                // After recovery both ranks advance their epoch; the old
+                // abort must not poison the new phase.
+                comm.advance_fault_epoch();
+                comm.send(1, 8, &[7.0]).unwrap();
+                vec![]
+            } else {
+                let e = comm.recv(0, 8).unwrap_err();
+                assert_eq!(e, Error::Aborted { culprit: 0 });
+                comm.advance_fault_epoch();
+                comm.recv(0, 8).unwrap()
+            }
+        });
+        assert_eq!(out[1], vec![7.0]);
+        assert_eq!(stats.ranks[0].aborts_sent, 1);
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seedable, fully deterministic script of network
+//! and rank failures that the simulator consults at well-defined points:
+//! per-link message counters index drops / corruptions / straggler
+//! delays, and each rank's own virtual clock triggers its death. Because
+//! every decision is a pure function of `(seed, src, dst, per-link
+//! sequence number)` or of virtual time — never of wall-clock or OS
+//! scheduling — a run with faults is exactly as replayable as a run
+//! without: same plan, same program ⇒ bit-identical virtual times,
+//! losses, and recovery decisions.
+//!
+//! Fault classes:
+//!
+//! * **Stragglers** — extra latency (plus optional deterministic jitter)
+//!   added to the transfer time of messages on one `src → dst` link,
+//!   either for a single message ([`Span::Once`]) or all of them
+//!   ([`Span::All`]). Charged at the receiver like any α–β cost and
+//!   recorded in [`crate::RankStats::straggler_wait`].
+//! * **Drops** — the n-th data message on a link is silently lost. The
+//!   simulator delivers a *tombstone* in its place so the receiver's
+//!   timeout machinery can observe the loss deterministically instead of
+//!   hanging (see [`crate::Communicator::recv_timeout`]).
+//! * **Corruption** — a single bit of one payload word is flipped after
+//!   the envelope checksum is stamped, so the receiver's checksum
+//!   verification detects it ([`crate::Error::Corrupted`]). The flip
+//!   targets mantissa bits only, keeping the word finite.
+//! * **Rank death** — a rank dies at the first communication operation
+//!   at or after a virtual time `T`: it broadcasts a death notice to
+//!   every rank (so no peer can hang waiting on it) and every subsequent
+//!   operation on it returns [`crate::Error::RankFailed`].
+
+/// Which messages on a link a straggler entry applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Span {
+    /// Only the `n`-th data message on the link (0-based).
+    Once(u64),
+    /// Every data message on the link.
+    All,
+}
+
+impl Span {
+    fn matches(&self, seq: u64) -> bool {
+        match *self {
+            Span::Once(n) => seq == n,
+            Span::All => true,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Straggler {
+    src: usize,
+    dst: usize,
+    extra: f64,
+    jitter: f64,
+    span: Span,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LinkEvent {
+    src: usize,
+    dst: usize,
+    nth: u64,
+}
+
+/// A deterministic script of injected faults. See the module docs for
+/// the fault classes and their semantics.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    default_timeout: Option<f64>,
+    stragglers: Vec<Straggler>,
+    drops: Vec<LinkEvent>,
+    corruptions: Vec<LinkEvent>,
+    kills: Vec<(usize, f64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given jitter seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds `extra + jitter·u` seconds of latency (with `u` a
+    /// deterministic uniform draw in `[0, 1)` keyed on the seed and the
+    /// message's link sequence number) to messages from global rank
+    /// `src` to `dst` covered by `span`.
+    pub fn straggle(mut self, src: usize, dst: usize, extra: f64, jitter: f64, span: Span) -> Self {
+        assert!(
+            extra >= 0.0 && jitter >= 0.0,
+            "straggler delay must be non-negative"
+        );
+        self.stragglers.push(Straggler {
+            src,
+            dst,
+            extra,
+            jitter,
+            span,
+        });
+        self
+    }
+
+    /// Drops the `nth` (0-based) data message sent from `src` to `dst`.
+    pub fn drop_nth(mut self, src: usize, dst: usize, nth: u64) -> Self {
+        self.drops.push(LinkEvent { src, dst, nth });
+        self
+    }
+
+    /// Flips one payload bit of the `nth` data message from `src` to
+    /// `dst` (after its checksum is stamped, so the receiver detects it).
+    pub fn corrupt_nth(mut self, src: usize, dst: usize, nth: u64) -> Self {
+        self.corruptions.push(LinkEvent { src, dst, nth });
+        self
+    }
+
+    /// Kills global rank `rank` at its first communication operation at
+    /// or after virtual time `at`.
+    pub fn kill(mut self, rank: usize, at: f64) -> Self {
+        assert!(at >= 0.0, "kill time must be non-negative");
+        self.kills.push((rank, at));
+        self
+    }
+
+    /// Sets the deadline (in virtual seconds) that plain
+    /// [`crate::Communicator::recv`] applies when this plan is active,
+    /// so applications that never call `recv_timeout` still fail fast
+    /// instead of hanging on a dropped message.
+    pub fn with_default_timeout(mut self, timeout: f64) -> Self {
+        assert!(timeout > 0.0, "timeout must be positive");
+        self.default_timeout = Some(timeout);
+        self
+    }
+
+    /// Whether the plan injects anything at all. An inactive plan is
+    /// skipped entirely on the send/recv fast paths.
+    pub fn active(&self) -> bool {
+        !(self.stragglers.is_empty()
+            && self.drops.is_empty()
+            && self.corruptions.is_empty()
+            && self.kills.is_empty())
+            || self.default_timeout.is_some()
+    }
+
+    /// The default deadline plain `recv` applies under this plan.
+    pub fn default_timeout(&self) -> Option<f64> {
+        self.default_timeout
+    }
+
+    /// Total extra latency injected into the `seq`-th data message on
+    /// the `src → dst` link.
+    pub fn extra_delay(&self, src: usize, dst: usize, seq: u64) -> f64 {
+        let mut extra = 0.0;
+        for s in &self.stragglers {
+            if s.src == src && s.dst == dst && s.span.matches(seq) {
+                extra += s.extra + s.jitter * self.unit(src, dst, seq);
+            }
+        }
+        extra
+    }
+
+    /// Whether the `seq`-th data message on `src → dst` is dropped.
+    pub fn dropped(&self, src: usize, dst: usize, seq: u64) -> bool {
+        self.drops
+            .iter()
+            .any(|e| e.src == src && e.dst == dst && e.nth == seq)
+    }
+
+    /// Whether the `seq`-th data message on `src → dst` is corrupted.
+    pub fn corrupted(&self, src: usize, dst: usize, seq: u64) -> bool {
+        self.corruptions
+            .iter()
+            .any(|e| e.src == src && e.dst == dst && e.nth == seq)
+    }
+
+    /// The virtual time at which `rank` dies, if the plan kills it.
+    pub fn kill_time(&self, rank: usize) -> Option<f64> {
+        self.kills
+            .iter()
+            .filter(|&&(r, _)| r == rank)
+            .map(|&(_, t)| t)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+
+    /// Flips a deterministic mantissa bit of one word of `data` (the
+    /// corruption applied to a message the plan marks as corrupted).
+    pub fn corrupt_payload(&self, data: &mut [f64], src: usize, dst: usize, seq: u64) {
+        if data.is_empty() {
+            return;
+        }
+        let h = splitmix(self.seed ^ mix3(src as u64, dst as u64, seq));
+        let word = (h % data.len() as u64) as usize;
+        // Bits 0..52 are mantissa bits of an f64: flipping one perturbs
+        // the value but cannot produce an infinity or NaN.
+        let bit = (h >> 32) % 52;
+        data[word] = f64::from_bits(data[word].to_bits() ^ (1u64 << bit));
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for jitter.
+    fn unit(&self, src: usize, dst: usize, seq: u64) -> f64 {
+        let h = splitmix(self.seed ^ mix3(src as u64, dst as u64, seq));
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    splitmix(a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ splitmix(b) ^ c.rotate_left(32))
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a checksum over the bit patterns of a word payload. Stamped on
+/// every data envelope while a plan is active and re-verified by the
+/// receiver, out of band of the α–β cost model (word counts are
+/// unchanged, so cost-fidelity tests hold under fault injection).
+pub fn checksum(words: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inactive() {
+        assert!(!FaultPlan::default().active());
+        assert!(!FaultPlan::new(7).active());
+        assert!(FaultPlan::new(7).drop_nth(0, 1, 0).active());
+        assert!(FaultPlan::new(7).with_default_timeout(1.0).active());
+    }
+
+    #[test]
+    fn straggler_spans_select_messages() {
+        let p = FaultPlan::new(1).straggle(0, 1, 2.5, 0.0, Span::Once(3));
+        assert_eq!(p.extra_delay(0, 1, 3), 2.5);
+        assert_eq!(p.extra_delay(0, 1, 2), 0.0);
+        assert_eq!(p.extra_delay(1, 0, 3), 0.0, "other direction unaffected");
+        let all = FaultPlan::new(1).straggle(0, 1, 1.0, 0.0, Span::All);
+        assert_eq!(all.extra_delay(0, 1, 0), 1.0);
+        assert_eq!(all.extra_delay(0, 1, 99), 1.0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = FaultPlan::new(42).straggle(0, 1, 1.0, 0.5, Span::All);
+        let a = p.extra_delay(0, 1, 7);
+        let b = FaultPlan::new(42)
+            .straggle(0, 1, 1.0, 0.5, Span::All)
+            .extra_delay(0, 1, 7);
+        assert_eq!(a, b, "same seed, same jitter");
+        assert!((1.0..1.5).contains(&a));
+        let c = FaultPlan::new(43)
+            .straggle(0, 1, 1.0, 0.5, Span::All)
+            .extra_delay(0, 1, 7);
+        assert_ne!(a, c, "different seed, different jitter");
+    }
+
+    #[test]
+    fn drop_and_corrupt_index_by_link_sequence() {
+        let p = FaultPlan::new(0).drop_nth(2, 3, 5).corrupt_nth(3, 2, 0);
+        assert!(p.dropped(2, 3, 5));
+        assert!(!p.dropped(2, 3, 4));
+        assert!(!p.dropped(3, 2, 5));
+        assert!(p.corrupted(3, 2, 0));
+        assert!(!p.corrupted(2, 3, 0));
+    }
+
+    #[test]
+    fn kill_time_takes_earliest() {
+        let p = FaultPlan::new(0).kill(4, 10.0).kill(4, 3.0).kill(5, 1.0);
+        assert_eq!(p.kill_time(4), Some(3.0));
+        assert_eq!(p.kill_time(5), Some(1.0));
+        assert_eq!(p.kill_time(0), None);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_finite_bit() {
+        let p = FaultPlan::new(9);
+        let orig = vec![1.0, -2.5, 3.25, 0.0];
+        let mut v = orig.clone();
+        p.corrupt_payload(&mut v, 0, 1, 0);
+        let flipped: u32 = orig
+            .iter()
+            .zip(&v)
+            .map(|(a, b)| (a.to_bits() ^ b.to_bits()).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit differs");
+        assert!(v.iter().all(|x| x.is_finite()), "corruption stays finite");
+        assert_ne!(checksum(&orig), checksum(&v));
+        // Deterministic: same plan corrupts the same bit.
+        let mut w = orig.clone();
+        p.corrupt_payload(&mut w, 0, 1, 0);
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn checksum_detects_single_word_changes() {
+        let a = vec![0.5; 64];
+        let mut b = a.clone();
+        b[17] = 0.5000000001;
+        assert_ne!(checksum(&a), checksum(&b));
+        assert_eq!(checksum(&a), checksum(&a.clone()));
+        assert_eq!(checksum(&[]), checksum(&[]));
+    }
+}

@@ -45,6 +45,7 @@
 pub mod clock;
 pub mod comm;
 pub mod error;
+pub mod fault;
 pub mod netmodel;
 pub mod router;
 pub mod stats;
@@ -54,6 +55,7 @@ pub mod world;
 pub use clock::Clock;
 pub use comm::{Communicator, RecvHandle};
 pub use error::{Error, Result};
+pub use fault::{FaultPlan, Span};
 pub use netmodel::NetModel;
 pub use stats::{RankStats, WorldStats};
 pub use topology::Topology;

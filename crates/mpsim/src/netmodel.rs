@@ -32,7 +32,11 @@ impl NetModel {
     /// assert!((m.beta - 4.0 / 6e9).abs() < 1e-18);
     /// ```
     pub fn from_bandwidth(alpha: f64, bytes_per_sec: f64, word_bytes: usize, flops: f64) -> Self {
-        NetModel { alpha, beta: word_bytes as f64 / bytes_per_sec, flops }
+        NetModel {
+            alpha,
+            beta: word_bytes as f64 / bytes_per_sec,
+            flops,
+        }
     }
 
     /// The paper's Table 1 interconnect: α = 2 µs, 1/β = 6 GB/s, fp32
@@ -47,7 +51,11 @@ impl NetModel {
     /// A zero-latency, infinite-bandwidth model: collectives cost no
     /// virtual time. Useful for numerics-only tests.
     pub fn free() -> Self {
-        NetModel { alpha: 0.0, beta: 0.0, flops: f64::INFINITY }
+        NetModel {
+            alpha: 0.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        }
     }
 
     /// Time to move `words` words point-to-point: `α + β·words`.
@@ -87,7 +95,11 @@ mod tests {
 
     #[test]
     fn ptp_is_affine() {
-        let m = NetModel { alpha: 1.0, beta: 0.5, flops: 1.0 };
+        let m = NetModel {
+            alpha: 1.0,
+            beta: 0.5,
+            flops: 1.0,
+        };
         assert_eq!(m.ptp(0), 1.0);
         assert_eq!(m.ptp(4), 3.0);
     }
@@ -101,7 +113,11 @@ mod tests {
 
     #[test]
     fn compute_scales_with_rate() {
-        let m = NetModel { alpha: 0.0, beta: 0.0, flops: 2e9 };
+        let m = NetModel {
+            alpha: 0.0,
+            beta: 0.0,
+            flops: 2e9,
+        };
         assert!((m.compute(4e9) - 2.0).abs() < 1e-12);
     }
 }

@@ -22,14 +22,38 @@ pub enum Payload {
     Words(Vec<f64>),
     /// Zero-virtual-time control metadata.
     Control(Vec<u8>),
+    /// Stand-in for a data message the fault plan dropped: carries no
+    /// data, but lets the receiver's timeout machinery observe the loss
+    /// deterministically instead of blocking forever.
+    Tombstone {
+        /// Word count the lost message would have had.
+        words: usize,
+    },
+    /// Death notice: the sender died at virtual time `at`. Broadcast
+    /// once to every rank so nobody can hang waiting on the dead rank;
+    /// matched out of band (any context, any tag).
+    Death {
+        /// Sender's virtual time of death.
+        at: f64,
+    },
+    /// Collective abort notice: the sender abandoned the current
+    /// data-plane phase, blaming global rank `culprit`. Unblocks peers
+    /// mid-collective; honored only at matching recovery `epoch`.
+    Abort {
+        /// Global rank blamed for the abort.
+        culprit: usize,
+        /// Sender's recovery epoch when it aborted.
+        epoch: u64,
+    },
 }
 
 impl Payload {
-    /// Number of words charged to the network model (0 for control).
+    /// Number of words charged to the network model (0 for control and
+    /// notices; a tombstone's payload never arrives, so it charges 0).
     pub fn words(&self) -> usize {
         match self {
             Payload::Words(v) => v.len(),
-            Payload::Control(_) => 0,
+            _ => 0,
         }
     }
 }
@@ -45,6 +69,14 @@ pub struct Envelope {
     pub tag: Tag,
     /// Sender's virtual clock at the moment of send.
     pub depart: f64,
+    /// Per-link data-message sequence number (index of this message
+    /// among all data messages on its `src → dst` link). Only maintained
+    /// while a fault plan is active; 0 otherwise.
+    pub seq: u64,
+    /// FNV-1a checksum of the payload words as sent, stamped before any
+    /// injected corruption so the receiver can verify integrity. `None`
+    /// when no fault plan is active.
+    pub csum: Option<u64>,
     /// Message contents.
     pub data: Payload,
 }
@@ -67,7 +99,12 @@ pub fn build(size: usize) -> Vec<Endpoint> {
         txs.push(tx);
         rxs.push(rx);
     }
-    rxs.into_iter().map(|rx| Endpoint { rx, txs: txs.clone() }).collect()
+    rxs.into_iter()
+        .map(|rx| Endpoint {
+            rx,
+            txs: txs.clone(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -88,6 +125,8 @@ mod tests {
                 src: 0,
                 tag: 7,
                 depart: 1.25,
+                seq: 0,
+                csum: None,
                 data: Payload::Words(vec![1.0, 2.0]),
             })
             .unwrap();

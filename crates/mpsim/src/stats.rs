@@ -4,7 +4,14 @@ use crate::clock::Clock;
 
 /// Per-rank traffic counters (data-plane only; control traffic is
 /// counted separately because it is free in virtual time).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// The fault counters are only non-zero when a [`crate::FaultPlan`] is
+/// active; all of them are deterministic, because they are incremented
+/// only at points whose occurrence is a pure function of the plan and
+/// the program (send-side drops; surfaced timeouts, corruptions, and
+/// failures — never at the instant a notice happens to be drained from
+/// the transport channel, which depends on real-time interleaving).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RankStats {
     /// Number of data messages sent.
     pub msgs_sent: u64,
@@ -12,6 +19,31 @@ pub struct RankStats {
     pub words_sent: u64,
     /// Number of control messages sent.
     pub ctrl_msgs_sent: u64,
+    /// Data messages this rank sent that the fault plan dropped.
+    pub msgs_dropped: u64,
+    /// Words lost in dropped messages.
+    pub words_dropped: u64,
+    /// Receive deadlines that expired on this rank.
+    pub timeouts: u64,
+    /// Receive retries attempted after a timeout.
+    pub retries: u64,
+    /// Payloads this rank rejected after checksum verification failed.
+    pub corrupt_detected: u64,
+    /// Distinct dead peers this rank detected (each counted once).
+    pub failures_detected: u64,
+    /// Collective abort notices this rank broadcast.
+    pub aborts_sent: u64,
+    /// Virtual seconds of injected straggler delay absorbed by this
+    /// rank's receives.
+    pub straggler_wait: f64,
+    /// Words written to checkpoints by this rank (recorded by
+    /// fault-tolerant trainers via
+    /// [`crate::Communicator::record_checkpoint_words`]).
+    pub ckpt_words: u64,
+    /// Virtual seconds this rank spent in failure recovery
+    /// (re-planning, weight redistribution) — excludes replayed
+    /// training iterations, which are reported by the trainer.
+    pub recovery_secs: f64,
 }
 
 impl RankStats {
@@ -20,6 +52,16 @@ impl RankStats {
         self.msgs_sent += other.msgs_sent;
         self.words_sent += other.words_sent;
         self.ctrl_msgs_sent += other.ctrl_msgs_sent;
+        self.msgs_dropped += other.msgs_dropped;
+        self.words_dropped += other.words_dropped;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.corrupt_detected += other.corrupt_detected;
+        self.failures_detected += other.failures_detected;
+        self.aborts_sent += other.aborts_sent;
+        self.straggler_wait += other.straggler_wait;
+        self.ckpt_words += other.ckpt_words;
+        self.recovery_secs += other.recovery_secs;
     }
 }
 
@@ -58,6 +100,55 @@ impl WorldStats {
     pub fn total_msgs(&self) -> u64 {
         self.ranks.iter().map(|r| r.msgs_sent).sum()
     }
+
+    /// Total data messages dropped by the fault plan.
+    pub fn total_dropped(&self) -> u64 {
+        self.ranks.iter().map(|r| r.msgs_dropped).sum()
+    }
+
+    /// Total receive timeouts surfaced across ranks.
+    pub fn total_timeouts(&self) -> u64 {
+        self.ranks.iter().map(|r| r.timeouts).sum()
+    }
+
+    /// Total receive retries across ranks.
+    pub fn total_retries(&self) -> u64 {
+        self.ranks.iter().map(|r| r.retries).sum()
+    }
+
+    /// Total corrupt payloads detected (and discarded) across ranks.
+    pub fn total_corrupt_detected(&self) -> u64 {
+        self.ranks.iter().map(|r| r.corrupt_detected).sum()
+    }
+
+    /// Total distinct (peer, detector) failure detections across ranks.
+    pub fn total_failures_detected(&self) -> u64 {
+        self.ranks.iter().map(|r| r.failures_detected).sum()
+    }
+
+    /// Total abort notices broadcast across ranks.
+    pub fn total_aborts(&self) -> u64 {
+        self.ranks.iter().map(|r| r.aborts_sent).sum()
+    }
+
+    /// Total injected straggler delay absorbed across ranks (virtual s).
+    pub fn total_straggler_wait(&self) -> f64 {
+        self.ranks.iter().map(|r| r.straggler_wait).sum()
+    }
+
+    /// Total words checkpointed across ranks.
+    pub fn total_ckpt_words(&self) -> u64 {
+        self.ranks.iter().map(|r| r.ckpt_words).sum()
+    }
+
+    /// Largest per-rank recovery time (virtual s) — the recovery term
+    /// of the makespan.
+    pub fn max_recovery_secs(&self) -> f64 {
+        self.ranks
+            .iter()
+            .map(|r| r.recovery_secs)
+            .fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -66,10 +157,71 @@ mod tests {
 
     #[test]
     fn merge_adds_counters() {
-        let mut a = RankStats { msgs_sent: 1, words_sent: 10, ctrl_msgs_sent: 2 };
-        let b = RankStats { msgs_sent: 3, words_sent: 5, ctrl_msgs_sent: 0 };
+        let mut a = RankStats {
+            msgs_sent: 1,
+            words_sent: 10,
+            ctrl_msgs_sent: 2,
+            timeouts: 1,
+            straggler_wait: 0.5,
+            ..RankStats::default()
+        };
+        let b = RankStats {
+            msgs_sent: 3,
+            words_sent: 5,
+            msgs_dropped: 2,
+            timeouts: 4,
+            straggler_wait: 1.5,
+            ..RankStats::default()
+        };
         a.merge(&b);
-        assert_eq!(a, RankStats { msgs_sent: 4, words_sent: 15, ctrl_msgs_sent: 2 });
+        let want = RankStats {
+            msgs_sent: 4,
+            words_sent: 15,
+            ctrl_msgs_sent: 2,
+            msgs_dropped: 2,
+            timeouts: 5,
+            straggler_wait: 2.0,
+            ..RankStats::default()
+        };
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn world_fault_totals_aggregate() {
+        let stats = WorldStats {
+            ranks: vec![
+                RankStats {
+                    msgs_dropped: 1,
+                    words_dropped: 8,
+                    timeouts: 2,
+                    retries: 1,
+                    corrupt_detected: 1,
+                    failures_detected: 1,
+                    aborts_sent: 1,
+                    straggler_wait: 0.25,
+                    ckpt_words: 100,
+                    recovery_secs: 2.0,
+                    ..RankStats::default()
+                },
+                RankStats {
+                    timeouts: 1,
+                    straggler_wait: 0.75,
+                    ckpt_words: 50,
+                    recovery_secs: 3.0,
+                    ..RankStats::default()
+                },
+            ],
+            clocks: vec![Clock::default(); 2],
+        };
+        assert_eq!(stats.total_dropped(), 1);
+        assert_eq!(stats.total_timeouts(), 3);
+        assert_eq!(stats.total_retries(), 1);
+        assert_eq!(stats.total_corrupt_detected(), 1);
+        assert_eq!(stats.total_failures_detected(), 1);
+        assert_eq!(stats.total_aborts(), 1);
+        assert!((stats.total_straggler_wait() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.total_ckpt_words(), 150);
+        assert!((stats.max_recovery_secs() - 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -77,8 +229,16 @@ mod tests {
         let stats = WorldStats {
             ranks: vec![RankStats::default(); 2],
             clocks: vec![
-                Clock { now: 1.0, comm: 0.5, compute: 0.5 },
-                Clock { now: 3.0, comm: 1.0, compute: 2.0 },
+                Clock {
+                    now: 1.0,
+                    comm: 0.5,
+                    compute: 0.5,
+                },
+                Clock {
+                    now: 3.0,
+                    comm: 1.0,
+                    compute: 2.0,
+                },
             ],
         };
         assert_eq!(stats.makespan(), 3.0);

@@ -28,14 +28,22 @@ pub struct Topology {
 impl Topology {
     /// The flat network of the paper: every message pays full α/β.
     pub fn flat() -> Self {
-        Topology { node_size: 1, intra_alpha_factor: 1.0, intra_beta_factor: 1.0 }
+        Topology {
+            node_size: 1,
+            intra_alpha_factor: 1.0,
+            intra_beta_factor: 1.0,
+        }
     }
 
     /// A typical fat-node cluster: `node_size` ranks per node,
     /// intra-node messages 10× cheaper in latency and 4× in bandwidth
     /// (shared-memory transport vs NIC).
     pub fn fat_nodes(node_size: usize) -> Self {
-        Topology { node_size, intra_alpha_factor: 0.1, intra_beta_factor: 0.25 }
+        Topology {
+            node_size,
+            intra_alpha_factor: 0.1,
+            intra_beta_factor: 0.25,
+        }
     }
 
     /// Whether two global ranks share a node.

@@ -1,11 +1,13 @@
 //! Spawning a simulated world of ranks.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::clock::Clock;
 use crate::comm::{Communicator, Inner};
+use crate::fault::FaultPlan;
 use crate::netmodel::NetModel;
 use crate::router;
 use crate::stats::{RankStats, WorldStats};
@@ -85,13 +87,47 @@ impl World {
         T: Send,
         F: Fn(&Communicator) -> T + Sync,
     {
+        Self::run_topo_faults_with_stats(size, model, topo, FaultPlan::default(), f)
+    }
+
+    /// Runs under a deterministic [`FaultPlan`]: drops, stragglers,
+    /// corruption, and rank deaths are injected exactly as scripted.
+    /// Returns per-rank results and the world statistics (whose fault
+    /// counters record what was injected and detected).
+    pub fn run_with_faults<T, F>(
+        size: usize,
+        model: NetModel,
+        plan: FaultPlan,
+        f: F,
+    ) -> (Vec<T>, WorldStats)
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
+        Self::run_topo_faults_with_stats(size, model, Topology::flat(), plan, f)
+    }
+
+    /// The fully general entry point: topology + fault plan + stats.
+    pub fn run_topo_faults_with_stats<T, F>(
+        size: usize,
+        model: NetModel,
+        topo: Topology,
+        plan: FaultPlan,
+        f: F,
+    ) -> (Vec<T>, WorldStats)
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
         assert!(size > 0, "world size must be positive");
         let endpoints = router::build(size);
         let f = &f;
+        let plan = Arc::new(plan);
         let mut joined: Vec<(T, RankStats, Clock)> = Vec::with_capacity(size);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(size);
             for (rank, endpoint) in endpoints.into_iter().enumerate() {
+                let plan = Arc::clone(&plan);
                 handles.push(scope.spawn(move || {
                     let inner = Rc::new(RefCell::new(Inner {
                         global_rank: rank,
@@ -103,6 +139,14 @@ impl World {
                         topo,
                         stats: RankStats::default(),
                         split_seq: 0,
+                        plan,
+                        link_seq: vec![0; size],
+                        dead_peers: BTreeMap::new(),
+                        dead_surfaced: BTreeMap::new(),
+                        aborted_peers: BTreeMap::new(),
+                        fault_epoch: 0,
+                        fault_sync_seq: 0,
+                        died: false,
                     }));
                     let comm = Communicator::world(Rc::clone(&inner));
                     let out = f(&comm);
@@ -147,7 +191,11 @@ mod tests {
 
     #[test]
     fn stats_collects_clock_per_rank() {
-        let model = NetModel { alpha: 0.0, beta: 0.0, flops: 1e9 };
+        let model = NetModel {
+            alpha: 0.0,
+            beta: 0.0,
+            flops: 1e9,
+        };
         let (_, stats) = World::run_with_stats(3, model, |comm| {
             comm.advance_flops((comm.rank() as f64 + 1.0) * 1e9);
         });
@@ -165,26 +213,32 @@ mod tests {
     #[test]
     fn topology_scales_intra_node_messages() {
         use crate::topology::Topology;
-        let model = NetModel { alpha: 1.0, beta: 1.0, flops: f64::INFINITY };
-        let topo = Topology { node_size: 2, intra_alpha_factor: 0.5, intra_beta_factor: 0.25 };
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 1.0,
+            flops: f64::INFINITY,
+        };
+        let topo = Topology {
+            node_size: 2,
+            intra_alpha_factor: 0.5,
+            intra_beta_factor: 0.25,
+        };
         // Ranks 0 and 1 share a node; ranks 0 and 2 do not.
-        let out = World::run_topo(4, model, topo, |comm| {
-            match comm.rank() {
-                0 => {
-                    comm.send(1, 0, &[0.0; 4]).unwrap();
-                    comm.send(2, 0, &[0.0; 4]).unwrap();
-                    0.0
-                }
-                1 => {
-                    comm.recv(0, 0).unwrap();
-                    comm.now()
-                }
-                2 => {
-                    comm.recv(0, 0).unwrap();
-                    comm.now()
-                }
-                _ => 0.0,
+        let out = World::run_topo(4, model, topo, |comm| match comm.rank() {
+            0 => {
+                comm.send(1, 0, &[0.0; 4]).unwrap();
+                comm.send(2, 0, &[0.0; 4]).unwrap();
+                0.0
             }
+            1 => {
+                comm.recv(0, 0).unwrap();
+                comm.now()
+            }
+            2 => {
+                comm.recv(0, 0).unwrap();
+                comm.now()
+            }
+            _ => 0.0,
         });
         // Intra-node: 0.5*alpha + 0.25*4*beta = 1.5; inter: 1 + 4 = 5.
         assert!((out[1] - 1.5).abs() < 1e-12, "intra-node: {}", out[1]);

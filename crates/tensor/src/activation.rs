@@ -185,9 +185,9 @@ mod tests {
             for j in 0..2 {
                 let mut pp = pre.clone();
                 pp.set(i, j, pre.get(i, j) + eps);
-                let num =
-                    (tanh(&pp).as_slice().iter().sum::<f64>() - y.as_slice().iter().sum::<f64>())
-                        / eps;
+                let num = (tanh(&pp).as_slice().iter().sum::<f64>()
+                    - y.as_slice().iter().sum::<f64>())
+                    / eps;
                 assert!((num - dx.get(i, j)).abs() < 1e-5);
             }
         }

@@ -29,7 +29,13 @@ pub struct Tensor4 {
 impl Tensor4 {
     /// An all-zeros tensor.
     pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
-        Tensor4 { n, c, h, w, data: vec![0.0; n * c * h * w] }
+        Tensor4 {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
     }
 
     /// Builds a tensor element-wise.
@@ -101,7 +107,11 @@ impl Tensor4 {
     /// Copies rows `h0..h1` (all samples, channels, widths) into a new
     /// tensor — the strip a domain-parallel rank owns.
     pub fn row_strip(&self, h0: usize, h1: usize) -> Tensor4 {
-        assert!(h0 <= h1 && h1 <= self.h, "row strip {h0}..{h1} out of {}", self.h);
+        assert!(
+            h0 <= h1 && h1 <= self.h,
+            "row strip {h0}..{h1} out of {}",
+            self.h
+        );
         Tensor4::from_fn(self.n, self.c, h1 - h0, self.w, |n, c, h, w| {
             self.get(n, c, h0 + h, w)
         })
@@ -206,7 +216,11 @@ impl Conv2dParams {
 pub fn conv2d_direct(input: &Tensor4, weights: &Matrix, p: &Conv2dParams) -> Tensor4 {
     assert_eq!(input.c, p.in_c, "input channel mismatch");
     assert_eq!(weights.rows(), p.out_c, "weight rows must be out_c");
-    assert_eq!(weights.cols(), p.patch_len(), "weight cols must be in_c*kh*kw");
+    assert_eq!(
+        weights.cols(),
+        p.patch_len(),
+        "weight cols must be in_c*kh*kw"
+    );
     let (oh, ow) = p.out_hw(input.h, input.w);
     let mut out = Tensor4::zeros(input.n, p.out_c, oh, ow);
     for n in 0..input.n {
@@ -227,8 +241,7 @@ pub fn conv2d_direct(input: &Tensor4, weights: &Matrix, p: &Conv2dParams) -> Ten
                                     continue;
                                 }
                                 let widx = (ic * p.kh + ky) * p.kw + kx;
-                                acc += wrow[widx]
-                                    * input.get(n, ic, iy as usize, ix as usize);
+                                acc += wrow[widx] * input.get(n, ic, iy as usize, ix as usize);
                             }
                         }
                     }
@@ -274,13 +287,7 @@ pub fn im2col(input: &Tensor4, p: &Conv2dParams) -> Matrix {
 
 /// col2im: scatter-adds a `(in_c·kh·kw) × (n·oh·ow)` gradient matrix
 /// back onto input coordinates (the adjoint of [`im2col`]).
-pub fn col2im(
-    cols: &Matrix,
-    n: usize,
-    h: usize,
-    w: usize,
-    p: &Conv2dParams,
-) -> Tensor4 {
+pub fn col2im(cols: &Matrix, n: usize, h: usize, w: usize, p: &Conv2dParams) -> Tensor4 {
     let (oh, ow) = p.out_hw(h, w);
     assert_eq!(cols.rows(), p.patch_len(), "col2im row mismatch");
     assert_eq!(cols.cols(), n * oh * ow, "col2im col mismatch");
@@ -301,13 +308,7 @@ pub fn col2im(
                                 continue;
                             }
                             let row = (ic * p.kh + ky) * p.kw + kx;
-                            out.add_at(
-                                ni,
-                                ic,
-                                iy as usize,
-                                ix as usize,
-                                cols.get(row, col),
-                            );
+                            out.add_at(ni, ic, iy as usize, ix as usize, cols.get(row, col));
                         }
                     }
                 }
@@ -373,27 +374,57 @@ mod tests {
     }
 
     fn test_weights(p: &Conv2dParams) -> Matrix {
-        Matrix::from_fn(p.out_c, p.patch_len(), |i, j| ((i * 13 + j) as f64 * 0.07).cos())
+        Matrix::from_fn(p.out_c, p.patch_len(), |i, j| {
+            ((i * 13 + j) as f64 * 0.07).cos()
+        })
     }
 
     #[test]
     fn out_shape_formula() {
-        let p = Conv2dParams { in_c: 3, out_c: 96, kh: 11, kw: 11, stride: 4, pad: 0 };
+        let p = Conv2dParams {
+            in_c: 3,
+            out_c: 96,
+            kh: 11,
+            kw: 11,
+            stride: 4,
+            pad: 0,
+        };
         assert_eq!(p.out_hw(227, 227), (55, 55)); // AlexNet conv1
-        let p2 = Conv2dParams { in_c: 96, out_c: 256, kh: 5, kw: 5, stride: 1, pad: 2 };
+        let p2 = Conv2dParams {
+            in_c: 96,
+            out_c: 256,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 2,
+        };
         assert_eq!(p2.out_hw(27, 27), (27, 27)); // AlexNet conv2 (same-pad)
     }
 
     #[test]
     fn weight_count_matches_eq2() {
-        let p = Conv2dParams { in_c: 3, out_c: 96, kh: 11, kw: 11, stride: 4, pad: 0 };
+        let p = Conv2dParams {
+            in_c: 3,
+            out_c: 96,
+            kh: 11,
+            kw: 11,
+            stride: 4,
+            pad: 0,
+        };
         assert_eq!(p.weight_count(), 11 * 11 * 3 * 96);
     }
 
     #[test]
     fn identity_kernel_passes_through() {
         // 1x1 conv with identity channel mixing.
-        let p = Conv2dParams { in_c: 2, out_c: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let p = Conv2dParams {
+            in_c: 2,
+            out_c: 2,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let w = Matrix::eye(2);
         let x = test_input(1, 2, 4, 4);
         let y = conv2d_direct(&x, &w, &p);
@@ -403,7 +434,14 @@ mod tests {
     #[test]
     fn im2col_path_matches_direct() {
         for (stride, pad) in [(1, 0), (1, 1), (2, 0), (2, 1)] {
-            let p = Conv2dParams { in_c: 3, out_c: 4, kh: 3, kw: 3, stride, pad };
+            let p = Conv2dParams {
+                in_c: 3,
+                out_c: 4,
+                kh: 3,
+                kw: 3,
+                stride,
+                pad,
+            };
             let x = test_input(2, 3, 7, 6);
             let w = test_weights(&p);
             let direct = conv2d_direct(&x, &w, &p);
@@ -418,16 +456,22 @@ mod tests {
 
     #[test]
     fn backward_matches_finite_differences() {
-        let p = Conv2dParams { in_c: 2, out_c: 3, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let p = Conv2dParams {
+            in_c: 2,
+            out_c: 3,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         let x = test_input(1, 2, 5, 5);
         let w = test_weights(&p);
         // Loss = sum(conv(x, w)); dy = ones.
         let (oh, ow) = p.out_hw(x.h, x.w);
         let dy = Tensor4::from_fn(1, 3, oh, ow, |_, _, _, _| 1.0);
         let (dw, dx) = conv2d_backward(&x, &w, &dy, &p);
-        let loss = |w: &Matrix, x: &Tensor4| -> f64 {
-            conv2d_direct(x, w, &p).as_slice().iter().sum()
-        };
+        let loss =
+            |w: &Matrix, x: &Tensor4| -> f64 { conv2d_direct(x, w, &p).as_slice().iter().sum() };
         let eps = 1e-6;
         // Check a few weight gradients.
         for &(i, j) in &[(0, 0), (1, 5), (2, 17)] {
@@ -477,7 +521,14 @@ mod tests {
     fn one_by_one_conv_needs_no_padding_rows() {
         // The paper notes 1x1 convolutions need no halo; sanity-check
         // that their receptive field is a single pixel.
-        let p = Conv2dParams { in_c: 4, out_c: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let p = Conv2dParams {
+            in_c: 4,
+            out_c: 2,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let x = test_input(1, 4, 6, 6);
         let w = test_weights(&p);
         let full = conv2d_direct(&x, &w, &p);

@@ -31,7 +31,12 @@ pub struct LrnParams {
 impl LrnParams {
     /// AlexNet's published constants.
     pub fn alexnet() -> Self {
-        LrnParams { n: 5, k: 2.0, alpha: 1e-4, beta: 0.75 }
+        LrnParams {
+            n: 5,
+            k: 2.0,
+            alpha: 1e-4,
+            beta: 0.75,
+        }
     }
 }
 
@@ -93,9 +98,8 @@ pub fn lrn_backward(x: &Tensor4, dy: &Tensor4, p: &LrnParams) -> Tensor4 {
                 // channels in its window.
                 for cj in 0..x.c {
                     let sv = s.get(ni, cj, hi_, wi);
-                    let g = dy.get(ni, cj, hi_, wi)
-                        * x.get(ni, cj, hi_, wi)
-                        * sv.powf(-p.beta - 1.0);
+                    let g =
+                        dy.get(ni, cj, hi_, wi) * x.get(ni, cj, hi_, wi) * sv.powf(-p.beta - 1.0);
                     let (lo, hi) = window(cj, x.c, p.n);
                     for ci in lo..hi {
                         dx.add_at(ni, ci, hi_, wi, -coeff * x.get(ni, ci, hi_, wi) * g);
@@ -114,14 +118,24 @@ mod tests {
 
     #[test]
     fn identity_when_alpha_is_zero_and_k_one() {
-        let p = LrnParams { n: 5, k: 1.0, alpha: 0.0, beta: 0.75 };
+        let p = LrnParams {
+            n: 5,
+            k: 1.0,
+            alpha: 0.0,
+            beta: 0.75,
+        };
         let x = init::uniform_tensor(2, 6, 3, 3, -1.0, 1.0, 1);
         assert!(lrn_forward(&x, &p).approx_eq(&x, 1e-15));
     }
 
     #[test]
     fn suppresses_large_activations() {
-        let p = LrnParams { n: 3, k: 1.0, alpha: 1.0, beta: 1.0 };
+        let p = LrnParams {
+            n: 3,
+            k: 1.0,
+            alpha: 1.0,
+            beta: 1.0,
+        };
         let x = Tensor4::from_fn(1, 3, 1, 1, |_, c, _, _| if c == 1 { 10.0 } else { 0.1 });
         let y = lrn_forward(&x, &p);
         // The large channel is divided by ~(1 + 100/3) ≈ 34.

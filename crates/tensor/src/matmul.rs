@@ -22,13 +22,7 @@ pub fn matmul_flops(m: usize, k: usize, n: usize) -> f64 {
     2.0 * m as f64 * k as f64 * n as f64
 }
 
-fn gemm_rows(
-    c_rows: &mut [f64],
-    row0: usize,
-    nrows: usize,
-    a: &Matrix,
-    b: &Matrix,
-) {
+fn gemm_rows(c_rows: &mut [f64], row0: usize, nrows: usize, a: &Matrix, b: &Matrix) {
     let n = b.cols();
     let k_total = a.cols();
     let mut k0 = 0;

@@ -13,7 +13,11 @@ pub struct Matrix {
 impl Matrix {
     /// An all-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix element-wise from `f(row, col)`.
@@ -33,7 +37,11 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -135,7 +143,11 @@ impl Matrix {
 
     /// Copies rows `r0..r1` into a new `(r1-r0) × cols` matrix.
     pub fn row_block(&self, r0: usize, r1: usize) -> Matrix {
-        assert!(r0 <= r1 && r1 <= self.rows, "row block {r0}..{r1} out of {}", self.rows);
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row block {r0}..{r1} out of {}",
+            self.rows
+        );
         Matrix {
             rows: r1 - r0,
             cols: self.cols,
@@ -145,21 +157,28 @@ impl Matrix {
 
     /// Copies columns `c0..c1` into a new `rows × (c1-c0)` matrix.
     pub fn col_block(&self, c0: usize, c1: usize) -> Matrix {
-        assert!(c0 <= c1 && c1 <= self.cols, "col block {c0}..{c1} out of {}", self.cols);
+        assert!(
+            c0 <= c1 && c1 <= self.cols,
+            "col block {c0}..{c1} out of {}",
+            self.cols
+        );
         let w = c1 - c0;
         let mut data = Vec::with_capacity(self.rows * w);
         for i in 0..self.rows {
             data.extend_from_slice(&self.row(i)[c0..c1]);
         }
-        Matrix { rows: self.rows, cols: w, data }
+        Matrix {
+            rows: self.rows,
+            cols: w,
+            data,
+        }
     }
 
     /// Writes `block` into rows `r0..` of `self`.
     pub fn set_row_block(&mut self, r0: usize, block: &Matrix) {
         assert_eq!(block.cols, self.cols, "column count mismatch");
         assert!(r0 + block.rows <= self.rows, "row block overflows target");
-        self.data[r0 * self.cols..(r0 + block.rows) * self.cols]
-            .copy_from_slice(&block.data);
+        self.data[r0 * self.cols..(r0 + block.rows) * self.cols].copy_from_slice(&block.data);
     }
 
     /// Writes `block` into columns `c0..` of `self`.
@@ -222,8 +241,7 @@ impl fmt::Debug for Matrix {
         let show_rows = self.rows.min(6);
         for i in 0..show_rows {
             let row = self.row(i);
-            let shown: Vec<String> =
-                row.iter().take(8).map(|v| format!("{v:9.4}")).collect();
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:9.4}")).collect();
             let ell = if self.cols > 8 { ", …" } else { "" };
             writeln!(f, "  [{}{}]", shown.join(", "), ell)?;
         }

@@ -14,7 +14,10 @@ pub struct Pool2dParams {
 impl Pool2dParams {
     /// Output spatial size: `⌊(x − k)/stride⌋ + 1`.
     pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        ((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1)
+        (
+            (h - self.k) / self.stride + 1,
+            (w - self.k) / self.stride + 1,
+        )
     }
 }
 
@@ -54,12 +57,7 @@ pub fn maxpool2d(input: &Tensor4, p: &Pool2dParams) -> (Tensor4, Vec<usize>) {
 
 /// Backward max pooling: routes each output gradient to its argmax
 /// input position.
-pub fn maxpool2d_backward(
-    dy: &Tensor4,
-    argmax: &[usize],
-    in_h: usize,
-    in_w: usize,
-) -> Tensor4 {
+pub fn maxpool2d_backward(dy: &Tensor4, argmax: &[usize], in_h: usize, in_w: usize) -> Tensor4 {
     let mut dx = Tensor4::zeros(dy.n, dy.c, in_h, in_w);
     let mut ai = 0;
     for n in 0..dy.n {
@@ -99,7 +97,13 @@ mod tests {
 
     #[test]
     fn backward_routes_to_argmax() {
-        let x = Tensor4::from_fn(1, 1, 2, 2, |_, _, h, w| if (h, w) == (1, 0) { 9.0 } else { 0.0 });
+        let x = Tensor4::from_fn(
+            1,
+            1,
+            2,
+            2,
+            |_, _, h, w| if (h, w) == (1, 0) { 9.0 } else { 0.0 },
+        );
         let p = Pool2dParams { k: 2, stride: 2 };
         let (_, argmax) = maxpool2d(&x, &p);
         let dy = Tensor4::from_fn(1, 1, 1, 1, |_, _, _, _| 3.0);
@@ -110,7 +114,9 @@ mod tests {
 
     #[test]
     fn backward_matches_finite_difference() {
-        let x = Tensor4::from_fn(1, 2, 4, 4, |_, c, h, w| ((c * 16 + h * 4 + w) as f64 * 0.37).sin());
+        let x = Tensor4::from_fn(1, 2, 4, 4, |_, c, h, w| {
+            ((c * 16 + h * 4 + w) as f64 * 0.37).sin()
+        });
         let p = Pool2dParams { k: 2, stride: 2 };
         let (y, argmax) = maxpool2d(&x, &p);
         let dy = Tensor4::from_fn(1, 2, 2, 2, |_, _, _, _| 1.0);

@@ -20,22 +20,34 @@ fn main() {
     let data = gaussian_blobs(12, 4, 160, 0.4, 77);
     let net = mlp("blob-mlp", &[12, 24, 16, 4]);
     let cfg = EpochConfig {
-        sgd: SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 1e-4 },
+        sgd: SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        },
         epochs: 20,
         batch_size: 16,
         seed: 9,
     };
 
     let serial = train_epochs_serial(&net, &data, &cfg);
-    println!("serial:      per-epoch loss (first -> last): {:.4} -> {:.4}",
+    println!(
+        "serial:      per-epoch loss (first -> last): {:.4} -> {:.4}",
         serial.epoch_losses[0],
-        serial.epoch_losses.last().unwrap());
-    println!("serial:      train accuracy: {:.1}%", serial.train_accuracy * 100.0);
+        serial.epoch_losses.last().unwrap()
+    );
+    println!(
+        "serial:      train accuracy: {:.1}%",
+        serial.train_accuracy * 100.0
+    );
 
     let dist = train_epochs_1p5d(&net, &data, &cfg, 2, 2, NetModel::cori_knl());
     let preds = predict(&net, &dist.weights, &data.x);
     let acc = accuracy(&preds, &data.labels);
-    println!("distributed: train accuracy: {:.1}% on a 2x2 grid", acc * 100.0);
+    println!(
+        "distributed: train accuracy: {:.1}% on a 2x2 grid",
+        acc * 100.0
+    );
 
     let diff = serial
         .weights

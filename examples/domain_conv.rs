@@ -41,8 +41,7 @@ fn main() {
             let x_strip = x.row_strip(rng.start, rng.end);
             let dy_strip = dy.row_strip(rng.start, rng.end);
             let y_strip = forward(comm, &x_strip, &weights, &params).unwrap();
-            let (dw, dx_strip) =
-                backward(comm, &x_strip, &weights, &dy_strip, &params).unwrap();
+            let (dw, dx_strip) = backward(comm, &x_strip, &weights, &dy_strip, &params).unwrap();
             (y_strip, dw, dx_strip)
         });
 

@@ -23,13 +23,23 @@ fn main() {
     // parallelism's regime).
     let net = mlp("shape-shift", &[64, 512, 512, 8]);
     let (x, labels) = synthetic_data(&net, 32, 11);
-    let cfg = TrainConfig { lr: 0.1, iters: 5, seed: 4 };
+    let cfg = TrainConfig {
+        lr: 0.1,
+        iters: 5,
+        seed: 4,
+    };
     let serial = train_serial(&net, &x, &labels, &cfg);
     let p = 8;
 
     let schedules = [
-        ("pure batch everywhere", MixedGrids::new(p, vec![(1, 8); 3]).unwrap()),
-        ("uniform 4x2 grid", MixedGrids::new(p, vec![(4, 2); 3]).unwrap()),
+        (
+            "pure batch everywhere",
+            MixedGrids::new(p, vec![(1, 8); 3]).unwrap(),
+        ),
+        (
+            "uniform 4x2 grid",
+            MixedGrids::new(p, vec![(4, 2); 3]).unwrap(),
+        ),
         (
             "batch head, grid tail (Fig. 7)",
             MixedGrids::head_batch_tail_grid(p, 3, 1, 4, 2).unwrap(),

@@ -64,7 +64,10 @@ fn main() {
     for lc in &best.comm.layers {
         println!(
             "  {:<6} allgather {:>12.0}  dX-allreduce {:>12.0}  dW-allreduce {:>12.0}",
-            lc.name, lc.cost.allgather.words, lc.cost.dx_allreduce.words, lc.cost.dw_allreduce.words
+            lc.name,
+            lc.cost.allgather.words,
+            lc.cost.dx_allreduce.words,
+            lc.cost.dw_allreduce.words
         );
     }
 }

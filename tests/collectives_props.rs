@@ -3,12 +3,15 @@
 //! counts, payload sizes, and operators — and their executed virtual
 //! times match their closed forms for arbitrary α/β.
 
+// Rank-indexed loops mirror the formulas; see collectives/src/lib.rs.
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 
 use integrated_parallelism::collectives::alltoall::alltoall;
 use integrated_parallelism::collectives::cost;
 use integrated_parallelism::collectives::ring::{allgather_ring, allreduce_ring};
-use integrated_parallelism::collectives::{allgather, allreduce, bcast, ReduceOp};
+use integrated_parallelism::collectives::{allgather, bcast, ReduceOp};
 use integrated_parallelism::mpsim::{NetModel, World};
 
 fn contribution(rank: usize, n: usize, seed: u64) -> Vec<f64> {

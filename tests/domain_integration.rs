@@ -15,7 +15,14 @@ use integrated_parallelism::tensor::pool::{maxpool2d, Pool2dParams};
 fn general_path_agrees_with_optimized_halo_path() {
     // Same-pad 3x3 conv: both implementations must produce identical
     // strips and identical ∆W.
-    let params = Conv2dParams { in_c: 3, out_c: 4, kh: 3, kw: 3, stride: 1, pad: 1 };
+    let params = Conv2dParams {
+        in_c: 3,
+        out_c: 4,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
     let (b, h, w) = (2usize, 12usize, 6usize);
     let x = init::uniform_tensor(b, 3, h, w, -1.0, 1.0, 81);
     let wt = init::uniform(4, params.patch_len(), -0.4, 0.4, 82);
@@ -37,7 +44,10 @@ fn general_path_agrees_with_optimized_halo_path() {
         )
     });
     for (r, &(dy_, dw_, dx_)) in out.iter().enumerate() {
-        assert!(dy_ < 1e-12 && dw_ < 1e-12 && dx_ < 1e-12, "rank {r}: {dy_} {dw_} {dx_}");
+        assert!(
+            dy_ < 1e-12 && dw_ < 1e-12 && dx_ < 1e-12,
+            "rank {r}: {dy_} {dw_} {dx_}"
+        );
     }
 }
 
@@ -46,7 +56,14 @@ fn optimized_halo_moves_less_than_general_fetch_for_same_pad() {
     // The optimized path sends each boundary once; the general path
     // re-fetches in the backward pass too but must stay within a small
     // constant factor (both are boundary-proportional).
-    let params = Conv2dParams { in_c: 2, out_c: 2, kh: 3, kw: 3, stride: 1, pad: 1 };
+    let params = Conv2dParams {
+        in_c: 2,
+        out_c: 2,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
     let (b, h, w) = (2usize, 16usize, 4usize);
     let x = init::uniform_tensor(b, 2, h, w, -1.0, 1.0, 84);
     let wt = init::uniform(2, params.patch_len(), -0.4, 0.4, 85);
@@ -73,7 +90,14 @@ fn mini_alexnet_stage_chain_runs_under_domain_split() {
     // Drive the first two stages of the miniature AlexNet (strided
     // conv + overlapping pool) through the general kernels and verify
     // against serial, strip by strip.
-    let conv1 = Conv2dParams { in_c: 3, out_c: 8, kh: 7, kw: 7, stride: 2, pad: 0 };
+    let conv1 = Conv2dParams {
+        in_c: 3,
+        out_c: 8,
+        kh: 7,
+        kw: 7,
+        stride: 2,
+        pad: 0,
+    };
     let pool1 = Pool2dParams { k: 3, stride: 2 };
     let (b, h, w) = (2usize, 35usize, 35usize);
     let x = init::uniform_tensor(b, 3, h, w, -1.0, 1.0, 86);
@@ -85,8 +109,7 @@ fn mini_alexnet_stage_chain_runs_under_domain_split() {
         let rng = part_range(h, p_ranks, comm.rank());
         let strip = x.row_strip(rng.start, rng.end);
         let y1 = domain_general::conv_forward(comm, &strip, &wt, &conv1, h).unwrap();
-        let (y2, _argmax) =
-            domain_general::pool_forward(comm, &y1, &pool1, y1_ref.h).unwrap();
+        let (y2, _argmax) = domain_general::pool_forward(comm, &y1, &pool1, y1_ref.h).unwrap();
         y2
     });
     for (r, y2) in out.iter().enumerate() {

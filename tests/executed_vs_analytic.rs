@@ -18,7 +18,12 @@ use integrated_parallelism::tensor::init;
 /// A bandwidth-only machine: α = 0 so the executed ring latency and
 /// the paper's `⌈log P⌉` latency both vanish.
 fn bandwidth_only() -> (NetModel, MachineModel) {
-    let machine = MachineModel { alpha: 0.0, bandwidth: 1e6, word_bytes: 1, flops: 1.0 };
+    let machine = MachineModel {
+        alpha: 0.0,
+        bandwidth: 1e6,
+        word_bytes: 1,
+        flops: 1.0,
+    };
     let mut net = machine.net_model();
     net.flops = f64::INFINITY; // isolate communication
     (net, machine)
@@ -113,9 +118,21 @@ fn executed_pure_batch_and_model_match_eq8_degenerations() {
 fn executed_halo_forward_matches_eq7_term() {
     // An interior rank's exposed forward-halo time equals Eq. 7's
     // `α + β·B·X_W·X_C·⌊kh/2⌋` when nothing overlaps it.
-    let params = Conv2dParams { in_c: 3, out_c: 4, kh: 3, kw: 3, stride: 1, pad: 1 };
+    let params = Conv2dParams {
+        in_c: 3,
+        out_c: 4,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
     let (b, h, w) = (4usize, 16usize, 5usize);
-    let machine = MachineModel { alpha: 1e-3, bandwidth: 1e6, word_bytes: 1, flops: 1.0 };
+    let machine = MachineModel {
+        alpha: 1e-3,
+        bandwidth: 1e6,
+        word_bytes: 1,
+        flops: 1.0,
+    };
     let mut sim = machine.net_model();
     sim.flops = f64::INFINITY; // no interior compute to hide the halo
     let p_ranks = 4;
@@ -150,7 +167,14 @@ fn executed_halo_forward_matches_eq7_term() {
 fn executed_domain_backward_weight_allreduce_matches_eq7_batch_term() {
     // With a 1x1 kernel the halo vanishes and domain backward's only
     // collective is the ∆W ring all-reduce — Eq. 7's third sum.
-    let params = Conv2dParams { in_c: 4, out_c: 4, kh: 1, kw: 1, stride: 1, pad: 0 };
+    let params = Conv2dParams {
+        in_c: 4,
+        out_c: 4,
+        kh: 1,
+        kw: 1,
+        stride: 1,
+        pad: 0,
+    };
     let (b, h, w) = (2usize, 8usize, 4usize);
     let (sim, machine) = bandwidth_only();
     let p_ranks = 4;
@@ -172,7 +196,13 @@ fn executed_domain_backward_weight_allreduce_matches_eq7_batch_term() {
     });
 
     let net = NetworkBuilder::new("one-conv", Shape::new(4, h, w))
-        .layer(LayerSpec::Conv { out_c: 4, kh: 1, kw: 1, stride: 1, pad: 0 })
+        .layer(LayerSpec::Conv {
+            out_c: 4,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        })
         .build()
         .unwrap();
     let layers = net.weighted_layers();
@@ -181,4 +211,43 @@ fn executed_domain_backward_weight_allreduce_matches_eq7_batch_term() {
     for &t in &times {
         assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
     }
+}
+
+#[test]
+fn single_straggler_link_inflates_ring_allreduce_by_exactly_the_delay() {
+    use integrated_parallelism::collectives::ring::allreduce_ring;
+    use integrated_parallelism::collectives::ReduceOp;
+    use integrated_parallelism::mpsim::{FaultPlan, Span};
+
+    // Bandwidth-only, evenly dividing blocks: the fault-free ring
+    // all-reduce runs in perfect lockstep with zero slack, so a single
+    // delayed message cannot be absorbed — it must shift every rank's
+    // completion by exactly the injected delay.
+    let (sim, _machine) = bandwidth_only();
+    let p = 6usize;
+    let n = 24usize;
+    let run = |plan: FaultPlan| {
+        World::run_with_faults(p, sim, plan, |comm| {
+            let mut data = vec![(comm.rank() + 1) as f64; n];
+            allreduce_ring(comm, &mut data, ReduceOp::Sum).unwrap();
+            (data, comm.now())
+        })
+    };
+    let (clean, _) = run(FaultPlan::default());
+
+    let delay = 0.375;
+    let plan = FaultPlan::new(1).straggle(2, 3, delay, 0.0, Span::Once(0));
+    let (slow, stats) = run(plan);
+
+    for (r, ((dc, tc), (ds, ts))) in clean.iter().zip(&slow).enumerate() {
+        assert_eq!(dc, ds, "rank {r}: numbers unaffected by the straggler");
+        let inflation = ts - tc;
+        assert!(
+            (inflation - delay).abs() < 1e-12,
+            "rank {r}: inflated by {inflation}, injected {delay}"
+        );
+    }
+    // The injected wait is attributed to the receiving rank's stats.
+    assert!((stats.total_straggler_wait() - delay).abs() < 1e-12);
+    assert!((stats.ranks[3].straggler_wait - delay).abs() < 1e-12);
 }

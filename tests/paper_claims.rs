@@ -51,8 +51,7 @@ fn claim_fig7d_conv_batch_fc_grid_improves_on_fig6() {
     let c = ctx();
     let layers = c.net.weighted_layers();
     let uniform = sweep_uniform_grids(&c.net, &layers, 2048.0, 512, &c.machine, &c.compute);
-    let split =
-        sweep_conv_batch_fc_grids(&c.net, &layers, 2048.0, 512, &c.machine, &c.compute);
+    let split = sweep_conv_batch_fc_grids(&c.net, &layers, 2048.0, 512, &c.machine, &c.compute);
     let base = &split[0];
     let b = best(&split);
     let total = base.total_seconds / b.total_seconds;
@@ -68,8 +67,7 @@ fn claim_fig8_overlap_retains_speedup() {
     // [1.2, 3.0].
     let c = ctx();
     let layers = c.net.weighted_layers();
-    let split =
-        sweep_conv_batch_fc_grids(&c.net, &layers, 2048.0, 512, &c.machine, &c.compute);
+    let split = sweep_conv_batch_fc_grids(&c.net, &layers, 2048.0, 512, &c.machine, &c.compute);
     let base = &split[0];
     let base_t = fig8_total(base.comm_seconds, base.compute_seconds);
     let best_t = split
@@ -77,7 +75,10 @@ fn claim_fig8_overlap_retains_speedup() {
         .map(|e| fig8_total(e.comm_seconds, e.compute_seconds))
         .fold(f64::INFINITY, f64::min);
     let speedup = base_t / best_t;
-    assert!((1.2..3.0).contains(&speedup), "overlapped speedup {speedup}");
+    assert!(
+        (1.2..3.0).contains(&speedup),
+        "overlapped speedup {speedup}"
+    );
 }
 
 #[test]
@@ -88,8 +89,7 @@ fn claim_fig10_domain_extends_scaling_past_batch_limit() {
     let layers = c.net.weighted_layers();
     let mut prev = f64::INFINITY;
     for p in [512usize, 1024, 2048, 4096] {
-        let evals =
-            sweep_domain_strategies(&c.net, &layers, 512.0, p, &c.machine, &c.compute);
+        let evals = sweep_domain_strategies(&c.net, &layers, 512.0, p, &c.machine, &c.compute);
         let t = best(&evals).total_seconds;
         assert!(t < prev, "P={p}: {t} not faster than {prev}");
         prev = t;
@@ -135,5 +135,8 @@ fn claim_small_p_gains_are_marginal() {
     let base = &evals[0];
     let b = best(&evals);
     let speedup = base.total_seconds / b.total_seconds;
-    assert!(speedup < 1.1, "P=8 speedup should be marginal, got {speedup}");
+    assert!(
+        speedup < 1.1,
+        "P=8 speedup should be marginal, got {speedup}"
+    );
 }

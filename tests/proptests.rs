@@ -8,9 +8,7 @@ use integrated_parallelism::distmm::dist::{col_shard, part_range, row_shard};
 use integrated_parallelism::distmm::onep5d::{backward, forward, Grid};
 use integrated_parallelism::dnn::zoo::mlp;
 use integrated_parallelism::dnn::{LayerSpec, NetworkBuilder, Shape};
-use integrated_parallelism::integrated::cost::{
-    integrated_model_batch, pure_batch, pure_model,
-};
+use integrated_parallelism::integrated::cost::{integrated_model_batch, pure_batch, pure_model};
 use integrated_parallelism::integrated::memory::footprint;
 use integrated_parallelism::integrated::{MachineModel, Strategy};
 use integrated_parallelism::mpsim::{NetModel, World};
@@ -161,5 +159,75 @@ proptest! {
         prop_assert_eq!(l.weights, k * k * in_c * out_c);
         let expect_hw = (hw + 2 * (k / 2) - k) / stride + 1;
         prop_assert_eq!(l.d_out(), expect_hw * expect_hw * out_c);
+    }
+}
+
+// Fault-injection determinism: a FaultPlan is part of the program, so
+// two runs with the same plan must agree bit-for-bit — losses, virtual
+// clocks, and every recovery decision (rollback point, survivor grid).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn fault_injected_training_replays_bit_identically(
+        seed in 0u64..1_000,
+        victim in 0usize..6,
+        tenths in 3usize..8,
+    ) {
+        use integrated_parallelism::collectives::FtConfig;
+        use integrated_parallelism::integrated::ft_trainer::{train_1p5d_ft, FtTrainConfig};
+        use integrated_parallelism::integrated::trainer::synthetic_data;
+        use integrated_parallelism::mpsim::{FaultPlan, Span};
+
+        let net = mlp("ft-prop", &[10, 8, 6]);
+        let (x, labels) = synthetic_data(&net, 18, seed);
+        let cfg = FtTrainConfig {
+            lr: 0.2,
+            iters: 6,
+            seed: seed + 1,
+            ckpt_every: 2,
+            ft: FtConfig::new(10.0).with_attempts(2).with_backoff(0.5),
+            machine: MachineModel::cori_knl(),
+            ..FtTrainConfig::default()
+        };
+        let clean = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, FaultPlan::default());
+        let t_kill = clean.stats.makespan() * tenths as f64 / 10.0;
+        let plan = || {
+            FaultPlan::new(seed)
+                .kill(victim, t_kill)
+                .straggle(0, 1, 1e-6, 0.5, Span::All)
+                .corrupt_nth(1, 2, 25)
+        };
+        let a = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, plan());
+        let b = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, plan());
+
+        // Bit-identical losses and virtual clocks on every rank.
+        prop_assert_eq!(a.losses(), b.losses());
+        prop_assert_eq!(a.stats.makespan(), b.stats.makespan());
+        for (ca, cb) in a.stats.clocks.iter().zip(&b.stats.clocks) {
+            prop_assert_eq!(ca.now, cb.now);
+            prop_assert_eq!(ca.comm, cb.comm);
+        }
+        // Identical fault accounting and recovery decisions.
+        prop_assert_eq!(a.stats.total_timeouts(), b.stats.total_timeouts());
+        prop_assert_eq!(a.stats.total_aborts(), b.stats.total_aborts());
+        prop_assert_eq!(
+            a.stats.total_failures_detected(),
+            b.stats.total_failures_detected()
+        );
+        let (sa, sb) = (a.survivors(), b.survivors());
+        prop_assert_eq!(sa.len(), sb.len());
+        for (ra, rb) in sa.iter().zip(&sb) {
+            prop_assert_eq!(ra.recoveries.len(), rb.recoveries.len());
+            for (qa, qb) in ra.recoveries.iter().zip(&rb.recoveries) {
+                prop_assert_eq!(qa.rollback_iter, qb.rollback_iter);
+                prop_assert_eq!((qa.pr, qa.pc), (qb.pr, qb.pc));
+                prop_assert_eq!(&qa.dead, &qb.dead);
+                prop_assert_eq!(qa.measured_secs, qb.measured_secs);
+            }
+            for (wa, wb) in ra.weight_shards.iter().zip(&rb.weight_shards) {
+                prop_assert_eq!(wa.max_abs_diff(wb), 0.0);
+            }
+        }
     }
 }

@@ -11,14 +11,21 @@ use integrated_parallelism::mpsim::NetModel;
 use integrated_parallelism::tensor::Matrix;
 
 fn max_diff(a: &[Matrix], b: &[Matrix]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x.max_abs_diff(y)).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| x.max_abs_diff(y))
+        .fold(0.0, f64::max)
 }
 
 #[test]
 fn every_grid_of_12_ranks_reproduces_serial() {
     let net = mlp("m", &[32, 24, 18, 6]);
     let (x, labels) = synthetic_data(&net, 36, 17);
-    let cfg = TrainConfig { lr: 0.25, iters: 6, seed: 4 };
+    let cfg = TrainConfig {
+        lr: 0.25,
+        iters: 6,
+        seed: 4,
+    };
     let serial = train_serial(&net, &x, &labels, &cfg);
     for (pr, pc) in [(1, 12), (2, 6), (3, 4), (4, 3), (6, 2), (12, 1)] {
         let dist = train_1p5d(&net, &x, &labels, &cfg, pr, pc, NetModel::free());
@@ -37,7 +44,11 @@ fn uneven_batch_and_width_shards_still_match() {
     // groups: nothing divides evenly anywhere.
     let net = mlp("uneven", &[13, 30, 22, 7]);
     let (x, labels) = synthetic_data(&net, 35, 23);
-    let cfg = TrainConfig { lr: 0.15, iters: 5, seed: 9 };
+    let cfg = TrainConfig {
+        lr: 0.15,
+        iters: 5,
+        seed: 9,
+    };
     let serial = train_serial(&net, &x, &labels, &cfg);
     let dist = train_1p5d(&net, &x, &labels, &cfg, 3, 4, NetModel::free());
     assert!(max_diff(&serial.weights, &dist.weights()) < 1e-9);
@@ -47,11 +58,18 @@ fn uneven_batch_and_width_shards_still_match() {
 fn rnn_unrolled_trains_identically() {
     let net = rnn_unrolled(16, 20, 4, 5);
     let (x, labels) = synthetic_data(&net, 20, 31);
-    let cfg = TrainConfig { lr: 0.2, iters: 6, seed: 12 };
+    let cfg = TrainConfig {
+        lr: 0.2,
+        iters: 6,
+        seed: 12,
+    };
     let serial = train_serial(&net, &x, &labels, &cfg);
     for (pr, pc) in [(2, 2), (4, 1), (1, 4)] {
         let dist = train_1p5d(&net, &x, &labels, &cfg, pr, pc, NetModel::free());
-        assert!(max_diff(&serial.weights, &dist.weights()) < 1e-9, "grid {pr}x{pc}");
+        assert!(
+            max_diff(&serial.weights, &dist.weights()) < 1e-9,
+            "grid {pr}x{pc}"
+        );
     }
 }
 
@@ -61,7 +79,11 @@ fn training_reduces_loss_and_replicas_agree_under_real_network_model() {
     // bookkeeping doesn't perturb numerics.
     let net = mlp("m", &[24, 32, 8]);
     let (x, labels) = synthetic_data(&net, 32, 3);
-    let cfg = TrainConfig { lr: 0.4, iters: 20, seed: 5 };
+    let cfg = TrainConfig {
+        lr: 0.4,
+        iters: 20,
+        seed: 5,
+    };
     let dist = train_1p5d(&net, &x, &labels, &cfg, 2, 4, NetModel::cori_knl());
     let losses = dist.losses();
     assert!(losses.last().unwrap() < &(losses[0] * 0.9), "{losses:?}");
@@ -77,7 +99,11 @@ fn deeper_and_wider_grids_agree_with_each_other() {
     // close to serial).
     let net = mlp("m", &[40, 64, 48, 10]);
     let (x, labels) = synthetic_data(&net, 48, 77);
-    let cfg = TrainConfig { lr: 0.1, iters: 4, seed: 21 };
+    let cfg = TrainConfig {
+        lr: 0.1,
+        iters: 4,
+        seed: 21,
+    };
     let a = train_1p5d(&net, &x, &labels, &cfg, 2, 8, NetModel::free());
     let b = train_1p5d(&net, &x, &labels, &cfg, 8, 2, NetModel::free());
     assert!(max_diff(&a.weights(), &b.weights()) < 1e-9);

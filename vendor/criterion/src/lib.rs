@@ -1,0 +1,141 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the `bench` crate uses — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!` — as a minimal harness that
+//! runs each benchmark a fixed number of iterations and prints the
+//! mean wall time. No statistics, warm-up tuning, or HTML reports.
+
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &name.into(), 10, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Caps the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &name.into(), self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, name: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        total_nanos: 0,
+        iters: 0,
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let mean = if b.iters == 0 {
+        0.0
+    } else {
+        b.total_nanos as f64 / b.iters as f64
+    };
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!("bench {label}: {mean:.1} ns/iter ({} iters)", b.iters);
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one invocation of `routine` (the real criterion batches;
+    /// one timed call per sample is enough for a smoke harness).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Re-export for `use criterion::black_box` compatibility.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts_iters() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the one parallel-iterator chain this workspace uses —
+//! `slice.par_chunks_mut(n).enumerate().for_each(f)` — with real
+//! parallelism via `std::thread::scope`. Chunks are distributed in
+//! contiguous runs over `available_parallelism` workers; small inputs
+//! run inline to avoid spawn overhead.
+
+/// Parallel operations on mutable slices (subset of
+/// `rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of at most `chunk_size` elements,
+    /// processed in parallel by the consuming combinator.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Lazy parallel chunk iterator; consumed by [`ParChunksMut::enumerate`]
+/// or [`ParChunksMut::for_each`].
+pub struct ParChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+/// Enumerated form of [`ParChunksMut`].
+pub struct EnumerateChunksMut<'a, T: Send> {
+    inner: ParChunksMut<'a, T>,
+}
+
+/// Below this many chunks the work runs inline: thread spawn costs more
+/// than it buys.
+const MIN_CHUNKS_TO_SPAWN: usize = 2;
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut { inner: self }
+    }
+
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+impl<'a, T: Send> EnumerateChunksMut<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunk_size = self.inner.chunk_size;
+        let slice = self.inner.slice;
+        if slice.is_empty() {
+            return;
+        }
+        let chunks: Vec<&mut [T]> = slice.chunks_mut(chunk_size).collect();
+        let n_chunks = chunks.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        if n_chunks < MIN_CHUNKS_TO_SPAWN || workers <= 1 {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        let per_worker = n_chunks.div_ceil(workers.min(n_chunks));
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut rest = chunks;
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = per_worker.min(rest.len());
+                let group: Vec<&mut [T]> = rest.drain(..take).collect();
+                let start = base;
+                base += take;
+                scope.spawn(move || {
+                    for (off, chunk) in group.into_iter().enumerate() {
+                        f((start + off, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Prelude mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn enumerate_for_each_visits_every_chunk_once() {
+        let mut v: Vec<i64> = vec![0; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(blk, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = blk as i64;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 64) as i64);
+        }
+    }
+
+    #[test]
+    fn small_slices_run_inline() {
+        let mut v = vec![1, 2, 3];
+        v.par_chunks_mut(10).for_each(|c| {
+            for x in c.iter_mut() {
+                *x *= 2;
+            }
+        });
+        assert_eq!(v, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn empty_slice_is_a_noop() {
+        let mut v: Vec<u8> = Vec::new();
+        v.par_chunks_mut(4)
+            .enumerate()
+            .for_each(|_| panic!("no chunks"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for the `serde` crate: provides the
+//! `Serialize`/`Deserialize` derive macros (as no-ops) so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without network access. No serializer exists in the tree, so the
+//! traits themselves are never needed.
+
+pub use serde_derive::{Deserialize, Serialize};

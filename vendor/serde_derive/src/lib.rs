@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`: the workspace derives
+//! `Serialize`/`Deserialize` on strategy/network description types but
+//! never actually serializes them (no serde_json or similar in the
+//! tree), so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
