@@ -34,7 +34,7 @@
 //! the protocol the `integrated` crate's fault-tolerant trainer
 //! implements.
 
-use mpsim::{Communicator, Error, Result, Tag};
+use mpsim::{Communicator, Error, NetModel, Result, RetryPolicy, Tag};
 
 use crate::chunks::block_range;
 use crate::op::ReduceOp;
@@ -46,26 +46,122 @@ const FT_RD_TAG: Tag = (1 << 48) + 98;
 const FT_HALO_UP_TAG: Tag = (1 << 48) + 99;
 const FT_HALO_DOWN_TAG: Tag = (1 << 48) + 100;
 
+/// How the per-receive deadline of a fault-tolerant collective is
+/// chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Deadline {
+    /// A fixed deadline in virtual seconds, identical for every peer.
+    Fixed(f64),
+    /// Per-peer deadlines learned by the adaptive failure detector
+    /// (mean + k·σ of observed receive waits, see
+    /// [`mpsim::HealthMonitor`]), falling back to `fallback` until
+    /// enough samples exist for a peer.
+    Adaptive {
+        /// Deadline used while the detector lacks samples.
+        fallback: f64,
+    },
+}
+
+impl Deadline {
+    /// Resolves the deadline for receiving from communicator-local
+    /// rank `src` on `comm`.
+    pub fn resolve(&self, comm: &Communicator, src: usize) -> f64 {
+        match *self {
+            Deadline::Fixed(t) => t,
+            Deadline::Adaptive { fallback } => comm.adaptive_deadline(src).unwrap_or(fallback),
+        }
+    }
+
+    /// The deadline used when no peer statistics are available.
+    pub fn fallback(&self) -> f64 {
+        match *self {
+            Deadline::Fixed(t) | Deadline::Adaptive { fallback: t } => t,
+        }
+    }
+}
+
 /// Receive policy for fault-tolerant collectives.
+///
+/// Prefer deriving one from the network model
+/// ([`FtConfig::for_model`], [`FtConfig::adaptive`]) over hard-coding
+/// seconds: a deadline that is generous on one α–β point is a hair
+/// trigger on another.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FtConfig {
-    /// Deadline (virtual seconds) for each receive attempt.
-    pub timeout: f64,
+    /// Deadline policy for each receive attempt.
+    pub deadline: Deadline,
     /// Total receive attempts per message (≥ 1).
     pub attempts: usize,
-    /// Virtual seconds of backoff between attempts.
+    /// Base backoff (virtual seconds) before the second attempt.
     pub backoff: f64,
+    /// Multiplicative backoff growth per retry (1.0 = constant).
+    pub backoff_factor: f64,
+    /// Jitter fraction in `[0, 1]` stretching each backoff pause by a
+    /// deterministic per-(link, retry) draw.
+    pub jitter: f64,
+    /// After the retry schedule is exhausted by timeouts, issue one
+    /// speculative re-request with an extended window if the detector
+    /// ranks the peer *suspect but not presumed dead* (straggler
+    /// mitigation).
+    pub speculative: bool,
 }
 
 impl FtConfig {
-    /// A single-attempt policy with the given per-receive deadline.
-    pub fn new(timeout: f64) -> Self {
+    /// A single-attempt policy with a fixed per-receive deadline.
+    pub fn fixed(timeout: f64) -> Self {
         assert!(timeout > 0.0, "timeout must be positive");
         FtConfig {
-            timeout,
+            deadline: Deadline::Fixed(timeout),
             attempts: 1,
             backoff: 0.0,
+            backoff_factor: 1.0,
+            jitter: 0.0,
+            speculative: false,
         }
+    }
+
+    /// A policy derived from the α–β network model: the deadline is a
+    /// generous multiple of the point-to-point time of a
+    /// `words_hint`-word message (so only genuine faults trip it), with
+    /// three attempts under exponential, jittered backoff starting at a
+    /// few α.
+    pub fn for_model(m: &NetModel, words_hint: usize) -> Self {
+        let t = (64.0 * m.ptp(words_hint)).max(1e-9);
+        FtConfig {
+            deadline: Deadline::Fixed(t),
+            attempts: 3,
+            backoff: (4.0 * m.alpha).max(1e-12),
+            backoff_factor: 2.0,
+            jitter: 0.25,
+            speculative: false,
+        }
+    }
+
+    /// Like [`FtConfig::for_model`], but with per-peer deadlines
+    /// learned by the adaptive failure detector (the model-derived
+    /// value is only the cold-start fallback) and speculative
+    /// re-requests for suspect peers enabled.
+    pub fn adaptive(m: &NetModel, words_hint: usize) -> Self {
+        let base = FtConfig::for_model(m, words_hint);
+        FtConfig {
+            deadline: Deadline::Adaptive {
+                fallback: base.deadline.fallback(),
+            },
+            speculative: true,
+            ..base
+        }
+    }
+
+    /// A single-attempt policy with a fixed bare-seconds deadline.
+    #[deprecated(
+        since = "0.2.0",
+        note = "derive deadlines from the network model instead: use \
+                `FtConfig::for_model` / `FtConfig::adaptive`, or \
+                `FtConfig::fixed` when a bare-seconds deadline is \
+                really wanted"
+    )]
+    pub fn new(timeout: f64) -> Self {
+        FtConfig::fixed(timeout)
     }
 
     /// Sets the number of attempts per receive.
@@ -75,10 +171,36 @@ impl FtConfig {
         self
     }
 
-    /// Sets the backoff between attempts.
+    /// Sets the base backoff between attempts.
     pub fn with_backoff(mut self, backoff: f64) -> Self {
         assert!(backoff >= 0.0, "backoff must be non-negative");
         self.backoff = backoff;
+        self
+    }
+
+    /// Sets the multiplicative backoff growth per retry.
+    pub fn with_backoff_factor(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "backoff factor must be >= 1");
+        self.backoff_factor = factor;
+        self
+    }
+
+    /// Sets the backoff jitter fraction.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..=1.0).contains(&jitter), "jitter must be in [0, 1]");
+        self.jitter = jitter;
+        self
+    }
+
+    /// Enables or disables speculative re-requests for suspect peers.
+    pub fn with_speculative(mut self, speculative: bool) -> Self {
+        self.speculative = speculative;
+        self
+    }
+
+    /// Replaces the deadline policy.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
         self
     }
 }
@@ -115,7 +237,24 @@ fn guarded<T>(comm: &Communicator, body: impl FnOnce() -> Result<T>) -> Result<T
 }
 
 fn recv_ft(comm: &Communicator, src: usize, tag: Tag, cfg: &FtConfig) -> Result<Vec<f64>> {
-    comm.recv_retry(src, tag, cfg.timeout, cfg.attempts, cfg.backoff)
+    let timeout = cfg.deadline.resolve(comm, src);
+    let policy = RetryPolicy {
+        timeout,
+        attempts: cfg.attempts,
+        backoff: cfg.backoff,
+        factor: cfg.backoff_factor,
+        jitter: cfg.jitter,
+    };
+    match comm.recv_retry_policy(src, tag, &policy) {
+        // Straggler mitigation: the schedule is exhausted but the
+        // detector says the peer is merely slow, not presumed dead —
+        // grant one speculative re-request with an extended window.
+        Err(Error::Timeout { .. }) if cfg.speculative && comm.peer_suspect_not_dead(src) => {
+            comm.record_speculative_retry();
+            comm.recv_timeout(src, tag, timeout * 4.0)
+        }
+        other => other,
+    }
 }
 
 /// Fault-tolerant ring all-reduce. Fault-free behavior (values, traffic,
@@ -244,8 +383,8 @@ pub fn allgatherv_ring_ft(
 }
 
 /// Fault-tolerant 1-D halo exchange: like [`crate::halo::exchange_1d`]
-/// but each neighbour's arrival must beat a deadline of `cfg.timeout`
-/// virtual seconds from posting (measured like
+/// but each neighbour's arrival must beat the per-neighbour deadline
+/// resolved from `cfg.deadline` (measured like
 /// [`mpsim::Communicator::irecv_timeout`]); overlap with
 /// `interior_compute` is preserved. A missing/late halo surfaces as
 /// [`mpsim::Error::Timeout`] and triggers the group abort.
@@ -260,12 +399,14 @@ pub fn exchange_1d_ft<T>(
     let r = comm.rank();
     guarded(comm, || {
         let up = if r + 1 < p {
-            Some(comm.irecv_timeout(r + 1, FT_HALO_UP_TAG, cfg.timeout)?)
+            let t = cfg.deadline.resolve(comm, r + 1);
+            Some(comm.irecv_timeout(r + 1, FT_HALO_UP_TAG, t)?)
         } else {
             None
         };
         let down = if r > 0 {
-            Some(comm.irecv_timeout(r - 1, FT_HALO_DOWN_TAG, cfg.timeout)?)
+            let t = cfg.deadline.resolve(comm, r - 1);
+            Some(comm.irecv_timeout(r - 1, FT_HALO_DOWN_TAG, t)?)
         } else {
             None
         };
@@ -294,7 +435,7 @@ mod tests {
     use mpsim::{FaultPlan, NetModel, World};
 
     fn cfg() -> FtConfig {
-        FtConfig::new(1e6)
+        FtConfig::fixed(1e6)
     }
 
     #[test]
@@ -358,7 +499,7 @@ mod tests {
         let (out, _) = World::run_with_faults(5, model, plan, |comm| {
             comm.advance_compute(1.0);
             let mut data = vec![1.0; 20];
-            allreduce_ring_ft(comm, &mut data, ReduceOp::Sum, &FtConfig::new(10.0))
+            allreduce_ring_ft(comm, &mut data, ReduceOp::Sum, &FtConfig::fixed(10.0))
         });
         for (r, res) in out.iter().enumerate() {
             let e = res.as_ref().expect_err("every rank observes the failure");
@@ -381,7 +522,7 @@ mod tests {
         let plan = FaultPlan::new(11).corrupt_nth(0, 1, 0);
         let (out, stats) = World::run_with_faults(4, model, plan, |comm| {
             let mut data = vec![(comm.rank() + 1) as f64; 8];
-            allreduce_ring_ft(comm, &mut data, ReduceOp::Sum, &FtConfig::new(100.0))
+            allreduce_ring_ft(comm, &mut data, ReduceOp::Sum, &FtConfig::fixed(100.0))
         });
         // Rank 1 detects the corruption directly; everyone fails.
         assert_eq!(
@@ -412,7 +553,7 @@ mod tests {
                 comm,
                 &mut data,
                 ReduceOp::Sum,
-                &FtConfig::new(5.0).with_attempts(2).with_backoff(1.0),
+                &FtConfig::fixed(5.0).with_attempts(2).with_backoff(1.0),
             )
         });
         assert!(
@@ -441,7 +582,7 @@ mod tests {
                 comm,
                 &[r * 10.0],
                 &[r * 10.0 + 1.0],
-                &FtConfig::new(100.0),
+                &FtConfig::fixed(100.0),
                 || (),
             )
             .unwrap();
@@ -464,7 +605,7 @@ mod tests {
         };
         let plan = FaultPlan::new(4).drop_nth(1, 0, 0);
         let (out, _) = World::run_with_faults(2, model, plan, |comm| {
-            exchange_1d_ft(comm, &[5.0], &[6.0], &FtConfig::new(3.0), || ()).map(|(h, ())| h)
+            exchange_1d_ft(comm, &[5.0], &[6.0], &FtConfig::fixed(3.0), || ()).map(|(h, ())| h)
         });
         assert!(
             matches!(out[0], Err(Error::Timeout { .. })),
@@ -472,6 +613,82 @@ mod tests {
             out[0]
         );
         assert!(out[1].is_ok(), "rank 1's own halo arrived: {:?}", out[1]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_is_the_fixed_policy() {
+        assert_eq!(FtConfig::new(2.5), FtConfig::fixed(2.5));
+    }
+
+    #[test]
+    fn model_derived_policies_scale_with_the_network() {
+        let m = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
+        let c = FtConfig::for_model(&m, 1000);
+        assert_eq!(c.deadline, Deadline::Fixed(64.0 * (1e-3 + 1e-6 * 1000.0)));
+        assert_eq!(c.attempts, 3);
+        assert!((c.backoff - 4e-3).abs() < 1e-15);
+        assert_eq!(c.backoff_factor, 2.0);
+        assert!(c.jitter > 0.0 && !c.speculative);
+        let a = FtConfig::adaptive(&m, 1000);
+        assert_eq!(
+            a.deadline,
+            Deadline::Adaptive {
+                fallback: c.deadline.fallback()
+            }
+        );
+        assert!(a.speculative);
+    }
+
+    #[test]
+    fn speculative_rerequest_rescues_a_suspect_straggler() {
+        use mpsim::Span;
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
+        // Message #9 on the 0→1 link arrives ~6 s late — past the
+        // learned deadline (~mean + 4σ of the warm-up waits) but well
+        // inside the speculative window.
+        let plan = FaultPlan::new(17).straggle(0, 1, 6.0, 0.0, Span::Once(9));
+        let (out, stats) = World::run_with_faults(2, model, plan, |comm| {
+            if comm.rank() == 0 {
+                // Warm-up traffic with varied pacing so the detector
+                // learns a gap/wait distribution with real spread.
+                for k in 0..9u64 {
+                    comm.advance_compute(1.0 + (k % 3) as f64);
+                    comm.send(1, 7, &[k as f64]).unwrap();
+                }
+                comm.advance_compute(1.0);
+                comm.send(1, 7, &[9.0]).unwrap();
+                Ok(vec![])
+            } else {
+                for _ in 0..9 {
+                    comm.recv(0, 7).unwrap();
+                }
+                let learned = comm.adaptive_deadline(0).expect("detector is warm");
+                assert!(
+                    (4.0..8.0).contains(&learned),
+                    "learned deadline should be a few seconds, got {learned}"
+                );
+                let cfg = FtConfig::adaptive(&model, 1).with_attempts(1);
+                recv_ft(comm, 0, 7, &cfg)
+            }
+        });
+        assert_eq!(
+            out[1].as_deref(),
+            Ok(&[9.0][..]),
+            "the straggler was recovered speculatively"
+        );
+        assert_eq!(stats.ranks[1].timeouts, 1, "the learned deadline tripped");
+        assert_eq!(stats.ranks[1].speculative_retries, 1);
+        assert_eq!(stats.ranks[1].suspects_flagged, 1);
+        assert!(stats.ranks[1].straggler_wait > 0.0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod op;
 pub mod recursive;
 pub mod ring;
 
-pub use ft::FtConfig;
+pub use ft::{Deadline, FtConfig};
 pub use op::ReduceOp;
 
 use mpsim::{Communicator, Result};

@@ -5,6 +5,7 @@ use collectives::cost::{ceil_log2, frac, CostTerms};
 use dnn::WeightedLayer;
 
 use super::{CommCost, CostBreakdown};
+use crate::machine::MachineModel;
 use crate::strategy::LayerParallelism;
 
 /// Eq. 8 — integrated model+batch parallelism on a `Pr × Pc` grid with
@@ -42,6 +43,39 @@ pub fn integrated_model_batch(
         out.push(&l.name, c);
     }
     out
+}
+
+/// Eq. 8 grid choice for `p` ranks: the divisor pair `(pr, pc)`
+/// minimizing the analytic communication time on `machine`, subject to
+/// every rank keeping a non-empty weight shard (`pr ≤ min dᵢ`) and a
+/// non-empty batch shard (`pc ≤ b`). This is the planner both the
+/// strategy search and the elastic trainer's shrink/regrow use, so a
+/// regrown grid provably lands back on the same `(pr, pc)` the original
+/// plan chose.
+pub fn best_grid(
+    layers: &[WeightedLayer],
+    b: f64,
+    p: usize,
+    machine: &MachineModel,
+) -> (usize, usize) {
+    let max_pr = layers.iter().map(|l| l.d_out()).min().unwrap_or(1);
+    let mut best = (1, p);
+    let mut best_t = f64::INFINITY;
+    for pr in 1..=p.min(max_pr) {
+        if p % pr != 0 {
+            continue;
+        }
+        let pc = p / pr;
+        if pc as f64 > b {
+            continue;
+        }
+        let t = integrated_model_batch(layers, b, pr, pc).seconds(machine);
+        if t < best_t {
+            best_t = t;
+            best = (pr, pc);
+        }
+    }
+    best
 }
 
 /// The Eq. 9 cost of a single layer under an explicit parallelism

@@ -25,7 +25,7 @@ pub mod integrated;
 pub mod pure;
 
 pub use crossover::{batch_over_model_volume_ratio, crossover_batch};
-pub use integrated::{integrated_full, integrated_model_batch};
+pub use integrated::{best_grid, integrated_full, integrated_model_batch};
 pub use pure::{pure_batch, pure_domain, pure_model, redistribution};
 
 use collectives::cost::CostTerms;

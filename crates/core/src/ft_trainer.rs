@@ -79,14 +79,20 @@ pub struct FtTrainConfig {
 
 impl Default for FtTrainConfig {
     fn default() -> Self {
+        let machine = MachineModel::cori_knl();
+        // Deadlines derived from the machine's α–β point (a fixed
+        // seconds value that is generous on one network is a hair
+        // trigger on another), with per-peer adaptive tightening and
+        // speculative re-requests for stragglers.
+        let ft = FtConfig::adaptive(&machine.net_model(), 4096).with_attempts(2);
         FtTrainConfig {
             lr: 0.1,
             momentum: 0.0,
             iters: 10,
             seed: 7,
             ckpt_every: 2,
-            ft: FtConfig::new(1.0).with_attempts(2).with_backoff(0.125),
-            machine: MachineModel::cori_knl(),
+            ft,
+            machine,
         }
     }
 }
@@ -101,9 +107,11 @@ pub struct RecoveryReport {
     pub rollback_iter: usize,
     /// Cumulative dead global ranks at this recovery.
     pub dead: Vec<usize>,
-    /// New grid extents after the shrink.
+    /// Previously-dead ranks re-admitted (rejoined) by this recovery.
+    pub rejoined: Vec<usize>,
+    /// New grid extents after the shrink (or regrow).
     pub pr: usize,
-    /// New grid extents after the shrink.
+    /// New grid extents after the shrink (or regrow).
     pub pc: usize,
     /// Virtual seconds this rank spent in the committed attempt
     /// (epoch bump through commit: re-plan, redistribution, re-shard).
@@ -137,6 +145,11 @@ pub struct FtRankOutcome {
     /// grid (iterations since the last recovery) — the executed
     /// degraded-mode cost.
     pub comm_secs_per_iter: f64,
+    /// Measured mean wall-clock (virtual) seconds per iteration on the
+    /// final grid (iterations since the last recovery) — compare the
+    /// post-rejoin value against a fault-free run to bound the residual
+    /// cost of elasticity.
+    pub step_secs_per_iter: f64,
 }
 
 /// Outcome of a fault-tolerant distributed run.
@@ -204,24 +217,7 @@ pub fn plan_grid(
     p: usize,
     machine: &MachineModel,
 ) -> (usize, usize) {
-    let max_pr = layers.iter().map(|l| l.d_out()).min().unwrap_or(1);
-    let mut best = (1, p);
-    let mut best_t = f64::INFINITY;
-    for pr in 1..=p.min(max_pr) {
-        if p % pr != 0 {
-            continue;
-        }
-        let pc = p / pr;
-        if pc as f64 > b {
-            continue;
-        }
-        let t = integrated_model_batch(layers, b, pr, pc).seconds(machine);
-        if t < best_t {
-            best_t = t;
-            best = (pr, pc);
-        }
-    }
-    best
+    crate::cost::best_grid(layers, b, p, machine)
 }
 
 /// Faults are handled by abort-and-recover; anything else — including
@@ -234,18 +230,155 @@ fn recoverable(e: &Error, my_global: usize) -> bool {
     }
 }
 
-fn encode_round(iter: usize, last_ckpt: usize, aborted: bool) -> Vec<u8> {
-    let mut v = Vec::with_capacity(17);
-    v.extend_from_slice(&(iter as u64).to_le_bytes());
-    v.extend_from_slice(&(last_ckpt as u64).to_le_bytes());
-    v.push(aborted as u8);
+const FLAG_ABORTED: u8 = 1;
+const FLAG_HAS_STATE: u8 = 2;
+
+/// What a live rank reports in each agreement round.
+struct RoundMsg {
+    iter: usize,
+    last_ckpt: usize,
+    aborted: bool,
+    /// Whether this rank holds committed training state. Re-admitted
+    /// rejoiners report `false` until a recovery commits, and their
+    /// `last_ckpt` is excluded from the rollback-target minimum.
+    has_state: bool,
+    /// Excluded ranks whose scripted rejoin time has passed on this
+    /// rank's clock. The union over the round is the admission set —
+    /// identical on every member, so admission is common knowledge.
+    ready: Vec<usize>,
+}
+
+fn encode_round(m: &RoundMsg) -> Vec<u8> {
+    let mut v = Vec::with_capacity(25 + 8 * m.ready.len());
+    v.extend_from_slice(&(m.iter as u64).to_le_bytes());
+    v.extend_from_slice(&(m.last_ckpt as u64).to_le_bytes());
+    v.push(((m.aborted as u8) * FLAG_ABORTED) | ((m.has_state as u8) * FLAG_HAS_STATE));
+    v.extend_from_slice(&(m.ready.len() as u64).to_le_bytes());
+    for &g in &m.ready {
+        v.extend_from_slice(&(g as u64).to_le_bytes());
+    }
     v
 }
 
-fn decode_round(b: &[u8]) -> (usize, usize, bool) {
-    let iter = u64::from_le_bytes(b[0..8].try_into().expect("iter"));
-    let ckpt = u64::from_le_bytes(b[8..16].try_into().expect("ckpt"));
-    (iter as usize, ckpt as usize, b[16] != 0)
+fn read_u64(b: &[u8], at: &mut usize) -> u64 {
+    let v = u64::from_le_bytes(b[*at..*at + 8].try_into().expect("u64 field"));
+    *at += 8;
+    v
+}
+
+fn read_list(b: &[u8], at: &mut usize) -> Vec<usize> {
+    let n = read_u64(b, at) as usize;
+    (0..n).map(|_| read_u64(b, at) as usize).collect()
+}
+
+fn decode_round(b: &[u8]) -> RoundMsg {
+    let mut at = 0;
+    let iter = read_u64(b, &mut at) as usize;
+    let last_ckpt = read_u64(b, &mut at) as usize;
+    let flags = b[at];
+    at += 1;
+    let ready = read_list(b, &mut at);
+    RoundMsg {
+        iter,
+        last_ckpt,
+        aborted: flags & FLAG_ABORTED != 0,
+        has_state: flags & FLAG_HAS_STATE != 0,
+        ready,
+    }
+}
+
+/// Control tag carrying welcome messages to re-admitted ranks, far
+/// above the fault-sync tag range.
+const WELCOME_TAG: u64 = (1 << 48) + (1 << 20);
+
+/// The state snapshot survivors hand a re-admitted rank so it can enter
+/// the in-progress recovery epoch as if it had been present: every
+/// sender's copy is byte-identical (all fields are common knowledge),
+/// so the real-time race over which welcome arrives first is harmless.
+#[derive(Debug, Clone, PartialEq)]
+struct Welcome {
+    /// Recovery epoch the survivors just entered.
+    epoch: u64,
+    /// Survivors' fault-sync round counter after the admission round.
+    seq: u64,
+    /// Agreed rollback iteration.
+    target: usize,
+    /// Extents of the last committed grid.
+    old_pr: usize,
+    /// Extents of the last committed grid.
+    old_pc: usize,
+    /// Ranks still excluded after this admission.
+    excluded: Vec<usize>,
+    /// Ranks admitted but not yet holding state (this rank included).
+    stateless: Vec<usize>,
+    /// Members of the last committed grid, in grid row-major order.
+    old_members: Vec<usize>,
+    /// Global loss history (identical on every survivor).
+    losses: Vec<f64>,
+}
+
+fn encode_welcome(w: &Welcome) -> Vec<u8> {
+    let mut v = Vec::new();
+    v.extend_from_slice(&w.epoch.to_le_bytes());
+    v.extend_from_slice(&w.seq.to_le_bytes());
+    v.extend_from_slice(&(w.target as u64).to_le_bytes());
+    v.extend_from_slice(&(w.old_pr as u64).to_le_bytes());
+    v.extend_from_slice(&(w.old_pc as u64).to_le_bytes());
+    for list in [&w.excluded, &w.stateless, &w.old_members] {
+        v.extend_from_slice(&(list.len() as u64).to_le_bytes());
+        for &g in list {
+            v.extend_from_slice(&(g as u64).to_le_bytes());
+        }
+    }
+    v.extend_from_slice(&(w.losses.len() as u64).to_le_bytes());
+    for &l in &w.losses {
+        v.extend_from_slice(&l.to_le_bytes());
+    }
+    v
+}
+
+fn decode_welcome(b: &[u8]) -> Welcome {
+    let mut at = 0;
+    let epoch = read_u64(b, &mut at);
+    let seq = read_u64(b, &mut at);
+    let target = read_u64(b, &mut at) as usize;
+    let old_pr = read_u64(b, &mut at) as usize;
+    let old_pc = read_u64(b, &mut at) as usize;
+    let excluded = read_list(b, &mut at);
+    let stateless = read_list(b, &mut at);
+    let old_members = read_list(b, &mut at);
+    let n = read_u64(b, &mut at) as usize;
+    let losses = (0..n)
+        .map(|_| {
+            let v = f64::from_le_bytes(b[at..at + 8].try_into().expect("loss"));
+            at += 8;
+            v
+        })
+        .collect();
+    Welcome {
+        epoch,
+        seq,
+        target,
+        old_pr,
+        old_pc,
+        excluded,
+        stateless,
+        old_members,
+        losses,
+    }
+}
+
+/// Blocks a revived rank until a welcome for a *new* epoch arrives
+/// (welcomes from admissions in a previous life of this rank carry an
+/// epoch it has already seen and are skipped).
+fn wait_welcome(comm: &Communicator) -> Result<Welcome, Error> {
+    loop {
+        let bytes = comm.await_control_any(WELCOME_TAG)?;
+        let w = decode_welcome(&bytes);
+        if w.epoch > comm.fault_epoch() {
+            return Ok(w);
+        }
+    }
 }
 
 /// A consistent snapshot a rank can roll back to: shards are laid out
@@ -328,15 +461,22 @@ struct GridState {
     iter: usize,
 }
 
-/// One recovery attempt (fallible part): shrink, re-plan, redistribute
+/// One recovery attempt (fallible part): shrink (or regrow, when
+/// `dead` no longer contains re-admitted ranks), re-plan, redistribute
 /// the agreed checkpoint, re-shard. Committed by the caller only after
-/// a confirmation round.
+/// a confirmation round. `old_members` is the last *committed* grid in
+/// row-major order; `stateless` are live participants without state
+/// (re-admitted rejoiners), who contribute nothing to redistribution
+/// and must not be picked as checkpoint representatives.
 #[allow(clippy::too_many_arguments)]
 fn attempt_recovery(
     comm: &Communicator,
     epoch: u64,
     dead: &[usize],
-    old: &GridState,
+    old_pr: usize,
+    old_pc: usize,
+    old_members: &[usize],
+    stateless: &[usize],
     ck: &Checkpoint,
     layers: &[FcLayer],
     wlayers: &[WeightedLayer],
@@ -348,13 +488,17 @@ fn attempt_recovery(
     let alive = comm.shrink_exclude(dead, epoch)?;
     let b_global = x.cols();
 
-    // Representative survivor for each old grid row (rows are
-    // contiguous in the old member list: Grid::new is row-major).
-    let old_pr = old.grid.pr;
-    let old_pc = old.grid.pc;
+    // Representative holder of each old grid row's checkpoint shard
+    // (rows are contiguous in the old member list: Grid::new is
+    // row-major). A rank that died and was re-admitted within the same
+    // recovery window is alive but stateless — never a representative.
     let mut reps = Vec::with_capacity(old_pr);
-    for (i, row) in old.members.chunks(old_pc).enumerate() {
-        match row.iter().copied().find(|g| !dead.contains(g)) {
+    for (i, row) in old_members.chunks(old_pc).enumerate() {
+        match row
+            .iter()
+            .copied()
+            .find(|g| !dead.contains(g) && !stateless.contains(g))
+        {
             Some(g) => reps.push(g),
             None => {
                 return Err(Error::CollectiveMismatch(format!(
@@ -363,18 +507,17 @@ fn attempt_recovery(
             }
         }
     }
-    let my_old_i = old
-        .members
+    // A joiner is not in the old member list and serves nothing.
+    let my_old_i = old_members
         .iter()
         .position(|&g| g == my_global)
-        .expect("survivor")
-        / old_pc;
+        .map(|p| p / old_pc);
 
     // Redistribute: each row's representative serves its checkpoint
     // shard; everyone assembles the full matrices (data plane, so the
     // cost lands on the virtual clock).
     let gather_full = |shards: &[Matrix], d_out: usize, d_in: usize, l: usize| {
-        let mine: &[f64] = if reps[my_old_i] == my_global {
+        let mine: &[f64] = if my_old_i.is_some_and(|i| reps[i] == my_global) {
             shards[l].as_slice()
         } else {
             &[]
@@ -431,9 +574,379 @@ fn attempt_recovery(
     ))
 }
 
+/// How a rank enters the training loop: from scratch, or mid-run as a
+/// revived rank armed with the survivors' welcome.
+enum Entry {
+    Fresh,
+    Rejoin(Welcome),
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// One life of one rank: the round/train/recover loop. Returns when
+/// training completes or the rank fails; a scripted death surfaces as
+/// `RankFailed` on itself, which the caller may turn into a rejoin.
+#[allow(clippy::too_many_arguments)]
+fn run_rank(
+    comm: &Communicator,
+    entry: Entry,
+    layers: &[FcLayer],
+    wlayers: &[WeightedLayer],
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &FtTrainConfig,
+    pr0: usize,
+    pc0: usize,
+) -> Result<FtRankOutcome, Error> {
+    let my_global = comm.global_rank_of(comm.rank())?;
+    let b_global = x.cols();
+
+    // `member` is the committed grid state; `None` for a re-admitted
+    // rank between its welcome and its first committed recovery. The
+    // old view (last committed grid, row-major) is what recovery
+    // redistributes from.
+    let mut member: Option<GridState>;
+    let mut ckpt_cur: Checkpoint;
+    let mut ckpt_prev: Checkpoint;
+    let mut losses: Vec<f64>;
+    let mut excluded: Vec<usize>;
+    let mut stateless: Vec<usize>;
+    let mut aborted: bool;
+    let mut old_view: (usize, usize, Vec<usize>);
+    // A rejoiner enters mid-epoch: the survivors already ran the
+    // agreement round that admitted it, so its first loop pass skips
+    // straight to the recovery attempt.
+    let mut in_recovery_epoch: bool;
+
+    match entry {
+        Entry::Fresh => {
+            // Epoch-0 "shrink" of nothing: gives the training phase its
+            // own context namespace, uniform with post-recovery grids.
+            let alive0 = comm.shrink_exclude(&[], 0)?;
+            let grid = Grid::new(&alive0, pr0, pc0)?;
+            let full_weights = init_weights(layers, cfg.seed);
+            let w: Vec<Matrix> = full_weights
+                .iter()
+                .map(|m| row_shard(m, pr0, grid.i))
+                .collect();
+            let v: Vec<Matrix> = w
+                .iter()
+                .map(|m| Matrix::zeros(m.rows(), m.cols()))
+                .collect();
+            let x_local = col_shard(x, pc0, grid.j);
+            let labels_local = labels[part_range(b_global, pc0, grid.j)].to_vec();
+            let members = alive0.members().to_vec();
+            ckpt_cur = Checkpoint {
+                iter: 0,
+                w: w.clone(),
+                v: v.clone(),
+            };
+            ckpt_prev = ckpt_cur.clone();
+            comm.record_checkpoint_words(ckpt_cur.words());
+            old_view = (pr0, pc0, members.clone());
+            member = Some(GridState {
+                grid,
+                members,
+                w,
+                v,
+                x_local,
+                labels_local,
+                iter: 0,
+            });
+            losses = Vec::new();
+            excluded = Vec::new();
+            stateless = Vec::new();
+            aborted = false;
+            in_recovery_epoch = false;
+        }
+        Entry::Rejoin(wlc) => {
+            // Sync the protocol counters to the epoch the survivors
+            // just entered, clear stale death records (everyone not in
+            // the excluded set is live), then behave like any
+            // live-but-stateless participant.
+            comm.set_fault_epoch(wlc.epoch);
+            comm.align_split_seq(wlc.epoch * 1000);
+            comm.align_fault_sync_seq(wlc.seq);
+            let live: Vec<usize> = (0..comm.size())
+                .filter(|r| !wlc.excluded.contains(r))
+                .collect();
+            comm.readmit(&live);
+            member = None;
+            ckpt_cur = Checkpoint {
+                iter: wlc.target,
+                w: Vec::new(),
+                v: Vec::new(),
+            };
+            ckpt_prev = ckpt_cur.clone();
+            losses = wlc.losses;
+            excluded = wlc.excluded;
+            stateless = wlc.stateless;
+            aborted = true;
+            old_view = (wlc.old_pr, wlc.old_pc, wlc.old_members);
+            in_recovery_epoch = true;
+        }
+    }
+
+    let mut recoveries: Vec<RecoveryReport> = Vec::new();
+    let mut iter_comm: Vec<f64> = Vec::new();
+    let mut iter_wall: Vec<f64> = Vec::new();
+    // Rollback target of the recovery epoch in flight (for a rejoiner,
+    // the target its welcome carried).
+    let mut ckpt_target: usize = ckpt_cur.iter;
+
+    loop {
+        let mut do_recovery = in_recovery_epoch;
+        if !in_recovery_epoch {
+            // --- agreement round (control plane, free in virtual time) ---
+            let ready: Vec<usize> = excluded
+                .iter()
+                .copied()
+                .filter(|&g| comm.rejoin_ready(g))
+                .collect();
+            let msg = RoundMsg {
+                iter: losses.len(),
+                last_ckpt: ckpt_cur.iter,
+                aborted,
+                has_state: member.is_some(),
+                ready,
+            };
+            let round = comm.fault_sync(encode_round(&msg))?;
+            let mut dead: Vec<usize> = Vec::new();
+            let mut any_abort = false;
+            let mut min_ckpt = usize::MAX;
+            let mut admit: Vec<usize> = Vec::new();
+            for (slot_idx, slot) in round.iter().enumerate() {
+                match slot {
+                    None => dead.push(comm.members()[slot_idx]),
+                    Some(bytes) => {
+                        let m = decode_round(bytes);
+                        any_abort |= m.aborted;
+                        if m.has_state {
+                            min_ckpt = min_ckpt.min(m.last_ckpt);
+                        }
+                        for g in m.ready {
+                            if !admit.contains(&g) {
+                                admit.push(g);
+                            }
+                        }
+                    }
+                }
+            }
+            admit.sort_unstable();
+            let newly_dead = dead.iter().any(|g| !excluded.contains(g));
+            do_recovery = newly_dead || any_abort || !admit.is_empty();
+
+            if do_recovery {
+                // --- open a new recovery epoch ---
+                excluded = dead
+                    .iter()
+                    .copied()
+                    .filter(|g| !admit.contains(g))
+                    .collect();
+                comm.advance_fault_epoch();
+                let epoch = comm.fault_epoch();
+                comm.align_split_seq(epoch * 1000);
+                ckpt_target = min_ckpt;
+                if !admit.is_empty() {
+                    comm.readmit(&admit);
+                    for &g in &admit {
+                        if !stateless.contains(&g) {
+                            stateless.push(g);
+                        }
+                    }
+                    stateless.sort_unstable();
+                    // Welcome the admitted ranks into this epoch. All
+                    // fields are common knowledge, so every sender's
+                    // bytes are identical and the real-time race over
+                    // which copy a rejoiner consumes is harmless.
+                    let wbytes = encode_welcome(&Welcome {
+                        epoch,
+                        seq: comm.fault_sync_seq(),
+                        target: ckpt_target,
+                        old_pr: old_view.0,
+                        old_pc: old_view.1,
+                        excluded: excluded.clone(),
+                        stateless: stateless.clone(),
+                        old_members: old_view.2.clone(),
+                        losses: losses.clone(),
+                    });
+                    for &g in &admit {
+                        comm.send_control(g, WELCOME_TAG, wbytes.clone())?;
+                    }
+                }
+            }
+        }
+        in_recovery_epoch = false;
+
+        if do_recovery {
+            // --- recovery attempt (transactional) ---
+            let t0 = comm.now();
+            let epoch = comm.fault_epoch();
+            let target = ckpt_target;
+            let ck = if member.is_some() {
+                if ckpt_cur.iter == target {
+                    ckpt_cur.clone()
+                } else {
+                    assert_eq!(
+                        ckpt_prev.iter, target,
+                        "rollback target must be one of the two retained checkpoints"
+                    );
+                    ckpt_prev.clone()
+                }
+            } else {
+                // A stateless joiner serves nothing and receives
+                // everything in the redistribution.
+                Checkpoint {
+                    iter: target,
+                    w: Vec::new(),
+                    v: Vec::new(),
+                }
+            };
+            let attempt = attempt_recovery(
+                comm,
+                epoch,
+                &excluded,
+                old_view.0,
+                old_view.1,
+                &old_view.2,
+                &stateless,
+                &ck,
+                layers,
+                wlayers,
+                x,
+                labels,
+                cfg,
+            );
+            let ok = match &attempt {
+                Ok(_) => true,
+                Err(e) if recoverable(e, my_global) => false,
+                // An unrecoverable verdict is derived from common
+                // knowledge, so every survivor returns it together.
+                Err(e) => return Err(e.clone()),
+            };
+            // --- confirmation round: commit only if every participant
+            // succeeded and nobody died meanwhile ---
+            let confirm = comm.fault_sync(vec![ok as u8])?;
+            let all_ok = confirm.iter().enumerate().all(|(slot_idx, slot)| {
+                let g = comm.members()[slot_idx];
+                match slot {
+                    Some(b) => b == &[1],
+                    None => excluded.contains(&g),
+                }
+            });
+            comm.record_recovery_secs(comm.now() - t0);
+            if all_ok {
+                let (new_state, npr, npc) = attempt.expect("ok implies state");
+                let rejoined = stateless.clone();
+                ckpt_cur = Checkpoint {
+                    iter: new_state.iter,
+                    w: new_state.w.clone(),
+                    v: new_state.v.clone(),
+                };
+                ckpt_prev = ckpt_cur.clone();
+                losses.truncate(new_state.iter);
+                old_view = (
+                    new_state.grid.pr,
+                    new_state.grid.pc,
+                    new_state.members.clone(),
+                );
+                member = Some(new_state);
+                iter_comm.clear();
+                iter_wall.clear();
+                stateless.clear();
+                aborted = false;
+                recoveries.push(RecoveryReport {
+                    epoch,
+                    rollback_iter: target,
+                    dead: excluded.clone(),
+                    rejoined,
+                    pr: npr,
+                    pc: npc,
+                    measured_secs: comm.now() - t0,
+                    analytic_comm_per_iter: integrated_model_batch(
+                        wlayers,
+                        b_global as f64,
+                        npr,
+                        npc,
+                    )
+                    .seconds(&cfg.machine),
+                });
+            } else {
+                aborted = true;
+            }
+            continue;
+        }
+
+        let st = member
+            .as_mut()
+            .expect("a stateless rank always re-enters recovery");
+        if st.iter >= cfg.iters {
+            break;
+        }
+
+        // --- one training iteration ---
+        let comm_before = comm.clock().comm;
+        let wall_before = comm.now();
+        match run_iteration(
+            &st.grid,
+            layers,
+            &mut st.w,
+            &mut st.v,
+            &st.x_local,
+            &st.labels_local,
+            b_global,
+            cfg,
+        ) {
+            Ok(global_loss) => {
+                losses.push(global_loss);
+                st.iter += 1;
+                iter_comm.push(comm.clock().comm - comm_before);
+                iter_wall.push(comm.now() - wall_before);
+                if st.iter % cfg.ckpt_every == 0 && st.iter < cfg.iters {
+                    ckpt_prev = ckpt_cur;
+                    ckpt_cur = Checkpoint {
+                        iter: st.iter,
+                        w: st.w.clone(),
+                        v: st.v.clone(),
+                    };
+                    comm.record_checkpoint_words(ckpt_cur.words());
+                }
+            }
+            Err(e) if recoverable(&e, my_global) => aborted = true,
+            Err(e) => return Err(e),
+        }
+    }
+
+    let st = member.expect("loop exits only with committed state");
+    Ok(FtRankOutcome {
+        i: st.grid.i,
+        j: st.grid.j,
+        pr: st.grid.pr,
+        pc: st.grid.pc,
+        losses,
+        weight_shards: st.w,
+        recoveries,
+        comm_secs_per_iter: mean(&iter_comm),
+        step_secs_per_iter: mean(&iter_wall),
+    })
+}
+
 /// Fault-tolerant distributed SGD on an initial `pr × pc` grid under a
 /// [`FaultPlan`]. With an inactive plan this computes exactly the same
 /// trajectory as [`crate::trainer::train_1p5d`] (for `momentum = 0`).
+///
+/// Membership is **elastic**: a rank killed by the plan that also has a
+/// scripted [`FaultPlan::rejoin`] revives at its rejoin time, announces
+/// itself, and is re-admitted at the next fault-epoch boundary — the
+/// survivors re-plan the grid over the enlarged member set with Eq. 8
+/// (regrowing toward the original extents), redistribute checkpoint
+/// state to it, and training replays from the agreed checkpoint.
 pub fn train_1p5d_ft(
     net: &Network,
     x: &Matrix,
@@ -446,187 +959,21 @@ pub fn train_1p5d_ft(
     assert!(cfg.ckpt_every >= 1, "checkpoint period must be >= 1");
     let layers = extract_fc_layers(net);
     let wlayers = net.weighted_layers();
-    let b_global = x.cols();
     let model = cfg.machine.net_model();
     let (per_rank, stats) = World::run_with_faults(pr * pc, model, plan, |comm| {
         let my_global = comm.global_rank_of(comm.rank())?;
-        // Epoch-0 "shrink" of nothing: gives the training phase its own
-        // context namespace, uniform with post-recovery grids.
-        let alive0 = comm.shrink_exclude(&[], 0)?;
-        let grid = Grid::new(&alive0, pr, pc)?;
-        let full_weights = init_weights(&layers, cfg.seed);
-        let w: Vec<Matrix> = full_weights
-            .iter()
-            .map(|m| row_shard(m, pr, grid.i))
-            .collect();
-        let v: Vec<Matrix> = w
-            .iter()
-            .map(|m| Matrix::zeros(m.rows(), m.cols()))
-            .collect();
-        let x_local = col_shard(x, pc, grid.j);
-        let labels_local = labels[part_range(b_global, pc, grid.j)].to_vec();
-        let mut st = GridState {
-            grid,
-            members: alive0.members().to_vec(),
-            w,
-            v,
-            x_local,
-            labels_local,
-            iter: 0,
-        };
-        let mut ckpt_cur = Checkpoint {
-            iter: 0,
-            w: st.w.clone(),
-            v: st.v.clone(),
-        };
-        let mut ckpt_prev = ckpt_cur.clone();
-        comm.record_checkpoint_words(ckpt_cur.words());
-
-        let mut aborted = false;
-        let mut excluded: Vec<usize> = Vec::new();
-        let mut losses: Vec<f64> = Vec::new();
-        let mut recoveries: Vec<RecoveryReport> = Vec::new();
-        let mut iter_comm: Vec<f64> = Vec::new();
-
+        let mut entry = Entry::Fresh;
         loop {
-            // --- agreement round (control plane, free in virtual time) ---
-            let round = comm.fault_sync(encode_round(st.iter, ckpt_cur.iter, aborted))?;
-            let mut dead: Vec<usize> = Vec::new();
-            let mut any_abort = false;
-            let mut min_ckpt = usize::MAX;
-            for (member, slot) in round.iter().enumerate() {
-                match slot {
-                    None => dead.push(comm.members()[member]),
-                    Some(bytes) => {
-                        let (_, ck, ab) = decode_round(bytes);
-                        any_abort |= ab;
-                        min_ckpt = min_ckpt.min(ck);
-                    }
+            match run_rank(comm, entry, &layers, &wlayers, x, labels, cfg, pr, pc) {
+                // A scripted death with a scripted rejoin: revive at
+                // the rejoin time, wait for the survivors' welcome,
+                // and re-enter the loop stateless.
+                Err(Error::RankFailed { rank }) if rank == my_global && comm.revive().is_some() => {
+                    entry = Entry::Rejoin(wait_welcome(comm)?);
                 }
-            }
-            let newly_dead = dead.iter().any(|g| !excluded.contains(g));
-
-            if newly_dead || any_abort {
-                // --- recovery attempt (transactional) ---
-                let t0 = comm.now();
-                excluded = dead.clone();
-                comm.advance_fault_epoch();
-                let epoch = comm.fault_epoch();
-                comm.align_split_seq(epoch * 1000);
-                let target = min_ckpt;
-                let ck = if ckpt_cur.iter == target {
-                    ckpt_cur.clone()
-                } else {
-                    assert_eq!(
-                        ckpt_prev.iter, target,
-                        "rollback target must be one of the two retained checkpoints"
-                    );
-                    ckpt_prev.clone()
-                };
-                let attempt = attempt_recovery(
-                    comm, epoch, &excluded, &st, &ck, &layers, &wlayers, x, labels, cfg,
-                );
-                let ok = match &attempt {
-                    Ok(_) => true,
-                    Err(e) if recoverable(e, my_global) => false,
-                    // An unrecoverable verdict is derived from common
-                    // knowledge, so every survivor returns it together.
-                    Err(e) => return Err(e.clone()),
-                };
-                // --- confirmation round: commit only if every survivor
-                // succeeded and nobody died meanwhile ---
-                let confirm = comm.fault_sync(vec![ok as u8])?;
-                let all_ok = confirm.iter().enumerate().all(|(member, slot)| {
-                    let g = comm.members()[member];
-                    match slot {
-                        Some(b) => b == &[1],
-                        None => excluded.contains(&g),
-                    }
-                });
-                comm.record_recovery_secs(comm.now() - t0);
-                if all_ok {
-                    let (new_state, npr, npc) = attempt.expect("ok implies state");
-                    st = new_state;
-                    ckpt_cur = Checkpoint {
-                        iter: st.iter,
-                        w: st.w.clone(),
-                        v: st.v.clone(),
-                    };
-                    ckpt_prev = ckpt_cur.clone();
-                    losses.truncate(st.iter);
-                    iter_comm.clear();
-                    aborted = false;
-                    recoveries.push(RecoveryReport {
-                        epoch,
-                        rollback_iter: st.iter,
-                        dead: excluded.clone(),
-                        pr: npr,
-                        pc: npc,
-                        measured_secs: comm.now() - t0,
-                        analytic_comm_per_iter: integrated_model_batch(
-                            &wlayers,
-                            b_global as f64,
-                            npr,
-                            npc,
-                        )
-                        .seconds(&cfg.machine),
-                    });
-                } else {
-                    aborted = true;
-                }
-                continue;
-            }
-
-            if st.iter >= cfg.iters {
-                break;
-            }
-
-            // --- one training iteration ---
-            let comm_before = comm.clock().comm;
-            match run_iteration(
-                &st.grid,
-                &layers,
-                &mut st.w,
-                &mut st.v,
-                &st.x_local,
-                &st.labels_local,
-                b_global,
-                cfg,
-            ) {
-                Ok(global_loss) => {
-                    losses.push(global_loss);
-                    st.iter += 1;
-                    iter_comm.push(comm.clock().comm - comm_before);
-                    if st.iter % cfg.ckpt_every == 0 && st.iter < cfg.iters {
-                        ckpt_prev = ckpt_cur;
-                        ckpt_cur = Checkpoint {
-                            iter: st.iter,
-                            w: st.w.clone(),
-                            v: st.v.clone(),
-                        };
-                        comm.record_checkpoint_words(ckpt_cur.words());
-                    }
-                }
-                Err(e) if recoverable(&e, my_global) => aborted = true,
-                Err(e) => return Err(e),
+                other => return other,
             }
         }
-
-        let comm_secs_per_iter = if iter_comm.is_empty() {
-            0.0
-        } else {
-            iter_comm.iter().sum::<f64>() / iter_comm.len() as f64
-        };
-        Ok(FtRankOutcome {
-            i: st.grid.i,
-            j: st.grid.j,
-            pr: st.grid.pr,
-            pc: st.grid.pc,
-            losses,
-            weight_shards: st.w,
-            recoveries,
-            comm_secs_per_iter,
-        })
     });
     FtDistResult {
         pr0: pr,
@@ -648,7 +995,7 @@ mod tests {
             iters,
             seed: 7,
             ckpt_every: 2,
-            ft: FtConfig::new(10.0).with_attempts(2).with_backoff(0.5),
+            ft: FtConfig::fixed(10.0).with_attempts(2).with_backoff(0.5),
             machine: MachineModel::cori_knl(),
             ..FtTrainConfig::default()
         }

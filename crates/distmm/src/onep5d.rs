@@ -349,7 +349,7 @@ mod tests {
             beta: 1e-6,
             flops: f64::INFINITY,
         };
-        let cfg = FtConfig::new(1e6);
+        let cfg = FtConfig::fixed(1e6);
         let plain = World::run(pr * pc, model, |comm| {
             let grid = Grid::new(comm, pr, pc).unwrap();
             let wl = row_shard(&r.w, pr, grid.i);

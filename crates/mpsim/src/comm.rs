@@ -15,6 +15,7 @@ use std::sync::Arc;
 use crate::clock::Clock;
 use crate::error::{Error, Result};
 use crate::fault::{self, FaultPlan};
+use crate::health::{HealthMonitor, RetryPolicy};
 use crate::netmodel::NetModel;
 use crate::router::{Endpoint, Envelope, Payload};
 use crate::stats::RankStats;
@@ -69,8 +70,20 @@ pub(crate) struct Inner {
     /// Round counter for [`Communicator::fault_sync`].
     pub fault_sync_seq: u64,
     /// Set once this rank's own kill has fired; every subsequent
-    /// operation returns [`Error::RankFailed`].
+    /// operation returns [`Error::RankFailed`] until a scripted
+    /// [`Communicator::revive`].
     pub died: bool,
+    /// Virtual time of this rank's own death, while dead.
+    pub died_at: Option<f64>,
+    /// Kill entries at or before this time are spent (consumed by a
+    /// revival); only strictly later kills can fire.
+    pub revive_floor: f64,
+    /// Adaptive failure-detector state (per-peer EWMA / φ-accrual),
+    /// fed at deterministic message-consumption points.
+    pub health: HealthMonitor,
+    /// Rejoin announcements drained from revived peers: global rank →
+    /// rejoin time. Advisory; admission is decided from the fault plan.
+    pub rejoin_notices: BTreeMap<usize, f64>,
 }
 
 /// Outcome of a fault-aware message match.
@@ -151,6 +164,9 @@ impl Inner {
                         return Ok(Matched::PeerAborted(culprit));
                     }
                 }
+                Payload::Rejoin { at } => {
+                    self.rejoin_notices.insert(env.src, at);
+                }
                 Payload::Tombstone { .. }
                     if env.ctx == ctx && env.src == src_global && env.tag == tag =>
                 {
@@ -179,6 +195,17 @@ impl Inner {
             .push_front(env);
     }
 
+    /// Feeds the adaptive detector at a message-consumption point:
+    /// `peer` was heard from now, optionally with the observed receive
+    /// wait. Virtual-time samples only, so replays are bit-identical.
+    fn observe_peer(&mut self, peer: usize, wait: Option<f64>) {
+        let now = self.clock.now;
+        self.health.heard(peer, now);
+        if let Some(w) = wait {
+            self.health.observed_wait(peer, w);
+        }
+    }
+
     /// Charges a surfaced failure detection: the clock moves to the
     /// death time (a failure cannot be observed before it happened) and
     /// the first detection of each peer is counted.
@@ -201,9 +228,13 @@ impl Inner {
                 rank: self.global_rank,
             });
         }
-        if let Some(at) = self.plan.kill_time(self.global_rank) {
+        if let Some(at) = self
+            .plan
+            .kill_time_after(self.global_rank, self.revive_floor)
+        {
             if self.clock.now >= at {
                 self.died = true;
+                self.died_at = Some(at);
                 let me = self.global_rank;
                 for dst in 0..self.world_size {
                     if dst != me {
@@ -249,8 +280,11 @@ impl Inner {
                 self.stats.words_sent += v.len() as u64;
             }
             Payload::Control(_) => self.stats.ctrl_msgs_sent += 1,
-            // Counted at drop/abort decision sites.
-            Payload::Tombstone { .. } | Payload::Death { .. } | Payload::Abort { .. } => {}
+            // Counted at drop/abort/revive decision sites.
+            Payload::Tombstone { .. }
+            | Payload::Death { .. }
+            | Payload::Abort { .. }
+            | Payload::Rejoin { .. } => {}
         }
         let sent = self.endpoint.txs[dst_global].send(env);
         if sent.is_err() && !self.plan.active() {
@@ -410,7 +444,8 @@ impl Communicator {
     /// [`Communicator::recv_timeout`] with `attempts` tries, advancing
     /// the virtual clock by `backoff` (communication time) between
     /// consecutive tries. Retries only on [`Error::Timeout`]; any other
-    /// error propagates immediately.
+    /// error propagates immediately. Constant backoff — see
+    /// [`Communicator::recv_retry_policy`] for exponential + jitter.
     pub fn recv_retry(
         &self,
         src: Rank,
@@ -419,15 +454,39 @@ impl Communicator {
         attempts: usize,
         backoff: f64,
     ) -> Result<Vec<f64>> {
-        assert!(attempts > 0, "need at least one attempt");
+        self.recv_retry_policy(src, tag, &RetryPolicy::fixed(timeout, attempts, backoff))
+    }
+
+    /// Retrying receive under a full [`RetryPolicy`]: `attempts`
+    /// windows of `timeout`, separated by `backoff · factor^(i−1)`
+    /// pauses each stretched by up to `jitter` (a deterministic draw
+    /// keyed on the plan seed, the link, and the retry count — so
+    /// contending retriers desynchronize, yet replays are
+    /// bit-identical). Retries only on [`Error::Timeout`].
+    pub fn recv_retry_policy(&self, src: Rank, tag: Tag, policy: &RetryPolicy) -> Result<Vec<f64>> {
+        assert!(policy.attempts > 0, "need at least one attempt");
         let mut last = None;
-        for attempt in 0..attempts {
+        let mut pause = policy.backoff;
+        for attempt in 0..policy.attempts {
             if attempt > 0 {
                 let mut i = self.inner.borrow_mut();
                 i.stats.retries += 1;
-                i.clock.advance_comm(backoff);
+                let stretch = if policy.jitter > 0.0 {
+                    let src_global = self.global_rank_of(src)?;
+                    let u = fault::jitter_unit(
+                        i.plan.seed(),
+                        i.global_rank as u64,
+                        src_global as u64,
+                        i.stats.retries,
+                    );
+                    policy.jitter * u
+                } else {
+                    0.0
+                };
+                i.clock.advance_comm(pause * (1.0 + stretch));
+                pause *= policy.factor;
             }
-            match self.recv_timeout(src, tag, timeout) {
+            match self.recv_timeout(src, tag, policy.timeout) {
                 Err(e @ Error::Timeout { .. }) => last = Some(e),
                 other => return other,
             }
@@ -439,6 +498,7 @@ impl Communicator {
         let src_global = self.global_rank_of(src)?;
         let mut i = self.inner.borrow_mut();
         i.check_failed()?;
+        let posted_at = i.clock.now;
         let deadline = timeout.map(|t| i.clock.now + t);
         match i.match_recv(self.ctx, src_global, tag, true)? {
             Matched::Data(env) => {
@@ -470,6 +530,8 @@ impl Communicator {
                 }
                 i.clock.complete_recv(avail, transfer);
                 i.stats.straggler_wait += extra;
+                let waited = i.clock.now - posted_at;
+                i.observe_peer(src_global, Some(waited));
                 if let (Some(csum), Payload::Words(v)) = (env.csum, &env.data) {
                     if fault::checksum(v) != csum {
                         i.stats.corrupt_detected += 1;
@@ -558,6 +620,7 @@ impl Communicator {
     pub fn wait(&self, handle: RecvHandle) -> Result<Vec<f64>> {
         let mut i = self.inner.borrow_mut();
         i.check_failed()?;
+        let posted_at = i.clock.now;
         match i.match_recv(handle.ctx, handle.src_global, handle.tag, true)? {
             Matched::Data(env) => {
                 let words = env.data.words();
@@ -585,6 +648,8 @@ impl Communicator {
                 }
                 i.clock.complete_wait(arrival);
                 i.stats.straggler_wait += extra;
+                let waited = i.clock.now - posted_at;
+                i.observe_peer(handle.src_global, Some(waited));
                 if let (Some(csum), Payload::Words(v)) = (env.csum, &env.data) {
                     if fault::checksum(v) != csum {
                         i.stats.corrupt_detected += 1;
@@ -653,7 +718,10 @@ impl Communicator {
         i.check_failed()?;
         match i.match_recv(self.ctx, src_global, tag, false)? {
             Matched::Data(env) => match env.data {
-                Payload::Control(v) => Ok(v),
+                Payload::Control(v) => {
+                    i.observe_peer(src_global, None);
+                    Ok(v)
+                }
                 _ => unreachable!("non-control payload matched on control tag"),
             },
             Matched::Dropped => unreachable!("control messages are never dropped"),
@@ -903,7 +971,10 @@ impl Communicator {
             let mut i = self.inner.borrow_mut();
             match i.match_recv(self.ctx, src_global, tag, false)? {
                 Matched::Data(env) => match env.data {
-                    Payload::Control(v) => out.push(Some(v)),
+                    Payload::Control(v) => {
+                        i.observe_peer(src_global, None);
+                        out.push(Some(v));
+                    }
                     _ => unreachable!("non-control payload on fault_sync tag"),
                 },
                 Matched::PeerDead(at) => {
@@ -993,6 +1064,226 @@ impl Communicator {
     /// Records virtual time a fault-tolerant trainer spent in recovery.
     pub fn record_recovery_secs(&self, secs: f64) {
         self.inner.borrow_mut().stats.recovery_secs += secs;
+    }
+
+    // --- elastic membership ------------------------------------------
+
+    /// The scripted rejoin time of this (currently dead) rank, if any:
+    /// the earliest [`FaultPlan::rejoin`] entry strictly after the kill
+    /// that felled it.
+    pub fn my_rejoin_time(&self) -> Option<f64> {
+        let i = self.inner.borrow();
+        let died_at = i.died_at?;
+        i.plan.rejoin_time_after(i.global_rank, died_at)
+    }
+
+    /// Revives this rank at its scripted rejoin time: clears the death
+    /// flag, spends every kill at or before the rejoin time,
+    /// fast-forwards the clock to it, and broadcasts a
+    /// [`Payload::Rejoin`] announcement. Returns the rejoin time, or
+    /// `None` when the rank is not dead or has no scheduled rejoin.
+    pub fn revive(&self) -> Option<f64> {
+        let mut i = self.inner.borrow_mut();
+        if !i.died {
+            return None;
+        }
+        let died_at = i.died_at?;
+        let at = i.plan.rejoin_time_after(i.global_rank, died_at)?;
+        i.died = false;
+        i.died_at = None;
+        i.revive_floor = at;
+        i.clock.sync_to(at);
+        i.stats.rejoins += 1;
+        let me = i.global_rank;
+        for dst in 0..i.world_size {
+            if dst != me {
+                i.stats.ctrl_msgs_sent += 1;
+                let _ = i.endpoint.txs[dst].send(Envelope {
+                    ctx: 0,
+                    src: me,
+                    tag: 0,
+                    depart: at,
+                    seq: 0,
+                    csum: None,
+                    data: Payload::Rejoin { at },
+                });
+            }
+        }
+        Some(at)
+    }
+
+    /// Whether the fault plan schedules `global` — a peer this rank has
+    /// observed dead — to have rejoined by this rank's current virtual
+    /// time. A pure function of the plan, the observed death time, and
+    /// the local clock, so every survivor that shares the same death
+    /// observation answers identically at the same protocol point.
+    pub fn rejoin_ready(&self, global: usize) -> bool {
+        let i = self.inner.borrow();
+        match i.dead_peers.get(&global) {
+            Some(&died_at) => i
+                .plan
+                .rejoin_time_after(global, died_at)
+                .is_some_and(|t| t <= i.clock.now),
+            None => false,
+        }
+    }
+
+    /// Clears the death/abort/health records of re-admitted ranks,
+    /// restoring them as live peers. SPMD: every participant of a
+    /// recovery must call this with the same set at the same protocol
+    /// point.
+    pub fn readmit(&self, ranks: &[usize]) {
+        let mut i = self.inner.borrow_mut();
+        for &r in ranks {
+            i.dead_peers.remove(&r);
+            i.dead_surfaced.remove(&r);
+            i.aborted_peers.remove(&r);
+            i.rejoin_notices.remove(&r);
+            i.health.reset(r);
+        }
+    }
+
+    /// Blocks until a control message with `tag` arrives on this
+    /// communicator's context from *any* source, buffering everything
+    /// else. Used by a revived rank to wait for the survivors' welcome.
+    /// Which sender wins is a real-time race, so every sender must send
+    /// byte-identical payloads for the result to be deterministic.
+    pub fn await_control_any(&self, tag: Tag) -> Result<Vec<u8>> {
+        let mut i = self.inner.borrow_mut();
+        i.check_failed()?;
+        for src in 0..i.world_size {
+            let key = (self.ctx, src, tag);
+            let popped = i.pending.get_mut(&key).and_then(|q| {
+                if matches!(q.front().map(|e| &e.data), Some(Payload::Control(_))) {
+                    q.pop_front()
+                } else {
+                    None
+                }
+            });
+            if let Some(env) = popped {
+                if let Payload::Control(v) = env.data {
+                    i.observe_peer(src, None);
+                    return Ok(v);
+                }
+            }
+        }
+        loop {
+            let me = i.global_rank;
+            let env = i
+                .endpoint
+                .rx
+                .recv()
+                .map_err(|_| Error::Disconnected { peer: me })?;
+            match env.data {
+                Payload::Death { at } => {
+                    i.dead_peers.entry(env.src).or_insert(at);
+                }
+                Payload::Abort { culprit, epoch } => {
+                    let e = i.aborted_peers.entry(env.src).or_insert((culprit, epoch));
+                    if epoch >= e.1 {
+                        *e = (culprit, epoch);
+                    }
+                }
+                Payload::Rejoin { at } => {
+                    i.rejoin_notices.insert(env.src, at);
+                }
+                Payload::Control(v) if env.ctx == self.ctx && env.tag == tag => {
+                    i.observe_peer(env.src, None);
+                    return Ok(v);
+                }
+                _ => {
+                    i.pending
+                        .entry((env.ctx, env.src, env.tag))
+                        .or_default()
+                        .push_back(env);
+                }
+            }
+        }
+    }
+
+    /// Fast-forwards the recovery epoch to at least `epoch` (pruning
+    /// stale abort notices), used by a rejoining rank to match the
+    /// survivors it is re-entering with.
+    pub fn set_fault_epoch(&self, epoch: u64) {
+        let mut i = self.inner.borrow_mut();
+        i.fault_epoch = i.fault_epoch.max(epoch);
+        let e = i.fault_epoch;
+        i.aborted_peers.retain(|_, &mut (_, pe)| pe >= e);
+    }
+
+    /// This rank's [`Communicator::fault_sync`] round counter (welcome
+    /// messages carry it so a rejoiner can align).
+    pub fn fault_sync_seq(&self) -> u64 {
+        self.inner.borrow().fault_sync_seq
+    }
+
+    /// Fast-forwards the [`Communicator::fault_sync`] round counter to
+    /// at least `seq` (rejoining rank, from the welcome).
+    pub fn align_fault_sync_seq(&self, seq: u64) {
+        let mut i = self.inner.borrow_mut();
+        i.fault_sync_seq = i.fault_sync_seq.max(seq);
+    }
+
+    /// Rejoin announcements drained so far: global rank → rejoin time.
+    pub fn rejoin_announcements(&self) -> Vec<(usize, f64)> {
+        self.inner
+            .borrow()
+            .rejoin_notices
+            .iter()
+            .map(|(&r, &t)| (r, t))
+            .collect()
+    }
+
+    // --- adaptive failure detection ----------------------------------
+
+    /// The per-peer receive deadline learned by the adaptive detector
+    /// (mean + k·σ of observed receive waits, clamped to the model
+    /// floor), or `None` until enough samples exist.
+    pub fn adaptive_deadline(&self, src: Rank) -> Option<f64> {
+        let src_global = self.global_rank_of(src).ok()?;
+        self.inner.borrow().health.deadline(src_global)
+    }
+
+    /// The current φ-accrual suspicion level of a peer, or `None`
+    /// while the detector lacks samples.
+    pub fn peer_phi(&self, src: Rank) -> Option<f64> {
+        let src_global = self.global_rank_of(src).ok()?;
+        let i = self.inner.borrow();
+        i.health.phi(src_global, i.clock.now)
+    }
+
+    /// Whether the detector currently ranks the peer *suspect but not
+    /// presumed dead* — the regime where a speculative re-request is
+    /// worthwhile (the peer is late beyond its learned rhythm, yet not
+    /// so silent that it is written off). The first flagging of a peer
+    /// since it was last heard is counted in
+    /// [`RankStats::suspects_flagged`].
+    pub fn peer_suspect_not_dead(&self, src: Rank) -> bool {
+        let Ok(src_global) = self.global_rank_of(src) else {
+            return false;
+        };
+        let mut i = self.inner.borrow_mut();
+        if i.dead_peers.contains_key(&src_global) {
+            return false;
+        }
+        let now = i.clock.now;
+        let Some(phi) = i.health.phi(src_global, now) else {
+            return false;
+        };
+        let cfg = *i.health.config();
+        if phi >= cfg.phi_suspect && phi < cfg.phi_dead {
+            if i.health.mark_suspect(src_global) {
+                i.stats.suspects_flagged += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Counts a speculative re-request issued by a fault-aware caller.
+    pub fn record_speculative_retry(&self) {
+        self.inner.borrow_mut().stats.speculative_retries += 1;
     }
 }
 
@@ -1406,5 +1697,183 @@ mod tests {
         });
         assert_eq!(stats.total_words(), 17);
         assert_eq!(stats.total_msgs(), 1);
+    }
+
+    #[test]
+    fn exponential_backoff_doubles_pauses() {
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
+        // The only message is dropped: all three windows expire.
+        let plan = crate::FaultPlan::new(1).drop_nth(0, 1, 0);
+        let (_, stats) = World::run_with_faults(2, model, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, &[1.0]).unwrap();
+            } else {
+                let policy = crate::RetryPolicy::exponential(1.0, 3, 1.0, 2.0, 0.0);
+                let e = comm.recv_retry_policy(0, 3, &policy).unwrap_err();
+                assert!(matches!(e, Error::Timeout { .. }));
+            }
+        });
+        // Window(1) + pause(1) + window(1) + pause(2) + window(1) = 6.
+        assert!((stats.clocks[1].now - 6.0).abs() < 1e-12);
+        assert_eq!(stats.ranks[1].retries, 2);
+        assert_eq!(stats.ranks[1].timeouts, 3);
+    }
+
+    #[test]
+    fn backoff_jitter_is_bounded_and_replayable() {
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
+        let run = || {
+            let plan = crate::FaultPlan::new(77).drop_nth(0, 1, 0);
+            let (_, stats) = World::run_with_faults(2, model, plan, |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 3, &[1.0]).unwrap();
+                } else {
+                    let policy = crate::RetryPolicy::exponential(1.0, 3, 1.0, 2.0, 0.5);
+                    let _ = comm.recv_retry_policy(0, 3, &policy);
+                }
+            });
+            stats.clocks[1].now
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "jittered schedule replays bit-identically");
+        // Jitter stretches pauses by at most 50%: total in (6, 7.5].
+        assert!(a > 6.0 && a <= 7.5, "jittered makespan: {a}");
+    }
+
+    #[test]
+    fn killed_rank_revives_rejoins_and_talks_again() {
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
+        let plan = crate::FaultPlan::new(0).kill(0, 5.0).rejoin(0, 9.0);
+        let (out, stats) = World::run_with_faults(2, model, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.advance_compute(6.0);
+                let e = comm.send(1, 1, &[1.0]).unwrap_err();
+                assert_eq!(e, Error::RankFailed { rank: 0 });
+                assert_eq!(comm.my_rejoin_time(), Some(9.0));
+                assert_eq!(comm.revive(), Some(9.0));
+                assert!((comm.now() - 9.0).abs() < 1e-12, "clock jumps to rejoin");
+                // Back to life: sends work again.
+                comm.send(1, 5, &[42.0]).unwrap();
+                vec![]
+            } else {
+                let e = comm.recv(0, 5).unwrap_err();
+                assert_eq!(e, Error::RankFailed { rank: 0 });
+                // Death surfaced at t=5; the scripted rejoin (t=9) is
+                // still in the future of this rank's clock.
+                assert!(!comm.rejoin_ready(0));
+                comm.advance_compute(5.0); // now 10 ≥ 9
+                assert!(comm.rejoin_ready(0));
+                comm.readmit(&[0]);
+                comm.recv(0, 5).unwrap()
+            }
+        });
+        assert_eq!(out[1], vec![42.0]);
+        assert_eq!(stats.ranks[0].rejoins, 1);
+        assert_eq!(stats.ranks[1].failures_detected, 1);
+    }
+
+    #[test]
+    fn revive_spends_the_kill_but_not_a_later_one() {
+        let model = NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
+        let plan = crate::FaultPlan::new(0)
+            .kill(0, 2.0)
+            .rejoin(0, 4.0)
+            .kill(0, 8.0);
+        let (out, _) = World::run_with_faults(1, model, plan, |comm| {
+            comm.advance_compute(3.0);
+            assert!(comm.send(0, 0, &[]).is_err(), "first kill fires");
+            comm.revive().unwrap();
+            // Alive again: the spent kill does not re-fire...
+            comm.send(0, 0, &[1.0]).unwrap();
+            let _ = comm.recv(0, 0).unwrap();
+            // ...but the second kill still does.
+            comm.advance_compute(10.0);
+            comm.send(0, 0, &[]).unwrap_err()
+        });
+        assert_eq!(out[0], Error::RankFailed { rank: 0 });
+    }
+
+    #[test]
+    fn await_control_any_takes_first_welcome_and_buffers_rest() {
+        let model = NetModel::free();
+        const WELCOME: Tag = RESERVED_TAG_BASE + 9000;
+        let out = World::run(3, model, |comm| {
+            if comm.rank() == 2 {
+                let w = comm.await_control_any(WELCOME).unwrap();
+                // Data sent before the welcome is still receivable.
+                let d = comm.recv(0, 4).unwrap();
+                (w, d)
+            } else {
+                if comm.rank() == 0 {
+                    comm.send(2, 4, &[7.0]).unwrap();
+                }
+                // Both survivors send byte-identical welcomes.
+                comm.send_control(2, WELCOME, vec![9, 9, 9]).unwrap();
+                (vec![], vec![])
+            }
+        });
+        assert_eq!(out[2].0, vec![9, 9, 9]);
+        assert_eq!(out[2].1, vec![7.0]);
+    }
+
+    #[test]
+    fn detector_learns_deadlines_and_flags_suspects() {
+        let model = NetModel {
+            alpha: 0.1,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        };
+        let (out, stats) = World::run_with_stats(2, model, |comm| {
+            if comm.rank() == 0 {
+                for _ in 0..12 {
+                    comm.advance_compute(1.0);
+                    comm.send(1, 2, &[1.0]).unwrap();
+                }
+                (None, None)
+            } else {
+                for _ in 0..12 {
+                    let _ = comm.recv(0, 2).unwrap();
+                }
+                // Learned deadline tracks the ~1 s observed waits (the
+                // 4·α floor is 0.4, well below).
+                let dl = comm.adaptive_deadline(0);
+                // Right after hearing from the peer, φ is low.
+                let quiet = comm.peer_phi(0).unwrap();
+                assert!(quiet < 1.0, "fresh peer is unsuspicious: {quiet}");
+                assert!(!comm.peer_suspect_not_dead(0));
+                // Moderate silence: suspect but not presumed dead.
+                comm.advance_compute(1.35);
+                let suspect = comm.peer_suspect_not_dead(0);
+                let phi_mid = comm.peer_phi(0).unwrap();
+                // Long silence: written off, past speculation.
+                comm.advance_compute(8.0);
+                let phi_late = comm.peer_phi(0).unwrap();
+                assert!(phi_late > phi_mid && phi_mid > quiet);
+                assert!(!comm.peer_suspect_not_dead(0), "φ past dead: {phi_late}");
+                (dl, Some((suspect, phi_mid)))
+            }
+        });
+        let dl = out[1].0.unwrap();
+        assert!((0.5..2.5).contains(&dl), "learned deadline: {dl}");
+        let (suspect, phi_mid) = out[1].1.unwrap();
+        assert!(suspect, "moderate silence flags suspect (φ = {phi_mid})");
+        assert_eq!(stats.ranks[1].suspects_flagged, 1);
     }
 }

@@ -29,6 +29,13 @@
 //!   at or after a virtual time `T`: it broadcasts a death notice to
 //!   every rank (so no peer can hang waiting on it) and every subsequent
 //!   operation on it returns [`crate::Error::RankFailed`].
+//! * **Rank rejoin** — a killed rank is scripted to come back at a
+//!   virtual time `T`: [`crate::Communicator::revive`] clears its death
+//!   flag (spending the kill that felled it), fast-forwards its clock
+//!   to `T`, and broadcasts a rejoin announcement. Survivors consult
+//!   the same script ([`FaultPlan::rejoin_time_after`]) to decide
+//!   re-admission, so the decision is a pure function of the plan and
+//!   virtual time — deterministic, like every other fault decision.
 
 /// Which messages on a link a straggler entry applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +81,7 @@ pub struct FaultPlan {
     drops: Vec<LinkEvent>,
     corruptions: Vec<LinkEvent>,
     kills: Vec<(usize, f64)>,
+    rejoins: Vec<(usize, f64)>,
 }
 
 impl FaultPlan {
@@ -125,6 +133,16 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules global rank `rank` to rejoin (revive) at virtual time
+    /// `at`. Only meaningful after a [`FaultPlan::kill`] of the same
+    /// rank that fires strictly before `at`; survivors use the same
+    /// entry to decide deterministic re-admission.
+    pub fn rejoin(mut self, rank: usize, at: f64) -> Self {
+        assert!(at >= 0.0, "rejoin time must be non-negative");
+        self.rejoins.push((rank, at));
+        self
+    }
+
     /// Sets the deadline (in virtual seconds) that plain
     /// [`crate::Communicator::recv`] applies when this plan is active,
     /// so applications that never call `recv_timeout` still fail fast
@@ -141,7 +159,8 @@ impl FaultPlan {
         !(self.stragglers.is_empty()
             && self.drops.is_empty()
             && self.corruptions.is_empty()
-            && self.kills.is_empty())
+            && self.kills.is_empty()
+            && self.rejoins.is_empty())
             || self.default_timeout.is_some()
     }
 
@@ -178,11 +197,21 @@ impl FaultPlan {
 
     /// The virtual time at which `rank` dies, if the plan kills it.
     pub fn kill_time(&self, rank: usize) -> Option<f64> {
-        self.kills
-            .iter()
-            .filter(|&&(r, _)| r == rank)
-            .map(|&(_, t)| t)
-            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+        self.kill_time_after(rank, f64::NEG_INFINITY)
+    }
+
+    /// The earliest scripted kill of `rank` strictly after virtual time
+    /// `after` (a revival spends every kill at or before the rejoin
+    /// time; a later second kill can still fire).
+    pub fn kill_time_after(&self, rank: usize, after: f64) -> Option<f64> {
+        earliest_after(&self.kills, rank, after)
+    }
+
+    /// The earliest scripted rejoin of `rank` strictly after virtual
+    /// time `after` (its death time, so a pre-death rejoin entry is
+    /// never matched).
+    pub fn rejoin_time_after(&self, rank: usize, after: f64) -> Option<f64> {
+        earliest_after(&self.rejoins, rank, after)
     }
 
     /// Flips a deterministic mantissa bit of one word of `data` (the
@@ -204,6 +233,26 @@ impl FaultPlan {
         let h = splitmix(self.seed ^ mix3(src as u64, dst as u64, seq));
         (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// The plan's jitter seed (also keys retry-backoff jitter).
+    pub(crate) fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+fn earliest_after(events: &[(usize, f64)], rank: usize, after: f64) -> Option<f64> {
+    events
+        .iter()
+        .filter(|&&(r, t)| r == rank && t > after)
+        .map(|&(_, t)| t)
+        .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+}
+
+/// Deterministic uniform draw in `[0, 1)` keyed on `(seed, a, b, c)` —
+/// shared by straggler jitter and retry-backoff jitter.
+pub(crate) fn jitter_unit(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    let h = splitmix(seed ^ mix3(a, b, c));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 fn mix3(a: u64, b: u64, c: u64) -> u64 {
@@ -286,6 +335,28 @@ mod tests {
         assert_eq!(p.kill_time(4), Some(3.0));
         assert_eq!(p.kill_time(5), Some(1.0));
         assert_eq!(p.kill_time(0), None);
+    }
+
+    #[test]
+    fn kill_and_rejoin_windows_are_strictly_after() {
+        let p = FaultPlan::new(0)
+            .kill(4, 3.0)
+            .rejoin(4, 7.0)
+            .kill(4, 12.0)
+            .rejoin(4, 20.0);
+        assert!(p.active());
+        // First life: dies at 3, rejoins at 7 (not the later 20).
+        assert_eq!(p.kill_time(4), Some(3.0));
+        assert_eq!(p.rejoin_time_after(4, 3.0), Some(7.0));
+        // Second life: the revival spends kills ≤ 7; the 12.0 kill is
+        // next, then the 20.0 rejoin.
+        assert_eq!(p.kill_time_after(4, 7.0), Some(12.0));
+        assert_eq!(p.rejoin_time_after(4, 12.0), Some(20.0));
+        // No third life.
+        assert_eq!(p.kill_time_after(4, 20.0), None);
+        assert_eq!(p.rejoin_time_after(4, 20.0), None);
+        // Other ranks unaffected.
+        assert_eq!(p.rejoin_time_after(5, 0.0), None);
     }
 
     #[test]

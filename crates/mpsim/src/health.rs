@@ -1,0 +1,453 @@
+//! Adaptive failure detection: EWMA latency statistics and a φ-accrual
+//! suspicion level per peer.
+//!
+//! Fixed receive timeouts force one global constant to cover both a
+//! 2 µs-α intra-rack link and a straggling wide-area hop. The accrual
+//! detector of Hayashibara et al. instead outputs a *suspicion level*
+//!
+//! ```text
+//! φ(t) = −log₁₀ P(no message by t | history)
+//! ```
+//!
+//! where the history is summarized by exponentially-weighted moving
+//! estimates of the mean and variance of (a) inter-arrival gaps (for φ)
+//! and (b) observed receive waits (for per-peer deadlines). Callers pick
+//! thresholds, not timeouts: `φ ≥ phi_suspect` marks a peer *suspect*
+//! (worth a speculative re-request), `φ ≥ phi_dead` presumes it dead.
+//!
+//! **Determinism.** All samples are *virtual-clock* durations taken at
+//! message-consumption points — never at the instant an envelope happens
+//! to be drained from the transport channel, which depends on OS
+//! scheduling. A replayed run therefore feeds the detector bit-identical
+//! samples and reaches bit-identical verdicts.
+
+use crate::netmodel::NetModel;
+
+/// Tuning knobs of the adaptive detector, typically derived from the
+/// network model via [`DetectorConfig::from_model`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// EWMA weight of the newest sample (0 < w ≤ 1).
+    pub ewma_weight: f64,
+    /// Samples required before the detector emits verdicts; until then
+    /// callers fall back to their fixed deadline.
+    pub min_samples: u32,
+    /// φ at or above which a peer is *suspect* (speculation territory).
+    pub phi_suspect: f64,
+    /// φ at or above which a peer is *presumed dead*.
+    pub phi_dead: f64,
+    /// Learned deadlines are `mean + deadline_sigmas · σ`.
+    pub deadline_sigmas: f64,
+    /// Lower clamp on learned deadlines (a few α: no deadline can be
+    /// shorter than the latency floor of the network itself).
+    pub floor: f64,
+    /// Upper clamp on learned deadlines.
+    pub cap: f64,
+}
+
+impl DetectorConfig {
+    /// Sane defaults derived from the α–β network model: the deadline
+    /// floor is a small multiple of the message latency α.
+    pub fn from_model(m: &NetModel) -> Self {
+        let alpha = if m.alpha > 0.0 { m.alpha } else { 1e-9 };
+        DetectorConfig {
+            ewma_weight: 0.15,
+            min_samples: 4,
+            phi_suspect: 1.0,
+            phi_dead: 8.0,
+            deadline_sigmas: 4.0,
+            floor: 4.0 * alpha,
+            cap: f64::INFINITY,
+        }
+    }
+}
+
+/// Exponentially-weighted moving mean and variance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Ewma {
+    weight: f64,
+    mean: f64,
+    var: f64,
+    n: u32,
+}
+
+impl Ewma {
+    /// An empty estimator with the given newest-sample weight.
+    pub fn new(weight: f64) -> Self {
+        assert!(
+            weight > 0.0 && weight <= 1.0,
+            "EWMA weight must be in (0, 1]"
+        );
+        Ewma {
+            weight,
+            ..Ewma::default()
+        }
+    }
+
+    /// Folds one sample in (West's EWMA variance update).
+    pub fn observe(&mut self, x: f64) {
+        self.n = self.n.saturating_add(1);
+        if self.n == 1 {
+            self.mean = x;
+            self.var = 0.0;
+            return;
+        }
+        let d = x - self.mean;
+        self.mean += self.weight * d;
+        self.var = (1.0 - self.weight) * (self.var + self.weight * d * d);
+    }
+
+    /// Current mean estimate (0 before any sample).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current standard-deviation estimate.
+    pub fn std(&self) -> f64 {
+        self.var.max(0.0).sqrt()
+    }
+
+    /// Number of samples folded in.
+    pub fn len(&self) -> u32 {
+        self.n
+    }
+
+    /// Whether no sample has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PeerHealth {
+    /// Virtual time this peer was last heard from.
+    last_heard: Option<f64>,
+    /// Inter-arrival gaps between consecutive messages (drives φ).
+    gaps: Ewma,
+    /// Observed receive waits (drives the learned per-peer deadline).
+    waits: Ewma,
+    /// Whether the peer has already been flagged suspect (so the first
+    /// flagging of each peer can be counted exactly once).
+    suspected: bool,
+}
+
+impl PeerHealth {
+    fn new(weight: f64) -> Self {
+        PeerHealth {
+            last_heard: None,
+            gaps: Ewma::new(weight),
+            waits: Ewma::new(weight),
+            suspected: false,
+        }
+    }
+}
+
+/// Per-peer health state for one rank: feeds on consumption-point
+/// samples, answers φ and learned-deadline queries.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    cfg: DetectorConfig,
+    peers: Vec<PeerHealth>,
+}
+
+impl HealthMonitor {
+    /// A monitor over `peers` global ranks.
+    pub fn new(cfg: DetectorConfig, peers: usize) -> Self {
+        HealthMonitor {
+            cfg,
+            peers: vec![PeerHealth::new(cfg.ewma_weight); peers],
+        }
+    }
+
+    /// The detector configuration in force.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Records that `peer` was heard from at virtual time `now`
+    /// (message consumed); consecutive calls feed the gap statistics.
+    pub fn heard(&mut self, peer: usize, now: f64) {
+        let Some(p) = self.peers.get_mut(peer) else {
+            return;
+        };
+        if let Some(last) = p.last_heard {
+            let gap = now - last;
+            if gap >= 0.0 {
+                p.gaps.observe(gap);
+            }
+        }
+        p.last_heard = Some(now);
+        p.suspected = false;
+    }
+
+    /// Records an observed receive wait (virtual seconds from posting
+    /// the receive to data delivery) from `peer`.
+    pub fn observed_wait(&mut self, peer: usize, secs: f64) {
+        if let Some(p) = self.peers.get_mut(peer) {
+            if secs >= 0.0 {
+                p.waits.observe(secs);
+            }
+        }
+    }
+
+    /// The φ-accrual suspicion level of `peer` at virtual time `now`,
+    /// or `None` until [`DetectorConfig::min_samples`] gaps have been
+    /// observed (callers should fall back to fixed policies).
+    pub fn phi(&self, peer: usize, now: f64) -> Option<f64> {
+        let p = self.peers.get(peer)?;
+        let last = p.last_heard?;
+        if p.gaps.len() < self.cfg.min_samples {
+            return None;
+        }
+        let elapsed = (now - last).max(0.0);
+        let mean = p.gaps.mean();
+        // σ floor: a metronomically regular peer must not produce a
+        // zero-width distribution (any lateness would be φ = ∞).
+        let std = p.gaps.std().max(0.1 * mean.abs()).max(1e-12);
+        let z = (elapsed - mean) / std;
+        let p_later = (0.5 * erfc(z / std::f64::consts::SQRT_2)).max(1e-300);
+        Some(-p_later.log10())
+    }
+
+    /// The learned per-peer receive deadline — `mean + k·σ` of observed
+    /// waits, clamped to `[floor, cap]` — or `None` until enough
+    /// samples exist.
+    pub fn deadline(&self, peer: usize) -> Option<f64> {
+        let p = self.peers.get(peer)?;
+        if p.waits.len() < self.cfg.min_samples {
+            return None;
+        }
+        let spread = p.waits.std().max(0.1 * p.waits.mean().abs());
+        let d = p.waits.mean() + self.cfg.deadline_sigmas * spread;
+        Some(d.clamp(self.cfg.floor, self.cfg.cap).max(1e-12))
+    }
+
+    /// The elapsed-silence threshold (`mean + k·σ` of inter-arrival
+    /// gaps) below which a slow peer is, by construction, never
+    /// presumed dead: at `elapsed = gap_deadline`, `z = k` and with the
+    /// default `k = 4` the accrual level is ≈ 4.5 — far under
+    /// [`DetectorConfig::phi_dead`].
+    pub fn gap_deadline(&self, peer: usize) -> Option<f64> {
+        let p = self.peers.get(peer)?;
+        if p.gaps.len() < self.cfg.min_samples {
+            return None;
+        }
+        let spread = p.gaps.std().max(0.1 * p.gaps.mean().abs());
+        Some(p.gaps.mean() + self.cfg.deadline_sigmas * spread)
+    }
+
+    /// Marks `peer` suspect; returns `true` on the first flagging since
+    /// it was last heard from (so callers can count transitions).
+    pub fn mark_suspect(&mut self, peer: usize) -> bool {
+        match self.peers.get_mut(peer) {
+            Some(p) if !p.suspected => {
+                p.suspected = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of gap samples observed for `peer`.
+    pub fn gap_samples(&self, peer: usize) -> u32 {
+        self.peers.get(peer).map_or(0, |p| p.gaps.len())
+    }
+
+    /// Forgets everything about `peer` (on re-admission after a rejoin:
+    /// pre-death statistics do not describe the revived process).
+    pub fn reset(&mut self, peer: usize) {
+        if let Some(p) = self.peers.get_mut(peer) {
+            *p = PeerHealth::new(self.cfg.ewma_weight);
+        }
+    }
+}
+
+/// A receive-retry schedule: `attempts` windows of `timeout` virtual
+/// seconds, separated by an exponentially growing, optionally jittered
+/// backoff (`backoff · factor^(i−1) · (1 + jitter·u)` with `u` a
+/// deterministic uniform draw).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Per-attempt receive deadline (virtual seconds).
+    pub timeout: f64,
+    /// Total attempts (≥ 1).
+    pub attempts: usize,
+    /// Base backoff charged before the second attempt.
+    pub backoff: f64,
+    /// Multiplicative backoff growth per retry (1.0 = constant).
+    pub factor: f64,
+    /// Jitter fraction in `[0, 1]`: each pause is stretched by up to
+    /// this fraction, by a deterministic per-(link, retry) draw.
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// The legacy constant-backoff schedule (what
+    /// [`crate::Communicator::recv_retry`] always did).
+    pub fn fixed(timeout: f64, attempts: usize, backoff: f64) -> Self {
+        RetryPolicy {
+            timeout,
+            attempts,
+            backoff,
+            factor: 1.0,
+            jitter: 0.0,
+        }
+    }
+
+    /// Exponential backoff with jitter.
+    pub fn exponential(
+        timeout: f64,
+        attempts: usize,
+        backoff: f64,
+        factor: f64,
+        jitter: f64,
+    ) -> Self {
+        assert!(factor >= 1.0, "backoff factor must be >= 1");
+        assert!((0.0..=1.0).contains(&jitter), "jitter must be in [0, 1]");
+        RetryPolicy {
+            timeout,
+            attempts,
+            backoff,
+            factor,
+            jitter,
+        }
+    }
+}
+
+/// Complementary error function, Abramowitz–Stegun 7.1.26 (|ε| ≤
+/// 1.5e-7): plenty for suspicion levels, and dependency-free.
+fn erfc(x: f64) -> f64 {
+    let ax = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * ax);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let e = poly * (-ax * ax).exp();
+    if x >= 0.0 {
+        e
+    } else {
+        2.0 - e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig::from_model(&NetModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flops: f64::INFINITY,
+        })
+    }
+
+    #[test]
+    fn ewma_tracks_mean_and_spread() {
+        let mut e = Ewma::new(0.5);
+        assert!(e.is_empty());
+        for _ in 0..20 {
+            e.observe(2.0);
+        }
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+        assert!(e.std() < 1e-6, "constant stream has no spread");
+        e.observe(10.0);
+        assert!(e.mean() > 2.0);
+        assert!(e.std() > 0.0);
+        assert_eq!(e.len(), 21);
+    }
+
+    #[test]
+    fn phi_needs_min_samples_then_grows_with_silence() {
+        let mut h = HealthMonitor::new(cfg(), 2);
+        assert_eq!(h.phi(1, 0.0), None, "no data yet");
+        // Regular 1 s heartbeat.
+        for k in 0..10 {
+            h.heard(1, k as f64);
+        }
+        let on_time = h.phi(1, 9.5).unwrap();
+        let late = h.phi(1, 13.0).unwrap();
+        let very_late = h.phi(1, 60.0).unwrap();
+        assert!(on_time < 1.0, "on-schedule peer is unsuspicious: {on_time}");
+        assert!(late > on_time);
+        assert!(very_late > h.config().phi_dead, "long silence: {very_late}");
+    }
+
+    #[test]
+    fn slow_but_steady_peer_stays_below_dead_threshold() {
+        // A peer that is *slow* (10 s gaps) but regular must never be
+        // presumed dead while its silence stays below the learned gap
+        // deadline.
+        let mut h = HealthMonitor::new(cfg(), 1);
+        for k in 0..30 {
+            h.heard(0, 10.0 * k as f64);
+        }
+        let last = 290.0;
+        let dl = h.gap_deadline(0).unwrap();
+        assert!(dl >= 10.0, "deadline at least the typical gap: {dl}");
+        let phi = h.phi(0, last + dl).unwrap();
+        assert!(
+            phi < h.config().phi_dead,
+            "φ = {phi} at the learned deadline must stay below dead"
+        );
+    }
+
+    #[test]
+    fn learned_deadline_clamps_to_floor() {
+        let mut h = HealthMonitor::new(cfg(), 1);
+        for _ in 0..10 {
+            h.observed_wait(0, 1e-6); // far below 4·α floor
+        }
+        assert_eq!(h.deadline(0), Some(4.0), "clamped to 4·α");
+    }
+
+    #[test]
+    fn deadline_follows_observed_waits() {
+        let mut h = HealthMonitor::new(cfg(), 1);
+        for _ in 0..50 {
+            h.observed_wait(0, 100.0);
+        }
+        let d = h.deadline(0).unwrap();
+        assert!(d >= 100.0, "deadline covers the typical wait: {d}");
+        assert!(d <= 200.0, "but is not absurdly padded: {d}");
+    }
+
+    #[test]
+    fn suspect_flag_latches_until_heard() {
+        let mut h = HealthMonitor::new(cfg(), 1);
+        assert!(h.mark_suspect(0), "first flagging counts");
+        assert!(!h.mark_suspect(0), "second does not");
+        h.heard(0, 1.0);
+        assert!(h.mark_suspect(0), "hearing from the peer re-arms");
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut h = HealthMonitor::new(cfg(), 1);
+        for k in 0..10 {
+            h.heard(0, k as f64);
+        }
+        assert!(h.phi(0, 100.0).is_some());
+        h.reset(0);
+        assert_eq!(h.phi(0, 100.0), None);
+        assert_eq!(h.gap_samples(0), 0);
+    }
+
+    #[test]
+    fn erfc_matches_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(5.0) < 1e-6);
+    }
+
+    #[test]
+    fn retry_policy_constructors() {
+        let f = RetryPolicy::fixed(5.0, 3, 0.5);
+        assert_eq!(f.factor, 1.0);
+        assert_eq!(f.jitter, 0.0);
+        let e = RetryPolicy::exponential(5.0, 3, 0.5, 2.0, 0.25);
+        assert_eq!(e.factor, 2.0);
+    }
+}

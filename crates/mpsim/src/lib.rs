@@ -46,6 +46,7 @@ pub mod clock;
 pub mod comm;
 pub mod error;
 pub mod fault;
+pub mod health;
 pub mod netmodel;
 pub mod router;
 pub mod stats;
@@ -56,6 +57,7 @@ pub use clock::Clock;
 pub use comm::{Communicator, RecvHandle};
 pub use error::{Error, Result};
 pub use fault::{FaultPlan, Span};
+pub use health::{DetectorConfig, Ewma, HealthMonitor, RetryPolicy};
 pub use netmodel::NetModel;
 pub use stats::{RankStats, WorldStats};
 pub use topology::Topology;

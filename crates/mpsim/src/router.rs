@@ -45,6 +45,15 @@ pub enum Payload {
         /// Sender's recovery epoch when it aborted.
         epoch: u64,
     },
+    /// Rejoin announcement: a previously dead sender revived at virtual
+    /// time `at`. Advisory — re-admission decisions are driven by the
+    /// fault plan (deterministic), not by when this notice is drained;
+    /// the notice exists so peers can observe the announcement and so
+    /// introspection/tests can see who offered to return.
+    Rejoin {
+        /// Sender's virtual time of revival.
+        at: f64,
+    },
 }
 
 impl Payload {

@@ -33,6 +33,16 @@ pub struct RankStats {
     pub failures_detected: u64,
     /// Collective abort notices this rank broadcast.
     pub aborts_sent: u64,
+    /// Peers the adaptive detector newly flagged *suspect* (φ past the
+    /// suspect threshold but under the dead threshold) at a query
+    /// point; re-armed each time the peer is heard from again.
+    pub suspects_flagged: u64,
+    /// Speculative re-requests issued for suspect-but-not-dead peers
+    /// after the regular retry schedule was exhausted.
+    pub speculative_retries: u64,
+    /// Times this rank revived from a scripted death and announced a
+    /// rejoin.
+    pub rejoins: u64,
     /// Virtual seconds of injected straggler delay absorbed by this
     /// rank's receives.
     pub straggler_wait: f64,
@@ -59,6 +69,9 @@ impl RankStats {
         self.corrupt_detected += other.corrupt_detected;
         self.failures_detected += other.failures_detected;
         self.aborts_sent += other.aborts_sent;
+        self.suspects_flagged += other.suspects_flagged;
+        self.speculative_retries += other.speculative_retries;
+        self.rejoins += other.rejoins;
         self.straggler_wait += other.straggler_wait;
         self.ckpt_words += other.ckpt_words;
         self.recovery_secs += other.recovery_secs;
@@ -129,6 +142,21 @@ impl WorldStats {
     /// Total abort notices broadcast across ranks.
     pub fn total_aborts(&self) -> u64 {
         self.ranks.iter().map(|r| r.aborts_sent).sum()
+    }
+
+    /// Total suspect flags raised by the adaptive detector.
+    pub fn total_suspects_flagged(&self) -> u64 {
+        self.ranks.iter().map(|r| r.suspects_flagged).sum()
+    }
+
+    /// Total speculative re-requests across ranks.
+    pub fn total_speculative_retries(&self) -> u64 {
+        self.ranks.iter().map(|r| r.speculative_retries).sum()
+    }
+
+    /// Total rank revivals (rejoin announcements) across ranks.
+    pub fn total_rejoins(&self) -> u64 {
+        self.ranks.iter().map(|r| r.rejoins).sum()
     }
 
     /// Total injected straggler delay absorbed across ranks (virtual s).
@@ -208,12 +236,18 @@ mod tests {
                     straggler_wait: 0.75,
                     ckpt_words: 50,
                     recovery_secs: 3.0,
+                    suspects_flagged: 2,
+                    speculative_retries: 1,
+                    rejoins: 1,
                     ..RankStats::default()
                 },
             ],
             clocks: vec![Clock::default(); 2],
         };
         assert_eq!(stats.total_dropped(), 1);
+        assert_eq!(stats.total_suspects_flagged(), 2);
+        assert_eq!(stats.total_speculative_retries(), 1);
+        assert_eq!(stats.total_rejoins(), 1);
         assert_eq!(stats.total_timeouts(), 3);
         assert_eq!(stats.total_retries(), 1);
         assert_eq!(stats.total_corrupt_detected(), 1);

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use crate::clock::Clock;
 use crate::comm::{Communicator, Inner};
 use crate::fault::FaultPlan;
+use crate::health::{DetectorConfig, HealthMonitor};
 use crate::netmodel::NetModel;
 use crate::router;
 use crate::stats::{RankStats, WorldStats};
@@ -147,6 +148,10 @@ impl World {
                         fault_epoch: 0,
                         fault_sync_seq: 0,
                         died: false,
+                        died_at: None,
+                        revive_floor: f64::NEG_INFINITY,
+                        health: HealthMonitor::new(DetectorConfig::from_model(&model), size),
+                        rejoin_notices: BTreeMap::new(),
                     }));
                     let comm = Communicator::world(Rc::clone(&inner));
                     let out = f(&comm);

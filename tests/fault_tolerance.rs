@@ -23,7 +23,7 @@ fn ft_cfg(iters: usize) -> FtTrainConfig {
         iters,
         seed: 7,
         ckpt_every: 2,
-        ft: FtConfig::new(10.0).with_attempts(2).with_backoff(0.5),
+        ft: FtConfig::fixed(10.0).with_attempts(2).with_backoff(0.5),
         machine: MachineModel::cori_knl(),
         ..FtTrainConfig::default()
     }
@@ -179,7 +179,7 @@ fn corrupted_allreduce_never_returns_wrong_numbers() {
     let plan = FaultPlan::new(5).corrupt_nth(2, 3, 0);
     let (out, stats) = World::run_with_faults(4, NetModel::free(), plan, |comm| {
         let mut data = vec![(comm.rank() + 1) as f64; 8];
-        allreduce_ring_ft(comm, &mut data, ReduceOp::Sum, &FtConfig::new(100.0)).map(|_| data)
+        allreduce_ring_ft(comm, &mut data, ReduceOp::Sum, &FtConfig::fixed(100.0)).map(|_| data)
     });
     assert!(out.iter().all(Result::is_err), "no rank completed: {out:?}");
     assert_eq!(stats.total_corrupt_detected(), 1);

@@ -186,7 +186,7 @@ proptest! {
             iters: 6,
             seed: seed + 1,
             ckpt_every: 2,
-            ft: FtConfig::new(10.0).with_attempts(2).with_backoff(0.5),
+            ft: FtConfig::fixed(10.0).with_attempts(2).with_backoff(0.5),
             machine: MachineModel::cori_knl(),
             ..FtTrainConfig::default()
         };
