@@ -13,6 +13,7 @@ const BRUCK_TAG: Tag = (1 << 48) + 32;
 /// Bruck all-gather of equal-length per-rank blocks. Returns all blocks
 /// concatenated in rank order. All ranks must pass the same `mine.len()`.
 pub fn allgather_bruck(comm: &Communicator, mine: &[f64]) -> Result<Vec<f64>> {
+    comm.record_allgather();
     let p = comm.size();
     let r = comm.rank();
     let m = mine.len();

@@ -208,7 +208,7 @@ impl FtConfig {
 /// The global rank to blame for a fault error observed on `comm`, or
 /// `None` when the error is not a fault (or is this rank's own death,
 /// which is already announced by a death notice).
-fn blame(comm: &Communicator, e: &Error) -> Option<usize> {
+pub(crate) fn blame(comm: &Communicator, e: &Error) -> Option<usize> {
     match e {
         Error::Timeout { rank, .. } | Error::Corrupted { rank, .. } => {
             comm.global_rank_of(*rank).ok()
@@ -267,6 +267,7 @@ pub fn allreduce_ring_ft(
     op: ReduceOp,
     cfg: &FtConfig,
 ) -> Result<()> {
+    comm.record_allreduce();
     let p = comm.size();
     if p == 1 {
         return Ok(());
@@ -307,6 +308,7 @@ pub fn allreduce_recursive_doubling_ft(
     op: ReduceOp,
     cfg: &FtConfig,
 ) -> Result<()> {
+    comm.record_allreduce();
     let p = comm.size();
     assert!(
         is_pow2(p),
@@ -330,6 +332,7 @@ pub fn allreduce_recursive_doubling_ft(
 /// Fault-tolerant ring all-gather of equal-size blocks; fault-free
 /// behavior matches [`crate::ring::allgather_ring`].
 pub fn allgather_ring_ft(comm: &Communicator, mine: &[f64], cfg: &FtConfig) -> Result<Vec<f64>> {
+    comm.record_allgather();
     let p = comm.size();
     let r = comm.rank();
     let m = mine.len();
@@ -361,6 +364,7 @@ pub fn allgatherv_ring_ft(
     mine: &[f64],
     cfg: &FtConfig,
 ) -> Result<Vec<Vec<f64>>> {
+    comm.record_allgather();
     let p = comm.size();
     let r = comm.rank();
     let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];

@@ -29,11 +29,16 @@ pub mod chunks;
 pub mod cost;
 pub mod ft;
 pub mod halo;
+pub mod nonblocking;
 pub mod op;
 pub mod recursive;
 pub mod ring;
 
 pub use ft::{Deadline, FtConfig};
+pub use nonblocking::{
+    iallgather, iallgather_ft, iallreduce, iallreduce_ft, waitall, IallgatherHandle,
+    IallreduceHandle,
+};
 pub use op::ReduceOp;
 
 use mpsim::{Communicator, Result};

@@ -29,6 +29,7 @@ pub fn allreduce_recursive_doubling(
     data: &mut [f64],
     op: ReduceOp,
 ) -> Result<()> {
+    comm.record_allreduce();
     let p = comm.size();
     assert!(
         is_pow2(p),
@@ -51,6 +52,7 @@ pub fn allreduce_recursive_doubling(
 /// logarithmic latency. Requires power-of-two `P` and `n` divisible by
 /// `P`.
 pub fn allreduce_rabenseifner(comm: &Communicator, data: &mut [f64], op: ReduceOp) -> Result<()> {
+    comm.record_allreduce();
     let p = comm.size();
     assert!(
         is_pow2(p),

@@ -68,6 +68,7 @@ fn allgather_ring_inplace(comm: &Communicator, data: &mut [f64]) -> Result<()> {
 /// of the paper's Eqs. 4, 7, 8 and 9 (the paper substitutes `⌈log P⌉`
 /// for the ring's `P−1` latency factor; see `cost::paper_allreduce`).
 pub fn allreduce_ring(comm: &Communicator, data: &mut [f64], op: ReduceOp) -> Result<()> {
+    comm.record_allreduce();
     if comm.size() == 1 {
         return Ok(());
     }
@@ -78,6 +79,7 @@ pub fn allreduce_ring(comm: &Communicator, data: &mut [f64], op: ReduceOp) -> Re
 /// Ring all-gather of equal-size per-rank blocks (`mine` from each rank,
 /// concatenated in rank order in the result).
 pub fn allgather_ring(comm: &Communicator, mine: &[f64]) -> Result<Vec<f64>> {
+    comm.record_allgather();
     let p = comm.size();
     let r = comm.rank();
     let m = mine.len();
@@ -104,6 +106,7 @@ pub fn allgather_ring(comm: &Communicator, mine: &[f64]) -> Result<Vec<f64>> {
 /// [`allgather_ring`], with the bandwidth term determined by the total
 /// length.
 pub fn allgatherv_ring(comm: &Communicator, mine: &[f64]) -> Result<Vec<Vec<f64>>> {
+    comm.record_allgather();
     let p = comm.size();
     let r = comm.rank();
     let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];

@@ -48,11 +48,14 @@ use tensor::ops::axpy;
 use tensor::Matrix;
 
 use distmm::dist::{col_shard, part_range, row_shard};
-use distmm::onep5d::{backward_ft, forward_ft, Grid};
+use distmm::onep5d::{backward_dw_deferred_ft, backward_ft, forward_ft, Grid};
 
 use crate::cost::integrated_model_batch;
 use crate::machine::MachineModel;
-use crate::trainer::{act_backward, apply_act, extract_fc_layers, init_weights, FcLayer};
+use crate::trainer::{
+    act_backward, apply_act, extract_fc_layers, init_weights, FcLayer, GradBuckets,
+    DEFAULT_BUCKET_WORDS,
+};
 
 /// Configuration for a fault-tolerant training run.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +78,13 @@ pub struct FtTrainConfig {
     /// Machine used both to drive the simulation (`net_model()`) and to
     /// re-plan the grid with Eq. 8 after a shrink.
     pub machine: MachineModel,
+    /// Overlap the ∆W all-reduces with the remaining backward compute
+    /// using the non-blocking collectives (the executed Fig. 8 path,
+    /// bucketed like [`crate::trainer::train_1p5d_overlap`]); chunk
+    /// receives stay deadline-bound and faults still abort group-wide,
+    /// so recovery semantics are unchanged. `false` reproduces the
+    /// fully blocking iteration.
+    pub overlap: bool,
 }
 
 impl Default for FtTrainConfig {
@@ -93,6 +103,7 @@ impl Default for FtTrainConfig {
             ckpt_every: 2,
             ft,
             machine,
+            overlap: false,
         }
     }
 }
@@ -116,6 +127,11 @@ pub struct RecoveryReport {
     /// Virtual seconds this rank spent in the committed attempt
     /// (epoch bump through commit: re-plan, redistribution, re-shard).
     pub measured_secs: f64,
+    /// Cumulative exposed wait on non-blocking collective drains
+    /// ([`mpsim::RankStats::comm_wait_secs`]) at the time of this
+    /// recovery — a diagnostic for how overlap and fault recovery
+    /// interact (0 unless [`FtTrainConfig::overlap`] is on).
+    pub comm_wait_secs: f64,
     /// Eq. 8 per-iteration communication seconds on the shrunk grid —
     /// the analytic degraded-mode cost to compare with
     /// [`FtRankOutcome::comm_secs_per_iter`].
@@ -434,18 +450,42 @@ fn run_iteration(
     allreduce_ring_ft(&grid.row_comm, &mut lbuf, ReduceOp::Sum, &cfg.ft)?;
     // Backward.
     let mut dy = grad;
-    for (idx, l) in layers.iter().enumerate().rev() {
-        dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
-        let (dw, dx) = backward_ft(grid, &w[idx], &inputs[idx], &dy, &cfg.ft)?;
-        if cfg.momentum != 0.0 {
-            for (vi, di) in v[idx].as_mut_slice().iter_mut().zip(dw.as_slice()) {
-                *vi = cfg.momentum * *vi + di;
-            }
-            axpy(-cfg.lr, v[idx].as_slice(), w[idx].as_mut_slice());
-        } else {
-            axpy(-cfg.lr, dw.as_slice(), w[idx].as_mut_slice());
+    if cfg.overlap {
+        // Executed overlap: ∆W partials are bucketed and their
+        // row-group sums launched non-blocking (deadline-bound chunk
+        // receives, group abort on faults) while backprop continues;
+        // every bucket is drained before the optimizer step.
+        let mut buckets = GradBuckets::new(&grid.row_comm, DEFAULT_BUCKET_WORDS, Some(cfg.ft));
+        for (idx, l) in layers.iter().enumerate().rev() {
+            dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
+            let (dw, dx) = backward_dw_deferred_ft(grid, &w[idx], &inputs[idx], &dy, &cfg.ft)?;
+            buckets.push(idx, &dw)?;
+            dy = dx;
         }
-        dy = dx;
+        buckets.drain(|idx, summed| {
+            if cfg.momentum != 0.0 {
+                for (vi, &di) in v[idx].as_mut_slice().iter_mut().zip(summed) {
+                    *vi = cfg.momentum * *vi + di;
+                }
+                axpy(-cfg.lr, v[idx].as_slice(), w[idx].as_mut_slice());
+            } else {
+                axpy(-cfg.lr, summed, w[idx].as_mut_slice());
+            }
+        })?;
+    } else {
+        for (idx, l) in layers.iter().enumerate().rev() {
+            dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
+            let (dw, dx) = backward_ft(grid, &w[idx], &inputs[idx], &dy, &cfg.ft)?;
+            if cfg.momentum != 0.0 {
+                for (vi, di) in v[idx].as_mut_slice().iter_mut().zip(dw.as_slice()) {
+                    *vi = cfg.momentum * *vi + di;
+                }
+                axpy(-cfg.lr, v[idx].as_slice(), w[idx].as_mut_slice());
+            } else {
+                axpy(-cfg.lr, dw.as_slice(), w[idx].as_mut_slice());
+            }
+            dy = dx;
+        }
     }
     Ok(lbuf[0])
 }
@@ -869,6 +909,7 @@ fn run_rank(
                     pr: npr,
                     pc: npc,
                     measured_secs: comm.now() - t0,
+                    comm_wait_secs: comm.stats().comm_wait_secs,
                     analytic_comm_per_iter: integrated_model_batch(
                         wlayers,
                         b_global as f64,
@@ -1094,6 +1135,54 @@ mod tests {
         }
         assert!(faulty.stats.total_failures_detected() > 0);
         assert!(faulty.stats.max_recovery_secs() > 0.0);
+    }
+
+    #[test]
+    fn overlap_fault_free_matches_blocking_ft_trainer() {
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        for momentum in [0.0, 0.9] {
+            let c = FtTrainConfig { momentum, ..cfg(6) };
+            let blocking = train_1p5d_ft(&net, &x, &labels, &c, 2, 3, FaultPlan::default());
+            let oc = FtTrainConfig { overlap: true, ..c };
+            let over = train_1p5d_ft(&net, &x, &labels, &oc, 2, 3, FaultPlan::default());
+            assert_eq!(over.survivors().len(), 6);
+            // Bucketed fused all-reduces change the reduction order by
+            // at most a few ulps per step.
+            assert!(max_weight_diff(&blocking.weights(), &over.weights()) < 1e-9);
+            for (a, b) in blocking.losses().iter().zip(over.losses()) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+            let (_, _, nb_ar, _) = over.stats.total_collective_calls();
+            assert!(nb_ar > 0, "overlap path used non-blocking all-reduces");
+        }
+    }
+
+    #[test]
+    fn overlap_corruption_rolls_back_and_replays_to_the_same_result() {
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let c = FtTrainConfig {
+            overlap: true,
+            ..cfg(6)
+        };
+        let clean = train_1p5d_ft(&net, &x, &labels, &c, 2, 3, FaultPlan::default());
+        // Bucketing fuses the per-layer ∆W all-reduces, so this link
+        // carries fewer (larger) messages than in the blocking run —
+        // corrupt an earlier one.
+        let plan = FaultPlan::new(9).corrupt_nth(1, 2, 20);
+        let faulty = train_1p5d_ft(&net, &x, &labels, &c, 2, 3, plan);
+        assert_eq!(faulty.survivors().len(), 6, "nobody died");
+        assert_eq!(faulty.stats.total_corrupt_detected(), 1);
+        assert!(faulty.stats.total_aborts() >= 1);
+        assert!(max_weight_diff(&clean.weights(), &faulty.weights()) < 1e-12);
+        assert_eq!(clean.losses(), faulty.losses());
+        let r = &faulty.survivors()[0].recoveries;
+        assert_eq!(r.len(), 1);
+        assert!(
+            r[0].comm_wait_secs.is_finite() && r[0].comm_wait_secs >= 0.0,
+            "exposed drain wait recorded at recovery"
+        );
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! masks would make the serial-vs-distributed comparison seed-order
 //! dependent without touching communication at all.
 
+use collectives::nonblocking::{iallreduce, iallreduce_ft, IallreduceHandle};
+use collectives::{FtConfig, ReduceOp};
 use dnn::{LayerSpec, Network};
-use mpsim::{NetModel, World, WorldStats};
+use mpsim::{Communicator, Error, NetModel, World, WorldStats};
 use tensor::activation::{relu, relu_backward, softmax_xent, tanh, tanh_backward};
 use tensor::init;
 use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
@@ -23,7 +25,9 @@ use tensor::ops::axpy;
 use tensor::Matrix;
 
 use distmm::dist::{col_shard, part_range, row_shard};
-use distmm::onep5d::{backward as grid_backward, forward as grid_forward, Grid};
+use distmm::onep5d::{
+    backward as grid_backward, backward_dw_deferred, forward as grid_forward, Grid,
+};
 
 /// Activation following an FC layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +100,88 @@ pub(crate) fn act_backward(act: Act, pre: &Matrix, post: &Matrix, dy: &Matrix) -
         Act::None => dy.clone(),
         Act::Relu => relu_backward(pre, dy),
         Act::Tanh => tanh_backward(post, dy),
+    }
+}
+
+/// Default fusion threshold (in f64 words) for gradient bucketing in
+/// [`train_1p5d_overlap`]: per-layer ∆W shards are concatenated in
+/// reverse layer order until a bucket reaches this size, then the
+/// bucket's row-group sum is launched as one non-blocking all-reduce.
+/// Bigger buckets amortize the ring's `2(P−1)·α` latency over more
+/// words; smaller buckets start transfers earlier. This is the
+/// DDP-style trade-off; the value is deliberately small because the
+/// simulated layers are.
+pub const DEFAULT_BUCKET_WORDS: usize = 1 << 13;
+
+/// DDP-style gradient buckets: deferred per-layer ∆W partials are fused
+/// (in push order) into flat buffers and their row-group sums launched
+/// as non-blocking all-reduces the moment a bucket fills, so the
+/// transfers run on the comm channel while backprop continues into
+/// earlier layers. [`GradBuckets::drain`] settles every outstanding
+/// handle — call it before the optimizer step.
+pub(crate) struct GradBuckets {
+    comm: Communicator,
+    cap: usize,
+    ft: Option<FtConfig>,
+    /// Launched buckets: the in-flight handle plus the (layer, words)
+    /// segments fused into it, in fusion order.
+    pending: Vec<(IallreduceHandle, Vec<(usize, usize)>)>,
+    buf: Vec<f64>,
+    buf_layers: Vec<(usize, usize)>,
+}
+
+impl GradBuckets {
+    /// `comm` is the group to sum over (the grid's row group); `ft`
+    /// selects deadline-bounded receives with group abort.
+    pub(crate) fn new(comm: &Communicator, cap: usize, ft: Option<FtConfig>) -> Self {
+        assert!(cap >= 1, "bucket capacity must be at least one word");
+        GradBuckets {
+            comm: comm.clone(),
+            cap,
+            ft,
+            pending: Vec::new(),
+            buf: Vec::new(),
+            buf_layers: Vec::new(),
+        }
+    }
+
+    /// Appends layer `idx`'s local ∆W partial; launches the bucket's
+    /// all-reduce once the fusion threshold is reached.
+    pub(crate) fn push(&mut self, idx: usize, dw: &Matrix) -> Result<(), Error> {
+        self.buf_layers.push((idx, dw.len()));
+        self.buf.extend_from_slice(dw.as_slice());
+        if self.buf.len() >= self.cap {
+            self.launch()?;
+        }
+        Ok(())
+    }
+
+    fn launch(&mut self) -> Result<(), Error> {
+        let data = std::mem::take(&mut self.buf);
+        let segs = std::mem::take(&mut self.buf_layers);
+        let handle = match &self.ft {
+            Some(cfg) => iallreduce_ft(&self.comm, data, ReduceOp::Sum, cfg)?,
+            None => iallreduce(&self.comm, data, ReduceOp::Sum)?,
+        };
+        self.pending.push((handle, segs));
+        Ok(())
+    }
+
+    /// Flushes the partial bucket, waits on every outstanding handle in
+    /// launch order, and hands each layer its summed gradient slice.
+    pub(crate) fn drain(mut self, mut apply: impl FnMut(usize, &[f64])) -> Result<(), Error> {
+        if !self.buf.is_empty() {
+            self.launch()?;
+        }
+        for (handle, segs) in self.pending {
+            let summed = handle.wait()?;
+            let mut at = 0;
+            for (idx, len) in segs {
+                apply(idx, &summed[at..at + len]);
+                at += len;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -230,6 +316,17 @@ impl DistResult {
             .collect()
     }
 
+    /// Measured fraction of executed collective transfer time that was
+    /// hidden behind compute (see
+    /// [`WorldStats::measured_overlap_fraction`]): 0 for
+    /// [`train_1p5d`] (everything blocking), positive for
+    /// [`train_1p5d_overlap`]. Compare against the paper's analytic
+    /// 2/3 backprop fraction
+    /// ([`crate::overlap::PAPER_BACKPROP_FRACTION`]).
+    pub fn measured_overlap_fraction(&self) -> f64 {
+        self.stats.measured_overlap_fraction()
+    }
+
     /// Every grid column must hold identical replicas of its row's
     /// weight shard; returns the maximum discrepancy (should be ~0).
     pub fn replica_divergence(&self) -> f64 {
@@ -321,6 +418,116 @@ pub fn train_1p5d(
     }
 }
 
+/// [`train_1p5d`] with **executed communication/computation overlap**
+/// (the paper's Fig. 8, run rather than modelled): each layer's ∆W
+/// all-reduce is launched non-blocking as soon as its local partial
+/// `∆Y·Xᵀ` is formed — bucketed DDP-style
+/// ([`DEFAULT_BUCKET_WORDS`]) — and the transfers progress on the
+/// per-rank comm channel while backprop keeps computing ∆X and earlier
+/// layers' products. All buckets are drained before the optimizer
+/// `axpy`, preserving synchronous SGD semantics: the trajectory matches
+/// [`train_serial`] up to the reduction-order noise of fusing layer
+/// shards into shared ring buckets (~1 ulp; replicas within a row
+/// group remain bitwise identical).
+///
+/// The ∆X all-reduce and the forward all-gather stay blocking — they
+/// are on the critical path of the chain rule.
+pub fn train_1p5d_overlap(
+    net: &Network,
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    pr: usize,
+    pc: usize,
+    model: NetModel,
+) -> DistResult {
+    train_1p5d_overlap_with_bucket(net, x, labels, cfg, pr, pc, model, DEFAULT_BUCKET_WORDS)
+}
+
+/// [`train_1p5d_overlap`] with an explicit bucket fusion threshold
+/// (words). `bucket_words = 1` degenerates to one all-reduce per layer
+/// (earliest launch, most latency); `bucket_words = ∞` to a single
+/// fused all-reduce per iteration (fewest launches, latest start).
+#[allow(clippy::too_many_arguments)]
+pub fn train_1p5d_overlap_with_bucket(
+    net: &Network,
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    pr: usize,
+    pc: usize,
+    model: NetModel,
+    bucket_words: usize,
+) -> DistResult {
+    let layers = extract_fc_layers(net);
+    let b_global = x.cols();
+    let (per_rank, stats) = World::run_with_stats(pr * pc, model, |comm| {
+        let grid = Grid::new(comm, pr, pc).expect("grid tiles the world");
+        let full_weights = init_weights(&layers, cfg.seed);
+        let mut w_local: Vec<Matrix> = full_weights
+            .iter()
+            .map(|w| row_shard(w, pr, grid.i))
+            .collect();
+        let x_local = col_shard(x, pc, grid.j);
+        let label_range = part_range(b_global, pc, grid.j);
+        let labels_local = &labels[label_range.clone()];
+        let b_local = x_local.cols();
+
+        let mut partial_losses = Vec::with_capacity(cfg.iters);
+        for _ in 0..cfg.iters {
+            // Forward (unchanged from train_1p5d).
+            let mut inputs = vec![x_local.clone()];
+            let mut pres = Vec::with_capacity(layers.len());
+            for (l, w) in layers.iter().zip(&w_local) {
+                let pre = grid_forward(&grid, w, inputs.last().expect("input")).expect("forward");
+                let post = apply_act(l.act, &pre);
+                pres.push(pre);
+                inputs.push(post);
+            }
+            let logits = inputs.last().expect("logits");
+            let (loss_local, mut grad) = softmax_xent(logits, labels_local);
+            let scale = b_local as f64 / b_global as f64;
+            for g in grad.as_mut_slice() {
+                *g *= scale;
+            }
+            partial_losses.push(loss_local * scale);
+            // Backward with executed overlap: ∆W partials go into
+            // buckets whose row-group sums run on the comm channel
+            // while the loop keeps computing; ∆X stays blocking (the
+            // chain rule needs it immediately).
+            let mut buckets = GradBuckets::new(&grid.row_comm, bucket_words, None);
+            let mut dy = grad;
+            for (idx, l) in layers.iter().enumerate().rev() {
+                dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
+                let (dw, dx) = backward_dw_deferred(&grid, &w_local[idx], &inputs[idx], &dy)
+                    .expect("backward");
+                buckets.push(idx, &dw).expect("bucket launch");
+                dy = dx;
+            }
+            // Drain every outstanding bucket, then step. Deferring the
+            // axpy changes nothing numerically: ∆X already used the
+            // pre-update weights in the blocking trainer too.
+            buckets
+                .drain(|idx, summed| {
+                    axpy(-cfg.lr, summed, w_local[idx].as_mut_slice());
+                })
+                .expect("bucket drain");
+        }
+        RankOutcome {
+            i: grid.i,
+            j: grid.j,
+            partial_losses,
+            weight_shards: w_local,
+        }
+    });
+    DistResult {
+        pr,
+        pc,
+        per_rank,
+        stats,
+    }
+}
+
 /// Synthetic classification data shaped for a network: inputs in
 /// `[-1, 1)` and uniform labels over the output classes, both
 /// seed-deterministic.
@@ -384,6 +591,86 @@ mod tests {
             for (a, b) in serial.losses.iter().zip(dist.losses()) {
                 assert!((a - b).abs() < 1e-9, "grid {pr}x{pc}: loss {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn overlap_training_matches_serial_for_all_grids_and_bucket_sizes() {
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let cfg = TrainConfig {
+            lr: 0.3,
+            iters: 8,
+            seed: 7,
+        };
+        let serial = train_serial(&net, &x, &labels, &cfg);
+        for (pr, pc) in [(1, 1), (1, 4), (4, 1), (2, 3), (4, 2)] {
+            // Per-layer launches, mid-size fusion, and one giant bucket.
+            for bucket in [1, 64, usize::MAX] {
+                let dist = train_1p5d_overlap_with_bucket(
+                    &net,
+                    &x,
+                    &labels,
+                    &cfg,
+                    pr,
+                    pc,
+                    NetModel::free(),
+                    bucket,
+                );
+                let diff = max_weight_diff(&serial.weights, &dist.weights());
+                assert!(
+                    diff < 1e-9,
+                    "grid {pr}x{pc} bucket {bucket}: weight diff {diff}"
+                );
+                for (a, b) in serial.losses.iter().zip(dist.losses()) {
+                    assert!((a - b).abs() < 1e-9, "grid {pr}x{pc}: loss {a} vs {b}");
+                }
+                assert!(
+                    dist.replica_divergence() < 1e-15,
+                    "row-group replicas stay bitwise identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_is_never_slower_and_hides_dw_traffic() {
+        // A network model where communication is substantial relative to
+        // compute, so hiding the ∆W all-reduce is visible in the
+        // makespan.
+        let model = NetModel {
+            alpha: 1e-5,
+            beta: 1e-8,
+            flops: 1e9,
+        };
+        let net = mlp("m", &[64, 96, 96, 10]);
+        let (x, labels) = synthetic_data(&net, 32, 3);
+        let cfg = TrainConfig {
+            lr: 0.1,
+            iters: 2,
+            seed: 1,
+        };
+        for (pr, pc) in [(1, 4), (2, 4), (4, 2)] {
+            let serialized = train_1p5d(&net, &x, &labels, &cfg, pr, pc, model);
+            let overlapped = train_1p5d_overlap(&net, &x, &labels, &cfg, pr, pc, model);
+            let t_ser = serialized.stats.makespan();
+            let t_ovl = overlapped.stats.makespan();
+            assert!(
+                t_ovl <= t_ser + 1e-12,
+                "grid {pr}x{pc}: overlap slower ({t_ovl} vs {t_ser})"
+            );
+            assert!(
+                overlapped.stats.total_overlapped_secs() > 0.0,
+                "grid {pr}x{pc}: some transfer time was hidden"
+            );
+            assert!(
+                overlapped.measured_overlap_fraction() > 0.0
+                    && overlapped.measured_overlap_fraction() <= 1.0,
+                "grid {pr}x{pc}: fraction in (0, 1]"
+            );
+            assert_eq!(serialized.measured_overlap_fraction(), 0.0);
+            let (_, _, nb_ar, _) = overlapped.stats.total_collective_calls();
+            assert!(nb_ar > 0, "non-blocking launches were counted");
         }
     }
 

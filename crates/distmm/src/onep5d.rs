@@ -149,6 +149,55 @@ pub fn backward(
     Ok((dw, dx))
 }
 
+/// [`backward`] with the ∆W all-reduce **deferred**: returns the local
+/// partial `∆Y_{i,j}·X_jᵀ` — *not* yet summed over the `Pc`-sized row
+/// group — and the fully reduced `∆X_j`. The caller owns the row-group
+/// sum, typically launching it as a bucketed non-blocking all-reduce
+/// ([`collectives::nonblocking::iallreduce`]) so the transfer overlaps
+/// the remaining backward compute (the paper's Fig. 8 executed); see
+/// `integrated::trainer::train_1p5d_overlap`.
+pub fn backward_dw_deferred(
+    grid: &Grid,
+    w_local: &Matrix,
+    x_local: &Matrix,
+    dy_local: &Matrix,
+) -> Result<(Matrix, Matrix)> {
+    let rows = grid.w_rows(dy_local.rows());
+    let dy_i = dy_local.row_block(rows.start, rows.end);
+    grid.row_comm
+        .advance_flops(matmul_flops(dy_i.rows(), dy_i.cols(), x_local.rows()));
+    let dw = matmul_a_bt(&dy_i, x_local);
+    grid.col_comm
+        .advance_flops(matmul_flops(w_local.cols(), w_local.rows(), dy_i.cols()));
+    let mut dx = matmul_at_b(w_local, &dy_i);
+    allreduce(&grid.col_comm, dx.as_mut_slice(), ReduceOp::Sum)?;
+    Ok((dw, dx))
+}
+
+/// Fault-tolerant [`backward_dw_deferred`]: the ∆X all-reduce is
+/// deadline-bound and aborts group-wide on a fault; the deferred ∆W sum
+/// is still the caller's responsibility (use
+/// [`collectives::nonblocking::iallreduce_ft`] so the overlapped path
+/// keeps the same failure semantics).
+pub fn backward_dw_deferred_ft(
+    grid: &Grid,
+    w_local: &Matrix,
+    x_local: &Matrix,
+    dy_local: &Matrix,
+    cfg: &FtConfig,
+) -> Result<(Matrix, Matrix)> {
+    let rows = grid.w_rows(dy_local.rows());
+    let dy_i = dy_local.row_block(rows.start, rows.end);
+    grid.row_comm
+        .advance_flops(matmul_flops(dy_i.rows(), dy_i.cols(), x_local.rows()));
+    let dw = matmul_a_bt(&dy_i, x_local);
+    grid.col_comm
+        .advance_flops(matmul_flops(w_local.cols(), w_local.rows(), dy_i.cols()));
+    let mut dx = matmul_at_b(w_local, &dy_i);
+    allreduce_ring_ft(&grid.col_comm, dx.as_mut_slice(), ReduceOp::Sum, cfg)?;
+    Ok((dw, dx))
+}
+
 /// Fault-tolerant [`forward`]: same data movement and fault-free cost,
 /// but the all-gather is deadline-bound and aborts group-wide on a
 /// fault (see `collectives::ft`).
@@ -372,6 +421,26 @@ mod tests {
             assert!(y0 == y1 && dw0 == dw1 && dx0 == dx1, "identical numbers");
             // Same α–β cost as the plain implementations.
             assert!((t0 - t1).abs() < 1e-12, "{t0} vs {t1}");
+        }
+    }
+
+    #[test]
+    fn deferred_dw_plus_explicit_sum_matches_backward_bitwise() {
+        let (pr, pc) = (2usize, 3usize);
+        let r = reference(8, 5, 9);
+        let out = World::run(pr * pc, NetModel::free(), |comm| {
+            let grid = Grid::new(comm, pr, pc).unwrap();
+            let wl = row_shard(&r.w, pr, grid.i);
+            let xl = col_shard(&r.x, pc, grid.j);
+            let dyl = col_shard(&r.dy, pc, grid.j);
+            let (dw_ref, dx_ref) = backward(&grid, &wl, &xl, &dyl).unwrap();
+            let (mut dw, dx) = backward_dw_deferred(&grid, &wl, &xl, &dyl).unwrap();
+            allreduce(&grid.row_comm, dw.as_mut_slice(), ReduceOp::Sum).unwrap();
+            (dw_ref, dx_ref, dw, dx)
+        });
+        for (g, (dw_ref, dx_ref, dw, dx)) in out.iter().enumerate() {
+            assert!(dw == dw_ref, "rank {g}: deferred ∆W sum differs");
+            assert!(dx == dx_ref, "rank {g}: ∆X differs");
         }
     }
 

@@ -8,6 +8,14 @@
 use crate::netmodel::NetModel;
 
 /// Virtual time of one rank, split by cause.
+///
+/// Besides the main timeline (`now = comm + compute`), the clock tracks
+/// a **concurrent communication channel**: a second timeline on which
+/// non-blocking collectives charge their transfers. Work scheduled on
+/// the channel progresses while the main timeline runs compute, so
+/// outstanding operations overlap with computation instead of summing
+/// with it; the main timeline only pays for the channel when it blocks
+/// in a `wait`/drain (see [`Clock::channel_transfer`]).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Clock {
     /// Current virtual time in seconds.
@@ -17,6 +25,10 @@ pub struct Clock {
     pub comm: f64,
     /// Portion of `now` attributed to local compute.
     pub compute: f64,
+    /// Absolute virtual time at which the concurrent comm channel is
+    /// next free. Transfers scheduled on the channel serialize against
+    /// each other (one NIC), not against the main timeline.
+    pub comm_busy: f64,
 }
 
 impl Clock {
@@ -80,6 +92,24 @@ impl Clock {
             self.now = t;
         }
     }
+
+    /// Schedules `transfer` seconds on the concurrent comm channel: the
+    /// transfer starts once the data is available (`avail`, an absolute
+    /// virtual time — the sender-side departure plus any injected
+    /// delay) *and* the channel is free, and occupies the channel until
+    /// it finishes. Returns the absolute finish time.
+    ///
+    /// Does **not** advance `now`: the main timeline keeps computing
+    /// and only pays when it blocks on the result (via
+    /// [`Clock::complete_wait`] at drain time).
+    #[inline]
+    pub fn channel_transfer(&mut self, avail: f64, transfer: f64) -> f64 {
+        debug_assert!(transfer >= 0.0, "negative transfer time");
+        let start = self.comm_busy.max(avail);
+        let finish = start + transfer;
+        self.comm_busy = finish;
+        finish
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +159,41 @@ mod tests {
         c.complete_wait(4.0);
         assert!((c.now - 4.0).abs() < 1e-12);
         assert!((c.comm - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_transfers_serialize_without_advancing_now() {
+        let mut c = Clock::new();
+        c.advance_compute(1.0);
+        // Two back-to-back transfers: the second queues behind the first.
+        let f1 = c.channel_transfer(0.5, 2.0);
+        let f2 = c.channel_transfer(0.0, 1.0);
+        assert!((f1 - 2.5).abs() < 1e-12);
+        assert!((f2 - 3.5).abs() < 1e-12);
+        assert!((c.now - 1.0).abs() < 1e-12, "main timeline untouched");
+        assert!((c.now - (c.comm + c.compute)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_waits_for_data_availability() {
+        let mut c = Clock::new();
+        let f = c.channel_transfer(4.0, 0.5);
+        assert!((f - 4.5).abs() < 1e-12);
+        // Draining clamps the main timeline forward as communication.
+        c.advance_compute(1.0);
+        c.complete_wait(f);
+        assert!((c.now - 4.5).abs() < 1e-12);
+        assert!((c.comm - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_work_finished_under_compute_is_free_to_drain() {
+        let mut c = Clock::new();
+        let f = c.channel_transfer(0.0, 2.0);
+        c.advance_compute(5.0);
+        c.complete_wait(f);
+        assert!((c.now - 5.0).abs() < 1e-12, "fully overlapped");
+        assert_eq!(c.comm, 0.0);
     }
 
     #[test]

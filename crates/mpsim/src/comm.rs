@@ -32,6 +32,12 @@ const BARRIER_TAG: Tag = RESERVED_TAG_BASE + 3;
 /// Base tag for [`Communicator::fault_sync`] rounds (offset by a
 /// per-rank round counter, so successive rounds never cross-match).
 const FAULT_SYNC_TAG: Tag = RESERVED_TAG_BASE + 4096;
+/// Base tag for non-blocking collective launches
+/// ([`Communicator::alloc_nb_tags`]); each launch reserves
+/// [`NB_TAG_STRIDE`] consecutive tags above this base.
+const NB_TAG_BASE: Tag = RESERVED_TAG_BASE + (1 << 24);
+/// Tag slots reserved per non-blocking launch.
+const NB_TAG_STRIDE: Tag = 8;
 
 /// Per-thread shared state: transport endpoint, pending-message buffer,
 /// virtual clock, and counters. One `Inner` exists per OS thread (global
@@ -84,6 +90,10 @@ pub(crate) struct Inner {
     /// Rejoin announcements drained from revived peers: global rank →
     /// rejoin time. Advisory; admission is decided from the fault plan.
     pub rejoin_notices: BTreeMap<usize, f64>,
+    /// Per-context launch counter for non-blocking collectives, so
+    /// concurrent handles on one communicator get disjoint tag ranges
+    /// (requires SPMD launch order within the group, like `split`).
+    pub nb_seq: HashMap<u64, u64>,
 }
 
 /// Outcome of a fault-aware message match.
@@ -312,6 +322,20 @@ pub struct RecvHandle {
     deadline: Option<f64>,
 }
 
+/// Outcome of one channel-charged receive
+/// ([`Communicator::recv_channel`]).
+#[derive(Debug)]
+pub struct ChannelRecv {
+    /// The received payload.
+    pub data: Vec<f64>,
+    /// Absolute virtual time at which the concurrent comm channel
+    /// finished the transfer (use as the departure time when forwarding
+    /// a chunk derived from this one).
+    pub ready_at: f64,
+    /// Transfer seconds charged to the channel for this receive.
+    pub transfer: f64,
+}
+
 /// An MPI-like communicator over a group of simulated ranks.
 ///
 /// Cloning is cheap (the member table is shared); clones alias the same
@@ -407,6 +431,38 @@ impl Communicator {
             src: i.global_rank,
             tag,
             depart: i.clock.now,
+            seq: 0,
+            csum: None,
+            data: Payload::Words(data),
+        };
+        i.post(dst_global, env)
+    }
+
+    /// Non-blocking send. Sends in this simulator are already eager —
+    /// they never block and charge no local time — so `isend` is
+    /// [`Communicator::send_vec`] under the MPI-style name; it exists
+    /// so non-blocking code reads symmetrically with
+    /// [`Communicator::recv_channel`].
+    pub fn isend(&self, dst: Rank, tag: Tag, data: Vec<f64>) -> Result<()> {
+        self.send_vec(dst, tag, data)
+    }
+
+    /// Eager send whose envelope departs at the explicit virtual time
+    /// `depart` instead of `clock.now`. Non-blocking collectives use
+    /// this for chunk forwarding: a chunk produced *by the comm
+    /// channel* at time `t` leaves at `t`, which may be earlier (the
+    /// main timeline is deep in compute) or later (the channel is
+    /// backed up) than `now`.
+    pub fn send_vec_at(&self, dst: Rank, tag: Tag, data: Vec<f64>, depart: f64) -> Result<()> {
+        debug_assert!(depart >= 0.0, "negative departure time");
+        let dst_global = self.global_rank_of(dst)?;
+        let mut i = self.inner.borrow_mut();
+        i.check_failed()?;
+        let env = Envelope {
+            ctx: self.ctx,
+            src: i.global_rank,
+            tag,
+            depart,
             seq: 0,
             csum: None,
             data: Payload::Words(data),
@@ -683,6 +739,154 @@ impl Communicator {
             Matched::PeerDead(at) => Err(i.surface_death(handle.src_global, at)),
             Matched::PeerAborted(culprit) => Err(Error::Aborted { culprit }),
         }
+    }
+
+    /// Progresses a non-blocking operation by one receive, charging the
+    /// α–β transfer to the **concurrent comm channel** instead of the
+    /// main timeline (see [`Clock::channel_transfer`]): the transfer
+    /// starts when the data has departed the sender and this rank's
+    /// channel is free, and the main clock does not move. Returns the
+    /// payload, the absolute time the channel finished (the departure
+    /// time for a forwarded chunk), and the seconds charged.
+    ///
+    /// The call may block the *OS thread* until the message is in the
+    /// mailbox, but the matching is deterministic, so virtual time
+    /// never depends on real-time interleaving.
+    pub fn recv_channel(&self, src: Rank, tag: Tag) -> Result<ChannelRecv> {
+        self.recv_channel_deadline(src, tag, None)
+    }
+
+    /// [`Communicator::recv_channel`] with an optional deadline for
+    /// fault-tolerant callers: if the transfer cannot finish within
+    /// `timeout` virtual seconds of the channel's current horizon
+    /// (`max(now, channel_free_at)`), the main clock is charged the
+    /// wait and [`Error::Timeout`] is returned. Drops, peer death, and
+    /// aborts surface like [`Communicator::recv`].
+    pub fn recv_channel_deadline(
+        &self,
+        src: Rank,
+        tag: Tag,
+        timeout: Option<f64>,
+    ) -> Result<ChannelRecv> {
+        let src_global = self.global_rank_of(src)?;
+        let mut i = self.inner.borrow_mut();
+        i.check_failed()?;
+        let deadline = timeout.map(|t| i.clock.now.max(i.clock.comm_busy) + t);
+        match i.match_recv(self.ctx, src_global, tag, true)? {
+            Matched::Data(env) => {
+                let words = env.data.words();
+                let me = i.global_rank;
+                let (fa, fb) = i.topo.factors(env.src, me);
+                let extra = if i.plan.active() {
+                    i.plan.extra_delay(env.src, me, env.seq)
+                } else {
+                    0.0
+                };
+                let transfer = fa * i.model.alpha + fb * i.model.beta * words as f64;
+                let avail = env.depart + extra;
+                if let Some(d) = deadline {
+                    if i.clock.comm_busy.max(avail) + transfer > d {
+                        i.unmatch(env);
+                        i.stats.timeouts += 1;
+                        i.clock.sync_to(d);
+                        return Err(Error::Timeout {
+                            rank: src,
+                            tag,
+                            waited: timeout.expect("deadline implies timeout"),
+                        });
+                    }
+                }
+                let ready_at = i.clock.channel_transfer(avail, transfer);
+                i.stats.channel_secs += transfer;
+                i.stats.straggler_wait += extra;
+                i.observe_peer(src_global, None);
+                if let (Some(csum), Payload::Words(v)) = (env.csum, &env.data) {
+                    if fault::checksum(v) != csum {
+                        i.stats.corrupt_detected += 1;
+                        return Err(Error::Corrupted { rank: src, tag });
+                    }
+                }
+                match env.data {
+                    Payload::Words(v) => Ok(ChannelRecv {
+                        data: v,
+                        ready_at,
+                        transfer,
+                    }),
+                    _ => unreachable!("non-data payload matched on data tag"),
+                }
+            }
+            Matched::Dropped => {
+                i.stats.timeouts += 1;
+                let waited = match deadline {
+                    Some(d) => {
+                        i.clock.sync_to(d);
+                        timeout.expect("deadline implies timeout")
+                    }
+                    None => f64::INFINITY,
+                };
+                Err(Error::Timeout {
+                    rank: src,
+                    tag,
+                    waited,
+                })
+            }
+            Matched::PeerDead(at) => Err(i.surface_death(src_global, at)),
+            Matched::PeerAborted(culprit) => Err(Error::Aborted { culprit }),
+        }
+    }
+
+    /// Completes a non-blocking operation whose channel work finished
+    /// at `ready_at`, having charged `charged` transfer seconds to the
+    /// channel: blocks the main timeline forward to `ready_at` (the
+    /// wait is communication time, counted in
+    /// [`RankStats::comm_wait_secs`]) and credits whatever portion of
+    /// the charged transfer ran concurrently to
+    /// [`RankStats::overlapped_secs`].
+    pub fn complete_channel(&self, ready_at: f64, charged: f64) {
+        let mut i = self.inner.borrow_mut();
+        let wait = (ready_at - i.clock.now).max(0.0);
+        i.clock.complete_wait(ready_at);
+        i.stats.comm_wait_secs += wait;
+        i.stats.overlapped_secs += (charged - wait).max(0.0);
+    }
+
+    /// Absolute virtual time at which this rank's concurrent comm
+    /// channel is next free.
+    pub fn channel_free_at(&self) -> f64 {
+        self.inner.borrow().clock.comm_busy
+    }
+
+    /// Reserves a fresh base tag (a stride of 8 consecutive tags) for a
+    /// non-blocking collective on this communicator, so multiple
+    /// outstanding handles never cross-match each other's chunks. Every
+    /// member of the communicator must launch its non-blocking
+    /// operations in the same order (SPMD), like `split`.
+    pub fn alloc_nb_tags(&self) -> Tag {
+        let mut i = self.inner.borrow_mut();
+        let seq = i.nb_seq.entry(self.ctx).or_insert(0);
+        let base = NB_TAG_BASE + *seq * NB_TAG_STRIDE;
+        *seq += 1;
+        base
+    }
+
+    /// Counts a blocking all-reduce call in [`RankStats`].
+    pub fn record_allreduce(&self) {
+        self.inner.borrow_mut().stats.allreduce_calls += 1;
+    }
+
+    /// Counts a blocking all-gather call in [`RankStats`].
+    pub fn record_allgather(&self) {
+        self.inner.borrow_mut().stats.allgather_calls += 1;
+    }
+
+    /// Counts a non-blocking all-reduce launch in [`RankStats`].
+    pub fn record_nb_allreduce(&self) {
+        self.inner.borrow_mut().stats.nb_allreduce_calls += 1;
+    }
+
+    /// Counts a non-blocking all-gather launch in [`RankStats`].
+    pub fn record_nb_allgather(&self) {
+        self.inner.borrow_mut().stats.nb_allgather_calls += 1;
     }
 
     /// Simultaneous exchange with two (possibly equal) partners: sends

@@ -29,6 +29,13 @@
 //!   was doing, and `wait` only clamps the receiver clock up to the
 //!   arrival time. This is the overlap the paper assumes for the
 //!   domain-parallel halo exchange (its Fig. 3) and for Fig. 8.
+//! * `recv_channel`/`complete_channel` model an *executed* overlap
+//!   engine: transfers are charged to a per-rank concurrent comm
+//!   channel (`Clock::comm_busy`) that progresses while the main
+//!   timeline runs compute; transfers on one channel serialize against
+//!   each other (one NIC), and the main clock pays only when it drains
+//!   an unfinished operation. This is what the non-blocking collectives
+//!   of the `collectives` crate build on.
 //! * `Clock::advance_flops` charges local compute at the machine's
 //!   sustained FLOP/s.
 //!
@@ -54,7 +61,7 @@ pub mod topology;
 pub mod world;
 
 pub use clock::Clock;
-pub use comm::{Communicator, RecvHandle};
+pub use comm::{ChannelRecv, Communicator, RecvHandle};
 pub use error::{Error, Result};
 pub use fault::{FaultPlan, Span};
 pub use health::{DetectorConfig, Ewma, HealthMonitor, RetryPolicy};

@@ -54,6 +54,25 @@ pub struct RankStats {
     /// (re-planning, weight redistribution) — excludes replayed
     /// training iterations, which are reported by the trainer.
     pub recovery_secs: f64,
+    /// Virtual seconds of transfer charged to this rank's concurrent
+    /// comm channel by non-blocking collectives (the communication the
+    /// overlap engine *attempted* to hide).
+    pub channel_secs: f64,
+    /// Virtual seconds the main timeline spent blocked draining
+    /// outstanding non-blocking operations (channel work that was
+    /// *not* hidden behind compute).
+    pub comm_wait_secs: f64,
+    /// Virtual seconds of channel transfer that ran concurrently with
+    /// the main timeline (channel work that *was* hidden).
+    pub overlapped_secs: f64,
+    /// Blocking all-reduce calls issued by this rank.
+    pub allreduce_calls: u64,
+    /// Blocking all-gather calls issued by this rank.
+    pub allgather_calls: u64,
+    /// Non-blocking all-reduce launches by this rank.
+    pub nb_allreduce_calls: u64,
+    /// Non-blocking all-gather launches by this rank.
+    pub nb_allgather_calls: u64,
 }
 
 impl RankStats {
@@ -75,6 +94,13 @@ impl RankStats {
         self.straggler_wait += other.straggler_wait;
         self.ckpt_words += other.ckpt_words;
         self.recovery_secs += other.recovery_secs;
+        self.channel_secs += other.channel_secs;
+        self.comm_wait_secs += other.comm_wait_secs;
+        self.overlapped_secs += other.overlapped_secs;
+        self.allreduce_calls += other.allreduce_calls;
+        self.allgather_calls += other.allgather_calls;
+        self.nb_allreduce_calls += other.nb_allreduce_calls;
+        self.nb_allgather_calls += other.nb_allgather_calls;
     }
 }
 
@@ -177,6 +203,59 @@ impl WorldStats {
             .map(|r| r.recovery_secs)
             .fold(0.0, f64::max)
     }
+
+    /// Total transfer seconds charged to the concurrent comm channels.
+    pub fn total_channel_secs(&self) -> f64 {
+        self.ranks.iter().map(|r| r.channel_secs).sum()
+    }
+
+    /// Total seconds spent blocked draining non-blocking operations.
+    pub fn total_comm_wait_secs(&self) -> f64 {
+        self.ranks.iter().map(|r| r.comm_wait_secs).sum()
+    }
+
+    /// Total channel transfer seconds hidden behind the main timeline.
+    pub fn total_overlapped_secs(&self) -> f64 {
+        self.ranks.iter().map(|r| r.overlapped_secs).sum()
+    }
+
+    /// Largest per-rank drain wait (virtual s).
+    pub fn max_comm_wait_secs(&self) -> f64 {
+        self.ranks
+            .iter()
+            .map(|r| r.comm_wait_secs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total blocking + non-blocking collective calls, by kind:
+    /// `(allreduce, allgather, nb_allreduce, nb_allgather)`.
+    pub fn total_collective_calls(&self) -> (u64, u64, u64, u64) {
+        self.ranks.iter().fold((0, 0, 0, 0), |acc, r| {
+            (
+                acc.0 + r.allreduce_calls,
+                acc.1 + r.allgather_calls,
+                acc.2 + r.nb_allreduce_calls,
+                acc.3 + r.nb_allgather_calls,
+            )
+        })
+    }
+
+    /// The *measured* overlap fraction: the share of executed
+    /// communication that ran concurrently with compute,
+    /// `Σ overlapped / (Σ overlapped + Σ clock.comm)`. The denominator
+    /// is the total communication the run would have paid serialized
+    /// (main-timeline comm — which already includes drain waits — plus
+    /// the hidden channel seconds). Compare with the paper's assumed
+    /// 2/3 backprop fraction (Fig. 8). Returns 0 when no communication
+    /// happened.
+    pub fn measured_overlap_fraction(&self) -> f64 {
+        let hidden = self.total_overlapped_secs();
+        let exposed: f64 = self.clocks.iter().map(|c| c.comm).sum();
+        if hidden + exposed <= 0.0 {
+            return 0.0;
+        }
+        hidden / (hidden + exposed)
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +338,45 @@ mod tests {
     }
 
     #[test]
+    fn overlap_counters_merge_and_aggregate() {
+        let mut a = RankStats {
+            channel_secs: 2.0,
+            comm_wait_secs: 0.5,
+            overlapped_secs: 1.5,
+            nb_allreduce_calls: 3,
+            allgather_calls: 1,
+            ..RankStats::default()
+        };
+        let b = RankStats {
+            channel_secs: 1.0,
+            overlapped_secs: 1.0,
+            nb_allgather_calls: 2,
+            allreduce_calls: 4,
+            ..RankStats::default()
+        };
+        a.merge(&b);
+        assert!((a.channel_secs - 3.0).abs() < 1e-12);
+        assert!((a.overlapped_secs - 2.5).abs() < 1e-12);
+        let stats = WorldStats {
+            ranks: vec![a, b],
+            clocks: vec![
+                Clock {
+                    now: 2.0,
+                    comm: 1.0,
+                    compute: 1.0,
+                    ..Clock::default()
+                };
+                2
+            ],
+        };
+        assert_eq!(stats.total_collective_calls(), (8, 1, 3, 4));
+        assert!((stats.total_comm_wait_secs() - 0.5).abs() < 1e-12);
+        assert!((stats.max_comm_wait_secs() - 0.5).abs() < 1e-12);
+        // hidden = 2.5 + 1.0, exposed = 2 ranks × 1.0 comm.
+        assert!((stats.measured_overlap_fraction() - 3.5 / 5.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn makespan_is_max_clock() {
         let stats = WorldStats {
             ranks: vec![RankStats::default(); 2],
@@ -267,11 +385,13 @@ mod tests {
                     now: 1.0,
                     comm: 0.5,
                     compute: 0.5,
+                    ..Clock::default()
                 },
                 Clock {
                     now: 3.0,
                     comm: 1.0,
                     compute: 2.0,
+                    ..Clock::default()
                 },
             ],
         };

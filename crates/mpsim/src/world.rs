@@ -152,6 +152,7 @@ impl World {
                         revive_floor: f64::NEG_INFINITY,
                         health: HealthMonitor::new(DetectorConfig::from_model(&model), size),
                         rejoin_notices: BTreeMap::new(),
+                        nb_seq: HashMap::new(),
                     }));
                     let comm = Communicator::world(Rc::clone(&inner));
                     let out = f(&comm);

@@ -33,9 +33,6 @@ fn gemm_rows(c_rows: &mut [f64], row0: usize, nrows: usize, a: &Matrix, b: &Matr
             let c_row = &mut c_rows[di * n..(di + 1) * n];
             for k in k0..k1 {
                 let aik = a_row[k];
-                if aik == 0.0 {
-                    continue;
-                }
                 let b_row = b.row(k);
                 for (cj, &bkj) in c_row.iter_mut().zip(b_row) {
                     *cj += aik * bkj;

@@ -12,9 +12,10 @@ use integrated_parallelism::collectives::FtConfig;
 use integrated_parallelism::dnn::zoo::mlp;
 use integrated_parallelism::integrated::cost::best_grid;
 use integrated_parallelism::integrated::ft_trainer::{train_1p5d_ft, FtTrainConfig};
+use integrated_parallelism::integrated::overlap::PAPER_BACKPROP_FRACTION;
 use integrated_parallelism::integrated::report::fmt_seconds;
 use integrated_parallelism::integrated::trainer::{
-    synthetic_data, train_1p5d, train_serial, TrainConfig,
+    synthetic_data, train_1p5d, train_1p5d_overlap, train_serial, TrainConfig,
 };
 use integrated_parallelism::integrated::MachineModel;
 use integrated_parallelism::mpsim::{FaultPlan, NetModel};
@@ -74,6 +75,37 @@ fn main() {
          trades that for activation all-gathers, and an interior grid wins — the\n\
          paper's core observation, reproduced by executed traffic counts."
     );
+
+    // ------------------------------------------------------------------
+    // Executed overlap: the same training with the ∆W all-reduces
+    // bucketed and launched non-blocking behind the remaining backprop
+    // (the paper's Fig. 8, measured instead of assumed).
+    // ------------------------------------------------------------------
+    println!("\nexecuted comm/compute overlap on the 2x4 grid:");
+    let ser = train_1p5d(&net, &x, &labels, &cfg, 2, 4, NetModel::cori_knl());
+    let ovl = train_1p5d_overlap(&net, &x, &labels, &cfg, 2, 4, NetModel::cori_knl());
+    println!(
+        "  serialized {}  overlapped {}  ({:.1}% saved; trajectories identical)",
+        fmt_seconds(ser.stats.makespan()),
+        fmt_seconds(ovl.stats.makespan()),
+        100.0 * (ser.stats.makespan() - ovl.stats.makespan()) / ser.stats.makespan()
+    );
+    let frac = ovl.measured_overlap_fraction();
+    let divergence = (frac - PAPER_BACKPROP_FRACTION).abs() / PAPER_BACKPROP_FRACTION;
+    print!(
+        "  measured overlap fraction {frac:.3} vs the paper's assumed \
+         {PAPER_BACKPROP_FRACTION:.3}"
+    );
+    if divergence > 0.10 {
+        println!(
+            " — DIVERGES {:.0}%: the paper hides every backprop\n\
+             all-reduce by assumption; the executed channel only hides what the\n\
+             available compute actually covers on this machine model.",
+            100.0 * divergence
+        );
+    } else {
+        println!(" (within 10%)");
+    }
 
     // ------------------------------------------------------------------
     // Fault tolerance: kill one rank mid-run and keep training.
