@@ -61,9 +61,12 @@ fn main() {
     print!("{}", if args.csv { t.to_csv() } else { t.render() });
 
     // The sweep above treats the fraction as a free parameter; the
-    // executed trainer measures it. Run the bucketed non-blocking ∆W
-    // path on an FC proxy (the analytic AlexNet at P = 512 is too big
-    // to execute here) and compare with the paper's assumed 2/3.
+    // executed trainer measures it as hidden/(hidden + exposed) channel
+    // time — the share of the non-blocking transfers that compute
+    // actually covered (blocking collectives never enter the ratio).
+    // Run the bucketed non-blocking ∆W path on an FC proxy (the
+    // analytic AlexNet at P = 512 is too big to execute here) and
+    // compare with the paper's assumed 2/3.
     let net = mlp("alexnet-fc-proxy", &[1152, 512, 512, 10]);
     let (x, labels) = synthetic_data(&net, 64, 42);
     let cfg = TrainConfig {
@@ -75,8 +78,8 @@ fn main() {
     let frac = ovl.measured_overlap_fraction();
     let divergence = (frac - PAPER_BACKPROP_FRACTION).abs() / PAPER_BACKPROP_FRACTION;
     println!(
-        "\nexecuted check ({}, 4x4 grid): measured overlap fraction {frac:.3} vs the \
-         paper's {PAPER_BACKPROP_FRACTION:.3}{}",
+        "\nexecuted check ({}, 4x4 grid): measured overlap fraction {frac:.3} \
+         (hidden/(hidden+exposed) channel time) vs the paper's {PAPER_BACKPROP_FRACTION:.3}{}",
         net.name,
         if divergence > 0.10 {
             format!(

@@ -12,6 +12,13 @@
 //! have no weights to all-reduce in the 1.5D ∆W path anyway — the
 //! paper's Fig. 8 overlap story is about exactly these FC all-reduces).
 //!
+//! The `measured frac` column is the executed overlap fraction,
+//! hidden/(hidden + exposed) channel transfer time: the share of the
+//! non-blocking ∆W traffic that backprop compute actually covered. A
+//! blocking-only run reports 0.0 by construction — time spent in
+//! blocking collectives was never a candidate for overlap and does not
+//! enter the ratio.
+//!
 //! Alongside the table it writes `BENCH_overlap.json` with the raw
 //! per-grid numbers for downstream tooling.
 //!

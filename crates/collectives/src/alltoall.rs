@@ -22,6 +22,14 @@ pub fn alltoall(comm: &Communicator, send: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>
     let p = comm.size();
     let r = comm.rank();
     assert_eq!(send.len(), p, "one block per destination rank");
+    let _span = comm.trace_span(
+        "collective",
+        "alltoall",
+        &[
+            ("p", p as f64),
+            ("words", send.iter().map(Vec::len).sum::<usize>() as f64),
+        ],
+    );
     let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
     let mut send = send;
     out[r] = std::mem::take(&mut send[r]);

@@ -19,6 +19,11 @@ pub fn bcast_binomial(comm: &Communicator, data: &mut Vec<f64>, root: usize) -> 
     if p == 1 {
         return Ok(());
     }
+    let _span = comm.trace_span(
+        "collective",
+        "bcast_binomial",
+        &[("p", p as f64), ("words", data.len() as f64)],
+    );
     let vrank = (comm.rank() + p - root) % p;
     // Find the highest power of two <= p.
     let mut mask = 1usize;
@@ -67,6 +72,11 @@ pub fn reduce_binomial(
     if p == 1 {
         return Ok(());
     }
+    let _span = comm.trace_span(
+        "collective",
+        "reduce_binomial",
+        &[("p", p as f64), ("words", data.len() as f64)],
+    );
     let vrank = (comm.rank() + p - root) % p;
     let mut m = 1usize;
     while m < p {

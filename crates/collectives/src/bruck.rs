@@ -20,6 +20,11 @@ pub fn allgather_bruck(comm: &Communicator, mine: &[f64]) -> Result<Vec<f64>> {
     if p == 1 {
         return Ok(mine.to_vec());
     }
+    let _span = comm.trace_span(
+        "collective",
+        "allgather_bruck",
+        &[("p", p as f64), ("words", (p * m) as f64)],
+    );
     // `buf` holds blocks r, r+1, ..., r+have-1 (mod p), concatenated.
     let mut buf = Vec::with_capacity(p * m);
     buf.extend_from_slice(mine);

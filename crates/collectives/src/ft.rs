@@ -272,6 +272,11 @@ pub fn allreduce_ring_ft(
     if p == 1 {
         return Ok(());
     }
+    let _span = comm.trace_span(
+        "collective",
+        "allreduce_ring_ft",
+        &[("p", p as f64), ("words", data.len() as f64)],
+    );
     guarded(comm, || {
         let r = comm.rank();
         let n = data.len();
@@ -314,6 +319,11 @@ pub fn allreduce_recursive_doubling_ft(
         is_pow2(p),
         "recursive doubling requires power-of-two ranks, got {p}"
     );
+    let _span = comm.trace_span(
+        "collective",
+        "allreduce_recursive_doubling_ft",
+        &[("p", p as f64), ("words", data.len() as f64)],
+    );
     guarded(comm, || {
         let r = comm.rank();
         let mut d = 1usize;
@@ -341,6 +351,11 @@ pub fn allgather_ring_ft(comm: &Communicator, mine: &[f64], cfg: &FtConfig) -> R
     if p == 1 {
         return Ok(out);
     }
+    let _span = comm.trace_span(
+        "collective",
+        "allgather_ring_ft",
+        &[("p", p as f64), ("words", (m * p) as f64)],
+    );
     guarded(comm, || {
         let next = (r + 1) % p;
         let prev = (r + p - 1) % p;
@@ -372,6 +387,11 @@ pub fn allgatherv_ring_ft(
     if p == 1 {
         return Ok(out);
     }
+    let _span = comm.trace_span(
+        "collective",
+        "allgatherv_ring_ft",
+        &[("p", p as f64), ("words", mine.len() as f64)],
+    );
     guarded(comm, || {
         let next = (r + 1) % p;
         let prev = (r + p - 1) % p;

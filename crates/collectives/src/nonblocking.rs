@@ -86,6 +86,11 @@ impl Progress {
 
     /// Folds a completed chunk receive into the pipeline times.
     fn absorb(&mut self, got: &ChannelRecv) {
+        self.comm.trace_instant(
+            "nb",
+            "chunk_step",
+            &[("step", self.step as f64), ("ready_at", got.ready_at)],
+        );
         self.next_depart = got.ready_at;
         self.ready_at = got.ready_at;
         self.charged += got.transfer;
@@ -153,6 +158,11 @@ pub fn iallreduce(comm: &Communicator, data: Vec<f64>, op: ReduceOp) -> Result<I
     let base = comm.alloc_nb_tags();
     let p = comm.size();
     let steps = if p > 1 { 2 * (p - 1) } else { 0 };
+    comm.trace_instant(
+        "nb",
+        "iallreduce_launch",
+        &[("p", p as f64), ("words", data.len() as f64)],
+    );
     Ok(IallreduceHandle {
         pr: Progress::new(comm, steps, None),
         data,
@@ -277,6 +287,11 @@ pub fn iallgather(comm: &Communicator, mine: &[f64]) -> Result<IallgatherHandle>
     let mut out = vec![0.0; m * p];
     out[r * m..(r + 1) * m].copy_from_slice(mine);
     let steps = p.saturating_sub(1);
+    comm.trace_instant(
+        "nb",
+        "iallgather_launch",
+        &[("p", p as f64), ("words", (m * p) as f64)],
+    );
     Ok(IallgatherHandle {
         pr: Progress::new(comm, steps, None),
         out,

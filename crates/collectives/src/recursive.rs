@@ -36,6 +36,11 @@ pub fn allreduce_recursive_doubling(
         "recursive doubling requires power-of-two ranks, got {p}"
     );
     let r = comm.rank();
+    let _span = comm.trace_span(
+        "collective",
+        "allreduce_recursive_doubling",
+        &[("p", p as f64), ("words", data.len() as f64)],
+    );
     let mut d = 1usize;
     while d < p {
         let partner = r ^ d;
@@ -67,6 +72,11 @@ pub fn allreduce_rabenseifner(comm: &Communicator, data: &mut [f64], op: ReduceO
         return Ok(());
     }
     let r = comm.rank();
+    let _span = comm.trace_span(
+        "collective",
+        "allreduce_rabenseifner",
+        &[("p", p as f64), ("words", n as f64)],
+    );
 
     // Recursive halving reduce-scatter. At each step the active window
     // halves; we keep (lo, len) as the element window this rank is still

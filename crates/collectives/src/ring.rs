@@ -25,6 +25,11 @@ pub fn reduce_scatter_ring(comm: &Communicator, data: &mut [f64], op: ReduceOp) 
     if p == 1 {
         return Ok(0);
     }
+    let _span = comm.trace_span(
+        "collective",
+        "reduce_scatter_ring",
+        &[("p", p as f64), ("words", data.len() as f64)],
+    );
     let n = data.len();
     let next = (r + 1) % p;
     let prev = (r + p - 1) % p;
@@ -49,6 +54,11 @@ fn allgather_ring_inplace(comm: &Communicator, data: &mut [f64]) -> Result<()> {
     if p == 1 {
         return Ok(());
     }
+    let _span = comm.trace_span(
+        "collective",
+        "allgather_ring",
+        &[("p", p as f64), ("words", data.len() as f64)],
+    );
     let n = data.len();
     let next = (r + 1) % p;
     let prev = (r + p - 1) % p;
@@ -72,6 +82,11 @@ pub fn allreduce_ring(comm: &Communicator, data: &mut [f64], op: ReduceOp) -> Re
     if comm.size() == 1 {
         return Ok(());
     }
+    let _span = comm.trace_span(
+        "collective",
+        "allreduce_ring",
+        &[("p", comm.size() as f64), ("words", data.len() as f64)],
+    );
     reduce_scatter_ring(comm, data, op)?;
     allgather_ring_inplace(comm, data)
 }
@@ -88,6 +103,11 @@ pub fn allgather_ring(comm: &Communicator, mine: &[f64]) -> Result<Vec<f64>> {
     if p == 1 {
         return Ok(out);
     }
+    let _span = comm.trace_span(
+        "collective",
+        "allgather_ring",
+        &[("p", p as f64), ("words", (m * p) as f64)],
+    );
     let next = (r + 1) % p;
     let prev = (r + p - 1) % p;
     for step in 0..p - 1 {
@@ -114,6 +134,11 @@ pub fn allgatherv_ring(comm: &Communicator, mine: &[f64]) -> Result<Vec<Vec<f64>
     if p == 1 {
         return Ok(out);
     }
+    let _span = comm.trace_span(
+        "collective",
+        "allgatherv_ring",
+        &[("p", p as f64), ("words", mine.len() as f64)],
+    );
     let next = (r + 1) % p;
     let prev = (r + p - 1) % p;
     for step in 0..p - 1 {

@@ -42,7 +42,7 @@
 use collectives::ft::{allgatherv_ring_ft, allreduce_ring_ft};
 use collectives::{FtConfig, ReduceOp};
 use dnn::{Network, WeightedLayer};
-use mpsim::{Communicator, Error, FaultPlan, World, WorldStats};
+use mpsim::{Communicator, Error, FaultPlan, TraceConfig, World, WorldStats, WorldTrace};
 use tensor::activation::softmax_xent;
 use tensor::ops::axpy;
 use tensor::Matrix;
@@ -430,11 +430,17 @@ fn run_iteration(
     // Forward.
     let mut inputs = vec![x_local.clone()];
     let mut pres = Vec::with_capacity(layers.len());
-    for (l, wl) in layers.iter().zip(w.iter()) {
-        let pre = forward_ft(grid, wl, inputs.last().expect("input"), &cfg.ft)?;
-        let post = apply_act(l.act, &pre);
-        pres.push(pre);
-        inputs.push(post);
+    {
+        let _fwd = grid.row_comm.trace_span("trainer", "forward", &[]);
+        for (idx, (l, wl)) in layers.iter().zip(w.iter()).enumerate() {
+            let _layer = grid
+                .row_comm
+                .trace_span("trainer", "layer_fwd", &[("layer", idx as f64)]);
+            let pre = forward_ft(grid, wl, inputs.last().expect("input"), &cfg.ft)?;
+            let post = apply_act(l.act, &pre);
+            pres.push(pre);
+            inputs.push(post);
+        }
     }
     let logits = inputs.last().expect("logits");
     let (loss_local, mut grad) = softmax_xent(logits, labels_local);
@@ -449,6 +455,7 @@ fn run_iteration(
     let mut lbuf = [loss_local * scale];
     allreduce_ring_ft(&grid.row_comm, &mut lbuf, ReduceOp::Sum, &cfg.ft)?;
     // Backward.
+    let _bwd = grid.row_comm.trace_span("trainer", "backward", &[]);
     let mut dy = grad;
     if cfg.overlap {
         // Executed overlap: ∆W partials are bucketed and their
@@ -457,11 +464,15 @@ fn run_iteration(
         // every bucket is drained before the optimizer step.
         let mut buckets = GradBuckets::new(&grid.row_comm, DEFAULT_BUCKET_WORDS, Some(cfg.ft));
         for (idx, l) in layers.iter().enumerate().rev() {
+            let _layer = grid
+                .row_comm
+                .trace_span("trainer", "layer_bwd", &[("layer", idx as f64)]);
             dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
             let (dw, dx) = backward_dw_deferred_ft(grid, &w[idx], &inputs[idx], &dy, &cfg.ft)?;
             buckets.push(idx, &dw)?;
             dy = dx;
         }
+        let _step = grid.row_comm.trace_span("trainer", "optimizer_step", &[]);
         buckets.drain(|idx, summed| {
             if cfg.momentum != 0.0 {
                 for (vi, &di) in v[idx].as_mut_slice().iter_mut().zip(summed) {
@@ -474,6 +485,9 @@ fn run_iteration(
         })?;
     } else {
         for (idx, l) in layers.iter().enumerate().rev() {
+            let _layer = grid
+                .row_comm
+                .trace_span("trainer", "layer_bwd", &[("layer", idx as f64)]);
             dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
             let (dw, dx) = backward_ft(grid, &w[idx], &inputs[idx], &dy, &cfg.ft)?;
             if cfg.momentum != 0.0 {
@@ -689,6 +703,11 @@ fn run_rank(
             };
             ckpt_prev = ckpt_cur.clone();
             comm.record_checkpoint_words(ckpt_cur.words());
+            comm.trace_instant(
+                "trainer",
+                "checkpoint",
+                &[("iter", 0.0), ("words", ckpt_cur.words() as f64)],
+            );
             old_view = (pr0, pc0, members.clone());
             member = Some(GridState {
                 grid,
@@ -829,6 +848,8 @@ fn run_rank(
             let t0 = comm.now();
             let epoch = comm.fault_epoch();
             let target = ckpt_target;
+            let _rec = comm.trace_span("trainer", "recovery", &[("epoch", epoch as f64)]);
+            comm.trace_instant("trainer", "rollback", &[("target_iter", target as f64)]);
             let ck = if member.is_some() {
                 if ckpt_cur.iter == target {
                     ckpt_cur.clone()
@@ -957,6 +978,11 @@ fn run_rank(
                         v: st.v.clone(),
                     };
                     comm.record_checkpoint_words(ckpt_cur.words());
+                    comm.trace_instant(
+                        "trainer",
+                        "checkpoint",
+                        &[("iter", st.iter as f64), ("words", ckpt_cur.words() as f64)],
+                    );
                 }
             }
             Err(e) if recoverable(&e, my_global) => aborted = true,
@@ -997,11 +1023,29 @@ pub fn train_1p5d_ft(
     pc: usize,
     plan: FaultPlan,
 ) -> FtDistResult {
+    train_1p5d_ft_traced(net, x, labels, cfg, pr, pc, plan, TraceConfig::disabled()).0
+}
+
+/// [`train_1p5d_ft`] with per-rank event tracing: the returned
+/// [`WorldTrace`] shows fault instants (drops, corruption, deaths),
+/// `recovery`/`rollback`/`checkpoint` trainer events, and dead-gap
+/// spans for revived ranks alongside the usual compute/comm timeline.
+#[allow(clippy::too_many_arguments)]
+pub fn train_1p5d_ft_traced(
+    net: &Network,
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &FtTrainConfig,
+    pr: usize,
+    pc: usize,
+    plan: FaultPlan,
+    trace: TraceConfig,
+) -> (FtDistResult, WorldTrace) {
     assert!(cfg.ckpt_every >= 1, "checkpoint period must be >= 1");
     let layers = extract_fc_layers(net);
     let wlayers = net.weighted_layers();
     let model = cfg.machine.net_model();
-    let (per_rank, stats) = World::run_with_faults(pr * pc, model, plan, |comm| {
+    let (per_rank, stats, traces) = World::run_faults_traced(pr * pc, model, plan, trace, |comm| {
         let my_global = comm.global_rank_of(comm.rank())?;
         let mut entry = Entry::Fresh;
         loop {
@@ -1016,12 +1060,15 @@ pub fn train_1p5d_ft(
             }
         }
     });
-    FtDistResult {
-        pr0: pr,
-        pc0: pc,
-        per_rank,
-        stats,
-    }
+    (
+        FtDistResult {
+            pr0: pr,
+            pc0: pc,
+            per_rank,
+            stats,
+        },
+        traces,
+    )
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 use collectives::nonblocking::{iallreduce, iallreduce_ft, IallreduceHandle};
 use collectives::{FtConfig, ReduceOp};
 use dnn::{LayerSpec, Network};
-use mpsim::{Communicator, Error, NetModel, World, WorldStats};
+use mpsim::{Communicator, Error, NetModel, TraceConfig, World, WorldStats, WorldTrace};
 use tensor::activation::{relu, relu_backward, softmax_xent, tanh, tanh_backward};
 use tensor::init;
 use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
@@ -359,43 +359,100 @@ pub fn train_1p5d(
     model: NetModel,
 ) -> DistResult {
     let layers = extract_fc_layers(net);
-    let b_global = x.cols();
     let (per_rank, stats) = World::run_with_stats(pr * pc, model, |comm| {
-        let grid = Grid::new(comm, pr, pc).expect("grid tiles the world");
-        let full_weights = init_weights(&layers, cfg.seed);
-        let mut w_local: Vec<Matrix> = full_weights
-            .iter()
-            .map(|w| row_shard(w, pr, grid.i))
-            .collect();
-        let x_local = col_shard(x, pc, grid.j);
-        let label_range = part_range(b_global, pc, grid.j);
-        let labels_local = &labels[label_range.clone()];
-        let b_local = x_local.cols();
+        plain_rank(comm, &layers, x, labels, cfg, pr, pc)
+    });
+    DistResult {
+        pr,
+        pc,
+        per_rank,
+        stats,
+    }
+}
 
-        let mut partial_losses = Vec::with_capacity(cfg.iters);
-        for _ in 0..cfg.iters {
-            // Forward.
-            let mut inputs = vec![x_local.clone()];
-            let mut pres = Vec::with_capacity(layers.len());
-            for (l, w) in layers.iter().zip(&w_local) {
+/// [`train_1p5d`] with per-rank event tracing (see [`mpsim::trace`]):
+/// returns the usual [`DistResult`] plus the recorded [`WorldTrace`],
+/// with `trainer`-category spans delimiting forward/backward phases and
+/// per-layer work on top of the simulator's own compute/comm spans.
+#[allow(clippy::too_many_arguments)]
+pub fn train_1p5d_traced(
+    net: &Network,
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    pr: usize,
+    pc: usize,
+    model: NetModel,
+    trace: TraceConfig,
+) -> (DistResult, WorldTrace) {
+    let layers = extract_fc_layers(net);
+    let (per_rank, stats, traces) = World::run_traced_with_stats(pr * pc, model, trace, |comm| {
+        plain_rank(comm, &layers, x, labels, cfg, pr, pc)
+    });
+    (
+        DistResult {
+            pr,
+            pc,
+            per_rank,
+            stats,
+        },
+        traces,
+    )
+}
+
+/// Rank body shared by [`train_1p5d`] and [`train_1p5d_traced`].
+fn plain_rank(
+    comm: &Communicator,
+    layers: &[FcLayer],
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    pr: usize,
+    pc: usize,
+) -> RankOutcome {
+    let b_global = x.cols();
+    let grid = Grid::new(comm, pr, pc).expect("grid tiles the world");
+    let full_weights = init_weights(layers, cfg.seed);
+    let mut w_local: Vec<Matrix> = full_weights
+        .iter()
+        .map(|w| row_shard(w, pr, grid.i))
+        .collect();
+    let x_local = col_shard(x, pc, grid.j);
+    let label_range = part_range(b_global, pc, grid.j);
+    let labels_local = &labels[label_range.clone()];
+    let b_local = x_local.cols();
+
+    let mut partial_losses = Vec::with_capacity(cfg.iters);
+    for it in 0..cfg.iters {
+        // Forward.
+        let mut inputs = vec![x_local.clone()];
+        let mut pres = Vec::with_capacity(layers.len());
+        {
+            let _fwd = comm.trace_span("trainer", "forward", &[("iter", it as f64)]);
+            for (idx, (l, w)) in layers.iter().zip(&w_local).enumerate() {
+                let _layer = comm.trace_span("trainer", "layer_fwd", &[("layer", idx as f64)]);
                 let pre = grid_forward(&grid, w, inputs.last().expect("input")).expect("forward");
                 let post = apply_act(l.act, &pre);
                 pres.push(pre);
                 inputs.push(post);
             }
-            let logits = inputs.last().expect("logits");
-            let (loss_local, mut grad) = softmax_xent(logits, labels_local);
-            // softmax_xent normalizes by the *local* batch; rescale to
-            // the global 1/B of the paper's Eq. 1 so the ∆W all-reduce
-            // sums to the global mean gradient.
-            let scale = b_local as f64 / b_global as f64;
-            for g in grad.as_mut_slice() {
-                *g *= scale;
-            }
-            partial_losses.push(loss_local * scale);
-            // Backward.
+        }
+        let logits = inputs.last().expect("logits");
+        let (loss_local, mut grad) = softmax_xent(logits, labels_local);
+        // softmax_xent normalizes by the *local* batch; rescale to
+        // the global 1/B of the paper's Eq. 1 so the ∆W all-reduce
+        // sums to the global mean gradient.
+        let scale = b_local as f64 / b_global as f64;
+        for g in grad.as_mut_slice() {
+            *g *= scale;
+        }
+        partial_losses.push(loss_local * scale);
+        // Backward.
+        {
+            let _bwd = comm.trace_span("trainer", "backward", &[("iter", it as f64)]);
             let mut dy = grad;
             for (idx, l) in layers.iter().enumerate().rev() {
+                let _layer = comm.trace_span("trainer", "layer_bwd", &[("layer", idx as f64)]);
                 dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
                 let (dw, dx) =
                     grid_backward(&grid, &w_local[idx], &inputs[idx], &dy).expect("backward");
@@ -403,18 +460,13 @@ pub fn train_1p5d(
                 dy = dx;
             }
         }
-        RankOutcome {
-            i: grid.i,
-            j: grid.j,
-            partial_losses,
-            weight_shards: w_local,
-        }
-    });
-    DistResult {
-        pr,
-        pc,
-        per_rank,
-        stats,
+        comm.trace_instant("trainer", "optimizer_step", &[("iter", it as f64)]);
+    }
+    RankOutcome {
+        i: grid.i,
+        j: grid.j,
+        partial_losses,
+        weight_shards: w_local,
     }
 }
 
@@ -460,71 +512,128 @@ pub fn train_1p5d_overlap_with_bucket(
     bucket_words: usize,
 ) -> DistResult {
     let layers = extract_fc_layers(net);
-    let b_global = x.cols();
     let (per_rank, stats) = World::run_with_stats(pr * pc, model, |comm| {
-        let grid = Grid::new(comm, pr, pc).expect("grid tiles the world");
-        let full_weights = init_weights(&layers, cfg.seed);
-        let mut w_local: Vec<Matrix> = full_weights
-            .iter()
-            .map(|w| row_shard(w, pr, grid.i))
-            .collect();
-        let x_local = col_shard(x, pc, grid.j);
-        let label_range = part_range(b_global, pc, grid.j);
-        let labels_local = &labels[label_range.clone()];
-        let b_local = x_local.cols();
-
-        let mut partial_losses = Vec::with_capacity(cfg.iters);
-        for _ in 0..cfg.iters {
-            // Forward (unchanged from train_1p5d).
-            let mut inputs = vec![x_local.clone()];
-            let mut pres = Vec::with_capacity(layers.len());
-            for (l, w) in layers.iter().zip(&w_local) {
-                let pre = grid_forward(&grid, w, inputs.last().expect("input")).expect("forward");
-                let post = apply_act(l.act, &pre);
-                pres.push(pre);
-                inputs.push(post);
-            }
-            let logits = inputs.last().expect("logits");
-            let (loss_local, mut grad) = softmax_xent(logits, labels_local);
-            let scale = b_local as f64 / b_global as f64;
-            for g in grad.as_mut_slice() {
-                *g *= scale;
-            }
-            partial_losses.push(loss_local * scale);
-            // Backward with executed overlap: ∆W partials go into
-            // buckets whose row-group sums run on the comm channel
-            // while the loop keeps computing; ∆X stays blocking (the
-            // chain rule needs it immediately).
-            let mut buckets = GradBuckets::new(&grid.row_comm, bucket_words, None);
-            let mut dy = grad;
-            for (idx, l) in layers.iter().enumerate().rev() {
-                dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
-                let (dw, dx) = backward_dw_deferred(&grid, &w_local[idx], &inputs[idx], &dy)
-                    .expect("backward");
-                buckets.push(idx, &dw).expect("bucket launch");
-                dy = dx;
-            }
-            // Drain every outstanding bucket, then step. Deferring the
-            // axpy changes nothing numerically: ∆X already used the
-            // pre-update weights in the blocking trainer too.
-            buckets
-                .drain(|idx, summed| {
-                    axpy(-cfg.lr, summed, w_local[idx].as_mut_slice());
-                })
-                .expect("bucket drain");
-        }
-        RankOutcome {
-            i: grid.i,
-            j: grid.j,
-            partial_losses,
-            weight_shards: w_local,
-        }
+        overlap_rank(comm, &layers, x, labels, cfg, pr, pc, bucket_words)
     });
     DistResult {
         pr,
         pc,
         per_rank,
         stats,
+    }
+}
+
+/// [`train_1p5d_overlap`] with per-rank event tracing: besides the
+/// `trainer` phase spans, the trace shows the overlapped ∆W transfers
+/// as `channel`-track spans with their exposed remainder as `drain`
+/// spans at the optimizer step.
+#[allow(clippy::too_many_arguments)]
+pub fn train_1p5d_overlap_traced(
+    net: &Network,
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    pr: usize,
+    pc: usize,
+    model: NetModel,
+    trace: TraceConfig,
+) -> (DistResult, WorldTrace) {
+    let layers = extract_fc_layers(net);
+    let (per_rank, stats, traces) = World::run_traced_with_stats(pr * pc, model, trace, |comm| {
+        overlap_rank(comm, &layers, x, labels, cfg, pr, pc, DEFAULT_BUCKET_WORDS)
+    });
+    (
+        DistResult {
+            pr,
+            pc,
+            per_rank,
+            stats,
+        },
+        traces,
+    )
+}
+
+/// Rank body shared by [`train_1p5d_overlap_with_bucket`] and
+/// [`train_1p5d_overlap_traced`].
+#[allow(clippy::too_many_arguments)]
+fn overlap_rank(
+    comm: &Communicator,
+    layers: &[FcLayer],
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    pr: usize,
+    pc: usize,
+    bucket_words: usize,
+) -> RankOutcome {
+    let b_global = x.cols();
+    let grid = Grid::new(comm, pr, pc).expect("grid tiles the world");
+    let full_weights = init_weights(layers, cfg.seed);
+    let mut w_local: Vec<Matrix> = full_weights
+        .iter()
+        .map(|w| row_shard(w, pr, grid.i))
+        .collect();
+    let x_local = col_shard(x, pc, grid.j);
+    let label_range = part_range(b_global, pc, grid.j);
+    let labels_local = &labels[label_range.clone()];
+    let b_local = x_local.cols();
+
+    let mut partial_losses = Vec::with_capacity(cfg.iters);
+    for it in 0..cfg.iters {
+        // Forward (unchanged from train_1p5d).
+        let mut inputs = vec![x_local.clone()];
+        let mut pres = Vec::with_capacity(layers.len());
+        {
+            let _fwd = comm.trace_span("trainer", "forward", &[("iter", it as f64)]);
+            for (idx, (l, w)) in layers.iter().zip(&w_local).enumerate() {
+                let _layer = comm.trace_span("trainer", "layer_fwd", &[("layer", idx as f64)]);
+                let pre = grid_forward(&grid, w, inputs.last().expect("input")).expect("forward");
+                let post = apply_act(l.act, &pre);
+                pres.push(pre);
+                inputs.push(post);
+            }
+        }
+        let logits = inputs.last().expect("logits");
+        let (loss_local, mut grad) = softmax_xent(logits, labels_local);
+        let scale = b_local as f64 / b_global as f64;
+        for g in grad.as_mut_slice() {
+            *g *= scale;
+        }
+        partial_losses.push(loss_local * scale);
+        // Backward with executed overlap: ∆W partials go into
+        // buckets whose row-group sums run on the comm channel
+        // while the loop keeps computing; ∆X stays blocking (the
+        // chain rule needs it immediately).
+        let mut buckets = GradBuckets::new(&grid.row_comm, bucket_words, None);
+        {
+            let _bwd = comm.trace_span("trainer", "backward", &[("iter", it as f64)]);
+            let mut dy = grad;
+            for (idx, l) in layers.iter().enumerate().rev() {
+                let _layer = comm.trace_span("trainer", "layer_bwd", &[("layer", idx as f64)]);
+                dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
+                let (dw, dx) = backward_dw_deferred(&grid, &w_local[idx], &inputs[idx], &dy)
+                    .expect("backward");
+                buckets.push(idx, &dw).expect("bucket launch");
+                dy = dx;
+            }
+        }
+        // Drain every outstanding bucket, then step. Deferring the
+        // axpy changes nothing numerically: ∆X already used the
+        // pre-update weights in the blocking trainer too.
+        {
+            let _step = comm.trace_span("trainer", "optimizer_step", &[("iter", it as f64)]);
+            buckets
+                .drain(|idx, summed| {
+                    axpy(-cfg.lr, summed, w_local[idx].as_mut_slice());
+                })
+                .expect("bucket drain");
+        }
+    }
+    RankOutcome {
+        i: grid.i,
+        j: grid.j,
+        partial_losses,
+        weight_shards: w_local,
     }
 }
 

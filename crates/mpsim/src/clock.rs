@@ -65,6 +65,10 @@ impl Clock {
     /// departs, then pays the transfer.
     #[inline]
     pub fn complete_recv(&mut self, depart: f64, transfer: f64) {
+        debug_assert!(
+            transfer.is_finite() && transfer >= 0.0,
+            "transfer time must be finite and non-negative, got {transfer}"
+        );
         let start = self.now.max(depart);
         let finish = start + transfer;
         self.comm += finish - self.now;
@@ -102,9 +106,21 @@ impl Clock {
     /// Does **not** advance `now`: the main timeline keeps computing
     /// and only pays when it blocks on the result (via
     /// [`Clock::complete_wait`] at drain time).
+    ///
+    /// A zero-length message is a zero-duration reservation: `finish ==
+    /// start` and the channel horizon does not move past `max(comm_busy,
+    /// avail)`. Transfer times must be finite — an `α + β·words` charge
+    /// is finite for every word count, including 0, even on
+    /// `flops: f64::INFINITY` machines (the FLOP rate never enters a
+    /// transfer), and a non-finite value would poison `comm_busy` and
+    /// every later overlap computation with NaN.
     #[inline]
     pub fn channel_transfer(&mut self, avail: f64, transfer: f64) -> f64 {
-        debug_assert!(transfer >= 0.0, "negative transfer time");
+        debug_assert!(
+            transfer.is_finite() && transfer >= 0.0,
+            "transfer time must be finite and non-negative, got {transfer}"
+        );
+        debug_assert!(avail.is_finite(), "availability time must be finite");
         let start = self.comm_busy.max(avail);
         let finish = start + transfer;
         self.comm_busy = finish;
@@ -194,6 +210,46 @@ mod tests {
         c.complete_wait(f);
         assert!((c.now - 5.0).abs() < 1e-12, "fully overlapped");
         assert_eq!(c.comm, 0.0);
+    }
+
+    #[test]
+    fn zero_length_channel_transfer_is_a_zero_duration_span() {
+        // Satellite regression: a 0-word message charges `fa·α` only
+        // (0 under a free model) and must leave every clock field
+        // finite — no `0 · ∞` NaN under `flops: f64::INFINITY`.
+        let m = NetModel::free();
+        let mut c = Clock::new();
+        c.advance_flops(1e18, &m); // free compute: now stays 0
+        let transfer = m.alpha + m.beta * 0.0; // 0-word transfer
+        let f = c.channel_transfer(0.0, transfer);
+        assert_eq!(f, 0.0, "zero-duration span: finish == start");
+        assert_eq!(c.comm_busy, 0.0, "channel horizon unmoved");
+        c.complete_wait(f);
+        assert!(c.now.is_finite() && c.comm.is_finite() && c.compute.is_finite());
+        assert_eq!(c.now, 0.0);
+
+        // Same with a nonzero α: the span is exactly α long and lands
+        // after the availability time.
+        let m = NetModel {
+            alpha: 2e-6,
+            beta: 1e-9,
+            flops: f64::INFINITY,
+        };
+        let mut c = Clock::new();
+        let transfer = m.alpha + m.beta * 0.0;
+        let f = c.channel_transfer(1.0, transfer);
+        assert!((f - (1.0 + 2e-6)).abs() < 1e-18);
+        assert!(f.is_finite());
+    }
+
+    #[test]
+    fn back_to_back_zero_transfers_do_not_accumulate() {
+        let mut c = Clock::new();
+        for _ in 0..100 {
+            let f = c.channel_transfer(0.5, 0.0);
+            assert_eq!(f, 0.5);
+        }
+        assert_eq!(c.comm_busy, 0.5);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::netmodel::NetModel;
 use crate::router::{Endpoint, Envelope, Payload};
 use crate::stats::RankStats;
 use crate::topology::Topology;
+use crate::trace::{Tracer, Track};
 use crate::{Rank, Tag};
 
 /// Tags at or above this value are reserved for internal use (control
@@ -94,6 +95,9 @@ pub(crate) struct Inner {
     /// concurrent handles on one communicator get disjoint tag ranges
     /// (requires SPMD launch order within the group, like `split`).
     pub nb_seq: HashMap<u64, u64>,
+    /// Per-rank event recorder (disabled by default; see
+    /// [`crate::trace`]). Lives on this thread only — no locks.
+    pub tracer: Tracer,
 }
 
 /// Outcome of a fault-aware message match.
@@ -220,7 +224,23 @@ impl Inner {
     /// death time (a failure cannot be observed before it happened) and
     /// the first detection of each peer is counted.
     fn surface_death(&mut self, peer: usize, at: f64) -> Error {
+        let t0 = self.clock.now;
         self.clock.sync_to(at);
+        if self.tracer.enabled() {
+            let t1 = self.clock.now;
+            if t1 > t0 {
+                self.tracer.span(
+                    "comm",
+                    "death_sync",
+                    Track::Main,
+                    t0,
+                    t1,
+                    &[("peer", peer as f64)],
+                );
+            }
+            self.tracer
+                .instant("fault", "peer_dead", t1, &[("peer", peer as f64)]);
+        }
         self.dead_peers.entry(peer).or_insert(at);
         if self.dead_surfaced.insert(peer, ()).is_none() {
             self.stats.failures_detected += 1;
@@ -245,6 +265,10 @@ impl Inner {
             if self.clock.now >= at {
                 self.died = true;
                 self.died_at = Some(at);
+                if self.tracer.enabled() {
+                    let now = self.clock.now;
+                    self.tracer.instant("fault", "died", now, &[("at", at)]);
+                }
                 let me = self.global_rank;
                 for dst in 0..self.world_size {
                     if dst != me {
@@ -277,10 +301,25 @@ impl Inner {
                 if self.plan.dropped(me, dst_global, seq) {
                     self.stats.msgs_dropped += 1;
                     self.stats.words_dropped += v.len() as u64;
+                    if self.tracer.enabled() {
+                        let now = self.clock.now;
+                        let words = v.len() as f64;
+                        self.tracer.instant(
+                            "fault",
+                            "drop",
+                            now,
+                            &[("dst", dst_global as f64), ("words", words)],
+                        );
+                    }
                     env.data = Payload::Tombstone { words: v.len() };
                     env.csum = None;
                 } else if self.plan.corrupted(me, dst_global, seq) {
                     self.plan.corrupt_payload(v, me, dst_global, seq);
+                    if self.tracer.enabled() {
+                        let now = self.clock.now;
+                        self.tracer
+                            .instant("fault", "corrupt", now, &[("dst", dst_global as f64)]);
+                    }
                 }
             }
         }
@@ -334,6 +373,26 @@ pub struct ChannelRecv {
     pub ready_at: f64,
     /// Transfer seconds charged to the channel for this receive.
     pub transfer: f64,
+}
+
+/// RAII guard for a scope span opened with
+/// [`Communicator::trace_span`]. Closes the span at the current virtual
+/// time when dropped, so begin/end stay balanced through every early
+/// return. Inert (no allocation, no clock access) when tracing is
+/// disabled.
+#[must_use = "the span closes when the guard is dropped"]
+pub struct TraceSpan {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let mut i = inner.borrow_mut();
+            let now = i.clock.now;
+            i.tracer.end(now);
+        }
+    }
 }
 
 /// An MPI-like communicator over a group of simulated ranks.
@@ -407,12 +466,31 @@ impl Communicator {
     pub fn advance_flops(&self, flops: f64) {
         let mut i = self.inner.borrow_mut();
         let m = i.model;
+        let t0 = i.clock.now;
         i.clock.advance_flops(flops, &m);
+        if i.tracer.enabled() {
+            let t1 = i.clock.now;
+            i.tracer.span(
+                "compute",
+                "compute",
+                Track::Main,
+                t0,
+                t1,
+                &[("flops", flops)],
+            );
+        }
     }
 
     /// Charges an explicit amount of local compute time.
     pub fn advance_compute(&self, seconds: f64) {
-        self.inner.borrow_mut().clock.advance_compute(seconds);
+        let mut i = self.inner.borrow_mut();
+        let t0 = i.clock.now;
+        i.clock.advance_compute(seconds);
+        if i.tracer.enabled() {
+            let t1 = i.clock.now;
+            i.tracer
+                .span("compute", "compute", Track::Main, t0, t1, &[]);
+        }
     }
 
     /// Sends `data` to `dst` with `tag`. Eager: never blocks, charges no
@@ -539,7 +617,19 @@ impl Communicator {
                 } else {
                     0.0
                 };
+                let t0 = i.clock.now;
                 i.clock.advance_comm(pause * (1.0 + stretch));
+                if i.tracer.enabled() {
+                    let t1 = i.clock.now;
+                    i.tracer.span(
+                        "comm",
+                        "backoff",
+                        Track::Main,
+                        t0,
+                        t1,
+                        &[("attempt", attempt as f64)],
+                    );
+                }
                 pause *= policy.factor;
             }
             match self.recv_timeout(src, tag, policy.timeout) {
@@ -577,6 +667,17 @@ impl Communicator {
                         i.unmatch(env);
                         i.stats.timeouts += 1;
                         i.clock.sync_to(d);
+                        if i.tracer.enabled() {
+                            let t1 = i.clock.now;
+                            i.tracer.span(
+                                "comm",
+                                "timeout",
+                                Track::Main,
+                                posted_at,
+                                t1,
+                                &[("peer", src_global as f64)],
+                            );
+                        }
                         return Err(Error::Timeout {
                             rank: src,
                             tag,
@@ -588,6 +689,17 @@ impl Communicator {
                 i.stats.straggler_wait += extra;
                 let waited = i.clock.now - posted_at;
                 i.observe_peer(src_global, Some(waited));
+                if i.tracer.enabled() {
+                    let t1 = i.clock.now;
+                    i.tracer.span(
+                        "comm",
+                        "recv",
+                        Track::Main,
+                        posted_at,
+                        t1,
+                        &[("peer", src_global as f64), ("words", words as f64)],
+                    );
+                }
                 if let (Some(csum), Payload::Words(v)) = (env.csum, &env.data) {
                     if fault::checksum(v) != csum {
                         i.stats.corrupt_detected += 1;
@@ -604,6 +716,17 @@ impl Communicator {
                 let waited = match deadline {
                     Some(d) => {
                         i.clock.sync_to(d);
+                        if i.tracer.enabled() {
+                            let t1 = i.clock.now;
+                            i.tracer.span(
+                                "comm",
+                                "timeout",
+                                Track::Main,
+                                posted_at,
+                                t1,
+                                &[("peer", src_global as f64)],
+                            );
+                        }
                         timeout.expect("deadline implies timeout")
                     }
                     // No deadline, but the simulator knows the message
@@ -695,6 +818,17 @@ impl Communicator {
                         i.stats.timeouts += 1;
                         let waited = (d - i.clock.now).max(0.0);
                         i.clock.sync_to(d);
+                        if i.tracer.enabled() {
+                            let t1 = i.clock.now;
+                            i.tracer.span(
+                                "comm",
+                                "timeout",
+                                Track::Main,
+                                posted_at,
+                                t1,
+                                &[("peer", handle.src_global as f64)],
+                            );
+                        }
                         return Err(Error::Timeout {
                             rank: handle.src,
                             tag: handle.tag,
@@ -706,6 +840,17 @@ impl Communicator {
                 i.stats.straggler_wait += extra;
                 let waited = i.clock.now - posted_at;
                 i.observe_peer(handle.src_global, Some(waited));
+                if i.tracer.enabled() {
+                    let t1 = i.clock.now;
+                    i.tracer.span(
+                        "comm",
+                        "wait",
+                        Track::Main,
+                        posted_at,
+                        t1,
+                        &[("peer", handle.src_global as f64), ("words", words as f64)],
+                    );
+                }
                 if let (Some(csum), Payload::Words(v)) = (env.csum, &env.data) {
                     if fault::checksum(v) != csum {
                         i.stats.corrupt_detected += 1;
@@ -726,6 +871,17 @@ impl Communicator {
                     Some(d) => {
                         let w = (d - i.clock.now).max(0.0);
                         i.clock.sync_to(d);
+                        if i.tracer.enabled() {
+                            let t1 = i.clock.now;
+                            i.tracer.span(
+                                "comm",
+                                "timeout",
+                                Track::Main,
+                                posted_at,
+                                t1,
+                                &[("peer", handle.src_global as f64)],
+                            );
+                        }
                         w
                     }
                     None => f64::INFINITY,
@@ -771,6 +927,7 @@ impl Communicator {
         let src_global = self.global_rank_of(src)?;
         let mut i = self.inner.borrow_mut();
         i.check_failed()?;
+        let posted_at = i.clock.now;
         let deadline = timeout.map(|t| i.clock.now.max(i.clock.comm_busy) + t);
         match i.match_recv(self.ctx, src_global, tag, true)? {
             Matched::Data(env) => {
@@ -789,6 +946,17 @@ impl Communicator {
                         i.unmatch(env);
                         i.stats.timeouts += 1;
                         i.clock.sync_to(d);
+                        if i.tracer.enabled() {
+                            let t1 = i.clock.now;
+                            i.tracer.span(
+                                "comm",
+                                "timeout",
+                                Track::Main,
+                                posted_at,
+                                t1,
+                                &[("peer", src_global as f64)],
+                            );
+                        }
                         return Err(Error::Timeout {
                             rank: src,
                             tag,
@@ -800,6 +968,16 @@ impl Communicator {
                 i.stats.channel_secs += transfer;
                 i.stats.straggler_wait += extra;
                 i.observe_peer(src_global, None);
+                if i.tracer.enabled() {
+                    i.tracer.span(
+                        "channel",
+                        "xfer",
+                        Track::Channel,
+                        ready_at - transfer,
+                        ready_at,
+                        &[("peer", src_global as f64), ("words", words as f64)],
+                    );
+                }
                 if let (Some(csum), Payload::Words(v)) = (env.csum, &env.data) {
                     if fault::checksum(v) != csum {
                         i.stats.corrupt_detected += 1;
@@ -820,6 +998,17 @@ impl Communicator {
                 let waited = match deadline {
                     Some(d) => {
                         i.clock.sync_to(d);
+                        if i.tracer.enabled() {
+                            let t1 = i.clock.now;
+                            i.tracer.span(
+                                "comm",
+                                "timeout",
+                                Track::Main,
+                                posted_at,
+                                t1,
+                                &[("peer", src_global as f64)],
+                            );
+                        }
                         timeout.expect("deadline implies timeout")
                     }
                     None => f64::INFINITY,
@@ -842,12 +1031,34 @@ impl Communicator {
     /// [`RankStats::comm_wait_secs`]) and credits whatever portion of
     /// the charged transfer ran concurrently to
     /// [`RankStats::overlapped_secs`].
+    ///
+    /// When tracing, the drain emits a `"drain"` span whose duration is
+    /// **bit-identical** to the `comm_wait_secs` contribution and whose
+    /// `"hidden"` argument is bit-identical to the `overlapped_secs`
+    /// contribution — `trace_analyze` cross-checks both against
+    /// [`RankStats`] at 1e-9 (they match exactly).
     pub fn complete_channel(&self, ready_at: f64, charged: f64) {
         let mut i = self.inner.borrow_mut();
-        let wait = (ready_at - i.clock.now).max(0.0);
+        let t0 = i.clock.now;
+        let wait = (ready_at - t0).max(0.0);
+        let hidden = (charged - wait).max(0.0);
         i.clock.complete_wait(ready_at);
         i.stats.comm_wait_secs += wait;
-        i.stats.overlapped_secs += (charged - wait).max(0.0);
+        i.stats.overlapped_secs += hidden;
+        if i.tracer.enabled() {
+            // The span covers exactly the clock movement, so its
+            // duration (`now - t0`) is the very same subtraction that
+            // produced `wait` above — bit-identical, not just close.
+            let t1 = i.clock.now;
+            i.tracer.span(
+                "drain",
+                "drain",
+                Track::Main,
+                t0,
+                t1,
+                &[("charged", charged), ("hidden", hidden)],
+            );
+        }
     }
 
     /// Absolute virtual time at which this rank's concurrent comm
@@ -980,15 +1191,27 @@ impl Communicator {
                 max = max.max(t);
             }
         }
-        self.inner.borrow_mut().clock.sync_to(max);
+        let mut i = self.inner.borrow_mut();
+        let t0 = i.clock.now;
+        i.clock.sync_to(max);
+        if i.tracer.enabled() && i.clock.now > t0 {
+            let t1 = i.clock.now;
+            i.tracer.span("comm", "sync", Track::Main, t0, t1, &[]);
+        }
         Ok(())
     }
 
     /// Resets this rank's virtual clock to zero (e.g. after a warm-up
     /// phase). Call under a [`Communicator::barrier`] or
     /// [`Communicator::sync_clocks`] to keep ranks consistent.
+    ///
+    /// Also discards any trace events recorded so far: the trace's
+    /// timestamps are virtual times, and keeping pre-reset events would
+    /// make the timeline run backwards.
     pub fn reset_clock(&self) {
-        self.inner.borrow_mut().clock = Clock::new();
+        let mut i = self.inner.borrow_mut();
+        i.clock = Clock::new();
+        i.tracer.clear();
     }
 
     /// Splits the communicator into disjoint sub-communicators by
@@ -1270,6 +1493,57 @@ impl Communicator {
         self.inner.borrow_mut().stats.recovery_secs += secs;
     }
 
+    // --- tracing -----------------------------------------------------
+
+    /// Whether event tracing is enabled on this rank. Callers adding
+    /// expensive annotations should gate on this.
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.borrow().tracer.enabled()
+    }
+
+    /// Emits an instantaneous trace event at the current virtual time.
+    /// No-op (one boolean test) when tracing is disabled.
+    pub fn trace_instant(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        args: &[(&'static str, f64)],
+    ) {
+        let mut i = self.inner.borrow_mut();
+        if i.tracer.enabled() {
+            let t = i.clock.now;
+            i.tracer.instant(cat, name, t, args);
+        }
+    }
+
+    /// Opens a scope span starting at the current virtual time and
+    /// returns a guard that closes it (at the then-current virtual
+    /// time) when dropped — including on early returns through `?`.
+    /// When tracing is disabled the guard is inert.
+    ///
+    /// Scope spans nest: collectives open one around their whole
+    /// schedule, trainers around forward/backward phases. The leaf
+    /// spans emitted by the communicator itself (`compute`, `comm`,
+    /// `drain`, `fault`) appear nested inside them in the Chrome Trace
+    /// view.
+    #[must_use = "the span closes when the guard is dropped"]
+    pub fn trace_span(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        args: &[(&'static str, f64)],
+    ) -> TraceSpan {
+        let mut i = self.inner.borrow_mut();
+        if !i.tracer.enabled() {
+            return TraceSpan { inner: None };
+        }
+        let t0 = i.clock.now;
+        i.tracer.begin(cat, name, t0, args);
+        TraceSpan {
+            inner: Some(Rc::clone(&self.inner)),
+        }
+    }
+
     // --- elastic membership ------------------------------------------
 
     /// The scripted rejoin time of this (currently dead) rank, if any:
@@ -1296,7 +1570,15 @@ impl Communicator {
         i.died = false;
         i.died_at = None;
         i.revive_floor = at;
+        let t0 = i.clock.now;
         i.clock.sync_to(at);
+        if i.tracer.enabled() {
+            let t1 = i.clock.now;
+            if t1 > t0 {
+                i.tracer.span("fault", "dead_gap", Track::Main, t0, t1, &[]);
+            }
+            i.tracer.instant("fault", "rejoin", t1, &[("at", at)]);
+        }
         i.stats.rejoins += 1;
         let me = i.global_rank;
         for dst in 0..i.world_size {

@@ -58,16 +58,18 @@ pub mod netmodel;
 pub mod router;
 pub mod stats;
 pub mod topology;
+pub mod trace;
 pub mod world;
 
 pub use clock::Clock;
-pub use comm::{ChannelRecv, Communicator, RecvHandle};
+pub use comm::{ChannelRecv, Communicator, RecvHandle, TraceSpan};
 pub use error::{Error, Result};
 pub use fault::{FaultPlan, Span};
 pub use health::{DetectorConfig, Ewma, HealthMonitor, RetryPolicy};
 pub use netmodel::NetModel;
 pub use stats::{RankStats, WorldStats};
 pub use topology::Topology;
+pub use trace::{EventKind, RankTrace, TraceConfig, TraceEvent, TraceSink, Track, WorldTrace};
 pub use world::World;
 
 /// A rank index within a communicator.

@@ -113,21 +113,36 @@ pub struct WorldStats {
     pub clocks: Vec<Clock>,
 }
 
+/// Maximum over `values`, starting from 0, that **propagates NaN**
+/// instead of masking it: `f64::max` silently ignores a NaN operand, so
+/// a fold from 0.0 would report a clean 0 for a poisoned run. A NaN in
+/// any per-rank statistic makes the aggregate NaN, which the regression
+/// tests (and any `assert!(x.is_finite())` downstream) can catch.
+fn max_or_nan(values: impl Iterator<Item = f64>) -> f64 {
+    values.fold(0.0, |acc, v| {
+        if acc.is_nan() || v.is_nan() {
+            f64::NAN
+        } else {
+            acc.max(v)
+        }
+    })
+}
+
 impl WorldStats {
     /// The makespan: the latest final virtual time across ranks. This is
     /// the quantity the paper's bar charts plot per iteration/epoch.
     pub fn makespan(&self) -> f64 {
-        self.clocks.iter().map(|c| c.now).fold(0.0, f64::max)
+        max_or_nan(self.clocks.iter().map(|c| c.now))
     }
 
     /// Maximum per-rank communication time.
     pub fn max_comm(&self) -> f64 {
-        self.clocks.iter().map(|c| c.comm).fold(0.0, f64::max)
+        max_or_nan(self.clocks.iter().map(|c| c.comm))
     }
 
     /// Maximum per-rank compute time.
     pub fn max_compute(&self) -> f64 {
-        self.clocks.iter().map(|c| c.compute).fold(0.0, f64::max)
+        max_or_nan(self.clocks.iter().map(|c| c.compute))
     }
 
     /// Total words moved across the whole world (sum over ranks).
@@ -198,10 +213,7 @@ impl WorldStats {
     /// Largest per-rank recovery time (virtual s) — the recovery term
     /// of the makespan.
     pub fn max_recovery_secs(&self) -> f64 {
-        self.ranks
-            .iter()
-            .map(|r| r.recovery_secs)
-            .fold(0.0, f64::max)
+        max_or_nan(self.ranks.iter().map(|r| r.recovery_secs))
     }
 
     /// Total transfer seconds charged to the concurrent comm channels.
@@ -221,10 +233,7 @@ impl WorldStats {
 
     /// Largest per-rank drain wait (virtual s).
     pub fn max_comm_wait_secs(&self) -> f64 {
-        self.ranks
-            .iter()
-            .map(|r| r.comm_wait_secs)
-            .fold(0.0, f64::max)
+        max_or_nan(self.ranks.iter().map(|r| r.comm_wait_secs))
     }
 
     /// Total blocking + non-blocking collective calls, by kind:
@@ -240,17 +249,19 @@ impl WorldStats {
         })
     }
 
-    /// The *measured* overlap fraction: the share of executed
-    /// communication that ran concurrently with compute,
-    /// `Σ overlapped / (Σ overlapped + Σ clock.comm)`. The denominator
-    /// is the total communication the run would have paid serialized
-    /// (main-timeline comm — which already includes drain waits — plus
-    /// the hidden channel seconds). Compare with the paper's assumed
-    /// 2/3 backprop fraction (Fig. 8). Returns 0 when no communication
-    /// happened.
+    /// The *measured* overlap fraction: the share of **channel-executed
+    /// transfer time** that was hidden behind compute,
+    /// `Σ overlapped / (Σ overlapped + Σ comm_wait)`. The denominator
+    /// is exactly the time the non-blocking engine moved: the hidden
+    /// part plus the exposed drain waits. Blocking-collective time
+    /// deliberately does **not** enter — a run with only blocking
+    /// collectives attempted no overlap and reports 0.0, rather than a
+    /// spurious mix of hidden seconds against all main-timeline comm.
+    /// Compare with the paper's assumed 2/3 backprop fraction (Fig. 8).
+    /// Returns 0 when no channel communication happened.
     pub fn measured_overlap_fraction(&self) -> f64 {
         let hidden = self.total_overlapped_secs();
-        let exposed: f64 = self.clocks.iter().map(|c| c.comm).sum();
+        let exposed = self.total_comm_wait_secs();
         if hidden + exposed <= 0.0 {
             return 0.0;
         }
@@ -372,8 +383,119 @@ mod tests {
         assert_eq!(stats.total_collective_calls(), (8, 1, 3, 4));
         assert!((stats.total_comm_wait_secs() - 0.5).abs() < 1e-12);
         assert!((stats.max_comm_wait_secs() - 0.5).abs() < 1e-12);
-        // hidden = 2.5 + 1.0, exposed = 2 ranks × 1.0 comm.
-        assert!((stats.measured_overlap_fraction() - 3.5 / 5.5).abs() < 1e-12);
+        // hidden = 2.5 + 1.0, exposed = the 0.5 s of drain wait. The
+        // ranks' 1.0 s of blocking comm is NOT in the denominator: it
+        // was never a candidate for overlap.
+        assert!((stats.measured_overlap_fraction() - 3.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_only_run_reports_zero_overlap_fraction() {
+        // Regression for the denominator bugfix: plenty of blocking
+        // comm, zero channel traffic → the fraction must be exactly 0,
+        // not hidden/(hidden + blocking_comm).
+        let stats = WorldStats {
+            ranks: vec![
+                RankStats {
+                    allreduce_calls: 7,
+                    ..RankStats::default()
+                };
+                2
+            ],
+            clocks: vec![
+                Clock {
+                    now: 5.0,
+                    comm: 4.0,
+                    compute: 1.0,
+                    ..Clock::default()
+                };
+                2
+            ],
+        };
+        assert_eq!(stats.measured_overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn nan_in_rank_stats_propagates_to_maxima() {
+        // Regression for the NaN-masking bugfix: `f64::max` ignores a
+        // NaN operand, so the old fold-from-0.0 reported clean zeros
+        // for a poisoned run.
+        let poisoned = WorldStats {
+            ranks: vec![
+                RankStats::default(),
+                RankStats {
+                    comm_wait_secs: f64::NAN,
+                    recovery_secs: f64::NAN,
+                    ..RankStats::default()
+                },
+            ],
+            clocks: vec![
+                Clock {
+                    now: f64::NAN,
+                    comm: f64::NAN,
+                    compute: f64::NAN,
+                    ..Clock::default()
+                },
+                Clock::default(),
+            ],
+        };
+        assert!(poisoned.makespan().is_nan());
+        assert!(poisoned.max_comm().is_nan());
+        assert!(poisoned.max_compute().is_nan());
+        assert!(poisoned.max_comm_wait_secs().is_nan());
+        assert!(poisoned.max_recovery_secs().is_nan());
+        // NaN anywhere, even in the first rank, still propagates.
+        let first = WorldStats {
+            ranks: vec![RankStats::default(); 2],
+            clocks: vec![
+                Clock {
+                    now: f64::NAN,
+                    ..Clock::default()
+                },
+                Clock {
+                    now: 3.0,
+                    ..Clock::default()
+                },
+            ],
+        };
+        assert!(first.makespan().is_nan());
+    }
+
+    #[test]
+    fn corrupt_envelope_run_yields_finite_stats() {
+        // End-to-end regression: a run where the fault plan corrupts a
+        // payload (receiver detects and errors) must still produce
+        // finite per-rank clocks and finite aggregate maxima — no NaN
+        // sneaks in through the corruption path.
+        use crate::fault::FaultPlan;
+        use crate::netmodel::NetModel;
+        use crate::world::World;
+        let model = NetModel {
+            alpha: 1e-6,
+            beta: 1e-9,
+            flops: f64::INFINITY,
+        };
+        let plan = FaultPlan::new(3).corrupt_nth(0, 1, 0);
+        let (out, stats) = World::run_with_faults(2, model, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &[1.0, 2.0, 3.0]).map(|_| Vec::new())
+            } else {
+                comm.recv(0, 7)
+            }
+        });
+        assert!(
+            matches!(out[1], Err(crate::Error::Corrupted { .. })),
+            "receiver detected the corruption"
+        );
+        assert_eq!(stats.total_corrupt_detected(), 1);
+        for c in &stats.clocks {
+            assert!(c.now.is_finite() && c.comm.is_finite() && c.compute.is_finite());
+        }
+        assert!(stats.makespan().is_finite());
+        assert!(stats.max_comm().is_finite());
+        assert!(stats.max_comm_wait_secs().is_finite());
+        assert!(stats.max_recovery_secs().is_finite());
+        assert!(stats.measured_overlap_fraction().is_finite());
     }
 
     #[test]

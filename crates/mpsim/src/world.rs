@@ -13,6 +13,7 @@ use crate::netmodel::NetModel;
 use crate::router;
 use crate::stats::{RankStats, WorldStats};
 use crate::topology::Topology;
+use crate::trace::{RankTrace, TraceConfig, Tracer, WorldTrace};
 
 /// Entry point: spawns `size` ranks as scoped OS threads, hands each a
 /// world [`Communicator`], and collects their return values in rank
@@ -120,11 +121,70 @@ impl World {
         T: Send,
         F: Fn(&Communicator) -> T + Sync,
     {
+        let (out, stats, _) =
+            Self::run_topo_faults_traced(size, model, topo, plan, TraceConfig::disabled(), f);
+        (out, stats)
+    }
+
+    /// [`World::run_with_stats`] with per-rank event tracing. The
+    /// returned [`WorldTrace`] holds every recorded span/instant; feed
+    /// it to [`crate::TraceSink`] for Chrome Trace JSON or a summary.
+    pub fn run_traced_with_stats<T, F>(
+        size: usize,
+        model: NetModel,
+        trace: TraceConfig,
+        f: F,
+    ) -> (Vec<T>, WorldStats, WorldTrace)
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
+        Self::run_topo_faults_traced(
+            size,
+            model,
+            Topology::flat(),
+            FaultPlan::default(),
+            trace,
+            f,
+        )
+    }
+
+    /// [`World::run_with_faults`] with per-rank event tracing.
+    pub fn run_faults_traced<T, F>(
+        size: usize,
+        model: NetModel,
+        plan: FaultPlan,
+        trace: TraceConfig,
+        f: F,
+    ) -> (Vec<T>, WorldStats, WorldTrace)
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
+        Self::run_topo_faults_traced(size, model, Topology::flat(), plan, trace, f)
+    }
+
+    /// The fully general entry point with tracing: topology + fault
+    /// plan + stats + trace. All other `run_*` variants delegate here
+    /// (with tracing disabled they add zero work to the virtual clock —
+    /// one boolean test per instrumented site).
+    pub fn run_topo_faults_traced<T, F>(
+        size: usize,
+        model: NetModel,
+        topo: Topology,
+        plan: FaultPlan,
+        trace: TraceConfig,
+        f: F,
+    ) -> (Vec<T>, WorldStats, WorldTrace)
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
         assert!(size > 0, "world size must be positive");
         let endpoints = router::build(size);
         let f = &f;
         let plan = Arc::new(plan);
-        let mut joined: Vec<(T, RankStats, Clock)> = Vec::with_capacity(size);
+        let mut joined: Vec<(T, RankStats, Clock, RankTrace)> = Vec::with_capacity(size);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(size);
             for (rank, endpoint) in endpoints.into_iter().enumerate() {
@@ -153,11 +213,14 @@ impl World {
                         health: HealthMonitor::new(DetectorConfig::from_model(&model), size),
                         rejoin_notices: BTreeMap::new(),
                         nb_seq: HashMap::new(),
+                        tracer: Tracer::new(trace),
                     }));
                     let comm = Communicator::world(Rc::clone(&inner));
                     let out = f(&comm);
-                    let i = inner.borrow();
-                    (out, i.stats, i.clock)
+                    let mut i = inner.borrow_mut();
+                    let now = i.clock.now;
+                    let trace = i.tracer.finish(rank, now);
+                    (out, i.stats, i.clock, trace)
                 }));
             }
             for h in handles {
@@ -166,12 +229,14 @@ impl World {
         });
         let mut results = Vec::with_capacity(size);
         let mut stats = WorldStats::default();
-        for (out, rank_stats, clock) in joined {
+        let mut traces = WorldTrace::default();
+        for (out, rank_stats, clock, trace) in joined {
             results.push(out);
             stats.ranks.push(rank_stats);
             stats.clocks.push(clock);
+            traces.ranks.push(trace);
         }
-        (results, stats)
+        (results, stats, traces)
     }
 }
 
