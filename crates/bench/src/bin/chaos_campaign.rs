@@ -1,0 +1,191 @@
+//! Chaos campaign driver: sweeps seeded random fault plans through the
+//! invariant oracle, minimizes and persists any failing plan as
+//! replayable JSON, and replays persisted plans.
+//!
+//! ```text
+//! cargo run --release -p bench --bin chaos_campaign -- --smoke
+//! cargo run --release -p bench --bin chaos_campaign -- --seeds 1000
+//! cargo run --release -p bench --bin chaos_campaign -- --fixture-bad
+//! cargo run --release -p bench --bin chaos_campaign -- --replay plan.json
+//! ```
+//!
+//! Modes:
+//! - `--smoke` (default): 200 seeded plans; exit 1 on the first
+//!   invariant violation after writing the *minimized* plan to `--out`
+//!   (default `chaos_failing_plan.json`). CI uploads that file as an
+//!   artifact.
+//! - `--seeds N`: same, with N plans.
+//! - `--fixture-bad`: self-test of the oracle + minimizer on the
+//!   known-bad fixture (kills every replica of weight row 1). Expects a
+//!   violation, shrinks it, asserts ≤ 3 events remain, writes the JSON,
+//!   parses it back, and re-checks that the replayed plan still fails.
+//! - `--replay FILE`: parse FILE and run it through the oracle once,
+//!   reporting the verdict (exit 1 if it violates).
+
+use std::process::ExitCode;
+
+use integrated::chaos::{minimize, ChaosPlan, Oracle};
+
+struct Args {
+    mode: Mode,
+    seeds: u64,
+    out: String,
+}
+
+enum Mode {
+    Campaign,
+    FixtureBad,
+    Replay(String),
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: Mode::Campaign,
+        seeds: 200,
+        out: "chaos_failing_plan.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.seeds = 200,
+            "--seeds" => {
+                let n = it.next().ok_or("--seeds needs a count")?;
+                args.seeds = n.parse().map_err(|_| format!("bad seed count {n:?}"))?;
+            }
+            "--fixture-bad" => args.mode = Mode::FixtureBad,
+            "--replay" => {
+                let f = it.next().ok_or("--replay needs a file")?;
+                args.mode = Mode::Replay(f);
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a file")?,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos_campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("building fault-free reference (2x3 grid, 8 iters)...");
+    let oracle = Oracle::new(2, 3, 8);
+    println!("fault-free makespan: {:.3e} s", oracle.clean_makespan());
+
+    match args.mode {
+        Mode::Campaign => campaign(&oracle, args.seeds, &args.out),
+        Mode::FixtureBad => fixture_bad(&oracle, &args.out),
+        Mode::Replay(file) => replay(&oracle, &file),
+    }
+}
+
+fn campaign(oracle: &Oracle, seeds: u64, out: &str) -> ExitCode {
+    println!("campaign: {seeds} seeded plans");
+    for seed in 0..seeds {
+        let plan = ChaosPlan::generate(seed);
+        match oracle.check(&plan) {
+            Ok(()) => {
+                if (seed + 1) % 25 == 0 {
+                    println!("  {}/{} green", seed + 1, seeds);
+                }
+            }
+            Err(v) => {
+                println!("seed {seed} VIOLATED {v}");
+                println!("minimizing {} events...", plan.events.len());
+                let min = minimize(&plan, oracle);
+                let verdict = oracle.check(&min).expect_err("minimized plan still fails");
+                println!(
+                    "minimized to {} events, violation: {verdict}",
+                    min.events.len()
+                );
+                if let Err(e) = std::fs::write(out, min.to_json()) {
+                    eprintln!("failed to write {out}: {e}");
+                } else {
+                    println!("replayable plan written to {out}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("campaign green: {seeds}/{seeds} plans satisfied every invariant");
+    ExitCode::SUCCESS
+}
+
+fn fixture_bad(oracle: &Oracle, out: &str) -> ExitCode {
+    let bad = ChaosPlan::known_bad();
+    println!("fixture: {} events (3 kills + noise)", bad.events.len());
+    let v = match oracle.check(&bad) {
+        Err(v) => v,
+        Ok(()) => {
+            eprintln!("FIXTURE BUG: known-bad plan passed the oracle");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("violation (expected): {v}");
+
+    let min = minimize(&bad, oracle);
+    println!("minimized to {} events", min.events.len());
+    if min.events.len() > 3 {
+        eprintln!("MINIMIZER BUG: expected <= 3 events, got {:?}", min.events);
+        return ExitCode::FAILURE;
+    }
+
+    if let Err(e) = std::fs::write(out, min.to_json()) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let text = std::fs::read_to_string(out).expect("just wrote it");
+    let replayed = match ChaosPlan::from_json(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ROUND-TRIP BUG: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if replayed != min {
+        eprintln!("ROUND-TRIP BUG: parsed plan differs from written plan");
+        return ExitCode::FAILURE;
+    }
+    match oracle.check(&replayed) {
+        Err(v) => println!("replayed plan still violates: {v}"),
+        Ok(()) => {
+            eprintln!("REPLAY BUG: minimized plan passed on replay");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("fixture self-test passed (minimized plan at {out})");
+    ExitCode::SUCCESS
+}
+
+fn replay(oracle: &Oracle, file: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan = match ChaosPlan::from_json(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot parse {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("replaying {} events from {file}", plan.events.len());
+    match oracle.check(&plan) {
+        Ok(()) => {
+            println!("plan satisfies every invariant");
+            ExitCode::SUCCESS
+        }
+        Err(v) => {
+            println!("plan violates: {v}");
+            ExitCode::FAILURE
+        }
+    }
+}

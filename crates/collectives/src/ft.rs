@@ -220,6 +220,10 @@ pub(crate) fn blame(comm: &Communicator, e: &Error) -> Option<usize> {
             (*rank != me).then_some(*rank)
         }
         Error::Aborted { culprit } => Some(*culprit),
+        // A partition cut is blamed on the unreachable peer: the abort
+        // cascades through the reachable fragment exactly like a death,
+        // driving every member into recovery with the same culprit.
+        Error::Unreachable { rank } => Some(*rank),
         _ => None,
     }
 }

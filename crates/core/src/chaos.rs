@@ -1,0 +1,1024 @@
+//! Chaos-campaign engine: seeded random fault plans, an invariant
+//! oracle, and a greedy delta-debugging minimizer with replayable JSON
+//! plans.
+//!
+//! A **campaign** draws [`ChaosPlan`]s from a seed — each a list of
+//! [`ChaosEvent`]s (kills, rejoins, partitions, heals, duplications,
+//! reorderings) with times expressed as *fractions of the fault-free
+//! makespan*, so a plan is scale-free and replays identically on any
+//! machine model. The [`Oracle`] runs each plan through the
+//! fault-tolerant trainer and checks the safety invariants the
+//! split-brain design promises:
+//!
+//! 1. **termination** — every rank finishes without error or panic,
+//!    except outcomes the plan itself scripts (a permanently-killed
+//!    rank ends `RankFailed`; under a never-healed partition the
+//!    quorum-less side parks forever and ends `Unreachable`); the
+//!    carve-outs keep the minimizer honest — it can't "shrink" a real
+//!    failure into a plan whose only sin is scripting a death
+//!    (real-time deadlock is the CI job timeout's to catch; everything
+//!    the simulator can observe terminates in virtual time);
+//! 2. **virtual-time horizon** — the faulty makespan stays within a
+//!    generous multiple of fault-free, catching runaway retry or
+//!    recovery loops;
+//! 3. **single writer** — every finishing rank reports the *same*
+//!    committed loss chain of the configured length: had two fragments
+//!    both stepped the optimizer (split brain), their chains would
+//!    diverge;
+//! 4. **loss parity** — the chain matches the fault-free trajectory to
+//!    1e-6: recovery replays, parks, and heals leave no numerical
+//!    residue;
+//! 5. **trace well-formedness** — with tracing on, every span closes,
+//!    times are finite and ordered, and nothing is stamped past the
+//!    end of the run.
+//!
+//! When a plan violates an invariant, [`minimize`] greedily
+//! delta-debugs the event list — repeatedly dropping any event whose
+//! removal preserves the violation — and the shrunk plan is emitted as
+//! JSON ([`ChaosPlan::to_json`]) that [`ChaosPlan::from_json`] replays
+//! bit-deterministically.
+//!
+//! The `chaos_campaign` bench binary drives all of this; CI runs its
+//! `--smoke` mode (200 seeded plans) and uploads the minimized failing
+//! plan as an artifact when an invariant breaks.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::ft_trainer::{train_1p5d_ft_traced, FtTrainConfig};
+use crate::trainer::synthetic_data;
+use crate::MachineModel;
+use collectives::FtConfig;
+use dnn::zoo::mlp_tiny;
+use dnn::Network;
+use mpsim::{EventKind, FaultPlan, TraceConfig};
+use tensor::Matrix;
+
+/// SplitMix64: the same tiny deterministic generator the fault plan
+/// uses for its own draws. Every campaign artifact derives from one
+/// `u64` seed through this.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        ChaosRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty draw range");
+        (self.next_u64() as u128 % n as u128) as usize
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// One scheduled fault. Times (`at`) are fractions of the fault-free
+/// makespan in `[0, 1]`; link message indices (`nth`) are 0-based.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosEvent {
+    /// Kill `rank` (fail-stop) at `at`.
+    Kill { rank: usize, at: f64 },
+    /// Revive a previously killed `rank` at `at`.
+    Rejoin { rank: usize, at: f64 },
+    /// Cut every link between `group` and its complement at `at`
+    /// (both directions, or only messages *from* the group when
+    /// `oneway`).
+    Partition {
+        group: Vec<usize>,
+        at: f64,
+        oneway: bool,
+    },
+    /// Restore the links of the partition over `group` at `at`.
+    Heal { group: Vec<usize>, at: f64 },
+    /// Deliver the `nth` data message from `src` to `dst` twice.
+    Duplicate { src: usize, dst: usize, nth: u64 },
+    /// Hold the `nth` data message from `src` to `dst` back until up
+    /// to `depth` later messages on the link have been posted.
+    Reorder {
+        src: usize,
+        dst: usize,
+        nth: u64,
+        depth: u64,
+    },
+}
+
+/// A replayable chaos scenario: grid shape, iteration count, and the
+/// scheduled events. Everything the oracle needs to re-run it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed the plan was generated from (also seeds the fault plan's
+    /// own jitter draws). Informational for hand-written plans.
+    pub seed: u64,
+    /// Grid rows.
+    pub pr: usize,
+    /// Grid columns.
+    pub pc: usize,
+    /// Training iterations.
+    pub iters: usize,
+    /// Scheduled faults.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// World size of the scenario.
+    pub fn size(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Draws a random plan that the trainer is *expected to survive*:
+    /// either one kill-with-rejoin or one healed partition whose cut
+    /// group is small enough to (a) lose quorum and (b) leave every
+    /// weight row with a surviving replica, plus a sprinkle of
+    /// semantically-neutral message chaos (duplication, bounded
+    /// reordering). Deterministic in `seed`.
+    pub fn generate(seed: u64) -> ChaosPlan {
+        let (pr, pc, iters) = (2usize, 3usize, 8usize);
+        let size = pr * pc;
+        let mut rng = ChaosRng::new(seed);
+        let mut events = Vec::new();
+
+        match rng.below(3) {
+            0 => {
+                // One fail-stop with a scripted revival.
+                let victim = rng.below(size);
+                let at = 0.25 + 0.2 * rng.unit();
+                let back = at + 0.1 + 0.15 * rng.unit();
+                events.push(ChaosEvent::Kill { rank: victim, at });
+                events.push(ChaosEvent::Rejoin {
+                    rank: victim,
+                    at: back,
+                });
+            }
+            oneway_pick => {
+                // One healed partition. Group size 1 or 2 out of 6:
+                // always a minority (parks), and — rows being pc = 3
+                // ranks wide — never a full weight row, so the majority
+                // can keep training. The heal lands well after the cut
+                // so no agreement round straddles the boundary.
+                let oneway = oneway_pick == 2;
+                let k = 1 + rng.below(2);
+                let mut group = Vec::with_capacity(k);
+                while group.len() < k {
+                    let g = rng.below(size);
+                    if !group.contains(&g) {
+                        group.push(g);
+                    }
+                }
+                group.sort_unstable();
+                let at = 0.25 + 0.2 * rng.unit();
+                let heal = at + 0.15 + 0.15 * rng.unit();
+                events.push(ChaosEvent::Partition {
+                    group: group.clone(),
+                    at,
+                    oneway,
+                });
+                events.push(ChaosEvent::Heal { group, at: heal });
+            }
+        }
+
+        for _ in 0..rng.below(4) {
+            let src = rng.below(size);
+            let dst = rng.below(size);
+            if src != dst {
+                events.push(ChaosEvent::Duplicate {
+                    src,
+                    dst,
+                    nth: rng.below(40) as u64,
+                });
+            }
+        }
+        for _ in 0..rng.below(3) {
+            let src = rng.below(size);
+            let dst = rng.below(size);
+            if src != dst {
+                events.push(ChaosEvent::Reorder {
+                    src,
+                    dst,
+                    nth: rng.below(40) as u64,
+                    depth: 1 + rng.below(3) as u64,
+                });
+            }
+        }
+
+        ChaosPlan {
+            seed,
+            pr,
+            pc,
+            iters,
+            events,
+        }
+    }
+
+    /// The known-bad fixture: kills **every replica of weight row 1**
+    /// (ranks 3, 4, 5 of the 2×3 grid) at the same instant, buried in
+    /// harmless message chaos. Unrecoverable by construction — the
+    /// surviving fragment holds quorum but no copy of half the model —
+    /// so the oracle flags it and [`minimize`] must strip it down to
+    /// the three kills.
+    pub fn known_bad() -> ChaosPlan {
+        ChaosPlan {
+            seed: 0xBAD,
+            pr: 2,
+            pc: 3,
+            iters: 8,
+            events: vec![
+                ChaosEvent::Duplicate {
+                    src: 0,
+                    dst: 1,
+                    nth: 3,
+                },
+                ChaosEvent::Kill { rank: 3, at: 0.35 },
+                ChaosEvent::Reorder {
+                    src: 1,
+                    dst: 2,
+                    nth: 4,
+                    depth: 2,
+                },
+                ChaosEvent::Kill { rank: 4, at: 0.35 },
+                ChaosEvent::Duplicate {
+                    src: 2,
+                    dst: 0,
+                    nth: 7,
+                },
+                ChaosEvent::Kill { rank: 5, at: 0.35 },
+            ],
+        }
+    }
+
+    /// Ranks the plan kills and never revives afterwards: their
+    /// `RankFailed` outcome is scripted, not a trainer bug.
+    pub fn permanently_killed(&self) -> Vec<usize> {
+        let mut dead = Vec::new();
+        for ev in &self.events {
+            if let ChaosEvent::Kill { rank, at } = ev {
+                let revived = self.events.iter().any(|e| {
+                    matches!(e, ChaosEvent::Rejoin { rank: r, at: back }
+                        if r == rank && back > at)
+                });
+                if !revived && !dead.contains(rank) {
+                    dead.push(*rank);
+                }
+            }
+        }
+        dead
+    }
+
+    /// Whether any partition is never healed. The quorum-less side of
+    /// such a cut parks forever by design, so its `Unreachable` outcome
+    /// is scripted. (Which side parks is the quorum rule's verdict —
+    /// possibly the cut group's *complement* — so this is a plan-level
+    /// flag, not a per-rank set.)
+    pub fn has_unhealed_partition(&self) -> bool {
+        self.events.iter().any(|ev| {
+            matches!(ev, ChaosEvent::Partition { group, at, .. }
+            if !self.events.iter().any(|e| {
+                matches!(e, ChaosEvent::Heal { group: g, at: h }
+                    if g == group && h > at)
+            }))
+        })
+    }
+
+    /// Realizes the scale-free plan against a concrete fault-free
+    /// makespan: fractions become absolute virtual times.
+    pub fn to_fault_plan(&self, makespan: f64) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.seed).with_default_timeout(10.0);
+        for ev in &self.events {
+            plan = match ev {
+                ChaosEvent::Kill { rank, at } => plan.kill(*rank, at * makespan),
+                ChaosEvent::Rejoin { rank, at } => plan.rejoin(*rank, at * makespan),
+                ChaosEvent::Partition { group, at, oneway } => {
+                    if *oneway {
+                        plan.partition_oneway(group, at * makespan)
+                    } else {
+                        plan.partition(group, at * makespan)
+                    }
+                }
+                ChaosEvent::Heal { group, at } => plan.heal(group, at * makespan),
+                ChaosEvent::Duplicate { src, dst, nth } => plan.duplicate_nth(*src, *dst, *nth),
+                ChaosEvent::Reorder {
+                    src,
+                    dst,
+                    nth,
+                    depth,
+                } => plan.reorder_nth(*src, *dst, *nth, *depth),
+            };
+        }
+        plan
+    }
+
+    /// Serializes the plan as JSON (the vendored serde stub has no
+    /// serializer, so this is written by hand).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n  \"seed\": {},\n  \"pr\": {},\n  \"pc\": {},\n  \"iters\": {},\n  \"events\": [",
+            self.seed, self.pr, self.pc, self.iters
+        );
+        for (i, ev) in self.events.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(s, "{sep}\n    ");
+            match ev {
+                ChaosEvent::Kill { rank, at } => {
+                    let _ = write!(s, "{{\"type\": \"kill\", \"rank\": {rank}, \"at\": {at}}}");
+                }
+                ChaosEvent::Rejoin { rank, at } => {
+                    let _ = write!(
+                        s,
+                        "{{\"type\": \"rejoin\", \"rank\": {rank}, \"at\": {at}}}"
+                    );
+                }
+                ChaosEvent::Partition { group, at, oneway } => {
+                    let _ = write!(
+                        s,
+                        "{{\"type\": \"partition\", \"group\": {}, \"at\": {at}, \"oneway\": {oneway}}}",
+                        json_list(group)
+                    );
+                }
+                ChaosEvent::Heal { group, at } => {
+                    let _ = write!(
+                        s,
+                        "{{\"type\": \"heal\", \"group\": {}, \"at\": {at}}}",
+                        json_list(group)
+                    );
+                }
+                ChaosEvent::Duplicate { src, dst, nth } => {
+                    let _ = write!(
+                        s,
+                        "{{\"type\": \"duplicate\", \"src\": {src}, \"dst\": {dst}, \"nth\": {nth}}}"
+                    );
+                }
+                ChaosEvent::Reorder {
+                    src,
+                    dst,
+                    nth,
+                    depth,
+                } => {
+                    let _ = write!(
+                        s,
+                        "{{\"type\": \"reorder\", \"src\": {src}, \"dst\": {dst}, \"nth\": {nth}, \"depth\": {depth}}}"
+                    );
+                }
+            }
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Parses a plan previously written by [`ChaosPlan::to_json`] (or
+    /// by hand). Returns a descriptive error on malformed input.
+    pub fn from_json(text: &str) -> Result<ChaosPlan, String> {
+        let v = Json::parse(text)?;
+        let obj = v.as_object("top level")?;
+        let seed = get_num(obj, "seed")? as u64;
+        let pr = get_num(obj, "pr")? as usize;
+        let pc = get_num(obj, "pc")? as usize;
+        let iters = get_num(obj, "iters")? as usize;
+        let events_v = get(obj, "events")?.as_array("events")?;
+        let mut events = Vec::with_capacity(events_v.len());
+        for (i, ev) in events_v.iter().enumerate() {
+            let e = ev.as_object(&format!("events[{i}]"))?;
+            let ty = get(e, "type")?.as_str(&format!("events[{i}].type"))?;
+            events.push(match ty {
+                "kill" => ChaosEvent::Kill {
+                    rank: get_num(e, "rank")? as usize,
+                    at: get_num(e, "at")?,
+                },
+                "rejoin" => ChaosEvent::Rejoin {
+                    rank: get_num(e, "rank")? as usize,
+                    at: get_num(e, "at")?,
+                },
+                "partition" => ChaosEvent::Partition {
+                    group: get_ranks(e, "group")?,
+                    at: get_num(e, "at")?,
+                    oneway: get(e, "oneway")?.as_bool("oneway")?,
+                },
+                "heal" => ChaosEvent::Heal {
+                    group: get_ranks(e, "group")?,
+                    at: get_num(e, "at")?,
+                },
+                "duplicate" => ChaosEvent::Duplicate {
+                    src: get_num(e, "src")? as usize,
+                    dst: get_num(e, "dst")? as usize,
+                    nth: get_num(e, "nth")? as u64,
+                },
+                "reorder" => ChaosEvent::Reorder {
+                    src: get_num(e, "src")? as usize,
+                    dst: get_num(e, "dst")? as usize,
+                    nth: get_num(e, "nth")? as u64,
+                    depth: get_num(e, "depth")? as u64,
+                },
+                other => return Err(format!("unknown event type {other:?}")),
+            });
+        }
+        Ok(ChaosPlan {
+            seed,
+            pr,
+            pc,
+            iters,
+            events,
+        })
+    }
+}
+
+fn json_list(xs: &[usize]) -> String {
+    let inner: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+/// A broken invariant: which one, and what the oracle saw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Invariant name: `termination`, `horizon`, `single-writer`,
+    /// `loss-parity`, or `trace-wellformed`.
+    pub invariant: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// The invariant oracle: holds the workload and the cached fault-free
+/// reference run, and judges chaos plans against it.
+pub struct Oracle {
+    net: Network,
+    x: Matrix,
+    labels: Vec<usize>,
+    cfg: FtTrainConfig,
+    pr: usize,
+    pc: usize,
+    clean_losses: Vec<f64>,
+    clean_makespan: f64,
+}
+
+impl Oracle {
+    /// Builds the oracle for a `pr × pc` grid over the standard tiny
+    /// MLP workload and runs the fault-free reference.
+    pub fn new(pr: usize, pc: usize, iters: usize) -> Oracle {
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let cfg = FtTrainConfig {
+            lr: 0.3,
+            iters,
+            seed: 7,
+            ckpt_every: 2,
+            ft: FtConfig::fixed(10.0).with_attempts(2).with_backoff(0.5),
+            machine: MachineModel::cori_knl(),
+            ..FtTrainConfig::default()
+        };
+        let (clean, _) = train_1p5d_ft_traced(
+            &net,
+            &x,
+            &labels,
+            &cfg,
+            pr,
+            pc,
+            FaultPlan::default(),
+            TraceConfig::disabled(),
+        );
+        let clean_losses = clean.losses();
+        assert_eq!(clean_losses.len(), iters, "fault-free reference finished");
+        let clean_makespan = clean.stats.makespan();
+        Oracle {
+            net,
+            x,
+            labels,
+            cfg,
+            pr,
+            pc,
+            clean_losses,
+            clean_makespan,
+        }
+    }
+
+    /// Fault-free makespan of the reference run (what event fractions
+    /// are scaled by).
+    pub fn clean_makespan(&self) -> f64 {
+        self.clean_makespan
+    }
+
+    /// Runs `plan` and checks every invariant. `Ok(())` means the
+    /// trainer survived the chaos with a clean bill.
+    pub fn check(&self, plan: &ChaosPlan) -> Result<(), Violation> {
+        assert_eq!(
+            (plan.pr, plan.pc),
+            (self.pr, self.pc),
+            "plan grid must match the oracle's workload"
+        );
+        let realized = plan.to_fault_plan(self.clean_makespan);
+        if let Err(msg) = realized.validate() {
+            return Err(Violation {
+                invariant: "valid-plan",
+                detail: msg,
+            });
+        }
+
+        // A rank panic unwinds through World's thread join; catch it so
+        // one poisoned plan doesn't kill the whole campaign.
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            train_1p5d_ft_traced(
+                &self.net,
+                &self.x,
+                &self.labels,
+                &self.cfg,
+                self.pr,
+                self.pc,
+                realized,
+                TraceConfig::enabled(),
+            )
+        }));
+        let (result, trace) = match ran {
+            Ok(r) => r,
+            Err(_) => {
+                return Err(Violation {
+                    invariant: "termination",
+                    detail: "a rank panicked".to_string(),
+                })
+            }
+        };
+
+        // 1. termination: every rank finishes Ok, except outcomes the
+        // plan itself scripts — a killed-and-never-revived rank
+        // rightfully ends `RankFailed`, and with a never-healed
+        // partition the quorum-less side rightfully parks forever and
+        // ends `Unreachable`. Anything else (a survivor erroring, a
+        // healed rank stuck, a wrong error kind) is a violation.
+        let killed = plan.permanently_killed();
+        let cut_forever = plan.has_unhealed_partition();
+        for (r, out) in result.per_rank.iter().enumerate() {
+            match out {
+                Ok(_) => {}
+                Err(mpsim::Error::RankFailed { rank }) if *rank == r && killed.contains(&r) => {}
+                Err(mpsim::Error::Unreachable { rank }) if *rank == r && cut_forever => {}
+                Err(e) => {
+                    return Err(Violation {
+                        invariant: "termination",
+                        detail: format!("rank {r} failed: {e}"),
+                    })
+                }
+            }
+        }
+
+        // 2. virtual-time horizon: no runaway retry/recovery loops.
+        let horizon = self.clean_makespan * 50.0 + 30.0;
+        let makespan = result.stats.makespan();
+        if !(makespan.is_finite() && makespan <= horizon) {
+            return Err(Violation {
+                invariant: "horizon",
+                detail: format!("makespan {makespan} past horizon {horizon}"),
+            });
+        }
+
+        // 3. single writer: one committed loss chain, full length,
+        // reported verbatim by every finishing rank.
+        let finishers: Vec<(usize, &crate::ft_trainer::FtRankOutcome)> = result
+            .per_rank
+            .iter()
+            .enumerate()
+            .filter_map(|(r, out)| out.as_ref().ok().map(|o| (r, o)))
+            .collect();
+        let first = match finishers.first() {
+            Some((_, o)) => *o,
+            None => {
+                return Err(Violation {
+                    invariant: "single-writer",
+                    detail: "no rank finished training".to_string(),
+                })
+            }
+        };
+        if first.losses.len() != plan.iters {
+            return Err(Violation {
+                invariant: "single-writer",
+                detail: format!(
+                    "loss chain has {} entries, expected {}",
+                    first.losses.len(),
+                    plan.iters
+                ),
+            });
+        }
+        for (r, o) in &finishers {
+            if o.losses != first.losses {
+                return Err(Violation {
+                    invariant: "single-writer",
+                    detail: format!("rank {r} reports a diverged loss chain"),
+                });
+            }
+        }
+
+        // 4. loss parity with the fault-free replay.
+        for (i, (a, b)) in self.clean_losses.iter().zip(&first.losses).enumerate() {
+            if (a - b).abs() >= 1e-6 {
+                return Err(Violation {
+                    invariant: "loss-parity",
+                    detail: format!("iter {i}: fault-free {a} vs chaotic {b}"),
+                });
+            }
+        }
+
+        // 5. trace well-formedness.
+        for rt in &trace.ranks {
+            if rt.unclosed > 0 {
+                return Err(Violation {
+                    invariant: "trace-wellformed",
+                    detail: format!("rank {}: {} unclosed spans", rt.rank, rt.unclosed),
+                });
+            }
+            for ev in &rt.events {
+                let ok = ev.t0.is_finite()
+                    && ev.t1.is_finite()
+                    && ev.t0 >= 0.0
+                    && ev.t1 >= ev.t0
+                    && ev.t1 <= makespan * (1.0 + 1e-9) + 1e-12
+                    && (ev.kind != EventKind::Instant || ev.t0 == ev.t1);
+                if !ok {
+                    return Err(Violation {
+                        invariant: "trace-wellformed",
+                        detail: format!(
+                            "rank {}: bad event {}/{} at [{}, {}]",
+                            rt.rank, ev.cat, ev.name, ev.t0, ev.t1
+                        ),
+                    });
+                }
+            }
+        }
+
+        Ok(())
+    }
+
+    /// Whether `plan` genuinely breaks an invariant: invalid plans
+    /// (which the simulator refuses to even start) don't count, so the
+    /// minimizer never "improves" a real failure into an unrunnable
+    /// plan.
+    pub fn violates(&self, plan: &ChaosPlan) -> bool {
+        match self.check(plan) {
+            Err(v) => v.invariant != "valid-plan",
+            Ok(()) => false,
+        }
+    }
+}
+
+/// Greedy delta-debugging: repeatedly drops any single event whose
+/// removal keeps the plan failing, until no single removal does. The
+/// result is 1-minimal — every remaining event is necessary for the
+/// violation — and still violating.
+pub fn minimize(plan: &ChaosPlan, oracle: &Oracle) -> ChaosPlan {
+    assert!(
+        oracle.violates(plan),
+        "minimize needs a plan that actually fails"
+    );
+    let mut best = plan.clone();
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..best.events.len() {
+            let mut candidate = best.clone();
+            candidate.events.remove(i);
+            if oracle.violates(&candidate) {
+                best = candidate;
+                improved = true;
+                break;
+            }
+        }
+    }
+    best
+}
+
+// --- minimal JSON reader (recursive descent) -------------------------
+
+/// A parsed JSON value (just enough for chaos plans).
+enum Json {
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let b = text.as_bytes();
+        let mut at = 0;
+        let v = parse_value(b, &mut at)?;
+        skip_ws(b, &mut at);
+        if at != b.len() {
+            return Err(format!("trailing garbage at byte {at}"));
+        }
+        Ok(v)
+    }
+
+    fn as_object(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(kv) => Ok(kv),
+            _ => Err(format!("{what}: expected an object")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(xs) => Ok(xs),
+            _ => Err(format!("{what}: expected an array")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(format!("{what}: expected a string")),
+        }
+    }
+
+    fn as_num(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(x) => Ok(*x),
+            _ => Err(format!("{what}: expected a number")),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(format!("{what}: expected a boolean")),
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn get_num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    get(obj, key)?.as_num(key)
+}
+
+fn get_ranks(obj: &[(String, Json)], key: &str) -> Result<Vec<usize>, String> {
+    get(obj, key)?
+        .as_array(key)?
+        .iter()
+        .map(|v| v.as_num(key).map(|x| x as usize))
+        .collect()
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && (b[*at] as char).is_ascii_whitespace() {
+        *at += 1;
+    }
+}
+
+fn expect(b: &[u8], at: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, at);
+    if *at < b.len() && b[*at] == c {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, at))
+    }
+}
+
+fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        Some(b'{') => {
+            *at += 1;
+            let mut kv = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Json::Obj(kv));
+            }
+            loop {
+                skip_ws(b, at);
+                let key = match parse_value(b, at)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {at}")),
+                };
+                expect(b, at, b':')?;
+                let val = parse_value(b, at)?;
+                kv.push((key, val));
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Json::Obj(kv));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {at}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *at += 1;
+            let mut xs = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Json::Arr(xs));
+            }
+            loop {
+                xs.push(parse_value(b, at)?);
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Json::Arr(xs));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {at}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *at += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*at) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        *at += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *at += 1;
+                        match b.get(*at) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            other => return Err(format!("unsupported escape {other:?}")),
+                        }
+                        *at += 1;
+                    }
+                    Some(&c) => {
+                        s.push(c as char);
+                        *at += 1;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*at..].starts_with(b"true") => {
+            *at += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*at..].starts_with(b"false") => {
+            *at += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(&c) if c == b'-' || c.is_ascii_digit() => {
+            let start = *at;
+            *at += 1;
+            while *at < b.len()
+                && (b[*at].is_ascii_digit()
+                    || b[*at] == b'.'
+                    || b[*at] == b'e'
+                    || b[*at] == b'E'
+                    || b[*at] == b'+'
+                    || b[*at] == b'-')
+            {
+                *at += 1;
+            }
+            std::str::from_utf8(&b[start..*at])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("malformed number at byte {start}"))
+        }
+        _ => Err(format!("unexpected input at byte {at}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_varied() {
+        let a = ChaosPlan::generate(7);
+        let b = ChaosPlan::generate(7);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = ChaosPlan::generate(8);
+        assert_ne!(a, c, "different seed, different plan");
+        assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn json_round_trips_every_event_kind() {
+        let plan = ChaosPlan {
+            seed: 42,
+            pr: 2,
+            pc: 3,
+            iters: 8,
+            events: vec![
+                ChaosEvent::Kill { rank: 5, at: 0.35 },
+                ChaosEvent::Rejoin { rank: 5, at: 0.6 },
+                ChaosEvent::Partition {
+                    group: vec![1, 3],
+                    at: 0.3,
+                    oneway: true,
+                },
+                ChaosEvent::Heal {
+                    group: vec![1, 3],
+                    at: 0.62,
+                },
+                ChaosEvent::Duplicate {
+                    src: 0,
+                    dst: 1,
+                    nth: 3,
+                },
+                ChaosEvent::Reorder {
+                    src: 2,
+                    dst: 4,
+                    nth: 9,
+                    depth: 2,
+                },
+            ],
+        };
+        let back = ChaosPlan::from_json(&plan.to_json()).expect("round trip parses");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn json_parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"seed\": }",
+            "{\"seed\": 1, \"pr\": 2, \"pc\": 3, \"iters\": 4, \"events\": [{}]}",
+            "{\"seed\": 1} trailing",
+        ] {
+            assert!(ChaosPlan::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn generated_plans_realize_to_valid_fault_plans() {
+        for seed in 0..50 {
+            let plan = ChaosPlan::generate(seed);
+            let realized = plan.to_fault_plan(1.0);
+            assert_eq!(
+                realized.validate(),
+                Ok(()),
+                "seed {seed} generated an invalid plan"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_passes_a_sample_of_green_plans() {
+        let oracle = Oracle::new(2, 3, 8);
+        for seed in [0u64, 1, 2] {
+            let plan = ChaosPlan::generate(seed);
+            if let Err(v) = oracle.check(&plan) {
+                panic!("seed {seed} violated an invariant: {v}\n{}", plan.to_json());
+            }
+        }
+    }
+
+    #[test]
+    fn known_bad_fixture_minimizes_to_the_three_kills_and_replays() {
+        let oracle = Oracle::new(2, 3, 8);
+        let bad = ChaosPlan::known_bad();
+        let v = oracle.check(&bad).expect_err("fixture must violate");
+        assert_eq!(v.invariant, "termination", "kills an irreplaceable row");
+
+        let min = minimize(&bad, &oracle);
+        // Exactly the three kills: removing any one leaves a surviving
+        // replica of weight row 1 and the plan goes green, while every
+        // noise event is droppable.
+        assert_eq!(min.events.len(), 3, "minimized to {:?}", min.events);
+        assert!(min
+            .events
+            .iter()
+            .all(|e| matches!(e, ChaosEvent::Kill { .. })));
+        assert!(oracle.violates(&min), "minimized plan still fails");
+
+        // The minimized plan replays deterministically from its JSON.
+        let replayed = ChaosPlan::from_json(&min.to_json()).expect("parses");
+        assert_eq!(replayed, min);
+        let a = oracle.check(&replayed).expect_err("still violating");
+        let b = oracle.check(&replayed).expect_err("still violating");
+        assert_eq!(a, b, "verdict replays bit-identically");
+    }
+}

@@ -241,7 +241,7 @@ pub fn plan_grid(
 fn recoverable(e: &Error, my_global: usize) -> bool {
     match e {
         Error::Timeout { .. } | Error::Corrupted { .. } | Error::Aborted { .. } => true,
-        Error::RankFailed { rank } => *rank != my_global,
+        Error::RankFailed { rank } | Error::Unreachable { rank } => *rank != my_global,
         _ => false,
     }
 }
@@ -288,6 +288,20 @@ fn read_list(b: &[u8], at: &mut usize) -> Vec<usize> {
 }
 
 fn decode_round(b: &[u8]) -> RoundMsg {
+    if b.len() < 25 {
+        // A transiently desynchronized peer (e.g. around a partition
+        // heal racing an agreement round) can deliver bytes from a
+        // different protocol step. Read it as an abort signal: the
+        // extra recovery round re-aligns the counters instead of
+        // panicking on a short buffer.
+        return RoundMsg {
+            iter: 0,
+            last_ckpt: usize::MAX,
+            aborted: true,
+            has_state: false,
+            ready: Vec::new(),
+        };
+    }
     let mut at = 0;
     let iter = read_u64(b, &mut at) as usize;
     let last_ckpt = read_u64(b, &mut at) as usize;
@@ -301,6 +315,32 @@ fn decode_round(b: &[u8]) -> RoundMsg {
         has_state: flags & FLAG_HAS_STATE != 0,
         ready,
     }
+}
+
+/// Payload of the echo round: the global ranks whose presence-round
+/// message this rank received (count-prefixed u64 list).
+fn encode_echo(heard: &[usize]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(8 + 8 * heard.len());
+    v.extend_from_slice(&(heard.len() as u64).to_le_bytes());
+    for &g in heard {
+        v.extend_from_slice(&(g as u64).to_le_bytes());
+    }
+    v
+}
+
+fn decode_echo(b: &[u8]) -> Vec<usize> {
+    if b.len() < 8 {
+        return Vec::new();
+    }
+    let n = u64::from_le_bytes(b[0..8].try_into().expect("count")) as usize;
+    if b.len() < 8 + 8 * n {
+        // Cross-protocol bytes from a desynchronized peer: an empty
+        // echo simply keeps that peer out of the bidirectional
+        // fragment for this round.
+        return Vec::new();
+    }
+    let mut at = 0;
+    read_list(b, &mut at)
 }
 
 /// Control tag carrying welcome messages to re-admitted ranks, far
@@ -763,10 +803,12 @@ fn run_rank(
         let mut do_recovery = in_recovery_epoch;
         if !in_recovery_epoch {
             // --- agreement round (control plane, free in virtual time) ---
+            // Re-admission is plan-driven for both exits: a scripted
+            // rejoin after a kill, or a healed partition cut.
             let ready: Vec<usize> = excluded
                 .iter()
                 .copied()
-                .filter(|&g| comm.rejoin_ready(g))
+                .filter(|&g| comm.rejoin_ready(g) || comm.heal_ready(g))
                 .collect();
             let msg = RoundMsg {
                 iter: losses.len(),
@@ -800,6 +842,63 @@ fn run_rank(
             admit.sort_unstable();
             let newly_dead = dead.iter().any(|g| !excluded.contains(g));
             do_recovery = newly_dead || any_abort || !admit.is_empty();
+
+            // --- echo round: bidirectional-fragment agreement ---
+            // Every live rank echoes who it heard in the presence round.
+            // A peer belongs to this rank's fragment only if traffic
+            // flows *both* ways: its message arrived here, and its echo
+            // proves this rank's message arrived there. One-way cuts
+            // (a rank that can hear but not be heard) thereby resolve to
+            // the same verdict on both sides. The round runs
+            // unconditionally — conditioning it on the presence verdict
+            // would desynchronize the SPMD round counters under
+            // asymmetric cuts.
+            let heard: Vec<usize> = round
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, s)| s.as_ref().map(|_| comm.members()[idx]))
+                .collect();
+            let echo = comm.fault_sync(encode_echo(&heard))?;
+            let mut fragment: Vec<usize> = Vec::new();
+            for (slot_idx, slot) in echo.iter().enumerate() {
+                let g = comm.members()[slot_idx];
+                if g == my_global {
+                    fragment.push(g);
+                } else if let Some(bytes) = slot {
+                    if heard.contains(&g) && decode_echo(bytes).contains(&my_global) {
+                        fragment.push(g);
+                    }
+                }
+            }
+
+            // --- quorum rule: split-brain safety ---
+            // The fragment keeps training only if it holds a majority of
+            // the last-committed membership (deterministic tie-break on
+            // the lowest member). A minority fragment parks: it keeps
+            // its checkpoints, performs no weight update and no Eq. 8
+            // shrink, goes silent behind a Parked marker, and waits at
+            // the heal horizon for the majority's welcome.
+            let membership = &old_view.2;
+            let won = mpsim::has_quorum(&fragment, membership);
+            if fragment.len() < membership.len() || !won {
+                comm.trace_instant(
+                    "quorum",
+                    "verdict",
+                    &[
+                        ("fragment", fragment.len() as f64),
+                        ("members", membership.len() as f64),
+                        ("won", won as u8 as f64),
+                    ],
+                );
+            }
+            if !won {
+                // Park fast-forwards to the heal horizon (when finite).
+                // The caller inspects the plan: a healed cut turns this
+                // into a welcome-wait + rejoin; one that never heals
+                // propagates the error.
+                let _ = comm.park()?;
+                return Err(Error::Unreachable { rank: my_global });
+            }
 
             if do_recovery {
                 // --- open a new recovery epoch ---
@@ -953,7 +1052,16 @@ fn run_rank(
         }
 
         // --- one training iteration ---
-        let comm_before = comm.clock().comm;
+        // Communication per iteration is the growth of *transfer* time
+        // (blocking receives plus the overlap channel), not of the
+        // clock's `comm` component: the latter also absorbs time the
+        // rank spends idle at a deadline or waiting out a straggler, so
+        // using it would report whole-step time as communication.
+        let comm_tally = |c: &mpsim::Communicator| {
+            let s = c.stats();
+            s.transfer_secs + s.channel_secs
+        };
+        let comm_before = comm_tally(comm);
         let wall_before = comm.now();
         match run_iteration(
             &st.grid,
@@ -968,7 +1076,7 @@ fn run_rank(
             Ok(global_loss) => {
                 losses.push(global_loss);
                 st.iter += 1;
-                iter_comm.push(comm.clock().comm - comm_before);
+                iter_comm.push(comm_tally(comm) - comm_before);
                 iter_wall.push(comm.now() - wall_before);
                 if st.iter % cfg.ckpt_every == 0 && st.iter < cfg.iters {
                     ckpt_prev = ckpt_cur;
@@ -1055,6 +1163,20 @@ pub fn train_1p5d_ft_traced(
                 // and re-enter the loop stateless.
                 Err(Error::RankFailed { rank }) if rank == my_global && comm.revive().is_some() => {
                     entry = Entry::Rejoin(wait_welcome(comm)?);
+                }
+                // A parked minority fragment: `run_rank` already
+                // fast-forwarded to the heal horizon inside
+                // `Communicator::park`. If the cut heals, wait for the
+                // majority's welcome and re-enter stateless (the park
+                // kept checkpoints, but the majority may have re-planned
+                // the grid arbitrarily in between). A cut that never
+                // heals leaves the rank permanently outside — surface
+                // the error.
+                Err(Error::Unreachable { rank }) if rank == my_global => {
+                    match comm.heal_horizon() {
+                        Some(h) if h.is_infinite() => return Err(Error::Unreachable { rank }),
+                        _ => entry = Entry::Rejoin(wait_welcome(comm)?),
+                    }
                 }
                 other => return other,
             }

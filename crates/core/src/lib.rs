@@ -11,6 +11,7 @@
 // the correspondence with the paper's formulas.
 #![allow(clippy::needless_range_loop, clippy::manual_is_multiple_of)]
 pub mod bounds;
+pub mod chaos;
 pub mod cnn;
 pub mod compute;
 pub mod cost;

@@ -91,6 +91,21 @@ pub(crate) struct Inner {
     /// Rejoin announcements drained from revived peers: global rank →
     /// rejoin time. Advisory; admission is decided from the fault plan.
     pub rejoin_notices: BTreeMap<usize, f64>,
+    /// Peers resolved as unreachable (a partition severed their traffic,
+    /// or they parked in a minority fragment): global rank → virtual
+    /// time of the resolving observation. Cleared by
+    /// [`Communicator::readmit`], like `dead_peers`.
+    pub unreachable_peers: BTreeMap<usize, f64>,
+    /// Unreachable peers already surfaced to the application (counted
+    /// once in [`RankStats::unreachable_detected`]).
+    pub unreachable_surfaced: BTreeMap<usize, ()>,
+    /// Per-destination transport holdback for
+    /// [`FaultPlan::reorder_nth`]: `(release_after_seq, envelope)`.
+    /// Flushed by a later data message on the link (window elapsed or
+    /// same `(ctx, tag)` flow), by any control/notice send to the same
+    /// destination, and unconditionally before death/abort/park
+    /// broadcasts.
+    pub reorder_held: Vec<Vec<(u64, Envelope)>>,
     /// Per-context launch counter for non-blocking collectives, so
     /// concurrent handles on one communicator get disjoint tag ranges
     /// (requires SPMD launch order within the group, like `split`).
@@ -111,6 +126,9 @@ enum Matched {
     PeerDead(f64),
     /// The source rank aborted the current phase blaming `culprit`.
     PeerAborted(usize),
+    /// The source rank is unreachable across a partition (a severed
+    /// message or notice was observed at the given virtual time).
+    Unreachable(f64),
 }
 
 impl Inner {
@@ -132,12 +150,28 @@ impl Inner {
         tag: Tag,
         honor_aborts: bool,
     ) -> Result<Matched> {
+        // Flush-before-block: a rank about to (possibly) block on its
+        // channel releases every reorder-held envelope first. A blocked
+        // rank can never post the message that would release a hold, so
+        // without this a held message whose receiver is a dependency of
+        // this rank deadlocks the world in *real* time — virtual-time
+        // deadlines only fire when envelopes arrive.
+        self.flush_all_held();
         let key = (ctx, src_global, tag);
         if let Some(queue) = self.pending.get_mut(&key) {
+            // Absorb injected duplicate copies at the head: the original
+            // was already consumed, so flagged copies are discarded.
+            while queue.front().is_some_and(|e| e.dup) {
+                queue.pop_front();
+                self.stats.dups_absorbed += 1;
+            }
             if let Some(env) = queue.front() {
                 if matches!(env.data, Payload::Tombstone { .. }) {
                     // Leave the tombstone parked: retries must keep
                     // observing the loss instead of blocking forever.
+                    if env.severed {
+                        return Ok(Matched::Unreachable(env.depart));
+                    }
                     return Ok(Matched::Dropped);
                 }
                 return Ok(Matched::Data(queue.pop_front().expect("non-empty")));
@@ -145,6 +179,9 @@ impl Inner {
         }
         if let Some(&at) = self.dead_peers.get(&src_global) {
             return Ok(Matched::PeerDead(at));
+        }
+        if let Some(&at) = self.unreachable_peers.get(&src_global) {
+            return Ok(Matched::Unreachable(at));
         }
         if honor_aborts {
             if let Some(&(culprit, epoch)) = self.aborted_peers.get(&src_global) {
@@ -160,6 +197,31 @@ impl Inner {
                 .recv()
                 .map_err(|_| Error::Disconnected { peer: src_global })?;
             match env.data {
+                // Severed notices crossed an active partition: record
+                // bare unreachability, never the content — nothing leaks
+                // across the cut, but nobody hangs on the sender either.
+                Payload::Death { at } | Payload::Rejoin { at } if env.severed => {
+                    self.unreachable_peers.entry(env.src).or_insert(at);
+                    if env.src == src_global {
+                        return Ok(Matched::Unreachable(at));
+                    }
+                }
+                Payload::Abort { .. } if env.severed => {
+                    let at = env.depart;
+                    self.unreachable_peers.entry(env.src).or_insert(at);
+                    if env.src == src_global {
+                        return Ok(Matched::Unreachable(at));
+                    }
+                }
+                // A park marker makes the sender unreachable whether or
+                // not it crossed a cut: the parked rank is silent until
+                // re-admission.
+                Payload::Parked { at } => {
+                    self.unreachable_peers.entry(env.src).or_insert(at);
+                    if env.src == src_global {
+                        return Ok(Matched::Unreachable(at));
+                    }
+                }
                 Payload::Death { at } => {
                     self.dead_peers.entry(env.src).or_insert(at);
                     if env.src == src_global {
@@ -184,11 +246,20 @@ impl Inner {
                 Payload::Tombstone { .. }
                     if env.ctx == ctx && env.src == src_global && env.tag == tag =>
                 {
+                    let severed = env.severed;
+                    let at = env.depart;
                     self.pending.entry(key).or_default().push_back(env);
+                    if severed {
+                        return Ok(Matched::Unreachable(at));
+                    }
                     return Ok(Matched::Dropped);
                 }
                 _ if env.ctx == ctx && env.src == src_global && env.tag == tag => {
-                    return Ok(Matched::Data(env));
+                    if env.dup {
+                        self.stats.dups_absorbed += 1;
+                    } else {
+                        return Ok(Matched::Data(env));
+                    }
                 }
                 _ => {
                     self.pending
@@ -248,6 +319,44 @@ impl Inner {
         Error::RankFailed { rank: peer }
     }
 
+    /// Counts and traces a surfaced partition detection. Unlike
+    /// [`Inner::surface_death`] this never advances the clock: the
+    /// observation happens at the receiver's own `now` (the cut itself
+    /// lies in the past), and the `at` hint may come from a `Parked`
+    /// notice or a severed tombstone depending on which envelope
+    /// arrived first in *real* time — syncing to it would let that
+    /// race leak into virtual time and break bit-identical replay.
+    fn surface_unreachable(&mut self, peer: usize, at: f64) -> Error {
+        if self.tracer.enabled() {
+            let now = self.clock.now;
+            self.tracer
+                .instant("fault", "peer_unreachable", now, &[("peer", peer as f64)]);
+        }
+        self.unreachable_peers.entry(peer).or_insert(at);
+        if self.unreachable_surfaced.insert(peer, ()).is_none() {
+            self.stats.unreachable_detected += 1;
+        }
+        Error::Unreachable { rank: peer }
+    }
+
+    /// Releases every held (reordered) envelope on every link, in held
+    /// order. Called before notice broadcasts so the "a notice trails
+    /// everything its sender ever sent" invariant survives reordering,
+    /// and before any blocking receive so a rank never blocks while
+    /// holding messages its dependencies may be waiting on (reordering
+    /// is thereby bounded by the sender's next blocking point).
+    fn flush_all_held(&mut self) {
+        for dst in 0..self.world_size {
+            if self.reorder_held[dst].is_empty() {
+                continue;
+            }
+            let held = std::mem::take(&mut self.reorder_held[dst]);
+            for (_, env) in held {
+                let _ = self.transmit(dst, env);
+            }
+        }
+    }
+
     /// Checks this rank's own scripted death: at the first communication
     /// operation at or after the kill time, broadcasts a death notice to
     /// every other rank (all-or-nothing: no further death checks happen
@@ -269,10 +378,15 @@ impl Inner {
                     let now = self.clock.now;
                     self.tracer.instant("fault", "died", now, &[("at", at)]);
                 }
+                self.flush_all_held();
                 let me = self.global_rank;
                 for dst in 0..self.world_size {
                     if dst != me {
                         self.stats.ctrl_msgs_sent += 1;
+                        let severed = self.plan.link_cut(me, dst, at);
+                        if severed {
+                            self.stats.msgs_severed += 1;
+                        }
                         let _ = self.endpoint.txs[dst].send(Envelope {
                             ctx: 0,
                             src: me,
@@ -280,6 +394,8 @@ impl Inner {
                             depart: at,
                             seq: 0,
                             csum: None,
+                            dup: false,
+                            severed,
                             data: Payload::Death { at },
                         });
                     }
@@ -291,49 +407,150 @@ impl Inner {
     }
 
     fn post(&mut self, dst_global: usize, mut env: Envelope) -> Result<()> {
+        let mut dup_copy = None;
+        let mut hold_until = None;
+        let mut posted_seq = None;
         if self.plan.active() {
-            if let Payload::Words(v) = &mut env.data {
-                let me = self.global_rank;
-                let seq = self.link_seq[dst_global];
-                self.link_seq[dst_global] += 1;
-                env.seq = seq;
-                env.csum = Some(fault::checksum(v));
-                if self.plan.dropped(me, dst_global, seq) {
-                    self.stats.msgs_dropped += 1;
-                    self.stats.words_dropped += v.len() as u64;
-                    if self.tracer.enabled() {
-                        let now = self.clock.now;
-                        let words = v.len() as f64;
-                        self.tracer.instant(
-                            "fault",
-                            "drop",
-                            now,
-                            &[("dst", dst_global as f64), ("words", words)],
-                        );
-                    }
-                    env.data = Payload::Tombstone { words: v.len() };
-                    env.csum = None;
-                } else if self.plan.corrupted(me, dst_global, seq) {
-                    self.plan.corrupt_payload(v, me, dst_global, seq);
-                    if self.tracer.enabled() {
-                        let now = self.clock.now;
-                        self.tracer
-                            .instant("fault", "corrupt", now, &[("dst", dst_global as f64)]);
+            let me = self.global_rank;
+            let now = self.clock.now;
+            match &mut env.data {
+                Payload::Words(v) => {
+                    let seq = self.link_seq[dst_global];
+                    self.link_seq[dst_global] += 1;
+                    env.seq = seq;
+                    env.csum = Some(fault::checksum(v));
+                    posted_seq = Some(seq);
+                    if self.plan.link_cut(me, dst_global, now) {
+                        // An active partition severs the link: the data
+                        // never crosses, but a severed tombstone does, so
+                        // the receiver resolves the sender as unreachable
+                        // instead of hanging or merely timing out.
+                        self.stats.msgs_severed += 1;
+                        if self.tracer.enabled() {
+                            self.tracer.instant(
+                                "fault",
+                                "severed",
+                                now,
+                                &[("dst", dst_global as f64), ("words", v.len() as f64)],
+                            );
+                        }
+                        env.data = Payload::Tombstone { words: v.len() };
+                        env.csum = None;
+                        env.severed = true;
+                    } else if self.plan.dropped(me, dst_global, seq) {
+                        self.stats.msgs_dropped += 1;
+                        self.stats.words_dropped += v.len() as u64;
+                        if self.tracer.enabled() {
+                            let words = v.len() as f64;
+                            self.tracer.instant(
+                                "fault",
+                                "drop",
+                                now,
+                                &[("dst", dst_global as f64), ("words", words)],
+                            );
+                        }
+                        env.data = Payload::Tombstone { words: v.len() };
+                        env.csum = None;
+                    } else {
+                        if self.plan.corrupted(me, dst_global, seq) {
+                            self.plan.corrupt_payload(v, me, dst_global, seq);
+                            if self.tracer.enabled() {
+                                self.tracer.instant(
+                                    "fault",
+                                    "corrupt",
+                                    now,
+                                    &[("dst", dst_global as f64)],
+                                );
+                            }
+                        }
+                        if let Some(depth) = self.plan.reorder_depth(me, dst_global, seq) {
+                            hold_until = Some(seq + depth);
+                        } else if self.plan.duplicated(me, dst_global, seq) {
+                            let mut copy = env.clone();
+                            copy.dup = true;
+                            dup_copy = Some(copy);
+                        }
                     }
                 }
+                Payload::Control(_) if self.plan.link_cut(me, dst_global, now) => {
+                    self.stats.msgs_severed += 1;
+                    env.data = Payload::Tombstone { words: 0 };
+                    env.severed = true;
+                }
+                _ => {}
+            }
+            // Reordering must never let a later message overtake its own
+            // flow (per-flow FIFO is what keeps results bit-identical)
+            // or outlive the link's traffic: a same-(ctx, tag) data send
+            // flushes held envelopes of that flow first, and any
+            // control/notice/tombstone send flushes everything held.
+            if !self.reorder_held[dst_global].is_empty() {
+                let flush_all = !matches!(env.data, Payload::Words(_));
+                let (fctx, ftag) = (env.ctx, env.tag);
+                let held = std::mem::take(&mut self.reorder_held[dst_global]);
+                let mut rest = Vec::new();
+                for (until, h) in held {
+                    if flush_all || (h.ctx == fctx && h.tag == ftag) {
+                        self.transmit(dst_global, h)?;
+                    } else {
+                        rest.push((until, h));
+                    }
+                }
+                self.reorder_held[dst_global] = rest;
             }
         }
+        if let Some(until) = hold_until {
+            self.stats.msgs_reordered += 1;
+            if self.tracer.enabled() {
+                let now = self.clock.now;
+                self.tracer.instant(
+                    "fault",
+                    "reorder_hold",
+                    now,
+                    &[("dst", dst_global as f64), ("seq", env.seq as f64)],
+                );
+            }
+            self.reorder_held[dst_global].push((until, env));
+            return Ok(());
+        }
+        self.transmit(dst_global, env)?;
+        if let Some(copy) = dup_copy {
+            self.stats.msgs_duplicated += 1;
+            self.transmit(dst_global, copy)?;
+        }
+        // Release held envelopes whose reorder window has elapsed (the
+        // scripted number of later data messages has now been posted).
+        if let Some(seq) = posted_seq {
+            if !self.reorder_held[dst_global].is_empty() {
+                let held = std::mem::take(&mut self.reorder_held[dst_global]);
+                let mut rest = Vec::new();
+                for (until, h) in held {
+                    if until <= seq {
+                        self.transmit(dst_global, h)?;
+                    } else {
+                        rest.push((until, h));
+                    }
+                }
+                self.reorder_held[dst_global] = rest;
+            }
+        }
+        Ok(())
+    }
+
+    /// Hands one envelope to the transport, counting send-side stats.
+    fn transmit(&mut self, dst_global: usize, env: Envelope) -> Result<()> {
         match &env.data {
             Payload::Words(v) => {
                 self.stats.msgs_sent += 1;
                 self.stats.words_sent += v.len() as u64;
             }
             Payload::Control(_) => self.stats.ctrl_msgs_sent += 1,
-            // Counted at drop/abort/revive decision sites.
+            // Counted at drop/sever/abort/revive/park decision sites.
             Payload::Tombstone { .. }
             | Payload::Death { .. }
             | Payload::Abort { .. }
-            | Payload::Rejoin { .. } => {}
+            | Payload::Rejoin { .. }
+            | Payload::Parked { .. } => {}
         }
         let sent = self.endpoint.txs[dst_global].send(env);
         if sent.is_err() && !self.plan.active() {
@@ -511,6 +728,8 @@ impl Communicator {
             depart: i.clock.now,
             seq: 0,
             csum: None,
+            dup: false,
+            severed: false,
             data: Payload::Words(data),
         };
         i.post(dst_global, env)
@@ -543,6 +762,8 @@ impl Communicator {
             depart,
             seq: 0,
             csum: None,
+            dup: false,
+            severed: false,
             data: Payload::Words(data),
         };
         i.post(dst_global, env)
@@ -686,6 +907,7 @@ impl Communicator {
                     }
                 }
                 i.clock.complete_recv(avail, transfer);
+                i.stats.transfer_secs += transfer;
                 i.stats.straggler_wait += extra;
                 let waited = i.clock.now - posted_at;
                 i.observe_peer(src_global, Some(waited));
@@ -742,6 +964,7 @@ impl Communicator {
             }
             Matched::PeerDead(at) => Err(i.surface_death(src_global, at)),
             Matched::PeerAborted(culprit) => Err(Error::Aborted { culprit }),
+            Matched::Unreachable(at) => Err(i.surface_unreachable(src_global, at)),
         }
     }
 
@@ -837,6 +1060,7 @@ impl Communicator {
                     }
                 }
                 i.clock.complete_wait(arrival);
+                i.stats.transfer_secs += fa * i.model.alpha + fb * i.model.beta * words as f64;
                 i.stats.straggler_wait += extra;
                 let waited = i.clock.now - posted_at;
                 i.observe_peer(handle.src_global, Some(waited));
@@ -894,6 +1118,7 @@ impl Communicator {
             }
             Matched::PeerDead(at) => Err(i.surface_death(handle.src_global, at)),
             Matched::PeerAborted(culprit) => Err(Error::Aborted { culprit }),
+            Matched::Unreachable(at) => Err(i.surface_unreachable(handle.src_global, at)),
         }
     }
 
@@ -1021,6 +1246,7 @@ impl Communicator {
             }
             Matched::PeerDead(at) => Err(i.surface_death(src_global, at)),
             Matched::PeerAborted(culprit) => Err(Error::Aborted { culprit }),
+            Matched::Unreachable(at) => Err(i.surface_unreachable(src_global, at)),
         }
     }
 
@@ -1120,13 +1346,17 @@ impl Communicator {
             depart: 0.0,
             seq: 0,
             csum: None,
+            dup: false,
+            severed: false,
             data: Payload::Control(data),
         };
         i.post(dst_global, env)
     }
 
     /// Zero-virtual-time control-plane receive. The control plane is
-    /// reliable (no drops/corruption), but still observes peer death.
+    /// reliable (no drops/corruption), but still observes peer death and
+    /// partition cuts (a severed control message surfaces as
+    /// [`Error::Unreachable`]).
     pub fn recv_control(&self, src: Rank, tag: Tag) -> Result<Vec<u8>> {
         let src_global = self.global_rank_of(src)?;
         let mut i = self.inner.borrow_mut();
@@ -1142,6 +1372,7 @@ impl Communicator {
             Matched::Dropped => unreachable!("control messages are never dropped"),
             Matched::PeerDead(at) => Err(i.surface_death(src_global, at)),
             Matched::PeerAborted(_) => unreachable!("aborts not honored on control plane"),
+            Matched::Unreachable(at) => Err(i.surface_unreachable(src_global, at)),
         }
     }
 
@@ -1317,19 +1548,27 @@ impl Communicator {
     pub fn send_abort(&self, culprit: usize) -> Result<()> {
         let mut i = self.inner.borrow_mut();
         i.check_failed()?;
+        i.flush_all_held();
         i.stats.aborts_sent += 1;
         let me = i.global_rank;
+        let now = i.clock.now;
         let epoch = i.fault_epoch;
         for dst in 0..i.world_size {
             if dst != me {
                 i.stats.ctrl_msgs_sent += 1;
+                let severed = i.plan.link_cut(me, dst, now);
+                if severed {
+                    i.stats.msgs_severed += 1;
+                }
                 let _ = i.endpoint.txs[dst].send(Envelope {
                     ctx: 0,
                     src: me,
                     tag: 0,
-                    depart: i.clock.now,
+                    depart: now,
                     seq: 0,
                     csum: None,
+                    dup: false,
+                    severed,
                     data: Payload::Abort { culprit, epoch },
                 });
             }
@@ -1372,9 +1611,21 @@ impl Communicator {
             i.fault_sync_seq += 1;
             let tag = FAULT_SYNC_TAG + i.fault_sync_seq;
             let me = i.global_rank;
+            let now = i.clock.now;
             for &dst_global in self.members.iter() {
                 if dst_global != me {
                     i.stats.ctrl_msgs_sent += 1;
+                    // A round message that would cross an active cut is
+                    // demoted to a severed marker: the far side resolves
+                    // this rank as unreachable instead of reading the
+                    // round payload (nothing crosses a partition).
+                    let severed = i.plan.active() && i.plan.link_cut(me, dst_global, now);
+                    let data = if severed {
+                        i.stats.msgs_severed += 1;
+                        Payload::Tombstone { words: 0 }
+                    } else {
+                        Payload::Control(payload.clone())
+                    };
                     let _ = i.endpoint.txs[dst_global].send(Envelope {
                         ctx: self.ctx,
                         src: me,
@@ -1382,7 +1633,9 @@ impl Communicator {
                         depart: 0.0,
                         seq: 0,
                         csum: None,
-                        data: Payload::Control(payload.clone()),
+                        dup: false,
+                        severed,
+                        data,
                     });
                 }
             }
@@ -1408,6 +1661,12 @@ impl Communicator {
                     // Record + count the detection, but keep collecting:
                     // the round must produce a full survivor picture.
                     let _ = i.surface_death(src_global, at);
+                    out.push(None);
+                }
+                Matched::Unreachable(at) => {
+                    // An unreachable member's slot resolves to None, like
+                    // a dead one: agreement proceeds within the fragment.
+                    let _ = i.surface_unreachable(src_global, at);
                     out.push(None);
                 }
                 Matched::Dropped => unreachable!("control messages are never dropped"),
@@ -1584,6 +1843,10 @@ impl Communicator {
         for dst in 0..i.world_size {
             if dst != me {
                 i.stats.ctrl_msgs_sent += 1;
+                let severed = i.plan.link_cut(me, dst, at);
+                if severed {
+                    i.stats.msgs_severed += 1;
+                }
                 let _ = i.endpoint.txs[dst].send(Envelope {
                     ctx: 0,
                     src: me,
@@ -1591,6 +1854,8 @@ impl Communicator {
                     depart: at,
                     seq: 0,
                     csum: None,
+                    dup: false,
+                    severed,
                     data: Payload::Rejoin { at },
                 });
             }
@@ -1625,8 +1890,103 @@ impl Communicator {
             i.dead_surfaced.remove(&r);
             i.aborted_peers.remove(&r);
             i.rejoin_notices.remove(&r);
+            i.unreachable_peers.remove(&r);
+            i.unreachable_surfaced.remove(&r);
             i.health.reset(r);
         }
+    }
+
+    /// Whether a peer this rank resolved as unreachable is ready for
+    /// re-admission: the fault plan shows no remaining cut between the
+    /// pair at this rank's current virtual time, and the peer is
+    /// plan-alive (not killed without a rejoin behind the cut). A pure
+    /// function of the plan, the local unreachability record, and the
+    /// clock — survivors sharing the observation answer identically at
+    /// the same protocol point, like [`Communicator::rejoin_ready`].
+    pub fn heal_ready(&self, global: usize) -> bool {
+        let i = self.inner.borrow();
+        if !i.unreachable_peers.contains_key(&global) || i.dead_peers.contains_key(&global) {
+            return false;
+        }
+        let now = i.clock.now;
+        !i.plan.pair_cut(global, i.global_rank, now) && i.plan.alive_at(global, now)
+    }
+
+    /// Global ranks this rank has resolved unreachable (severed by a
+    /// partition or parked), with the virtual time of the resolving
+    /// observation. Cleared per rank by [`Communicator::readmit`].
+    pub fn known_unreachable(&self) -> Vec<(usize, f64)> {
+        self.inner
+            .borrow()
+            .unreachable_peers
+            .iter()
+            .map(|(&r, &t)| (r, t))
+            .collect()
+    }
+
+    /// Parks this rank after losing quorum in a partition: flushes any
+    /// held transport state, broadcasts a [`Payload::Parked`] notice as
+    /// its **last act** before going silent (peers blocked on this rank
+    /// resolve it as unreachable instead of hanging), and — when every
+    /// partition active now has a scripted heal — fast-forwards the
+    /// clock to the heal horizon, where the caller should wait for
+    /// re-admission. Returns the heal horizon: `None` when no partition
+    /// is active at the current time, `Some(∞)` when one never heals
+    /// (the caller cannot return; treat as fatal).
+    pub fn park(&self) -> Result<Option<f64>> {
+        let mut i = self.inner.borrow_mut();
+        i.check_failed()?;
+        i.flush_all_held();
+        i.stats.parks += 1;
+        let me = i.global_rank;
+        let now = i.clock.now;
+        if i.tracer.enabled() {
+            i.tracer.instant("quorum", "park", now, &[]);
+        }
+        for dst in 0..i.world_size {
+            if dst != me {
+                i.stats.ctrl_msgs_sent += 1;
+                let severed = i.plan.link_cut(me, dst, now);
+                if severed {
+                    i.stats.msgs_severed += 1;
+                }
+                let _ = i.endpoint.txs[dst].send(Envelope {
+                    ctx: 0,
+                    src: me,
+                    tag: 0,
+                    depart: now,
+                    seq: 0,
+                    csum: None,
+                    dup: false,
+                    severed,
+                    data: Payload::Parked { at: now },
+                });
+            }
+        }
+        let horizon = i.plan.heal_horizon(now);
+        if let Some(h) = horizon {
+            if h.is_finite() {
+                let t0 = i.clock.now;
+                i.clock.sync_to(h);
+                if i.tracer.enabled() {
+                    let t1 = i.clock.now;
+                    if t1 > t0 {
+                        i.tracer.span("quorum", "parked", Track::Main, t0, t1, &[]);
+                    }
+                    i.tracer.instant("quorum", "heal", t1, &[]);
+                }
+            }
+        }
+        Ok(horizon)
+    }
+
+    /// The heal horizon of the fault plan at this rank's current virtual
+    /// time: the latest scripted heal among partitions active now, or
+    /// `Some(∞)` when one never heals, or `None` when no partition is
+    /// active. See [`crate::FaultPlan::heal_horizon`].
+    pub fn heal_horizon(&self) -> Option<f64> {
+        let i = self.inner.borrow();
+        i.plan.heal_horizon(i.clock.now)
     }
 
     /// Blocks until a control message with `tag` arrives on this
@@ -1637,6 +1997,8 @@ impl Communicator {
     pub fn await_control_any(&self, tag: Tag) -> Result<Vec<u8>> {
         let mut i = self.inner.borrow_mut();
         i.check_failed()?;
+        // Flush-before-block, as in `match_recv`.
+        i.flush_all_held();
         for src in 0..i.world_size {
             let key = (self.ctx, src, tag);
             let popped = i.pending.get_mut(&key).and_then(|q| {
@@ -1661,6 +2023,16 @@ impl Communicator {
                 .recv()
                 .map_err(|_| Error::Disconnected { peer: me })?;
             match env.data {
+                Payload::Death { at } | Payload::Rejoin { at } if env.severed => {
+                    i.unreachable_peers.entry(env.src).or_insert(at);
+                }
+                Payload::Abort { .. } if env.severed => {
+                    let at = env.depart;
+                    i.unreachable_peers.entry(env.src).or_insert(at);
+                }
+                Payload::Parked { at } => {
+                    i.unreachable_peers.entry(env.src).or_insert(at);
+                }
                 Payload::Death { at } => {
                     i.dead_peers.entry(env.src).or_insert(at);
                 }

@@ -75,6 +75,14 @@ pub enum Error {
         /// Global rank blamed for the abort.
         culprit: usize,
     },
+    /// A peer is unreachable across a network partition (or has parked
+    /// in a minority fragment): it may well be alive, but no traffic
+    /// from it can arrive until the partition heals. Reported with the
+    /// *global* rank, like [`Error::RankFailed`].
+    Unreachable {
+        /// Global rank of the unreachable peer.
+        rank: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -115,6 +123,9 @@ impl fmt::Display for Error {
             Error::Aborted { culprit } => {
                 write!(f, "collective aborted by a peer blaming rank {culprit}")
             }
+            Error::Unreachable { rank } => {
+                write!(f, "rank {rank} unreachable across a network partition")
+            }
         }
     }
 }
@@ -145,6 +156,7 @@ mod tests {
             Error::RankFailed { rank: 3 },
             Error::Corrupted { rank: 0, tag: 7 },
             Error::Aborted { culprit: 6 },
+            Error::Unreachable { rank: 4 },
         ]
     }
 
@@ -161,6 +173,7 @@ mod tests {
         assert!(msgs[5].contains("rank 3") && msgs[5].contains("failed"));
         assert!(msgs[6].contains("rank 0") && msgs[6].contains("checksum"));
         assert!(msgs[7].contains("rank 6") && msgs[7].contains("abort"));
+        assert!(msgs[8].contains("rank 4") && msgs[8].contains("unreachable"));
     }
 
     #[test]

@@ -36,6 +36,27 @@
 //!   the same script ([`FaultPlan::rejoin_time_after`]) to decide
 //!   re-admission, so the decision is a pure function of the plan and
 //!   virtual time — deterministic, like every other fault decision.
+//! * **Partitions** — from virtual time `T` until a scripted heal, a
+//!   set of ranks is cut off from the rest of the world: data messages
+//!   crossing the cut become tombstones (so timeouts observe the loss),
+//!   control messages surface as unreachable, and death/abort/park
+//!   notices crossing the cut are demoted to bare unreachability
+//!   markers — neither side learns anything about the other beyond
+//!   "cannot reach". The asymmetric variant severs only the
+//!   `group → outside` direction, modeling one-way reachability. The
+//!   cut decision is keyed on the *sender's* virtual clock at post
+//!   time, so it is exactly as replayable as every other fault.
+//! * **Duplication** — the n-th data message on a link is delivered
+//!   twice. The second copy is flagged in flight and deterministically
+//!   absorbed by the receiver's matching layer, so results never
+//!   change; the fault exercises the queueing paths.
+//! * **Bounded reordering** — the n-th data message on a link is held
+//!   back by the sender's transport and released after up to `depth`
+//!   later messages on the same link. Per-`(ctx, tag)` flow order is
+//!   preserved (a same-flow send flushes the held message first), so
+//!   the receiver's `(ctx, src, tag)` matching absorbs the shuffle
+//!   bit-identically — which is precisely the property the chaos
+//!   proptests pin.
 
 /// Which messages on a link a straggler entry applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +92,21 @@ struct LinkEvent {
     nth: u64,
 }
 
+#[derive(Debug, Clone, Copy)]
+struct Reorder {
+    src: usize,
+    dst: usize,
+    nth: u64,
+    depth: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Partition {
+    group: Vec<usize>,
+    at: f64,
+    oneway: bool,
+}
+
 /// A deterministic script of injected faults. See the module docs for
 /// the fault classes and their semantics.
 #[derive(Debug, Clone, Default)]
@@ -80,8 +116,12 @@ pub struct FaultPlan {
     stragglers: Vec<Straggler>,
     drops: Vec<LinkEvent>,
     corruptions: Vec<LinkEvent>,
+    duplicates: Vec<LinkEvent>,
+    reorders: Vec<Reorder>,
     kills: Vec<(usize, f64)>,
     rejoins: Vec<(usize, f64)>,
+    partitions: Vec<Partition>,
+    heals: Vec<(Vec<usize>, f64)>,
 }
 
 impl FaultPlan {
@@ -143,6 +183,64 @@ impl FaultPlan {
         self
     }
 
+    /// Delivers the `nth` (0-based) data message from `src` to `dst`
+    /// twice; the duplicate copy is absorbed by the receiver's matching
+    /// layer, so results are unchanged.
+    pub fn duplicate_nth(mut self, src: usize, dst: usize, nth: u64) -> Self {
+        self.duplicates.push(LinkEvent { src, dst, nth });
+        self
+    }
+
+    /// Holds the `nth` (0-based) data message from `src` to `dst` back
+    /// in the sender's transport until up to `depth` later messages on
+    /// the same link have been posted (bounded reordering). Per-flow
+    /// `(ctx, tag)` order is preserved, so results are unchanged.
+    pub fn reorder_nth(mut self, src: usize, dst: usize, nth: u64, depth: u64) -> Self {
+        self.reorders.push(Reorder {
+            src,
+            dst,
+            nth,
+            depth,
+        });
+        self
+    }
+
+    /// Cuts the links between `group` and the rest of the world (both
+    /// directions) from virtual time `at` until a matching
+    /// [`FaultPlan::heal`], or forever if none is scripted.
+    pub fn partition(mut self, group: &[usize], at: f64) -> Self {
+        assert!(at >= 0.0, "partition time must be non-negative");
+        self.partitions.push(Partition {
+            group: sorted_group(group),
+            at,
+            oneway: false,
+        });
+        self
+    }
+
+    /// Asymmetric (one-way) partition: from virtual time `at`, messages
+    /// *from* `group` *to* the rest of the world are severed, while the
+    /// reverse direction still flows — the group can hear but not be
+    /// heard.
+    pub fn partition_oneway(mut self, group: &[usize], at: f64) -> Self {
+        assert!(at >= 0.0, "partition time must be non-negative");
+        self.partitions.push(Partition {
+            group: sorted_group(group),
+            at,
+            oneway: true,
+        });
+        self
+    }
+
+    /// Heals the earliest still-open partition of exactly this `group`
+    /// at virtual time `at`. Healing a never-partitioned set is
+    /// rejected by [`FaultPlan::validate`].
+    pub fn heal(mut self, group: &[usize], at: f64) -> Self {
+        assert!(at >= 0.0, "heal time must be non-negative");
+        self.heals.push((sorted_group(group), at));
+        self
+    }
+
     /// Sets the deadline (in virtual seconds) that plain
     /// [`crate::Communicator::recv`] applies when this plan is active,
     /// so applications that never call `recv_timeout` still fail fast
@@ -153,14 +251,104 @@ impl FaultPlan {
         self
     }
 
+    /// Checks the plan for contradictory schedules and returns a
+    /// descriptive error for the first one found. Enforced by
+    /// [`crate::World`] before any rank starts, so an undefined
+    /// interleaving is rejected up front instead of silently producing
+    /// arbitrary behavior.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        // A rejoin must revive a rank that died strictly before it:
+        // walk each rank's alternating kill/rejoin lifetimes.
+        let mut ranks: Vec<usize> = self.rejoins.iter().map(|&(r, _)| r).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        for r in ranks {
+            let mut after = f64::NEG_INFINITY;
+            loop {
+                let k = self.kill_time_after(r, after);
+                let j = earliest_after(&self.rejoins, r, after);
+                match (k, j) {
+                    (None, Some(t)) => {
+                        return Err(format!(
+                            "rejoin of rank {r} at t={t} without a kill strictly before it \
+                             (kill and rejoin must alternate, kill first)"
+                        ));
+                    }
+                    (Some(kt), Some(jt)) if jt <= kt => {
+                        return Err(format!(
+                            "rejoin of rank {r} at t={jt} does not follow its kill at t={kt} \
+                             (same-epoch kill+rejoin is contradictory)"
+                        ));
+                    }
+                    (Some(kt), Some(_)) => match self.rejoin_time_after(r, kt) {
+                        Some(jt) => after = jt,
+                        None => break,
+                    },
+                    _ => break,
+                }
+            }
+        }
+        // Straggler spans on one link must not overlap: summing two
+        // entries for the same message is almost always a typo.
+        for (i, a) in self.stragglers.iter().enumerate() {
+            for b in &self.stragglers[i + 1..] {
+                if a.src != b.src || a.dst != b.dst {
+                    continue;
+                }
+                let overlap = match (a.span, b.span) {
+                    (Span::All, _) | (_, Span::All) => true,
+                    (Span::Once(n), Span::Once(m)) => n == m,
+                };
+                if overlap {
+                    return Err(format!(
+                        "overlapping straggler spans on link {} -> {} ({:?} and {:?})",
+                        a.src, a.dst, a.span, b.span
+                    ));
+                }
+            }
+        }
+        // Every heal must close a partition of exactly that group that
+        // started strictly before it.
+        for (group, at) in &self.heals {
+            let opened = self
+                .partitions
+                .iter()
+                .any(|p| &p.group == group && p.at < *at);
+            if !opened {
+                return Err(format!(
+                    "heal of {group:?} at t={at} does not match any partition of that group \
+                     starting strictly before it"
+                ));
+            }
+        }
+        for p in &self.partitions {
+            if p.group.is_empty() {
+                return Err("partition group must be non-empty".into());
+            }
+        }
+        for r in &self.reorders {
+            if r.depth == 0 {
+                return Err(format!(
+                    "reorder of message {} on link {} -> {} has depth 0 (a no-op; \
+                     use depth >= 1)",
+                    r.nth, r.src, r.dst
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Whether the plan injects anything at all. An inactive plan is
     /// skipped entirely on the send/recv fast paths.
     pub fn active(&self) -> bool {
         !(self.stragglers.is_empty()
             && self.drops.is_empty()
             && self.corruptions.is_empty()
+            && self.duplicates.is_empty()
+            && self.reorders.is_empty()
             && self.kills.is_empty()
-            && self.rejoins.is_empty())
+            && self.rejoins.is_empty()
+            && self.partitions.is_empty())
             || self.default_timeout.is_some()
     }
 
@@ -193,6 +381,86 @@ impl FaultPlan {
         self.corruptions
             .iter()
             .any(|e| e.src == src && e.dst == dst && e.nth == seq)
+    }
+
+    /// Whether the `seq`-th data message on `src → dst` is duplicated.
+    pub fn duplicated(&self, src: usize, dst: usize, seq: u64) -> bool {
+        self.duplicates
+            .iter()
+            .any(|e| e.src == src && e.dst == dst && e.nth == seq)
+    }
+
+    /// The reorder depth for the `seq`-th data message on `src → dst`,
+    /// if the plan holds it back.
+    pub fn reorder_depth(&self, src: usize, dst: usize, seq: u64) -> Option<u64> {
+        self.reorders
+            .iter()
+            .find(|r| r.src == src && r.dst == dst && r.nth == seq)
+            .map(|r| r.depth)
+    }
+
+    /// The virtual time at which partition `p` heals: the earliest heal
+    /// entry of exactly the same group strictly after the partition
+    /// starts, or `f64::INFINITY` if it never heals.
+    fn heal_time(&self, p: &Partition) -> f64 {
+        self.heals
+            .iter()
+            .filter(|(g, t)| g == &p.group && *t > p.at)
+            .map(|&(_, t)| t)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether a message posted from `src` to `dst` at (sender) virtual
+    /// time `t` is severed by an active partition. For a symmetric
+    /// partition any link crossing the cut is severed; for a one-way
+    /// partition only `group → outside` is.
+    pub fn link_cut(&self, src: usize, dst: usize, t: f64) -> bool {
+        self.partitions.iter().any(|p| {
+            if t < p.at || t >= self.heal_time(p) {
+                return false;
+            }
+            let sin = p.group.binary_search(&src).is_ok();
+            let din = p.group.binary_search(&dst).is_ok();
+            sin != din && (!p.oneway || sin)
+        })
+    }
+
+    /// Whether any partition severs traffic in either direction between
+    /// `a` and `b` at virtual time `t`.
+    pub fn pair_cut(&self, a: usize, b: usize, t: f64) -> bool {
+        self.link_cut(a, b, t) || self.link_cut(b, a, t)
+    }
+
+    /// The virtual time at which every partition active at `t` has
+    /// healed: `None` when no partition is active, `f64::INFINITY` when
+    /// one of them never heals. A parked minority rank fast-forwards
+    /// its clock here before announcing itself for re-admission.
+    pub fn heal_horizon(&self, t: f64) -> Option<f64> {
+        let mut horizon: Option<f64> = None;
+        for p in &self.partitions {
+            let end = self.heal_time(p);
+            if t >= p.at && t < end {
+                horizon = Some(horizon.map_or(end, |h: f64| h.max(end)));
+            }
+        }
+        horizon
+    }
+
+    /// Whether the plan says `rank` is alive at virtual time `t`: not
+    /// killed, or revived by a rejoin in `(kill, t]`. Used by survivors
+    /// to avoid welcoming a rank the plan has permanently removed.
+    pub fn alive_at(&self, rank: usize, t: f64) -> bool {
+        let mut after = f64::NEG_INFINITY;
+        loop {
+            match self.kill_time_after(rank, after) {
+                None => return true,
+                Some(k) if k > t => return true,
+                Some(k) => match self.rejoin_time_after(rank, k) {
+                    Some(j) if j <= t => after = j,
+                    _ => return false,
+                },
+            }
+        }
     }
 
     /// The virtual time at which `rank` dies, if the plan kills it.
@@ -238,6 +506,13 @@ impl FaultPlan {
     pub(crate) fn seed(&self) -> u64 {
         self.seed
     }
+}
+
+fn sorted_group(group: &[usize]) -> Vec<usize> {
+    let mut g = group.to_vec();
+    g.sort_unstable();
+    g.dedup();
+    g
 }
 
 fn earliest_after(events: &[(usize, f64)], rank: usize, after: f64) -> Option<f64> {
@@ -377,6 +652,158 @@ mod tests {
         let mut w = orig.clone();
         p.corrupt_payload(&mut w, 0, 1, 0);
         assert_eq!(v, w);
+    }
+
+    #[test]
+    fn symmetric_partition_cuts_both_directions_until_heal() {
+        let p = FaultPlan::new(0).partition(&[1, 3], 2.0).heal(&[1, 3], 5.0);
+        assert!(p.active());
+        assert!(!p.link_cut(1, 0, 1.9), "not yet partitioned");
+        assert!(p.link_cut(1, 0, 2.0), "group -> outside severed");
+        assert!(p.link_cut(0, 3, 2.0), "outside -> group severed");
+        assert!(!p.link_cut(1, 3, 3.0), "intra-group traffic flows");
+        assert!(!p.link_cut(0, 2, 3.0), "outside traffic flows");
+        assert!(!p.link_cut(1, 0, 5.0), "healed at the heal instant");
+        assert!(p.pair_cut(0, 1, 3.0));
+        assert!(!p.pair_cut(0, 2, 3.0));
+    }
+
+    #[test]
+    fn oneway_partition_cuts_only_group_to_outside() {
+        let p = FaultPlan::new(0).partition_oneway(&[2], 1.0);
+        assert!(p.link_cut(2, 0, 1.5), "group cannot be heard");
+        assert!(!p.link_cut(0, 2, 1.5), "group can still hear");
+        assert!(p.pair_cut(0, 2, 1.5), "the pair is still impaired");
+        // Never healed: cut forever.
+        assert!(p.link_cut(2, 0, 1e12));
+        assert_eq!(p.heal_horizon(1.5), Some(f64::INFINITY));
+        assert_eq!(p.heal_horizon(0.5), None);
+    }
+
+    #[test]
+    fn heal_horizon_takes_the_latest_active_heal() {
+        let p = FaultPlan::new(0)
+            .partition(&[1], 1.0)
+            .heal(&[1], 4.0)
+            .partition(&[2, 3], 2.0)
+            .heal(&[2, 3], 6.0);
+        assert_eq!(p.heal_horizon(2.5), Some(6.0));
+        assert_eq!(p.heal_horizon(4.5), Some(6.0));
+        assert_eq!(p.heal_horizon(6.0), None, "everything healed");
+    }
+
+    #[test]
+    fn alive_at_follows_kill_rejoin_lifetimes() {
+        let p = FaultPlan::new(0).kill(4, 3.0).rejoin(4, 7.0).kill(4, 12.0);
+        assert!(p.alive_at(4, 2.9));
+        assert!(!p.alive_at(4, 3.0));
+        assert!(!p.alive_at(4, 6.9));
+        assert!(p.alive_at(4, 7.0));
+        assert!(!p.alive_at(4, 12.0));
+        assert!(p.alive_at(0, 100.0), "unkilled ranks are always alive");
+    }
+
+    #[test]
+    fn duplicate_and_reorder_index_by_link_sequence() {
+        let p = FaultPlan::new(0)
+            .duplicate_nth(0, 1, 4)
+            .reorder_nth(1, 0, 2, 3);
+        assert!(p.active());
+        assert!(p.duplicated(0, 1, 4));
+        assert!(!p.duplicated(0, 1, 3));
+        assert!(!p.duplicated(1, 0, 4));
+        assert_eq!(p.reorder_depth(1, 0, 2), Some(3));
+        assert_eq!(p.reorder_depth(1, 0, 1), None);
+        assert_eq!(p.reorder_depth(0, 1, 2), None);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_plans() {
+        let p = FaultPlan::new(3)
+            .kill(4, 3.0)
+            .rejoin(4, 7.0)
+            .straggle(0, 1, 1.0, 0.0, Span::Once(2))
+            .straggle(0, 1, 1.0, 0.0, Span::Once(3))
+            .partition(&[1, 2], 1.0)
+            .heal(&[1, 2], 2.0)
+            .duplicate_nth(0, 1, 0)
+            .reorder_nth(0, 1, 1, 2);
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(FaultPlan::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_rejoin_without_prior_kill() {
+        let err = FaultPlan::new(0).rejoin(4, 5.0).validate().unwrap_err();
+        assert!(err.contains("rejoin of rank 4"), "got: {err}");
+        assert!(err.contains("without a kill"), "got: {err}");
+    }
+
+    #[test]
+    fn validate_rejects_same_epoch_kill_and_rejoin() {
+        let err = FaultPlan::new(0)
+            .kill(2, 4.0)
+            .rejoin(2, 4.0)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("rank 2"), "got: {err}");
+        assert!(err.contains("contradictory"), "got: {err}");
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_straggler_spans() {
+        let all2 = FaultPlan::new(0)
+            .straggle(0, 1, 1.0, 0.0, Span::All)
+            .straggle(0, 1, 2.0, 0.0, Span::All);
+        assert!(all2.validate().unwrap_err().contains("overlapping"));
+        let all_once = FaultPlan::new(0)
+            .straggle(0, 1, 1.0, 0.0, Span::All)
+            .straggle(0, 1, 2.0, 0.0, Span::Once(3));
+        assert!(all_once.validate().unwrap_err().contains("0 -> 1"));
+        let same_once = FaultPlan::new(0)
+            .straggle(2, 3, 1.0, 0.0, Span::Once(7))
+            .straggle(2, 3, 2.0, 0.0, Span::Once(7));
+        assert!(same_once.validate().unwrap_err().contains("2 -> 3"));
+        // Distinct messages or distinct links are fine.
+        assert!(FaultPlan::new(0)
+            .straggle(0, 1, 1.0, 0.0, Span::Once(1))
+            .straggle(0, 1, 2.0, 0.0, Span::Once(2))
+            .validate()
+            .is_ok());
+        assert!(FaultPlan::new(0)
+            .straggle(0, 1, 1.0, 0.0, Span::All)
+            .straggle(1, 0, 2.0, 0.0, Span::All)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_heal_of_never_partitioned_set() {
+        let err = FaultPlan::new(0).heal(&[1, 2], 5.0).validate().unwrap_err();
+        assert!(err.contains("heal of [1, 2]"), "got: {err}");
+        // A heal before (or at) the partition start is just as wrong.
+        let err = FaultPlan::new(0)
+            .partition(&[1, 2], 5.0)
+            .heal(&[1, 2], 5.0)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("strictly before"), "got: {err}");
+        // Group mismatch does not pair either.
+        let err = FaultPlan::new(0)
+            .partition(&[1, 2], 1.0)
+            .heal(&[1, 3], 2.0)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("[1, 3]"), "got: {err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_depth_reorders() {
+        let err = FaultPlan::new(0)
+            .reorder_nth(0, 1, 5, 0)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("depth 0"), "got: {err}");
     }
 
     #[test]

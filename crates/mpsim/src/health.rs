@@ -314,6 +314,33 @@ impl RetryPolicy {
     }
 }
 
+/// Split-brain-safe quorum rule for partitioned membership.
+///
+/// A fragment `F` of the last-agreed membership `M` has quorum iff it
+/// holds a strict majority of `M` — `2·|F ∩ M| > |M|` — with a
+/// deterministic tie-break for an exact 50/50 split: the fragment
+/// containing the lowest-numbered member of `M` wins. At most one
+/// fragment can satisfy the rule, so at most one side of any partition
+/// keeps updating weights (single writer); every other fragment parks.
+///
+/// Both slices are sets of global ranks; neither needs to be sorted.
+/// An empty membership has no quorum.
+pub fn has_quorum(fragment: &[usize], membership: &[usize]) -> bool {
+    if membership.is_empty() {
+        return false;
+    }
+    let in_both = membership.iter().filter(|g| fragment.contains(g)).count();
+    if 2 * in_both > membership.len() {
+        return true;
+    }
+    if 2 * in_both == membership.len() {
+        // Exact tie: lowest-numbered member of M breaks it.
+        let lowest = membership.iter().min().expect("non-empty membership");
+        return fragment.contains(lowest);
+    }
+    false
+}
+
 /// Complementary error function, Abramowitz–Stegun 7.1.26 (|ε| ≤
 /// 1.5e-7): plenty for suspicion levels, and dependency-free.
 fn erfc(x: f64) -> f64 {
@@ -449,5 +476,87 @@ mod tests {
         assert_eq!(f.jitter, 0.0);
         let e = RetryPolicy::exponential(5.0, 3, 0.5, 2.0, 0.25);
         assert_eq!(e.factor, 2.0);
+    }
+
+    #[test]
+    fn phi_with_zero_or_one_sample_is_none() {
+        let mut h = HealthMonitor::new(cfg(), 2);
+        // Zero samples: never heard from at all.
+        assert_eq!(h.phi(0, 1e9), None);
+        // One heard() call records a timestamp but zero gaps.
+        h.heard(0, 1.0);
+        assert_eq!(h.gap_samples(0), 0);
+        assert_eq!(h.phi(0, 1e9), None, "one observation yields no gaps");
+        // A second call gives one gap — still below min_samples (4).
+        h.heard(0, 2.0);
+        assert_eq!(h.gap_samples(0), 1);
+        assert_eq!(h.phi(0, 1e9), None, "1 gap < min_samples");
+        // Out-of-range peer index never panics.
+        assert_eq!(h.phi(99, 0.0), None);
+    }
+
+    #[test]
+    fn ewma_deadline_tracks_monotone_increasing_gaps() {
+        // Gaps grow 1, 2, 3, …: the learned gap deadline must keep up
+        // with the growth (stay above the latest gap) instead of
+        // freezing on early history.
+        let mut h = HealthMonitor::new(cfg(), 1);
+        let mut t = 0.0;
+        let mut last_gap = 0.0;
+        for k in 1..=30 {
+            last_gap = k as f64;
+            t += last_gap;
+            h.heard(0, t);
+        }
+        let dl = h.gap_deadline(0).unwrap();
+        assert!(
+            dl > last_gap,
+            "deadline {dl} must exceed the newest gap {last_gap}"
+        );
+        // And the peer is not presumed dead right at the next expected
+        // arrival despite the drift.
+        let phi = h.phi(0, t + last_gap).unwrap();
+        assert!(phi < h.config().phi_dead, "φ = {phi} at one more gap");
+    }
+
+    #[test]
+    fn quorum_requires_strict_majority() {
+        let m = [0, 1, 2, 3, 4];
+        assert!(has_quorum(&[0, 1, 2], &m));
+        assert!(has_quorum(&[2, 3, 4], &m));
+        assert!(!has_quorum(&[3, 4], &m));
+        assert!(!has_quorum(&[], &m));
+        // Ranks outside the membership don't help.
+        assert!(!has_quorum(&[7, 8, 9, 3, 4], &m));
+    }
+
+    #[test]
+    fn quorum_tie_breaks_on_lowest_member() {
+        let m = [0, 1, 2, 3, 4, 5];
+        // Exact 3–3 split: the side holding rank 0 wins.
+        assert!(has_quorum(&[0, 2, 4], &m));
+        assert!(!has_quorum(&[1, 3, 5], &m));
+        // Membership need not start at 0: lowest member of M decides.
+        let m2 = [3, 4, 5, 6];
+        assert!(has_quorum(&[3, 4], &m2));
+        assert!(!has_quorum(&[5, 6], &m2));
+    }
+
+    #[test]
+    fn quorum_of_empty_membership_is_never_granted() {
+        assert!(!has_quorum(&[0, 1], &[]));
+        assert!(!has_quorum(&[], &[]));
+    }
+
+    #[test]
+    fn at_most_one_fragment_holds_quorum() {
+        // Any 2-way split of any membership: exactly one side may win.
+        let m: Vec<usize> = (0..7).collect();
+        for mask in 0u32..(1 << 7) {
+            let a: Vec<usize> = (0..7).filter(|&b| mask & (1 << b) != 0).collect();
+            let b: Vec<usize> = (0..7).filter(|&b| mask & (1 << b) == 0).collect();
+            let wins = has_quorum(&a, &m) as u32 + has_quorum(&b, &m) as u32;
+            assert_eq!(wins, 1, "split {a:?} / {b:?} must crown exactly one side");
+        }
     }
 }

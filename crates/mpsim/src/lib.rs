@@ -65,7 +65,7 @@ pub use clock::Clock;
 pub use comm::{ChannelRecv, Communicator, RecvHandle, TraceSpan};
 pub use error::{Error, Result};
 pub use fault::{FaultPlan, Span};
-pub use health::{DetectorConfig, Ewma, HealthMonitor, RetryPolicy};
+pub use health::{has_quorum, DetectorConfig, Ewma, HealthMonitor, RetryPolicy};
 pub use netmodel::NetModel;
 pub use stats::{RankStats, WorldStats};
 pub use topology::Topology;

@@ -54,6 +54,15 @@ pub enum Payload {
         /// Sender's virtual time of revival.
         at: f64,
     },
+    /// Park notice: the sender found itself in a minority fragment
+    /// after a partition and parked (no weight updates, no shrink)
+    /// until re-admission. Broadcast as the parking rank's *last* act
+    /// before going silent, so peers blocked on it can deterministically
+    /// resolve the rank as unreachable instead of hanging.
+    Parked {
+        /// Sender's virtual time when it parked.
+        at: f64,
+    },
 }
 
 impl Payload {
@@ -86,6 +95,15 @@ pub struct Envelope {
     /// injected corruption so the receiver can verify integrity. `None`
     /// when no fault plan is active.
     pub csum: Option<u64>,
+    /// Whether this envelope is the extra copy injected by a
+    /// [`crate::FaultPlan::duplicate_nth`] fault. The receiver's
+    /// matching layer absorbs flagged copies deterministically.
+    pub dup: bool,
+    /// Whether this envelope crossed an active partition. Data becomes
+    /// a tombstone and notices are demoted to bare unreachability
+    /// markers at the receiver — no content crosses the cut, but peers
+    /// blocked on the sender can still resolve it deterministically.
+    pub severed: bool,
     /// Message contents.
     pub data: Payload,
 }
@@ -136,6 +154,8 @@ mod tests {
                 depart: 1.25,
                 seq: 0,
                 csum: None,
+                dup: false,
+                severed: false,
                 data: Payload::Words(vec![1.0, 2.0]),
             })
             .unwrap();

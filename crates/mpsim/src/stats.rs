@@ -73,6 +73,25 @@ pub struct RankStats {
     pub nb_allreduce_calls: u64,
     /// Non-blocking all-gather launches by this rank.
     pub nb_allgather_calls: u64,
+    /// Virtual seconds of pure α–β data transfer charged to this rank's
+    /// blocking receives (excludes idle waiting for a sender to reach
+    /// its send point, which [`Clock::comm`] folds in). This is the
+    /// measured quantity comparable to Eq. 8's analytic per-iteration
+    /// communication term.
+    pub transfer_secs: f64,
+    /// Data messages this rank sent that an active partition severed.
+    pub msgs_severed: u64,
+    /// Duplicate message copies this rank sent (fault-plan injected).
+    pub msgs_duplicated: u64,
+    /// Duplicate copies this rank's matching layer absorbed on receive.
+    pub dups_absorbed: u64,
+    /// Data messages this rank's transport held back for reordering.
+    pub msgs_reordered: u64,
+    /// Distinct peers this rank resolved as unreachable across a
+    /// partition (each counted once per partition episode).
+    pub unreachable_detected: u64,
+    /// Times this rank parked in a minority fragment (quorum loss).
+    pub parks: u64,
 }
 
 impl RankStats {
@@ -101,6 +120,13 @@ impl RankStats {
         self.allgather_calls += other.allgather_calls;
         self.nb_allreduce_calls += other.nb_allreduce_calls;
         self.nb_allgather_calls += other.nb_allgather_calls;
+        self.transfer_secs += other.transfer_secs;
+        self.msgs_severed += other.msgs_severed;
+        self.msgs_duplicated += other.msgs_duplicated;
+        self.dups_absorbed += other.dups_absorbed;
+        self.msgs_reordered += other.msgs_reordered;
+        self.unreachable_detected += other.unreachable_detected;
+        self.parks += other.parks;
     }
 }
 
@@ -198,6 +224,36 @@ impl WorldStats {
     /// Total rank revivals (rejoin announcements) across ranks.
     pub fn total_rejoins(&self) -> u64 {
         self.ranks.iter().map(|r| r.rejoins).sum()
+    }
+
+    /// Total data messages severed by partitions across ranks.
+    pub fn total_severed(&self) -> u64 {
+        self.ranks.iter().map(|r| r.msgs_severed).sum()
+    }
+
+    /// Total duplicate copies injected across ranks.
+    pub fn total_duplicated(&self) -> u64 {
+        self.ranks.iter().map(|r| r.msgs_duplicated).sum()
+    }
+
+    /// Total duplicate copies absorbed by receivers across ranks.
+    pub fn total_dups_absorbed(&self) -> u64 {
+        self.ranks.iter().map(|r| r.dups_absorbed).sum()
+    }
+
+    /// Total messages held back for reordering across ranks.
+    pub fn total_reordered(&self) -> u64 {
+        self.ranks.iter().map(|r| r.msgs_reordered).sum()
+    }
+
+    /// Total distinct unreachable-peer detections across ranks.
+    pub fn total_unreachable_detected(&self) -> u64 {
+        self.ranks.iter().map(|r| r.unreachable_detected).sum()
+    }
+
+    /// Total minority-fragment parks across ranks.
+    pub fn total_parks(&self) -> u64 {
+        self.ranks.iter().map(|r| r.parks).sum()
     }
 
     /// Total injected straggler delay absorbed across ranks (virtual s).
@@ -329,6 +385,12 @@ mod tests {
                     suspects_flagged: 2,
                     speculative_retries: 1,
                     rejoins: 1,
+                    msgs_severed: 3,
+                    msgs_duplicated: 2,
+                    dups_absorbed: 2,
+                    msgs_reordered: 1,
+                    unreachable_detected: 4,
+                    parks: 1,
                     ..RankStats::default()
                 },
             ],
@@ -346,6 +408,12 @@ mod tests {
         assert!((stats.total_straggler_wait() - 1.0).abs() < 1e-12);
         assert_eq!(stats.total_ckpt_words(), 150);
         assert!((stats.max_recovery_secs() - 3.0).abs() < 1e-12);
+        assert_eq!(stats.total_severed(), 3);
+        assert_eq!(stats.total_duplicated(), 2);
+        assert_eq!(stats.total_dups_absorbed(), 2);
+        assert_eq!(stats.total_reordered(), 1);
+        assert_eq!(stats.total_unreachable_detected(), 4);
+        assert_eq!(stats.total_parks(), 1);
     }
 
     #[test]

@@ -181,6 +181,9 @@ impl World {
         F: Fn(&Communicator) -> T + Sync,
     {
         assert!(size > 0, "world size must be positive");
+        if let Err(msg) = plan.validate() {
+            panic!("invalid fault plan: {msg}");
+        }
         let endpoints = router::build(size);
         let f = &f;
         let plan = Arc::new(plan);
@@ -212,6 +215,9 @@ impl World {
                         revive_floor: f64::NEG_INFINITY,
                         health: HealthMonitor::new(DetectorConfig::from_model(&model), size),
                         rejoin_notices: BTreeMap::new(),
+                        unreachable_peers: BTreeMap::new(),
+                        unreachable_surfaced: BTreeMap::new(),
+                        reorder_held: vec![Vec::new(); size],
                         nb_seq: HashMap::new(),
                         tracer: Tracer::new(trace),
                     }));

@@ -1,0 +1,243 @@
+//! End-to-end split-brain-safety validation: the acceptance scenarios
+//! for network partitions, quorum parking, and message-level chaos.
+//!
+//! 1. A symmetric 50/50 partition of a 6-rank grid: the fragment
+//!    without quorum parks (no optimizer steps, no Eq. 8 shrink), the
+//!    majority fragment shrinks and keeps training, and after the
+//!    scripted heal the minority rejoins; the final loss matches the
+//!    fault-free run to 1e-6 on every rank.
+//! 2. The asymmetric variant: a one-way cut that silences a single
+//!    rank's outbound links. The bidirectional-fragment echo round
+//!    resolves the same verdict on both sides — the silenced rank
+//!    parks even though it can still *hear* the majority.
+//! 3. The whole partition→park→heal→rejoin history replays
+//!    bit-identically under a fixed fault-plan seed.
+//! 4. Message-level chaos (per-link duplication and bounded
+//!    reordering) is invisible to training: final weights are
+//!    bit-identical to the chaos-free run (property test over random
+//!    link/event choices).
+//!
+//! The fault-plan seed is taken from `FT_SEED` (default 3) so CI can
+//! sweep a seed matrix over the same scenarios.
+
+use integrated_parallelism::collectives::FtConfig;
+use integrated_parallelism::dnn::zoo::mlp_tiny;
+use integrated_parallelism::integrated::ft_trainer::{train_1p5d_ft, FtTrainConfig};
+use integrated_parallelism::integrated::trainer::synthetic_data;
+use integrated_parallelism::integrated::MachineModel;
+use integrated_parallelism::mpsim::FaultPlan;
+use proptest::prelude::*;
+
+fn ft_seed() -> u64 {
+    std::env::var("FT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+fn pcfg(iters: usize) -> FtTrainConfig {
+    FtTrainConfig {
+        lr: 0.3,
+        iters,
+        seed: 7,
+        ckpt_every: 2,
+        ft: FtConfig::fixed(10.0).with_attempts(2).with_backoff(0.5),
+        machine: MachineModel::cori_knl(),
+        ..FtTrainConfig::default()
+    }
+}
+
+#[test]
+fn symmetric_partition_minority_parks_majority_trains_heal_rejoins() {
+    let net = mlp_tiny();
+    let (x, labels) = synthetic_data(&net, 24, 5);
+    let cfg = pcfg(10);
+    let (pr0, pc0) = (2, 3);
+
+    let clean = train_1p5d_ft(&net, &x, &labels, &cfg, pr0, pc0, FaultPlan::default());
+    let m = clean.stats.makespan();
+
+    // Cut {1, 3, 5} away mid-run: a 3-vs-3 split of the 2×3 grid. The
+    // tie breaks toward the fragment holding rank 0, so {0, 2, 4} —
+    // which still covers both weight rows (0,2 on row 0; 4 on row 1) —
+    // keeps training while {1, 3, 5} parks.
+    let minority = [1usize, 3, 5];
+    let plan = FaultPlan::new(ft_seed())
+        .partition(&minority, 0.35 * m)
+        .heal(&minority, 0.6 * m);
+    let part = train_1p5d_ft(&net, &x, &labels, &cfg, pr0, pc0, plan);
+
+    // Every rank — the parked minority included — finishes.
+    for (r, out) in part.per_rank.iter().enumerate() {
+        assert!(out.is_ok(), "rank {r} did not finish: {out:?}");
+    }
+
+    // Exactly the minority parked, once each; the cut was observed.
+    assert_eq!(part.stats.total_parks(), minority.len() as u64);
+    for &g in &minority {
+        assert_eq!(part.stats.ranks[g].parks, 1, "rank {g} parked once");
+    }
+    assert!(
+        part.stats.total_severed() > 0,
+        "cut actually severed traffic"
+    );
+    assert!(part.stats.total_unreachable_detected() > 0);
+
+    // The majority committed a shrink excluding exactly the minority,
+    // then regrew to the original grid once the cut healed.
+    let s0 = part.per_rank[0].as_ref().unwrap();
+    assert!(
+        s0.recoveries.len() >= 2,
+        "expected shrink + regrow, got {:?}",
+        s0.recoveries
+    );
+    let shrink = &s0.recoveries[0];
+    assert_eq!(shrink.dead, minority.to_vec());
+    assert_eq!(shrink.pr * shrink.pc, 3, "degraded grid over the majority");
+    let regrow = s0.recoveries.last().unwrap();
+    assert_eq!(regrow.rejoined, minority.to_vec());
+    assert!(regrow.dead.is_empty(), "nobody left excluded after regrow");
+    assert_eq!((regrow.pr, regrow.pc), (pr0, pc0));
+    for out in &part.per_rank {
+        let o = out.as_ref().unwrap();
+        assert_eq!((o.pr, o.pc), (pr0, pc0), "final grid is the original");
+    }
+
+    // The minority performed zero optimizer steps on its own: there is
+    // a single committed loss chain, it matches fault-free to 1e-6,
+    // and every rank — parked ones included — reports it verbatim.
+    let el = part.losses();
+    assert_eq!(el.len(), cfg.iters);
+    for (a, b) in clean.losses().iter().zip(&el) {
+        assert!((a - b).abs() < 1e-6, "loss diverged: {a} vs {b}");
+    }
+    for out in &part.per_rank {
+        assert_eq!(out.as_ref().unwrap().losses, el);
+    }
+}
+
+#[test]
+fn oneway_partition_parks_the_silenced_rank() {
+    let net = mlp_tiny();
+    let (x, labels) = synthetic_data(&net, 24, 5);
+    let cfg = pcfg(10);
+
+    let clean = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, FaultPlan::default());
+    let m = clean.stats.makespan();
+
+    // Silence rank 5's *outbound* links only: it hears the majority
+    // perfectly but nobody hears it. The echo round denies it a
+    // bidirectional path to anyone, so its fragment is {5} and it
+    // parks; the other five shrink and train on.
+    let plan = FaultPlan::new(ft_seed())
+        .partition_oneway(&[5], 0.35 * m)
+        .heal(&[5], 0.6 * m);
+    let part = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, plan);
+
+    for (r, out) in part.per_rank.iter().enumerate() {
+        assert!(out.is_ok(), "rank {r} did not finish: {out:?}");
+    }
+    assert_eq!(part.stats.total_parks(), 1);
+    assert_eq!(part.stats.ranks[5].parks, 1, "the silenced rank parked");
+
+    let s0 = part.per_rank[0].as_ref().unwrap();
+    let shrink = &s0.recoveries[0];
+    assert_eq!(shrink.dead, vec![5]);
+    assert_eq!(shrink.pr * shrink.pc, 5, "majority of five trains on");
+    let regrow = s0.recoveries.last().unwrap();
+    assert_eq!(regrow.rejoined, vec![5]);
+    assert_eq!((regrow.pr, regrow.pc), (2, 3));
+
+    let el = part.losses();
+    assert_eq!(el.len(), cfg.iters);
+    for (a, b) in clean.losses().iter().zip(&el) {
+        assert!((a - b).abs() < 1e-6, "loss diverged: {a} vs {b}");
+    }
+}
+
+#[test]
+fn partition_park_heal_rejoin_replays_bit_identically() {
+    let net = mlp_tiny();
+    let (x, labels) = synthetic_data(&net, 24, 5);
+    let cfg = pcfg(8);
+    let clean = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, FaultPlan::default());
+    let m = clean.stats.makespan();
+
+    let run = || {
+        let plan = FaultPlan::new(ft_seed())
+            .partition(&[1, 3, 5], 0.35 * m)
+            .heal(&[1, 3, 5], 0.6 * m);
+        train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, plan)
+    };
+    let a = run();
+    let b = run();
+
+    assert_eq!(a.stats.makespan(), b.stats.makespan());
+    assert_eq!(a.stats.ranks, b.stats.ranks, "fault counters replay");
+    for (ra, rb) in a.per_rank.iter().zip(&b.per_rank) {
+        match (ra, rb) {
+            (Ok(oa), Ok(ob)) => {
+                assert_eq!(oa.losses, ob.losses, "losses replay bitwise");
+                assert_eq!((oa.i, oa.j, oa.pr, oa.pc), (ob.i, ob.j, ob.pr, ob.pc));
+                let wdiff: f64 = oa
+                    .weight_shards
+                    .iter()
+                    .zip(&ob.weight_shards)
+                    .map(|(x, y)| x.max_abs_diff(y))
+                    .fold(0.0, f64::max);
+                assert_eq!(wdiff, 0.0, "weights replay bitwise");
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+            other => panic!("replay diverged in outcome kind: {other:?}"),
+        }
+    }
+    assert_eq!(a.stats.total_parks(), 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Duplicated and reordered messages are transport-level noise:
+    /// duplicates are absorbed, reordering preserves per-flow FIFO, so
+    /// the final weights and losses are bit-identical to a clean run
+    /// whatever links and messages the chaos hits.
+    #[test]
+    fn duplication_and_reordering_leave_training_bit_identical(
+        dup_links in proptest::collection::vec((0usize..6, 0usize..6, 0u64..40), 1..5),
+        reo_links in proptest::collection::vec((0usize..6, 0usize..6, 0u64..40, 1u64..4), 1..5),
+    ) {
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let cfg = pcfg(4);
+        let clean = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, FaultPlan::default());
+
+        let mut plan = FaultPlan::new(ft_seed());
+        for &(s, d, n) in &dup_links {
+            if s != d {
+                plan = plan.duplicate_nth(s, d, n);
+            }
+        }
+        for &(s, d, n, k) in &reo_links {
+            if s != d {
+                plan = plan.reorder_nth(s, d, n, k);
+            }
+        }
+        let noisy = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, plan);
+
+        for (rc, rn) in clean.per_rank.iter().zip(&noisy.per_rank) {
+            let (oc, on) = (rc.as_ref().unwrap(), on_ok(rn));
+            prop_assert_eq!(&oc.losses, &on.losses, "losses bit-identical");
+            let wdiff: f64 = oc
+                .weight_shards
+                .iter()
+                .zip(&on.weight_shards)
+                .map(|(a, b)| a.max_abs_diff(b))
+                .fold(0.0, f64::max);
+            prop_assert_eq!(wdiff, 0.0, "weights bit-identical under chaos");
+        }
+    }
+}
+
+fn on_ok<T, E: std::fmt::Debug>(r: &Result<T, E>) -> &T {
+    r.as_ref().expect("rank finished under chaos")
+}

@@ -118,6 +118,24 @@ macro_rules! impl_float_strategy {
 
 impl_float_strategy!(f64, f32);
 
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
 /// Strategies over collections.
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -315,6 +333,13 @@ mod tests {
         #[test]
         fn select_draws_from_items(k in prop::sample::select(vec![1usize, 3, 5])) {
             prop_assert!(k == 1 || k == 3 || k == 5);
+        }
+
+        #[test]
+        fn tuple_strategy_draws_each_component((a, b, c) in (0usize..4, 10u64..20, -1.0f64..1.0)) {
+            prop_assert!(a < 4);
+            prop_assert!((10..20).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&c));
         }
     }
 
