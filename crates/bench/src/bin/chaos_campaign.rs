@@ -5,7 +5,9 @@
 //! ```text
 //! cargo run --release -p bench --bin chaos_campaign -- --smoke
 //! cargo run --release -p bench --bin chaos_campaign -- --seeds 1000
+//! cargo run --release -p bench --bin chaos_campaign -- --sdc --seeds 200
 //! cargo run --release -p bench --bin chaos_campaign -- --fixture-bad
+//! cargo run --release -p bench --bin chaos_campaign -- --fixture-sdc
 //! cargo run --release -p bench --bin chaos_campaign -- --replay plan.json
 //! ```
 //!
@@ -15,10 +17,18 @@
 //!   (default `chaos_failing_plan.json`). CI uploads that file as an
 //!   artifact.
 //! - `--seeds N`: same, with N plans.
+//! - `--sdc`: draw plans with [`ChaosPlan::generate_sdc`] — the base
+//!   chaos plus scripted compute/memory bit flips — and judge them
+//!   with the ABFT defense on, so the sixth invariant (no silent
+//!   divergence) has teeth. Composes with `--smoke`/`--seeds`.
 //! - `--fixture-bad`: self-test of the oracle + minimizer on the
 //!   known-bad fixture (kills every replica of weight row 1). Expects a
 //!   violation, shrinks it, asserts ≤ 3 events remain, writes the JSON,
 //!   parses it back, and re-checks that the replayed plan still fails.
+//! - `--fixture-sdc`: self-test on the known-bad SDC fixture — a
+//!   single high-bit compute flip checked with ABFT *off*. Expects a
+//!   `no-silent-divergence` violation that shrinks to the one flip,
+//!   and that the same plan goes green under a defended oracle.
 //! - `--replay FILE`: parse FILE and run it through the oracle once,
 //!   reporting the verdict (exit 1 if it violates).
 
@@ -29,12 +39,14 @@ use integrated::chaos::{minimize, ChaosPlan, Oracle};
 struct Args {
     mode: Mode,
     seeds: u64,
+    sdc: bool,
     out: String,
 }
 
 enum Mode {
     Campaign,
     FixtureBad,
+    FixtureSdc,
     Replay(String),
 }
 
@@ -42,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         mode: Mode::Campaign,
         seeds: 200,
+        sdc: false,
         out: "chaos_failing_plan.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -52,7 +65,9 @@ fn parse_args() -> Result<Args, String> {
                 let n = it.next().ok_or("--seeds needs a count")?;
                 args.seeds = n.parse().map_err(|_| format!("bad seed count {n:?}"))?;
             }
+            "--sdc" => args.sdc = true,
             "--fixture-bad" => args.mode = Mode::FixtureBad,
+            "--fixture-sdc" => args.mode = Mode::FixtureSdc,
             "--replay" => {
                 let f = it.next().ok_or("--replay needs a file")?;
                 args.mode = Mode::Replay(f);
@@ -73,21 +88,32 @@ fn main() -> ExitCode {
         }
     };
 
-    println!("building fault-free reference (2x3 grid, 8 iters)...");
-    let oracle = Oracle::new(2, 3, 8);
+    println!(
+        "building fault-free reference (2x3 grid, 8 iters, abft {})...",
+        if args.sdc { "on" } else { "off" }
+    );
+    let oracle = Oracle::with_abft(2, 3, 8, args.sdc);
     println!("fault-free makespan: {:.3e} s", oracle.clean_makespan());
 
     match args.mode {
-        Mode::Campaign => campaign(&oracle, args.seeds, &args.out),
+        Mode::Campaign => campaign(&oracle, args.seeds, args.sdc, &args.out),
         Mode::FixtureBad => fixture_bad(&oracle, &args.out),
+        Mode::FixtureSdc => fixture_sdc(&oracle, &args.out),
         Mode::Replay(file) => replay(&oracle, &file),
     }
 }
 
-fn campaign(oracle: &Oracle, seeds: u64, out: &str) -> ExitCode {
-    println!("campaign: {seeds} seeded plans");
+fn campaign(oracle: &Oracle, seeds: u64, sdc: bool, out: &str) -> ExitCode {
+    println!(
+        "campaign: {seeds} seeded plans{}",
+        if sdc { " with bit flips (SDC)" } else { "" }
+    );
     for seed in 0..seeds {
-        let plan = ChaosPlan::generate(seed);
+        let plan = if sdc {
+            ChaosPlan::generate_sdc(seed)
+        } else {
+            ChaosPlan::generate(seed)
+        };
         match oracle.check(&plan) {
             Ok(()) => {
                 if (seed + 1) % 25 == 0 {
@@ -159,6 +185,69 @@ fn fixture_bad(oracle: &Oracle, out: &str) -> ExitCode {
         }
     }
     println!("fixture self-test passed (minimized plan at {out})");
+    ExitCode::SUCCESS
+}
+
+fn fixture_sdc(undefended: &Oracle, out: &str) -> ExitCode {
+    let bad = ChaosPlan::known_bad_sdc();
+    println!(
+        "SDC fixture: {} events (1 compute flip + noise), ABFT off",
+        bad.events.len()
+    );
+    let v = match undefended.check(&bad) {
+        Err(v) => v,
+        Ok(()) => {
+            eprintln!("FIXTURE BUG: known-bad SDC plan passed the undefended oracle");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("violation (expected): {v}");
+    if v.invariant != "no-silent-divergence" {
+        eprintln!(
+            "FIXTURE BUG: expected no-silent-divergence, got {}",
+            v.invariant
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let min = minimize(&bad, undefended);
+    println!("minimized to {} events", min.events.len());
+    if min.events.len() != 1 {
+        eprintln!(
+            "MINIMIZER BUG: expected the lone flip, got {:?}",
+            min.events
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if let Err(e) = std::fs::write(out, min.to_json()) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let text = std::fs::read_to_string(out).expect("just wrote it");
+    let replayed = match ChaosPlan::from_json(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ROUND-TRIP BUG: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if replayed != min {
+        eprintln!("ROUND-TRIP BUG: parsed plan differs from written plan");
+        return ExitCode::FAILURE;
+    }
+
+    // The same flip must be harmless under the defended oracle.
+    println!("re-checking the minimized plan with ABFT on...");
+    let defended = Oracle::with_abft(2, 3, 8, true);
+    match defended.check(&replayed) {
+        Ok(()) => println!("defended oracle survives the minimized plan"),
+        Err(v) => {
+            eprintln!("DEFENSE BUG: ABFT run still violates: {v}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("SDC fixture self-test passed (minimized plan at {out})");
     ExitCode::SUCCESS
 }
 

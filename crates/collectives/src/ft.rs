@@ -557,7 +557,8 @@ mod tests {
             out[1],
             Err(Error::Corrupted {
                 rank: 0,
-                tag: FT_RS_TAG
+                tag: FT_RS_TAG,
+                ctx: None
             })
         );
         for (r, res) in out.iter().enumerate() {

@@ -30,7 +30,14 @@
 //!    residue;
 //! 5. **trace well-formedness** — with tracing on, every span closes,
 //!    times are finite and ordered, and nothing is stamped past the
-//!    end of the run.
+//!    end of the run;
+//! 6. **no silent divergence** — every scripted bit flip
+//!    ([`ChaosEvent::BitflipCompute`] / [`ChaosEvent::BitflipMemory`])
+//!    that actually fires is either corrected in place by ABFT or
+//!    escalated into a checkpoint recovery, and the final weights
+//!    match the fault-free run to 1e-6. An undefended oracle
+//!    (`abft: false`) flags *any* fired flip — that is the
+//!    [`ChaosPlan::known_bad_sdc`] fixture's job.
 //!
 //! When a plan violates an invariant, [`minimize`] greedily
 //! delta-debugs the event list — repeatedly dropping any event whose
@@ -115,6 +122,25 @@ pub enum ChaosEvent {
         dst: usize,
         nth: u64,
         depth: u64,
+    },
+    /// Flip `bit` of one element of the GEMM output produced by op
+    /// `op` of iteration `iter` on `rank` — a silent compute fault.
+    /// Unlike the time-fraction events, flips are iteration-indexed:
+    /// they replay identically across machine models by construction.
+    BitflipCompute {
+        rank: usize,
+        iter: u64,
+        op: u64,
+        bit: u32,
+    },
+    /// Flip `bit` of resident weight word `param mod |W|` on `rank`
+    /// between iterations `iter-1` and `iter` — a silent memory fault
+    /// that no GEMM checksum can see.
+    BitflipMemory {
+        rank: usize,
+        iter: u64,
+        param: u64,
+        bit: u32,
     },
 }
 
@@ -225,6 +251,40 @@ impl ChaosPlan {
         }
     }
 
+    /// Draws a plan for an **SDC campaign**: a base [`generate`] plan
+    /// plus one or two high-bit compute flips and (half the time) a
+    /// weight-memory flip. Bits are drawn from `44..=62` — far above
+    /// the ABFT checksum tolerance, so a fired flip is always
+    /// detectable. Ops are drawn from the tiny MLP's nine GEMMs per
+    /// iteration (3 forward + 6 backward). A flip aimed at a rank that
+    /// is dead or parked at the scripted iteration simply never fires;
+    /// the oracle's sixth invariant only judges flips that did.
+    ///
+    /// [`generate`]: ChaosPlan::generate
+    pub fn generate_sdc(seed: u64) -> ChaosPlan {
+        let mut plan = Self::generate(seed);
+        let size = plan.size();
+        // Decorrelate from the base plan's draws.
+        let mut rng = ChaosRng::new(seed ^ 0x5DC0_F11B_5DC0_F11B);
+        for _ in 0..1 + rng.below(2) {
+            plan.events.push(ChaosEvent::BitflipCompute {
+                rank: rng.below(size),
+                iter: rng.below(plan.iters) as u64,
+                op: rng.below(9) as u64,
+                bit: 44 + rng.below(19) as u32,
+            });
+        }
+        if rng.below(2) == 0 {
+            plan.events.push(ChaosEvent::BitflipMemory {
+                rank: rng.below(size),
+                iter: rng.below(plan.iters) as u64,
+                param: rng.next_u64() % 4096,
+                bit: 44 + rng.below(19) as u32,
+            });
+        }
+        plan
+    }
+
     /// The known-bad fixture: kills **every replica of weight row 1**
     /// (ranks 3, 4, 5 of the 2×3 grid) at the same instant, buried in
     /// harmless message chaos. Unrecoverable by construction — the
@@ -257,6 +317,44 @@ impl ChaosPlan {
                     nth: 7,
                 },
                 ChaosEvent::Kill { rank: 5, at: 0.35 },
+            ],
+        }
+    }
+
+    /// The known-bad **SDC** fixture: a single high-bit compute flip
+    /// buried in harmless message chaos. Checked by an oracle with
+    /// ABFT *off*, the flip sails through undetected and the final
+    /// weights silently diverge — the sixth invariant flags it, and
+    /// [`minimize`] must strip the plan down to just the flip.
+    pub fn known_bad_sdc() -> ChaosPlan {
+        ChaosPlan {
+            seed: 0x5DC_BAD,
+            pr: 2,
+            pc: 3,
+            iters: 8,
+            events: vec![
+                ChaosEvent::Duplicate {
+                    src: 0,
+                    dst: 1,
+                    nth: 3,
+                },
+                ChaosEvent::BitflipCompute {
+                    rank: 3,
+                    iter: 2,
+                    op: 1,
+                    bit: 51,
+                },
+                ChaosEvent::Reorder {
+                    src: 1,
+                    dst: 2,
+                    nth: 4,
+                    depth: 2,
+                },
+                ChaosEvent::Duplicate {
+                    src: 2,
+                    dst: 0,
+                    nth: 7,
+                },
             ],
         }
     }
@@ -317,6 +415,20 @@ impl ChaosPlan {
                     nth,
                     depth,
                 } => plan.reorder_nth(*src, *dst, *nth, *depth),
+                // Flips are iteration-indexed, not time-fraction
+                // scaled: they pass through untouched.
+                ChaosEvent::BitflipCompute {
+                    rank,
+                    iter,
+                    op,
+                    bit,
+                } => plan.bitflip_compute(*rank, *iter, *op, *bit),
+                ChaosEvent::BitflipMemory {
+                    rank,
+                    iter,
+                    param,
+                    bit,
+                } => plan.bitflip_memory(*rank, *iter, *param, *bit),
             };
         }
         plan
@@ -376,6 +488,28 @@ impl ChaosPlan {
                         "{{\"type\": \"reorder\", \"src\": {src}, \"dst\": {dst}, \"nth\": {nth}, \"depth\": {depth}}}"
                     );
                 }
+                ChaosEvent::BitflipCompute {
+                    rank,
+                    iter,
+                    op,
+                    bit,
+                } => {
+                    let _ = write!(
+                        s,
+                        "{{\"type\": \"bitflip_compute\", \"rank\": {rank}, \"iter\": {iter}, \"op\": {op}, \"bit\": {bit}}}"
+                    );
+                }
+                ChaosEvent::BitflipMemory {
+                    rank,
+                    iter,
+                    param,
+                    bit,
+                } => {
+                    let _ = write!(
+                        s,
+                        "{{\"type\": \"bitflip_memory\", \"rank\": {rank}, \"iter\": {iter}, \"param\": {param}, \"bit\": {bit}}}"
+                    );
+                }
             }
         }
         s.push_str("\n  ]\n}\n");
@@ -425,6 +559,18 @@ impl ChaosPlan {
                     nth: get_num(e, "nth")? as u64,
                     depth: get_num(e, "depth")? as u64,
                 },
+                "bitflip_compute" => ChaosEvent::BitflipCompute {
+                    rank: get_num(e, "rank")? as usize,
+                    iter: get_num(e, "iter")? as u64,
+                    op: get_num(e, "op")? as u64,
+                    bit: get_num(e, "bit")? as u32,
+                },
+                "bitflip_memory" => ChaosEvent::BitflipMemory {
+                    rank: get_num(e, "rank")? as usize,
+                    iter: get_num(e, "iter")? as u64,
+                    param: get_num(e, "param")? as u64,
+                    bit: get_num(e, "bit")? as u32,
+                },
                 other => return Err(format!("unknown event type {other:?}")),
             });
         }
@@ -447,7 +593,7 @@ fn json_list(xs: &[usize]) -> String {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
     /// Invariant name: `termination`, `horizon`, `single-writer`,
-    /// `loss-parity`, or `trace-wellformed`.
+    /// `loss-parity`, `trace-wellformed`, or `no-silent-divergence`.
     pub invariant: &'static str,
     /// Human-readable evidence.
     pub detail: String,
@@ -469,13 +615,23 @@ pub struct Oracle {
     pr: usize,
     pc: usize,
     clean_losses: Vec<f64>,
+    clean_weights: Vec<Matrix>,
     clean_makespan: f64,
 }
 
 impl Oracle {
     /// Builds the oracle for a `pr × pc` grid over the standard tiny
-    /// MLP workload and runs the fault-free reference.
+    /// MLP workload and runs the fault-free reference. ABFT is off:
+    /// plans with bit-flip events checked by this oracle are expected
+    /// to trip the sixth invariant.
     pub fn new(pr: usize, pc: usize, iters: usize) -> Oracle {
+        Self::with_abft(pr, pc, iters, false)
+    }
+
+    /// Like [`Oracle::new`] but with the trainer's ABFT defense
+    /// switched by `abft`. SDC campaigns use `abft: true` so scripted
+    /// bit flips must be corrected or recovered, never silent.
+    pub fn with_abft(pr: usize, pc: usize, iters: usize, abft: bool) -> Oracle {
         let net = mlp_tiny();
         let (x, labels) = synthetic_data(&net, 24, 5);
         let cfg = FtTrainConfig {
@@ -483,6 +639,7 @@ impl Oracle {
             iters,
             seed: 7,
             ckpt_every: 2,
+            abft,
             ft: FtConfig::fixed(10.0).with_attempts(2).with_backoff(0.5),
             machine: MachineModel::cori_knl(),
             ..FtTrainConfig::default()
@@ -499,6 +656,7 @@ impl Oracle {
         );
         let clean_losses = clean.losses();
         assert_eq!(clean_losses.len(), iters, "fault-free reference finished");
+        let clean_weights = clean.weights();
         let clean_makespan = clean.stats.makespan();
         Oracle {
             net,
@@ -508,6 +666,7 @@ impl Oracle {
             pr,
             pc,
             clean_losses,
+            clean_weights,
             clean_makespan,
         }
     }
@@ -661,6 +820,37 @@ impl Oracle {
                     });
                 }
             }
+        }
+
+        // 6. no silent divergence. Flips aimed at a dead/parked rank
+        // never fire, so the gate is the *injected* counter, not the
+        // plan's event list. A fired flip must leave a detection mark
+        // (ABFT correction or recovery); with ABFT off nothing can,
+        // so an undefended oracle flags any fired flip. Either way the
+        // final weights must match the fault-free run — with an
+        // explicit NaN arm so a NaN-poisoned model counts as
+        // divergence.
+        let injected = result.stats.total_bitflips_compute() + result.stats.total_bitflips_memory();
+        let detected =
+            result.stats.total_corrupt_corrected() + result.stats.total_corrupt_recovered();
+        if injected > 0 && detected == 0 {
+            return Err(Violation {
+                invariant: "no-silent-divergence",
+                detail: format!("{injected} bit flip(s) fired, none corrected or recovered"),
+            });
+        }
+        let faulty_weights = result.weights();
+        let mut wdiff: f64 = 0.0;
+        for (a, b) in self.clean_weights.iter().zip(&faulty_weights) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                wdiff = wdiff.max((x - y).abs());
+            }
+        }
+        if wdiff >= 1e-6 || wdiff.is_nan() {
+            return Err(Violation {
+                invariant: "no-silent-divergence",
+                detail: format!("final weights diverge from fault-free by {wdiff:e}"),
+            });
         }
 
         Ok(())
@@ -953,6 +1143,18 @@ mod tests {
                     nth: 9,
                     depth: 2,
                 },
+                ChaosEvent::BitflipCompute {
+                    rank: 3,
+                    iter: 2,
+                    op: 7,
+                    bit: 51,
+                },
+                ChaosEvent::BitflipMemory {
+                    rank: 1,
+                    iter: 5,
+                    param: 1234,
+                    bit: 48,
+                },
             ],
         };
         let back = ChaosPlan::from_json(&plan.to_json()).expect("round trip parses");
@@ -994,6 +1196,68 @@ mod tests {
                 panic!("seed {seed} violated an invariant: {v}\n{}", plan.to_json());
             }
         }
+    }
+
+    #[test]
+    fn sdc_plans_are_deterministic_and_realize_valid() {
+        assert_eq!(
+            ChaosPlan::generate_sdc(11),
+            ChaosPlan::generate_sdc(11),
+            "same seed, same plan"
+        );
+        for seed in 0..50 {
+            let plan = ChaosPlan::generate_sdc(seed);
+            assert!(
+                plan.events.iter().any(|e| matches!(
+                    e,
+                    ChaosEvent::BitflipCompute { .. } | ChaosEvent::BitflipMemory { .. }
+                )),
+                "seed {seed} drew no flip"
+            );
+            assert_eq!(
+                plan.to_fault_plan(1.0).validate(),
+                Ok(()),
+                "seed {seed} generated an invalid plan"
+            );
+        }
+    }
+
+    #[test]
+    fn abft_oracle_passes_a_sample_of_sdc_plans() {
+        let oracle = Oracle::with_abft(2, 3, 8, true);
+        for seed in [0u64, 1, 2] {
+            let plan = ChaosPlan::generate_sdc(seed);
+            if let Err(v) = oracle.check(&plan) {
+                panic!("seed {seed} violated an invariant: {v}\n{}", plan.to_json());
+            }
+        }
+    }
+
+    #[test]
+    fn known_bad_sdc_is_caught_undefended_and_minimizes_to_the_flip() {
+        let oracle = Oracle::new(2, 3, 8); // ABFT off: undefended
+        let bad = ChaosPlan::known_bad_sdc();
+        let v = oracle.check(&bad).expect_err("fixture must violate");
+        assert_eq!(v.invariant, "no-silent-divergence", "got {v}");
+
+        let min = minimize(&bad, &oracle);
+        assert_eq!(min.events.len(), 1, "minimized to {:?}", min.events);
+        assert!(matches!(
+            min.events[0],
+            ChaosEvent::BitflipCompute {
+                rank: 3,
+                iter: 2,
+                op: 1,
+                bit: 51
+            }
+        ));
+        // The defended oracle survives the very same minimized plan.
+        let defended = Oracle::with_abft(2, 3, 8, true);
+        let replayed = ChaosPlan::from_json(&min.to_json()).expect("parses");
+        assert_eq!(replayed, min);
+        defended
+            .check(&replayed)
+            .expect("ABFT corrects what the undefended run lets through");
     }
 
     #[test]

@@ -20,10 +20,13 @@
 //! `Pr = 1` degenerates to pure batch parallelism (Fig. 2) and
 //! `Pc = 1` to pure model parallelism (Fig. 1); tests pin both.
 
+use std::cell::Cell;
+
 use collectives::ft::{allgatherv_ring_ft, allreduce_ring_ft};
 use collectives::ring::allgatherv_ring;
 use collectives::{allreduce, FtConfig, ReduceOp};
-use mpsim::{Communicator, Result};
+use mpsim::{apply_flips, Communicator, Error, FaultCtx, Result};
+use tensor::abft::{self, Verdict};
 use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b, matmul_flops};
 use tensor::Matrix;
 
@@ -99,6 +102,119 @@ impl Grid {
     /// The columns of a `B`-column activation matrix owned by this rank.
     pub fn x_cols(&self, b: usize) -> std::ops::Range<usize> {
         part_range(b, self.pc, self.j)
+    }
+}
+
+/// Per-iteration silent-data-corruption context for the `_sdc` GEMM
+/// wrappers: carries the iteration number (so scripted
+/// [`mpsim::FaultPlan`] bit flips target the right GEMM), whether ABFT
+/// verification is enabled, and a running operation counter.
+///
+/// Ops are numbered in execution order within the iteration — every
+/// local GEMM increments the counter, so with the trainer's fixed
+/// schedule (forward per layer, then per backward layer: ∆W, ∆X) an
+/// `(iter, op)` pair deterministically names one local product on one
+/// rank. The same pair appears in trace instants, fault counters, and
+/// [`Error::SilentCorruption`] contexts.
+pub struct SdcCtx {
+    /// Training iteration these GEMMs belong to.
+    pub iter: u64,
+    /// When `false`, scripted flips are still injected (the fault
+    /// exists whether or not anyone defends) but nothing is verified —
+    /// the corruption proceeds silently. When `true`, every local GEMM
+    /// output is checksum-verified and single-element errors are
+    /// repaired in place.
+    pub abft: bool,
+    op: Cell<u64>,
+}
+
+impl SdcCtx {
+    /// A fresh context at op 0.
+    pub fn new(iter: u64, abft: bool) -> SdcCtx {
+        SdcCtx {
+            iter,
+            abft,
+            op: Cell::new(0),
+        }
+    }
+
+    /// The next op index (post-increment).
+    fn next_op(&self) -> u64 {
+        let op = self.op.get();
+        self.op.set(op + 1);
+        op
+    }
+
+    /// How many GEMM ops have run under this context so far.
+    pub fn ops_done(&self) -> u64 {
+        self.op.get()
+    }
+}
+
+/// Which kernel produced the output (selects the matching checksum
+/// shape and bit-exact recompute order).
+enum GemmKind {
+    /// `C = A·B` ([`matmul`]).
+    Plain,
+    /// `C = A·Bᵀ` ([`matmul_a_bt`]).
+    ABt,
+    /// `C = Aᵀ·B` ([`matmul_at_b`]).
+    AtB,
+}
+
+/// Injects any scripted compute bit flips into the freshly produced
+/// GEMM output `c`, then — when ABFT is enabled — verifies `c` against
+/// its operand checksums: a single corrupted element is repaired
+/// bit-exactly in place (counted as `corrupt_corrected`); anything
+/// worse escalates with a group-wide abort and
+/// [`Error::SilentCorruption`] so the caller's checkpoint/rollback
+/// machinery takes over (counted as `corrupt_recovered`). The checksum
+/// work is charged to the virtual clock, so measured ABFT overhead is
+/// real under the α–β/FLOP model.
+fn sdc_guard(
+    comm: &Communicator,
+    sdc: &SdcCtx,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    kind: GemmKind,
+) -> Result<()> {
+    let op = sdc.next_op();
+    let flips = comm.take_compute_flips(sdc.iter, op);
+    if !flips.is_empty() {
+        apply_flips(c.as_mut_slice(), &flips);
+    }
+    if !sdc.abft {
+        return Ok(());
+    }
+    let k = match kind {
+        GemmKind::AtB => a.rows(),
+        _ => a.cols(),
+    };
+    comm.advance_flops(abft::abft_flops(c.rows(), k, c.cols()));
+    let verdict = match kind {
+        GemmKind::Plain => abft::verify_matmul(a, b, c),
+        GemmKind::ABt => abft::verify_a_bt(a, b, c),
+        GemmKind::AtB => abft::verify_at_b(a, b, c),
+    };
+    match verdict {
+        Verdict::Clean => Ok(()),
+        Verdict::Corrected { .. } => {
+            comm.record_corrupt_corrected(sdc.iter, op);
+            Ok(())
+        }
+        Verdict::Uncorrectable { .. } => {
+            comm.record_corrupt_recovered(sdc.iter, op);
+            let me = comm.global_rank_of(comm.rank())?;
+            // Best effort: peers blocked on this rank unblock with
+            // `Aborted` and cascade, same as the collective fault path.
+            let _ = comm.send_abort(me);
+            Err(Error::SilentCorruption {
+                rank: me,
+                what: "gemm",
+                ctx: Some(FaultCtx { iter: sdc.iter, op }),
+            })
+        }
     }
 }
 
@@ -245,6 +361,98 @@ pub fn backward_ft(
     grid.col_comm
         .advance_flops(matmul_flops(w_local.cols(), w_local.rows(), dy_i.cols()));
     let mut dx = matmul_at_b(w_local, &dy_i);
+    allreduce_ring_ft(&grid.col_comm, dx.as_mut_slice(), ReduceOp::Sum, cfg)?;
+    Ok((dw, dx))
+}
+
+/// [`forward_ft`] with silent-data-corruption defense: scripted compute
+/// bit flips land on the local `W_i·X_j` product *before* the
+/// all-gather, and — when `sdc.abft` is set — the product is
+/// checksum-verified and repaired (or escalated) before any corrupted
+/// word can spread to the column group.
+pub fn forward_sdc(
+    grid: &Grid,
+    w_local: &Matrix,
+    x_local: &Matrix,
+    cfg: &FtConfig,
+    sdc: &SdcCtx,
+) -> Result<Matrix> {
+    let bloc = x_local.cols();
+    grid.col_comm
+        .advance_flops(matmul_flops(w_local.rows(), w_local.cols(), bloc));
+    let mut y_partial = matmul(w_local, x_local);
+    sdc_guard(
+        &grid.col_comm,
+        sdc,
+        w_local,
+        x_local,
+        &mut y_partial,
+        GemmKind::Plain,
+    )?;
+    if grid.pr == 1 {
+        return Ok(y_partial);
+    }
+    let blocks = allgatherv_ring_ft(&grid.col_comm, y_partial.as_slice(), cfg)?;
+    let mats: Vec<Matrix> = blocks
+        .into_iter()
+        .map(|v| {
+            let rows = v.len() / bloc;
+            Matrix::from_vec(rows, bloc, v)
+        })
+        .collect();
+    Ok(Matrix::vcat(&mats))
+}
+
+/// [`backward_ft`] with silent-data-corruption defense on both local
+/// GEMMs (`∆Y_{i,j}·X_jᵀ` and `W_iᵀ·∆Y_{i,j}`). Verification happens on
+/// the *local* partials, before either all-reduce — a corrected flip
+/// never enters the sum, and an escalation aborts the group before the
+/// reduction commits.
+pub fn backward_sdc(
+    grid: &Grid,
+    w_local: &Matrix,
+    x_local: &Matrix,
+    dy_local: &Matrix,
+    cfg: &FtConfig,
+    sdc: &SdcCtx,
+) -> Result<(Matrix, Matrix)> {
+    let rows = grid.w_rows(dy_local.rows());
+    let dy_i = dy_local.row_block(rows.start, rows.end);
+    grid.row_comm
+        .advance_flops(matmul_flops(dy_i.rows(), dy_i.cols(), x_local.rows()));
+    let mut dw = matmul_a_bt(&dy_i, x_local);
+    sdc_guard(&grid.row_comm, sdc, &dy_i, x_local, &mut dw, GemmKind::ABt)?;
+    allreduce_ring_ft(&grid.row_comm, dw.as_mut_slice(), ReduceOp::Sum, cfg)?;
+    grid.col_comm
+        .advance_flops(matmul_flops(w_local.cols(), w_local.rows(), dy_i.cols()));
+    let mut dx = matmul_at_b(w_local, &dy_i);
+    sdc_guard(&grid.col_comm, sdc, w_local, &dy_i, &mut dx, GemmKind::AtB)?;
+    allreduce_ring_ft(&grid.col_comm, dx.as_mut_slice(), ReduceOp::Sum, cfg)?;
+    Ok((dw, dx))
+}
+
+/// [`backward_dw_deferred_ft`] with silent-data-corruption defense:
+/// both local GEMMs are flip-injected and (when enabled) verified; the
+/// returned ∆W partial is already clean, so the caller's overlapped
+/// non-blocking row-group sum reduces verified data.
+pub fn backward_dw_deferred_sdc(
+    grid: &Grid,
+    w_local: &Matrix,
+    x_local: &Matrix,
+    dy_local: &Matrix,
+    cfg: &FtConfig,
+    sdc: &SdcCtx,
+) -> Result<(Matrix, Matrix)> {
+    let rows = grid.w_rows(dy_local.rows());
+    let dy_i = dy_local.row_block(rows.start, rows.end);
+    grid.row_comm
+        .advance_flops(matmul_flops(dy_i.rows(), dy_i.cols(), x_local.rows()));
+    let mut dw = matmul_a_bt(&dy_i, x_local);
+    sdc_guard(&grid.row_comm, sdc, &dy_i, x_local, &mut dw, GemmKind::ABt)?;
+    grid.col_comm
+        .advance_flops(matmul_flops(w_local.cols(), w_local.rows(), dy_i.cols()));
+    let mut dx = matmul_at_b(w_local, &dy_i);
+    sdc_guard(&grid.col_comm, sdc, w_local, &dy_i, &mut dx, GemmKind::AtB)?;
     allreduce_ring_ft(&grid.col_comm, dx.as_mut_slice(), ReduceOp::Sum, cfg)?;
     Ok((dw, dx))
 }
@@ -466,6 +674,140 @@ mod tests {
             assert!(dw.approx_eq(&r.dw.row_block(rows.start, rows.end), 1e-10));
             assert!(dx.approx_eq(&r.dx.col_block(cols.start, cols.end), 1e-10));
         }
+    }
+
+    #[test]
+    fn sdc_fault_free_matches_ft_bitwise() {
+        // With no scripted flips, the SDC wrappers produce bit-identical
+        // numbers whether ABFT is on or off — verification only reads.
+        let (pr, pc) = (2usize, 3usize);
+        let r = reference(8, 5, 9);
+        let cfg = FtConfig::fixed(1e6);
+        let run = |abft: bool| {
+            World::run(pr * pc, NetModel::free(), |comm| {
+                let grid = Grid::new(comm, pr, pc).unwrap();
+                let wl = row_shard(&r.w, pr, grid.i);
+                let xl = col_shard(&r.x, pc, grid.j);
+                let dyl = col_shard(&r.dy, pc, grid.j);
+                let sdc = SdcCtx::new(0, abft);
+                let y = forward_sdc(&grid, &wl, &xl, &cfg, &sdc).unwrap();
+                let (dw, dx) = backward_sdc(&grid, &wl, &xl, &dyl, &cfg, &sdc).unwrap();
+                assert_eq!(sdc.ops_done(), 3, "forward + dW + dX");
+                (y, dw, dx)
+            })
+        };
+        let plain = World::run(pr * pc, NetModel::free(), |comm| {
+            let grid = Grid::new(comm, pr, pc).unwrap();
+            let wl = row_shard(&r.w, pr, grid.i);
+            let xl = col_shard(&r.x, pc, grid.j);
+            let dyl = col_shard(&r.dy, pc, grid.j);
+            let y = forward(&grid, &wl, &xl).unwrap();
+            let (dw, dx) = backward(&grid, &wl, &xl, &dyl).unwrap();
+            (y, dw, dx)
+        });
+        assert_eq!(run(false), plain, "abft off == plain, bitwise");
+        assert_eq!(run(true), plain, "abft on == plain, bitwise");
+    }
+
+    #[test]
+    fn single_compute_flip_is_corrected_in_place() {
+        use mpsim::FaultPlan;
+        let (pr, pc) = (2usize, 3usize);
+        let r = reference(8, 5, 9);
+        let cfg = FtConfig::fixed(1e6);
+        let clean = run_grid(pr, pc, &r);
+        // One high bit flipped in rank 2's forward GEMM output (op 0),
+        // and one in rank 4's ∆X GEMM (op 2).
+        let plan = FaultPlan::new(7)
+            .bitflip_compute(2, 0, 0, 51)
+            .bitflip_compute(4, 0, 2, 55);
+        let (out, stats) = World::run_with_faults(pr * pc, NetModel::free(), plan, |comm| {
+            let grid = Grid::new(comm, pr, pc).unwrap();
+            let wl = row_shard(&r.w, pr, grid.i);
+            let xl = col_shard(&r.x, pc, grid.j);
+            let dyl = col_shard(&r.dy, pc, grid.j);
+            let sdc = SdcCtx::new(0, true);
+            let y = forward_sdc(&grid, &wl, &xl, &cfg, &sdc).unwrap();
+            let (dw, dx) = backward_sdc(&grid, &wl, &xl, &dyl, &cfg, &sdc).unwrap();
+            (y, dw, dx)
+        });
+        assert_eq!(out, clean, "both flips repaired bit-exactly");
+        assert_eq!(stats.total_bitflips_compute(), 2, "both flips injected");
+        assert_eq!(stats.total_corrupt_corrected(), 2);
+        assert_eq!(stats.total_corrupt_recovered(), 0);
+        assert_eq!(stats.total_aborts(), 0, "no escalation");
+    }
+
+    #[test]
+    fn multi_element_flip_escalates_group_wide() {
+        use mpsim::FaultPlan;
+        let (pr, pc) = (2usize, 2usize);
+        let r = reference(8, 5, 8);
+        let cfg = FtConfig::fixed(1e6);
+        // Two flips on the same GEMM → two corrupted elements → the 1×1
+        // location pattern fails and rank 1 must escalate.
+        let plan = FaultPlan::new(3)
+            .bitflip_compute(1, 0, 0, 50)
+            .bitflip_compute(1, 0, 0, 52);
+        let (out, stats) = World::run_with_faults(pr * pc, NetModel::free(), plan, |comm| {
+            let grid = Grid::new(comm, pr, pc).unwrap();
+            let wl = row_shard(&r.w, pr, grid.i);
+            let xl = col_shard(&r.x, pc, grid.j);
+            let sdc = SdcCtx::new(0, true);
+            forward_sdc(&grid, &wl, &xl, &cfg, &sdc)
+        });
+        match &out[1] {
+            Err(Error::SilentCorruption {
+                rank: 1,
+                what: "gemm",
+                ctx: Some(c),
+            }) => assert_eq!((c.iter, c.op), (0, 0)),
+            other => panic!("rank 1: {other:?}"),
+        }
+        // Rank 3 shares rank 1's column group and was mid-all-gather.
+        assert!(
+            matches!(
+                &out[3],
+                Err(Error::Aborted { .. }) | Err(Error::SilentCorruption { .. })
+            ),
+            "rank 3 unblocked by the abort: {:?}",
+            out[3]
+        );
+        assert_eq!(
+            stats.total_corrupt_recovered(),
+            1,
+            "escalated, not corrected"
+        );
+        assert_eq!(stats.total_corrupt_corrected(), 0);
+        assert!(stats.total_aborts() >= 1, "abort was broadcast");
+    }
+
+    #[test]
+    fn sdc_flips_proceed_silently_without_abft() {
+        use mpsim::FaultPlan;
+        let (pr, pc) = (2usize, 2usize);
+        let r = reference(8, 5, 8);
+        let cfg = FtConfig::fixed(1e6);
+        let clean = World::run(pr * pc, NetModel::free(), |comm| {
+            let grid = Grid::new(comm, pr, pc).unwrap();
+            let wl = row_shard(&r.w, pr, grid.i);
+            let xl = col_shard(&r.x, pc, grid.j);
+            forward(&grid, &wl, &xl).unwrap()
+        });
+        let plan = FaultPlan::new(3).bitflip_compute(0, 0, 0, 51);
+        let (out, stats) = World::run_with_faults(pr * pc, NetModel::free(), plan, |comm| {
+            let grid = Grid::new(comm, pr, pc).unwrap();
+            let wl = row_shard(&r.w, pr, grid.i);
+            let xl = col_shard(&r.x, pc, grid.j);
+            let sdc = SdcCtx::new(0, false);
+            forward_sdc(&grid, &wl, &xl, &cfg, &sdc).unwrap()
+        });
+        assert_eq!(stats.total_bitflips_compute(), 1, "flip was injected");
+        assert_eq!(stats.total_corrupt_detected(), 0, "nobody noticed");
+        // The corrupted word spread through the all-gather: every rank
+        // in rank 0's column group now disagrees with the clean run.
+        assert!(out[0] != clean[0], "rank 0 output silently corrupted");
+        assert!(out[2] != clean[2], "corruption spread to rank 2");
     }
 
     #[test]

@@ -113,6 +113,15 @@ pub(crate) struct Inner {
     /// Per-rank event recorder (disabled by default; see
     /// [`crate::trace`]). Lives on this thread only — no locks.
     pub tracer: Tracer,
+    /// Training-phase context registered by the trainer (iteration and
+    /// op counter); attached to corruption errors surfaced while set.
+    pub fault_ctx: Option<crate::error::FaultCtx>,
+    /// Spend-once bookkeeping for scripted compute bit flips, indexed
+    /// by plan entry: a flip that has fired on this rank never fires
+    /// again, so a rollback/replay of the same iteration runs clean.
+    pub compute_flips_spent: Vec<bool>,
+    /// Spend-once bookkeeping for scripted memory bit flips.
+    pub memory_flips_spent: Vec<bool>,
 }
 
 /// Outcome of a fault-aware message match.
@@ -924,8 +933,16 @@ impl Communicator {
                 }
                 if let (Some(csum), Payload::Words(v)) = (env.csum, &env.data) {
                     if fault::checksum(v) != csum {
-                        i.stats.corrupt_detected += 1;
-                        return Err(Error::Corrupted { rank: src, tag });
+                        // Envelope rejections always escalate to the
+                        // caller's rollback path — there is no in-place
+                        // repair for a wire flip.
+                        i.stats.corrupt_recovered += 1;
+                        let ctx = i.fault_ctx;
+                        return Err(Error::Corrupted {
+                            rank: src,
+                            tag,
+                            ctx,
+                        });
                     }
                 }
                 match env.data {
@@ -1077,10 +1094,12 @@ impl Communicator {
                 }
                 if let (Some(csum), Payload::Words(v)) = (env.csum, &env.data) {
                     if fault::checksum(v) != csum {
-                        i.stats.corrupt_detected += 1;
+                        i.stats.corrupt_recovered += 1;
+                        let ctx = i.fault_ctx;
                         return Err(Error::Corrupted {
                             rank: handle.src,
                             tag: handle.tag,
+                            ctx,
                         });
                     }
                 }
@@ -1205,8 +1224,13 @@ impl Communicator {
                 }
                 if let (Some(csum), Payload::Words(v)) = (env.csum, &env.data) {
                     if fault::checksum(v) != csum {
-                        i.stats.corrupt_detected += 1;
-                        return Err(Error::Corrupted { rank: src, tag });
+                        i.stats.corrupt_recovered += 1;
+                        let ctx = i.fault_ctx;
+                        return Err(Error::Corrupted {
+                            rank: src,
+                            tag,
+                            ctx,
+                        });
                     }
                 }
                 match env.data {
@@ -1750,6 +1774,125 @@ impl Communicator {
     /// Records virtual time a fault-tolerant trainer spent in recovery.
     pub fn record_recovery_secs(&self, secs: f64) {
         self.inner.borrow_mut().stats.recovery_secs += secs;
+    }
+
+    // --- silent data corruption --------------------------------------
+
+    /// Registers the training-phase context (iteration, op counter)
+    /// attached to corruption errors surfaced while it is set; pass
+    /// `None` at phase exit. The context is advisory — it never
+    /// affects matching or timing.
+    pub fn set_fault_ctx(&self, ctx: Option<crate::error::FaultCtx>) {
+        self.inner.borrow_mut().fault_ctx = ctx;
+    }
+
+    /// The currently registered training-phase context, if any.
+    pub fn fault_ctx(&self) -> Option<crate::error::FaultCtx> {
+        self.inner.borrow().fault_ctx
+    }
+
+    /// Drains the scripted compute bit flips for this rank's `op`-th
+    /// GEMM of iteration `iter`: each matching plan entry not yet spent
+    /// on this rank is marked spent, counted in
+    /// [`RankStats::bitflips_compute`], announced as a trace instant,
+    /// and returned for the caller (the GEMM wrapper) to apply to the
+    /// product it just computed. Spend-once means a rollback/replay of
+    /// the same iteration re-executes clean — exactly the semantics a
+    /// transient SDC event has on real hardware.
+    pub fn take_compute_flips(&self, iter: u64, op: u64) -> Vec<fault::BitFlip> {
+        let mut i = self.inner.borrow_mut();
+        if !i.plan.has_bitflips() {
+            return Vec::new();
+        }
+        let g = i.global_rank;
+        let flips: Vec<fault::BitFlip> = i
+            .plan
+            .compute_flips_at(g, iter, op)
+            .into_iter()
+            .filter(|f| !i.compute_flips_spent[f.entry])
+            .collect();
+        for f in &flips {
+            i.compute_flips_spent[f.entry] = true;
+            i.stats.bitflips_compute += 1;
+            if i.tracer.enabled() {
+                let t = i.clock.now;
+                i.tracer.instant(
+                    "fault",
+                    "bitflip_compute",
+                    t,
+                    &[
+                        ("iter", iter as f64),
+                        ("op", op as f64),
+                        ("bit", f.bit as f64),
+                    ],
+                );
+            }
+        }
+        flips
+    }
+
+    /// Drains the scripted memory bit flips for this rank at the start
+    /// of iteration `iter` (same spend-once semantics as
+    /// [`Communicator::take_compute_flips`]); the caller applies them
+    /// to its resident weight words.
+    pub fn take_memory_flips(&self, iter: u64) -> Vec<fault::BitFlip> {
+        let mut i = self.inner.borrow_mut();
+        if !i.plan.has_bitflips() {
+            return Vec::new();
+        }
+        let g = i.global_rank;
+        let flips: Vec<fault::BitFlip> = i
+            .plan
+            .memory_flips_at(g, iter)
+            .into_iter()
+            .filter(|f| !i.memory_flips_spent[f.entry])
+            .collect();
+        for f in &flips {
+            i.memory_flips_spent[f.entry] = true;
+            i.stats.bitflips_memory += 1;
+            if i.tracer.enabled() {
+                let t = i.clock.now;
+                i.tracer.instant(
+                    "fault",
+                    "bitflip_memory",
+                    t,
+                    &[("iter", iter as f64), ("bit", f.bit as f64)],
+                );
+            }
+        }
+        flips
+    }
+
+    /// Records an ABFT in-place correction (detected corruption that
+    /// needed **no** rollback) and announces it as a trace instant.
+    pub fn record_corrupt_corrected(&self, iter: u64, op: u64) {
+        let mut i = self.inner.borrow_mut();
+        i.stats.corrupt_corrected += 1;
+        if i.tracer.enabled() {
+            let t = i.clock.now;
+            i.tracer.instant(
+                "fault",
+                "abft_correct",
+                t,
+                &[("iter", iter as f64), ("op", op as f64)],
+            );
+        }
+    }
+
+    /// Records a detected corruption escalated to rollback/replay (an
+    /// uncorrectable ABFT residual or a weight-audit failure).
+    pub fn record_corrupt_recovered(&self, iter: u64, op: u64) {
+        let mut i = self.inner.borrow_mut();
+        i.stats.corrupt_recovered += 1;
+        if i.tracer.enabled() {
+            let t = i.clock.now;
+            i.tracer.instant(
+                "fault",
+                "sdc_escalate",
+                t,
+                &[("iter", iter as f64), ("op", op as f64)],
+            );
+        }
     }
 
     // --- tracing -----------------------------------------------------
@@ -2422,7 +2565,14 @@ mod tests {
                 None
             } else {
                 let first = comm.recv(0, 2);
-                assert_eq!(first, Err(Error::Corrupted { rank: 0, tag: 2 }));
+                assert_eq!(
+                    first,
+                    Err(Error::Corrupted {
+                        rank: 0,
+                        tag: 2,
+                        ctx: None
+                    })
+                );
                 Some(comm.recv(0, 2).unwrap())
             }
         });
@@ -2431,7 +2581,90 @@ mod tests {
             Some(vec![4.0, 5.0]),
             "later clean message still delivered"
         );
-        assert_eq!(stats.ranks[1].corrupt_detected, 1);
+        assert_eq!(stats.ranks[1].corrupt_recovered, 1);
+        assert_eq!(stats.ranks[1].corrupt_corrected, 0);
+    }
+
+    #[test]
+    fn scripted_bitflips_are_spend_once_and_counted() {
+        let model = NetModel::free();
+        let plan = crate::FaultPlan::new(7)
+            .bitflip_compute(1, 2, 0, 51)
+            .bitflip_memory(0, 1, 5, 44);
+        let (out, stats) = World::run_with_faults(2, model, plan, |comm| {
+            if comm.rank() == 0 {
+                let m = comm.take_memory_flips(1);
+                assert_eq!(m.len(), 1);
+                assert_eq!(
+                    m[0],
+                    crate::BitFlip {
+                        entry: 0,
+                        index: 5,
+                        bit: 44
+                    }
+                );
+                // Replaying the same iteration finds the flip spent.
+                assert!(comm.take_memory_flips(1).is_empty());
+                assert!(comm.take_compute_flips(2, 0).is_empty(), "wrong rank");
+                0
+            } else {
+                assert!(comm.take_compute_flips(2, 1).is_empty(), "wrong op");
+                let c = comm.take_compute_flips(2, 0);
+                assert_eq!(c.len(), 1);
+                assert_eq!(c[0].bit, 51);
+                assert!(comm.take_compute_flips(2, 0).is_empty(), "spent");
+                c[0].index
+            }
+        });
+        // The element draw is deterministic across runs (same plan).
+        let again = World::run_with_faults(
+            2,
+            model,
+            crate::FaultPlan::new(7)
+                .bitflip_compute(1, 2, 0, 51)
+                .bitflip_memory(0, 1, 5, 44),
+            |comm| {
+                if comm.rank() == 1 {
+                    comm.take_compute_flips(2, 0)[0].index
+                } else {
+                    comm.take_memory_flips(1);
+                    0
+                }
+            },
+        )
+        .0;
+        assert_eq!(out[1], again[1]);
+        assert_eq!(stats.ranks[0].bitflips_memory, 1);
+        assert_eq!(stats.ranks[0].bitflips_compute, 0);
+        assert_eq!(stats.ranks[1].bitflips_compute, 1);
+        assert_eq!(stats.total_bitflips_compute(), 1);
+        assert_eq!(stats.total_bitflips_memory(), 1);
+    }
+
+    #[test]
+    fn fault_ctx_is_attached_to_corruption_errors() {
+        let model = NetModel::free();
+        let plan = crate::FaultPlan::new(5).corrupt_nth(0, 1, 0);
+        let (out, _) = World::run_with_faults(2, model, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 2, &[1.0, 2.0]).unwrap();
+                None
+            } else {
+                comm.set_fault_ctx(Some(crate::FaultCtx { iter: 4, op: 1 }));
+                assert_eq!(comm.fault_ctx(), Some(crate::FaultCtx { iter: 4, op: 1 }));
+                let e = comm.recv(0, 2).unwrap_err();
+                comm.set_fault_ctx(None);
+                Some(e)
+            }
+        });
+        assert_eq!(
+            out[1],
+            Some(Error::Corrupted {
+                rank: 0,
+                tag: 2,
+                ctx: Some(crate::FaultCtx { iter: 4, op: 1 })
+            })
+        );
     }
 
     #[test]

@@ -2,6 +2,26 @@
 
 use std::fmt;
 
+/// Where in the training computation a detected fault bit: the
+/// iteration and the per-iteration operation index (GEMMs numbered in
+/// execution order; forward layers first, then backward ops). Attached
+/// to [`Error::Corrupted`] and [`Error::SilentCorruption`] so a
+/// minimized chaos-plan report can say *where* a fault struck, not just
+/// which link. `None` outside an instrumented trainer phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCtx {
+    /// Training iteration in which the fault was detected.
+    pub iter: u64,
+    /// Per-iteration operation index at the detection point.
+    pub op: u64,
+}
+
+impl fmt::Display for FaultCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "iter {} op {}", self.iter, self.op)
+    }
+}
+
 /// Errors surfaced by `mpsim` operations.
 ///
 /// The simulator is intended for in-process experiments, so most misuse
@@ -67,6 +87,24 @@ pub enum Error {
         rank: usize,
         /// Tag of the corrupt message.
         tag: crate::Tag,
+        /// Where in the training computation the corruption surfaced,
+        /// when the detection site had a context registered.
+        ctx: Option<FaultCtx>,
+    },
+    /// Silent data corruption detected *inside* a rank — an ABFT
+    /// checksum mismatch on a GEMM output that could not be corrected
+    /// in place, or a weight-memory audit failure. No wire message was
+    /// involved; the rank's own state is suspect, so callers must
+    /// escalate to checkpoint rollback.
+    SilentCorruption {
+        /// Global rank whose computation or memory was corrupted.
+        rank: usize,
+        /// What failed verification: `"gemm"` (uncorrectable ABFT
+        /// residual) or `"weights"` (resident-parameter audit).
+        what: &'static str,
+        /// Where in the training computation the corruption was
+        /// detected.
+        ctx: Option<FaultCtx>,
     },
     /// A peer abandoned the current collective/data-plane phase after
     /// observing a fault, blaming global rank `culprit`. Callers should
@@ -114,11 +152,22 @@ impl fmt::Display for Error {
                 )
             }
             Error::RankFailed { rank } => write!(f, "rank {rank} failed (killed by fault plan)"),
-            Error::Corrupted { rank, tag } => {
+            Error::Corrupted { rank, tag, ctx } => {
                 write!(
                     f,
                     "payload from rank {rank} (tag {tag}) failed checksum verification"
-                )
+                )?;
+                if let Some(c) = ctx {
+                    write!(f, " at {c}")?;
+                }
+                Ok(())
+            }
+            Error::SilentCorruption { rank, what, ctx } => {
+                write!(f, "silent data corruption on rank {rank} ({what})")?;
+                if let Some(c) = ctx {
+                    write!(f, " at {c}")?;
+                }
+                Ok(())
             }
             Error::Aborted { culprit } => {
                 write!(f, "collective aborted by a peer blaming rank {culprit}")
@@ -154,9 +203,18 @@ mod tests {
                 waited: 2.5,
             },
             Error::RankFailed { rank: 3 },
-            Error::Corrupted { rank: 0, tag: 7 },
+            Error::Corrupted {
+                rank: 0,
+                tag: 7,
+                ctx: Some(FaultCtx { iter: 3, op: 2 }),
+            },
             Error::Aborted { culprit: 6 },
             Error::Unreachable { rank: 4 },
+            Error::SilentCorruption {
+                rank: 5,
+                what: "gemm",
+                ctx: Some(FaultCtx { iter: 1, op: 4 }),
+            },
         ]
     }
 
@@ -172,8 +230,29 @@ mod tests {
         );
         assert!(msgs[5].contains("rank 3") && msgs[5].contains("failed"));
         assert!(msgs[6].contains("rank 0") && msgs[6].contains("checksum"));
+        assert!(
+            msgs[6].contains("iter 3") && msgs[6].contains("op 2"),
+            "context tag rendered: {}",
+            msgs[6]
+        );
         assert!(msgs[7].contains("rank 6") && msgs[7].contains("abort"));
         assert!(msgs[8].contains("rank 4") && msgs[8].contains("unreachable"));
+        assert!(
+            msgs[9].contains("rank 5")
+                && msgs[9].contains("silent")
+                && msgs[9].contains("gemm")
+                && msgs[9].contains("iter 1"),
+            "got: {}",
+            msgs[9]
+        );
+        // Without a registered context the tag is simply absent.
+        let bare = Error::Corrupted {
+            rank: 0,
+            tag: 7,
+            ctx: None,
+        }
+        .to_string();
+        assert!(!bare.contains("iter"), "got: {bare}");
     }
 
     #[test]
@@ -213,8 +292,26 @@ mod tests {
         );
         assert_ne!(Error::RankFailed { rank: 1 }, Error::Aborted { culprit: 1 });
         // Clone + Debug round-trip (the traits tests rely on).
-        let e = Error::Corrupted { rank: 2, tag: 9 };
+        let e = Error::Corrupted {
+            rank: 2,
+            tag: 9,
+            ctx: None,
+        };
         assert_eq!(e.clone(), e);
         assert!(format!("{e:?}").contains("Corrupted"));
+        // The context participates in equality: same site, different
+        // iteration → different error.
+        assert_ne!(
+            Error::SilentCorruption {
+                rank: 1,
+                what: "weights",
+                ctx: Some(FaultCtx { iter: 0, op: 0 }),
+            },
+            Error::SilentCorruption {
+                rank: 1,
+                what: "weights",
+                ctx: Some(FaultCtx { iter: 1, op: 0 }),
+            }
+        );
     }
 }

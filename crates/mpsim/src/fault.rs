@@ -57,6 +57,20 @@
 //!   the receiver's `(ctx, src, tag)` matching absorbs the shuffle
 //!   bit-identically — which is precisely the property the chaos
 //!   proptests pin.
+//! * **Compute bit flips** — silent data corruption inside a rank: one
+//!   mantissa/exponent bit of one element of a GEMM *output* is flipped
+//!   at a scripted `(rank, iter, op)` site. Unlike wire corruption this
+//!   never crosses a link, so no envelope checksum can see it — only
+//!   algorithm-based fault tolerance (checksummed GEMM in `distmm`)
+//!   or end-state divergence detects it. Each scripted flip fires at
+//!   most once per rank (spend-once), so a rollback/replay of the same
+//!   iteration re-executes clean.
+//! * **Memory bit flips** — silent corruption of *resident weights*: a
+//!   scripted bit of a scripted parameter word is flipped between
+//!   iterations. ABFT on the GEMMs cannot catch this (the products are
+//!   self-consistent with the corrupted operand); the trainer's
+//!   weight-checksum audit escalates it straight to rollback. Also
+//!   spend-once.
 
 /// Which messages on a link a straggler entry applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +121,59 @@ struct Partition {
     oneway: bool,
 }
 
+#[derive(Debug, Clone, Copy)]
+struct ComputeFlip {
+    rank: usize,
+    iter: u64,
+    op: u64,
+    bit: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MemoryFlip {
+    rank: usize,
+    iter: u64,
+    param: u64,
+    bit: u32,
+}
+
+/// A scripted single-bit flip resolved for one call site, handed to the
+/// layer that owns the buffer (GEMM wrapper or trainer) to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Index of the plan entry that produced this flip — the key for
+    /// the communicator's spend-once bookkeeping.
+    pub entry: usize,
+    /// Element selector: a deterministic hash for compute flips (the
+    /// applier reduces it modulo the output length) or the scripted
+    /// flat parameter index for memory flips.
+    pub index: u64,
+    /// Which bit of the f64 word to flip (0..=62; bit 63 — the sign —
+    /// is rejected by [`FaultPlan::validate`]).
+    pub bit: u32,
+}
+
+/// Applies resolved flips to `data`, XOR-ing `1 << bit` into the word
+/// at `index % data.len()`. When two flips select the same word the
+/// second advances to the next free word, so scripted multi-flip
+/// faults never silently cancel. Returns the flat indices actually
+/// hit (empty when `data` is empty).
+pub fn apply_flips(data: &mut [f64], flips: &[BitFlip]) -> Vec<usize> {
+    let mut hit: Vec<usize> = Vec::with_capacity(flips.len());
+    if data.is_empty() {
+        return hit;
+    }
+    for f in flips {
+        let mut at = (f.index % data.len() as u64) as usize;
+        while hit.contains(&at) && hit.len() < data.len() {
+            at = (at + 1) % data.len();
+        }
+        data[at] = f64::from_bits(data[at].to_bits() ^ (1u64 << f.bit));
+        hit.push(at);
+    }
+    hit
+}
+
 /// A deterministic script of injected faults. See the module docs for
 /// the fault classes and their semantics.
 #[derive(Debug, Clone, Default)]
@@ -122,6 +189,8 @@ pub struct FaultPlan {
     rejoins: Vec<(usize, f64)>,
     partitions: Vec<Partition>,
     heals: Vec<(Vec<usize>, f64)>,
+    compute_flips: Vec<ComputeFlip>,
+    memory_flips: Vec<MemoryFlip>,
 }
 
 impl FaultPlan {
@@ -241,6 +310,36 @@ impl FaultPlan {
         self
     }
 
+    /// Flips bit `bit` of one element of the output of the `op_idx`-th
+    /// GEMM that global rank `rank` executes in training iteration
+    /// `iter` (silent *compute* corruption). The element is a
+    /// deterministic hash draw over the output buffer; the flip fires
+    /// at most once per rank even across rollback/replay.
+    pub fn bitflip_compute(mut self, rank: usize, iter: u64, op_idx: u64, bit: u32) -> Self {
+        self.compute_flips.push(ComputeFlip {
+            rank,
+            iter,
+            op: op_idx,
+            bit,
+        });
+        self
+    }
+
+    /// Flips bit `bit` of the `param_idx`-th resident weight word
+    /// (flat index across the rank's layer shards, modulo their total
+    /// length) on global rank `rank` at the start of training iteration
+    /// `iter` (silent *memory* corruption). Spend-once, like
+    /// [`FaultPlan::bitflip_compute`].
+    pub fn bitflip_memory(mut self, rank: usize, iter: u64, param_idx: u64, bit: u32) -> Self {
+        self.memory_flips.push(MemoryFlip {
+            rank,
+            iter,
+            param: param_idx,
+            bit,
+        });
+        self
+    }
+
     /// Sets the deadline (in virtual seconds) that plain
     /// [`crate::Communicator::recv`] applies when this plan is active,
     /// so applications that never call `recv_timeout` still fail fast
@@ -335,6 +434,27 @@ impl FaultPlan {
                 ));
             }
         }
+        // Bit flips must stay inside the mantissa/exponent field: a
+        // sign flip (bit 63) is a different fault model and out-of-range
+        // bits would panic in the shift.
+        for f in &self.compute_flips {
+            if f.bit > 62 {
+                return Err(format!(
+                    "compute bitflip on rank {} (iter {}, op {}) targets bit {} \
+                     (only bits 0..=62 are valid)",
+                    f.rank, f.iter, f.op, f.bit
+                ));
+            }
+        }
+        for f in &self.memory_flips {
+            if f.bit > 62 {
+                return Err(format!(
+                    "memory bitflip on rank {} (iter {}, param {}) targets bit {} \
+                     (only bits 0..=62 are valid)",
+                    f.rank, f.iter, f.param, f.bit
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -348,8 +468,61 @@ impl FaultPlan {
             && self.reorders.is_empty()
             && self.kills.is_empty()
             && self.rejoins.is_empty()
-            && self.partitions.is_empty())
+            && self.partitions.is_empty()
+            && self.compute_flips.is_empty()
+            && self.memory_flips.is_empty())
             || self.default_timeout.is_some()
+    }
+
+    /// Whether the plan scripts any compute or memory bit flips at all
+    /// (a cheap gate for the per-GEMM / per-iteration query sites).
+    pub fn has_bitflips(&self) -> bool {
+        !(self.compute_flips.is_empty() && self.memory_flips.is_empty())
+    }
+
+    /// Total number of scripted compute-flip entries (each fires at
+    /// most once).
+    pub fn compute_flip_entries(&self) -> usize {
+        self.compute_flips.len()
+    }
+
+    /// Total number of scripted memory-flip entries.
+    pub fn memory_flip_entries(&self) -> usize {
+        self.memory_flips.len()
+    }
+
+    /// The compute flips scripted for the `op`-th GEMM of iteration
+    /// `iter` on global rank `rank`. The element hash is keyed on
+    /// `(seed, rank, iter, op, entry)`, so distinct entries landing on
+    /// the same GEMM pick independent elements (the applier resolves
+    /// residual collisions by advancing).
+    pub fn compute_flips_at(&self, rank: usize, iter: u64, op: u64) -> Vec<BitFlip> {
+        self.compute_flips
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.rank == rank && f.iter == iter && f.op == op)
+            .map(|(entry, f)| BitFlip {
+                entry,
+                index: splitmix(self.seed ^ mix3(rank as u64, iter ^ (op << 32), entry as u64)),
+                bit: f.bit,
+            })
+            .collect()
+    }
+
+    /// The memory flips scripted for the start of iteration `iter` on
+    /// global rank `rank`; `index` is the scripted flat parameter
+    /// index verbatim.
+    pub fn memory_flips_at(&self, rank: usize, iter: u64) -> Vec<BitFlip> {
+        self.memory_flips
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.rank == rank && f.iter == iter)
+            .map(|(entry, f)| BitFlip {
+                entry,
+                index: f.param,
+                bit: f.bit,
+            })
+            .collect()
     }
 
     /// The default deadline plain `recv` applies under this plan.
@@ -804,6 +977,92 @@ mod tests {
             .validate()
             .unwrap_err();
         assert!(err.contains("depth 0"), "got: {err}");
+    }
+
+    #[test]
+    fn bitflips_index_by_rank_iter_and_op() {
+        let p = FaultPlan::new(5)
+            .bitflip_compute(2, 3, 1, 50)
+            .bitflip_memory(1, 4, 17, 40);
+        assert!(p.active());
+        assert!(p.has_bitflips());
+        assert_eq!(p.compute_flip_entries(), 1);
+        assert_eq!(p.memory_flip_entries(), 1);
+        assert_eq!(p.compute_flips_at(2, 3, 1).len(), 1);
+        assert!(p.compute_flips_at(2, 3, 0).is_empty());
+        assert!(p.compute_flips_at(2, 2, 1).is_empty());
+        assert!(p.compute_flips_at(0, 3, 1).is_empty());
+        let m = p.memory_flips_at(1, 4);
+        assert_eq!(
+            m,
+            vec![BitFlip {
+                entry: 0,
+                index: 17,
+                bit: 40
+            }]
+        );
+        assert!(p.memory_flips_at(1, 3).is_empty());
+        assert!(p.memory_flips_at(0, 4).is_empty());
+        // Deterministic element draw; entry index keys the spend-once
+        // bookkeeping.
+        let a = p.compute_flips_at(2, 3, 1);
+        let b = p.compute_flips_at(2, 3, 1);
+        assert_eq!(a, b);
+        assert_eq!(a[0].entry, 0);
+        assert_eq!(a[0].bit, 50);
+    }
+
+    #[test]
+    fn apply_flips_advances_past_collisions() {
+        // Two flips selecting the same word must hit distinct words.
+        let flips = [
+            BitFlip {
+                entry: 0,
+                index: 2,
+                bit: 51,
+            },
+            BitFlip {
+                entry: 1,
+                index: 2,
+                bit: 48,
+            },
+        ];
+        let orig = vec![1.0, 2.0, 3.0, 4.0];
+        let mut v = orig.clone();
+        let hit = apply_flips(&mut v, &flips);
+        assert_eq!(hit, vec![2, 3]);
+        let changed: Vec<usize> = orig
+            .iter()
+            .zip(&v)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(changed, vec![2, 3]);
+        // Flipping a scripted bit is an involution: re-applying restores.
+        apply_flips(&mut v, &flips);
+        assert_eq!(v, orig);
+        // Empty buffers are a no-op.
+        assert!(apply_flips(&mut [], &flips).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_sign_bit_flips() {
+        let err = FaultPlan::new(0)
+            .bitflip_compute(0, 0, 0, 63)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("bit 63"), "got: {err}");
+        let err = FaultPlan::new(0)
+            .bitflip_memory(0, 0, 0, 64)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("bit 64"), "got: {err}");
+        assert!(FaultPlan::new(0)
+            .bitflip_compute(0, 0, 0, 62)
+            .bitflip_memory(0, 0, 0, 0)
+            .validate()
+            .is_ok());
     }
 
     #[test]

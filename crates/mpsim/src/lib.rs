@@ -63,8 +63,8 @@ pub mod world;
 
 pub use clock::Clock;
 pub use comm::{ChannelRecv, Communicator, RecvHandle, TraceSpan};
-pub use error::{Error, Result};
-pub use fault::{FaultPlan, Span};
+pub use error::{Error, FaultCtx, Result};
+pub use fault::{apply_flips, BitFlip, FaultPlan, Span};
 pub use health::{has_quorum, DetectorConfig, Ewma, HealthMonitor, RetryPolicy};
 pub use netmodel::NetModel;
 pub use stats::{RankStats, WorldStats};

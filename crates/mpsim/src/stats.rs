@@ -27,8 +27,19 @@ pub struct RankStats {
     pub timeouts: u64,
     /// Receive retries attempted after a timeout.
     pub retries: u64,
-    /// Payloads this rank rejected after checksum verification failed.
-    pub corrupt_detected: u64,
+    /// Corruptions this rank detected *and repaired in place* (ABFT
+    /// single-element GEMM corrections — no checkpoint restore).
+    pub corrupt_corrected: u64,
+    /// Corruptions this rank detected and escalated to rollback/replay:
+    /// envelope-checksum rejections plus uncorrectable ABFT verdicts
+    /// and weight-memory audit failures.
+    pub corrupt_recovered: u64,
+    /// Compute bit flips (GEMM-output SDC) the fault plan injected on
+    /// this rank.
+    pub bitflips_compute: u64,
+    /// Memory bit flips (resident-weight SDC) the fault plan injected
+    /// on this rank.
+    pub bitflips_memory: u64,
     /// Distinct dead peers this rank detected (each counted once).
     pub failures_detected: u64,
     /// Collective abort notices this rank broadcast.
@@ -104,7 +115,10 @@ impl RankStats {
         self.words_dropped += other.words_dropped;
         self.timeouts += other.timeouts;
         self.retries += other.retries;
-        self.corrupt_detected += other.corrupt_detected;
+        self.corrupt_corrected += other.corrupt_corrected;
+        self.corrupt_recovered += other.corrupt_recovered;
+        self.bitflips_compute += other.bitflips_compute;
+        self.bitflips_memory += other.bitflips_memory;
         self.failures_detected += other.failures_detected;
         self.aborts_sent += other.aborts_sent;
         self.suspects_flagged += other.suspects_flagged;
@@ -196,9 +210,30 @@ impl WorldStats {
         self.ranks.iter().map(|r| r.retries).sum()
     }
 
-    /// Total corrupt payloads detected (and discarded) across ranks.
+    /// Total corruptions detected across ranks, however they were
+    /// handled: in-place ABFT corrections plus rollback escalations.
     pub fn total_corrupt_detected(&self) -> u64 {
-        self.ranks.iter().map(|r| r.corrupt_detected).sum()
+        self.total_corrupt_corrected() + self.total_corrupt_recovered()
+    }
+
+    /// Total corruptions repaired in place (ABFT) across ranks.
+    pub fn total_corrupt_corrected(&self) -> u64 {
+        self.ranks.iter().map(|r| r.corrupt_corrected).sum()
+    }
+
+    /// Total corruptions escalated to rollback/replay across ranks.
+    pub fn total_corrupt_recovered(&self) -> u64 {
+        self.ranks.iter().map(|r| r.corrupt_recovered).sum()
+    }
+
+    /// Total compute bit flips (GEMM-output SDC) injected across ranks.
+    pub fn total_bitflips_compute(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bitflips_compute).sum()
+    }
+
+    /// Total memory bit flips (weight SDC) injected across ranks.
+    pub fn total_bitflips_memory(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bitflips_memory).sum()
     }
 
     /// Total distinct (peer, detector) failure detections across ranks.
@@ -369,7 +404,7 @@ mod tests {
                     words_dropped: 8,
                     timeouts: 2,
                     retries: 1,
-                    corrupt_detected: 1,
+                    corrupt_recovered: 1,
                     failures_detected: 1,
                     aborts_sent: 1,
                     straggler_wait: 0.25,
@@ -382,6 +417,9 @@ mod tests {
                     straggler_wait: 0.75,
                     ckpt_words: 50,
                     recovery_secs: 3.0,
+                    corrupt_corrected: 2,
+                    bitflips_compute: 2,
+                    bitflips_memory: 1,
                     suspects_flagged: 2,
                     speculative_retries: 1,
                     rejoins: 1,
@@ -402,7 +440,15 @@ mod tests {
         assert_eq!(stats.total_rejoins(), 1);
         assert_eq!(stats.total_timeouts(), 3);
         assert_eq!(stats.total_retries(), 1);
-        assert_eq!(stats.total_corrupt_detected(), 1);
+        assert_eq!(stats.total_corrupt_corrected(), 2);
+        assert_eq!(stats.total_corrupt_recovered(), 1);
+        assert_eq!(
+            stats.total_corrupt_detected(),
+            3,
+            "detected = corrected + recovered"
+        );
+        assert_eq!(stats.total_bitflips_compute(), 2);
+        assert_eq!(stats.total_bitflips_memory(), 1);
         assert_eq!(stats.total_failures_detected(), 1);
         assert_eq!(stats.total_aborts(), 1);
         assert!((stats.total_straggler_wait() - 1.0).abs() < 1e-12);
@@ -556,6 +602,12 @@ mod tests {
             "receiver detected the corruption"
         );
         assert_eq!(stats.total_corrupt_detected(), 1);
+        assert_eq!(
+            stats.total_corrupt_recovered(),
+            1,
+            "an envelope rejection counts as escalated, not corrected"
+        );
+        assert_eq!(stats.total_corrupt_corrected(), 0);
         for c in &stats.clocks {
             assert!(c.now.is_finite() && c.comm.is_finite() && c.compute.is_finite());
         }

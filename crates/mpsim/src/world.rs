@@ -193,6 +193,8 @@ impl World {
             for (rank, endpoint) in endpoints.into_iter().enumerate() {
                 let plan = Arc::clone(&plan);
                 handles.push(scope.spawn(move || {
+                    let n_compute_flips = plan.compute_flip_entries();
+                    let n_memory_flips = plan.memory_flip_entries();
                     let inner = Rc::new(RefCell::new(Inner {
                         global_rank: rank,
                         world_size: size,
@@ -220,6 +222,9 @@ impl World {
                         reorder_held: vec![Vec::new(); size],
                         nb_seq: HashMap::new(),
                         tracer: Tracer::new(trace),
+                        fault_ctx: None,
+                        compute_flips_spent: vec![false; n_compute_flips],
+                        memory_flips_spent: vec![false; n_memory_flips],
                     }));
                     let comm = Communicator::world(Rc::clone(&inner));
                     let out = f(&comm);

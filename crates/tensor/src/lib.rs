@@ -16,6 +16,7 @@
 // arithmetic; the clippy suggestions (iterators, is_multiple_of) obscure
 // the correspondence with the paper's formulas.
 #![allow(clippy::needless_range_loop, clippy::manual_is_multiple_of)]
+pub mod abft;
 pub mod activation;
 pub mod conv;
 pub mod init;

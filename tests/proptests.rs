@@ -231,3 +231,50 @@ proptest! {
         }
     }
 }
+
+// ABFT has no false positives: on a fault-free machine the checksummed
+// trainer must be bit-identical to the undefended one — same losses,
+// same weights — for random workloads, grids, and SGD seeds. (The
+// virtual clock is *not* compared: the checksum flops are charged on
+// it by design.)
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn abft_clean_runs_are_bit_identical_to_undefended(
+        seed in 0u64..1_000,
+        widths in proptest::collection::vec(2usize..24, 2..5),
+        grid_pick in 0usize..3,
+        iters in 2usize..7,
+    ) {
+        use integrated_parallelism::collectives::FtConfig;
+        use integrated_parallelism::integrated::ft_trainer::{train_1p5d_ft, FtTrainConfig};
+        use integrated_parallelism::integrated::trainer::synthetic_data;
+        use integrated_parallelism::mpsim::FaultPlan;
+
+        let net = mlp("abft-prop", &widths);
+        let (x, labels) = synthetic_data(&net, 12, seed);
+        let (pr, pc) = [(1, 3), (2, 2), (2, 3)][grid_pick];
+        let cfg = |abft: bool| FtTrainConfig {
+            lr: 0.2,
+            iters,
+            seed: seed + 1,
+            ckpt_every: 2,
+            abft,
+            ft: FtConfig::fixed(10.0).with_attempts(2).with_backoff(0.5),
+            machine: MachineModel::cori_knl(),
+            ..FtTrainConfig::default()
+        };
+        let off = train_1p5d_ft(&net, &x, &labels, &cfg(false), pr, pc, FaultPlan::default());
+        let on = train_1p5d_ft(&net, &x, &labels, &cfg(true), pr, pc, FaultPlan::default());
+
+        prop_assert_eq!(off.losses(), on.losses());
+        prop_assert_eq!(on.stats.total_corrupt_detected(), 0, "no false positives");
+        for (wa, wb) in off.weights().iter().zip(&on.weights()) {
+            prop_assert_eq!(wa.max_abs_diff(wb), 0.0);
+        }
+        // The defense is not free: the checksum flops must appear on
+        // the virtual clock.
+        prop_assert!(on.stats.makespan() > off.stats.makespan());
+    }
+}

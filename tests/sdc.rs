@@ -1,0 +1,155 @@
+//! End-to-end silent-data-corruption validation: the acceptance
+//! scenarios for the ABFT-checksummed 1.5D GEMM and the weight-memory
+//! audit.
+//!
+//! 1. A single high-bit compute flip is located by the Huang-Abraham
+//!    row/column checksums and repaired **in place** — zero
+//!    checkpoint restores, final weights bit-identical to fault-free.
+//! 2. A resident-weight memory flip escapes the GEMM checksums but is
+//!    caught by the iteration-start weight audit and rolled back;
+//!    training converges to loss parity with the fault-free run.
+//! 3. With the defense off, the same compute flip spreads through the
+//!    collectives and the final weights silently diverge — the
+//!    control that shows detection is doing the work.
+//!
+//! The fault-plan seed is taken from `FT_SEED` (default 3) so CI can
+//! sweep a seed matrix over the same scenarios.
+
+use integrated_parallelism::collectives::FtConfig;
+use integrated_parallelism::dnn::zoo::mlp_tiny;
+use integrated_parallelism::integrated::chaos::{ChaosPlan, Oracle};
+use integrated_parallelism::integrated::ft_trainer::{train_1p5d_ft, FtTrainConfig};
+use integrated_parallelism::integrated::trainer::synthetic_data;
+use integrated_parallelism::integrated::MachineModel;
+use integrated_parallelism::mpsim::FaultPlan;
+use integrated_parallelism::tensor::Matrix;
+
+fn ft_seed() -> u64 {
+    std::env::var("FT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+fn scfg(iters: usize, abft: bool) -> FtTrainConfig {
+    FtTrainConfig {
+        lr: 0.3,
+        iters,
+        seed: 7,
+        ckpt_every: 2,
+        abft,
+        ft: FtConfig::fixed(10.0).with_attempts(2).with_backoff(0.5),
+        machine: MachineModel::cori_knl(),
+        ..FtTrainConfig::default()
+    }
+}
+
+fn max_weight_diff(a: &[Matrix], b: &[Matrix]) -> f64 {
+    let mut d: f64 = 0.0;
+    for (ma, mb) in a.iter().zip(b) {
+        for (x, y) in ma.as_slice().iter().zip(mb.as_slice()) {
+            d = d.max((x - y).abs());
+        }
+    }
+    d
+}
+
+#[test]
+fn compute_flip_is_corrected_in_place_with_zero_restores() {
+    let net = mlp_tiny();
+    let (x, labels) = synthetic_data(&net, 24, 5);
+    let cfg = scfg(8, true);
+
+    let clean = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, FaultPlan::default());
+    let plan = FaultPlan::new(ft_seed()).bitflip_compute(3, 2, 1, 51);
+    let faulty = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, plan);
+
+    assert_eq!(faulty.stats.total_bitflips_compute(), 1, "flip fired");
+    assert_eq!(
+        faulty.stats.total_corrupt_corrected(),
+        1,
+        "repaired in place"
+    );
+    assert_eq!(faulty.stats.total_corrupt_recovered(), 0);
+    assert_eq!(faulty.stats.total_aborts(), 0, "no escalation");
+    for out in &faulty.per_rank {
+        let o = out.as_ref().expect("every rank finishes");
+        assert!(o.recoveries.is_empty(), "zero checkpoint restores");
+    }
+    assert_eq!(faulty.losses(), clean.losses(), "losses bit-identical");
+    assert_eq!(
+        max_weight_diff(&clean.weights(), &faulty.weights()),
+        0.0,
+        "weights bit-identical: the repair recomputed the exact products"
+    );
+}
+
+#[test]
+fn memory_flip_is_audited_and_rolled_back_to_parity() {
+    let net = mlp_tiny();
+    let (x, labels) = synthetic_data(&net, 24, 5);
+    let cfg = scfg(8, true);
+
+    let clean = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, FaultPlan::default());
+    let plan = FaultPlan::new(ft_seed()).bitflip_memory(2, 3, 1234, 48);
+    let faulty = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, plan);
+
+    assert_eq!(faulty.stats.total_bitflips_memory(), 1, "flip fired");
+    assert_eq!(faulty.stats.total_corrupt_recovered(), 1, "audit escalated");
+    let o = faulty.per_rank[0].as_ref().expect("rank 0 finishes");
+    assert_eq!(o.recoveries.len(), 1, "one checkpoint restore");
+    for (a, b) in clean.losses().iter().zip(faulty.losses()) {
+        assert!(
+            (a - b).abs() < 1e-6,
+            "loss parity after rollback: {a} vs {b}"
+        );
+    }
+    assert!(
+        max_weight_diff(&clean.weights(), &faulty.weights()) < 1e-6,
+        "weights recover to parity"
+    );
+}
+
+#[test]
+fn recovery_straddling_a_partition_cut_converges() {
+    // Regression: these SDC-generator seeds combine a [3,5] partition
+    // with a memory bit-flip whose audit-triggered rollback lands on
+    // the cut's activation edge. Seed 118 once livelocked — a stale
+    // unreachability record blanked a healed peer's presence slot, so
+    // no round ever readmitted it and the retry epochs climbed at a
+    // frozen clock. Seed 183 once deadlocked — the cut activated
+    // mid-agreement-round, per-sender clock skew made the reachability
+    // graph non-transitive, and ranks committed to three different
+    // quorum-winning fragments whose redistributions waited on each
+    // other forever. The loop-top record reconciliation and the
+    // fragment-closure verdict round keep both plans convergent.
+    let oracle = Oracle::with_abft(2, 3, 8, true);
+    for seed in [118, 183] {
+        let plan = ChaosPlan::generate_sdc(seed);
+        if let Err(v) = oracle.check(&plan) {
+            panic!("sdc seed {seed} violated an invariant: {v}");
+        }
+    }
+}
+
+#[test]
+fn undefended_flip_silently_diverges() {
+    let net = mlp_tiny();
+    let (x, labels) = synthetic_data(&net, 24, 5);
+    let cfg = scfg(8, false);
+
+    // The flipped element is a hash draw keyed by the plan seed, and
+    // some draws land on an element whose contribution rounds away —
+    // so the control pins a seed whose draw provably diverges instead
+    // of sweeping FT_SEED.
+    let clean = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, FaultPlan::default());
+    let plan = FaultPlan::new(13).bitflip_compute(3, 2, 1, 51);
+    let faulty = train_1p5d_ft(&net, &x, &labels, &cfg, 2, 3, plan);
+
+    assert_eq!(faulty.stats.total_bitflips_compute(), 1, "flip fired");
+    assert_eq!(faulty.stats.total_corrupt_detected(), 0, "nobody noticed");
+    assert!(
+        max_weight_diff(&clean.weights(), &faulty.weights()) > 1e-6,
+        "the corruption spread into the weights unchecked"
+    );
+}
