@@ -14,9 +14,9 @@ use bench::figures::pure_batch_baseline;
 use bench::{parse_args, Setup};
 use dnn::zoo::mlp;
 use integrated::optimizer::sweep_conv_batch_fc_grids;
-use integrated::overlap::{overlapped_total, PAPER_BACKPROP_FRACTION};
+use integrated::overlap::{autotune, overlapped_total, OverlapPlan, PAPER_BACKPROP_FRACTION};
 use integrated::report::{fmt_seconds, fmt_speedup, Table};
-use integrated::trainer::{synthetic_data, train_1p5d_overlap, TrainConfig};
+use integrated::trainer::{synthetic_data, train_1p5d_overlap, train_1p5d_scheduled, TrainConfig};
 use mpsim::NetModel;
 
 fn main() {
@@ -91,4 +91,63 @@ fn main() {
             " (within 10%)".to_string()
         }
     );
+
+    // Second ablation axis: the bucket fusion size of the *scheduled*
+    // engine. Small buckets flush early (more chances to hide, more α
+    // per ring); one giant bucket degenerates to a single end-of-
+    // backward launch that only the cross-iteration interleave can
+    // hide. The autotuner's chosen point for the same network × grid
+    // closes the table.
+    let net = mlp("alexnet-fc-exec", &[384, 256, 256, 10]);
+    let (x, labels) = synthetic_data(&net, 384, 42);
+    let cfg = TrainConfig {
+        lr: 0.1,
+        iters: 2,
+        seed: 11,
+    };
+    let (pr, pc) = (2usize, 2usize);
+    let model = NetModel::cori_knl();
+    let mut t = Table::new(
+        format!(
+            "bucket-size sweep, {} B=384, {pr}x{pc} grid, {} iterations (scheduled engine)",
+            net.name, cfg.iters
+        ),
+        &["bucket words", "makespan", "measured frac", "nb ARs"],
+    );
+    let mut sweep_row = |label: String, plan: OverlapPlan| {
+        let res = train_1p5d_scheduled(&net, &x, &labels, &cfg, pr, pc, model, plan);
+        let (_, _, nb_ar, _) = res.stats.total_collective_calls();
+        t.row(vec![
+            label,
+            fmt_seconds(res.stats.makespan()),
+            format!("{:.3}", res.measured_overlap_fraction()),
+            nb_ar.to_string(),
+        ]);
+    };
+    for exp in 11..=17 {
+        let bucket_words = 1usize << exp;
+        sweep_row(
+            format!("2^{exp} = {bucket_words}"),
+            OverlapPlan {
+                bucket_words,
+                ..OverlapPlan::default()
+            },
+        );
+    }
+    let report = autotune(&net, &x, &labels, &cfg, pr, pc, model);
+    sweep_row(
+        format!(
+            "autotuned: {}{}{}",
+            report.chosen.bucket_words,
+            if report.chosen.dx_overlap { " +dx" } else { "" },
+            if report.chosen.fwd_prefetch {
+                " +prefetch"
+            } else {
+                ""
+            },
+        ),
+        report.chosen,
+    );
+    println!();
+    print!("{}", if args.csv { t.to_csv() } else { t.render() });
 }

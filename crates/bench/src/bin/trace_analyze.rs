@@ -172,8 +172,12 @@ fn main() {
     let args = parse_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
 
+    // The smoke stack is sized so at least one gradient bucket fills
+    // *during* backward (256·192/2 words > the default 8192-word cap on
+    // a pr=2 grid) — otherwise the scheduled run has nothing in flight
+    // at its poll points and the sched-instant checks below are vacuous.
     let (net, b, iters) = if smoke {
-        (mlp("trace-smoke", &[96, 128, 10]), 16, 1)
+        (mlp("trace-smoke", &[256, 192, 10]), 16, 1)
     } else {
         (mlp("trace-mlp", &[1152, 512, 512, 10]), 64, 2)
     };
@@ -202,6 +206,33 @@ fn main() {
     bad += cross_check("overlap", &ovl_trace, &ovl.stats);
     breakdown_table("overlap", &ovl_trace, args.csv);
     critical_path("overlap", &ovl_trace, args.csv);
+
+    // Priority-scheduled engine: the new `sched` instants
+    // (bucket_flush / progress_poll) are zero-duration markers outside
+    // the leaf partition, so the same 1e-9 reconstruction must hold
+    // with them present in the stream.
+    let (sch, sch_trace) = integrated::trainer::train_1p5d_scheduled_traced(
+        &net,
+        &x,
+        &labels,
+        &cfg,
+        pr,
+        pc,
+        model,
+        trace_cfg,
+        integrated::overlap::OverlapPlan::default(),
+    );
+    bad += cross_check("scheduled", &sch_trace, &sch.stats);
+    breakdown_table("scheduled", &sch_trace, args.csv);
+    let (flushes, polls) = sch_trace.ranks.iter().fold((0, 0), |(f, p), rt| {
+        (
+            f + rt.instant_count("sched", "bucket_flush"),
+            p + rt.instant_count("sched", "progress_poll"),
+        )
+    });
+    assert!(flushes > 0, "scheduled trace recorded no bucket flushes");
+    assert!(polls > 0, "priority schedule recorded no progress polls");
+    println!("[scheduled] sched instants: {flushes} bucket_flush, {polls} progress_poll\n");
 
     println!("{}", TraceSink::new(&ovl_trace).summary());
 

@@ -154,9 +154,15 @@ pub struct IallreduceHandle {
 /// assert_eq!(out, vec![10.0; 4]);
 /// ```
 pub fn iallreduce(comm: &Communicator, data: Vec<f64>, op: ReduceOp) -> Result<IallreduceHandle> {
-    comm.record_nb_allreduce();
-    let base = comm.alloc_nb_tags();
     let p = comm.size();
+    if p > 1 {
+        // A single-member communicator moves no bytes: recording a
+        // launch would inflate the nb-allreduce count while contributing
+        // nothing to the overlap fraction's denominator (the pc=1 grids'
+        // "16 launches, 0.0 fraction" anomaly).
+        comm.record_nb_allreduce();
+    }
+    let base = comm.alloc_nb_tags();
     let steps = if p > 1 { 2 * (p - 1) } else { 0 };
     comm.trace_instant(
         "nb",
@@ -199,6 +205,16 @@ impl IallreduceHandle {
         let res = self.step_once();
         self.pr.guard(res)?;
         Ok(self.pr.done())
+    }
+
+    /// Whether every chunk step has been issued — [`progress`]
+    /// (`IallreduceHandle::progress`) has nothing left to drive. The
+    /// channel work may still finish in the rank's future; see
+    /// [`IallreduceHandle::ready_at`]. Unlike [`test`]
+    /// (`IallreduceHandle::test`) this never drives a step, so
+    /// schedulers can use it to pick *which* handle to progress.
+    pub fn issued(&self) -> bool {
+        self.pr.done()
     }
 
     /// MPI_Test-like poll: drives one step and reports whether the
@@ -279,9 +295,11 @@ pub struct IallgatherHandle {
 /// rank order, bit-identical to [`crate::ring::allgather_ring`]. SPMD
 /// launch order required, like [`iallreduce`].
 pub fn iallgather(comm: &Communicator, mine: &[f64]) -> Result<IallgatherHandle> {
-    comm.record_nb_allgather();
-    let base = comm.alloc_nb_tags();
     let p = comm.size();
+    if p > 1 {
+        comm.record_nb_allgather();
+    }
+    let base = comm.alloc_nb_tags();
     let r = comm.rank();
     let m = mine.len();
     let mut out = vec![0.0; m * p];
@@ -357,6 +375,135 @@ impl IallgatherHandle {
         self.out[recv_idx * m..(recv_idx + 1) * m].copy_from_slice(&got.data);
         self.pr.absorb(&got);
         Ok(())
+    }
+}
+
+/// An in-flight non-blocking ring all-gather of *variable-length*
+/// per-rank blocks, the non-blocking twin of
+/// [`crate::ring::allgatherv_ring`] (`P−1` chunk steps).
+///
+/// Beyond the usual launch/wait pair it supports *pipelined
+/// consumption* via [`IallgathervHandle::recv_next`]: each call
+/// delivers the next block in ring-arrival order
+/// ([`crate::chunks::ring_arrival_order`]) and settles that chunk's
+/// overlap accounting immediately, so compute done on a block between
+/// calls hides the transfer of the blocks still in flight.
+pub struct IallgathervHandle {
+    pr: Progress,
+    out: Vec<Vec<f64>>,
+    tag: Tag,
+    /// Blocks handed out via `recv_next` (the rank's own block counts).
+    delivered: usize,
+}
+
+/// Launches a non-blocking ring all-gather of this rank's
+/// variable-length block `mine`. SPMD launch order required, like
+/// [`iallreduce`].
+pub fn iallgatherv(comm: &Communicator, mine: &[f64]) -> Result<IallgathervHandle> {
+    let p = comm.size();
+    if p > 1 {
+        comm.record_nb_allgather();
+    }
+    let base = comm.alloc_nb_tags();
+    let r = comm.rank();
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+    out[r] = mine.to_vec();
+    let steps = p.saturating_sub(1);
+    comm.trace_instant(
+        "nb",
+        "iallgatherv_launch",
+        &[("p", p as f64), ("words", mine.len() as f64)],
+    );
+    Ok(IallgathervHandle {
+        pr: Progress::new(comm, steps, None),
+        out,
+        tag: base,
+        delivered: 0,
+    })
+}
+
+/// [`iallgatherv`] with deadline-bounded chunk receives and group abort
+/// on faults.
+pub fn iallgatherv_ft(
+    comm: &Communicator,
+    mine: &[f64],
+    cfg: &FtConfig,
+) -> Result<IallgathervHandle> {
+    let mut h = iallgatherv(comm, mine)?;
+    h.pr.ft = Some(*cfg);
+    Ok(h)
+}
+
+impl IallgathervHandle {
+    /// Issues one pending chunk step; `true` once all steps are issued.
+    /// Must not be mixed with [`IallgathervHandle::recv_next`].
+    pub fn progress(&mut self) -> Result<bool> {
+        if self.pr.done() {
+            return Ok(true);
+        }
+        let res = self.step_once();
+        self.pr.guard(res)?;
+        Ok(self.pr.done())
+    }
+
+    /// Delivers the next block in ring-arrival order: the rank's own
+    /// block first (free), then one ring step per call. Each delivered
+    /// chunk's channel accounting is settled *immediately* — the caller
+    /// pays the exposed remainder of that chunk now and any compute it
+    /// does on the block hides the chunks still in flight. Returns
+    /// `None` once all `P` blocks have been delivered.
+    pub fn recv_next(&mut self) -> Result<Option<(usize, Vec<f64>)>> {
+        let p = self.pr.comm.size();
+        let r = self.pr.comm.rank();
+        if self.delivered >= p {
+            return Ok(None);
+        }
+        if self.delivered == 0 {
+            self.delivered = 1;
+            return Ok(Some((r, self.out[r].clone())));
+        }
+        let s = self.pr.step;
+        let recv_idx = (r + p - s - 1) % p;
+        let res = self.step_once();
+        let transfer = self.pr.guard(res)?;
+        // Per-chunk settle: this chunk leaves `charged` so the final
+        // wait (if any) only accounts for chunks not consumed here.
+        self.pr.comm.complete_channel(self.pr.ready_at, transfer);
+        self.pr.charged -= transfer;
+        self.delivered += 1;
+        Ok(Some((recv_idx, self.out[recv_idx].clone())))
+    }
+
+    /// Drives any remaining steps, settles the (not yet settled) overlap
+    /// accounting, and returns the per-rank blocks indexed by rank.
+    pub fn wait(mut self) -> Result<Vec<Vec<f64>>> {
+        while !self.pr.done() {
+            let res = self.step_once();
+            self.pr.guard(res)?;
+        }
+        self.pr.complete();
+        Ok(self.out)
+    }
+
+    /// One ring step (send + channel receive); returns the chunk's
+    /// transfer seconds so `recv_next` can settle it individually.
+    fn step_once(&mut self) -> Result<f64> {
+        let p = self.pr.comm.size();
+        let r = self.pr.comm.rank();
+        let next = (r + 1) % p;
+        let prev = (r + p - 1) % p;
+        let s = self.pr.step;
+        let send_idx = (r + p - s) % p;
+        let recv_idx = (r + p - s - 1) % p;
+        let block = self.out[send_idx].clone();
+        self.pr
+            .comm
+            .send_vec_at(next, self.tag, block, self.pr.next_depart)?;
+        let got = self.pr.recv_chunk(prev, self.tag)?;
+        let transfer = got.transfer;
+        self.pr.absorb(&got);
+        self.out[recv_idx] = got.data;
+        Ok(transfer)
     }
 }
 
@@ -507,6 +654,95 @@ mod tests {
                 assert!((tb - tnb).abs() < 1e-15, "p={p} rank={r}: {tb} vs {tnb}");
             }
         }
+    }
+
+    #[test]
+    fn iallgatherv_matches_blocking_in_values_and_never_slower() {
+        let model = NetModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+            flops: f64::INFINITY,
+        };
+        for p in [1, 3, 4, 6] {
+            // Uneven blocks: rank r contributes r+2 elements. Separate
+            // worlds, because uneven blocks make ranks finish the
+            // blocking gather at different times, which would skew a
+            // back-to-back launch.
+            let blocking = World::run(p, model, |comm| {
+                let mine = vec![comm.rank() as f64 + 0.5; comm.rank() + 2];
+                (
+                    crate::ring::allgatherv_ring(comm, &mine).unwrap(),
+                    comm.now(),
+                )
+            });
+            let nonblocking = World::run(p, model, |comm| {
+                let mine = vec![comm.rank() as f64 + 0.5; comm.rank() + 2];
+                let h = iallgatherv(comm, &mine).unwrap();
+                (h.wait().unwrap(), comm.now())
+            });
+            for r in 0..p {
+                assert_eq!(blocking[r].0, nonblocking[r].0, "p={p} rank={r}");
+                assert!(
+                    (blocking[r].1 - nonblocking[r].1).abs() < 1e-15,
+                    "p={p} rank={r}: {} vs blocking {}",
+                    nonblocking[r].1,
+                    blocking[r].1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recv_next_delivers_ring_arrival_order_and_hides_behind_compute() {
+        let model = NetModel {
+            alpha: 1e-4,
+            beta: 1e-6,
+            flops: 1e9,
+        };
+        let p = 5;
+        let m = 2000;
+        let (out, stats) = World::run_with_stats(p, model, |comm| {
+            let mine = vec![comm.rank() as f64 + 1.0; m];
+            let reference = crate::ring::allgatherv_ring(comm, &mine).unwrap();
+            let mut h = iallgatherv(comm, &mine).unwrap();
+            let mut order = Vec::new();
+            let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); p];
+            while let Some((idx, block)) = h.recv_next().unwrap() {
+                order.push(idx);
+                blocks[idx] = block;
+                // Enough compute per consumed block to hide the next
+                // chunk's transfer.
+                comm.advance_compute(10.0 * m as f64 * model.beta);
+            }
+            (reference, blocks, order)
+        });
+        for (r, (reference, blocks, order)) in out.iter().enumerate() {
+            assert_eq!(order, &crate::chunks::ring_arrival_order(p, r), "rank {r}");
+            assert_eq!(reference, blocks, "rank {r} values");
+        }
+        assert!(
+            stats.total_overlapped_secs() > 0.0,
+            "chunks hid behind compute"
+        );
+        assert!(
+            stats.total_comm_wait_secs() < 2.0 * p as f64 * model.alpha * p as f64,
+            "only pipeline-fill latency stays exposed, not bandwidth"
+        );
+    }
+
+    #[test]
+    fn single_member_comms_record_no_nb_launches() {
+        let (_, stats) = World::run_with_stats(1, NetModel::free(), |comm| {
+            let h = iallreduce(comm, vec![2.0; 8], ReduceOp::Sum).unwrap();
+            assert_eq!(h.wait().unwrap(), vec![2.0; 8]);
+            let g = iallgatherv(comm, &[1.0, 2.0]).unwrap();
+            assert_eq!(g.wait().unwrap(), vec![vec![1.0, 2.0]]);
+            let g2 = iallgather(comm, &[3.0]).unwrap();
+            assert_eq!(g2.wait().unwrap(), vec![3.0]);
+        });
+        let (_, _, nb_ar, nb_ag) = stats.total_collective_calls();
+        assert_eq!(nb_ar, 0, "p=1 all-reduce is degenerate: no launch recorded");
+        assert_eq!(nb_ag, 0, "p=1 all-gathers are degenerate too");
     }
 
     #[test]

@@ -51,13 +51,17 @@ use tensor::ops::axpy;
 use tensor::Matrix;
 
 use distmm::dist::{col_shard, part_range, row_shard};
-use distmm::onep5d::{backward_dw_deferred_sdc, backward_sdc, forward_sdc, Grid, SdcCtx};
+use distmm::onep5d::{
+    backward_dw_deferred_sdc, backward_dx_overlap_sdc, backward_sdc, forward_resume_ft,
+    forward_sdc, forward_start_sdc, Grid, SdcCtx,
+};
+use tensor::matmul::{matmul, matmul_flops};
 
 use crate::cost::integrated_model_batch;
 use crate::machine::MachineModel;
+use crate::overlap::{FlushSchedule, OverlapPlan};
 use crate::trainer::{
-    act_backward, apply_act, extract_fc_layers, init_weights, FcLayer, GradBuckets,
-    DEFAULT_BUCKET_WORDS,
+    act_backward, apply_act, extract_fc_layers, init_weights, BucketScheduler, FcLayer,
 };
 
 /// Configuration for a fault-tolerant training run.
@@ -88,6 +92,17 @@ pub struct FtTrainConfig {
     /// so recovery semantics are unchanged. `false` reproduces the
     /// fully blocking iteration.
     pub overlap: bool,
+    /// Scheduling plan for the overlapped path (ignored when `overlap`
+    /// is off): bucket fusion size, flush priority/polls, ∆X overlap,
+    /// and forward prefetch. Two knobs are constrained here relative
+    /// to [`crate::trainer::train_1p5d_scheduled`]:
+    /// [`OverlapPlan::interleave`] is ignored — the checkpoint/rollback
+    /// protocol needs iteration-complete weights, so every bucket is
+    /// applied (per bucket, no barrier) before the iteration commits —
+    /// and [`OverlapPlan::fwd_prefetch`] is disabled under `abft`,
+    /// whose checksums verify whole products, not block-accumulated
+    /// ones.
+    pub plan: OverlapPlan,
     /// Defend against *silent* data corruption: every local GEMM output
     /// is ABFT checksum-verified (single-element errors repaired in
     /// place, multi-element errors escalated to rollback), and resident
@@ -118,6 +133,7 @@ impl Default for FtTrainConfig {
             ft,
             machine,
             overlap: false,
+            plan: OverlapPlan::default(),
             abft: false,
         }
     }
@@ -490,19 +506,78 @@ fn run_iteration(
 ) -> Result<f64, Error> {
     let b_local = x_local.cols();
     let sdc = SdcCtx::new(iter, cfg.abft);
-    // Forward.
+    // Forward. Prefetch (when enabled, overlapping, not under ABFT,
+    // and a column ring exists) pipelines each layer's all-gather
+    // behind per-block activation and the next layer's partial
+    // accumulation; chunk receives stay deadline-bound, so fault
+    // detection and group abort are unchanged. Note the accumulated
+    // partials of layers ≥ 1 are never one monolithic GEMM, so they
+    // carry no per-GEMM SDC injection/verification op — which is why
+    // ABFT forces this path off.
+    let prefetch = cfg.overlap && cfg.plan.fwd_prefetch && !cfg.abft && grid.pr > 1;
     let mut inputs = vec![x_local.clone()];
     let mut pres = Vec::with_capacity(layers.len());
     {
         let _fwd = grid.row_comm.trace_span("trainer", "forward", &[]);
-        for (idx, (l, wl)) in layers.iter().zip(w.iter()).enumerate() {
-            let _layer = grid
-                .row_comm
-                .trace_span("trainer", "layer_fwd", &[("layer", idx as f64)]);
-            let pre = forward_sdc(grid, wl, inputs.last().expect("input"), &cfg.ft, &sdc)?;
-            let post = apply_act(l.act, &pre);
-            pres.push(pre);
-            inputs.push(post);
+        if prefetch {
+            let mut pf = forward_start_sdc(grid, &w[0], x_local, &cfg.ft, &sdc)?;
+            for idx in 0..layers.len() {
+                let _layer =
+                    grid.row_comm
+                        .trace_span("trainer", "layer_fwd", &[("layer", idx as f64)]);
+                let next = idx + 1;
+                let l = &layers[idx];
+                let mut acc = if next < layers.len() {
+                    Some(Matrix::zeros(w[next].rows(), b_local))
+                } else {
+                    None
+                };
+                let mut pre_blocks: Vec<Option<Matrix>> = vec![None; grid.pr];
+                let mut post_blocks: Vec<Option<Matrix>> = vec![None; grid.pr];
+                while let Some((src, block)) = pf.next_block()? {
+                    let post = apply_act(l.act, &block);
+                    if let Some(acc) = acc.as_mut() {
+                        let crange = part_range(l.d_out, grid.pr, src);
+                        let wcols = w[next].col_block(crange.start, crange.end);
+                        grid.col_comm.advance_flops(matmul_flops(
+                            wcols.rows(),
+                            wcols.cols(),
+                            b_local,
+                        ));
+                        let prod = matmul(&wcols, &post);
+                        axpy(1.0, prod.as_slice(), acc.as_mut_slice());
+                    }
+                    pre_blocks[src] = Some(block);
+                    post_blocks[src] = Some(post);
+                }
+                let pre = Matrix::vcat(
+                    &pre_blocks
+                        .into_iter()
+                        .map(|m| m.expect("all blocks delivered"))
+                        .collect::<Vec<_>>(),
+                );
+                let post = Matrix::vcat(
+                    &post_blocks
+                        .into_iter()
+                        .map(|m| m.expect("all blocks delivered"))
+                        .collect::<Vec<_>>(),
+                );
+                pres.push(pre);
+                inputs.push(post);
+                if let Some(acc) = acc {
+                    pf = forward_resume_ft(grid, acc, &cfg.ft)?;
+                }
+            }
+        } else {
+            for (idx, (l, wl)) in layers.iter().zip(w.iter()).enumerate() {
+                let _layer =
+                    grid.row_comm
+                        .trace_span("trainer", "layer_fwd", &[("layer", idx as f64)]);
+                let pre = forward_sdc(grid, wl, inputs.last().expect("input"), &cfg.ft, &sdc)?;
+                let post = apply_act(l.act, &pre);
+                pres.push(pre);
+                inputs.push(post);
+            }
         }
     }
     let logits = inputs.last().expect("logits");
@@ -523,21 +598,36 @@ fn run_iteration(
     if cfg.overlap {
         // Executed overlap: ∆W partials are bucketed and their
         // row-group sums launched non-blocking (deadline-bound chunk
-        // receives, group abort on faults) while backprop continues;
-        // every bucket is drained before the optimizer step.
-        let mut buckets = GradBuckets::new(&grid.row_comm, DEFAULT_BUCKET_WORDS, Some(cfg.ft));
+        // receives, group abort on faults) while backprop continues.
+        // Priority scheduling polls a chunk of the deepest in-flight
+        // bucket after each layer; the drain stays within the
+        // iteration (launch order, applying per bucket as each wait
+        // completes) so the committed weights are always
+        // iteration-complete for checkpoint/rollback — the
+        // cross-iteration interleave knob is deliberately not honored
+        // here.
+        let mut sched = BucketScheduler::new(
+            &grid.row_comm,
+            cfg.plan.bucket_words,
+            Some(cfg.ft),
+            cfg.plan.schedule == FlushSchedule::Priority,
+        );
         for (idx, l) in layers.iter().enumerate().rev() {
             let _layer = grid
                 .row_comm
                 .trace_span("trainer", "layer_bwd", &[("layer", idx as f64)]);
             dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
-            let (dw, dx) =
-                backward_dw_deferred_sdc(grid, &w[idx], &inputs[idx], &dy, &cfg.ft, &sdc)?;
-            buckets.push(idx, &dw)?;
+            let (dw, dx) = if cfg.plan.dx_overlap {
+                backward_dx_overlap_sdc(grid, &w[idx], &inputs[idx], &dy, &cfg.ft, &sdc)?
+            } else {
+                backward_dw_deferred_sdc(grid, &w[idx], &inputs[idx], &dy, &cfg.ft, &sdc)?
+            };
+            sched.push(idx, &dw)?;
+            sched.poll()?;
             dy = dx;
         }
         let _step = grid.row_comm.trace_span("trainer", "optimizer_step", &[]);
-        buckets.drain(|idx, summed| {
+        sched.drain_all(|idx, summed| {
             if cfg.momentum != 0.0 {
                 for (vi, &di) in v[idx].as_mut_slice().iter_mut().zip(summed) {
                     *vi = cfg.momentum * *vi + di;
@@ -1705,6 +1795,124 @@ mod tests {
         for (a, b) in clean.losses().iter().zip(faulty.losses()) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn plan_bucket_words_threads_through_to_flush_count() {
+        // Satellite (b): FtTrainConfig.plan.bucket_words replaces the
+        // old hardcoded bucket size. A tiny cap must fuse fewer grads
+        // per bucket and hence launch more non-blocking all-reduces.
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let base = FtTrainConfig {
+            overlap: true,
+            ..cfg(4)
+        };
+        let tiny = FtTrainConfig {
+            plan: OverlapPlan {
+                bucket_words: 16,
+                ..base.plan
+            },
+            ..base
+        };
+        let big = train_1p5d_ft(&net, &x, &labels, &base, 2, 3, FaultPlan::default());
+        let small = train_1p5d_ft(&net, &x, &labels, &tiny, 2, 3, FaultPlan::default());
+        let (_, _, nb_big, _) = big.stats.total_collective_calls();
+        let (_, _, nb_small, _) = small.stats.total_collective_calls();
+        assert!(
+            nb_small > nb_big,
+            "16-word buckets should flush more often ({nb_small} vs {nb_big})"
+        );
+        // Bucket size only changes fusion, not the math.
+        assert!(max_weight_diff(&big.weights(), &small.weights()) < 1e-9);
+    }
+
+    #[test]
+    fn prefetch_ft_run_matches_blocking_forward() {
+        // Pipelined forward all-gathers re-associate the row-sum by
+        // ring-arrival order: same trajectory up to a few ulps.
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let base = FtTrainConfig {
+            overlap: true,
+            ..cfg(6)
+        };
+        let pf = FtTrainConfig {
+            plan: OverlapPlan {
+                fwd_prefetch: true,
+                dx_overlap: true,
+                ..base.plan
+            },
+            ..base
+        };
+        let blocking = train_1p5d_ft(&net, &x, &labels, &base, 2, 3, FaultPlan::default());
+        let over = train_1p5d_ft(&net, &x, &labels, &pf, 2, 3, FaultPlan::default());
+        assert_eq!(over.survivors().len(), 6);
+        assert!(max_weight_diff(&blocking.weights(), &over.weights()) < 1e-9);
+        for (a, b) in blocking.losses().iter().zip(over.losses()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        let (_, _, _, nb_ag) = over.stats.total_collective_calls();
+        assert!(nb_ag > 0, "prefetch path launched non-blocking all-gathers");
+    }
+
+    #[test]
+    fn abft_silently_disables_forward_prefetch() {
+        // ABFT checksum verification needs the whole gathered operand
+        // before the GEMM, so prefetch is gated off: an abft run with
+        // fwd_prefetch requested is bit-identical to one without.
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let plain = FtTrainConfig {
+            overlap: true,
+            abft: true,
+            ..cfg(4)
+        };
+        let pf = FtTrainConfig {
+            plan: OverlapPlan {
+                fwd_prefetch: true,
+                ..plain.plan
+            },
+            ..plain
+        };
+        let a = train_1p5d_ft(&net, &x, &labels, &plain, 2, 3, FaultPlan::default());
+        let b = train_1p5d_ft(&net, &x, &labels, &pf, 2, 3, FaultPlan::default());
+        assert_eq!(max_weight_diff(&a.weights(), &b.weights()), 0.0);
+        assert_eq!(a.losses(), b.losses());
+        assert_eq!(
+            a.stats.makespan(),
+            b.stats.makespan(),
+            "gated prefetch leaves the virtual clock untouched"
+        );
+    }
+
+    #[test]
+    fn dx_overlap_ft_is_bit_identical_and_survives_corruption() {
+        // ∆X overlap reorders only the launch, not the arithmetic.
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let base = FtTrainConfig {
+            overlap: true,
+            ..cfg(6)
+        };
+        let dx = FtTrainConfig {
+            plan: OverlapPlan {
+                dx_overlap: true,
+                ..base.plan
+            },
+            ..base
+        };
+        let a = train_1p5d_ft(&net, &x, &labels, &base, 2, 3, FaultPlan::default());
+        let b = train_1p5d_ft(&net, &x, &labels, &dx, 2, 3, FaultPlan::default());
+        assert_eq!(max_weight_diff(&a.weights(), &b.weights()), 0.0);
+        assert_eq!(a.losses(), b.losses());
+        // And the rollback machinery still recovers a corrupted payload
+        // with the reordered message sequence.
+        let plan = FaultPlan::new(9).corrupt_nth(1, 2, 20);
+        let faulty = train_1p5d_ft(&net, &x, &labels, &dx, 2, 3, plan);
+        assert_eq!(faulty.survivors().len(), 6);
+        assert_eq!(faulty.stats.total_corrupt_detected(), 1);
+        assert!(max_weight_diff(&b.weights(), &faulty.weights()) < 1e-12);
     }
 
     #[test]

@@ -20,14 +20,17 @@ use dnn::{LayerSpec, Network};
 use mpsim::{Communicator, Error, NetModel, TraceConfig, World, WorldStats, WorldTrace};
 use tensor::activation::{relu, relu_backward, softmax_xent, tanh, tanh_backward};
 use tensor::init;
-use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b, matmul_flops};
 use tensor::ops::axpy;
 use tensor::Matrix;
 
 use distmm::dist::{col_shard, part_range, row_shard};
 use distmm::onep5d::{
-    backward as grid_backward, backward_dw_deferred, forward as grid_forward, Grid,
+    backward as grid_backward, backward_dw_deferred, backward_dx_overlap, forward as grid_forward,
+    forward_resume, forward_start, Grid,
 };
+
+use crate::overlap::{FlushSchedule, OverlapPlan};
 
 /// Activation following an FC layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -637,6 +640,476 @@ fn overlap_rank(
     }
 }
 
+/// Total trainable parameter count of the FC chain. Each rank's ∆W
+/// traffic per iteration is `trainable_words(net) / pr` words — the
+/// quantity the bucket autotuner ladders its candidate sizes against.
+pub fn trainable_words(net: &Network) -> usize {
+    extract_fc_layers(net)
+        .iter()
+        .map(|l| l.d_out * l.d_in)
+        .sum()
+}
+
+/// One gradient bucket in flight (or already settled locally).
+struct PendingBucket {
+    /// The row-group sum in flight; `None` for a degenerate
+    /// single-member row group, where `data` holds the partial (which
+    /// *is* the sum).
+    handle: Option<IallreduceHandle>,
+    data: Option<Vec<f64>>,
+    /// `(layer, words)` segments fused into the bucket, in fusion
+    /// order (descending layer — backward fills buckets from the last
+    /// layer down).
+    segs: Vec<(usize, usize)>,
+    /// Earliest layer with a segment in this bucket: the priority key.
+    /// The *next* iteration's forward cannot pass this layer until the
+    /// bucket is applied, so lazy drains settle ascending `min_layer`.
+    min_layer: usize,
+}
+
+/// Priority-scheduled gradient buckets — the successor of
+/// [`GradBuckets`]. Three things distinguish it:
+///
+/// * **Flush instants**: every launch records a zero-duration
+///   `sched`/`bucket_flush` trace event, so `trace_analyze` can see
+///   the schedule without perturbing the leaf-time partition.
+/// * **Progress polls** ([`BucketScheduler::poll`]): under
+///   [`FlushSchedule::Priority`], each backward layer drives one chunk
+///   step of the deepest in-flight bucket, keeping per-handle memory
+///   bounded and making pipelining visible mid-backward.
+/// * **Priority drain** ([`BucketScheduler::apply_ready_for`]):
+///   instead of a barrier, buckets are waited in the ascending-layer
+///   order the next forward needs them; each wait drives that bucket's
+///   remaining chunks before any deeper bucket's, so the first-needed
+///   bucket claims the channel first.
+///
+/// All drain orders are the same deterministic function of the layer
+/// structure on every member of the communicator, which keeps the
+/// mixed-outstanding-handle schedule deadlock-free (sends are eager;
+/// the minimal blocked program position always has its matching send
+/// already issued on the peer).
+pub(crate) struct BucketScheduler {
+    comm: Communicator,
+    cap: usize,
+    ft: Option<FtConfig>,
+    priority: bool,
+    pending: Vec<PendingBucket>,
+    buf: Vec<f64>,
+    buf_layers: Vec<(usize, usize)>,
+}
+
+impl BucketScheduler {
+    /// `comm` is the group to sum over (the grid's row group); `ft`
+    /// selects deadline-bounded receives; `priority` enables polls
+    /// (drain order is always need-aware where the caller asks for it).
+    pub(crate) fn new(
+        comm: &Communicator,
+        cap: usize,
+        ft: Option<FtConfig>,
+        priority: bool,
+    ) -> Self {
+        assert!(cap >= 1, "bucket capacity must be at least one word");
+        BucketScheduler {
+            comm: comm.clone(),
+            cap,
+            ft,
+            priority,
+            pending: Vec::new(),
+            buf: Vec::new(),
+            buf_layers: Vec::new(),
+        }
+    }
+
+    /// Appends layer `idx`'s local ∆W partial; flushes once the fusion
+    /// threshold is reached.
+    pub(crate) fn push(&mut self, idx: usize, dw: &Matrix) -> Result<(), Error> {
+        self.buf_layers.push((idx, dw.len()));
+        self.buf.extend_from_slice(dw.as_slice());
+        if self.buf.len() >= self.cap {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Launches the staged bucket (no-op when nothing is staged),
+    /// recording a `bucket_flush` instant. A single-member row group
+    /// skips the launch entirely: the partial already is the sum, and
+    /// a zero-step "collective" would only pollute the launch counts
+    /// that normalize the measured overlap fraction.
+    pub(crate) fn flush(&mut self) -> Result<(), Error> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let data = std::mem::take(&mut self.buf);
+        let segs = std::mem::take(&mut self.buf_layers);
+        let min_layer = segs.iter().map(|&(i, _)| i).min().expect("non-empty");
+        let max_layer = segs.iter().map(|&(i, _)| i).max().expect("non-empty");
+        self.comm.trace_instant(
+            "sched",
+            "bucket_flush",
+            &[
+                ("words", data.len() as f64),
+                ("min_layer", min_layer as f64),
+                ("max_layer", max_layer as f64),
+                ("pending", (self.pending.len() + 1) as f64),
+            ],
+        );
+        let bucket = if self.comm.size() == 1 {
+            PendingBucket {
+                handle: None,
+                data: Some(data),
+                segs,
+                min_layer,
+            }
+        } else {
+            let handle = match &self.ft {
+                Some(cfg) => iallreduce_ft(&self.comm, data, ReduceOp::Sum, cfg)?,
+                None => iallreduce(&self.comm, data, ReduceOp::Sum)?,
+            };
+            PendingBucket {
+                handle: Some(handle),
+                data: None,
+                segs,
+                min_layer,
+            }
+        };
+        self.pending.push(bucket);
+        Ok(())
+    }
+
+    /// Drives one chunk step of the highest-priority bucket still
+    /// being issued — deepest layers first, which is launch order,
+    /// since backward fills buckets from the last layer down. Records
+    /// a `progress_poll` instant when a step was actually driven.
+    /// No-op under [`FlushSchedule::Fifo`].
+    pub(crate) fn poll(&mut self) -> Result<(), Error> {
+        if !self.priority {
+            return Ok(());
+        }
+        let in_flight = self.pending.iter().filter(|b| b.handle.is_some()).count();
+        for b in &mut self.pending {
+            if let Some(h) = &mut b.handle {
+                if !h.issued() {
+                    h.progress()?;
+                    self.comm.trace_instant(
+                        "sched",
+                        "progress_poll",
+                        &[("pending", in_flight as f64)],
+                    );
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Settles (waits + applies) every pending bucket whose earliest
+    /// layer is ≤ `layer`, ascending — the lazy priority drain: the
+    /// next iteration's forward calls this right before reading layer
+    /// `layer`, so each bucket is waited exactly at its first reader
+    /// and its remaining chunks get the channel before deeper buckets'.
+    pub(crate) fn apply_ready_for(
+        &mut self,
+        layer: usize,
+        mut apply: impl FnMut(usize, &[f64]),
+    ) -> Result<(), Error> {
+        loop {
+            let next = self
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.min_layer <= layer)
+                .min_by_key(|(_, b)| b.min_layer)
+                .map(|(k, _)| k);
+            let Some(k) = next else { return Ok(()) };
+            self.drive_for(k)?;
+            let bucket = self.pending.remove(k);
+            Self::settle(bucket, &mut apply)?;
+        }
+    }
+
+    /// Issues chunk steps — always in launch order across every
+    /// pending bucket — until bucket `k`'s are all issued. Keeping one
+    /// global issue order regardless of which bucket the caller needs
+    /// first matters twice: it is the SPMD order every row-group
+    /// member agrees on (deadlock freedom), and it preserves the
+    /// legacy channel packing — completing a late-launched bucket
+    /// first must not convoy earlier buckets' chunks behind its
+    /// pipeline stalls. Only the *blocking* is need-ordered.
+    fn drive_for(&mut self, k: usize) -> Result<(), Error> {
+        loop {
+            if self.pending[k].handle.as_ref().is_none_or(|h| h.issued()) {
+                return Ok(());
+            }
+            for b in &mut self.pending {
+                if let Some(h) = &mut b.handle {
+                    if !h.issued() {
+                        h.progress()?;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes the partial bucket and settles everything outstanding
+    /// in launch order, applying per bucket as each wait completes.
+    pub(crate) fn drain_all(&mut self, mut apply: impl FnMut(usize, &[f64])) -> Result<(), Error> {
+        self.flush()?;
+        for bucket in self.pending.drain(..) {
+            Self::settle(bucket, &mut apply)?;
+        }
+        Ok(())
+    }
+
+    fn settle(bucket: PendingBucket, apply: &mut impl FnMut(usize, &[f64])) -> Result<(), Error> {
+        let summed = match bucket.handle {
+            Some(h) => h.wait()?,
+            None => bucket.data.expect("degenerate bucket holds its data"),
+        };
+        let mut at = 0;
+        for (idx, len) in bucket.segs {
+            apply(idx, &summed[at..at + len]);
+            at += len;
+        }
+        Ok(())
+    }
+}
+
+/// [`train_1p5d_overlap`] rebuilt around an explicit [`OverlapPlan`]:
+/// the communication is *scheduled*, not merely launched.
+///
+/// * Buckets flush under a priority queue keyed by layer depth, with
+///   progress polls inside the backward loop
+///   ([`FlushSchedule::Priority`]).
+/// * `plan.dx_overlap` hides each layer's ∆X all-reduce behind the
+///   same layer's ∆W product (bit-identical values).
+/// * `plan.fwd_prefetch` pipelines the forward all-gathers, hiding
+///   each gather behind per-block activation and the next layer's
+///   partial-product accumulation (~1 ulp re-association).
+/// * `plan.interleave` replaces the post-backward drain barrier with
+///   per-bucket optimizer applies carried across the iteration
+///   boundary: a bucket is settled right before the first forward
+///   layer of the next iteration that reads it. Final weights are
+///   bit-identical to the barrier version — buckets touch disjoint
+///   layers, so the applies commute.
+///
+/// With [`OverlapPlan::legacy`] this is numerically and
+/// virtual-time-identical to [`train_1p5d_overlap`].
+#[allow(clippy::too_many_arguments)]
+pub fn train_1p5d_scheduled(
+    net: &Network,
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    pr: usize,
+    pc: usize,
+    model: NetModel,
+    plan: OverlapPlan,
+) -> DistResult {
+    let layers = extract_fc_layers(net);
+    let (per_rank, stats) = World::run_with_stats(pr * pc, model, |comm| {
+        scheduled_rank(comm, &layers, x, labels, cfg, pr, pc, plan)
+    });
+    DistResult {
+        pr,
+        pc,
+        per_rank,
+        stats,
+    }
+}
+
+/// [`train_1p5d_scheduled`] with per-rank event tracing: the usual
+/// `trainer` phase spans plus the scheduler's `sched`-category
+/// `bucket_flush`/`progress_poll` instants.
+#[allow(clippy::too_many_arguments)]
+pub fn train_1p5d_scheduled_traced(
+    net: &Network,
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    pr: usize,
+    pc: usize,
+    model: NetModel,
+    trace: TraceConfig,
+    plan: OverlapPlan,
+) -> (DistResult, WorldTrace) {
+    let layers = extract_fc_layers(net);
+    let (per_rank, stats, traces) = World::run_traced_with_stats(pr * pc, model, trace, |comm| {
+        scheduled_rank(comm, &layers, x, labels, cfg, pr, pc, plan)
+    });
+    (
+        DistResult {
+            pr,
+            pc,
+            per_rank,
+            stats,
+        },
+        traces,
+    )
+}
+
+/// Rank body of the scheduled overlap engine.
+#[allow(clippy::too_many_arguments)]
+fn scheduled_rank(
+    comm: &Communicator,
+    layers: &[FcLayer],
+    x: &Matrix,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    pr: usize,
+    pc: usize,
+    plan: OverlapPlan,
+) -> RankOutcome {
+    let b_global = x.cols();
+    let grid = Grid::new(comm, pr, pc).expect("grid tiles the world");
+    let full_weights = init_weights(layers, cfg.seed);
+    let mut w_local: Vec<Matrix> = full_weights
+        .iter()
+        .map(|w| row_shard(w, pr, grid.i))
+        .collect();
+    let x_local = col_shard(x, pc, grid.j);
+    let label_range = part_range(b_global, pc, grid.j);
+    let labels_local = &labels[label_range.clone()];
+    let b_local = x_local.cols();
+    let lr = cfg.lr;
+    let priority = plan.schedule == FlushSchedule::Priority;
+    // The scheduler outlives the iteration loop: under `interleave`,
+    // buckets launched in iteration t are settled lazily during the
+    // forward pass of iteration t+1.
+    let mut sched = BucketScheduler::new(&grid.row_comm, plan.bucket_words, None, priority);
+
+    let mut partial_losses = Vec::with_capacity(cfg.iters);
+    for it in 0..cfg.iters {
+        // Forward; settles last iteration's in-flight buckets right
+        // before the first layer that reads each one.
+        let mut inputs = vec![x_local.clone()];
+        let mut pres = Vec::with_capacity(layers.len());
+        {
+            let _fwd = comm.trace_span("trainer", "forward", &[("iter", it as f64)]);
+            if plan.fwd_prefetch && pr > 1 {
+                // Pipelined gathers: layer idx's blocks are consumed in
+                // ring arrival order while layer idx+1's partial
+                // accumulates per block, so the ring hides behind the
+                // activation + partial-GEMM work.
+                sched
+                    .apply_ready_for(0, |k, g| axpy(-lr, g, w_local[k].as_mut_slice()))
+                    .expect("lazy drain");
+                let mut pf = forward_start(&grid, &w_local[0], &x_local).expect("forward");
+                for idx in 0..layers.len() {
+                    let _layer = comm.trace_span("trainer", "layer_fwd", &[("layer", idx as f64)]);
+                    let next = idx + 1;
+                    if next < layers.len() {
+                        // The consume loop below reads W[next]; any
+                        // bucket updating it must land first.
+                        sched
+                            .apply_ready_for(next, |k, g| axpy(-lr, g, w_local[k].as_mut_slice()))
+                            .expect("lazy drain");
+                    }
+                    let l = &layers[idx];
+                    let mut acc = if next < layers.len() {
+                        Some(Matrix::zeros(w_local[next].rows(), b_local))
+                    } else {
+                        None
+                    };
+                    let mut pre_blocks: Vec<Option<Matrix>> = vec![None; pr];
+                    let mut post_blocks: Vec<Option<Matrix>> = vec![None; pr];
+                    while let Some((src, block)) = pf.next_block().expect("gather block") {
+                        let post = apply_act(l.act, &block);
+                        if let Some(acc) = acc.as_mut() {
+                            let crange = part_range(l.d_out, pr, src);
+                            let wcols = w_local[next].col_block(crange.start, crange.end);
+                            grid.col_comm.advance_flops(matmul_flops(
+                                wcols.rows(),
+                                wcols.cols(),
+                                b_local,
+                            ));
+                            let prod = matmul(&wcols, &post);
+                            axpy(1.0, prod.as_slice(), acc.as_mut_slice());
+                        }
+                        pre_blocks[src] = Some(block);
+                        post_blocks[src] = Some(post);
+                    }
+                    let pre = Matrix::vcat(
+                        &pre_blocks
+                            .into_iter()
+                            .map(|b| b.expect("all blocks delivered"))
+                            .collect::<Vec<_>>(),
+                    );
+                    let post = Matrix::vcat(
+                        &post_blocks
+                            .into_iter()
+                            .map(|b| b.expect("all blocks delivered"))
+                            .collect::<Vec<_>>(),
+                    );
+                    pres.push(pre);
+                    inputs.push(post);
+                    if let Some(acc) = acc {
+                        pf = forward_resume(&grid, acc).expect("gather launch");
+                    }
+                }
+            } else {
+                for (idx, l) in layers.iter().enumerate() {
+                    let _layer = comm.trace_span("trainer", "layer_fwd", &[("layer", idx as f64)]);
+                    sched
+                        .apply_ready_for(idx, |k, g| axpy(-lr, g, w_local[k].as_mut_slice()))
+                        .expect("lazy drain");
+                    let pre = grid_forward(&grid, &w_local[idx], inputs.last().expect("input"))
+                        .expect("forward");
+                    let post = apply_act(l.act, &pre);
+                    pres.push(pre);
+                    inputs.push(post);
+                }
+            }
+        }
+        let logits = inputs.last().expect("logits");
+        let (loss_local, mut grad) = softmax_xent(logits, labels_local);
+        let scale = b_local as f64 / b_global as f64;
+        for g in grad.as_mut_slice() {
+            *g *= scale;
+        }
+        partial_losses.push(loss_local * scale);
+        // Backward: ∆W partials flush through the scheduler; each
+        // layer's poll drives a chunk of the deepest in-flight bucket.
+        {
+            let _bwd = comm.trace_span("trainer", "backward", &[("iter", it as f64)]);
+            let mut dy = grad;
+            for (idx, l) in layers.iter().enumerate().rev() {
+                let _layer = comm.trace_span("trainer", "layer_bwd", &[("layer", idx as f64)]);
+                dy = act_backward(l.act, &pres[idx], &inputs[idx + 1], &dy);
+                let (dw, dx) = if plan.dx_overlap {
+                    backward_dx_overlap(&grid, &w_local[idx], &inputs[idx], &dy)
+                } else {
+                    backward_dw_deferred(&grid, &w_local[idx], &inputs[idx], &dy)
+                }
+                .expect("backward");
+                sched.push(idx, &dw).expect("bucket flush");
+                sched.poll().expect("bucket progress");
+                dy = dx;
+            }
+            sched.flush().expect("bucket flush");
+        }
+        if plan.interleave && it + 1 < cfg.iters {
+            // Buckets stay in flight across the boundary; the next
+            // forward's lazy drain is the optimizer step. The final
+            // iteration still drains below so the returned weights are
+            // complete.
+            comm.trace_instant("trainer", "optimizer_deferred", &[("iter", it as f64)]);
+        } else {
+            let _step = comm.trace_span("trainer", "optimizer_step", &[("iter", it as f64)]);
+            sched
+                .drain_all(|k, g| axpy(-lr, g, w_local[k].as_mut_slice()))
+                .expect("bucket drain");
+        }
+    }
+    RankOutcome {
+        i: grid.i,
+        j: grid.j,
+        partial_losses,
+        weight_shards: w_local,
+    }
+}
+
 /// Synthetic classification data shaped for a network: inputs in
 /// `[-1, 1)` and uniform labels over the output classes, both
 /// seed-deterministic.
@@ -841,6 +1314,282 @@ mod tests {
         // Ring all-reduce sends 2·n·(p−1)/p words per rank; pc ranks.
         let expect = pc as f64 * 2.0 * total_w as f64 * (pc as f64 - 1.0) / pc as f64;
         assert_eq!(dist.stats.total_words(), expect as u64);
+    }
+
+    fn all_plans() -> Vec<OverlapPlan> {
+        vec![
+            OverlapPlan::default(),
+            OverlapPlan::legacy(),
+            OverlapPlan {
+                dx_overlap: true,
+                ..OverlapPlan::default()
+            },
+            OverlapPlan {
+                fwd_prefetch: true,
+                ..OverlapPlan::default()
+            },
+            OverlapPlan {
+                bucket_words: 64,
+                dx_overlap: true,
+                fwd_prefetch: true,
+                schedule: FlushSchedule::Fifo,
+                interleave: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn scheduled_training_matches_serial_for_all_plans_and_grids() {
+        let net = mlp_tiny();
+        let (x, labels) = synthetic_data(&net, 24, 5);
+        let cfg = TrainConfig {
+            lr: 0.3,
+            iters: 8,
+            seed: 7,
+        };
+        let serial = train_serial(&net, &x, &labels, &cfg);
+        for (pr, pc) in [(1, 1), (1, 4), (4, 1), (2, 3), (4, 2)] {
+            for plan in all_plans() {
+                let dist =
+                    train_1p5d_scheduled(&net, &x, &labels, &cfg, pr, pc, NetModel::free(), plan);
+                let diff = max_weight_diff(&serial.weights, &dist.weights());
+                assert!(
+                    diff < 1e-9,
+                    "grid {pr}x{pc} plan {plan:?}: weight diff {diff}"
+                );
+                for (a, b) in serial.losses.iter().zip(dist.losses()) {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "grid {pr}x{pc} plan {plan:?}: loss {a} vs {b}"
+                    );
+                }
+                assert!(
+                    dist.replica_divergence() < 1e-15,
+                    "grid {pr}x{pc} plan {plan:?}: replicas bitwise identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_without_prefetch_is_bit_identical_to_legacy_overlap() {
+        // Priority flush + per-bucket interleave only move *when*
+        // transfers are driven and where applies happen; the bucket
+        // partition and ring sums are unchanged, so the weights must
+        // match the FIFO/barrier engine bit for bit.
+        let net = mlp("m", &[40, 56, 56, 10]);
+        let (x, labels) = synthetic_data(&net, 24, 3);
+        let cfg = TrainConfig {
+            lr: 0.2,
+            iters: 4,
+            seed: 9,
+        };
+        for (pr, pc) in [(1, 4), (4, 1), (2, 3), (4, 2)] {
+            for bucket in [1, 512, usize::MAX] {
+                let legacy = train_1p5d_overlap_with_bucket(
+                    &net,
+                    &x,
+                    &labels,
+                    &cfg,
+                    pr,
+                    pc,
+                    NetModel::free(),
+                    bucket,
+                );
+                for plan in [
+                    OverlapPlan {
+                        bucket_words: bucket,
+                        ..OverlapPlan::default()
+                    },
+                    OverlapPlan {
+                        bucket_words: bucket,
+                        ..OverlapPlan::legacy()
+                    },
+                    OverlapPlan {
+                        bucket_words: bucket,
+                        dx_overlap: true,
+                        ..OverlapPlan::default()
+                    },
+                ] {
+                    let sch = train_1p5d_scheduled(
+                        &net,
+                        &x,
+                        &labels,
+                        &cfg,
+                        pr,
+                        pc,
+                        NetModel::free(),
+                        plan,
+                    );
+                    for (a, b) in legacy.per_rank.iter().zip(&sch.per_rank) {
+                        assert_eq!(a.i, b.i);
+                        assert_eq!(a.j, b.j);
+                        assert!(
+                            a.weight_shards == b.weight_shards,
+                            "grid {pr}x{pc} bucket {bucket} plan {plan:?}: \
+                             weights not bit-identical on rank ({},{})",
+                            a.i,
+                            a.j
+                        );
+                        assert!(
+                            a.partial_losses == b.partial_losses,
+                            "grid {pr}x{pc} bucket {bucket} plan {plan:?}: losses differ"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_never_slower_than_legacy_and_hides_at_least_as_much() {
+        let model = NetModel {
+            alpha: 1e-5,
+            beta: 1e-8,
+            flops: 1e9,
+        };
+        let net = mlp("m", &[64, 96, 96, 10]);
+        let (x, labels) = synthetic_data(&net, 32, 3);
+        let cfg = TrainConfig {
+            lr: 0.1,
+            iters: 3,
+            seed: 1,
+        };
+        for (pr, pc) in [(1, 4), (2, 4), (4, 2), (2, 2)] {
+            let legacy = train_1p5d_overlap(&net, &x, &labels, &cfg, pr, pc, model);
+            let sch = train_1p5d_scheduled(
+                &net,
+                &x,
+                &labels,
+                &cfg,
+                pr,
+                pc,
+                model,
+                OverlapPlan::default(),
+            );
+            let t_old = legacy.stats.makespan();
+            let t_new = sch.stats.makespan();
+            assert!(
+                t_new <= t_old + 1e-12,
+                "grid {pr}x{pc}: scheduled slower ({t_new} vs {t_old})"
+            );
+            assert!(
+                sch.measured_overlap_fraction() >= legacy.measured_overlap_fraction() - 1e-12,
+                "grid {pr}x{pc}: fraction regressed ({} vs {})",
+                sch.measured_overlap_fraction(),
+                legacy.measured_overlap_fraction()
+            );
+            assert!(sch.stats.total_overlapped_secs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn legacy_plan_reproduces_legacy_engine_virtual_time_exactly() {
+        let model = NetModel {
+            alpha: 1e-5,
+            beta: 1e-8,
+            flops: 1e9,
+        };
+        let net = mlp("m", &[48, 64, 10]);
+        let (x, labels) = synthetic_data(&net, 24, 3);
+        let cfg = TrainConfig {
+            lr: 0.1,
+            iters: 2,
+            seed: 2,
+        };
+        let legacy = train_1p5d_overlap(&net, &x, &labels, &cfg, 2, 2, model);
+        let sch = train_1p5d_scheduled(&net, &x, &labels, &cfg, 2, 2, model, OverlapPlan::legacy());
+        assert_eq!(legacy.stats.makespan(), sch.stats.makespan());
+        assert_eq!(
+            legacy.stats.total_overlapped_secs(),
+            sch.stats.total_overlapped_secs()
+        );
+    }
+
+    #[test]
+    fn degenerate_single_column_row_groups_record_no_launches() {
+        // pc = 1: every row group has one member, so there is nothing
+        // to all-reduce. The scheduler skips the launch (and the
+        // collectives layer skips recording even when callers don't),
+        // keeping the overlap fraction's denominator honest.
+        let net = mlp("m", &[32, 24, 10]);
+        let (x, labels) = synthetic_data(&net, 16, 3);
+        let cfg = TrainConfig {
+            lr: 0.1,
+            iters: 2,
+            seed: 1,
+        };
+        let dist = train_1p5d_scheduled(
+            &net,
+            &x,
+            &labels,
+            &cfg,
+            4,
+            1,
+            NetModel::free(),
+            OverlapPlan::default(),
+        );
+        let (_, _, nb_ar, nb_ag) = dist.stats.total_collective_calls();
+        assert_eq!(nb_ar, 0, "no ∆W launches on single-member row groups");
+        assert_eq!(nb_ag, 0, "prefetch off: no non-blocking gathers");
+        assert_eq!(dist.measured_overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sched_trace_shows_flushes_and_polls() {
+        let net = mlp("m", &[48, 64, 64, 10]);
+        let (x, labels) = synthetic_data(&net, 16, 3);
+        let cfg = TrainConfig {
+            lr: 0.1,
+            iters: 2,
+            seed: 1,
+        };
+        let (_, trace) = train_1p5d_scheduled_traced(
+            &net,
+            &x,
+            &labels,
+            &cfg,
+            2,
+            2,
+            NetModel::free(),
+            TraceConfig::enabled(),
+            OverlapPlan {
+                bucket_words: 64,
+                ..OverlapPlan::default()
+            },
+        );
+        let flushes: usize = trace
+            .ranks
+            .iter()
+            .map(|r| r.instant_count("sched", "bucket_flush"))
+            .sum();
+        let polls: usize = trace
+            .ranks
+            .iter()
+            .map(|r| r.instant_count("sched", "progress_poll"))
+            .sum();
+        assert!(flushes > 0, "bucket flushes recorded");
+        assert!(polls > 0, "priority polls recorded");
+        let (_, fifo_trace) = train_1p5d_scheduled_traced(
+            &net,
+            &x,
+            &labels,
+            &cfg,
+            2,
+            2,
+            NetModel::free(),
+            TraceConfig::enabled(),
+            OverlapPlan {
+                bucket_words: 64,
+                ..OverlapPlan::legacy()
+            },
+        );
+        let fifo_polls: usize = fifo_trace
+            .ranks
+            .iter()
+            .map(|r| r.instant_count("sched", "progress_poll"))
+            .sum();
+        assert_eq!(fifo_polls, 0, "FIFO never polls");
     }
 
     #[test]

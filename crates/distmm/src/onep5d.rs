@@ -23,6 +23,9 @@
 use std::cell::Cell;
 
 use collectives::ft::{allgatherv_ring_ft, allreduce_ring_ft};
+use collectives::nonblocking::{
+    iallgatherv, iallgatherv_ft, iallreduce, iallreduce_ft, IallgathervHandle,
+};
 use collectives::ring::allgatherv_ring;
 use collectives::{allreduce, FtConfig, ReduceOp};
 use mpsim::{apply_flips, Communicator, Error, FaultCtx, Result};
@@ -431,6 +434,199 @@ pub fn backward_sdc(
     Ok((dw, dx))
 }
 
+/// [`backward_dw_deferred`] with the ∆X all-reduce overlapped too: the
+/// `W_iᵀ·∆Y_{i,j}` GEMM runs *first*, its column-group sum is launched
+/// non-blocking, and the `∆Y_{i,j}·X_jᵀ` GEMM then hides part of the ∆X
+/// transfer before the wait. Values are bit-identical to
+/// [`backward_dw_deferred`] — the two local GEMMs are independent and
+/// the non-blocking ring reduces in the blocking ring's exact order —
+/// but note the GEMMs *execute* in the opposite order, which matters
+/// only to op-indexed fault scripts (see [`backward_dx_overlap_sdc`]).
+pub fn backward_dx_overlap(
+    grid: &Grid,
+    w_local: &Matrix,
+    x_local: &Matrix,
+    dy_local: &Matrix,
+) -> Result<(Matrix, Matrix)> {
+    let rows = grid.w_rows(dy_local.rows());
+    let dy_i = dy_local.row_block(rows.start, rows.end);
+    grid.col_comm
+        .advance_flops(matmul_flops(w_local.cols(), w_local.rows(), dy_i.cols()));
+    let dx = matmul_at_b(w_local, &dy_i);
+    let h = iallreduce(&grid.col_comm, dx.into_vec(), ReduceOp::Sum)?;
+    grid.row_comm
+        .advance_flops(matmul_flops(dy_i.rows(), dy_i.cols(), x_local.rows()));
+    let dw = matmul_a_bt(&dy_i, x_local);
+    let dx = Matrix::from_vec(w_local.cols(), dy_i.cols(), h.wait()?);
+    Ok((dw, dx))
+}
+
+/// [`backward_dx_overlap`] with silent-data-corruption defense and a
+/// deadline-bound ∆X sum. Because the ∆X GEMM runs before the ∆W GEMM
+/// here, the per-iteration SDC op order is (∆X, ∆W) — the reverse of
+/// [`backward_dw_deferred_sdc`] — so op-indexed fault scripts written
+/// against one schedule do not transfer to the other.
+pub fn backward_dx_overlap_sdc(
+    grid: &Grid,
+    w_local: &Matrix,
+    x_local: &Matrix,
+    dy_local: &Matrix,
+    cfg: &FtConfig,
+    sdc: &SdcCtx,
+) -> Result<(Matrix, Matrix)> {
+    let rows = grid.w_rows(dy_local.rows());
+    let dy_i = dy_local.row_block(rows.start, rows.end);
+    grid.col_comm
+        .advance_flops(matmul_flops(w_local.cols(), w_local.rows(), dy_i.cols()));
+    let mut dx = matmul_at_b(w_local, &dy_i);
+    sdc_guard(&grid.col_comm, sdc, w_local, &dy_i, &mut dx, GemmKind::AtB)?;
+    let h = iallreduce_ft(&grid.col_comm, dx.into_vec(), ReduceOp::Sum, cfg)?;
+    grid.row_comm
+        .advance_flops(matmul_flops(dy_i.rows(), dy_i.cols(), x_local.rows()));
+    let mut dw = matmul_a_bt(&dy_i, x_local);
+    sdc_guard(&grid.row_comm, sdc, &dy_i, x_local, &mut dw, GemmKind::ABt)?;
+    let dx = Matrix::from_vec(w_local.cols(), dy_i.cols(), h.wait()?);
+    Ok((dw, dx))
+}
+
+/// A forward layer in flight: the local `W_i·X_j` partial has been
+/// computed and its column-group all-gather launched non-blocking.
+/// [`PipelinedForward::next_block`] delivers the `Pr` row blocks of
+/// `Y_j` one at a time in ring-arrival order
+/// ([`collectives::chunks::ring_arrival_order`]), settling each chunk's
+/// overlap accounting as it lands — so per-block compute done by the
+/// caller (activation, the *next* layer's partial-GEMM accumulation)
+/// hides the chunks still in flight.
+pub struct PipelinedForward {
+    /// `Some` only when `Pr == 1` (no gather: the partial is `Y_j`).
+    local: Option<Matrix>,
+    handle: Option<IallgathervHandle>,
+    bloc: usize,
+}
+
+impl PipelinedForward {
+    /// The next row block of `Y_j` as `(col_rank, rows_matrix)`, or
+    /// `None` when all `Pr` blocks have been delivered. The row range
+    /// the block occupies is `part_range(d_out, pr, col_rank)`.
+    pub fn next_block(&mut self) -> Result<Option<(usize, Matrix)>> {
+        if let Some(own) = self.local.take() {
+            return Ok(Some((0, own)));
+        }
+        match &mut self.handle {
+            None => Ok(None),
+            Some(h) => match h.recv_next()? {
+                None => Ok(None),
+                Some((idx, v)) => {
+                    let rows = v.len() / self.bloc;
+                    Ok(Some((idx, Matrix::from_vec(rows, self.bloc, v))))
+                }
+            },
+        }
+    }
+}
+
+/// Starts a pipelined [`forward`]: computes the local partial and
+/// launches the non-blocking all-gather. Consuming every block from the
+/// returned handle and stacking them by `part_range` rebuilds exactly
+/// [`forward`]'s output (the blocks are copied verbatim).
+pub fn forward_start(grid: &Grid, w_local: &Matrix, x_local: &Matrix) -> Result<PipelinedForward> {
+    forward_start_inner(grid, w_local, x_local, None, None)
+}
+
+/// [`forward_start`] with deadline-bound chunk receives (group abort on
+/// fault) and optional silent-data-corruption defense on the local
+/// partial, mirroring [`forward_sdc`].
+pub fn forward_start_sdc(
+    grid: &Grid,
+    w_local: &Matrix,
+    x_local: &Matrix,
+    cfg: &FtConfig,
+    sdc: &SdcCtx,
+) -> Result<PipelinedForward> {
+    forward_start_inner(grid, w_local, x_local, Some(cfg), Some(sdc))
+}
+
+fn forward_start_inner(
+    grid: &Grid,
+    w_local: &Matrix,
+    x_local: &Matrix,
+    cfg: Option<&FtConfig>,
+    sdc: Option<&SdcCtx>,
+) -> Result<PipelinedForward> {
+    let bloc = x_local.cols();
+    grid.col_comm
+        .advance_flops(matmul_flops(w_local.rows(), w_local.cols(), bloc));
+    let mut y_partial = matmul(w_local, x_local);
+    if let Some(sdc) = sdc {
+        sdc_guard(
+            &grid.col_comm,
+            sdc,
+            w_local,
+            x_local,
+            &mut y_partial,
+            GemmKind::Plain,
+        )?;
+    }
+    if grid.pr == 1 {
+        return Ok(PipelinedForward {
+            local: Some(y_partial),
+            handle: None,
+            bloc,
+        });
+    }
+    let handle = match cfg {
+        Some(cfg) => iallgatherv_ft(&grid.col_comm, y_partial.as_slice(), cfg)?,
+        None => iallgatherv(&grid.col_comm, y_partial.as_slice())?,
+    };
+    Ok(PipelinedForward {
+        local: None,
+        handle: Some(handle),
+        bloc,
+    })
+}
+
+/// Launches the gather of a partial the caller already holds — the
+/// entry point for fused pipelines where layer `l+1`'s partial was
+/// accumulated block-by-block while layer `l`'s gather drained (so
+/// there is no monolithic GEMM for [`forward_start`] to run). Charges
+/// no flops: the caller paid for the accumulation as it happened.
+pub fn forward_resume(grid: &Grid, y_partial: Matrix) -> Result<PipelinedForward> {
+    forward_resume_inner(grid, y_partial, None)
+}
+
+/// [`forward_resume`] with deadline-bound chunk receives.
+pub fn forward_resume_ft(
+    grid: &Grid,
+    y_partial: Matrix,
+    cfg: &FtConfig,
+) -> Result<PipelinedForward> {
+    forward_resume_inner(grid, y_partial, Some(cfg))
+}
+
+fn forward_resume_inner(
+    grid: &Grid,
+    y_partial: Matrix,
+    cfg: Option<&FtConfig>,
+) -> Result<PipelinedForward> {
+    let bloc = y_partial.cols();
+    if grid.pr == 1 {
+        return Ok(PipelinedForward {
+            local: Some(y_partial),
+            handle: None,
+            bloc,
+        });
+    }
+    let handle = match cfg {
+        Some(cfg) => iallgatherv_ft(&grid.col_comm, y_partial.as_slice(), cfg)?,
+        None => iallgatherv(&grid.col_comm, y_partial.as_slice())?,
+    };
+    Ok(PipelinedForward {
+        local: None,
+        handle: Some(handle),
+        bloc,
+    })
+}
+
 /// [`backward_dw_deferred_ft`] with silent-data-corruption defense:
 /// both local GEMMs are flip-injected and (when enabled) verified; the
 /// returned ∆W partial is already clean, so the caller's overlapped
@@ -650,6 +846,110 @@ mod tests {
             assert!(dw == dw_ref, "rank {g}: deferred ∆W sum differs");
             assert!(dx == dx_ref, "rank {g}: ∆X differs");
         }
+    }
+
+    #[test]
+    fn dx_overlap_backward_matches_backward_bitwise() {
+        for (pr, pc) in [(1, 4), (2, 3), (4, 1), (3, 2)] {
+            let r = reference(8, 5, 9);
+            let out = World::run(pr * pc, NetModel::free(), |comm| {
+                let grid = Grid::new(comm, pr, pc).unwrap();
+                let wl = row_shard(&r.w, pr, grid.i);
+                let xl = col_shard(&r.x, pc, grid.j);
+                let dyl = col_shard(&r.dy, pc, grid.j);
+                let (dw_ref, dx_ref) = backward_dw_deferred(&grid, &wl, &xl, &dyl).unwrap();
+                let (dw, dx) = backward_dx_overlap(&grid, &wl, &xl, &dyl).unwrap();
+                (dw_ref, dx_ref, dw, dx)
+            });
+            for (g, (dw_ref, dx_ref, dw, dx)) in out.iter().enumerate() {
+                assert!(dw == dw_ref, "grid {pr}x{pc} rank {g}: ∆W partial differs");
+                assert!(dx == dx_ref, "grid {pr}x{pc} rank {g}: ∆X differs");
+            }
+        }
+    }
+
+    #[test]
+    fn dx_overlap_hides_the_dx_transfer_behind_the_dw_gemm() {
+        // Arithmetic-heavy regime: the ∆W GEMM takes far longer than the
+        // ∆X ring, so the overlapped variant's exposed wait is ~zero.
+        let model = NetModel {
+            alpha: 1e-6,
+            beta: 1e-9,
+            flops: 1e9,
+        };
+        let (pr, pc) = (4usize, 1usize);
+        let r = reference(32, 64, 48);
+        let (_, stats) = World::run_with_stats(pr * pc, model, |comm| {
+            let grid = Grid::new(comm, pr, pc).unwrap();
+            let wl = row_shard(&r.w, pr, grid.i);
+            let xl = col_shard(&r.x, pc, grid.j);
+            let dyl = col_shard(&r.dy, pc, grid.j);
+            backward_dx_overlap(&grid, &wl, &xl, &dyl).unwrap();
+        });
+        assert!(
+            stats.total_overlapped_secs() > 0.0,
+            "∆X transfer partly hidden behind the ∆W GEMM"
+        );
+    }
+
+    #[test]
+    fn pipelined_forward_blocks_reassemble_forward_exactly() {
+        for (pr, pc) in [(1, 2), (2, 3), (3, 2), (4, 1)] {
+            let r = reference(10, 5, 8);
+            let out = World::run(pr * pc, NetModel::free(), |comm| {
+                let grid = Grid::new(comm, pr, pc).unwrap();
+                let wl = row_shard(&r.w, pr, grid.i);
+                let xl = col_shard(&r.x, pc, grid.j);
+                let y_ref = forward(&grid, &wl, &xl).unwrap();
+                let mut pf = forward_start(&grid, &wl, &xl).unwrap();
+                let mut blocks: Vec<Option<Matrix>> = vec![None; pr];
+                let mut arrivals = Vec::new();
+                while let Some((src, block)) = pf.next_block().unwrap() {
+                    arrivals.push(src);
+                    blocks[src] = Some(block);
+                }
+                let stacked: Vec<Matrix> = blocks.into_iter().map(|b| b.unwrap()).collect();
+                (y_ref, Matrix::vcat(&stacked), arrivals)
+            });
+            for (g, (y_ref, y, arrivals)) in out.iter().enumerate() {
+                assert!(y == y_ref, "grid {pr}x{pc} rank {g}: reassembled Y differs");
+                let i = g / pc;
+                assert_eq!(
+                    arrivals,
+                    &collectives::chunks::ring_arrival_order(pr, i),
+                    "grid {pr}x{pc} rank {g}: arrival order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_forward_sdc_matches_and_verifies_the_partial() {
+        use mpsim::FaultPlan;
+        let (pr, pc) = (2usize, 2usize);
+        let r = reference(8, 5, 8);
+        let cfg = FtConfig::fixed(1e6);
+        let clean = run_grid(pr, pc, &r);
+        // A single flipped bit in rank 1's partial is repaired before
+        // any chunk of it is gathered.
+        let plan = FaultPlan::new(5).bitflip_compute(1, 0, 0, 51);
+        let (out, stats) = World::run_with_faults(pr * pc, NetModel::free(), plan, |comm| {
+            let grid = Grid::new(comm, pr, pc).unwrap();
+            let wl = row_shard(&r.w, pr, grid.i);
+            let xl = col_shard(&r.x, pc, grid.j);
+            let sdc = SdcCtx::new(0, true);
+            let mut pf = forward_start_sdc(&grid, &wl, &xl, &cfg, &sdc).unwrap();
+            let mut blocks: Vec<Option<Matrix>> = vec![None; pr];
+            while let Some((src, block)) = pf.next_block().unwrap() {
+                blocks[src] = Some(block);
+            }
+            let stacked: Vec<Matrix> = blocks.into_iter().map(|b| b.unwrap()).collect();
+            Matrix::vcat(&stacked)
+        });
+        for (g, y) in out.iter().enumerate() {
+            assert!(y == &clean[g].0, "rank {g}: repaired forward differs");
+        }
+        assert_eq!(stats.total_corrupt_corrected(), 1);
     }
 
     #[test]

@@ -36,6 +36,13 @@
 //! context (`p`, `words`, `chunk`, `layer`, …) without double-counting
 //! time.
 //!
+//! The `sched` category holds the bucket scheduler's zero-duration
+//! instants — `bucket_flush` (a gradient bucket launched its row-group
+//! all-reduce; args: `words`, `min_layer`, `max_layer`, `pending`) and
+//! `progress_poll` (a backward-loop poll point drove one chunk step;
+//! args: `pending`) — markers on the main timeline that never enter the
+//! leaf-time partition.
+//!
 //! ## Exactness invariants
 //!
 //! The drain events accumulate the *same* floating-point values, in the
@@ -401,6 +408,16 @@ impl RankTrace {
             + 0.0
     }
 
+    /// How many instants with the given category and name were
+    /// recorded (e.g. `("sched", "bucket_flush")`,
+    /// `("sched", "progress_poll")`, `("nb", "chunk_step")`).
+    pub fn instant_count(&self, cat: &str, name: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Instant && e.cat == cat && e.name == name)
+            .count()
+    }
+
     /// Main-timeline seconds per leaf category, in [`LEAF_CATS`] order.
     /// The sum over categories reconstructs the rank's final `now`.
     pub fn breakdown(&self) -> Vec<(&'static str, f64)> {
@@ -695,6 +712,28 @@ mod tests {
         let total: f64 = rt.breakdown().iter().map(|&(_, v)| v).sum();
         assert!((total - 3.5).abs() < 1e-12);
         assert!((rt.channel_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sched_instants_never_enter_the_leaf_partition() {
+        let mut t = traced(16);
+        t.span("compute", "compute", Track::Main, 0.0, 2.0, &[]);
+        t.instant(
+            "sched",
+            "bucket_flush",
+            0.5,
+            &[("words", 8192.0), ("min_layer", 2.0), ("max_layer", 3.0)],
+        );
+        t.instant("sched", "progress_poll", 1.0, &[("pending", 1.0)]);
+        t.instant("sched", "progress_poll", 1.5, &[("pending", 1.0)]);
+        t.span("drain", "drain", Track::Main, 2.0, 2.5, &[("hidden", 0.25)]);
+        let rt = t.finish(0, 2.5);
+        let total: f64 = rt.breakdown().iter().map(|&(_, v)| v).sum();
+        assert!((total - 2.5).abs() < 1e-12, "instants add no leaf time");
+        assert_eq!(rt.instant_count("sched", "bucket_flush"), 1);
+        assert_eq!(rt.instant_count("sched", "progress_poll"), 2);
+        assert_eq!(rt.instant_count("sched", "missing"), 0);
+        assert!((rt.end_time() - 2.5).abs() < 1e-12);
     }
 
     #[test]
