@@ -211,8 +211,10 @@ mod tests {
         }
     }
 
+    // The event backend re-throws the rank's original panic payload
+    // (the threaded oracle wraps it in "rank thread panicked").
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
+    #[should_panic(expected = "requires power-of-two ranks")]
     fn recursive_doubling_rejects_non_pow2() {
         let _ = World::run(3, NetModel::free(), |comm| {
             let mut data = vec![1.0; 3];

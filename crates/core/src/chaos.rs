@@ -435,9 +435,29 @@ impl ChaosPlan {
     }
 
     /// Serializes the plan as JSON (the vendored serde stub has no
-    /// serializer, so this is written by hand).
+    /// serializer, so this is written by hand). Every *finite* f64
+    /// round-trips exactly — Rust's `{}` formatting prints the shortest
+    /// decimal that re-parses to the same bits, including subnormals —
+    /// but `NaN`/`inf` are not JSON tokens and would serialize as
+    /// garbage the parser rejects, so they are refused up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event time in the plan is non-finite.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
+        for ev in &self.events {
+            if let ChaosEvent::Kill { at, .. }
+            | ChaosEvent::Rejoin { at, .. }
+            | ChaosEvent::Partition { at, .. }
+            | ChaosEvent::Heal { at, .. } = ev
+            {
+                assert!(
+                    at.is_finite(),
+                    "chaos event time {at} is not finite and cannot be serialized as JSON"
+                );
+            }
+        }
         let mut s = String::new();
         let _ = write!(
             s,
@@ -533,20 +553,20 @@ impl ChaosPlan {
             events.push(match ty {
                 "kill" => ChaosEvent::Kill {
                     rank: get_num(e, "rank")? as usize,
-                    at: get_num(e, "at")?,
+                    at: get_finite(e, "at")?,
                 },
                 "rejoin" => ChaosEvent::Rejoin {
                     rank: get_num(e, "rank")? as usize,
-                    at: get_num(e, "at")?,
+                    at: get_finite(e, "at")?,
                 },
                 "partition" => ChaosEvent::Partition {
                     group: get_ranks(e, "group")?,
-                    at: get_num(e, "at")?,
+                    at: get_finite(e, "at")?,
                     oneway: get(e, "oneway")?.as_bool("oneway")?,
                 },
                 "heal" => ChaosEvent::Heal {
                     group: get_ranks(e, "group")?,
-                    at: get_num(e, "at")?,
+                    at: get_finite(e, "at")?,
                 },
                 "duplicate" => ChaosEvent::Duplicate {
                     src: get_num(e, "src")? as usize,
@@ -964,6 +984,18 @@ fn get_num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
     get(obj, key)?.as_num(key)
 }
 
+/// Like [`get_num`] but additionally rejects non-finite values: event
+/// times must stay finite (an overflowing literal such as `1e999`
+/// parses as `inf`, which would poison every virtual-time comparison
+/// downstream).
+fn get_finite(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    let x = get_num(obj, key)?;
+    if !x.is_finite() {
+        return Err(format!("key {key:?} must be finite, got {x}"));
+    }
+    Ok(x)
+}
+
 fn get_ranks(obj: &[(String, Json)], key: &str) -> Result<Vec<usize>, String> {
     get(obj, key)?
         .as_array(key)?
@@ -1284,5 +1316,82 @@ mod tests {
         let a = oracle.check(&replayed).expect_err("still violating");
         let b = oracle.check(&replayed).expect_err("still violating");
         assert_eq!(a, b, "verdict replays bit-identically");
+    }
+
+    #[test]
+    fn from_json_rejects_non_finite_times() {
+        // 1e999 overflows to +inf during parsing; it must be refused at
+        // the schema layer, not smuggled into a plan.
+        let txt = r#"{"seed": 1, "pr": 2, "pc": 3, "iters": 4, "events": [
+            {"type": "kill", "rank": 0, "at": 1e999}
+        ]}"#;
+        let err = ChaosPlan::from_json(txt).expect_err("inf time accepted");
+        assert!(err.contains("must be finite"), "got {err:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn to_json_refuses_non_finite_times() {
+        let plan = ChaosPlan {
+            seed: 0,
+            pr: 2,
+            pc: 2,
+            iters: 4,
+            events: vec![ChaosEvent::Kill {
+                rank: 0,
+                at: f64::NAN,
+            }],
+        };
+        let _ = plan.to_json();
+    }
+
+    // The `{}` formatting in `to_json` prints the shortest decimal that
+    // re-parses to the same f64 bits, so *every* finite float — huge,
+    // tiny, subnormal — must survive the JSON round trip exactly.
+    use proptest::prelude::*;
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn json_round_trips_extreme_finite_times(
+            bits in 0u64..u64::MAX,
+            pick in 0usize..8,
+            jitter in 0u64..1u64 << 52,
+        ) {
+            // Half the draws come from a curated extreme list (exact
+            // boundary values plus a mantissa perturbation), half from
+            // raw bit patterns filtered to finite.
+            let extremes = [
+                5e-324,                  // smallest subnormal
+                f64::MIN_POSITIVE,       // smallest normal
+                f64::MIN_POSITIVE / 2.0, // mid subnormal
+                f64::MAX,
+                1e300,
+                1e-300,
+                0.1 + f64::EPSILON,
+                0.0,
+            ];
+            let base = extremes[pick];
+            let perturbed = f64::from_bits(base.to_bits().wrapping_add(jitter % 7));
+            for at in [base, perturbed, f64::from_bits(bits)] {
+                if !at.is_finite() || at.is_sign_negative() {
+                    continue;
+                }
+                let plan = ChaosPlan {
+                    seed: 9,
+                    pr: 2,
+                    pc: 2,
+                    iters: 4,
+                    events: vec![
+                        ChaosEvent::Kill { rank: 1, at },
+                        ChaosEvent::Rejoin { rank: 1, at },
+                        ChaosEvent::Partition { group: vec![0, 1], at, oneway: false },
+                        ChaosEvent::Heal { group: vec![0, 1], at },
+                    ],
+                };
+                let back = ChaosPlan::from_json(&plan.to_json()).map_err(TestCaseError)?;
+                prop_assert_eq!(&plan, &back, "time {} did not round-trip", at);
+            }
+        }
     }
 }

@@ -209,8 +209,10 @@ mod tests {
         check(4, 1, 6, 8, 6);
     }
 
+    // The event backend re-throws the rank's original panic payload
+    // (the threaded oracle wraps it in "rank thread panicked").
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
+    #[should_panic(expected = "must be divisible by lcm")]
     fn misaligned_k_is_rejected() {
         check(2, 3, 4, 7, 4); // 7 not divisible by lcm(2,3)=6
     }

@@ -15,12 +15,12 @@ use std::sync::Arc;
 use crate::clock::Clock;
 use crate::error::{Error, Result};
 use crate::fault::{self, FaultPlan};
-use crate::health::{HealthMonitor, RetryPolicy};
+use crate::health::{DetectorConfig, HealthMonitor, RetryPolicy};
 use crate::netmodel::NetModel;
 use crate::router::{Endpoint, Envelope, Payload};
 use crate::stats::RankStats;
 use crate::topology::Topology;
-use crate::trace::{Tracer, Track};
+use crate::trace::{TraceConfig, Tracer, Track};
 use crate::{Rank, Tag};
 
 /// Tags at or above this value are reserved for internal use (control
@@ -141,6 +141,56 @@ enum Matched {
 }
 
 impl Inner {
+    /// Builds the per-rank state shared by both execution backends.
+    ///
+    /// The fault-plan-indexed vectors (`link_seq`, `reorder_held`) are
+    /// zero-length when the plan is inactive: [`Inner::post`] only
+    /// touches them under `plan.active()`, and lazy sizing removes an
+    /// O(P²) aggregate memory term (P ranks × P-long vectors) that
+    /// would dominate at P = 65536.
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        endpoint: Endpoint,
+        model: NetModel,
+        topo: Topology,
+        plan: Arc<FaultPlan>,
+        trace: TraceConfig,
+    ) -> Inner {
+        let fault_len = if plan.active() { size } else { 0 };
+        Inner {
+            global_rank: rank,
+            world_size: size,
+            endpoint,
+            pending: HashMap::new(),
+            clock: Clock::new(),
+            model,
+            topo,
+            stats: RankStats::default(),
+            split_seq: 0,
+            link_seq: vec![0; fault_len],
+            dead_peers: BTreeMap::new(),
+            dead_surfaced: BTreeMap::new(),
+            aborted_peers: BTreeMap::new(),
+            fault_epoch: 0,
+            fault_sync_seq: 0,
+            died: false,
+            died_at: None,
+            revive_floor: f64::NEG_INFINITY,
+            health: HealthMonitor::new(DetectorConfig::from_model(&model), size),
+            rejoin_notices: BTreeMap::new(),
+            unreachable_peers: BTreeMap::new(),
+            unreachable_surfaced: BTreeMap::new(),
+            reorder_held: vec![Vec::new(); fault_len],
+            nb_seq: HashMap::new(),
+            tracer: Tracer::new(trace),
+            fault_ctx: None,
+            compute_flips_spent: vec![false; plan.compute_flip_entries()],
+            memory_flips_spent: vec![false; plan.memory_flip_entries()],
+            plan,
+        }
+    }
+
     /// Fault-aware matching: blocks until a message, tombstone, death
     /// notice, or (when `honor_aborts`) current-epoch abort notice from
     /// `src_global` resolves the receive, buffering everything else.
@@ -202,8 +252,7 @@ impl Inner {
         loop {
             let env = self
                 .endpoint
-                .rx
-                .recv()
+                .recv(self.clock.now)
                 .map_err(|_| Error::Disconnected { peer: src_global })?;
             match env.data {
                 // Severed notices crossed an active partition: record
@@ -355,7 +404,9 @@ impl Inner {
     /// holding messages its dependencies may be waiting on (reordering
     /// is thereby bounded by the sender's next blocking point).
     fn flush_all_held(&mut self) {
-        for dst in 0..self.world_size {
+        // `reorder_held` is zero-length when no fault plan is active
+        // (it is only ever populated under an active plan).
+        for dst in 0..self.reorder_held.len() {
             if self.reorder_held[dst].is_empty() {
                 continue;
             }
@@ -396,17 +447,20 @@ impl Inner {
                         if severed {
                             self.stats.msgs_severed += 1;
                         }
-                        let _ = self.endpoint.txs[dst].send(Envelope {
-                            ctx: 0,
-                            src: me,
-                            tag: 0,
-                            depart: at,
-                            seq: 0,
-                            csum: None,
-                            dup: false,
-                            severed,
-                            data: Payload::Death { at },
-                        });
+                        let _ = self.endpoint.send(
+                            dst,
+                            Envelope {
+                                ctx: 0,
+                                src: me,
+                                tag: 0,
+                                depart: at,
+                                seq: 0,
+                                csum: None,
+                                dup: false,
+                                severed,
+                                data: Payload::Death { at },
+                            },
+                        );
                     }
                 }
                 return Err(Error::RankFailed { rank: me });
@@ -561,7 +615,7 @@ impl Inner {
             | Payload::Rejoin { .. }
             | Payload::Parked { .. } => {}
         }
-        let sent = self.endpoint.txs[dst_global].send(env);
+        let sent = self.endpoint.send(dst_global, env);
         if sent.is_err() && !self.plan.active() {
             // Without faults an unreachable peer is a program bug; with
             // faults a peer may legitimately have exited (died or gone
@@ -1584,17 +1638,20 @@ impl Communicator {
                 if severed {
                     i.stats.msgs_severed += 1;
                 }
-                let _ = i.endpoint.txs[dst].send(Envelope {
-                    ctx: 0,
-                    src: me,
-                    tag: 0,
-                    depart: now,
-                    seq: 0,
-                    csum: None,
-                    dup: false,
-                    severed,
-                    data: Payload::Abort { culprit, epoch },
-                });
+                let _ = i.endpoint.send(
+                    dst,
+                    Envelope {
+                        ctx: 0,
+                        src: me,
+                        tag: 0,
+                        depart: now,
+                        seq: 0,
+                        csum: None,
+                        dup: false,
+                        severed,
+                        data: Payload::Abort { culprit, epoch },
+                    },
+                );
             }
         }
         Ok(())
@@ -1650,17 +1707,20 @@ impl Communicator {
                     } else {
                         Payload::Control(payload.clone())
                     };
-                    let _ = i.endpoint.txs[dst_global].send(Envelope {
-                        ctx: self.ctx,
-                        src: me,
-                        tag,
-                        depart: 0.0,
-                        seq: 0,
-                        csum: None,
-                        dup: false,
-                        severed,
-                        data,
-                    });
+                    let _ = i.endpoint.send(
+                        dst_global,
+                        Envelope {
+                            ctx: self.ctx,
+                            src: me,
+                            tag,
+                            depart: 0.0,
+                            seq: 0,
+                            csum: None,
+                            dup: false,
+                            severed,
+                            data,
+                        },
+                    );
                 }
             }
             (tag, me)
@@ -1990,17 +2050,20 @@ impl Communicator {
                 if severed {
                     i.stats.msgs_severed += 1;
                 }
-                let _ = i.endpoint.txs[dst].send(Envelope {
-                    ctx: 0,
-                    src: me,
-                    tag: 0,
-                    depart: at,
-                    seq: 0,
-                    csum: None,
-                    dup: false,
-                    severed,
-                    data: Payload::Rejoin { at },
-                });
+                let _ = i.endpoint.send(
+                    dst,
+                    Envelope {
+                        ctx: 0,
+                        src: me,
+                        tag: 0,
+                        depart: at,
+                        seq: 0,
+                        csum: None,
+                        dup: false,
+                        severed,
+                        data: Payload::Rejoin { at },
+                    },
+                );
             }
         }
         Some(at)
@@ -2093,17 +2156,20 @@ impl Communicator {
                 if severed {
                     i.stats.msgs_severed += 1;
                 }
-                let _ = i.endpoint.txs[dst].send(Envelope {
-                    ctx: 0,
-                    src: me,
-                    tag: 0,
-                    depart: now,
-                    seq: 0,
-                    csum: None,
-                    dup: false,
-                    severed,
-                    data: Payload::Parked { at: now },
-                });
+                let _ = i.endpoint.send(
+                    dst,
+                    Envelope {
+                        ctx: 0,
+                        src: me,
+                        tag: 0,
+                        depart: now,
+                        seq: 0,
+                        csum: None,
+                        dup: false,
+                        severed,
+                        data: Payload::Parked { at: now },
+                    },
+                );
             }
         }
         let horizon = i.plan.heal_horizon(now);
@@ -2162,8 +2228,7 @@ impl Communicator {
             let me = i.global_rank;
             let env = i
                 .endpoint
-                .rx
-                .recv()
+                .recv(i.clock.now)
                 .map_err(|_| Error::Disconnected { peer: me })?;
             match env.data {
                 Payload::Death { at } | Payload::Rejoin { at } if env.severed => {

@@ -1,0 +1,261 @@
+//! Slab-allocated fiber stacks.
+//!
+//! At P = 65536 we cannot afford one `mmap` (plus one guard-page
+//! `mprotect`) per rank: each distinct protection range costs a kernel
+//! VMA and `vm.max_map_count` defaults to ~65530. Instead stacks are
+//! carved out of large slabs — one `mmap` per slab, `MAP_NORESERVE` so
+//! untouched pages cost nothing — with a single `PROT_NONE` guard page
+//! at the *low* end of the slab (stacks grow down, so the first stack
+//! in the slab is hard-guarded) and a software canary word at the base
+//! of every stack that the scheduler checks on each suspend/finish.
+//!
+//! This trades per-stack hardware guards for: (a) a canary that catches
+//! overflow at the next fiber switch, and (b) generous default stack
+//! sizes (virtual memory is free under `MAP_NORESERVE`). A stack that
+//! blows through its canary *and* its neighbour silently is possible in
+//! principle but requires skipping >1 MiB in a single frame without
+//! touching it — rank closures here are shallow (no recursion in the
+//! collectives or trainers).
+
+use std::cell::Cell;
+
+/// Bytes per fiber stack (virtual; physical pages are faulted lazily).
+/// Overridable via `MPSIM_STACK_KB` (see [`StackPool::new`]).
+const DEFAULT_STACK_BYTES: usize = 1 << 20; // 1 MiB
+
+/// Stacks per mmap'd slab. 64 stacks × 1 MiB + 1 guard page per slab
+/// keeps the VMA count at P/64 + small change.
+const STACKS_PER_SLAB: usize = 64;
+
+const PAGE: usize = 4096;
+
+/// Canary pattern written at the low end of each stack.
+const CANARY: u64 = 0x5ee7_ab1e_dead_57ac;
+const CANARY_WORDS: usize = 8;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::arch::asm;
+
+    const SYS_MMAP: usize = 9;
+    const SYS_MPROTECT: usize = 10;
+    const SYS_MUNMAP: usize = 11;
+
+    pub const PROT_NONE: usize = 0;
+    pub const PROT_READ_WRITE: usize = 3;
+    const MAP_PRIVATE_ANON_NORESERVE: usize = 0x2 | 0x20 | 0x4000;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> usize {
+        let ret;
+        asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn is_err(ret: usize) -> bool {
+        ret > usize::MAX - 4096
+    }
+
+    /// Anonymous private no-reserve mapping, readable+writable.
+    pub unsafe fn map_anon(len: usize) -> Option<*mut u8> {
+        let ret = syscall6(
+            SYS_MMAP,
+            0,
+            len,
+            PROT_READ_WRITE,
+            MAP_PRIVATE_ANON_NORESERVE,
+            usize::MAX, // fd = -1
+            0,
+        );
+        if is_err(ret) {
+            None
+        } else {
+            Some(ret as *mut u8)
+        }
+    }
+
+    pub unsafe fn protect(addr: *mut u8, len: usize, prot: usize) -> bool {
+        !is_err(syscall6(SYS_MPROTECT, addr as usize, len, prot, 0, 0, 0))
+    }
+
+    pub unsafe fn unmap(addr: *mut u8, len: usize) {
+        let _ = syscall6(SYS_MUNMAP, addr as usize, len, 0, 0, 0, 0);
+    }
+}
+
+/// One carved-out stack. `base` is the lowest address (canary lives
+/// here); the usable top is `base + len`, 16-byte aligned.
+#[derive(Clone, Copy)]
+pub struct StackSlot {
+    base: *mut u8,
+    len: usize,
+}
+
+impl StackSlot {
+    /// Highest usable address (stacks grow down from here).
+    pub fn top(&self) -> usize {
+        (self.base as usize + self.len) & !15
+    }
+
+    /// Write the canary pattern at the low end.
+    pub fn arm_canary(&self) {
+        unsafe {
+            let words = self.base as *mut u64;
+            for i in 0..CANARY_WORDS {
+                words.add(i).write(CANARY);
+            }
+        }
+    }
+
+    /// True iff the canary is intact.
+    pub fn canary_ok(&self) -> bool {
+        unsafe {
+            let words = self.base as *const u64;
+            (0..CANARY_WORDS).all(|i| words.add(i).read() == CANARY)
+        }
+    }
+}
+
+struct Slab {
+    addr: *mut u8,
+    len: usize,
+}
+
+impl Drop for Slab {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        unsafe {
+            sys::unmap(self.addr, self.len);
+        }
+        #[cfg(not(target_os = "linux"))]
+        unsafe {
+            // Fallback path allocates via Vec; reconstitute and drop.
+            drop(Vec::from_raw_parts(self.addr, 0, self.len));
+        }
+    }
+}
+
+/// Owns every slab for one engine run; individual stacks are never
+/// freed early (fibers live as long as the engine), so there is no
+/// free-list — just a bump cursor over slabs.
+pub struct StackPool {
+    slabs: Vec<Slab>,
+    stack_bytes: usize,
+    cursor: Cell<usize>, // index of next unallocated stack in last slab
+}
+
+impl Default for StackPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StackPool {
+    pub fn new() -> Self {
+        let stack_bytes = std::env::var("MPSIM_STACK_KB")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .map(|kb| (kb.max(64) * 1024).next_multiple_of(PAGE))
+            .unwrap_or(DEFAULT_STACK_BYTES);
+        StackPool {
+            slabs: Vec::new(),
+            stack_bytes,
+            cursor: Cell::new(STACKS_PER_SLAB),
+        }
+    }
+
+    fn grow(&mut self) {
+        let len = PAGE + STACKS_PER_SLAB * self.stack_bytes;
+        #[cfg(target_os = "linux")]
+        let addr = unsafe {
+            let a = sys::map_anon(len).expect("mpsim: mmap for fiber stacks failed");
+            // Hard guard page at the low end of the slab.
+            assert!(
+                sys::protect(a, PAGE, sys::PROT_NONE),
+                "mpsim: mprotect guard page failed"
+            );
+            a
+        };
+        #[cfg(not(target_os = "linux"))]
+        let addr = {
+            let mut v = vec![0u8; len];
+            let a = v.as_mut_ptr();
+            std::mem::forget(v);
+            a
+        };
+        self.slabs.push(Slab { addr, len });
+        self.cursor.set(0);
+    }
+
+    /// Hand out the next stack slot; canary is armed.
+    pub fn alloc(&mut self) -> StackSlot {
+        if self.cursor.get() >= STACKS_PER_SLAB {
+            self.grow();
+        }
+        let i = self.cursor.get();
+        self.cursor.set(i + 1);
+        let slab = self.slabs.last().expect("slab just grown");
+        let base = unsafe { slab.addr.add(PAGE + i * self.stack_bytes) };
+        let slot = StackSlot {
+            base,
+            len: self.stack_bytes,
+        };
+        slot.arm_canary();
+        slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_disjoint_and_aligned() {
+        let mut pool = StackPool::new();
+        let a = pool.alloc();
+        let b = pool.alloc();
+        assert_eq!(a.top() % 16, 0);
+        assert_eq!(b.top() % 16, 0);
+        assert!(a.top() <= b.base as usize || b.top() <= a.base as usize);
+        assert!(a.canary_ok() && b.canary_ok());
+    }
+
+    #[test]
+    fn canary_detects_clobber() {
+        let mut pool = StackPool::new();
+        let s = pool.alloc();
+        assert!(s.canary_ok());
+        unsafe { (s.base as *mut u64).write(0) };
+        assert!(!s.canary_ok());
+    }
+
+    #[test]
+    fn pool_spans_multiple_slabs() {
+        let mut pool = StackPool::new();
+        let slots: Vec<StackSlot> = (0..STACKS_PER_SLAB + 3).map(|_| pool.alloc()).collect();
+        assert!(pool.slabs.len() >= 2);
+        for s in &slots {
+            assert!(s.canary_ok());
+        }
+    }
+}

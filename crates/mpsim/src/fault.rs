@@ -208,8 +208,8 @@ impl FaultPlan {
     /// `src` to `dst` covered by `span`.
     pub fn straggle(mut self, src: usize, dst: usize, extra: f64, jitter: f64, span: Span) -> Self {
         assert!(
-            extra >= 0.0 && jitter >= 0.0,
-            "straggler delay must be non-negative"
+            extra.is_finite() && jitter.is_finite() && extra >= 0.0 && jitter >= 0.0,
+            "straggler delay must be finite and non-negative (extra={extra}, jitter={jitter})"
         );
         self.stragglers.push(Straggler {
             src,
@@ -237,7 +237,10 @@ impl FaultPlan {
     /// Kills global rank `rank` at its first communication operation at
     /// or after virtual time `at`.
     pub fn kill(mut self, rank: usize, at: f64) -> Self {
-        assert!(at >= 0.0, "kill time must be non-negative");
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "kill time must be finite and non-negative, got {at}"
+        );
         self.kills.push((rank, at));
         self
     }
@@ -247,7 +250,10 @@ impl FaultPlan {
     /// rank that fires strictly before `at`; survivors use the same
     /// entry to decide deterministic re-admission.
     pub fn rejoin(mut self, rank: usize, at: f64) -> Self {
-        assert!(at >= 0.0, "rejoin time must be non-negative");
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "rejoin time must be finite and non-negative, got {at}"
+        );
         self.rejoins.push((rank, at));
         self
     }
@@ -278,7 +284,10 @@ impl FaultPlan {
     /// directions) from virtual time `at` until a matching
     /// [`FaultPlan::heal`], or forever if none is scripted.
     pub fn partition(mut self, group: &[usize], at: f64) -> Self {
-        assert!(at >= 0.0, "partition time must be non-negative");
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "partition time must be finite and non-negative, got {at}"
+        );
         self.partitions.push(Partition {
             group: sorted_group(group),
             at,
@@ -292,7 +301,10 @@ impl FaultPlan {
     /// reverse direction still flows — the group can hear but not be
     /// heard.
     pub fn partition_oneway(mut self, group: &[usize], at: f64) -> Self {
-        assert!(at >= 0.0, "partition time must be non-negative");
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "partition time must be finite and non-negative, got {at}"
+        );
         self.partitions.push(Partition {
             group: sorted_group(group),
             at,
@@ -305,7 +317,10 @@ impl FaultPlan {
     /// at virtual time `at`. Healing a never-partitioned set is
     /// rejected by [`FaultPlan::validate`].
     pub fn heal(mut self, group: &[usize], at: f64) -> Self {
-        assert!(at >= 0.0, "heal time must be non-negative");
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "heal time must be finite and non-negative, got {at}"
+        );
         self.heals.push((sorted_group(group), at));
         self
     }
@@ -345,7 +360,10 @@ impl FaultPlan {
     /// so applications that never call `recv_timeout` still fail fast
     /// instead of hanging on a dropped message.
     pub fn with_default_timeout(mut self, timeout: f64) -> Self {
-        assert!(timeout > 0.0, "timeout must be positive");
+        assert!(
+            timeout.is_finite() && timeout > 0.0,
+            "timeout must be finite and positive, got {timeout}"
+        );
         self.default_timeout = Some(timeout);
         self
     }
@@ -356,6 +374,47 @@ impl FaultPlan {
     /// interleaving is rejected up front instead of silently producing
     /// arbitrary behavior.
     pub fn validate(&self) -> std::result::Result<(), String> {
+        // Every scheduled time and delay must be a finite float: NaN
+        // poisons the total order the event engine sorts by, and ±inf
+        // times silently degenerate into "never" / "always". (They also
+        // do not survive the chaos-plan JSON round trip — `NaN`/`inf`
+        // are not JSON tokens.)
+        for &(r, t) in &self.kills {
+            if !t.is_finite() {
+                return Err(format!("kill of rank {r} at non-finite time {t}"));
+            }
+        }
+        for &(r, t) in &self.rejoins {
+            if !t.is_finite() {
+                return Err(format!("rejoin of rank {r} at non-finite time {t}"));
+            }
+        }
+        for p in &self.partitions {
+            if !p.at.is_finite() {
+                return Err(format!(
+                    "partition of {:?} at non-finite time {}",
+                    p.group, p.at
+                ));
+            }
+        }
+        for (group, at) in &self.heals {
+            if !at.is_finite() {
+                return Err(format!("heal of {group:?} at non-finite time {at}"));
+            }
+        }
+        for s in &self.stragglers {
+            if !s.extra.is_finite() || !s.jitter.is_finite() {
+                return Err(format!(
+                    "straggler on link {} -> {} has non-finite delay (extra={}, jitter={})",
+                    s.src, s.dst, s.extra, s.jitter
+                ));
+            }
+        }
+        if let Some(t) = self.default_timeout {
+            if !t.is_finite() {
+                return Err(format!("default timeout {t} is not finite"));
+            }
+        }
         // A rejoin must revive a rank that died strictly before it:
         // walk each rank's alternating kill/rejoin lifetimes.
         let mut ranks: Vec<usize> = self.rejoins.iter().map(|&(r, _)| r).collect();
@@ -732,6 +791,40 @@ pub fn checksum(words: &[f64]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builders_and_validate_reject_non_finite_times() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // NaN and ±inf are refused at construction with a message
+        // naming finiteness.
+        for t in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for build in [
+                Box::new(move || drop(FaultPlan::new(1).kill(0, t))) as Box<dyn Fn()>,
+                Box::new(move || drop(FaultPlan::new(1).rejoin(0, t))),
+                Box::new(move || drop(FaultPlan::new(1).partition(&[0, 1], t))),
+                Box::new(move || drop(FaultPlan::new(1).partition_oneway(&[0], t))),
+                Box::new(move || drop(FaultPlan::new(1).heal(&[0, 1], t))),
+                Box::new(move || drop(FaultPlan::new(1).straggle(0, 1, t, 0.0, Span::All))),
+                Box::new(move || drop(FaultPlan::new(1).straggle(0, 1, 0.0, t, Span::All))),
+                Box::new(move || drop(FaultPlan::new(1).with_default_timeout(t))),
+            ] {
+                let caught = catch_unwind(AssertUnwindSafe(&build)).expect_err("accepted {t}");
+                let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+                assert!(msg.contains("finite"), "bad panic message: {msg:?}");
+            }
+        }
+        // `validate` backstops plans assembled without the builders
+        // (the chaos JSON path constructs literals).
+        let mut p = FaultPlan::new(1).kill(0, 0.5);
+        p.kills[0].1 = f64::INFINITY;
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+        // Extreme *finite* times remain valid.
+        assert_eq!(
+            FaultPlan::new(1).kill(0, 5e-324).kill(1, 1e300).validate(),
+            Ok(())
+        );
+    }
 
     #[test]
     fn empty_plan_is_inactive() {

@@ -144,10 +144,21 @@ impl PeerHealth {
 
 /// Per-peer health state for one rank: feeds on consumption-point
 /// samples, answers φ and learned-deadline queries.
+///
+/// Storage is sparse: state materializes only for peers actually heard
+/// from (or explicitly flagged). A rank talks to O(log P) or O(√P)
+/// peers under the collectives here, so the dense per-rank `Vec` this
+/// replaces — P entries × P ranks = O(P²) aggregate, ~378 GB at
+/// P = 65536 — becomes O(peers actually observed). An absent entry is
+/// observationally identical to a fresh one: every read path treats
+/// missing in-range peers as `PeerHealth::new`.
 #[derive(Debug, Clone)]
 pub struct HealthMonitor {
     cfg: DetectorConfig,
-    peers: Vec<PeerHealth>,
+    /// World size: peers at or above this index are ignored, matching
+    /// the bounds-checking of the dense representation.
+    size: usize,
+    peers: std::collections::BTreeMap<usize, PeerHealth>,
 }
 
 impl HealthMonitor {
@@ -155,7 +166,8 @@ impl HealthMonitor {
     pub fn new(cfg: DetectorConfig, peers: usize) -> Self {
         HealthMonitor {
             cfg,
-            peers: vec![PeerHealth::new(cfg.ewma_weight); peers],
+            size: peers,
+            peers: std::collections::BTreeMap::new(),
         }
     }
 
@@ -164,10 +176,33 @@ impl HealthMonitor {
         &self.cfg
     }
 
+    /// In-range lookup for reads: a copy of the peer's state, fresh if
+    /// never touched (`PeerHealth` is `Copy`); `None` out of range.
+    fn peek(&self, peer: usize) -> Option<PeerHealth> {
+        if peer >= self.size {
+            return None;
+        }
+        Some(
+            self.peers
+                .get(&peer)
+                .copied()
+                .unwrap_or_else(|| PeerHealth::new(self.cfg.ewma_weight)),
+        )
+    }
+
+    /// In-range lookup for writes: materializes the entry on demand.
+    fn entry(&mut self, peer: usize) -> Option<&mut PeerHealth> {
+        if peer >= self.size {
+            return None;
+        }
+        let w = self.cfg.ewma_weight;
+        Some(self.peers.entry(peer).or_insert_with(|| PeerHealth::new(w)))
+    }
+
     /// Records that `peer` was heard from at virtual time `now`
     /// (message consumed); consecutive calls feed the gap statistics.
     pub fn heard(&mut self, peer: usize, now: f64) {
-        let Some(p) = self.peers.get_mut(peer) else {
+        let Some(p) = self.entry(peer) else {
             return;
         };
         if let Some(last) = p.last_heard {
@@ -183,8 +218,8 @@ impl HealthMonitor {
     /// Records an observed receive wait (virtual seconds from posting
     /// the receive to data delivery) from `peer`.
     pub fn observed_wait(&mut self, peer: usize, secs: f64) {
-        if let Some(p) = self.peers.get_mut(peer) {
-            if secs >= 0.0 {
+        if peer < self.size && secs >= 0.0 {
+            if let Some(p) = self.entry(peer) {
                 p.waits.observe(secs);
             }
         }
@@ -194,7 +229,7 @@ impl HealthMonitor {
     /// or `None` until [`DetectorConfig::min_samples`] gaps have been
     /// observed (callers should fall back to fixed policies).
     pub fn phi(&self, peer: usize, now: f64) -> Option<f64> {
-        let p = self.peers.get(peer)?;
+        let p = self.peek(peer)?;
         let last = p.last_heard?;
         if p.gaps.len() < self.cfg.min_samples {
             return None;
@@ -213,7 +248,7 @@ impl HealthMonitor {
     /// waits, clamped to `[floor, cap]` — or `None` until enough
     /// samples exist.
     pub fn deadline(&self, peer: usize) -> Option<f64> {
-        let p = self.peers.get(peer)?;
+        let p = self.peek(peer)?;
         if p.waits.len() < self.cfg.min_samples {
             return None;
         }
@@ -228,7 +263,7 @@ impl HealthMonitor {
     /// default `k = 4` the accrual level is ≈ 4.5 — far under
     /// [`DetectorConfig::phi_dead`].
     pub fn gap_deadline(&self, peer: usize) -> Option<f64> {
-        let p = self.peers.get(peer)?;
+        let p = self.peek(peer)?;
         if p.gaps.len() < self.cfg.min_samples {
             return None;
         }
@@ -239,7 +274,7 @@ impl HealthMonitor {
     /// Marks `peer` suspect; returns `true` on the first flagging since
     /// it was last heard from (so callers can count transitions).
     pub fn mark_suspect(&mut self, peer: usize) -> bool {
-        match self.peers.get_mut(peer) {
+        match self.entry(peer) {
             Some(p) if !p.suspected => {
                 p.suspected = true;
                 true
@@ -250,15 +285,14 @@ impl HealthMonitor {
 
     /// Number of gap samples observed for `peer`.
     pub fn gap_samples(&self, peer: usize) -> u32 {
-        self.peers.get(peer).map_or(0, |p| p.gaps.len())
+        self.peek(peer).map_or(0, |p| p.gaps.len())
     }
 
     /// Forgets everything about `peer` (on re-admission after a rejoin:
     /// pre-death statistics do not describe the revived process).
+    /// A removed entry is indistinguishable from a fresh one.
     pub fn reset(&mut self, peer: usize) {
-        if let Some(p) = self.peers.get_mut(peer) {
-            *p = PeerHealth::new(self.cfg.ewma_weight);
-        }
+        self.peers.remove(&peer);
     }
 }
 

@@ -51,6 +51,7 @@
 
 pub mod clock;
 pub mod comm;
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod health;
@@ -70,7 +71,7 @@ pub use netmodel::NetModel;
 pub use stats::{RankStats, WorldStats};
 pub use topology::Topology;
 pub use trace::{EventKind, RankTrace, TraceConfig, TraceEvent, TraceSink, Track, WorldTrace};
-pub use world::World;
+pub use world::{Backend, World};
 
 /// A rank index within a communicator.
 pub type Rank = usize;

@@ -108,16 +108,59 @@ pub struct Envelope {
     pub data: Payload,
 }
 
-/// Per-rank transport endpoints.
-pub struct Endpoint {
-    /// This rank's inbox.
-    pub rx: Receiver<Envelope>,
-    /// Senders to every rank in the world (index = global rank;
-    /// includes self, which is occasionally useful for uniform code).
-    pub txs: Vec<Sender<Envelope>>,
+/// Per-rank transport endpoint, backend-polymorphic.
+///
+/// The communicator only ever does two things with its endpoint: send
+/// an envelope to a global rank, and block until the next envelope
+/// arrives. Both backends expose exactly that, with identical failure
+/// semantics — `send` fails iff the destination's endpoint has been
+/// dropped, `recv` fails iff nothing is buffered and nothing can ever
+/// arrive (all peers gone on the threaded backend; provable global
+/// quiescence on the event backend).
+pub enum Endpoint {
+    /// One OS thread per rank, crossbeam channels, P² cloned senders.
+    /// The original backend, kept as a differential-testing oracle for
+    /// small P.
+    Threaded {
+        /// This rank's inbox.
+        rx: Receiver<Envelope>,
+        /// Senders to every rank in the world (index = global rank;
+        /// includes self, which is occasionally useful for uniform
+        /// code).
+        txs: Vec<Sender<Envelope>>,
+    },
+    /// Fiber mailbox on the discrete-event engine; O(P) total state.
+    Event(crate::engine::EventEndpoint),
 }
 
-/// Builds a fully-connected set of endpoints for `size` ranks.
+impl Endpoint {
+    // The `()` errors are `std::sync::mpsc`-style: one bit ("peer
+    // gone"), translated into `Error` by the communicator layer.
+    /// Deliver `env` to global rank `dst`. Fails iff `dst`'s endpoint
+    /// has been dropped (its rank closure already returned).
+    #[allow(clippy::result_unit_err)]
+    pub fn send(&self, dst: usize, env: Envelope) -> Result<(), ()> {
+        match self {
+            Endpoint::Threaded { txs, .. } => txs[dst].send(env).map_err(|_| ()),
+            Endpoint::Event(ep) => ep.send(dst, env),
+        }
+    }
+
+    /// Block until the next envelope arrives. `now` is the caller's
+    /// virtual clock, used as the scheduling key by the event backend
+    /// (ignored by the threaded one). Fails iff no envelope can ever
+    /// arrive again.
+    #[allow(clippy::result_unit_err)]
+    pub fn recv(&self, now: f64) -> Result<Envelope, ()> {
+        match self {
+            Endpoint::Threaded { rx, .. } => rx.recv().map_err(|_| ()),
+            Endpoint::Event(ep) => ep.recv(now),
+        }
+    }
+}
+
+/// Builds a fully-connected set of threaded-backend endpoints for
+/// `size` ranks.
 pub fn build(size: usize) -> Vec<Endpoint> {
     let mut rxs = Vec::with_capacity(size);
     let mut txs = Vec::with_capacity(size);
@@ -127,11 +170,21 @@ pub fn build(size: usize) -> Vec<Endpoint> {
         rxs.push(rx);
     }
     rxs.into_iter()
-        .map(|rx| Endpoint {
+        .map(|rx| Endpoint::Threaded {
             rx,
             txs: txs.clone(),
         })
         .collect()
+}
+
+/// Builds event-engine endpoints over a fresh fabric for `size` ranks.
+/// Returns the fabric (to run the engine on) and one endpoint per rank.
+pub fn build_event(size: usize) -> (std::sync::Arc<crate::engine::Fabric>, Vec<Endpoint>) {
+    let fabric = crate::engine::Fabric::new(size);
+    let eps = (0..size)
+        .map(|r| Endpoint::Event(fabric.endpoint(r)))
+        .collect();
+    (fabric, eps)
 }
 
 #[cfg(test)]
@@ -143,23 +196,29 @@ mod tests {
         let eps = build(3);
         assert_eq!(eps.len(), 3);
         for ep in &eps {
-            assert_eq!(ep.txs.len(), 3);
+            match ep {
+                Endpoint::Threaded { txs, .. } => assert_eq!(txs.len(), 3),
+                Endpoint::Event(_) => panic!("build() returns threaded endpoints"),
+            }
         }
         // Send from "rank 0" to "rank 2" and observe it.
-        eps[0].txs[2]
-            .send(Envelope {
-                ctx: 0,
-                src: 0,
-                tag: 7,
-                depart: 1.25,
-                seq: 0,
-                csum: None,
-                dup: false,
-                severed: false,
-                data: Payload::Words(vec![1.0, 2.0]),
-            })
+        eps[0]
+            .send(
+                2,
+                Envelope {
+                    ctx: 0,
+                    src: 0,
+                    tag: 7,
+                    depart: 1.25,
+                    seq: 0,
+                    csum: None,
+                    dup: false,
+                    severed: false,
+                    data: Payload::Words(vec![1.0, 2.0]),
+                },
+            )
             .unwrap();
-        let e = eps[2].rx.recv().unwrap();
+        let e = eps[2].recv(0.0).unwrap();
         assert_eq!(e.src, 0);
         assert_eq!(e.tag, 7);
         assert_eq!(e.data.words(), 2);

@@ -145,7 +145,7 @@ impl RankStats {
 }
 
 /// World-level summary returned by [`crate::World::run_with_stats`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorldStats {
     /// Per-rank traffic counters, indexed by global rank.
     pub ranks: Vec<RankStats>,

@@ -345,7 +345,7 @@ impl Tracer {
 }
 
 /// The finished trace of one rank.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RankTrace {
     /// Global rank the events belong to.
     pub rank: usize,
@@ -438,7 +438,7 @@ impl RankTrace {
 }
 
 /// All ranks' traces from one [`crate::World`] run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorldTrace {
     /// Per-rank traces in rank order.
     pub ranks: Vec<RankTrace>,

@@ -1,23 +1,83 @@
 //! Spawning a simulated world of ranks.
+//!
+//! Two execution backends produce bit-identical results (see
+//! [`crate::engine`] for the determinism argument):
+//!
+//! * [`Backend::Events`] (default) — every rank is a fiber on a
+//!   discrete-event scheduler in the calling thread. O(P) engine
+//!   state; practical up to P = 65536 and beyond.
+//! * [`Backend::Threads`] — the original one-OS-thread-per-rank
+//!   backend, kept as a differential-testing oracle. P² channel
+//!   senders and one stack per rank cap it at a few hundred ranks.
+//!
+//! Selection: [`Backend::set_override`] (process-global, for tests)
+//! beats the `MPSIM_BACKEND` environment variable (`events` |
+//! `threads`), which beats the default (`events`).
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use crate::clock::Clock;
 use crate::comm::{Communicator, Inner};
+use crate::engine;
 use crate::fault::FaultPlan;
-use crate::health::{DetectorConfig, HealthMonitor};
 use crate::netmodel::NetModel;
 use crate::router;
 use crate::stats::{RankStats, WorldStats};
 use crate::topology::Topology;
-use crate::trace::{RankTrace, TraceConfig, Tracer, WorldTrace};
+use crate::trace::{RankTrace, TraceConfig, WorldTrace};
 
-/// Entry point: spawns `size` ranks as scoped OS threads, hands each a
-/// world [`Communicator`], and collects their return values in rank
-/// order.
+/// Which execution engine runs the ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// One OS thread per rank: the original backend. Kept as the
+    /// differential-testing oracle; use for small worlds only.
+    Threads,
+    /// Discrete-event fiber engine: all ranks run cooperatively on the
+    /// calling thread, scheduled by virtual time. The default.
+    Events,
+}
+
+/// 0 = no override, 1 = Threads, 2 = Events.
+static BACKEND_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+impl Backend {
+    /// The backend the next `World::run_*` call will use:
+    /// [`Backend::set_override`] if set, else `MPSIM_BACKEND`
+    /// (`events` | `threads`), else [`Backend::Events`].
+    pub fn current() -> Backend {
+        match BACKEND_OVERRIDE.load(Ordering::Relaxed) {
+            1 => return Backend::Threads,
+            2 => return Backend::Events,
+            _ => {}
+        }
+        match std::env::var("MPSIM_BACKEND") {
+            Ok(v) if v == "threads" => Backend::Threads,
+            Ok(v) if v == "events" => Backend::Events,
+            Ok(v) => panic!("MPSIM_BACKEND={v:?}: expected \"events\" or \"threads\""),
+            Err(_) => Backend::Events,
+        }
+    }
+
+    /// Process-global backend override, strongest selector. Lets tests
+    /// drive code that calls `World::run_*` internally (the trainers,
+    /// the chaos campaign) onto a chosen backend. `None` restores env /
+    /// default selection.
+    pub fn set_override(backend: Option<Backend>) {
+        let v = match backend {
+            None => 0,
+            Some(Backend::Threads) => 1,
+            Some(Backend::Events) => 2,
+        };
+        BACKEND_OVERRIDE.store(v, Ordering::Relaxed);
+    }
+}
+
+/// Entry point: runs `size` ranks — fibers on the event backend, scoped
+/// OS threads on the threaded backend — hands each a world
+/// [`Communicator`], and collects their return values in rank order.
 pub struct World;
 
 impl World {
@@ -47,9 +107,10 @@ impl World {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any rank (after all threads are joined by
-    /// the scope). A rank returning early while peers still expect its
-    /// messages surfaces as [`crate::Error::Disconnected`] on the peers.
+    /// Panics if `size == 0`, and propagates a panic from any rank
+    /// (after all ranks have completed). A rank returning early while
+    /// peers still expect its messages surfaces as
+    /// [`crate::Error::Disconnected`] on the peers.
     pub fn run<T, F>(size: usize, model: NetModel, f: F) -> Vec<T>
     where
         T: Send,
@@ -60,6 +121,10 @@ impl World {
 
     /// Like [`World::run`] but also returns traffic counters and final
     /// virtual clocks for every rank.
+    ///
+    /// # Panics
+    ///
+    /// As [`World::run`]: `size == 0`, or a rank panic.
     pub fn run_with_stats<T, F>(size: usize, model: NetModel, f: F) -> (Vec<T>, WorldStats)
     where
         T: Send,
@@ -70,6 +135,10 @@ impl World {
 
     /// Runs under a hierarchical [`Topology`]: intra-node messages get
     /// their α/β scaled per the topology, modelling fat nodes.
+    ///
+    /// # Panics
+    ///
+    /// As [`World::run`]: `size == 0`, or a rank panic.
     pub fn run_topo<T, F>(size: usize, model: NetModel, topo: Topology, f: F) -> Vec<T>
     where
         T: Send,
@@ -79,6 +148,10 @@ impl World {
     }
 
     /// [`World::run_topo`] with statistics.
+    ///
+    /// # Panics
+    ///
+    /// As [`World::run`]: `size == 0`, or a rank panic.
     pub fn run_topo_with_stats<T, F>(
         size: usize,
         model: NetModel,
@@ -96,6 +169,12 @@ impl World {
     /// corruption, and rank deaths are injected exactly as scripted.
     /// Returns per-rank results and the world statistics (whose fault
     /// counters record what was injected and detected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`, if `plan` fails [`FaultPlan::validate`]
+    /// (message `invalid fault plan: …`, raised before any rank runs),
+    /// or if a rank panics.
     pub fn run_with_faults<T, F>(
         size: usize,
         model: NetModel,
@@ -110,6 +189,12 @@ impl World {
     }
 
     /// The fully general entry point: topology + fault plan + stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`, if `plan` fails [`FaultPlan::validate`]
+    /// (message `invalid fault plan: …`, raised before any rank runs),
+    /// or if a rank panics.
     pub fn run_topo_faults_with_stats<T, F>(
         size: usize,
         model: NetModel,
@@ -129,6 +214,10 @@ impl World {
     /// [`World::run_with_stats`] with per-rank event tracing. The
     /// returned [`WorldTrace`] holds every recorded span/instant; feed
     /// it to [`crate::TraceSink`] for Chrome Trace JSON or a summary.
+    ///
+    /// # Panics
+    ///
+    /// As [`World::run`]: `size == 0`, or a rank panic.
     pub fn run_traced_with_stats<T, F>(
         size: usize,
         model: NetModel,
@@ -150,6 +239,12 @@ impl World {
     }
 
     /// [`World::run_with_faults`] with per-rank event tracing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`, if `plan` fails [`FaultPlan::validate`]
+    /// (message `invalid fault plan: …`, raised before any rank runs),
+    /// or if a rank panics.
     pub fn run_faults_traced<T, F>(
         size: usize,
         model: NetModel,
@@ -165,10 +260,43 @@ impl World {
     }
 
     /// The fully general entry point with tracing: topology + fault
-    /// plan + stats + trace. All other `run_*` variants delegate here
-    /// (with tracing disabled they add zero work to the virtual clock —
-    /// one boolean test per instrumented site).
+    /// plan + stats + trace, on the currently selected [`Backend`].
+    /// All other `run_*` variants delegate here (with tracing disabled
+    /// they add zero work to the virtual clock — one boolean test per
+    /// instrumented site).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`, if `plan` fails [`FaultPlan::validate`]
+    /// (message `invalid fault plan: …`, raised before any rank runs),
+    /// or if a rank panics (the panic is re-thrown after all ranks have
+    /// completed; with several panicking ranks the lowest rank's
+    /// payload wins on the event backend).
     pub fn run_topo_faults_traced<T, F>(
+        size: usize,
+        model: NetModel,
+        topo: Topology,
+        plan: FaultPlan,
+        trace: TraceConfig,
+        f: F,
+    ) -> (Vec<T>, WorldStats, WorldTrace)
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
+        Self::run_topo_faults_traced_on(Backend::current(), size, model, topo, plan, trace, f)
+    }
+
+    /// [`World::run_topo_faults_traced`] on an explicitly chosen
+    /// [`Backend`], ignoring override/environment selection. This is
+    /// the differential-testing entry point: run the same world twice,
+    /// once per backend, and compare everything bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// As [`World::run_topo_faults_traced`].
+    pub fn run_topo_faults_traced_on<T, F>(
+        backend: Backend,
         size: usize,
         model: NetModel,
         topo: Topology,
@@ -184,60 +312,10 @@ impl World {
         if let Err(msg) = plan.validate() {
             panic!("invalid fault plan: {msg}");
         }
-        let endpoints = router::build(size);
-        let f = &f;
-        let plan = Arc::new(plan);
-        let mut joined: Vec<(T, RankStats, Clock, RankTrace)> = Vec::with_capacity(size);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(size);
-            for (rank, endpoint) in endpoints.into_iter().enumerate() {
-                let plan = Arc::clone(&plan);
-                handles.push(scope.spawn(move || {
-                    let n_compute_flips = plan.compute_flip_entries();
-                    let n_memory_flips = plan.memory_flip_entries();
-                    let inner = Rc::new(RefCell::new(Inner {
-                        global_rank: rank,
-                        world_size: size,
-                        endpoint,
-                        pending: HashMap::new(),
-                        clock: Clock::new(),
-                        model,
-                        topo,
-                        stats: RankStats::default(),
-                        split_seq: 0,
-                        plan,
-                        link_seq: vec![0; size],
-                        dead_peers: BTreeMap::new(),
-                        dead_surfaced: BTreeMap::new(),
-                        aborted_peers: BTreeMap::new(),
-                        fault_epoch: 0,
-                        fault_sync_seq: 0,
-                        died: false,
-                        died_at: None,
-                        revive_floor: f64::NEG_INFINITY,
-                        health: HealthMonitor::new(DetectorConfig::from_model(&model), size),
-                        rejoin_notices: BTreeMap::new(),
-                        unreachable_peers: BTreeMap::new(),
-                        unreachable_surfaced: BTreeMap::new(),
-                        reorder_held: vec![Vec::new(); size],
-                        nb_seq: HashMap::new(),
-                        tracer: Tracer::new(trace),
-                        fault_ctx: None,
-                        compute_flips_spent: vec![false; n_compute_flips],
-                        memory_flips_spent: vec![false; n_memory_flips],
-                    }));
-                    let comm = Communicator::world(Rc::clone(&inner));
-                    let out = f(&comm);
-                    let mut i = inner.borrow_mut();
-                    let now = i.clock.now;
-                    let trace = i.tracer.finish(rank, now);
-                    (out, i.stats, i.clock, trace)
-                }));
-            }
-            for h in handles {
-                joined.push(h.join().expect("rank thread panicked"));
-            }
-        });
+        let joined = match backend {
+            Backend::Threads => Self::run_threads(size, model, topo, plan, trace, &f),
+            Backend::Events => Self::run_events(size, model, topo, plan, trace, &f),
+        };
         let mut results = Vec::with_capacity(size);
         let mut stats = WorldStats::default();
         let mut traces = WorldTrace::default();
@@ -248,6 +326,112 @@ impl World {
             traces.ranks.push(trace);
         }
         (results, stats, traces)
+    }
+
+    /// Threaded backend: one scoped OS thread per rank, crossbeam
+    /// channels, join in rank order.
+    fn run_threads<T, F>(
+        size: usize,
+        model: NetModel,
+        topo: Topology,
+        plan: FaultPlan,
+        trace: TraceConfig,
+        f: &F,
+    ) -> Vec<(T, RankStats, Clock, RankTrace)>
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
+        let endpoints = router::build(size);
+        let plan = Arc::new(plan);
+        let mut joined: Vec<(T, RankStats, Clock, RankTrace)> = Vec::with_capacity(size);
+        // Lowest-rank panic payload, re-thrown intact after every rank
+        // has been joined — same contract as the event backend.
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, endpoint) in endpoints.into_iter().enumerate() {
+                let plan = Arc::clone(&plan);
+                handles.push(scope.spawn(move || {
+                    let inner = Rc::new(RefCell::new(Inner::new(
+                        rank, size, endpoint, model, topo, plan, trace,
+                    )));
+                    let comm = Communicator::world(Rc::clone(&inner));
+                    let out = f(&comm);
+                    let mut i = inner.borrow_mut();
+                    let now = i.clock.now;
+                    let trace = i.tracer.finish(rank, now);
+                    (out, i.stats, i.clock, trace)
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(v) => joined.push(v),
+                    Err(payload) => {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+            }
+        });
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        joined
+    }
+
+    /// Event backend: every rank is a fiber on the discrete-event
+    /// engine; the whole world runs on the calling thread.
+    fn run_events<T, F>(
+        size: usize,
+        model: NetModel,
+        topo: Topology,
+        plan: FaultPlan,
+        trace: TraceConfig,
+        f: &F,
+    ) -> Vec<(T, RankStats, Clock, RankTrace)>
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
+        let plan = Arc::new(plan);
+        let (fabric, endpoints) = router::build_event(size);
+        type Slot<T> = Option<(T, RankStats, Clock, RankTrace)>;
+        let slots: Rc<RefCell<Vec<Slot<T>>>> =
+            Rc::new(RefCell::new((0..size).map(|_| None).collect()));
+        let mut closures: Vec<Box<dyn FnOnce()>> = Vec::with_capacity(size);
+        for (rank, endpoint) in endpoints.into_iter().enumerate() {
+            let plan = Arc::clone(&plan);
+            let slots = Rc::clone(&slots);
+            let closure: Box<dyn FnOnce() + '_> = Box::new(move || {
+                let inner = Rc::new(RefCell::new(Inner::new(
+                    rank, size, endpoint, model, topo, plan, trace,
+                )));
+                let comm = Communicator::world(Rc::clone(&inner));
+                let out = f(&comm);
+                drop(comm);
+                let mut i = inner.borrow_mut();
+                let now = i.clock.now;
+                let tr = i.tracer.finish(rank, now);
+                slots.borrow_mut()[rank] = Some((out, i.stats, i.clock, tr));
+            });
+            // SAFETY: engine::run only returns — or unwinds — after
+            // every fiber has completed and dropped its closure, so the
+            // borrows of `f` and `slots` captured here never outlive
+            // this stack frame. (If the engine itself has a bug it
+            // leaks unfinished fibers rather than resume them later.)
+            let closure: Box<dyn FnOnce() + 'static> = unsafe { std::mem::transmute(closure) };
+            closures.push(closure);
+        }
+        engine::run(&fabric, closures);
+        let slots = Rc::try_unwrap(slots)
+            .ok()
+            .expect("all fiber closures dropped")
+            .into_inner();
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(rank, s)| s.unwrap_or_else(|| panic!("rank {rank} produced no result")))
+            .collect()
     }
 }
 
@@ -345,5 +529,65 @@ mod tests {
         let (b, sb) = run();
         assert_eq!(a, b, "virtual times are bit-identical across runs");
         assert_eq!(sa.ranks, sb.ranks);
+    }
+
+    /// The two backends agree bit-for-bit on a plain workload.
+    #[test]
+    fn backends_agree_on_ring_workload() {
+        let workload = |comm: &Communicator| {
+            let peer = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            let data = vec![comm.rank() as f64 + 0.25; comm.rank() + 3];
+            comm.send(peer, 1, &data).unwrap();
+            let got = comm.recv(prev, 1).unwrap();
+            comm.advance_flops(got.len() as f64 * 1e7);
+            comm.barrier().unwrap();
+            (got, comm.now())
+        };
+        let run = |backend| {
+            World::run_topo_faults_traced_on(
+                backend,
+                5,
+                NetModel::cori_knl(),
+                Topology::flat(),
+                FaultPlan::default(),
+                TraceConfig::disabled(),
+                workload,
+            )
+        };
+        let (ra, sa, _) = run(Backend::Threads);
+        let (rb, sb, _) = run(Backend::Events);
+        assert_eq!(ra, rb);
+        assert_eq!(sa.ranks, sb.ranks);
+        assert_eq!(sa.clocks, sb.clocks);
+    }
+
+    /// A world inside a world: the event engine nests (TLS save/restore
+    /// around fiber resume), as the chaos campaign and benches rely on.
+    #[test]
+    fn nested_worlds_compose_on_event_backend() {
+        let out = World::run_topo_faults_traced_on(
+            Backend::Events,
+            2,
+            NetModel::free(),
+            Topology::flat(),
+            FaultPlan::default(),
+            TraceConfig::disabled(),
+            |comm| {
+                let inner = World::run_topo_faults_traced_on(
+                    Backend::Events,
+                    3,
+                    NetModel::free(),
+                    Topology::flat(),
+                    FaultPlan::default(),
+                    TraceConfig::disabled(),
+                    |c| c.rank() * 2,
+                )
+                .0;
+                (comm.rank(), inner)
+            },
+        )
+        .0;
+        assert_eq!(out, vec![(0, vec![0, 2, 4]), (1, vec![0, 2, 4])]);
     }
 }
