@@ -1,0 +1,211 @@
+//! Kernel throughput sweep: packed GEMM and implicit-GEMM convolution
+//! versus the frozen pre-packing kernels, over the `dnn::zoo` layer
+//! shapes — the single-node compute term the paper's Eq. 5–9 divide all
+//! communication against.
+//!
+//! For every shape in [`bench::kernels`] this measures GFLOP/s of the
+//! new kernel and its frozen baseline (`matmul_ref`,
+//! `conv2d_im2col_ref`, `conv2d_backward_ref`), prints a table, and
+//! writes `BENCH_kernels.json` with per-shape rates and speedups like
+//! the other `BENCH_*.json` producers.
+//!
+//! It is also the CI perf gate (`kernel-smoke` job): the run **panics**
+//! if the packed GEMM fails to beat the frozen kernel on the largest
+//! GEMM shape, or if the implicit convolution fails to beat the
+//! materialized reference on the AlexNet conv2 acceptance shape — a
+//! silent kernel regression fails the build.
+//!
+//! ```text
+//! cargo run --release -p bench --bin kernel_sweep            # full sweep
+//! cargo run --release -p bench --bin kernel_sweep -- --smoke # CI-sized
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bench::kernels::{conv_shapes, gemm_shapes, measure_gflops};
+use bench::parse_args;
+use integrated::report::Table;
+use tensor::conv::{conv2d, conv2d_backward, conv2d_backward_ref, conv2d_im2col_ref};
+use tensor::init;
+use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b, matmul_ref};
+
+/// One measured comparison row.
+struct Row {
+    kind: &'static str,
+    shape: String,
+    dims: String,
+    flops: f64,
+    new_gflops: f64,
+    ref_gflops: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.new_gflops / self.ref_gflops.max(1e-12)
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Smoke keeps CI in seconds; the full sweep averages more reps.
+    let (warmup, reps) = if smoke { (1, 2) } else { (2, 8) };
+    let start = Instant::now();
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    for s in gemm_shapes() {
+        let (a, b) = s.operands(11);
+        rows.push(Row {
+            kind: "gemm",
+            shape: s.name.clone(),
+            dims: format!("{}x{}x{}", s.m, s.k, s.n),
+            flops: s.flops(),
+            new_gflops: measure_gflops(s.flops(), warmup, reps, || matmul(&a, &b)),
+            ref_gflops: measure_gflops(s.flops(), warmup, reps, || matmul_ref(&a, &b)),
+        });
+    }
+
+    // The transposed orientations on the acceptance square, measured
+    // against the same frozen AB kernel (the pre-packing at_b/a_bt
+    // kernels were within noise of it).
+    {
+        let n = 512usize;
+        let flops = (2 * n * n * n) as f64;
+        let a = init::uniform(n, n, -1.0, 1.0, 13);
+        let b = init::uniform(n, n, -1.0, 1.0, 14);
+        let ref_gf = measure_gflops(flops, warmup, reps, || matmul_ref(&a, &b));
+        rows.push(Row {
+            kind: "gemm",
+            shape: "square_512_at_b".into(),
+            dims: format!("{n}x{n}x{n}"),
+            flops,
+            new_gflops: measure_gflops(flops, warmup, reps, || matmul_at_b(&a, &b)),
+            ref_gflops: ref_gf,
+        });
+        rows.push(Row {
+            kind: "gemm",
+            shape: "square_512_a_bt".into(),
+            dims: format!("{n}x{n}x{n}"),
+            flops,
+            new_gflops: measure_gflops(flops, warmup, reps, || matmul_a_bt(&a, &b)),
+            ref_gflops: ref_gf,
+        });
+    }
+
+    for s in conv_shapes() {
+        let (x, w) = s.operands(17);
+        rows.push(Row {
+            kind: "conv",
+            shape: s.name.clone(),
+            dims: format!(
+                "b{} {}c {}x{} k{} s{} p{}",
+                s.batch, s.p.in_c, s.h, s.w, s.p.kh, s.p.stride, s.p.pad
+            ),
+            flops: s.flops(),
+            new_gflops: measure_gflops(s.flops(), warmup, reps, || conv2d(&x, &w, &s.p)),
+            ref_gflops: measure_gflops(s.flops(), warmup, reps, || conv2d_im2col_ref(&x, &w, &s.p)),
+        });
+    }
+
+    // Backward on the conv acceptance shape.
+    {
+        let shapes = conv_shapes();
+        let s = shapes
+            .iter()
+            .find(|s| s.name == "alexnet_conv2")
+            .expect("alexnet_conv2 in catalogue");
+        let (x, w) = s.operands(19);
+        let (oh, ow) = s.p.out_hw(s.h, s.w);
+        let dy = init::uniform_tensor(s.batch, s.p.out_c, oh, ow, -1.0, 1.0, 21);
+        let flops = 2.0 * s.flops();
+        rows.push(Row {
+            kind: "conv_bwd",
+            shape: "alexnet_conv2_bwd".into(),
+            dims: format!("b{} {}c {}x{} k{}", s.batch, s.p.in_c, s.h, s.w, s.p.kh),
+            flops,
+            new_gflops: measure_gflops(flops, warmup, reps, || conv2d_backward(&x, &w, &dy, &s.p)),
+            ref_gflops: measure_gflops(flops, warmup, reps, || {
+                conv2d_backward_ref(&x, &w, &dy, &s.p)
+            }),
+        });
+    }
+
+    let wall = start.elapsed().as_secs_f64();
+    let mut t = Table::new(
+        format!(
+            "kernel sweep: packed GEMM + implicit conv vs frozen kernels \
+             ({} shapes, wall {wall:.1}s{})",
+            rows.len(),
+            if smoke { ", smoke" } else { "" }
+        ),
+        &["kind", "shape", "dims", "new GF/s", "ref GF/s", "speedup"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.kind.into(),
+            r.shape.clone(),
+            r.dims.clone(),
+            format!("{:.2}", r.new_gflops),
+            format!("{:.2}", r.ref_gflops),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    print!("{}", if args.csv { t.to_csv() } else { t.render() });
+
+    // The serde stub has no serializer, so the JSON is written by hand.
+    let mut json = String::from("{\n  \"bench\": \"kernel_sweep\",\n  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kind\": \"{}\", \"shape\": \"{}\", \"dims\": \"{}\", \
+             \"flops\": {:.4e}, \"gflops\": {:.3}, \"ref_gflops\": {:.3}, \
+             \"speedup_vs_ref\": {:.3}}}{}",
+            r.kind,
+            r.shape,
+            r.dims,
+            r.flops,
+            r.new_gflops,
+            r.ref_gflops,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    eprintln!("wrote BENCH_kernels.json");
+
+    // Regression gates (CI fails on panic). Thresholds are deliberately
+    // 1.0× — the acceptance speedups (≥3× GEMM, ≥2× conv) are recorded
+    // in EXPERIMENTS.md from full runs; the gate only guards against
+    // the packed kernels silently losing to the frozen ones.
+    let largest = rows
+        .iter()
+        .filter(|r| r.kind == "gemm")
+        .max_by(|a, b| a.flops.total_cmp(&b.flops))
+        .expect("gemm rows present");
+    assert!(
+        largest.speedup() > 1.0,
+        "packed GEMM regression: {:.2} GF/s <= frozen {:.2} GF/s on {}",
+        largest.new_gflops,
+        largest.ref_gflops,
+        largest.shape
+    );
+    let conv2 = rows
+        .iter()
+        .find(|r| r.shape == "alexnet_conv2")
+        .expect("alexnet_conv2 row present");
+    assert!(
+        conv2.speedup() > 1.0,
+        "implicit conv regression: {:.2} GF/s <= im2col_ref {:.2} GF/s",
+        conv2.new_gflops,
+        conv2.ref_gflops
+    );
+    eprintln!(
+        "gates passed: gemm {}x on {}, conv {}x on alexnet_conv2",
+        format_args!("{:.2}", largest.speedup()),
+        largest.shape,
+        format_args!("{:.2}", conv2.speedup()),
+    );
+}

@@ -1,0 +1,241 @@
+//! Shared shape catalogue and measurement plumbing for the kernel
+//! benchmarks (`benches/matmul.rs` and the `kernel_sweep` binary).
+//!
+//! GEMM and convolution shapes are pulled from the `dnn::zoo` networks
+//! — the layers whose products the paper's per-layer cost sums actually
+//! charge — plus the canonical 512³ square used as the packed-GEMM
+//! acceptance shape. Batches are kept small so a full sweep stays in
+//! seconds on one core; throughput is reported as GFLOP/s, which is
+//! batch-invariant.
+
+use dnn::zoo::{alexnet, resnet18ish, vgg16};
+use dnn::LayerSpec;
+use tensor::conv::Conv2dParams;
+use tensor::init;
+use tensor::matmul::matmul_flops;
+use tensor::{Matrix, Tensor4};
+
+/// One dense-product benchmark shape (`C = A·B` with `A` m×k, `B` k×n).
+#[derive(Debug, Clone)]
+pub struct GemmShape {
+    /// Label, e.g. `alexnet_fc6`.
+    pub name: String,
+    /// Output rows.
+    pub m: usize,
+    /// Contraction length.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// FLOPs of one product.
+    pub fn flops(&self) -> f64 {
+        matmul_flops(self.m, self.k, self.n)
+    }
+
+    /// Deterministic operands for this shape.
+    pub fn operands(&self, seed: u64) -> (Matrix, Matrix) {
+        (
+            init::uniform(self.m, self.k, -1.0, 1.0, seed),
+            init::uniform(self.k, self.n, -1.0, 1.0, seed + 1),
+        )
+    }
+}
+
+/// One convolution benchmark shape.
+#[derive(Debug, Clone)]
+pub struct ConvShape {
+    /// Label, e.g. `alexnet_conv2`.
+    pub name: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Convolution hyper-parameters.
+    pub p: Conv2dParams,
+}
+
+impl ConvShape {
+    /// FLOPs of one forward pass (2 per multiply-add over the implicit
+    /// GEMM's `out_c × (batch·oh·ow) × patch_len` product).
+    pub fn flops(&self) -> f64 {
+        let (oh, ow) = self.p.out_hw(self.h, self.w);
+        matmul_flops(self.p.out_c, self.p.patch_len(), self.batch * oh * ow)
+    }
+
+    /// Deterministic input tensor and weight matrix for this shape.
+    pub fn operands(&self, seed: u64) -> (Tensor4, Matrix) {
+        (
+            init::uniform_tensor(self.batch, self.p.in_c, self.h, self.w, -1.0, 1.0, seed),
+            init::uniform(self.p.out_c, self.p.patch_len(), -0.2, 0.2, seed + 1),
+        )
+    }
+}
+
+/// Batch used for the FC-layer GEMM shapes (small: single-core sweep).
+const FC_BATCH: usize = 16;
+/// Batch used for the convolution shapes.
+const CONV_BATCH: usize = 2;
+
+/// Pulls one named conv layer (1-based among conv layers) out of a zoo
+/// network as a benchmark shape.
+fn conv_from_zoo(
+    net: &dnn::Network,
+    conv_index: usize,
+    name: &str,
+    batch: usize,
+) -> Option<ConvShape> {
+    let mut seen = 0usize;
+    for (spec, in_shape, _) in net.layers() {
+        if let LayerSpec::Conv {
+            out_c,
+            kh,
+            kw,
+            stride,
+            pad,
+        } = *spec
+        {
+            seen += 1;
+            if seen == conv_index {
+                return Some(ConvShape {
+                    name: name.into(),
+                    batch,
+                    h: in_shape.h,
+                    w: in_shape.w,
+                    p: Conv2dParams {
+                        in_c: in_shape.c,
+                        out_c,
+                        kh,
+                        kw,
+                        stride,
+                        pad,
+                    },
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Pulls one named FC layer (1-based among FC layers) out of a zoo
+/// network as a GEMM shape `out × d_in · d_in × B`.
+fn fc_from_zoo(net: &dnn::Network, fc_index: usize, name: &str) -> Option<GemmShape> {
+    let mut seen = 0usize;
+    for (spec, in_shape, out_shape) in net.layers() {
+        if let LayerSpec::FullyConnected { .. } = spec {
+            seen += 1;
+            if seen == fc_index {
+                return Some(GemmShape {
+                    name: name.into(),
+                    m: out_shape.dim(),
+                    k: in_shape.dim(),
+                    n: FC_BATCH,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// The GEMM benchmark shapes: the acceptance 512³ square plus
+/// FC-layer products from the zoo networks.
+pub fn gemm_shapes() -> Vec<GemmShape> {
+    let alex = alexnet();
+    let vgg = vgg16();
+    let res = resnet18ish();
+    let mut shapes = vec![GemmShape {
+        name: "square_512".into(),
+        m: 512,
+        k: 512,
+        n: 512,
+    }];
+    shapes.extend(fc_from_zoo(&alex, 1, "alexnet_fc6"));
+    shapes.extend(fc_from_zoo(&alex, 3, "alexnet_fc8"));
+    shapes.extend(fc_from_zoo(&vgg, 2, "vgg16_fc7"));
+    shapes.extend(fc_from_zoo(&res, 1, "resnet18_fc"));
+    shapes
+}
+
+/// The convolution benchmark shapes from the zoo networks. The
+/// AlexNet conv2 entry is the acceptance shape for the implicit-GEMM
+/// speedup criterion.
+pub fn conv_shapes() -> Vec<ConvShape> {
+    let alex = alexnet();
+    let vgg = vgg16();
+    let res = resnet18ish();
+    let mut shapes = Vec::new();
+    shapes.extend(conv_from_zoo(&alex, 1, "alexnet_conv1", CONV_BATCH));
+    shapes.extend(conv_from_zoo(&alex, 2, "alexnet_conv2", CONV_BATCH));
+    shapes.extend(conv_from_zoo(&vgg, 3, "vgg16_conv2_1", 1));
+    shapes.extend(conv_from_zoo(&res, 6, "resnet18_conv3", CONV_BATCH));
+    shapes
+}
+
+/// Times `f` and returns GFLOP/s for `flops` of work: `warmup` untimed
+/// calls, then the mean over `reps` timed calls.
+pub fn measure_gflops<T>(flops: f64, warmup: usize, reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    let secs = start.elapsed().as_secs_f64() / reps.max(1) as f64;
+    flops / secs.max(1e-12) / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_the_acceptance_shapes() {
+        let gemms = gemm_shapes();
+        assert!(gemms.iter().any(|s| s.name == "square_512"));
+        // Every zoo FC lookup resolved.
+        assert!(gemms.len() >= 5, "{:?}", gemms.len());
+        let convs = conv_shapes();
+        let conv2 = convs
+            .iter()
+            .find(|s| s.name == "alexnet_conv2")
+            .expect("alexnet conv2 present");
+        // AlexNet conv2: 96→256, 5×5, same-pad on 27×27.
+        assert_eq!(
+            (conv2.p.in_c, conv2.p.out_c, conv2.p.kh, conv2.p.stride),
+            (96, 256, 5, 1)
+        );
+        assert_eq!(conv2.p.out_hw(conv2.h, conv2.w), (27, 27));
+        assert_eq!(convs.len(), 4);
+    }
+
+    #[test]
+    fn flops_match_formulas() {
+        let g = GemmShape {
+            name: "t".into(),
+            m: 2,
+            k: 3,
+            n: 4,
+        };
+        assert_eq!(g.flops(), 48.0);
+        let c = ConvShape {
+            name: "t".into(),
+            batch: 1,
+            h: 4,
+            w: 4,
+            p: Conv2dParams {
+                in_c: 1,
+                out_c: 1,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                pad: 0,
+            },
+        };
+        // 2×2 output, 9-tap patches: 2·(1·4·9) FLOPs.
+        assert_eq!(c.flops(), 2.0 * 4.0 * 9.0);
+    }
+}

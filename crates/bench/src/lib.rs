@@ -6,6 +6,7 @@
 //! the bar-chart-as-table renderer used by the figure binaries.
 
 pub mod figures;
+pub mod kernels;
 pub mod setup;
 
 pub use setup::{parse_args, Args, Setup};

@@ -31,7 +31,7 @@
 use dnn::{LayerSpec, Network};
 use mpsim::{NetModel, World, WorldStats};
 use tensor::activation::{relu, relu_backward, relu_backward_tensor, relu_tensor, softmax_xent};
-use tensor::conv::{conv2d_backward, conv2d_direct, Conv2dParams, Tensor4};
+use tensor::conv::{conv2d, conv2d_backward, Conv2dParams, Tensor4};
 use tensor::init;
 use tensor::lrn::{lrn_backward, lrn_forward, LrnParams};
 use tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
@@ -243,7 +243,7 @@ pub fn train_cnn_serial(
                     relu: has_relu,
                     ..
                 } => {
-                    let pre = conv2d_direct(input, &conv_w[wi], params);
+                    let pre = conv2d(input, &conv_w[wi], params);
                     wi += 1;
                     let post = if *has_relu {
                         relu_tensor(&pre)

@@ -18,7 +18,7 @@
 use collectives::halo::exchange_1d;
 use collectives::{allreduce, ReduceOp};
 use mpsim::{Communicator, Result};
-use tensor::conv::{conv2d_backward, conv2d_direct, Conv2dParams, Tensor4};
+use tensor::conv::{conv2d, conv2d_backward, Conv2dParams, Tensor4};
 use tensor::Matrix;
 
 use crate::dist::part_range;
@@ -105,7 +105,7 @@ pub fn forward(
         let flops = 2.0 * weights.len() as f64 * (x_strip.h * x_strip.w * x_strip.n) as f64;
         comm.advance_flops(flops);
         let zero_pad = Conv2dParams { pad: p.pad, ..*p };
-        return Ok(conv2d_direct(x_strip, weights, &zero_pad));
+        return Ok(conv2d(x_strip, weights, &zero_pad));
     }
 
     let top_rows = x_strip.row_strip(0, k2.min(x_strip.h));
@@ -129,7 +129,7 @@ pub fn forward(
     // Boundary rows are charged after the wait.
     comm.advance_flops(per_row_flops * (x_strip.h - interior_rows) as f64);
     let zero_pad = Conv2dParams { pad: 0, ..*p };
-    Ok(conv2d_direct(&ext, weights, &zero_pad))
+    Ok(conv2d(&ext, weights, &zero_pad))
 }
 
 /// Domain-parallel backward convolution. Given this rank's strips of
@@ -232,6 +232,7 @@ pub fn backward(
 mod tests {
     use super::*;
     use mpsim::{NetModel, World};
+    use tensor::conv::conv2d_direct;
     use tensor::init;
 
     fn check_forward(p_ranks: usize, k: usize, h: usize) {

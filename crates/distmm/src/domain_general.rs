@@ -17,7 +17,7 @@ use std::ops::Range;
 
 use collectives::{allreduce, ReduceOp};
 use mpsim::{Communicator, Result};
-use tensor::conv::{conv2d_backward, conv2d_direct, Conv2dParams, Tensor4};
+use tensor::conv::{conv2d, conv2d_backward, Conv2dParams, Tensor4};
 use tensor::pool::{maxpool2d, maxpool2d_backward, Pool2dParams};
 use tensor::Matrix;
 
@@ -107,7 +107,7 @@ pub fn conv_forward(
     let flops = 2.0 * weights.len() as f64 * (my_out.len() * out_w * x_strip.n) as f64;
     comm.advance_flops(flops);
     let local = Conv2dParams { pad: 0, ..*p };
-    let y = conv2d_direct(&ext, weights, &local);
+    let y = conv2d(&ext, weights, &local);
     debug_assert_eq!(
         y.h,
         my_out.len(),
@@ -226,6 +226,7 @@ pub fn pool_backward(
 mod tests {
     use super::*;
     use mpsim::{NetModel, World};
+    use tensor::conv::conv2d_direct;
     use tensor::init;
 
     fn check_conv(p_ranks: usize, params: Conv2dParams, h: usize, w: usize) {

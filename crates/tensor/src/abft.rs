@@ -12,9 +12,11 @@
 //!
 //! Correction is **bit-exact recomputation**, not checksum subtraction:
 //! the located element is re-derived in the owning kernel's exact
-//! accumulation order (ascending `k`, including `matmul_at_b`'s
-//! zero-skip), so a corrected product is indistinguishable — to the
-//! last bit — from one that was never corrupted. That is what lets the
+//! accumulation order — the [`crate::gemm`] determinism contract, an
+//! ascending-`k` `f64::mul_add` fold from `0.0`, identical for all
+//! three product shapes and for every dispatch path (small/packed,
+//! scalar/AVX2) — so a corrected product is indistinguishable, to the
+//! last bit, from one that was never corrupted. That is what lets the
 //! fault-tolerant trainer keep its bit-parity guarantees with ABFT
 //! enabled: verification only reads, and correction restores the exact
 //! kernel output.
@@ -175,11 +177,11 @@ pub fn verify_matmul(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Verdict {
     let tol_row = tolerances(&mag_row, k + n);
     let tol_col = tolerances(&mag_col, k + m);
     verify_core(c, &exp_row, &tol_row, &exp_col, &tol_col, |i, j| {
-        // matmul accumulates C[i][j] over ascending k (the K_BLOCK
-        // panels are themselves ascending), starting from 0.0.
+        // The gemm contract: ascending-k fused multiply-add from 0.0
+        // (KC panels load/store the C tile, so the chain is continuous).
         let mut acc = 0.0;
         for (kk, &aik) in a.row(i).iter().enumerate() {
-            acc += aik * b.get(kk, j);
+            acc = aik.mul_add(b.get(kk, j), acc);
         }
         acc
     })
@@ -234,11 +236,11 @@ pub fn verify_a_bt(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Verdict {
     let tol_row = tolerances(&mag_row, k + n);
     let tol_col = tolerances(&mag_col, k + m);
     verify_core(c, &exp_row, &tol_row, &exp_col, &tol_col, |i, j| {
-        // matmul_a_bt forms a fresh ascending-k dot product and adds it
-        // to the zero-initialized element — same as a plain dot.
+        // Same gemm contract; B is read transposed but the fold over
+        // ascending k is unchanged.
         let mut acc = 0.0;
-        for (ak, bk) in a.row(i).iter().zip(b.row(j)) {
-            acc += ak * bk;
+        for (&ak, &bk) in a.row(i).iter().zip(b.row(j)) {
+            acc = ak.mul_add(bk, acc);
         }
         acc
     })
@@ -285,17 +287,13 @@ pub fn verify_at_b(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Verdict {
     let tol_row = tolerances(&mag_row, k + n);
     let tol_col = tolerances(&mag_col, k + m);
     verify_core(c, &exp_row, &tol_row, &exp_col, &tol_col, |i, j| {
-        // matmul_at_b accumulates rank-1 updates over ascending k and
-        // skips zero A-elements; the skip must be mirrored so the
-        // recomputed element is bit-identical (skipping avoids the
-        // `-0.0 + 0.0` normalization a blind accumulate would apply).
+        // Same gemm contract; A is read transposed. The old kernel's
+        // zero-skip is gone — the packed kernel multiplies through
+        // zeros, and `fma(±0, b, acc)` is exact, so the blind fold is
+        // the bit-exact mirror.
         let mut acc = 0.0;
         for kk in 0..k {
-            let aki = a.get(kk, i);
-            if aki == 0.0 {
-                continue;
-            }
-            acc += aki * b.get(kk, j);
+            acc = a.get(kk, i).mul_add(b.get(kk, j), acc);
         }
         acc
     })
@@ -423,6 +421,44 @@ mod tests {
             } => {}
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn repair_is_bit_exact_across_kc_panel_boundaries() {
+        // k > KC forces the packed kernel through multiple K panels
+        // (C tile loaded/stored per panel); the recompute closure's
+        // single continuous mul_add fold must still match bit-exactly.
+        let k = crate::gemm::KC + 37;
+        let a = test_matrix(40, k, 0.4);
+        let b = test_matrix(k, 24, 0.9);
+        let clean = matmul(&a, &b);
+        let mut c = clean.clone();
+        flip_bit(&mut c, 17, 11, 52);
+        match verify_matmul(&a, &b, &mut c) {
+            Verdict::Corrected { row: 17, col: 11 } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c, clean, "panel-crossing repair must be bit-exact");
+
+        let at = test_matrix(k, 40, 0.2);
+        let clean_t = matmul_at_b(&at, &b);
+        let mut ct = clean_t.clone();
+        flip_bit(&mut ct, 9, 3, 55);
+        match verify_at_b(&at, &b, &mut ct) {
+            Verdict::Corrected { row: 9, col: 3 } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(ct, clean_t);
+
+        let bt = test_matrix(24, k, 0.6);
+        let clean_b = matmul_a_bt(&a, &bt);
+        let mut cb = clean_b.clone();
+        flip_bit(&mut cb, 5, 20, 49);
+        match verify_a_bt(&a, &bt, &mut cb) {
+            Verdict::Corrected { row: 5, col: 20 } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cb, clean_b);
     }
 
     #[test]

@@ -1,13 +1,30 @@
-//! NCHW tensors and 2-D convolution (direct and im2col-lowered).
+//! NCHW tensors and 2-D convolution: direct, im2col-lowered, and
+//! implicit-GEMM.
 //!
 //! The paper treats convolutions as matrix multiplications "for
 //! simplicity and connection to high performance computing literature"
 //! (its footnote 1); im2col is the lowering that makes this literal.
-//! The direct implementation exists as an independent reference so the
-//! two can cross-check each other, and is also the kernel the
-//! domain-parallel algorithm (`distmm::domain`) runs on sub-strips.
+//! The executed kernel here is [`conv2d`], an *implicit*-GEMM: the
+//! panel-packed GEMM core ([`crate::gemm`]) reads the column matrix
+//! through [`Im2colMap`] — a fused index mapping
+//! `(k, m) → ((ic, ky, kx), (n, oy, ox))` built on strength-reduced
+//! div/mod ([`crate::fastdiv`]) — so receptive-field patches are packed
+//! straight out of the NCHW input and **no `(in_c·kh·kw) × (n·oh·ow)`
+//! column matrix is ever materialized** (see [`conv_scratch_words`]).
+//! The backward pass gets the adjoint treatment: `∆W` contracts the
+//! output gradient against implicit im2col panels, and `∆X` runs a
+//! column-blocked `Wᵀ·∆Y` GEMM fused with col2im scatter-accumulation.
+//!
+//! [`conv2d_direct`] remains the independent reference the GEMM paths
+//! cross-check against (and the kernel `distmm::domain` historically
+//! ran on sub-strips); [`conv2d_im2col`] keeps the materialized
+//! lowering for verification, and [`conv2d_im2col_ref`] freezes the
+//! pre-packing executed path (materialized im2col + the frozen blocked
+//! matmul) as the benchmark baseline.
 
-use crate::matmul::{matmul, matmul_at_b};
+use crate::fastdiv::FastDivmod;
+use crate::gemm;
+use crate::matmul::{matmul, matmul_at_b, matmul_ref};
 use crate::matrix::Matrix;
 
 /// A dense NCHW tensor: `n` samples × `c` channels × `h` × `w`, with
@@ -338,11 +355,242 @@ pub fn conv2d_im2col(input: &Tensor4, weights: &Matrix, p: &Conv2dParams) -> Ten
     out
 }
 
+/// The pre-packing executed convolution (materialized im2col + the
+/// frozen blocked [`matmul_ref`]), kept as the measured baseline for
+/// kernel speedups. Not used by any compute path; benchmarks only.
+pub fn conv2d_im2col_ref(input: &Tensor4, weights: &Matrix, p: &Conv2dParams) -> Tensor4 {
+    let (oh, ow) = p.out_hw(input.h, input.w);
+    let cols = im2col(input, p);
+    let y = matmul_ref(weights, &cols);
+    let mut out = Tensor4::zeros(input.n, p.out_c, oh, ow);
+    for oc in 0..p.out_c {
+        let yrow = y.row(oc);
+        for n in 0..input.n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    out.set(n, oc, oy, ox, yrow[(n * oh + oy) * ow + ox]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fused im2col index mapping for implicit-GEMM convolution.
+///
+/// The virtual column matrix element at `(kidx, col)` — with
+/// `kidx = (ic·kh + ky)·kw + kx` matching the weight-column layout and
+/// `col = (n·oh + oy)·ow + ox` matching the output layout — is
+/// decomposed on the fly with precomputed magic-number div/mod and
+/// gathered from the NCHW buffer (out-of-bounds taps read the implicit
+/// zero padding). Four `FastDivmod`s per element on the packing path,
+/// no hardware divides, no materialized matrix.
+pub struct Im2colMap {
+    ohw: FastDivmod,
+    ow: FastDivmod,
+    khw: FastDivmod,
+    kw: FastDivmod,
+    stride: usize,
+    pad: usize,
+    in_c: usize,
+    h: usize,
+    w: usize,
+}
+
+impl Im2colMap {
+    /// Builds the mapping for an `h × w` input under `p`. All spatial
+    /// extents must be nonzero (callers early-out on empty shapes).
+    pub fn new(p: &Conv2dParams, h: usize, w: usize) -> Self {
+        let (oh, ow) = p.out_hw(h, w);
+        Im2colMap {
+            ohw: FastDivmod::new((oh * ow) as u32),
+            ow: FastDivmod::new(ow as u32),
+            khw: FastDivmod::new((p.kh * p.kw) as u32),
+            kw: FastDivmod::new(p.kw as u32),
+            stride: p.stride,
+            pad: p.pad,
+            in_c: p.in_c,
+            h,
+            w,
+        }
+    }
+
+    /// Flat NCHW index of the input element behind column-matrix
+    /// coordinate `(kidx, col)`, or `None` for a padding tap.
+    #[inline]
+    pub fn input_index(&self, kidx: u32, col: u32) -> Option<usize> {
+        let (n, rem) = self.ohw.div_mod(col);
+        let (oy, ox) = self.ow.div_mod(rem);
+        let (ic, krem) = self.khw.div_mod(kidx);
+        let (ky, kx) = self.kw.div_mod(krem);
+        let iy = (oy as usize * self.stride + ky as usize) as isize - self.pad as isize;
+        let ix = (ox as usize * self.stride + kx as usize) as isize - self.pad as isize;
+        if iy < 0 || iy >= self.h as isize || ix < 0 || ix >= self.w as isize {
+            return None;
+        }
+        Some(((n as usize * self.in_c + ic as usize) * self.h + iy as usize) * self.w + ix as usize)
+    }
+
+    /// The column-matrix element at `(kidx, col)` gathered from `data`
+    /// (padding taps read as `0.0`).
+    #[inline]
+    pub fn gather(&self, data: &[f64], kidx: u32, col: u32) -> f64 {
+        match self.input_index(kidx, col) {
+            Some(i) => data[i],
+            None => 0.0,
+        }
+    }
+}
+
+/// Transient words the implicit-GEMM forward allocates beyond its
+/// output: the `out_c × (n·oh·ow)` GEMM staging buffer plus the
+/// cache-blocking packing scratch — bounded by the output size and the
+/// blocking constants, never by the `(in_c·kh·kw) × (n·oh·ow)` column
+/// matrix that [`im2col`] would materialize.
+pub fn conv_scratch_words(batch: usize, h: usize, w: usize, p: &Conv2dParams) -> usize {
+    let (oh, ow) = p.out_hw(h, w);
+    let m = batch * oh * ow;
+    p.out_c * m + gemm::packing_scratch_words(p.out_c, m, p.patch_len())
+}
+
+/// Implicit-GEMM convolution: `Y = W · im2col(X)` where the column
+/// matrix is read through [`Im2colMap`] during panel packing — the
+/// executed forward kernel. Agrees with [`conv2d_direct`] to rounding
+/// error and is bit-reproducible run-to-run ([`crate::gemm`]'s
+/// determinism contract).
+pub fn conv2d(input: &Tensor4, weights: &Matrix, p: &Conv2dParams) -> Tensor4 {
+    assert_eq!(input.c, p.in_c, "input channel mismatch");
+    assert_eq!(weights.rows(), p.out_c, "weight rows must be out_c");
+    assert_eq!(
+        weights.cols(),
+        p.patch_len(),
+        "weight cols must be in_c*kh*kw"
+    );
+    let (oh, ow) = p.out_hw(input.h, input.w);
+    let m = input.n * oh * ow;
+    let k = p.patch_len();
+    let mut out = Tensor4::zeros(input.n, p.out_c, oh, ow);
+    if m == 0 || k == 0 || p.out_c == 0 {
+        return out;
+    }
+    assert!(m < 1 << 31 && k < 1 << 31, "conv extents overflow u32");
+    let map = Im2colMap::new(p, input.h, input.w);
+    let (wv, xv) = (weights.as_slice(), input.as_slice());
+    // GEMM lands in W-major staging (out_c × m); the output wants
+    // sample-major NCHW, so rows are scattered as contiguous oh·ow runs.
+    let mut y = vec![0.0; p.out_c * m];
+    gemm::gemm_packed(
+        p.out_c,
+        m,
+        k,
+        |i, kk| wv[i * k + kk],
+        |kk, j| map.gather(xv, kk as u32, j as u32),
+        &mut y,
+    );
+    let hw = oh * ow;
+    let od = out.as_mut_slice();
+    for oc in 0..p.out_c {
+        for n in 0..input.n {
+            od[(n * p.out_c + oc) * hw..][..hw].copy_from_slice(&y[oc * m + n * hw..][..hw]);
+        }
+    }
+    out
+}
+
+/// Column block width for the backward `∆X` pass: the `Wᵀ·∆Y` product
+/// is computed `COL_BLOCK` columns at a time and immediately
+/// scatter-added into `∆X`, so the transient is `patch_len × COL_BLOCK`
+/// words instead of the full column-gradient matrix.
+const COL_BLOCK: usize = 256;
+
+/// Gathers `dy` into the `out_c × (n·oh·ow)` row-major layout the GEMM
+/// contracts over (contiguous `oh·ow` runs per `(oc, n)`).
+fn dy_rows(dy: &Tensor4, oc: usize, hw: usize) -> Vec<f64> {
+    let m = dy.n * hw;
+    let mut dy_m = vec![0.0; oc * m];
+    let src = dy.as_slice();
+    for o in 0..oc {
+        for n in 0..dy.n {
+            dy_m[o * m + n * hw..][..hw].copy_from_slice(&src[(n * oc + o) * hw..][..hw]);
+        }
+    }
+    dy_m
+}
+
 /// Backward pass of a convolution given the output gradient `dy`
 /// (shaped like the forward output). Returns `(dW, dX)`:
 /// `dW = ∆Y · im2col(X)ᵀ` and `dX = col2im(Wᵀ · ∆Y)` — the conv
-/// instantiation of the paper's §7.2 derivation.
+/// instantiation of the paper's §7.2 derivation — both computed
+/// implicitly: `dW` packs im2col panels through [`Im2colMap`], and
+/// `dX` fuses the col2im scatter with a column-blocked GEMM so neither
+/// direction materializes a `patch_len × (n·oh·ow)` matrix.
 pub fn conv2d_backward(
+    input: &Tensor4,
+    weights: &Matrix,
+    dy: &Tensor4,
+    p: &Conv2dParams,
+) -> (Matrix, Tensor4) {
+    let (oh, ow) = p.out_hw(input.h, input.w);
+    assert_eq!((dy.c, dy.h, dy.w), (p.out_c, oh, ow), "dy shape mismatch");
+    let m = input.n * oh * ow;
+    let k = p.patch_len();
+    let oc = p.out_c;
+    let mut dw = Matrix::zeros(oc, k);
+    let mut dx = Tensor4::zeros(input.n, p.in_c, input.h, input.w);
+    if m == 0 || k == 0 || oc == 0 {
+        return (dw, dx);
+    }
+    assert!(m < 1 << 31 && k < 1 << 31, "conv extents overflow u32");
+    let map = Im2colMap::new(p, input.h, input.w);
+    let xv = input.as_slice();
+    let dy_m = dy_rows(dy, oc, oh * ow);
+    // dW = ∆Y · colsᵀ: contract over the n·oh·ow columns, reading the
+    // column matrix transposed through the same implicit mapping.
+    gemm::gemm_packed(
+        oc,
+        k,
+        m,
+        |i, kk| dy_m[i * m + kk],
+        |kk, j| map.gather(xv, j as u32, kk as u32),
+        dw.as_mut_slice(),
+    );
+    // dX: per column block, dcols = Wᵀ·∆Y (patch_len × cb) via the
+    // packed GEMM, then a serial fused col2im scatter. Blocks ascend
+    // and the scatter runs column-outer / k-inner, reproducing the
+    // accumulation order of materialized col2im exactly.
+    let wv = weights.as_slice();
+    let dxs = dx.as_mut_slice();
+    let mut dcols = vec![0.0; k * COL_BLOCK.min(m)];
+    let mut c0 = 0;
+    while c0 < m {
+        let cb = COL_BLOCK.min(m - c0);
+        let blk = &mut dcols[..k * cb];
+        blk.fill(0.0);
+        gemm::gemm_packed(
+            k,
+            cb,
+            oc,
+            |i, kk| wv[kk * k + i],
+            |kk, j| dy_m[kk * m + c0 + j],
+            blk,
+        );
+        for j in 0..cb {
+            let col = (c0 + j) as u32;
+            for kidx in 0..k {
+                if let Some(idx) = map.input_index(kidx as u32, col) {
+                    dxs[idx] += blk[kidx * cb + j];
+                }
+            }
+        }
+        c0 += cb;
+    }
+    (dw, dx)
+}
+
+/// The materialized-lowering backward (im2col + matmul variants +
+/// col2im), kept for cross-checking and as the benchmark baseline for
+/// the implicit path. Not used by any compute path.
+pub fn conv2d_backward_ref(
     input: &Tensor4,
     weights: &Matrix,
     dy: &Tensor4,
@@ -366,6 +614,7 @@ pub fn conv2d_backward(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn test_input(n: usize, c: usize, h: usize, w: usize) -> Tensor4 {
         Tensor4::from_fn(n, c, h, w, |a, b, y, x| {
@@ -498,6 +747,131 @@ mod tests {
     }
 
     #[test]
+    fn implicit_gemm_matches_direct() {
+        for (stride, pad) in [(1, 0), (1, 1), (2, 0), (2, 1), (3, 2)] {
+            let p = Conv2dParams {
+                in_c: 3,
+                out_c: 4,
+                kh: 3,
+                kw: 3,
+                stride,
+                pad,
+            };
+            let x = test_input(2, 3, 7, 6);
+            let w = test_weights(&p);
+            let direct = conv2d_direct(&x, &w, &p);
+            let implicit = conv2d(&x, &w, &p);
+            assert!(
+                direct.approx_eq(&implicit, 1e-12),
+                "stride={stride} pad={pad}: {}",
+                direct.max_abs_diff(&implicit)
+            );
+        }
+    }
+
+    #[test]
+    fn implicit_backward_matches_materialized_reference() {
+        let p = Conv2dParams {
+            in_c: 3,
+            out_c: 5,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let x = test_input(2, 3, 9, 8);
+        let w = test_weights(&p);
+        let (oh, ow) = p.out_hw(x.h, x.w);
+        let dy = Tensor4::from_fn(2, 5, oh, ow, |a, b, y, xx| {
+            ((a + b * 3 + y * 2 + xx) as f64 * 0.05).cos()
+        });
+        let (dw_i, dx_i) = conv2d_backward(&x, &w, &dy, &p);
+        let (dw_r, dx_r) = conv2d_backward_ref(&x, &w, &dy, &p);
+        assert!(dw_i.approx_eq(&dw_r, 1e-11));
+        assert!(dx_i.approx_eq(&dx_r, 1e-11));
+    }
+
+    #[test]
+    fn implicit_forward_and_backward_are_bit_reproducible() {
+        // AlexNet-conv2-flavored shape, shrunk: big enough that the
+        // GEMM crosses KC panels and multiple column blocks.
+        let p = Conv2dParams {
+            in_c: 24,
+            out_c: 16,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 2,
+        };
+        let x = test_input(2, 24, 13, 13);
+        let w = test_weights(&p);
+        let y1 = conv2d(&x, &w, &p);
+        let y2 = conv2d(&x, &w, &p);
+        assert_eq!(y1.as_slice(), y2.as_slice());
+        let (oh, ow) = p.out_hw(x.h, x.w);
+        let dy = Tensor4::from_fn(2, 16, oh, ow, |a, b, yy, xx| {
+            ((a * 11 + b * 7 + yy * 3 + xx) as f64 * 0.03).sin()
+        });
+        let (dw1, dx1) = conv2d_backward(&x, &w, &dy, &p);
+        let (dw2, dx2) = conv2d_backward(&x, &w, &dy, &p);
+        assert_eq!(dw1.as_slice(), dw2.as_slice());
+        assert_eq!(dx1.as_slice(), dx2.as_slice());
+    }
+
+    #[test]
+    fn implicit_conv_never_materializes_the_column_matrix() {
+        // AlexNet conv2 at batch 8: the im2col matrix would be
+        // patch_len × n·oh·ow words; the implicit path's transient
+        // scratch must stay well under it and be bounded by the
+        // output-staging + blocking terms.
+        let p = Conv2dParams {
+            in_c: 96,
+            out_c: 256,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 2,
+        };
+        let (batch, h, w) = (8, 27, 27);
+        let (oh, ow) = p.out_hw(h, w);
+        let m = batch * oh * ow;
+        let col_matrix_words = p.patch_len() * m;
+        let scratch = conv_scratch_words(batch, h, w, &p);
+        assert!(
+            scratch <= p.out_c * m + gemm::KC * gemm::NC + gemm::MC * gemm::KC,
+            "scratch {scratch} exceeds staging + blocking bound"
+        );
+        assert!(
+            scratch * 3 < col_matrix_words,
+            "scratch {scratch} is not well under the {col_matrix_words}-word column matrix"
+        );
+    }
+
+    #[test]
+    fn im2col_map_agrees_with_materialized_im2col() {
+        let p = Conv2dParams {
+            in_c: 3,
+            out_c: 2,
+            kh: 3,
+            kw: 2,
+            stride: 2,
+            pad: 1,
+        };
+        let x = test_input(2, 3, 6, 5);
+        let cols = im2col(&x, &p);
+        let map = Im2colMap::new(&p, x.h, x.w);
+        for kidx in 0..cols.rows() {
+            for col in 0..cols.cols() {
+                assert_eq!(
+                    map.gather(x.as_slice(), kidx as u32, col as u32),
+                    cols.get(kidx, col),
+                    "({kidx}, {col})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn row_strip_roundtrip() {
         let x = test_input(2, 3, 8, 5);
         let strip = x.row_strip(2, 6);
@@ -538,5 +912,53 @@ mod tests {
         stitched.set_row_strip(0, &top);
         stitched.set_row_strip(3, &bottom);
         assert!(stitched.approx_eq(&full, 1e-14));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn implicit_forward_matches_direct_on_random_shapes(
+            n in 1usize..3, in_c in 1usize..4, out_c in 1usize..5,
+            kh in 1usize..4, kw in 1usize..4,
+            stride in 1usize..3, pad in 0usize..3,
+            extra_h in 0usize..5, extra_w in 0usize..5,
+        ) {
+            // Input at least as big as the kernel so out_hw stays valid.
+            let h = kh + extra_h;
+            let w = kw + extra_w;
+            prop_assume!(h + 2 * pad >= kh && w + 2 * pad >= kw);
+            let p = Conv2dParams { in_c, out_c, kh, kw, stride, pad };
+            let x = test_input(n, in_c, h, w);
+            let wt = test_weights(&p);
+            let direct = conv2d_direct(&x, &wt, &p);
+            let implicit = conv2d(&x, &wt, &p);
+            prop_assert!(
+                direct.approx_eq(&implicit, 1e-12),
+                "diff {}", direct.max_abs_diff(&implicit)
+            );
+        }
+
+        #[test]
+        fn implicit_backward_matches_reference_on_random_shapes(
+            n in 1usize..3, in_c in 1usize..4, out_c in 1usize..4,
+            kh in 1usize..4, kw in 1usize..4,
+            stride in 1usize..3, pad in 0usize..2,
+            extra_h in 0usize..4, extra_w in 0usize..4,
+        ) {
+            let h = kh + extra_h;
+            let w = kw + extra_w;
+            prop_assume!(h + 2 * pad >= kh && w + 2 * pad >= kw);
+            let p = Conv2dParams { in_c, out_c, kh, kw, stride, pad };
+            let x = test_input(n, in_c, h, w);
+            let wt = test_weights(&p);
+            let (oh, ow) = p.out_hw(h, w);
+            let dy = Tensor4::from_fn(n, out_c, oh, ow, |a, b, y, xx| {
+                ((a * 5 + b * 3 + y * 2 + xx) as f64 * 0.04).sin()
+            });
+            let (dw_i, dx_i) = conv2d_backward(&x, &wt, &dy, &p);
+            let (dw_r, dx_r) = conv2d_backward_ref(&x, &wt, &dy, &p);
+            prop_assert!(dw_i.approx_eq(&dw_r, 1e-11));
+            prop_assert!(dx_i.approx_eq(&dx_r, 1e-11));
+        }
     }
 }

@@ -1,0 +1,138 @@
+//! Strength-reduced unsigned division by a runtime-invariant divisor.
+//!
+//! The implicit-GEMM convolution packs panels straight out of the NCHW
+//! input, which means every packed element decomposes its `(m, k)` GEMM
+//! coordinates as `m → (n, oh, ow)` and `k → (c, kh, kw)` — four
+//! div/mods per element on the innermost packing path. Hardware integer
+//! division is 20–40 cycles and not pipelined; this replaces it with
+//! the classic round-up magic-number scheme (Granlund & Montgomery,
+//! also Hacker's Delight §10-8): precompute `magic = ⌈2^(32+s)/d⌉` with
+//! `s = ⌈log₂ d⌉`, then `x / d == (x · magic) >> (32+s)` — one widening
+//! multiply and a shift.
+//!
+//! The round-up method is exact for every `x < 2³²` because the magic
+//! error `e = magic·d − 2^(32+s)` satisfies `0 ≤ e < d ≤ 2^s`. Divisors
+//! are capped at `2³¹` (tensor extents are far below that), which keeps
+//! `magic ≤ 2³³` and the `x · magic` product inside `u64` for the
+//! `x < 2³¹` indices the kernels produce.
+
+/// Precomputed magic-number divisor: `div`/`div_mod` by a fixed `d`
+/// without a hardware divide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastDivmod {
+    d: u32,
+    magic: u64,
+    shift: u32,
+}
+
+impl FastDivmod {
+    /// Precomputes the magic pair for divisor `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero or exceeds `2³¹`.
+    pub fn new(d: u32) -> Self {
+        assert!(d > 0, "FastDivmod divisor must be positive");
+        assert!(d <= 1 << 31, "FastDivmod divisor must be <= 2^31");
+        // s = ⌈log₂ d⌉; for d = 1 this is 0 and magic = 2³² exactly.
+        let shift = 32 - (d - 1).leading_zeros();
+        let pow = 1u128 << (32 + shift);
+        let magic = pow.div_ceil(d as u128) as u64;
+        FastDivmod { d, magic, shift }
+    }
+
+    /// The divisor this was built for.
+    #[inline]
+    pub fn divisor(self) -> u32 {
+        self.d
+    }
+
+    /// `x / d` via multiply-shift.
+    // Named like the operation it strength-reduces; not an ops::Div
+    // impl because the divisor is `self`, not the right-hand side.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn div(self, x: u32) -> u32 {
+        debug_assert!(x < 1 << 31, "FastDivmod dividend must be < 2^31");
+        ((x as u64 * self.magic) >> (32 + self.shift)) as u32
+    }
+
+    /// `(x / d, x % d)` with a single multiply-shift and one multiply
+    /// for the remainder.
+    #[inline]
+    pub fn div_mod(self, x: u32) -> (u32, u32) {
+        let q = self.div(x);
+        (q, x - q * self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_for_edge_divisors() {
+        for d in [
+            1u32,
+            2,
+            3,
+            5,
+            7,
+            11,
+            25,
+            27,
+            121,
+            729,
+            1 << 10,
+            (1 << 10) + 1,
+            (1 << 20) - 1,
+            1 << 31,
+        ] {
+            let f = FastDivmod::new(d);
+            for x in [
+                0u32,
+                1,
+                d.saturating_sub(1),
+                d,
+                d.saturating_add(1),
+                12345,
+                (1 << 31) - 1,
+            ] {
+                if x >= 1 << 31 {
+                    // Outside the documented dividend domain (only hit
+                    // when d itself is the 2³¹ cap).
+                    continue;
+                }
+                let (q, r) = f.div_mod(x);
+                assert_eq!((q, r), (x / d, x % d), "x={x} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_sized_divisors_are_exhaustively_exact_on_small_ranges() {
+        // The divisors the im2col map actually uses: kh·kw, kw, oh·ow, ow.
+        for d in [3u32, 5, 9, 11, 25, 27 * 27, 55 * 55, 121] {
+            let f = FastDivmod::new(d);
+            for x in 0..10_000u32 {
+                assert_eq!(f.div_mod(x), (x / d, x % d));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_divisor_panics() {
+        let _ = FastDivmod::new(0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn matches_hardware_division(x in 0u32..(1 << 31), d in 1u32..(1 << 31)) {
+            let f = FastDivmod::new(d);
+            prop_assert_eq!(f.div_mod(x), (x / d, x % d));
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! Panel-packed, cache-blocked GEMM core with a register-tiled
+//! microkernel — the engine behind [`crate::matmul`] and the
+//! implicit-GEMM convolution in [`crate::conv`].
+//!
+//! ## Structure (the classic Goto/BLIS loop nest)
+//!
+//! ```text
+//! for j0 in steps of NC:                    // C column panels
+//!   for k0 in steps of KC:                  // K panels
+//!     pack B[k0.., j0..]  → B̃  (KC×NC, NR-column slivers)
+//!     for i0 in steps of MC:                // parallel over row blocks
+//!       pack A[i0.., k0..] → Ã  (MC×KC, MR-row slivers)
+//!       for each (MR×NR) tile: microkernel(Ã sliver, B̃ sliver, C tile)
+//! ```
+//!
+//! Operands are supplied as *element closures* `(i, k) → a` and
+//! `(k, j) → b`, so the same core serves plain row-major matrices, the
+//! transposed operand shapes (`AᵀB`, `ABᵀ`), and the fused im2col
+//! layout that packs convolution panels straight out of an NCHW tensor
+//! without materializing the column matrix. Packing touches each
+//! operand element exactly once per panel pass; all floating-point
+//! arithmetic lives in the microkernels.
+//!
+//! ## Determinism contract
+//!
+//! Every output element is the fold, over **ascending k**, of a fused
+//! multiply-add: `c ← fma(a_ik, b_kj, c)` starting from `0.0`. The
+//! microkernel loads the C tile into registers at the start of each KC
+//! panel and stores it after, so panel boundaries do not break the
+//! chain, and IEEE-754 `fusedMultiplyAdd` is exactly rounded, so the
+//! hardware-FMA fast path, the scalar `f64::mul_add` fallback, and the
+//! small-matrix path all produce **bit-identical** results — on any
+//! machine, any thread count, every run. ABFT recomputation
+//! ([`crate::abft`]) relies on this: re-deriving one element as a plain
+//! ascending-k `mul_add` dot reproduces the kernel's bits exactly.
+//! Deliberately absent: split accumulators (k-unrolled partial sums)
+//! and non-fused mul+add paths, both of which would tie the numerical
+//! result to the dispatch decision.
+//!
+//! The AVX2+FMA microkernel is selected by runtime feature detection
+//! (`is_x86_feature_detected!`); everything else goes through the same
+//! `mul_add` source, which on FMA-less hardware falls back to libm's
+//! correctly-rounded software `fma` — slow, but bit-identical.
+
+use std::cell::RefCell;
+
+use rayon::prelude::*;
+
+/// Microkernel tile rows (register blocking in M).
+pub const MR: usize = 6;
+/// Microkernel tile columns (register blocking in N); two AVX2 f64
+/// vectors wide.
+pub const NR: usize = 8;
+/// K-panel depth: one Ã sliver column block of KC f64 (2 KB) streams
+/// from L1 while B̃ slivers stream from L2.
+pub const KC: usize = 256;
+/// Row-block height (multiple of MR): Ã is MC×KC ≈ 96 KB, sized to L2.
+pub const MC: usize = 48;
+/// Column-panel width (multiple of NR): B̃ is KC×NC ≈ 1 MB, sized to
+/// L2/L3.
+pub const NC: usize = 512;
+
+/// Below this many multiply-adds (`m·n·k`), skip packing *and* the
+/// parallel runtime entirely: a tiny layer-shard GEMM at large P costs
+/// more in rayon dispatch and panel setup than the arithmetic itself.
+/// Tuned on the criterion suite; a 32³ product sits right at the
+/// crossover.
+pub const SMALL_GEMM_MNK: usize = 32 * 32 * 32;
+
+/// Minimum multiply-adds (`m·n·k`) before row blocks are fanned out to
+/// worker threads; below this a single core finishes before the spawn
+/// overhead is paid back.
+const PAR_MIN_MNK: usize = 1 << 23;
+
+/// Whether the AVX2+FMA microkernel is available (runtime-detected,
+/// cached). The fallback path is bit-identical, so this only ever
+/// changes speed.
+#[inline]
+pub fn fma_kernel_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVAIL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *AVAIL.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether a `m×k · k×n` product takes the small-matrix path (serial,
+/// unpacked). Exposed so the fast-path threshold is pinnable by tests.
+#[inline]
+pub fn is_small_gemm(m: usize, n: usize, k: usize) -> bool {
+    // Saturating: enormous dims must not wrap into "small".
+    m.saturating_mul(n).saturating_mul(k) <= SMALL_GEMM_MNK
+}
+
+/// Words of packing scratch a `m×k · k×n` product allocates: one B̃
+/// panel plus one Ã block per worker thread. Bounded by the cache
+/// blocking — never by the operand sizes — which is what lets the
+/// implicit-GEMM convolution run without a materialized im2col matrix.
+pub fn packing_scratch_words(m: usize, n: usize, k: usize) -> usize {
+    if is_small_gemm(m, n, k) || m == 0 || n == 0 || k == 0 {
+        return 0;
+    }
+    let kc = KC.min(k);
+    let b_panel = kc * NC.min(n.next_multiple_of(NR));
+    let a_block = MC.min(m.next_multiple_of(MR)) * kc;
+    b_panel + a_block
+}
+
+thread_local! {
+    /// Per-thread Ã block, reused across panels and GEMM calls.
+    static A_PANEL: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Portable microkernel: loads the `mr_eff × nr_eff` C tile, folds the
+/// packed slivers over ascending k with `mul_add`, stores it back.
+/// Padded sliver lanes (zero-filled by packing) accumulate into
+/// discarded tile entries, so the loop body is branch-free.
+#[inline(always)]
+fn micro_body(
+    kc: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate().take(mr_eff) {
+        row[..nr_eff].copy_from_slice(&c[r * ldc..r * ldc + nr_eff]);
+    }
+    for kk in 0..kc {
+        let av = &a[kk * MR..kk * MR + MR];
+        let bv = &b[kk * NR..kk * NR + NR];
+        for (r, row) in acc.iter_mut().enumerate() {
+            let ar = av[r];
+            for (cc, accv) in row.iter_mut().enumerate() {
+                *accv = ar.mul_add(bv[cc], *accv);
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate().take(mr_eff) {
+        c[r * ldc..r * ldc + nr_eff].copy_from_slice(&row[..nr_eff]);
+    }
+}
+
+/// `micro_body` compiled with FMA enabled so `mul_add` inlines to
+/// hardware `vfmadd` (bit-identical to the libm fallback — fma is
+/// exactly rounded either way).
+///
+/// # Safety
+///
+/// Caller must have verified FMA support via [`fma_kernel_available`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn micro_edge_fma(
+    kc: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    micro_body(kc, a, b, c, ldc, mr_eff, nr_eff);
+}
+
+/// Full-tile AVX2+FMA microkernel: 6×8 register tile (12 accumulator
+/// ymm, 2 B vectors, 1 broadcast — 15 of 16 registers), `vfmadd` per
+/// lane, which per element is exactly the ascending-k `mul_add` fold of
+/// the determinism contract.
+///
+/// # Safety
+///
+/// Caller must have verified AVX2+FMA support via
+/// [`fma_kernel_available`], and `c` must have `MR` rows of `ldc`
+/// with at least `NR` valid columns at the tile origin.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn micro_6x8_fma(kc: usize, a: &[f64], b: &[f64], c: &mut [f64], ldc: usize) {
+    use std::arch::x86_64::*;
+    debug_assert!(a.len() >= kc * MR && b.len() >= kc * NR);
+    debug_assert!(c.len() >= (MR - 1) * ldc + NR);
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let cp = c.as_mut_ptr();
+    let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row[0] = _mm256_loadu_pd(cp.add(r * ldc));
+        row[1] = _mm256_loadu_pd(cp.add(r * ldc + 4));
+    }
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_pd(bp.add(kk * NR));
+        let b1 = _mm256_loadu_pd(bp.add(kk * NR + 4));
+        for (r, row) in acc.iter_mut().enumerate() {
+            let ar = _mm256_set1_pd(*ap.add(kk * MR + r));
+            row[0] = _mm256_fmadd_pd(ar, b0, row[0]);
+            row[1] = _mm256_fmadd_pd(ar, b1, row[1]);
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        _mm256_storeu_pd(cp.add(r * ldc), row[0]);
+        _mm256_storeu_pd(cp.add(r * ldc + 4), row[1]);
+    }
+}
+
+/// Dispatches one tile to the best available microkernel.
+// The argument list mirrors the microkernel ABI; bundling it into a
+// struct would just move the field list.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_dispatch(
+    fma: bool,
+    kc: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fma {
+        // SAFETY: `fma` is only true after runtime AVX2+FMA detection.
+        unsafe {
+            if mr_eff == MR && nr_eff == NR {
+                micro_6x8_fma(kc, a, b, c, ldc);
+            } else {
+                micro_edge_fma(kc, a, b, c, ldc, mr_eff, nr_eff);
+            }
+        }
+        return;
+    }
+    let _ = fma;
+    micro_body(kc, a, b, c, ldc, mr_eff, nr_eff);
+}
+
+/// The shape of a small-path product over dense row-major buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmallShape {
+    /// `C = A·B` with `A` m×k, `B` k×n.
+    Nn,
+    /// `C = Aᵀ·B` with `A` k×m (untransposed), `B` k×n.
+    Tn,
+    /// `C = A·Bᵀ` with `A` m×k, `B` n×k (untransposed).
+    Nt,
+}
+
+/// Small-matrix body: unpacked loops, one `mul_add` chain per element
+/// over ascending k — the same contract as the packed path, so the two
+/// paths are bit-identical and the threshold is purely a speed knob.
+#[inline(always)]
+fn small_body(
+    shape: SmallShape,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+) {
+    match shape {
+        SmallShape::Nn => {
+            // i-k-j: the inner loop streams contiguous B and C rows.
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (cj, &bkj) in c_row.iter_mut().zip(b_row) {
+                        *cj = aik.mul_add(bkj, *cj);
+                    }
+                }
+            }
+        }
+        SmallShape::Tn => {
+            // Rank-1 updates over ascending k; contiguous A and B rows.
+            for kk in 0..k {
+                let a_row = &a[kk * m..(kk + 1) * m];
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (i, &aki) in a_row.iter().enumerate() {
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    for (cj, &bkj) in c_row.iter_mut().zip(b_row) {
+                        *cj = aki.mul_add(bkj, *cj);
+                    }
+                }
+            }
+        }
+        SmallShape::Nt => {
+            // Plain dot products; both operand rows contiguous.
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (j, cij) in c_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = *cij;
+                    for (&ak, &bk) in a_row.iter().zip(b_row) {
+                        acc = ak.mul_add(bk, acc);
+                    }
+                    *cij = acc;
+                }
+            }
+        }
+    }
+}
+
+/// `small_body` compiled with FMA enabled (hardware `vfmadd`,
+/// bit-identical to the fallback).
+///
+/// # Safety
+///
+/// Caller must have verified FMA support via [`fma_kernel_available`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+unsafe fn small_fma(
+    shape: SmallShape,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+) {
+    small_body(shape, m, n, k, a, b, c);
+}
+
+/// Serial, unpacked product for sub-threshold shapes; accumulates into
+/// `c` (callers pass a zeroed buffer).
+pub fn gemm_small(
+    shape: SmallShape,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+) {
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    if fma_kernel_available() {
+        // SAFETY: runtime-detected.
+        unsafe { small_fma(shape, m, n, k, a, b, c) };
+        return;
+    }
+    small_body(shape, m, n, k, a, b, c);
+}
+
+/// Panel-packed GEMM: `C += op(A)·op(B)` where the operands are
+/// presented as element closures `fill_a(i, kk)` (an `m×k` view) and
+/// `fill_b(kk, j)` (a `k×n` view). `c` is row-major `m×n` and is
+/// normally zero-initialized by the caller.
+///
+/// Row blocks fan out over rayon when the product is large enough to
+/// amortize the dispatch; the result is bit-identical either way.
+pub fn gemm_packed<FA, FB>(m: usize, n: usize, k: usize, fill_a: FA, fill_b: FB, c: &mut [f64])
+where
+    FA: Fn(usize, usize) -> f64 + Sync,
+    FB: Fn(usize, usize) -> f64 + Sync,
+{
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let fma = fma_kernel_available();
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let parallel = threads > 1 && m > MC && m.saturating_mul(n).saturating_mul(k) >= PAR_MIN_MNK;
+
+    let mut b_panel = vec![0.0; KC.min(k) * NC.min(n.next_multiple_of(NR))];
+    let mut j0 = 0;
+    while j0 < n {
+        let jeff = NC.min(n - j0);
+        let jsl = jeff.div_ceil(NR);
+        let mut k0 = 0;
+        while k0 < k {
+            let keff = KC.min(k - k0);
+            // Pack B̃: NR-column slivers, k-major within a sliver, tail
+            // lanes zero-filled so the microkernel is branch-free.
+            for t in 0..jsl {
+                let sliver = &mut b_panel[t * keff * NR..(t + 1) * keff * NR];
+                for kk in 0..keff {
+                    for cc in 0..NR {
+                        let j = j0 + t * NR + cc;
+                        sliver[kk * NR + cc] = if j < j0 + jeff {
+                            fill_b(k0 + kk, j)
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+            let b_ref = &b_panel;
+            let fill_a = &fill_a;
+            let process = |blk: usize, c_chunk: &mut [f64]| {
+                let i0 = blk * MC;
+                let ieff = MC.min(m - i0);
+                let isl = ieff.div_ceil(MR);
+                A_PANEL.with(|cell| {
+                    let mut ap = cell.borrow_mut();
+                    ap.clear();
+                    ap.resize(isl * MR * keff, 0.0);
+                    // Pack Ã: MR-row slivers, k-major, tail rows zeroed.
+                    for s in 0..isl {
+                        let sliver = &mut ap[s * keff * MR..(s + 1) * keff * MR];
+                        for kk in 0..keff {
+                            for r in 0..MR {
+                                let i = i0 + s * MR + r;
+                                sliver[kk * MR + r] = if i < i0 + ieff {
+                                    fill_a(i, k0 + kk)
+                                } else {
+                                    0.0
+                                };
+                            }
+                        }
+                    }
+                    for t in 0..jsl {
+                        let nr_eff = NR.min(jeff - t * NR);
+                        let b_sliver = &b_ref[t * keff * NR..(t + 1) * keff * NR];
+                        for s in 0..isl {
+                            let mr_eff = MR.min(ieff - s * MR);
+                            let a_sliver = &ap[s * keff * MR..(s + 1) * keff * MR];
+                            let c_off = (s * MR) * n + j0 + t * NR;
+                            micro_dispatch(
+                                fma,
+                                keff,
+                                a_sliver,
+                                b_sliver,
+                                &mut c_chunk[c_off..],
+                                n,
+                                mr_eff,
+                                nr_eff,
+                            );
+                        }
+                    }
+                });
+            };
+            if parallel {
+                c.par_chunks_mut(MC * n)
+                    .enumerate()
+                    .for_each(|(blk, chunk)| process(blk, chunk));
+            } else {
+                for (blk, chunk) in c.chunks_mut(MC * n).enumerate() {
+                    process(blk, chunk);
+                }
+            }
+            k0 += keff;
+        }
+        j0 += jeff;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(m: usize, k: usize, seed: f64) -> Vec<f64> {
+        (0..m * k)
+            .map(|i| ((i * 31) as f64 * 0.01 + seed).sin())
+            .collect()
+    }
+
+    /// Reference: per-element ascending-k `mul_add` fold — the contract.
+    fn fma_dot(m: usize, n: usize, k: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc = a[i * k + kk].mul_add(b[kk * n + j], acc);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn packed_matches_contract_bitwise_across_panel_boundaries() {
+        // Sizes straddle MR/NR/KC/MC/NC edges, including k > KC so the
+        // C-tile load/store chain across panels is exercised.
+        for (m, n, k) in [
+            (1, 1, 1),
+            (MR, NR, 4),
+            (MR + 1, NR + 3, KC + 7),
+            (MC + 5, NR * 3 + 2, KC * 2 + 3),
+            (2 * MC, NC + 9, 40),
+        ] {
+            let a = dense(m, k, 0.3);
+            let b = dense(k, n, 0.7);
+            let mut c = vec![0.0; m * n];
+            gemm_packed(
+                m,
+                n,
+                k,
+                |i, kk| a[i * k + kk],
+                |kk, j| b[kk * n + j],
+                &mut c,
+            );
+            let expect = fma_dot(m, n, k, &a, &b);
+            assert_eq!(c, expect, "m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn small_path_is_bit_identical_to_packed() {
+        let (m, n, k) = (7, 9, 11);
+        let a = dense(m, k, 0.1);
+        let b = dense(k, n, 0.9);
+        let mut small = vec![0.0; m * n];
+        gemm_small(SmallShape::Nn, m, n, k, &a, &b, &mut small);
+        let mut packed = vec![0.0; m * n];
+        gemm_packed(
+            m,
+            n,
+            k,
+            |i, kk| a[i * k + kk],
+            |kk, j| b[kk * n + j],
+            &mut packed,
+        );
+        assert_eq!(small, packed);
+    }
+
+    #[test]
+    fn small_transposed_shapes_match_contract() {
+        let (m, n, k) = (6, 5, 8);
+        // Tn: a is k×m.
+        let at = dense(k, m, 0.2);
+        let b = dense(k, n, 0.4);
+        let mut c = vec![0.0; m * n];
+        gemm_small(SmallShape::Tn, m, n, k, &at, &b, &mut c);
+        let mut a_mat = vec![0.0; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                a_mat[i * k + kk] = at[kk * m + i];
+            }
+        }
+        assert_eq!(c, fma_dot(m, n, k, &a_mat, &b));
+        // Nt: b is n×k.
+        let a = dense(m, k, 0.5);
+        let bt = dense(n, k, 0.6);
+        let mut c2 = vec![0.0; m * n];
+        gemm_small(SmallShape::Nt, m, n, k, &a, &bt, &mut c2);
+        let mut b_mat = vec![0.0; k * n];
+        for kk in 0..k {
+            for j in 0..n {
+                b_mat[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        assert_eq!(c2, fma_dot(m, n, k, &a, &b_mat));
+    }
+
+    #[test]
+    fn scratch_is_bounded_by_blocking_not_operands() {
+        let huge = packing_scratch_words(10_000, 1_000_000, 5_000);
+        assert!(huge <= KC * NC + MC * KC);
+        // And independent of n once past the panel cap.
+        assert_eq!(
+            packing_scratch_words(256, 10_000, 512),
+            packing_scratch_words(256, 1_000_000, 512)
+        );
+        assert_eq!(packing_scratch_words(4, 4, 4), 0);
+    }
+
+    #[test]
+    fn small_threshold_pins_tiny_products() {
+        assert!(is_small_gemm(4, 4, 4));
+        assert!(is_small_gemm(32, 32, 32));
+        assert!(!is_small_gemm(64, 64, 64));
+        assert!(!is_small_gemm(usize::MAX, usize::MAX, 2));
+    }
+}

@@ -3,14 +3,18 @@
 //! The paper views DNN training as three matrix products per layer
 //! (`Y = W·X`, `∆W = ∆Y·Xᵀ`, `∆X = Wᵀ·∆Y`) plus convolutions that can
 //! be lowered to matrix products via im2col. This crate provides those
-//! kernels — a row-major [`Matrix`] with a blocked, rayon-parallel
-//! matmul, an NCHW [`Tensor4`] with direct and im2col convolution,
-//! pooling, and activations — so the distributed algorithms in
-//! `distmm` and the trainer in `integrated` operate on real numbers and
-//! can be verified against serial references.
+//! kernels — a row-major [`Matrix`] driven by a panel-packed,
+//! cache-blocked GEMM with a register-tiled microkernel ([`gemm`]), an
+//! NCHW [`Tensor4`] with direct and implicit-GEMM convolution, pooling,
+//! and activations — so the distributed algorithms in `distmm` and the
+//! trainer in `integrated` operate on real numbers and can be verified
+//! against serial references.
 //!
-//! Everything is `f64`: the repository's goal is bit-trustworthy
-//! verification of parallel algorithms, not peak GEMM throughput.
+//! Everything is `f64`, and every kernel follows one deterministic
+//! accumulation order (ascending-k fused multiply-add; see [`gemm`]):
+//! results are bit-reproducible run-to-run and across the scalar/SIMD
+//! dispatch, which is what lets [`abft`] repair corrupted elements
+//! bit-exactly.
 
 // Index-based loops are the clearest way to write rank/block index
 // arithmetic; the clippy suggestions (iterators, is_multiple_of) obscure
@@ -19,6 +23,8 @@
 pub mod abft;
 pub mod activation;
 pub mod conv;
+pub mod fastdiv;
+pub mod gemm;
 pub mod init;
 pub mod lrn;
 pub mod matmul;

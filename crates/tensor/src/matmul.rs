@@ -1,19 +1,30 @@
 //! Matrix products: `C = A·B`, `C = Aᵀ·B`, `C = A·Bᵀ`.
 //!
-//! The inner kernel is cache-blocked (i-k-j loop order so the innermost
-//! loop streams contiguous rows) and the outer loop over row blocks is
-//! parallelized with rayon, following the data-parallel iterator idiom
-//! of the hpc-parallel guides. Sizes here are small enough (layer-shard
-//! matrices) that this simple scheme is within a small factor of a
-//! tuned GEMM while staying easy to audit.
+//! All three run on the panel-packed GEMM core in [`crate::gemm`]: the
+//! transposed variants feed the packer transposed element accessors
+//! instead of materializing `Aᵀ`/`Bᵀ`, so packing cost is identical for
+//! every operand orientation. Products below
+//! [`gemm::SMALL_GEMM_MNK`] multiply-adds take a serial unpacked path
+//! that skips rayon dispatch and panel setup entirely — tiny
+//! layer-shard GEMMs at large P are latency-bound, not bandwidth-bound.
+//!
+//! Every element of every variant is an ascending-k `mul_add` fold (the
+//! [`crate::gemm`] determinism contract), so results are bit-identical
+//! across the small/packed/AVX2 paths and run-to-run, and
+//! [`crate::abft`] can recompute single elements bit-exactly.
+//!
+//! The previous executed kernel (i-k-j blocked loops) is frozen as
+//! [`matmul_ref`] — the benchmark baseline that `kernel_sweep` and CI
+//! measure speedups against.
 
 use rayon::prelude::*;
 
+use crate::gemm::{self, SmallShape};
 use crate::matrix::Matrix;
 
-/// Row-block size for the parallel outer loop.
+/// Row-block size for the frozen reference kernel's parallel loop.
 const ROW_BLOCK: usize = 32;
-/// K-panel size for cache blocking.
+/// K-panel size for the frozen reference kernel's cache blocking.
 const K_BLOCK: usize = 256;
 
 /// FLOPs of a `m×k · k×n` product (2 per multiply-add), as used by the
@@ -43,19 +54,16 @@ fn gemm_rows(c_rows: &mut [f64], row0: usize, nrows: usize, a: &Matrix, b: &Matr
     }
 }
 
-/// `C = A·B`.
-///
-/// # Panics
-///
-/// Panics if the inner dimensions disagree.
-pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+/// The pre-packing executed kernel (blocked i-k-j, rayon over row
+/// blocks), frozen as the measured baseline for kernel speedups. Not
+/// used by any compute path; benchmarks only.
+pub fn matmul_ref(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
     let (m, n) = (a.rows(), b.cols());
     let mut c = Matrix::zeros(m, n);
     if m == 0 || n == 0 || a.cols() == 0 {
         return c;
     }
-    // Parallelize over disjoint row blocks of C.
     c.as_mut_slice()
         .par_chunks_mut(ROW_BLOCK * n)
         .enumerate()
@@ -67,67 +75,82 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
+/// `C = A·B`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    if gemm::is_small_gemm(m, n, k) {
+        gemm::gemm_small(SmallShape::Nn, m, n, k, av, bv, c.as_mut_slice());
+    } else {
+        gemm::gemm_packed(
+            m,
+            n,
+            k,
+            |i, kk| av[i * k + kk],
+            |kk, j| bv[kk * n + j],
+            c.as_mut_slice(),
+        );
+    }
+    c
+}
+
 /// `C = Aᵀ·B` without materializing `Aᵀ` (used for `∆X = Wᵀ·∆Y`).
 pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "AᵀB dimension mismatch");
-    let (m, n) = (a.cols(), b.cols());
+    let (m, k, n) = (a.cols(), a.rows(), b.cols());
     let mut c = Matrix::zeros(m, n);
-    if m == 0 || n == 0 || a.rows() == 0 {
+    if m == 0 || n == 0 || k == 0 {
         return c;
     }
-    // C[i][j] = Σ_k A[k][i]·B[k][j]: accumulate rank-1 updates per k.
-    // Parallelize over row blocks of C by splitting the i range.
-    c.as_mut_slice()
-        .par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, c_rows)| {
-            let i0 = blk * ROW_BLOCK;
-            let ilen = ROW_BLOCK.min(m - i0);
-            for k in 0..a.rows() {
-                let a_row = a.row(k);
-                let b_row = b.row(k);
-                for di in 0..ilen {
-                    let aki = a_row[i0 + di];
-                    if aki == 0.0 {
-                        continue;
-                    }
-                    let c_row = &mut c_rows[di * n..(di + 1) * n];
-                    for (cj, &bkj) in c_row.iter_mut().zip(b_row) {
-                        *cj += aki * bkj;
-                    }
-                }
-            }
-        });
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    if gemm::is_small_gemm(m, n, k) {
+        gemm::gemm_small(SmallShape::Tn, m, n, k, av, bv, c.as_mut_slice());
+    } else {
+        // A is stored k×m; the packer reads it through the transposed
+        // accessor, strided but touched once per panel pass.
+        gemm::gemm_packed(
+            m,
+            n,
+            k,
+            |i, kk| av[kk * m + i],
+            |kk, j| bv[kk * n + j],
+            c.as_mut_slice(),
+        );
+    }
     c
 }
 
 /// `C = A·Bᵀ` without materializing `Bᵀ` (used for `∆W = ∆Y·Xᵀ`).
 pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "ABᵀ dimension mismatch");
-    let (m, n) = (a.rows(), b.rows());
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
     let mut c = Matrix::zeros(m, n);
-    if m == 0 || n == 0 || a.cols() == 0 {
+    if m == 0 || n == 0 || k == 0 {
         return c;
     }
-    c.as_mut_slice()
-        .par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, c_rows)| {
-            let i0 = blk * ROW_BLOCK;
-            let ilen = ROW_BLOCK.min(m - i0);
-            for di in 0..ilen {
-                let a_row = a.row(i0 + di);
-                let c_row = &mut c_rows[di * n..(di + 1) * n];
-                for (j, cij) in c_row.iter_mut().enumerate() {
-                    let b_row = b.row(j);
-                    let mut acc = 0.0;
-                    for (ak, bk) in a_row.iter().zip(b_row) {
-                        acc += ak * bk;
-                    }
-                    *cij += acc;
-                }
-            }
-        });
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    if gemm::is_small_gemm(m, n, k) {
+        gemm::gemm_small(SmallShape::Nt, m, n, k, av, bv, c.as_mut_slice());
+    } else {
+        // B is stored n×k; transposed accessor, same packing cost.
+        gemm::gemm_packed(
+            m,
+            n,
+            k,
+            |i, kk| av[i * k + kk],
+            |kk, j| bv[j * k + kk],
+            c.as_mut_slice(),
+        );
+    }
     c
 }
 
@@ -175,6 +198,61 @@ mod tests {
         let a = test_matrix(100, 300, 0.1);
         let b = test_matrix(300, 70, 0.2);
         assert!(matmul(&a, &b).approx_eq(&naive(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn packed_path_matches_reference_kernel() {
+        // Big enough to take the packed path; the frozen baseline and
+        // the new kernel agree to rounding.
+        let a = test_matrix(70, 90, 0.1);
+        let b = test_matrix(90, 50, 0.2);
+        assert!(matmul(&a, &b).approx_eq(&matmul_ref(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn small_path_taken_and_exact_on_4x4() {
+        // Satellite pin: a 4×4·4×4 product stays below the small-GEMM
+        // threshold (no rayon dispatch, no packing) and is still exact.
+        assert!(crate::gemm::is_small_gemm(4, 4, 4));
+        let a = test_matrix(4, 4, 0.4);
+        let b = test_matrix(4, 4, 0.8);
+        assert!(matmul(&a, &b).approx_eq(&naive(&a, &b), 1e-13));
+    }
+
+    #[test]
+    fn repeated_runs_are_bit_identical() {
+        // Determinism contract: same inputs → same bits, every run,
+        // on a shape large enough to use packing and panel boundaries.
+        let a = test_matrix(130, 520, 0.6);
+        let b = test_matrix(520, 90, 0.9);
+        let c1 = matmul(&a, &b);
+        let c2 = matmul(&a, &b);
+        assert_eq!(c1.as_slice(), c2.as_slice());
+        let at = test_matrix(520, 130, 0.6);
+        let d1 = matmul_at_b(&at, &b);
+        let d2 = matmul_at_b(&at, &b);
+        assert_eq!(d1.as_slice(), d2.as_slice());
+    }
+
+    #[test]
+    fn transposed_variants_are_bit_identical_to_plain_matmul() {
+        // All orientations share one accumulation order, so AᵀB and ABᵀ
+        // agree with materialized-transpose matmul to the bit — both on
+        // the small path and the packed path.
+        for (m, k, n) in [(9, 6, 4), (80, 300, 64)] {
+            let a = test_matrix(k, m, 0.5);
+            let b = test_matrix(k, n, 0.7);
+            assert_eq!(
+                matmul_at_b(&a, &b).as_slice(),
+                matmul(&a.transpose(), &b).as_slice()
+            );
+            let a2 = test_matrix(m, k, 0.5);
+            let b2 = test_matrix(n, k, 0.7);
+            assert_eq!(
+                matmul_a_bt(&a2, &b2).as_slice(),
+                matmul(&a2, &b2.transpose()).as_slice()
+            );
+        }
     }
 
     #[test]
@@ -233,6 +311,17 @@ mod tests {
             let a2 = test_matrix(m, k, seed);
             let b2 = test_matrix(n, k, seed + 3.0);
             prop_assert!(matmul_a_bt(&a2, &b2).approx_eq(&matmul(&a2, &b2.transpose()), 1e-11));
+        }
+
+        #[test]
+        fn packed_and_ref_agree_across_threshold(
+            m in 1usize..48, k in 1usize..48, n in 1usize..48, seed in 0.0f64..10.0
+        ) {
+            // Shapes straddle the small-GEMM threshold; both sides of
+            // the dispatch agree with the frozen baseline to rounding.
+            let a = test_matrix(m, k, seed);
+            let b = test_matrix(k, n, seed + 1.0);
+            prop_assert!(matmul(&a, &b).approx_eq(&matmul_ref(&a, &b), 1e-11));
         }
     }
 }

@@ -2,11 +2,24 @@
 //!
 //! Implements the API surface the `bench` crate uses — `Criterion`,
 //! `benchmark_group`, `bench_function`, `Bencher::iter`,
-//! `criterion_group!`, `criterion_main!` — as a minimal harness that
-//! runs each benchmark a fixed number of iterations and prints the
-//! mean wall time. No statistics, warm-up tuning, or HTML reports.
+//! `Throughput`/`group.throughput`, `criterion_group!`,
+//! `criterion_main!` — as a minimal harness that runs each benchmark a
+//! fixed number of iterations and prints the mean wall time (plus an
+//! element rate when a throughput is set). No statistics, warm-up
+//! tuning, or HTML reports.
 
 use std::time::Instant;
+
+/// Work performed per iteration, used to report a rate next to the
+/// mean time. The kernel benches pass FLOPs as `Elements`, so the
+/// printed rate reads directly in FLOP/s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (for the kernel suite: FLOPs) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
 
 /// Top-level benchmark driver.
 #[derive(Default)]
@@ -20,6 +33,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             samples: 10,
+            throughput: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -29,7 +43,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one("", &name.into(), 10, &mut f);
+        run_one("", &name.into(), 10, None, &mut f);
         self
     }
 }
@@ -38,6 +52,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     samples: usize,
+    throughput: Option<Throughput>,
     _marker: std::marker::PhantomData<&'a mut Criterion>,
 }
 
@@ -48,12 +63,25 @@ impl<'a> BenchmarkGroup<'a> {
         self
     }
 
+    /// Sets the per-iteration work for benchmarks registered after this
+    /// call; the harness prints an element/byte rate alongside the mean.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Runs one benchmark in the group.
     pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&self.name, &name.into(), self.samples, &mut f);
+        run_one(
+            &self.name,
+            &name.into(),
+            self.samples,
+            self.throughput,
+            &mut f,
+        );
         self
     }
 
@@ -61,7 +89,13 @@ impl<'a> BenchmarkGroup<'a> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(group: &str, name: &str, samples: usize, f: &mut F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
     let mut b = Bencher {
         total_nanos: 0,
         iters: 0,
@@ -79,7 +113,16 @@ fn run_one<F: FnMut(&mut Bencher)>(group: &str, name: &str, samples: usize, f: &
     } else {
         format!("{group}/{name}")
     };
-    println!("bench {label}: {mean:.1} ns/iter ({} iters)", b.iters);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:.3} Gelem/s", n as f64 / mean)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:.3} GB/s", n as f64 / mean)
+        }
+        _ => String::new(),
+    };
+    println!("bench {label}: {mean:.1} ns/iter ({} iters){rate}", b.iters);
 }
 
 /// Passed to each benchmark closure; times the routine under test.
@@ -137,5 +180,16 @@ mod tests {
         g.bench_function("count", |b| b.iter(|| runs += 1));
         g.finish();
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn throughput_is_accepted_and_benchmarks_still_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("tp");
+        g.sample_size(2).throughput(Throughput::Elements(1000));
+        let mut runs = 0;
+        g.bench_function("rate", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 2);
     }
 }
